@@ -1,0 +1,102 @@
+//! Criterion micro-bench for E6: encoding/decoding throughput of each
+//! compression stage and of whole row block columns.
+//!
+//! `cargo bench -p scuba-bench --bench compression`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use scuba::columnstore::column::{ColumnData, ColumnValues};
+use scuba::columnstore::encoding::{bitpack, delta, dictionary, lz, shuffle};
+use scuba::columnstore::RowBlockColumn;
+
+const N: usize = 65_536;
+
+fn bench_stages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encoding_stages");
+    group.throughput(Throughput::Bytes((N * 8) as u64));
+
+    let timestamps: Vec<i64> = (0..N as i64).map(|i| 1_700_000_000 + i / 10).collect();
+    group.bench_function("delta_encode_timestamps", |b| {
+        b.iter(|| delta::encode(std::hint::black_box(&timestamps)))
+    });
+
+    let small: Vec<u64> = (0..N as u64).map(|i| i % 1000).collect();
+    let width = bitpack::width_for(&small);
+    group.bench_function("bitpack_pack", |b| {
+        b.iter(|| bitpack::pack(std::hint::black_box(&small), width))
+    });
+    let packed = bitpack::pack(&small, width);
+    group.bench_function("bitpack_unpack", |b| {
+        b.iter(|| bitpack::unpack(std::hint::black_box(&packed), width, N).unwrap())
+    });
+
+    let strings: Vec<String> = (0..N).map(|i| format!("endpoint_{}", i % 31)).collect();
+    group.bench_function("dictionary_encode", |b| {
+        b.iter(|| dictionary::encode(std::hint::black_box(&strings)))
+    });
+
+    let doubles: Vec<f64> = (0..N).map(|i| 100.0 + (i % 977) as f64 * 0.25).collect();
+    group.bench_function("shuffle_f64", |b| {
+        b.iter(|| shuffle::shuffle_f64(std::hint::black_box(&doubles)))
+    });
+
+    let log_bytes: Vec<u8> = b"GET /api/v1/feed 200 12ms host=web042 "
+        .iter()
+        .copied()
+        .cycle()
+        .take(N * 8)
+        .collect();
+    group.throughput(Throughput::Bytes(log_bytes.len() as u64));
+    group.bench_function("lz_compress_loglike", |b| {
+        b.iter(|| lz::compress(std::hint::black_box(&log_bytes)))
+    });
+    let compressed = lz::compress(&log_bytes);
+    group.bench_function("lz_decompress_loglike", |b| {
+        b.iter(|| lz::decompress(std::hint::black_box(&compressed), log_bytes.len()).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_rbc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("row_block_column");
+    group.throughput(Throughput::Elements(N as u64));
+
+    let cases: Vec<(&str, ColumnData)> = vec![
+        (
+            "int64_timestamps",
+            ColumnData::from_values(ColumnValues::Int64(
+                (0..N as i64).map(|i| 1_700_000_000 + i / 10).collect(),
+            )),
+        ),
+        (
+            "str_categorical",
+            ColumnData::from_values(ColumnValues::Str(
+                (0..N).map(|i| format!("host{:03}", i % 89)).collect(),
+            )),
+        ),
+        (
+            "double_metrics",
+            ColumnData::from_values(ColumnValues::Double(
+                (0..N).map(|i| (i % 977) as f64 * 1.5).collect(),
+            )),
+        ),
+    ];
+    for (name, data) in &cases {
+        group.bench_with_input(BenchmarkId::new("encode", name), data, |b, data| {
+            b.iter(|| RowBlockColumn::encode(std::hint::black_box(data)).unwrap())
+        });
+        let rbc = RowBlockColumn::encode(data).unwrap();
+        group.bench_with_input(BenchmarkId::new("decode", name), &rbc, |b, rbc| {
+            b.iter(|| rbc.decode().unwrap())
+        });
+        // The single-memcpy adoption path: what restore actually pays.
+        group.bench_with_input(BenchmarkId::new("adopt_memcpy", name), &rbc, |b, rbc| {
+            b.iter(|| {
+                RowBlockColumn::from_bytes(rbc.as_bytes().to_vec().into_boxed_slice()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stages, bench_rbc);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion micro-bench for E1: the two restart paths on identical data.
+//!
+//! `cargo bench -p scuba-bench --bench restart_time`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use scuba::leaf::LeafServer;
+use scuba_bench::{build_leaf, LeafRig};
+
+fn bench_restart(c: &mut Criterion) {
+    let mut group = c.benchmark_group("restart");
+    group.sample_size(10);
+
+    for &rows in &[30_000usize, 120_000] {
+        // Pre-measure resident bytes for throughput reporting.
+        let rig = LeafRig::new("bm");
+        let server = build_leaf(&rig, rows);
+        let bytes = server.memory_used() as u64;
+        drop(server);
+        drop(rig);
+        group.throughput(Throughput::Bytes(bytes));
+
+        group.bench_with_input(
+            BenchmarkId::new("shared_memory", rows),
+            &rows,
+            |b, &rows| {
+                b.iter_with_setup(
+                    || {
+                        let rig = LeafRig::new("bm_shm");
+                        let server = build_leaf(&rig, rows);
+                        (rig, server)
+                    },
+                    |(rig, mut server)| {
+                        server.shutdown_to_shm(0).unwrap();
+                        drop(server);
+                        let (server, outcome) =
+                            LeafServer::start(rig.config.clone(), 0, None).unwrap();
+                        assert!(outcome.is_memory());
+                        (rig, server)
+                    },
+                );
+            },
+        );
+
+        group.bench_with_input(BenchmarkId::new("disk", rows), &rows, |b, &rows| {
+            b.iter_with_setup(
+                || {
+                    let rig = LeafRig::new("bm_disk");
+                    let mut server = build_leaf(&rig, rows);
+                    server.crash();
+                    drop(server);
+                    rig
+                },
+                |rig| {
+                    let (server, outcome) = LeafServer::start(rig.config.clone(), 0, None).unwrap();
+                    assert!(!outcome.is_memory());
+                    (rig, server)
+                },
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_restart);
+criterion_main!(benches);

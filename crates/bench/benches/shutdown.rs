@@ -1,0 +1,67 @@
+//! Criterion micro-bench for E2/E3: the copy-to-shared-memory shutdown,
+//! plus the raw protocol round trip without a leaf around it.
+//!
+//! `cargo bench -p scuba-bench --bench shutdown`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use scuba::restart::{backup_to_shm, restore_from_shm};
+use scuba::shmem::ShmNamespace;
+use scuba_bench::{build_leaf, LeafRig};
+
+fn bench_shutdown(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shutdown_to_shm");
+    group.sample_size(10);
+    for &rows in &[30_000usize, 120_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, &rows| {
+            b.iter_with_setup(
+                || {
+                    let rig = LeafRig::new("bs");
+                    let server = build_leaf(&rig, rows);
+                    (rig, server)
+                },
+                |(rig, mut server)| {
+                    let summary = server.shutdown_to_shm(0).unwrap();
+                    assert!(summary.backup.bytes_copied > 0);
+                    (rig, server)
+                },
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_protocol_round_trip(c: &mut Criterion) {
+    // Protocol-only cost: ToyStore-free — use the leaf store directly via
+    // the trait, measuring backup+restore of raw bytes.
+    let mut group = c.benchmark_group("protocol_round_trip");
+    group.sample_size(10);
+    let rows = 120_000usize;
+    let rig = LeafRig::new("bp");
+    let server = build_leaf(&rig, rows);
+    let bytes = server.memory_used() as u64;
+    drop(server);
+    drop(rig);
+    group.throughput(Throughput::Bytes(bytes * 2)); // out + back
+
+    group.bench_function(BenchmarkId::from_parameter(rows), |b| {
+        b.iter_with_setup(
+            || {
+                let rig = LeafRig::new("bp");
+                let server = build_leaf(&rig, rows);
+                (rig, server)
+            },
+            |(rig, mut server)| {
+                let ns = ShmNamespace::new(&rig.config.shm_prefix, rig.config.leaf_id).unwrap();
+                // Drive the protocol directly over the leaf's store.
+                let store = server.store_mut_for_bench();
+                backup_to_shm(store, &ns, 1).unwrap();
+                restore_from_shm(store, &ns, 1).unwrap();
+                (rig, server)
+            },
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_shutdown, bench_protocol_round_trip);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! E5 — Availability: 93% vs 99.5% fully-available time (§1, §6).
+//!
+//! Paper: "instead of having 100% of the data available only 93% of the
+//! time with a 12 hour rollover once a week, Scuba is now fully available
+//! 99.5% of the time — and that hour of downtime can be during offpeak
+//! hours"; during the rollover itself, "98% of data online and available
+//! to queries".
+//!
+//! ```sh
+//! cargo run --release -p scuba-bench --bin exp_availability
+//! ```
+
+use scuba::cluster::{simulate_rollover, RecoveryPath, SimConfig};
+use scuba_bench::{fmt_dur, header, row, table_header};
+
+fn main() {
+    header(
+        "E5",
+        "weekly full-availability: disk rollover vs shared-memory rollover",
+    );
+
+    let cfg = SimConfig::paper_defaults();
+    let shm = simulate_rollover(&cfg, RecoveryPath::SharedMemory);
+    let disk = simulate_rollover(&cfg, RecoveryPath::Disk);
+
+    println!();
+    table_header();
+    row(
+        "fully available (weekly, disk rollover)",
+        "93%",
+        &format!("{:.1}%", disk.full_availability_weekly * 100.0),
+    );
+    row(
+        "fully available (weekly, shm rollover)",
+        "99.5%",
+        &format!("{:.1}%", shm.full_availability_weekly * 100.0),
+    );
+    row(
+        "data online during either rollover",
+        "98%",
+        &format!("{:.1}%", shm.min_availability * 100.0),
+    );
+    row(
+        "weekly downtime window, disk",
+        "~12 h",
+        &fmt_dur(disk.total_secs),
+    );
+    row(
+        "weekly downtime window, shm",
+        "~1 h",
+        &fmt_dur(shm.total_secs),
+    );
+
+    // Sweep the restart fraction: the speed/availability trade-off an
+    // operator tunes.
+    println!("\n-- restart-fraction sweep (shared-memory path) --\n");
+    println!(
+        "  {:>9} {:>14} {:>22} {:>24}",
+        "fraction", "rollover", "min availability", "weekly full-availability"
+    );
+    for fraction in [0.01, 0.02, 0.05, 0.10, 0.25] {
+        let r = simulate_rollover(
+            &SimConfig {
+                restart_fraction: fraction,
+                ..cfg.clone()
+            },
+            RecoveryPath::SharedMemory,
+        );
+        println!(
+            "  {:>8.0}% {:>14} {:>21.1}% {:>23.2}%",
+            fraction * 100.0,
+            fmt_dur(r.total_secs),
+            r.min_availability * 100.0,
+            r.full_availability_weekly * 100.0
+        );
+    }
+    println!("\nthe paper's 2% keeps 98% of data online; higher fractions finish faster at");
+    println!("the cost of deeper availability dips — the curve above quantifies the trade.");
+}

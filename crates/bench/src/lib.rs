@@ -1,0 +1,158 @@
+//! Shared helpers for the benchmark harness and experiment binaries.
+//!
+//! Every experiment in DESIGN.md's index (E1–E12) has a binary in
+//! `src/bin/exp_*.rs` that prints a paper-vs-measured table; the Criterion
+//! benches under `benches/` cover the micro side (copy rates, encoding
+//! throughput, query latency). This module holds the rigging they share.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use scuba::columnstore::Row;
+use scuba::ingest::{WorkloadKind, WorkloadSpec};
+use scuba::leaf::{LeafConfig, LeafServer};
+use scuba::shmem::ShmNamespace;
+
+static COUNTER: AtomicU32 = AtomicU32::new(0);
+
+/// A leaf rig with automatic shm + disk cleanup.
+pub struct LeafRig {
+    /// The leaf's configuration (reusable for replacement processes).
+    pub config: LeafConfig,
+    ns: ShmNamespace,
+    dir: PathBuf,
+}
+
+impl LeafRig {
+    /// Fresh config + namespaces under a unique prefix.
+    pub fn new(tag: &str) -> LeafRig {
+        let id = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let prefix = format!("bench{tag}{}", std::process::id());
+        let dir =
+            std::env::temp_dir().join(format!("scuba_bench_{tag}_{}_{id}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = LeafConfig::new(id, &prefix, &dir);
+        let ns = ShmNamespace::new(&prefix, id).unwrap();
+        ns.unlink_all(16);
+        LeafRig { config, ns, dir }
+    }
+
+    /// The shared-memory namespace (for tampering experiments).
+    pub fn namespace(&self) -> &ShmNamespace {
+        &self.ns
+    }
+}
+
+impl Drop for LeafRig {
+    fn drop(&mut self) {
+        self.ns.unlink_all(16);
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// Build a leaf holding roughly `target_rows` rows of mixed paper
+/// workloads, already sealed and disk-synced.
+pub fn build_leaf(rig: &LeafRig, target_rows: usize) -> LeafServer {
+    let mut server = LeafServer::new(rig.config.clone()).expect("boot leaf");
+    let per_kind = target_rows / 3;
+    for (kind, seed) in [
+        (WorkloadKind::ErrorLogs, 101),
+        (WorkloadKind::Requests, 202),
+        (WorkloadKind::AdsMetrics, 303),
+    ] {
+        let spec = WorkloadSpec::new(kind, seed);
+        let rows = spec.rows(per_kind);
+        for chunk in rows.chunks(50_000) {
+            server
+                .add_rows(kind.table_name(), chunk, chunk[0].time())
+                .expect("add rows");
+        }
+    }
+    // Seal so the resident data is in its final encoded form; otherwise
+    // footprint comparisons would mix raw builder bytes with encoded
+    // bytes and mean nothing.
+    server
+        .store_mut_for_bench()
+        .seal_all(0)
+        .expect("seal tables");
+    server.sync_disk().expect("sync disk");
+    server
+}
+
+/// Generate `n` request-log rows (the most common single-table workload).
+pub fn request_rows(n: usize, seed: u64) -> Vec<Row> {
+    WorkloadSpec::new(WorkloadKind::Requests, seed).rows(n)
+}
+
+/// Print an experiment header.
+pub fn header(id: &str, claim: &str) {
+    println!("\n================================================================");
+    println!("{id}: {claim}");
+    println!("================================================================");
+}
+
+/// Print one row of a two-column paper-vs-measured table.
+pub fn row(label: &str, paper: &str, measured: &str) {
+    println!("  {label:<44} {paper:>18}   {measured}");
+}
+
+/// Print the table header for [`row`].
+pub fn table_header() {
+    println!("  {:<44} {:>18}   this reproduction", "metric", "paper");
+    println!("  {:-<44} {:->18}   {:-<24}", "", "", "");
+}
+
+/// Human duration.
+pub fn fmt_dur(secs: f64) -> String {
+    if secs < 1.0 {
+        format!("{:.1} ms", secs * 1e3)
+    } else if secs < 120.0 {
+        format!("{secs:.2} s")
+    } else if secs < 2.0 * 3600.0 {
+        format!("{:.1} min", secs / 60.0)
+    } else {
+        format!("{:.2} h", secs / 3600.0)
+    }
+}
+
+/// Human byte count.
+pub fn fmt_bytes(b: u64) -> String {
+    const G: f64 = 1024.0 * 1024.0 * 1024.0;
+    const M: f64 = 1024.0 * 1024.0;
+    const K: f64 = 1024.0;
+    let b = b as f64;
+    if b >= G {
+        format!("{:.2} GiB", b / G)
+    } else if b >= M {
+        format!("{:.2} MiB", b / M)
+    } else if b >= K {
+        format!("{:.1} KiB", b / K)
+    } else {
+        format!("{b:.0} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_leaf_produces_data() {
+        let rig = LeafRig::new("lib");
+        let server = build_leaf(&rig, 3000);
+        assert_eq!(server.total_rows(), 3000);
+        assert!(server.memory_used() > 0);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_dur(0.5), "500.0 ms");
+        assert_eq!(fmt_dur(30.0), "30.00 s");
+        assert_eq!(fmt_dur(600.0), "10.0 min");
+        assert_eq!(fmt_dur(10800.0), "3.00 h");
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2048), "2.0 KiB");
+        assert_eq!(fmt_bytes(3 << 20), "3.00 MiB");
+        assert_eq!(fmt_bytes(5 << 30), "5.00 GiB");
+    }
+}

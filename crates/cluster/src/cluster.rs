@@ -1,0 +1,318 @@
+//! The cluster: machines × leaves, the two-level aggregator query path of
+//! Figure 1, and the tailer-facing leaf view.
+
+use std::path::PathBuf;
+
+use scuba_columnstore::table::RetentionLimits;
+use scuba_columnstore::Row;
+use scuba_ingest::{LeafClient, PlacementState};
+use scuba_leaf::{LeafError, LeafPhase};
+use scuba_query::{merge_partials, LeafQueryResult, MergedResult, Query};
+
+use crate::machine::Machine;
+
+/// Cluster construction parameters.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of machines.
+    pub machines: usize,
+    /// Leaf servers per machine (the paper runs 8).
+    pub leaves_per_machine: usize,
+    /// Shared-memory name prefix for the whole cluster.
+    pub shm_prefix: String,
+    /// Root directory for all disk backups.
+    pub disk_root: PathBuf,
+    /// Per-leaf memory capacity in bytes.
+    pub leaf_memory_capacity: usize,
+    /// Retention limits for every leaf.
+    pub retention: RetentionLimits,
+}
+
+/// A running mini-cluster of real leaf servers.
+#[derive(Debug)]
+pub struct Cluster {
+    config: ClusterConfig,
+    machines: Vec<Machine>,
+}
+
+impl Cluster {
+    /// Boot a cluster with all leaves empty and alive.
+    pub fn new(config: ClusterConfig) -> scuba_leaf::LeafResult<Cluster> {
+        let mut machines = Vec::with_capacity(config.machines);
+        for m in 0..config.machines {
+            machines.push(Machine::new(
+                m,
+                config.leaves_per_machine,
+                &config.shm_prefix,
+                &config.disk_root,
+                config.leaf_memory_capacity,
+                config.retention,
+            )?);
+        }
+        Ok(Cluster { config, machines })
+    }
+
+    /// The construction config.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The machines.
+    pub fn machines(&self) -> &[Machine] {
+        &self.machines
+    }
+
+    /// Mutable machines.
+    pub fn machines_mut(&mut self) -> &mut [Machine] {
+        &mut self.machines
+    }
+
+    /// Total leaf count.
+    pub fn total_leaves(&self) -> usize {
+        self.config.machines * self.config.leaves_per_machine
+    }
+
+    /// Leaves currently fully alive.
+    pub fn alive_leaves(&self) -> usize {
+        self.machines
+            .iter()
+            .flat_map(|m| m.slots())
+            .filter(|s| s.phase() == LeafPhase::Alive)
+            .count()
+    }
+
+    /// Fraction of leaves able to answer queries right now — the "98% of
+    /// data online" dashboard number.
+    pub fn availability(&self) -> f64 {
+        let answering = self
+            .machines
+            .iter()
+            .flat_map(|m| m.slots())
+            .filter(|s| s.phase().accepts_queries())
+            .count();
+        answering as f64 / self.total_leaves() as f64
+    }
+
+    /// Total rows stored across the cluster.
+    pub fn total_rows(&self) -> usize {
+        self.machines
+            .iter()
+            .flat_map(|m| m.slots())
+            .filter_map(|s| s.server())
+            .map(|s| s.total_rows())
+            .sum()
+    }
+
+    /// Run a query through the Figure 1 topology: each machine's
+    /// aggregator merges its local leaves' partials, then a root
+    /// aggregator merges the per-machine results. Leaves that are down or
+    /// in memory recovery simply do not contribute ("Scuba can and does
+    /// return partial query results", §1).
+    pub fn query(&self, query: &Query) -> MergedResult {
+        let mut machine_partials: Vec<LeafQueryResult> = Vec::new();
+        let mut responded = 0usize;
+        for machine in &self.machines {
+            let mut leaf_partials = Vec::new();
+            for slot in machine.slots() {
+                if let Some(server) = slot.server() {
+                    if let Ok(r) = server.query(query) {
+                        leaf_partials.push(r);
+                    }
+                }
+            }
+            responded += leaf_partials.len();
+            // Machine-level aggregation: fold this machine's partials into
+            // one (states merge associatively, so two levels are exact).
+            let machine_merged = merge_leaf_partials(query, &leaf_partials);
+            machine_partials.push(machine_merged);
+        }
+        let mut result = merge_partials(&query.aggregates, self.machines.len(), &machine_partials);
+        // Report availability in leaf units, not machine units.
+        result.leaves_total = self.total_leaves();
+        result.leaves_responded = responded;
+        result
+    }
+
+    /// A tailer-facing view of every leaf, flattened in global id order.
+    /// Returns adapters implementing [`LeafClient`].
+    pub fn leaf_clients(&mut self) -> Vec<SlotClient<'_>> {
+        let now = 0; // deliveries stamp rows with their own times
+        let _ = now;
+        self.machines
+            .iter_mut()
+            .flat_map(|m| m.slots_mut().iter_mut())
+            .map(|slot| SlotClient { slot })
+            .collect()
+    }
+}
+
+/// Fold leaf partials into a single partial (machine-level aggregation).
+fn merge_leaf_partials(query: &Query, partials: &[LeafQueryResult]) -> LeafQueryResult {
+    let mut out = LeafQueryResult::empty();
+    for p in partials {
+        out.rows_matched += p.rows_matched;
+        out.rows_scanned += p.rows_scanned;
+        out.blocks_pruned += p.blocks_pruned;
+        out.blocks_scanned += p.blocks_scanned;
+        for (key, states) in &p.groups {
+            let merged = out
+                .groups
+                .entry(key.clone())
+                .or_insert_with(|| query.aggregates.iter().map(|a| a.new_state()).collect());
+            for (m, s) in merged.iter_mut().zip(states) {
+                m.merge(s);
+            }
+        }
+    }
+    out
+}
+
+/// [`LeafClient`] adapter over a leaf slot.
+#[derive(Debug)]
+pub struct SlotClient<'a> {
+    slot: &'a mut crate::machine::LeafSlot,
+}
+
+impl LeafClient for SlotClient<'_> {
+    fn placement_state(&self) -> PlacementState {
+        match self.slot.phase() {
+            LeafPhase::Alive => PlacementState::Alive,
+            LeafPhase::DiskRecovery => PlacementState::Restarting,
+            _ => PlacementState::Down,
+        }
+    }
+
+    fn free_memory(&self) -> usize {
+        self.slot.server().map_or(0, |s| s.free_memory())
+    }
+
+    fn deliver(&mut self, table: &str, rows: &[Row]) -> Result<(), String> {
+        let Some(server) = self.slot.server_mut() else {
+            return Err("leaf process is down".to_owned());
+        };
+        // Rows carry their own event times; stamp blocks with the batch's
+        // max time, which is what a wall clock would read.
+        let now = rows.iter().map(Row::time).max().unwrap_or(0);
+        server
+            .add_rows(table, rows, now)
+            .map_err(|e: LeafError| e.to_string())
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use scuba_columnstore::Value;
+    use scuba_query::AggSpec;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    static COUNTER: AtomicU32 = AtomicU32::new(0);
+
+    pub(crate) fn test_cluster(machines: usize, leaves: usize) -> (Cluster, PathBuf) {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let prefix = format!("clus{}x{n}", std::process::id());
+        let dir = std::env::temp_dir().join(format!("scuba_{prefix}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let c = Cluster::new(ClusterConfig {
+            machines,
+            leaves_per_machine: leaves,
+            shm_prefix: prefix,
+            disk_root: dir.clone(),
+            leaf_memory_capacity: 1 << 30,
+            retention: RetentionLimits::NONE,
+        })
+        .unwrap();
+        (c, dir)
+    }
+
+    pub(crate) fn cleanup(c: &Cluster, dir: &PathBuf) {
+        for m in c.machines() {
+            for s in m.slots() {
+                if let Some(srv) = s.server() {
+                    srv.namespace().unlink_all(8);
+                }
+            }
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    fn spread_rows(c: &mut Cluster, n: i64) {
+        // Deterministic round-robin placement for test predictability.
+        let total = c.total_leaves();
+        for i in 0..n {
+            let leaf = (i as usize) % total;
+            let m = leaf / c.config().leaves_per_machine;
+            let l = leaf % c.config().leaves_per_machine;
+            c.machines_mut()[m].slots_mut()[l]
+                .server_mut()
+                .unwrap()
+                .add_rows("t", &[Row::at(i).with("v", i)], i)
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn aggregator_merges_across_machines() {
+        let (mut c, dir) = test_cluster(2, 2);
+        spread_rows(&mut c, 100);
+        assert_eq!(c.total_rows(), 100);
+        let q = Query::new("t", 0, 1000).aggregates(vec![AggSpec::Count, AggSpec::Sum("v".into())]);
+        let r = c.query(&q);
+        assert!(r.is_complete());
+        assert_eq!(r.leaves_total, 4);
+        let totals = r.totals().unwrap();
+        assert_eq!(totals[0], Value::Int(100));
+        assert_eq!(totals[1], Value::Double((0..100).sum::<i64>() as f64));
+        cleanup(&c, &dir);
+    }
+
+    #[test]
+    fn partial_results_during_restart() {
+        let (mut c, dir) = test_cluster(2, 2);
+        spread_rows(&mut c, 100);
+        // Take one leaf down (clean shutdown: data parked in shm).
+        c.machines_mut()[0].slots_mut()[0].shutdown(0).unwrap();
+        let r = c.query(&Query::new("t", 0, 1000));
+        assert!(!r.is_complete());
+        assert_eq!(r.leaves_responded, 3);
+        assert!((r.availability() - 0.75).abs() < 1e-9);
+        // 25 of 100 rows lived on that leaf.
+        assert_eq!(r.totals().unwrap()[0], Value::Int(75));
+        assert!((c.availability() - 0.75).abs() < 1e-9);
+
+        // Bring it back: full results again.
+        c.machines_mut()[0].slots_mut()[0].start(0).unwrap();
+        let r = c.query(&Query::new("t", 0, 1000));
+        assert!(r.is_complete());
+        assert_eq!(r.totals().unwrap()[0], Value::Int(100));
+        cleanup(&c, &dir);
+    }
+
+    #[test]
+    fn leaf_clients_reflect_phases() {
+        let (mut c, dir) = test_cluster(1, 3);
+        c.machines_mut()[0].slots_mut()[1].kill();
+        let clients = c.leaf_clients();
+        assert_eq!(clients.len(), 3);
+        assert_eq!(clients[0].placement_state(), PlacementState::Alive);
+        assert_eq!(clients[1].placement_state(), PlacementState::Down);
+        assert!(clients[0].free_memory() > 0);
+        assert_eq!(clients[1].free_memory(), 0);
+        cleanup(&c, &dir);
+    }
+
+    #[test]
+    fn delivery_through_client_lands_in_leaf() {
+        let (mut c, dir) = test_cluster(1, 2);
+        {
+            let mut clients = c.leaf_clients();
+            clients[1]
+                .deliver("t", &[Row::at(5).with("v", 1i64)])
+                .unwrap();
+            assert!(clients[0].deliver("t", &[]).is_ok());
+        }
+        assert_eq!(c.total_rows(), 1);
+        assert_eq!(c.machines()[0].slots()[1].server().unwrap().total_rows(), 1);
+        cleanup(&c, &dir);
+    }
+}

@@ -1,0 +1,170 @@
+//! The rollover dashboard of Figure 8.
+//!
+//! "Dashboard shows progress of the restart. At time 1, about 2% of the
+//! leaf servers have started a rollover. 98% of the data is available to
+//! queries. At time 2, those leaf servers are now alive and another 2%
+//! are restarting. By time 3, about half of the servers are running the
+//! new version ... At time 4, the restart is nearly complete."
+//!
+//! [`Dashboard`] collects old/rolling/new counts over time (from the real
+//! rollover or the simulator) and renders them as the stacked ASCII bars
+//! an engineer would watch.
+
+use std::fmt;
+use std::time::Duration;
+
+/// One sample of rollover progress.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DashboardRow {
+    /// Time since the rollover started.
+    pub elapsed: Duration,
+    /// Leaves still on the old version.
+    pub old_version: usize,
+    /// Leaves currently restarting.
+    pub rolling: usize,
+    /// Leaves already on the new version.
+    pub new_version: usize,
+    /// Query availability at this instant (fraction of leaves answering).
+    pub availability: f64,
+}
+
+/// A time series of rollover progress.
+#[derive(Debug, Clone, Default)]
+pub struct Dashboard {
+    total: usize,
+    rows: Vec<DashboardRow>,
+}
+
+impl Dashboard {
+    /// An empty dashboard over `total` leaves.
+    pub fn new(total: usize) -> Dashboard {
+        Dashboard {
+            total,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Total leaves being rolled.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Append a sample.
+    pub fn push(&mut self, row: DashboardRow) {
+        debug_assert_eq!(
+            row.old_version + row.rolling + row.new_version,
+            self.total,
+            "dashboard row must partition the fleet"
+        );
+        self.rows.push(row);
+    }
+
+    /// The samples, oldest first.
+    pub fn rows(&self) -> &[DashboardRow] {
+        &self.rows
+    }
+
+    /// Render an ASCII dashboard: one bar per sample (down-sampled to at
+    /// most `max_rows` lines), `#` = new version, `~` = rolling, `.` =
+    /// old version.
+    pub fn render(&self, max_rows: usize) -> String {
+        let mut out = String::new();
+        out.push_str("  elapsed    old / rolling / new    availability\n");
+        if self.rows.is_empty() || self.total == 0 {
+            out.push_str("  (no samples)\n");
+            return out;
+        }
+        let stride = self.rows.len().div_ceil(max_rows.max(1));
+        const WIDTH: usize = 40;
+        for (i, row) in self.rows.iter().enumerate() {
+            if i % stride != 0 && i != self.rows.len() - 1 {
+                continue;
+            }
+            let new_w = row.new_version * WIDTH / self.total;
+            let roll_w = row.rolling * WIDTH / self.total;
+            let old_w = WIDTH - new_w - roll_w;
+            out.push_str(&format!(
+                "  {:>8.1}s  [{}{}{}]  {:>4} / {:>4} / {:>4}  {:>6.1}%\n",
+                row.elapsed.as_secs_f64(),
+                "#".repeat(new_w),
+                "~".repeat(roll_w),
+                ".".repeat(old_w),
+                row.old_version,
+                row.rolling,
+                row.new_version,
+                row.availability * 100.0
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Dashboard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render(20))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(elapsed: u64, old: usize, rolling: usize, new: usize, avail: f64) -> DashboardRow {
+        DashboardRow {
+            elapsed: Duration::from_secs(elapsed),
+            old_version: old,
+            rolling,
+            new_version: new,
+            availability: avail,
+        }
+    }
+
+    #[test]
+    fn collects_rows() {
+        let mut d = Dashboard::new(100);
+        d.push(row(0, 98, 2, 0, 0.98));
+        d.push(row(60, 96, 2, 2, 0.98));
+        assert_eq!(d.rows().len(), 2);
+        assert_eq!(d.total(), 100);
+    }
+
+    #[test]
+    fn render_shows_progress_glyphs() {
+        let mut d = Dashboard::new(10);
+        d.push(row(0, 10, 0, 0, 1.0));
+        d.push(row(30, 4, 1, 5, 0.9));
+        d.push(row(60, 0, 0, 10, 1.0));
+        let s = d.render(10);
+        assert!(s.contains("availability"));
+        // Final row is fully '#'.
+        let last = s.lines().last().unwrap();
+        assert!(last.contains(&"#".repeat(40)), "{last}");
+        assert!(s.contains("~"), "{s}");
+        assert!(s.contains("90.0%"));
+    }
+
+    #[test]
+    fn render_downsamples_long_series() {
+        let mut d = Dashboard::new(4);
+        for i in 0..100 {
+            d.push(row(i, 4, 0, 0, 1.0));
+        }
+        let s = d.render(10);
+        let bars = s.lines().count() - 1; // minus header
+        assert!(bars <= 12, "{bars} lines");
+    }
+
+    #[test]
+    fn empty_dashboard_renders() {
+        let d = Dashboard::new(0);
+        assert!(d.render(5).contains("no samples"));
+        assert!(d.to_string().contains("no samples"));
+    }
+
+    #[test]
+    #[should_panic(expected = "partition")]
+    fn bad_partition_panics_in_debug() {
+        let mut d = Dashboard::new(10);
+        d.push(row(0, 5, 0, 0, 1.0));
+    }
+}

@@ -1,0 +1,36 @@
+//! Cluster layer for the Scuba fast-restart reproduction: machines running
+//! leaf servers, the aggregator query path, the 2%-at-a-time rollover
+//! orchestrator, the Figure-8 dashboard, and a calibrated discrete-event
+//! simulator for paper-scale numbers.
+//!
+//! Two levels of fidelity, used by different experiments:
+//!
+//! * **Real mini-cluster** ([`machine`], [`cluster`], [`mod@rollover`]) — a
+//!   handful of machines × leaves with *real* leaf servers: real shared
+//!   memory, real disk backups, real queries running through the restart.
+//!   Everything in the paper's §4 actually executes.
+//! * **Paper-scale simulator** ([`sim`]) — hundreds of servers with 120 GB
+//!   machines don't fit a laptop, so rollover duration and availability at
+//!   that scale are computed by a pipelined discrete-event model whose
+//!   per-byte rates are the paper's (disk ~MB/s shared per machine,
+//!   translation the dominant cost, memory at GB/s). See the substitution
+//!   table in DESIGN.md and the calibration notes in EXPERIMENTS.md.
+
+pub mod cluster;
+pub mod dashboard;
+pub mod host;
+pub mod hosted;
+pub mod machine;
+pub mod rollover;
+pub mod sim;
+
+pub use cluster::{Cluster, ClusterConfig};
+pub use dashboard::{Dashboard, DashboardRow};
+pub use host::{HostStatus, LeafHost};
+pub use hosted::{HostedCluster, HostedRolloverReport};
+pub use machine::{LeafSlot, Machine};
+pub use rollover::{rollover, RolloverConfig, RolloverEvent, RolloverReport};
+pub use sim::{
+    leaf_restart_secs, simulate_rollover, simulate_rollover_paths, simulate_single_machine,
+    RecoveryPath, SimConfig, SimResult, SimSnapshot,
+};

@@ -1,0 +1,230 @@
+//! A machine hosting several leaf servers.
+//!
+//! "Each machine currently runs eight leaf servers and one aggregator
+//! server. ... eight servers mean that we can restart the servers one at
+//! a time, while the other seven servers continue to execute queries."
+//! (§2)
+
+#[cfg(test)]
+use std::path::PathBuf;
+
+use scuba_columnstore::table::RetentionLimits;
+use scuba_leaf::{LeafConfig, LeafPhase, LeafServer, RecoveryOutcome};
+
+/// One leaf slot on a machine: the server when its process is up, plus the
+/// config needed to start a replacement process.
+#[derive(Debug)]
+pub struct LeafSlot {
+    config: LeafConfig,
+    server: Option<LeafServer>,
+}
+
+impl LeafSlot {
+    /// The slot's leaf configuration.
+    pub fn config(&self) -> &LeafConfig {
+        &self.config
+    }
+
+    /// The running server, if up.
+    pub fn server(&self) -> Option<&LeafServer> {
+        self.server.as_ref()
+    }
+
+    /// Mutable access to the running server.
+    pub fn server_mut(&mut self) -> Option<&mut LeafServer> {
+        self.server.as_mut()
+    }
+
+    /// Current phase (Down when no process).
+    pub fn phase(&self) -> LeafPhase {
+        self.server
+            .as_ref()
+            .map(LeafServer::phase)
+            .unwrap_or(LeafPhase::Down)
+    }
+
+    /// Shut the leaf down through shared memory and drop the process.
+    /// Returns the shutdown summary.
+    pub fn shutdown(&mut self, now: i64) -> scuba_leaf::LeafResult<scuba_leaf::ShutdownSummary> {
+        let mut server = self
+            .server
+            .take()
+            .ok_or(scuba_leaf::LeafError::Unavailable {
+                operation: "shut down",
+                phase: "DOWN",
+            })?;
+        let summary = server.shutdown_to_shm(now);
+        // On failure, the old process keeps running (the rollover script
+        // would kill it; our caller decides).
+        match summary {
+            Ok(s) => Ok(s), // process exits: server dropped
+            Err(e) => {
+                self.server = Some(server);
+                Err(e)
+            }
+        }
+    }
+
+    /// Kill the leaf without a clean shutdown (crash, or the rollover
+    /// script's 3-minute timeout kill).
+    pub fn kill(&mut self) {
+        if let Some(mut s) = self.server.take() {
+            s.crash();
+        }
+    }
+
+    /// Start a replacement process, recovering from shared memory or disk.
+    pub fn start(&mut self, now: i64) -> scuba_leaf::LeafResult<RecoveryOutcome> {
+        let (server, outcome) = LeafServer::start(self.config.clone(), now, None)?;
+        self.server = Some(server);
+        Ok(outcome)
+    }
+}
+
+/// A machine: a set of leaf slots (the aggregator is a pure function in
+/// [`crate::cluster`], matching its stateless role).
+#[derive(Debug)]
+pub struct Machine {
+    id: usize,
+    slots: Vec<LeafSlot>,
+}
+
+impl Machine {
+    /// Create a machine with `leaves` slots, each with its own disk root
+    /// and shared-memory namespace derived from `cluster_prefix` and the
+    /// global leaf numbering.
+    pub fn new(
+        id: usize,
+        leaves: usize,
+        cluster_prefix: &str,
+        disk_root: &std::path::Path,
+        memory_capacity: usize,
+        retention: RetentionLimits,
+    ) -> scuba_leaf::LeafResult<Machine> {
+        let mut slots = Vec::with_capacity(leaves);
+        for l in 0..leaves {
+            let global_id = (id * leaves + l) as u32;
+            let mut config = LeafConfig::new(
+                global_id,
+                cluster_prefix,
+                disk_root.join(format!("m{id}_l{l}")),
+            );
+            config.memory_capacity = memory_capacity;
+            config.retention = retention;
+            let server = LeafServer::new(config.clone())?;
+            slots.push(LeafSlot {
+                config,
+                server: Some(server),
+            });
+        }
+        Ok(Machine { id, slots })
+    }
+
+    /// Machine index.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The leaf slots.
+    pub fn slots(&self) -> &[LeafSlot] {
+        &self.slots
+    }
+
+    /// Mutable leaf slots.
+    pub fn slots_mut(&mut self) -> &mut [LeafSlot] {
+        &mut self.slots
+    }
+
+    /// Number of leaves currently restarting (not Alive). The rollover
+    /// policy keeps this ≤ 1 per machine so restarts get the machine's
+    /// full disk/memory bandwidth (§2, §6).
+    pub fn restarting_count(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.phase() != LeafPhase::Alive)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scuba_columnstore::Row;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    static COUNTER: AtomicU32 = AtomicU32::new(0);
+
+    fn test_machine(leaves: usize) -> (Machine, PathBuf, String) {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let prefix = format!("mach{}x{}", std::process::id(), n);
+        let dir = std::env::temp_dir().join(format!("scuba_{prefix}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let m = Machine::new(0, leaves, &prefix, &dir, 1 << 30, RetentionLimits::NONE).unwrap();
+        (m, dir, prefix)
+    }
+
+    fn cleanup(m: &Machine, dir: &PathBuf) {
+        for s in m.slots() {
+            if let Some(srv) = s.server() {
+                srv.namespace().unlink_all(8);
+            }
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn machine_hosts_independent_leaves() {
+        let (mut m, dir, _) = test_machine(3);
+        m.slots_mut()[0]
+            .server_mut()
+            .unwrap()
+            .add_rows("t", &[Row::at(1)], 0)
+            .unwrap();
+        assert_eq!(m.slots()[0].server().unwrap().total_rows(), 1);
+        assert_eq!(m.slots()[1].server().unwrap().total_rows(), 0);
+        assert_eq!(m.restarting_count(), 0);
+        cleanup(&m, &dir);
+    }
+
+    #[test]
+    fn slot_restart_cycle() {
+        let (mut m, dir, _) = test_machine(2);
+        let slot = &mut m.slots_mut()[0];
+        slot.server_mut()
+            .unwrap()
+            .add_rows("t", &(0..100).map(Row::at).collect::<Vec<_>>(), 0)
+            .unwrap();
+        slot.shutdown(0).unwrap();
+        assert_eq!(slot.phase(), LeafPhase::Down);
+        assert_eq!(m.restarting_count(), 1);
+        let outcome = m.slots_mut()[0].start(0).unwrap();
+        assert!(outcome.is_memory());
+        assert_eq!(m.slots()[0].server().unwrap().total_rows(), 100);
+        assert_eq!(m.restarting_count(), 0);
+        cleanup(&m, &dir);
+    }
+
+    #[test]
+    fn kill_forces_disk_recovery() {
+        let (mut m, dir, _) = test_machine(1);
+        let slot = &mut m.slots_mut()[0];
+        slot.server_mut()
+            .unwrap()
+            .add_rows("t", &(0..10).map(Row::at).collect::<Vec<_>>(), 0)
+            .unwrap();
+        slot.server_mut().unwrap().sync_disk().unwrap();
+        slot.kill();
+        let outcome = slot.start(0).unwrap();
+        assert!(!outcome.is_memory());
+        assert_eq!(slot.server().unwrap().total_rows(), 10);
+        cleanup(&m, &dir);
+    }
+
+    #[test]
+    fn shutdown_of_down_slot_errors() {
+        let (mut m, dir, _) = test_machine(1);
+        m.slots_mut()[0].kill();
+        assert!(m.slots_mut()[0].shutdown(0).is_err());
+        cleanup(&m, &dir);
+    }
+}

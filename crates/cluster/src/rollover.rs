@@ -1,0 +1,294 @@
+//! The system-wide rollover (§4.5): restart a small fraction of leaves at
+//! a time — at most one per machine — while the rest keep serving.
+//!
+//! "Typically, we restart 2% of the leaf servers at a time ... The script
+//! that issues the shutdown command to each leaf then waits in a loop for
+//! the leaf server process to die. Usually, the leaf copies its data to
+//! shared memory and exits in 3-4 seconds. However, the loop ensures that
+//! we kill the leaf server if it has not shut down after 3 minutes. If
+//! the old leaf server is killed, the new leaf server will restart from
+//! disk." (§4.3, §4.5)
+
+use std::time::{Duration, Instant};
+
+use scuba_leaf::RecoveryOutcome;
+
+use crate::cluster::Cluster;
+use crate::dashboard::{Dashboard, DashboardRow};
+
+/// Rollover policy knobs.
+#[derive(Debug, Clone)]
+pub struct RolloverConfig {
+    /// Fraction of leaves restarted concurrently (the paper's 2%). At
+    /// least one leaf per wave.
+    pub fraction: f64,
+    /// Use the shared-memory path (`false` forces disk recovery, for the
+    /// comparison experiments).
+    pub use_shm: bool,
+    /// Kill a leaf whose clean shutdown exceeds this (the 3-minute loop).
+    pub kill_timeout: Duration,
+    /// Timestamp stamped on recovered blocks.
+    pub now: i64,
+}
+
+impl Default for RolloverConfig {
+    fn default() -> Self {
+        RolloverConfig {
+            fraction: 0.02,
+            use_shm: true,
+            kill_timeout: Duration::from_secs(180),
+            now: 0,
+        }
+    }
+}
+
+/// What happened to one leaf during the rollover.
+#[derive(Debug)]
+pub struct RolloverEvent {
+    /// Wave index.
+    pub wave: usize,
+    /// Machine index.
+    pub machine: usize,
+    /// Leaf index on the machine.
+    pub leaf: usize,
+    /// Whether the old process was killed (timeout / failed shutdown).
+    pub killed: bool,
+    /// How the replacement recovered.
+    pub outcome: RecoveryOutcome,
+    /// Wall-clock shutdown + restart duration for this leaf.
+    pub duration: Duration,
+}
+
+/// Full rollover outcome.
+#[derive(Debug)]
+pub struct RolloverReport {
+    /// Per-leaf events in execution order.
+    pub events: Vec<RolloverEvent>,
+    /// Number of waves executed.
+    pub waves: usize,
+    /// Total wall-clock duration.
+    pub total_duration: Duration,
+    /// Lowest query availability observed during the rollover.
+    pub min_availability: f64,
+    /// Figure-8 style dashboard rows, one per wave boundary.
+    pub dashboard: Dashboard,
+}
+
+impl RolloverReport {
+    /// Leaves that recovered via shared memory.
+    pub fn memory_recoveries(&self) -> usize {
+        self.events.iter().filter(|e| e.outcome.is_memory()).count()
+    }
+}
+
+/// Roll the whole cluster to the "new version": wave by wave, restart
+/// `fraction` of leaves (at most one per machine per wave), waiting for
+/// each wave to be back up before starting the next.
+pub fn rollover(cluster: &mut Cluster, config: &RolloverConfig) -> RolloverReport {
+    let total = cluster.total_leaves();
+    let per_wave = ((total as f64 * config.fraction).ceil() as usize).max(1);
+    let leaves_per_machine = cluster.config().leaves_per_machine;
+
+    // Global leaf ids, ordered so consecutive ids land on different
+    // machines: wave k restarts leaf k%L of machines spread round-robin.
+    let mut order: Vec<(usize, usize)> = Vec::with_capacity(total);
+    for l in 0..leaves_per_machine {
+        for m in 0..cluster.machines().len() {
+            order.push((m, l));
+        }
+    }
+
+    let started = Instant::now();
+    let mut events = Vec::with_capacity(total);
+    let mut dashboard = Dashboard::new(total);
+    let mut min_availability = 1.0f64;
+    let mut restarted = 0usize;
+    let mut wave = 0usize;
+
+    for chunk in order.chunks(per_wave) {
+        // Phase 1: shut the wave down (all leaves in a wave are on
+        // different machines by construction when per_wave ≤ machines).
+        let mut wave_started: Vec<(usize, usize, bool, Instant)> = Vec::new();
+        for &(m, l) in chunk {
+            let leaf_start = Instant::now();
+            let slot = &mut cluster.machines_mut()[m].slots_mut()[l];
+            let killed = if config.use_shm {
+                match slot.shutdown(config.now) {
+                    Ok(_summary) => {
+                        // The wait-for-death loop: our in-process shutdown
+                        // is synchronous, so "exceeded the timeout" can
+                        // only be observed after the fact.
+                        leaf_start.elapsed() > config.kill_timeout
+                    }
+                    Err(_) => {
+                        slot.kill();
+                        true
+                    }
+                }
+            } else {
+                // Disk-comparison mode: no shared-memory copy at all.
+                slot.kill();
+                false
+            };
+            if killed {
+                // Invalidate any shared memory: recovery must go to disk.
+                slot.kill();
+            }
+            wave_started.push((m, l, killed, leaf_start));
+        }
+
+        // Availability dips while the wave is down.
+        min_availability = min_availability.min(cluster.availability());
+        dashboard.push(DashboardRow {
+            elapsed: started.elapsed(),
+            old_version: total - restarted - chunk.len(),
+            rolling: chunk.len(),
+            new_version: restarted,
+            availability: cluster.availability(),
+        });
+
+        // Phase 2: start replacements and wait for recovery.
+        for (m, l, killed, leaf_start) in wave_started {
+            let slot = &mut cluster.machines_mut()[m].slots_mut()[l];
+            let outcome = slot
+                .start(config.now)
+                .expect("replacement process must boot");
+            events.push(RolloverEvent {
+                wave,
+                machine: m,
+                leaf: l,
+                killed,
+                outcome,
+                duration: leaf_start.elapsed(),
+            });
+        }
+        restarted += chunk.len();
+        wave += 1;
+    }
+
+    dashboard.push(DashboardRow {
+        elapsed: started.elapsed(),
+        old_version: 0,
+        rolling: 0,
+        new_version: total,
+        availability: cluster.availability(),
+    });
+
+    RolloverReport {
+        events,
+        waves: wave,
+        total_duration: started.elapsed(),
+        min_availability,
+        dashboard,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::tests::{cleanup, test_cluster};
+    use scuba_columnstore::Row;
+    use scuba_columnstore::Value;
+    use scuba_query::Query;
+
+    fn fill(cluster: &mut Cluster, rows_per_leaf: i64) {
+        let lpm = cluster.config().leaves_per_machine;
+        for m in 0..cluster.machines().len() {
+            for l in 0..lpm {
+                let batch: Vec<Row> = (0..rows_per_leaf)
+                    .map(|i| Row::at(i).with("v", i))
+                    .collect();
+                cluster.machines_mut()[m].slots_mut()[l]
+                    .server_mut()
+                    .unwrap()
+                    .add_rows("t", &batch, 0)
+                    .unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn shm_rollover_preserves_all_data() {
+        let (mut c, dir) = test_cluster(3, 2);
+        fill(&mut c, 50);
+        let before = c.total_rows();
+
+        let report = rollover(&mut c, &RolloverConfig::default());
+        assert_eq!(report.events.len(), 6);
+        assert_eq!(report.memory_recoveries(), 6);
+        assert_eq!(c.total_rows(), before);
+        assert!(c.query(&Query::new("t", 0, 100)).is_complete());
+        assert_eq!(
+            c.query(&Query::new("t", 0, 100)).totals().unwrap()[0],
+            Value::Int(300)
+        );
+        // One leaf at a time out of 6: availability never below 5/6.
+        assert!(report.min_availability >= 5.0 / 6.0 - 1e-9);
+        cleanup(&c, &dir);
+    }
+
+    #[test]
+    fn waves_respect_fraction() {
+        let (mut c, dir) = test_cluster(4, 2); // 8 leaves
+        fill(&mut c, 5);
+        let cfg = RolloverConfig {
+            fraction: 0.25, // 2 leaves per wave
+            ..Default::default()
+        };
+        let report = rollover(&mut c, &cfg);
+        assert_eq!(report.waves, 4);
+        // Waves restart one leaf per machine: check no wave had two leaves
+        // of the same machine.
+        for w in 0..report.waves {
+            let machines: Vec<usize> = report
+                .events
+                .iter()
+                .filter(|e| e.wave == w)
+                .map(|e| e.machine)
+                .collect();
+            let mut dedup = machines.clone();
+            dedup.dedup();
+            assert_eq!(machines.len(), dedup.len(), "wave {w}: {machines:?}");
+        }
+        cleanup(&c, &dir);
+    }
+
+    #[test]
+    fn disk_mode_recovers_from_disk() {
+        let (mut c, dir) = test_cluster(2, 2);
+        fill(&mut c, 20);
+        // Make data durable, as a real cluster continuously does.
+        for m in c.machines_mut() {
+            for s in m.slots_mut() {
+                s.server_mut().unwrap().sync_disk().unwrap();
+            }
+        }
+        let cfg = RolloverConfig {
+            use_shm: false,
+            ..Default::default()
+        };
+        let report = rollover(&mut c, &cfg);
+        assert_eq!(report.memory_recoveries(), 0);
+        assert_eq!(c.total_rows(), 80);
+        cleanup(&c, &dir);
+    }
+
+    #[test]
+    fn dashboard_progression() {
+        let (mut c, dir) = test_cluster(2, 2);
+        fill(&mut c, 5);
+        let report = rollover(&mut c, &RolloverConfig::default());
+        let rows = report.dashboard.rows();
+        assert!(rows.len() >= 2);
+        assert_eq!(rows[0].new_version, 0);
+        let last = rows.last().unwrap();
+        assert_eq!(last.new_version, 4);
+        assert_eq!(last.rolling, 0);
+        assert_eq!(last.availability, 1.0);
+        // Monotonic progress.
+        assert!(rows
+            .windows(2)
+            .all(|w| w[0].new_version <= w[1].new_version));
+        cleanup(&c, &dir);
+    }
+}

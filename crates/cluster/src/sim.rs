@@ -1,0 +1,544 @@
+//! Paper-scale rollover simulator.
+//!
+//! A laptop cannot hold hundreds of machines with 120 GB of RAM each, so
+//! the cluster-scale numbers (rollover duration, availability — §1, §4.5,
+//! §6, Figure 8) are reproduced with a pipelined discrete-event model.
+//! The model is deliberately simple because the mechanism's costs are
+//! linear in bytes moved per device:
+//!
+//! * **disk recovery** per leaf = data / (machine disk bandwidth ÷
+//!   concurrent restarts on that machine) + data / (machine translate
+//!   throughput ÷ concurrent restarts) + fixed overhead. Translation is
+//!   machine-shared and slow — it is the "2.5-3 hours to read and format"
+//!   cost of §1.
+//! * **shared-memory recovery** per leaf = data copied out + copied back
+//!   at the machine's memory bandwidth (÷ concurrency) + fixed overhead
+//!   (process start, "the time to detect that a leaf is done with
+//!   recovery and then initiate rollover for the next one", §4.5).
+//!
+//! The orchestrator model matches §4.5: a bounded pool of concurrent
+//! restarts (2% of leaves), at most one per machine (§2's bandwidth
+//! argument), refilled as leaves finish.
+//!
+//! Calibration notes and the paper-vs-simulated table live in
+//! EXPERIMENTS.md; the defaults below reproduce the paper's headline
+//! numbers to within their own bands.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Which recovery path the rollover uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryPath {
+    /// Copy through shared memory (clean shutdown).
+    SharedMemory,
+    /// Read + translate the disk backup.
+    Disk,
+}
+
+/// Cluster and device parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of machines ("hundreds", §1; default 100).
+    pub machines: usize,
+    /// Leaf servers per machine (§2: 8).
+    pub leaves_per_machine: usize,
+    /// Bytes of in-memory data per leaf (§4.4: 10–15 GB; default 15 GB).
+    pub data_per_leaf_bytes: u64,
+    /// Disk read bandwidth per machine, shared by its restarting leaves.
+    pub disk_bw_machine: u64,
+    /// Disk-format → heap-format translation throughput per machine,
+    /// shared (the dominant disk-recovery cost).
+    pub translate_bw_machine: u64,
+    /// Memory copy bandwidth per machine, shared ("the critical resource
+    /// is the memory bandwidth", §2).
+    pub mem_bw_machine: u64,
+    /// Fraction of leaves restarting concurrently (§4.5: 2%).
+    pub restart_fraction: f64,
+    /// Fixed per-leaf overhead on the shared-memory path (process start,
+    /// completion detection, initiating the next leaf).
+    pub shm_overhead_secs: f64,
+    /// Fixed per-leaf overhead on the disk path.
+    pub disk_overhead_secs: f64,
+    /// One-time deployment tooling overhead (§6: "The deployment software
+    /// is responsible for about 40 minutes of overhead.").
+    pub deploy_overhead_secs: f64,
+    /// Heterogeneity of per-leaf data (0.0 = uniform; 0.3 = sizes vary
+    /// ±30% around the mean, deterministic per leaf). Real leaves differ
+    /// because the two-random-choice placement only balances approximately.
+    pub data_jitter: f64,
+}
+
+impl SimConfig {
+    /// Defaults calibrated to the paper's production numbers (see
+    /// EXPERIMENTS.md for the derivation).
+    pub fn paper_defaults() -> SimConfig {
+        SimConfig {
+            machines: 100,
+            leaves_per_machine: 8,
+            data_per_leaf_bytes: 15 << 30,
+            disk_bw_machine: 150 << 20,
+            translate_bw_machine: 20 << 20,
+            mem_bw_machine: 4 << 30,
+            restart_fraction: 0.02,
+            shm_overhead_secs: 20.0,
+            disk_overhead_secs: 30.0,
+            deploy_overhead_secs: 40.0 * 60.0,
+            data_jitter: 0.0,
+        }
+    }
+
+    /// Total leaves in the cluster.
+    pub fn total_leaves(&self) -> usize {
+        self.machines * self.leaves_per_machine
+    }
+}
+
+/// Deterministic per-leaf data size under `data_jitter`: a hash of the
+/// leaf's global id maps to a factor in `1 ± jitter`.
+pub fn leaf_data_bytes(cfg: &SimConfig, global_leaf_id: usize) -> f64 {
+    let base = cfg.data_per_leaf_bytes as f64;
+    if cfg.data_jitter <= 0.0 {
+        return base;
+    }
+    // SplitMix64-style scramble for a uniform-ish u in [0, 1).
+    let mut z = (global_leaf_id as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+    base * (1.0 + cfg.data_jitter * (2.0 * u - 1.0))
+}
+
+/// One restart of one leaf: duration given `concurrent` leaves restarting
+/// on the same machine at the same time (mean-sized leaf; use
+/// [`leaf_restart_secs_for`] for a specific leaf under jitter).
+pub fn leaf_restart_secs(cfg: &SimConfig, path: RecoveryPath, concurrent: usize) -> f64 {
+    leaf_restart_secs_bytes(cfg, path, concurrent, cfg.data_per_leaf_bytes as f64)
+}
+
+/// Like [`leaf_restart_secs`] but for a specific leaf's (possibly
+/// jittered) data size.
+pub fn leaf_restart_secs_for(
+    cfg: &SimConfig,
+    path: RecoveryPath,
+    concurrent: usize,
+    global_leaf_id: usize,
+) -> f64 {
+    leaf_restart_secs_bytes(cfg, path, concurrent, leaf_data_bytes(cfg, global_leaf_id))
+}
+
+fn leaf_restart_secs_bytes(
+    cfg: &SimConfig,
+    path: RecoveryPath,
+    concurrent: usize,
+    data: f64,
+) -> f64 {
+    let concurrent = concurrent.max(1) as f64;
+    match path {
+        RecoveryPath::SharedMemory => {
+            let bw = cfg.mem_bw_machine as f64 / concurrent;
+            // Copy heap→shm at shutdown, shm→heap at startup.
+            data / bw * 2.0 + cfg.shm_overhead_secs
+        }
+        RecoveryPath::Disk => {
+            let read_bw = cfg.disk_bw_machine as f64 / concurrent;
+            let translate_bw = cfg.translate_bw_machine as f64 / concurrent;
+            data / read_bw + data / translate_bw + cfg.disk_overhead_secs
+        }
+    }
+}
+
+/// A point on the simulated Figure-8 dashboard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimSnapshot {
+    /// Simulated seconds since the rollover started.
+    pub t_secs: f64,
+    /// Leaves still on the old version.
+    pub old: usize,
+    /// Leaves restarting.
+    pub rolling: usize,
+    /// Leaves on the new version.
+    pub new: usize,
+    /// Query availability (1 - rolling/total).
+    pub availability: f64,
+}
+
+/// Simulation output.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Which path was simulated.
+    pub path: RecoveryPath,
+    /// Leaves restarted.
+    pub leaves: usize,
+    /// Restart time excluding deployment tooling overhead.
+    pub restart_secs: f64,
+    /// Total rollover time including deployment overhead.
+    pub total_secs: f64,
+    /// Mean per-leaf restart duration.
+    pub mean_leaf_secs: f64,
+    /// Lowest availability during the rollover.
+    pub min_availability: f64,
+    /// Time-weighted mean availability over the restart window (the
+    /// integral behind the "98% of data online" figure).
+    pub mean_availability: f64,
+    /// Fraction of a week with **all** data available, assuming one
+    /// rollover per week — the paper's 93% vs 99.5% metric (§1).
+    pub full_availability_weekly: f64,
+    /// Dashboard time series.
+    pub timeline: Vec<SimSnapshot>,
+}
+
+/// Simulate a full-cluster rollover: a pool of `fraction × leaves`
+/// concurrent restarts, at most one per machine, refilled as leaves
+/// finish (pipelined, like the real script's wait-and-initiate loop).
+pub fn simulate_rollover(cfg: &SimConfig, path: RecoveryPath) -> SimResult {
+    let total = cfg.total_leaves();
+    let pool = ((total as f64 * cfg.restart_fraction).ceil() as usize).clamp(1, total);
+
+    // Remaining leaves to restart per machine.
+    let mut remaining: Vec<usize> = vec![cfg.leaves_per_machine; cfg.machines];
+    // Machines with a restart in flight.
+    let mut busy: Vec<bool> = vec![false; cfg.machines];
+    // (finish_time, machine) min-heap. f64 isn't Ord; scale to integer µs.
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    let to_us = |t: f64| (t * 1e6) as u64;
+
+    let mut now = 0.0f64;
+    let mut done = 0usize;
+    let mut rolling = 0usize;
+    let mut sum_leaf = 0.0f64;
+    let mut timeline: Vec<SimSnapshot> = Vec::new();
+    let mut min_avail = 1.0f64;
+
+    let mut next_machine = 0usize;
+    let mut start_while_possible = |now: f64,
+                                    rolling: &mut usize,
+                                    heap: &mut BinaryHeap<Reverse<(u64, usize)>>,
+                                    busy: &mut [bool],
+                                    remaining: &mut [usize],
+                                    sum_leaf: &mut f64| {
+        // The ≤1-per-machine rule only binds while enough distinct
+        // machines still have work; past that, allow stacking (the
+        // pool is the cluster-wide 2% bound either way).
+        while *rolling < pool {
+            let mut started = false;
+            for off in 0..busy.len() {
+                let m = (next_machine + off) % busy.len();
+                if remaining[m] > 0 && !busy[m] {
+                    // Global leaf id: machine-major, leaf index from how
+                    // many of this machine's leaves already started.
+                    let leaf_idx = cfg.leaves_per_machine - remaining[m];
+                    let global_id = m * cfg.leaves_per_machine + leaf_idx;
+                    let dur = leaf_restart_secs_for(cfg, path, 1, global_id);
+                    *sum_leaf += dur;
+                    heap.push(Reverse((to_us(now + dur), m)));
+                    busy[m] = true;
+                    remaining[m] -= 1;
+                    *rolling += 1;
+                    next_machine = (m + 1) % busy.len();
+                    started = true;
+                    break;
+                }
+            }
+            if !started {
+                break;
+            }
+        }
+    };
+
+    start_while_possible(
+        now,
+        &mut rolling,
+        &mut heap,
+        &mut busy,
+        &mut remaining,
+        &mut sum_leaf,
+    );
+    timeline.push(SimSnapshot {
+        t_secs: 0.0,
+        old: total - rolling,
+        rolling,
+        new: 0,
+        availability: 1.0 - rolling as f64 / total as f64,
+    });
+    min_avail = min_avail.min(1.0 - rolling as f64 / total as f64);
+
+    let mut avail_integral = 0.0f64;
+    let mut last_t = 0.0f64;
+    while let Some(Reverse((t_us, machine))) = heap.pop() {
+        let t = t_us as f64 / 1e6;
+        avail_integral += (1.0 - rolling as f64 / total as f64) * (t - last_t);
+        last_t = t;
+        now = t;
+        busy[machine] = false;
+        rolling -= 1;
+        done += 1;
+        start_while_possible(
+            now,
+            &mut rolling,
+            &mut heap,
+            &mut busy,
+            &mut remaining,
+            &mut sum_leaf,
+        );
+        let avail = 1.0 - rolling as f64 / total as f64;
+        min_avail = min_avail.min(avail);
+        timeline.push(SimSnapshot {
+            t_secs: now,
+            old: total - done - rolling,
+            rolling,
+            new: done,
+            availability: avail,
+        });
+    }
+
+    let restart_secs = now;
+    let total_secs = restart_secs + cfg.deploy_overhead_secs;
+    const WEEK: f64 = 7.0 * 24.0 * 3600.0;
+    SimResult {
+        path,
+        leaves: total,
+        restart_secs,
+        total_secs,
+        mean_leaf_secs: sum_leaf / total as f64,
+        min_availability: min_avail,
+        mean_availability: if restart_secs > 0.0 {
+            avail_integral / restart_secs
+        } else {
+            1.0
+        },
+        full_availability_weekly: (WEEK - total_secs).max(0.0) / WEEK,
+        timeline,
+    }
+}
+
+/// Convenience for examples and benches: simulate both recovery paths at
+/// the paper's default scale. Returns `(shared_memory, disk)`.
+pub fn simulate_rollover_paths() -> (SimResult, SimResult) {
+    let cfg = SimConfig::paper_defaults();
+    (
+        simulate_rollover(&cfg, RecoveryPath::SharedMemory),
+        simulate_rollover(&cfg, RecoveryPath::Disk),
+    )
+}
+
+/// Simulate restarting `concurrent` leaves of a single machine at once
+/// (no orchestrator): returns the machine's total recovery seconds. With
+/// `concurrent = leaves_per_machine` and the disk path this is the §1
+/// "2.5-3 hours per machine"; with the shm path it is §6's "2-3 minutes".
+pub fn simulate_single_machine(cfg: &SimConfig, path: RecoveryPath, concurrent: usize) -> f64 {
+    let concurrent = concurrent.clamp(1, cfg.leaves_per_machine);
+    let waves = cfg.leaves_per_machine.div_ceil(concurrent);
+    let per_wave = leaf_restart_secs(cfg, path, concurrent);
+    // Overhead within a wave is per-leaf but sequentialized only across
+    // waves; the copy itself is the parallel part.
+    per_wave * waves as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HOUR: f64 = 3600.0;
+
+    #[test]
+    fn paper_headline_shm_vs_disk_cluster_rollover() {
+        // §1: "The entire cluster upgrade time is now under an hour,
+        // rather than lasting 12 hours."
+        let cfg = SimConfig::paper_defaults();
+        let shm = simulate_rollover(&cfg, RecoveryPath::SharedMemory);
+        let disk = simulate_rollover(&cfg, RecoveryPath::Disk);
+        assert!(
+            shm.total_secs < 1.3 * HOUR,
+            "shm rollover {:.2}h",
+            shm.total_secs / HOUR
+        );
+        assert!(
+            disk.total_secs > 9.0 * HOUR && disk.total_secs < 14.0 * HOUR,
+            "disk rollover {:.2}h",
+            disk.total_secs / HOUR
+        );
+        // Who wins and by what factor: order of magnitude apart.
+        assert!(disk.restart_secs / shm.restart_secs > 8.0);
+    }
+
+    #[test]
+    fn paper_headline_availability() {
+        // §1: 93% fully available (disk, weekly 12h rollover) vs 99.5%
+        // (shm, ~1h).
+        let cfg = SimConfig::paper_defaults();
+        let shm = simulate_rollover(&cfg, RecoveryPath::SharedMemory);
+        let disk = simulate_rollover(&cfg, RecoveryPath::Disk);
+        assert!(
+            (0.92..0.95).contains(&disk.full_availability_weekly),
+            "disk weekly {:.4}",
+            disk.full_availability_weekly
+        );
+        assert!(
+            shm.full_availability_weekly > 0.992,
+            "shm weekly {:.4}",
+            shm.full_availability_weekly
+        );
+        // §4.5 / Figure 8: 98% of data available during the rollover.
+        assert!((disk.min_availability - 0.98).abs() < 0.005);
+        assert!((shm.min_availability - 0.98).abs() < 0.005);
+    }
+
+    #[test]
+    fn paper_headline_single_machine() {
+        let cfg = SimConfig::paper_defaults();
+        // §6: "We can restart one Scuba machine in 2-3 minutes using
+        // shared memory versus 2-3 hours from disk."
+        let shm = simulate_single_machine(&cfg, RecoveryPath::SharedMemory, 1);
+        assert!(
+            (2.0 * 60.0..5.0 * 60.0).contains(&shm),
+            "machine shm restart {:.1} min",
+            shm / 60.0
+        );
+        let disk = simulate_single_machine(&cfg, RecoveryPath::Disk, cfg.leaves_per_machine);
+        assert!(
+            (1.5 * HOUR..3.2 * HOUR).contains(&disk),
+            "machine disk restart {:.2} h",
+            disk / HOUR
+        );
+    }
+
+    #[test]
+    fn shutdown_copy_matches_three_to_four_seconds() {
+        // §4.3: "the leaf copies its data to shared memory and exits in
+        // 3-4 seconds" — one direction of the copy at full bandwidth.
+        let cfg = SimConfig::paper_defaults();
+        let one_way = cfg.data_per_leaf_bytes as f64 / cfg.mem_bw_machine as f64;
+        assert!((3.0..5.0).contains(&one_way), "copy-out {one_way:.2}s");
+    }
+
+    #[test]
+    fn translation_dominates_disk_recovery() {
+        // §1/§6: reading takes 20-25 min per machine; translation brings
+        // it to 2.5-3 h.
+        let cfg = SimConfig::paper_defaults();
+        let machine_bytes = cfg.data_per_leaf_bytes * cfg.leaves_per_machine as u64;
+        let read = machine_bytes as f64 / cfg.disk_bw_machine as f64;
+        let translate = machine_bytes as f64 / cfg.translate_bw_machine as f64;
+        assert!(
+            (13.0 * 60.0..26.0 * 60.0).contains(&read),
+            "read {:.1} min",
+            read / 60.0
+        );
+        assert!(translate > 4.0 * read, "translate must dominate");
+    }
+
+    #[test]
+    fn pool_respects_fraction_and_machines() {
+        let cfg = SimConfig::paper_defaults();
+        let r = simulate_rollover(&cfg, RecoveryPath::SharedMemory);
+        // 2% of 800 = 16 concurrent.
+        let max_rolling = r.timeline.iter().map(|s| s.rolling).max().unwrap();
+        assert_eq!(max_rolling, 16);
+        assert_eq!(r.leaves, 800);
+        // Timeline partitions the fleet at every instant.
+        for s in &r.timeline {
+            assert_eq!(s.old + s.rolling + s.new, 800);
+        }
+        // Ends complete.
+        let last = r.timeline.last().unwrap();
+        assert_eq!(last.new, 800);
+        assert_eq!(last.rolling, 0);
+    }
+
+    #[test]
+    fn leaves_per_machine_scaling() {
+        // §6: running N leaf servers per machine gives ~N× the rollover
+        // throughput (N machines' worth of bandwidth active at 2%).
+        let mut durations = Vec::new();
+        for n in [1usize, 2, 4, 8] {
+            let cfg = SimConfig {
+                leaves_per_machine: n,
+                data_per_leaf_bytes: (120 << 30) / n as u64, // fixed 120 GB/machine
+                ..SimConfig::paper_defaults()
+            };
+            let r = simulate_rollover(&cfg, RecoveryPath::Disk);
+            durations.push(r.restart_secs);
+        }
+        // Monotone improvement, roughly N-fold from 1 to 8.
+        assert!(durations.windows(2).all(|w| w[1] < w[0]), "{durations:?}");
+        let ratio = durations[0] / durations[3];
+        assert!((4.0..16.0).contains(&ratio), "1→8 speedup {ratio:.1}x");
+    }
+
+    #[test]
+    fn restart_fraction_trades_speed_for_availability() {
+        let base = SimConfig::paper_defaults();
+        let two = simulate_rollover(&base, RecoveryPath::SharedMemory);
+        let ten = simulate_rollover(
+            &SimConfig {
+                restart_fraction: 0.10,
+                ..base
+            },
+            RecoveryPath::SharedMemory,
+        );
+        assert!(ten.restart_secs < two.restart_secs);
+        assert!(ten.min_availability < two.min_availability);
+        assert!((ten.min_availability - 0.90).abs() < 0.005);
+    }
+
+    #[test]
+    fn concurrency_splits_machine_bandwidth() {
+        let cfg = SimConfig::paper_defaults();
+        let alone = leaf_restart_secs(&cfg, RecoveryPath::Disk, 1);
+        let crowded = leaf_restart_secs(&cfg, RecoveryPath::Disk, 8);
+        // 8-way sharing: the copy terms scale 8x; overhead does not.
+        assert!(crowded > alone * 6.0 && crowded < alone * 8.0);
+    }
+
+    #[test]
+    fn mean_availability_integral_tracks_fraction() {
+        let cfg = SimConfig::paper_defaults();
+        let r = simulate_rollover(&cfg, RecoveryPath::SharedMemory);
+        // With the pool almost always full at 2%, the time-weighted mean
+        // sits just above the min.
+        assert!(r.mean_availability >= r.min_availability);
+        assert!(
+            (r.mean_availability - 0.98).abs() < 0.01,
+            "{}",
+            r.mean_availability
+        );
+    }
+
+    #[test]
+    fn data_jitter_spreads_leaf_sizes_but_preserves_totals() {
+        let uniform = SimConfig::paper_defaults();
+        let jittered = SimConfig {
+            data_jitter: 0.4,
+            ..SimConfig::paper_defaults()
+        };
+        // Sizes differ per leaf and are deterministic.
+        let a = leaf_data_bytes(&jittered, 3);
+        let b = leaf_data_bytes(&jittered, 4);
+        assert_ne!(a, b);
+        assert_eq!(a, leaf_data_bytes(&jittered, 3));
+        // All within the jitter band.
+        let base = uniform.data_per_leaf_bytes as f64;
+        for id in 0..800 {
+            let d = leaf_data_bytes(&jittered, id);
+            assert!(d >= base * 0.6 - 1.0 && d <= base * 1.4 + 1.0);
+        }
+        // Mean size stays near the base, so the rollover duration lands
+        // near the uniform case.
+        let ru = simulate_rollover(&uniform, RecoveryPath::Disk);
+        let rj = simulate_rollover(&jittered, RecoveryPath::Disk);
+        let ratio = rj.restart_secs / ru.restart_secs;
+        assert!((0.9..1.1).contains(&ratio), "ratio {ratio}");
+        // Zero jitter reproduces the uniform durations exactly.
+        assert_eq!(leaf_data_bytes(&uniform, 42), base);
+    }
+
+    #[test]
+    fn mean_leaf_duration_reported() {
+        let cfg = SimConfig::paper_defaults();
+        let r = simulate_rollover(&cfg, RecoveryPath::SharedMemory);
+        let expect = leaf_restart_secs(&cfg, RecoveryPath::SharedMemory, 1);
+        assert!((r.mean_leaf_secs - expect).abs() < 1e-6);
+    }
+}

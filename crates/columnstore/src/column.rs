@@ -1,0 +1,361 @@
+//! In-heap, decoded column data: the bridge between rows and encoded row
+//! block columns.
+//!
+//! A [`ColumnData`] holds one column's cells for every row of a row block.
+//! Rows may omit columns (§2.1), so each column carries a presence bitmap;
+//! the typed value vector stores only the present cells, densely.
+
+use crate::error::{Error, Result};
+use crate::types::{ColumnType, Value};
+
+/// Dense, typed storage for the present cells of a column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnValues {
+    /// 64-bit integers.
+    Int64(Vec<i64>),
+    /// 64-bit floats.
+    Double(Vec<f64>),
+    /// UTF-8 strings.
+    Str(Vec<String>),
+    /// String sets (normalized: sorted, deduplicated per row).
+    StrSet(Vec<Vec<String>>),
+}
+
+impl ColumnValues {
+    /// Number of present cells.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnValues::Int64(v) => v.len(),
+            ColumnValues::Double(v) => v.len(),
+            ColumnValues::Str(v) => v.len(),
+            ColumnValues::StrSet(v) => v.len(),
+        }
+    }
+
+    /// True if no cells are present.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The column type of this storage.
+    pub fn column_type(&self) -> ColumnType {
+        match self {
+            ColumnValues::Int64(_) => ColumnType::Int64,
+            ColumnValues::Double(_) => ColumnType::Double,
+            ColumnValues::Str(_) => ColumnType::Str,
+            ColumnValues::StrSet(_) => ColumnType::StrSet,
+        }
+    }
+
+    fn empty_for(ty: ColumnType) -> ColumnValues {
+        match ty {
+            ColumnType::Int64 => ColumnValues::Int64(Vec::new()),
+            ColumnType::Double => ColumnValues::Double(Vec::new()),
+            ColumnType::Str => ColumnValues::Str(Vec::new()),
+            ColumnType::StrSet => ColumnValues::StrSet(Vec::new()),
+        }
+    }
+}
+
+/// One column's cells across all rows of a row block: a presence bitmap
+/// plus dense typed values for the present cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnData {
+    /// Total row count (present + null).
+    len: usize,
+    /// One bit per row; bit set = cell present. `None` means all present.
+    presence: Option<Vec<u64>>,
+    /// Dense values for present cells, in row order.
+    values: ColumnValues,
+}
+
+impl ColumnData {
+    /// An empty column of the given type.
+    pub fn new(ty: ColumnType) -> Self {
+        ColumnData {
+            len: 0,
+            presence: None,
+            values: ColumnValues::empty_for(ty),
+        }
+    }
+
+    /// Build a fully-present column from dense values.
+    pub fn from_values(values: ColumnValues) -> Self {
+        ColumnData {
+            len: values.len(),
+            presence: None,
+            values,
+        }
+    }
+
+    /// Rebuild from parts, validating the presence/len/values invariant.
+    /// Used by the decode path.
+    pub fn from_parts(
+        len: usize,
+        presence: Option<Vec<u64>>,
+        values: ColumnValues,
+    ) -> Result<Self> {
+        let present = match &presence {
+            None => len,
+            Some(bits) => {
+                if bits.len() != len.div_ceil(64) {
+                    return Err(Error::Corrupt("presence bitmap length mismatch"));
+                }
+                // Bits past `len` in the final word must be zero.
+                if !len.is_multiple_of(64) {
+                    if let Some(last) = bits.last() {
+                        if last >> (len % 64) != 0 {
+                            return Err(Error::Corrupt("presence bitmap has bits past len"));
+                        }
+                    }
+                }
+                bits.iter().map(|w| w.count_ones() as usize).sum()
+            }
+        };
+        if present != values.len() {
+            return Err(Error::Corrupt("present-cell count does not match values"));
+        }
+        Ok(ColumnData {
+            len,
+            presence,
+            values,
+        })
+    }
+
+    /// Total row count, including nulls.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the column covers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of present (non-null) cells.
+    pub fn present_count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The column's type.
+    pub fn column_type(&self) -> ColumnType {
+        self.values.column_type()
+    }
+
+    /// The presence bitmap, if any row is null.
+    pub fn presence(&self) -> Option<&[u64]> {
+        self.presence.as_deref()
+    }
+
+    /// The dense present values.
+    pub fn values(&self) -> &ColumnValues {
+        &self.values
+    }
+
+    /// Append a present value. Errors on type mismatch.
+    pub fn push(&mut self, value: Value) -> Result<()> {
+        match (&mut self.values, value) {
+            (_, Value::Null) => {
+                self.push_null();
+                return Ok(());
+            }
+            (ColumnValues::Int64(v), Value::Int(x)) => v.push(x),
+            (ColumnValues::Double(v), Value::Double(x)) => v.push(x),
+            (ColumnValues::Str(v), Value::Str(x)) => v.push(x),
+            (ColumnValues::StrSet(v), Value::StrSet(x)) => v.push(x),
+            (vals, other) => {
+                return Err(Error::TypeMismatch {
+                    column: String::new(),
+                    expected: vals.column_type().name(),
+                    found: other.type_name(),
+                })
+            }
+        }
+        if let Some(bits) = &mut self.presence {
+            let needed = (self.len + 1).div_ceil(64);
+            if bits.len() < needed {
+                bits.resize(needed, 0);
+            }
+            set_bit(bits, self.len);
+        }
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Append a null cell.
+    pub fn push_null(&mut self) {
+        let bits = self.presence.get_or_insert_with(|| {
+            // All rows so far were present: materialize a full bitmap.
+            let mut bits = vec![0u64; self.len.div_ceil(64).max(1)];
+            for i in 0..self.len {
+                set_bit(&mut bits, i);
+            }
+            bits
+        });
+        let needed = (self.len + 1).div_ceil(64);
+        if bits.len() < needed {
+            bits.resize(needed, 0);
+        }
+        // Bit stays clear for a null.
+        self.len += 1;
+    }
+
+    /// The cell at row `row`, or `Value::Null` if absent.
+    pub fn get(&self, row: usize) -> Value {
+        assert!(row < self.len, "row {row} out of range (len {})", self.len);
+        let dense_idx = match &self.presence {
+            None => row,
+            Some(bits) => {
+                if !get_bit(bits, row) {
+                    return Value::Null;
+                }
+                rank(bits, row)
+            }
+        };
+        match &self.values {
+            ColumnValues::Int64(v) => Value::Int(v[dense_idx]),
+            ColumnValues::Double(v) => Value::Double(v[dense_idx]),
+            ColumnValues::Str(v) => Value::Str(v[dense_idx].clone()),
+            ColumnValues::StrSet(v) => Value::StrSet(v[dense_idx].clone()),
+        }
+    }
+
+    /// Iterate every cell, nulls included, in row order.
+    pub fn iter(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Approximate heap footprint of the decoded column.
+    pub fn heap_size(&self) -> usize {
+        let presence = self.presence.as_ref().map_or(0, |b| b.len() * 8);
+        let values = match &self.values {
+            ColumnValues::Int64(v) => v.len() * 8,
+            ColumnValues::Double(v) => v.len() * 8,
+            ColumnValues::Str(v) => v.iter().map(|s| s.len() + 24).sum(),
+            ColumnValues::StrSet(v) => v
+                .iter()
+                .map(|set| set.iter().map(|s| s.len() + 24).sum::<usize>() + 24)
+                .sum(),
+        };
+        presence + values + 48
+    }
+}
+
+#[inline]
+fn set_bit(bits: &mut [u64], i: usize) {
+    bits[i / 64] |= 1u64 << (i % 64);
+}
+
+#[inline]
+fn get_bit(bits: &[u64], i: usize) -> bool {
+    bits[i / 64] & (1u64 << (i % 64)) != 0
+}
+
+/// Number of set bits strictly before position `i`.
+fn rank(bits: &[u64], i: usize) -> usize {
+    let word = i / 64;
+    let mut count = 0usize;
+    for w in &bits[..word] {
+        count += w.count_ones() as usize;
+    }
+    let mask = (1u64 << (i % 64)) - 1;
+    count + (bits[word] & mask).count_ones() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get_fully_present() {
+        let mut c = ColumnData::new(ColumnType::Int64);
+        for i in 0..100 {
+            c.push(Value::Int(i)).unwrap();
+        }
+        assert_eq!(c.len(), 100);
+        assert_eq!(c.present_count(), 100);
+        assert!(c.presence().is_none());
+        assert_eq!(c.get(42), Value::Int(42));
+    }
+
+    #[test]
+    fn nulls_interleave() {
+        let mut c = ColumnData::new(ColumnType::Str);
+        c.push(Value::from("a")).unwrap();
+        c.push_null();
+        c.push(Value::from("b")).unwrap();
+        c.push(Value::Null).unwrap(); // Null routed through push
+        c.push(Value::from("c")).unwrap();
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.present_count(), 3);
+        let cells: Vec<Value> = c.iter().collect();
+        assert_eq!(
+            cells,
+            vec![
+                Value::from("a"),
+                Value::Null,
+                Value::from("b"),
+                Value::Null,
+                Value::from("c")
+            ]
+        );
+    }
+
+    #[test]
+    fn null_first_then_values() {
+        let mut c = ColumnData::new(ColumnType::Double);
+        c.push_null();
+        c.push(Value::Double(1.5)).unwrap();
+        assert_eq!(c.get(0), Value::Null);
+        assert_eq!(c.get(1), Value::Double(1.5));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut c = ColumnData::new(ColumnType::Int64);
+        assert!(c.push(Value::from("oops")).is_err());
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn bitmap_crosses_word_boundaries() {
+        let mut c = ColumnData::new(ColumnType::Int64);
+        for i in 0..200 {
+            if i % 3 == 0 {
+                c.push_null();
+            } else {
+                c.push(Value::Int(i)).unwrap();
+            }
+        }
+        for i in 0..200 {
+            if i % 3 == 0 {
+                assert_eq!(c.get(i as usize), Value::Null);
+            } else {
+                assert_eq!(c.get(i as usize), Value::Int(i));
+            }
+        }
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        // Bitmap says 1 present, but two values supplied.
+        let r = ColumnData::from_parts(2, Some(vec![0b01]), ColumnValues::Int64(vec![1, 2]));
+        assert!(r.is_err());
+        // Stray bit past len.
+        let r = ColumnData::from_parts(2, Some(vec![0b111]), ColumnValues::Int64(vec![1, 2]));
+        assert!(r.is_err());
+        // Wrong bitmap word count.
+        let r = ColumnData::from_parts(2, Some(vec![0b11, 0]), ColumnValues::Int64(vec![1, 2]));
+        assert!(r.is_err());
+        // Valid.
+        let c = ColumnData::from_parts(2, Some(vec![0b10]), ColumnValues::Int64(vec![7])).unwrap();
+        assert_eq!(c.get(0), Value::Null);
+        assert_eq!(c.get(1), Value::Int(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        ColumnData::new(ColumnType::Int64).get(0);
+    }
+}

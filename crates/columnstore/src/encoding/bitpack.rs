@@ -1,0 +1,163 @@
+//! Fixed-width bit packing of unsigned integers.
+//!
+//! After delta (ints) or dictionary (strings) encoding, column payloads are
+//! small unsigned numbers; packing them at the minimum width needed for the
+//! largest value is where most of the integer-column compression comes from.
+
+use crate::error::{Error, Result};
+
+/// Minimum bit width able to represent every value in `values` (1..=64;
+/// returns 1 for empty or all-zero input so the decoder never divides by
+/// zero).
+pub fn width_for(values: &[u64]) -> u32 {
+    let max = values.iter().copied().max().unwrap_or(0);
+    if max == 0 {
+        1
+    } else {
+        64 - max.leading_zeros()
+    }
+}
+
+/// Pack `values` at `width` bits each, LSB-first within a little-endian
+/// 64-bit word stream. Panics in debug builds if a value exceeds `width`.
+pub fn pack(values: &[u64], width: u32) -> Vec<u8> {
+    assert!((1..=64).contains(&width), "bit width must be in 1..=64");
+    let total_bits = values.len() as u64 * width as u64;
+    let n_words = total_bits.div_ceil(64) as usize;
+    let mut words = vec![0u64; n_words];
+    let mut bit = 0u64;
+    for &v in values {
+        debug_assert!(width == 64 || v < (1u64 << width), "value exceeds width");
+        let word = (bit / 64) as usize;
+        let off = (bit % 64) as u32;
+        words[word] |= v << off;
+        let spill = off + width;
+        if spill > 64 {
+            words[word + 1] |= v >> (64 - off);
+        }
+        bit += width as u64;
+    }
+    let mut out = Vec::with_capacity(n_words * 8);
+    for w in words {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    out
+}
+
+/// Unpack `count` values of `width` bits each from `bytes`.
+pub fn unpack(bytes: &[u8], width: u32, count: usize) -> Result<Vec<u64>> {
+    if !(1..=64).contains(&width) {
+        return Err(Error::Corrupt("bit width out of range"));
+    }
+    let total_bits = count as u64 * width as u64;
+    let needed_bytes = (total_bits.div_ceil(64) * 8) as usize;
+    if bytes.len() < needed_bytes {
+        return Err(Error::Truncated {
+            needed: needed_bytes,
+            available: bytes.len(),
+        });
+    }
+    let n_words = needed_bytes / 8;
+    let mut words = Vec::with_capacity(n_words);
+    for chunk in bytes[..needed_bytes].chunks_exact(8) {
+        words.push(u64::from_le_bytes(chunk.try_into().unwrap()));
+    }
+    let mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
+    let mut out = Vec::with_capacity(count);
+    let mut bit = 0u64;
+    for _ in 0..count {
+        let word = (bit / 64) as usize;
+        let off = (bit % 64) as u32;
+        let mut v = words[word] >> off;
+        let spill = off + width;
+        if spill > 64 {
+            v |= words[word + 1] << (64 - off);
+        }
+        out.push(v & mask);
+        bit += width as u64;
+    }
+    Ok(out)
+}
+
+/// Packed size in bytes for `count` values at `width` bits.
+pub fn packed_size(count: usize, width: u32) -> usize {
+    ((count as u64 * width as u64).div_ceil(64) * 8) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(values: &[u64]) {
+        let width = width_for(values);
+        let packed = pack(values, width);
+        assert_eq!(packed.len(), packed_size(values.len(), width));
+        assert_eq!(unpack(&packed, width, values.len()).unwrap(), values);
+    }
+
+    #[test]
+    fn round_trips_at_inferred_width() {
+        round_trip(&[]);
+        round_trip(&[0]);
+        round_trip(&[0, 0, 0]);
+        round_trip(&[1, 2, 3, 4, 5, 6, 7]);
+        round_trip(&[u64::MAX, 0, u64::MAX / 2]);
+        round_trip(&(0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_width_round_trips() {
+        for width in 1..=64u32 {
+            let max = if width == 64 {
+                u64::MAX
+            } else {
+                (1u64 << width) - 1
+            };
+            let values: Vec<u64> = (0..130).map(|i| (i * 2654435761u64) & max).collect();
+            let packed = pack(&values, width);
+            assert_eq!(
+                unpack(&packed, width, values.len()).unwrap(),
+                values,
+                "width={width}"
+            );
+        }
+    }
+
+    #[test]
+    fn width_for_is_minimal() {
+        assert_eq!(width_for(&[]), 1);
+        assert_eq!(width_for(&[0]), 1);
+        assert_eq!(width_for(&[1]), 1);
+        assert_eq!(width_for(&[2]), 2);
+        assert_eq!(width_for(&[255]), 8);
+        assert_eq!(width_for(&[256]), 9);
+        assert_eq!(width_for(&[u64::MAX]), 64);
+    }
+
+    #[test]
+    fn unpack_rejects_truncated_input() {
+        let packed = pack(&[1, 2, 3, 4], 16);
+        assert!(unpack(&packed[..packed.len() - 1], 16, 4).is_err());
+        assert!(unpack(&[], 8, 1).is_err());
+    }
+
+    #[test]
+    fn unpack_rejects_bad_width() {
+        assert!(unpack(&[0u8; 8], 0, 1).is_err());
+        assert!(unpack(&[0u8; 16], 65, 1).is_err());
+    }
+
+    #[test]
+    fn dense_savings_vs_raw() {
+        // 10k values < 16: packed at 4 bits -> 8x smaller than u64s.
+        let values: Vec<u64> = (0..10_000).map(|i| i % 16).collect();
+        let width = width_for(&values);
+        assert_eq!(width, 4);
+        let packed = pack(&values, width);
+        assert!(packed.len() * 8 <= values.len() * 8 + 64);
+    }
+}

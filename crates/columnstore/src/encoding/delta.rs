@@ -1,0 +1,78 @@
+//! Delta encoding for integer columns.
+//!
+//! Rows flow into Scuba "in roughly chronological order" (§2.1), so the
+//! `time` column — and many counters — are near-monotonic: consecutive
+//! differences are tiny even when absolute values are large. Storing the
+//! first value plus zig-zag'd deltas lets the bit packer use a few bits per
+//! row instead of 64.
+
+use super::varint::{zigzag_decode, zigzag_encode};
+
+/// Delta-encode `values`: returns the first value and the zig-zag'd
+/// consecutive differences (length `values.len() - 1`). Empty input yields
+/// `(0, [])`.
+pub fn encode(values: &[i64]) -> (i64, Vec<u64>) {
+    let Some(&first) = values.first() else {
+        return (0, Vec::new());
+    };
+    let mut deltas = Vec::with_capacity(values.len() - 1);
+    let mut prev = first;
+    for &v in &values[1..] {
+        deltas.push(zigzag_encode(v.wrapping_sub(prev)));
+        prev = v;
+    }
+    (first, deltas)
+}
+
+/// Inverse of [`encode`]: reconstructs `deltas.len() + 1` values, or an
+/// empty vector when `count` is zero.
+pub fn decode(first: i64, deltas: &[u64], count: usize) -> Vec<i64> {
+    if count == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(count);
+    out.push(first);
+    let mut prev = first;
+    for &d in deltas {
+        prev = prev.wrapping_add(zigzag_decode(d));
+        out.push(prev);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(values: &[i64]) {
+        let (first, deltas) = encode(values);
+        assert_eq!(decode(first, &deltas, values.len()), values);
+    }
+
+    #[test]
+    fn round_trips() {
+        round_trip(&[]);
+        round_trip(&[42]);
+        round_trip(&[1, 2, 3, 4, 5]);
+        round_trip(&[100, 90, 95, 1000, -5]);
+        round_trip(&[i64::MIN, i64::MAX, 0, -1]);
+    }
+
+    #[test]
+    fn monotonic_timestamps_have_tiny_deltas() {
+        let ts: Vec<i64> = (0..1000).map(|i| 1_700_000_000 + i).collect();
+        let (_, deltas) = encode(&ts);
+        assert!(deltas.iter().all(|&d| d == zigzag_encode(1)));
+    }
+
+    #[test]
+    fn wrapping_differences_survive() {
+        round_trip(&[i64::MAX, i64::MIN]); // difference overflows i64
+        round_trip(&[i64::MIN, i64::MAX]);
+    }
+
+    #[test]
+    fn empty_decode() {
+        assert!(decode(7, &[], 0).is_empty());
+    }
+}

@@ -1,0 +1,156 @@
+//! Dictionary encoding for string columns.
+//!
+//! Service-log string columns (severity, endpoint, host, error message …)
+//! have few distinct values repeated across tens of thousands of rows in a
+//! block. The dictionary stores each distinct string once, in first-
+//! occurrence order, and the column body becomes a stream of small indexes
+//! that the bit packer then crushes. Figure 3 shows the dictionary as its
+//! own region of the row block column, located by a header offset.
+
+use std::collections::HashMap;
+
+use crate::error::{Error, Result};
+
+use super::varint;
+
+/// Output of dictionary encoding: distinct entries in first-occurrence
+/// order plus one index per input value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DictEncoded {
+    /// Distinct strings, index order.
+    pub entries: Vec<String>,
+    /// One entry index per input value.
+    pub indexes: Vec<u32>,
+}
+
+/// Dictionary-encode `values`.
+pub fn encode<S: AsRef<str>>(values: &[S]) -> DictEncoded {
+    let mut ids: HashMap<String, u32> = HashMap::new();
+    let mut entries: Vec<String> = Vec::new();
+    let mut indexes = Vec::with_capacity(values.len());
+    for v in values {
+        let s = v.as_ref();
+        let next = entries.len() as u32;
+        let id = *ids.entry(s.to_owned()).or_insert_with(|| {
+            entries.push(s.to_owned());
+            next
+        });
+        indexes.push(id);
+    }
+    DictEncoded { entries, indexes }
+}
+
+/// Inverse of [`encode`].
+pub fn decode(encoded: &DictEncoded) -> Result<Vec<String>> {
+    let mut out = Vec::with_capacity(encoded.indexes.len());
+    for &idx in &encoded.indexes {
+        let entry = encoded
+            .entries
+            .get(idx as usize)
+            .ok_or(Error::Corrupt("dictionary index out of range"))?;
+        out.push(entry.clone());
+    }
+    Ok(out)
+}
+
+/// Serialize the dictionary entries: var-int count, then per entry a
+/// var-int length and the UTF-8 bytes.
+pub fn serialize_entries(entries: &[String], out: &mut Vec<u8>) {
+    varint::write_u64(out, entries.len() as u64);
+    for e in entries {
+        varint::write_u64(out, e.len() as u64);
+        out.extend_from_slice(e.as_bytes());
+    }
+}
+
+/// Parse dictionary entries from `buf` at `pos`; returns the entries and
+/// the position just past them.
+pub fn deserialize_entries(buf: &[u8], pos: usize) -> Result<(Vec<String>, usize)> {
+    let (count, mut p) = varint::read_u64(buf, pos)?;
+    if count > buf.len() as u64 {
+        return Err(Error::Corrupt("dictionary entry count exceeds buffer size"));
+    }
+    let mut entries = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let (len, q) = varint::read_u64(buf, p)?;
+        let len = len as usize;
+        if q + len > buf.len() {
+            return Err(Error::Truncated {
+                needed: q + len,
+                available: buf.len(),
+            });
+        }
+        let s = std::str::from_utf8(&buf[q..q + len])
+            .map_err(|_| Error::Corrupt("dictionary entry is not UTF-8"))?;
+        entries.push(s.to_owned());
+        p = q + len;
+    }
+    Ok((entries, p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_assigns_first_occurrence_order() {
+        let enc = encode(&["b", "a", "b", "c", "a"]);
+        assert_eq!(enc.entries, vec!["b", "a", "c"]);
+        assert_eq!(enc.indexes, vec![0, 1, 0, 2, 1]);
+    }
+
+    #[test]
+    fn round_trip() {
+        let values: Vec<String> = (0..500).map(|i| format!("host{:02}", i % 17)).collect();
+        let enc = encode(&values);
+        assert_eq!(enc.entries.len(), 17);
+        assert_eq!(decode(&enc).unwrap(), values);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let enc = encode::<&str>(&[]);
+        assert!(enc.entries.is_empty());
+        assert!(decode(&enc).unwrap().is_empty());
+
+        let enc = encode(&["only"]);
+        assert_eq!(enc.entries, vec!["only"]);
+        assert_eq!(enc.indexes, vec![0]);
+    }
+
+    #[test]
+    fn decode_rejects_out_of_range_index() {
+        let enc = DictEncoded {
+            entries: vec!["a".into()],
+            indexes: vec![0, 1],
+        };
+        assert!(decode(&enc).is_err());
+    }
+
+    #[test]
+    fn entries_serialize_round_trip() {
+        let entries: Vec<String> = vec!["".into(), "short".into(), "x".repeat(300)];
+        let mut buf = vec![0u8; 5];
+        let start = buf.len();
+        serialize_entries(&entries, &mut buf);
+        let (parsed, end) = deserialize_entries(&buf, start).unwrap();
+        assert_eq!(parsed, entries);
+        assert_eq!(end, buf.len());
+    }
+
+    #[test]
+    fn entries_deserialize_rejects_truncation() {
+        let mut buf = Vec::new();
+        serialize_entries(&["hello".to_owned()], &mut buf);
+        assert!(deserialize_entries(&buf[..buf.len() - 1], 0).is_err());
+    }
+
+    #[test]
+    fn entries_deserialize_rejects_invalid_utf8() {
+        let mut buf = Vec::new();
+        varint::write_u64(&mut buf, 1);
+        varint::write_u64(&mut buf, 2);
+        buf.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(deserialize_entries(&buf, 0).is_err());
+    }
+}

@@ -1,0 +1,117 @@
+//! LEB128 variable-length integers and zig-zag signed mapping.
+//!
+//! Var-ints carry the small header-adjacent quantities inside encoded
+//! column payloads (dictionary entry lengths, bit widths, first values);
+//! zig-zag maps signed deltas onto unsigned space so small magnitudes pack
+//! into few bits regardless of sign.
+
+use crate::error::{Error, Result};
+
+/// Append `value` to `out` as LEB128 (7 bits per byte, MSB = continuation).
+pub fn write_u64(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read a LEB128 u64 from `buf` at `pos`; returns the value and the
+/// position just past it.
+pub fn read_u64(buf: &[u8], pos: usize) -> Result<(u64, usize)> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    let mut p = pos;
+    loop {
+        let byte = *buf.get(p).ok_or(Error::BadVarint)?;
+        p += 1;
+        if shift >= 64 {
+            return Err(Error::BadVarint);
+        }
+        // The 10th byte may only contribute one bit.
+        if shift == 63 && byte & 0x7E != 0 {
+            return Err(Error::BadVarint);
+        }
+        value |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok((value, p));
+        }
+        shift += 7;
+    }
+}
+
+/// Map a signed value onto unsigned space: 0, -1, 1, -2, ... -> 0, 1, 2, 3.
+pub fn zigzag_encode(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag_encode`].
+pub fn zigzag_decode(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_edges() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            u32::MAX as u64,
+            u64::MAX,
+            u64::MAX - 1,
+        ] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            let (back, end) = read_u64(&buf, 0).unwrap();
+            assert_eq!(back, v);
+            assert_eq!(end, buf.len());
+        }
+    }
+
+    #[test]
+    fn small_values_are_one_byte() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 100);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn read_rejects_truncation_and_overflow() {
+        assert!(read_u64(&[0x80, 0x80], 0).is_err()); // never terminates
+        assert!(read_u64(&[], 0).is_err());
+        // 11 continuation bytes overflows 64 bits.
+        let overlong = [0xFFu8; 11];
+        assert!(read_u64(&overlong, 0).is_err());
+    }
+
+    #[test]
+    fn reads_at_offset() {
+        let mut buf = vec![0xAA, 0xBB];
+        write_u64(&mut buf, 999);
+        let (v, end) = read_u64(&buf, 2).unwrap();
+        assert_eq!(v, 999);
+        assert_eq!(end, buf.len());
+    }
+
+    #[test]
+    fn zigzag_round_trip() {
+        for v in [0i64, -1, 1, -2, 2, i64::MAX, i64::MIN, 12345, -98765] {
+            assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        }
+        // Small magnitudes map to small codes.
+        assert_eq!(zigzag_encode(0), 0);
+        assert_eq!(zigzag_encode(-1), 1);
+        assert_eq!(zigzag_encode(1), 2);
+        assert_eq!(zigzag_encode(-2), 3);
+    }
+}

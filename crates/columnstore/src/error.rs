@@ -1,0 +1,80 @@
+//! Error type shared by the column-store substrate.
+
+use std::fmt;
+
+/// Result alias for column-store operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced while building, encoding, or decoding column data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A buffer claiming to be a row block column did not start with the
+    /// expected magic number.
+    BadMagic { expected: u32, found: u32 },
+    /// The layout version of a serialized structure is not one this build
+    /// understands. Carries the found version.
+    UnsupportedVersion(u32),
+    /// The checksum stored in a footer did not match the recomputed value.
+    ChecksumMismatch { expected: u32, found: u32 },
+    /// A serialized buffer was shorter than its header claims.
+    Truncated { needed: usize, available: usize },
+    /// An offset stored in a header pointed outside the buffer or offsets
+    /// were not monotonically ordered.
+    BadOffset(&'static str),
+    /// An unknown compression code was found in a column header.
+    UnknownCompression(u32),
+    /// A value's type did not match the column's declared type.
+    TypeMismatch {
+        column: String,
+        expected: &'static str,
+        found: &'static str,
+    },
+    /// A row was missing the required `time` column.
+    MissingTime,
+    /// A row block builder overflowed its row or byte cap.
+    BlockFull,
+    /// Decoded data was internally inconsistent (e.g. a dictionary index out
+    /// of range).
+    Corrupt(&'static str),
+    /// A var-int did not terminate within the buffer.
+    BadVarint,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::BadMagic { expected, found } => {
+                write!(
+                    f,
+                    "bad magic number: expected {expected:#x}, found {found:#x}"
+                )
+            }
+            Error::UnsupportedVersion(v) => write!(f, "unsupported layout version {v}"),
+            Error::ChecksumMismatch { expected, found } => {
+                write!(
+                    f,
+                    "checksum mismatch: stored {expected:#x}, computed {found:#x}"
+                )
+            }
+            Error::Truncated { needed, available } => {
+                write!(f, "buffer truncated: need {needed} bytes, have {available}")
+            }
+            Error::BadOffset(what) => write!(f, "bad offset in header: {what}"),
+            Error::UnknownCompression(c) => write!(f, "unknown compression code {c:#x}"),
+            Error::TypeMismatch {
+                column,
+                expected,
+                found,
+            } => write!(
+                f,
+                "type mismatch in column {column:?}: expected {expected}, found {found}"
+            ),
+            Error::MissingTime => write!(f, "row is missing the required `time` column"),
+            Error::BlockFull => write!(f, "row block is full"),
+            Error::Corrupt(what) => write!(f, "corrupt column data: {what}"),
+            Error::BadVarint => write!(f, "var-int ran past end of buffer"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,167 @@
+//! The leaf map (Figure 2): "a vector of pointers, one pointer to each
+//! table" — the root of a leaf server's in-memory state.
+
+use std::collections::BTreeMap;
+
+use crate::table::{RetentionLimits, Table};
+
+/// All tables held by one leaf server, keyed by name. BTreeMap keeps
+/// iteration order deterministic, which makes shutdown segment naming and
+/// tests reproducible.
+#[derive(Debug, Clone, Default)]
+pub struct LeafMap {
+    tables: BTreeMap<String, Table>,
+}
+
+impl LeafMap {
+    /// An empty leaf map.
+    pub fn new() -> Self {
+        LeafMap {
+            tables: BTreeMap::new(),
+        }
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True if the leaf holds no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Fetch a table by name.
+    pub fn get(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// Fetch a table mutably.
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut Table> {
+        self.tables.get_mut(name)
+    }
+
+    /// Fetch a table, creating it empty if absent.
+    pub fn get_or_create(&mut self, name: &str, now: i64) -> &mut Table {
+        self.tables
+            .entry(name.to_owned())
+            .or_insert_with(|| Table::new(name, now))
+    }
+
+    /// Insert a fully-built table (recovery paths), replacing any existing
+    /// table of the same name.
+    pub fn insert(&mut self, table: Table) {
+        self.tables.insert(table.name().to_owned(), table);
+    }
+
+    /// Remove a table.
+    pub fn remove(&mut self, name: &str) -> Option<Table> {
+        self.tables.remove(name)
+    }
+
+    /// Iterate tables in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+
+    /// Iterate tables mutably in name order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Table> {
+        self.tables.values_mut()
+    }
+
+    /// Table names in order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(String::as_str)
+    }
+
+    /// Total rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(Table::row_count).sum()
+    }
+
+    /// Total encoded bytes across all tables (what shutdown will copy).
+    pub fn encoded_bytes(&self) -> usize {
+        self.tables.values().map(Table::encoded_bytes).sum()
+    }
+
+    /// Approximate heap footprint across all tables.
+    pub fn heap_bytes(&self) -> usize {
+        self.tables.values().map(Table::heap_bytes).sum()
+    }
+
+    /// Apply retention limits to every table; returns total blocks dropped.
+    pub fn expire_all(&mut self, limits: RetentionLimits, now: i64) -> usize {
+        self.tables
+            .values_mut()
+            .map(|t| t.expire(limits, now))
+            .sum()
+    }
+
+    /// Take all tables out (the shutdown path consumes them one at a time
+    /// so the heap can be freed table-by-table).
+    pub fn take_tables(&mut self) -> BTreeMap<String, Table> {
+        std::mem::take(&mut self.tables)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row::Row;
+
+    #[test]
+    fn create_and_lookup() {
+        let mut m = LeafMap::new();
+        assert!(m.is_empty());
+        m.get_or_create("a", 0);
+        m.get_or_create("b", 0);
+        m.get_or_create("a", 0); // idempotent
+        assert_eq!(m.len(), 2);
+        assert!(m.get("a").is_some());
+        assert!(m.get("missing").is_none());
+    }
+
+    #[test]
+    fn deterministic_name_order() {
+        let mut m = LeafMap::new();
+        for n in ["zeta", "alpha", "mid"] {
+            m.get_or_create(n, 0);
+        }
+        let names: Vec<&str> = m.names().collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn totals_aggregate_tables() {
+        let mut m = LeafMap::new();
+        for (name, n) in [("a", 10i64), ("b", 20)] {
+            let t = m.get_or_create(name, 0);
+            for i in 0..n {
+                t.append(&Row::at(i), 0).unwrap();
+            }
+            t.seal(0).unwrap();
+        }
+        assert_eq!(m.total_rows(), 30);
+        assert!(m.encoded_bytes() > 0);
+        assert!(m.heap_bytes() >= m.encoded_bytes());
+    }
+
+    #[test]
+    fn take_tables_empties_map() {
+        let mut m = LeafMap::new();
+        m.get_or_create("x", 0);
+        let taken = m.take_tables();
+        assert_eq!(taken.len(), 1);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut m = LeafMap::new();
+        let t = m.get_or_create("x", 0);
+        t.append(&Row::at(1), 0).unwrap();
+        assert_eq!(m.total_rows(), 1);
+        m.insert(Table::new("x", 0));
+        assert_eq!(m.total_rows(), 0);
+    }
+}

@@ -1,0 +1,711 @@
+//! Row block columns (Figure 3): one contiguous buffer per column.
+//!
+//! "Each row block column contains a header, a dictionary if needed, the
+//! data (column values), and a footer. The header of the row block column
+//! starts at a base address. All other addresses in the row block column
+//! ... are offsets from this base address. ... Using offsets enables us to
+//! copy the entire row block column between heap and shared memory in one
+//! memory copy operation." (§2.1)
+//!
+//! That property is the mechanical heart of the paper: [`RowBlockColumn`]
+//! is a single `Box<[u8]>` whose internal structure is located purely by
+//! offsets stored in its header, so moving it anywhere — heap, shared
+//! memory, disk — is a single `memcpy` plus re-pointing the one external
+//! pointer to the buffer itself.
+//!
+//! # Buffer layout
+//!
+//! ```text
+//! offset 0   header (64 bytes):
+//!            magic u32 | version u32 | compression code u32 |
+//!            column type u8 | pad [3] | n_bytes u64 | n_items u64 |
+//!            n_dict_items u64 | dict_offset u64 | data_offset u64 |
+//!            footer_offset u64
+//! dict_offset    dictionary region (string columns only; 0 = absent)
+//! data_offset    data region (presence bitmap + typed payload)
+//! footer_offset  footer (8 bytes): crc32 over [0, footer_offset) | end magic
+//! ```
+
+use crate::checksum::crc32;
+use crate::column::{ColumnData, ColumnValues};
+use crate::encoding::{bitpack, delta, dictionary, lz, shuffle, varint, CompressionCode};
+use crate::error::{Error, Result};
+use crate::types::ColumnType;
+
+/// "RBC\0" little-endian.
+pub const RBC_MAGIC: u32 = 0x0043_4252;
+/// "RBCF" end-of-buffer magic.
+pub const RBC_END_MAGIC: u32 = 0x4643_4252;
+/// Current layout version of the RBC buffer format.
+pub const RBC_VERSION: u32 = 1;
+/// Fixed header size in bytes.
+pub const HEADER_SIZE: usize = 64;
+/// Fixed footer size in bytes.
+pub const FOOTER_SIZE: usize = 8;
+
+/// An encoded column: one contiguous, checksummed, offset-addressed buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowBlockColumn {
+    buf: Box<[u8]>,
+}
+
+/// Parsed view of the fixed header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Header {
+    compression: CompressionCode,
+    column_type: ColumnType,
+    n_bytes: u64,
+    n_items: u64,
+    n_dict_items: u64,
+    dict_offset: u64,
+    data_offset: u64,
+    footer_offset: u64,
+}
+
+impl RowBlockColumn {
+    /// Encode decoded column data into a fresh buffer, choosing the
+    /// per-type pipeline described in [`crate::encoding`].
+    pub fn encode(data: &ColumnData) -> Result<RowBlockColumn> {
+        let mut code = 0u32;
+        let mut dict_region = Vec::new();
+        let mut data_region = Vec::new();
+        let mut n_dict_items = 0u64;
+
+        // Presence bitmap first.
+        match data.presence() {
+            None => data_region.push(0u8),
+            Some(bits) => {
+                data_region.push(1u8);
+                let mut raw = Vec::with_capacity(bits.len() * 8);
+                for w in bits {
+                    raw.extend_from_slice(&w.to_le_bytes());
+                }
+                let used_lz = write_maybe_lz(&mut data_region, &raw);
+                if used_lz {
+                    code |= CompressionCode::LZ;
+                }
+            }
+        }
+
+        varint::write_u64(&mut data_region, data.present_count() as u64);
+        match data.values() {
+            ColumnValues::Int64(values) => {
+                code |= CompressionCode::DELTA | CompressionCode::BITPACK;
+                if !values.is_empty() {
+                    let (first, deltas) = delta::encode(values);
+                    let width = bitpack::width_for(&deltas);
+                    data_region.extend_from_slice(&first.to_le_bytes());
+                    data_region.push(width as u8);
+                    let packed = bitpack::pack(&deltas, width);
+                    if write_maybe_lz(&mut data_region, &packed) {
+                        code |= CompressionCode::LZ;
+                    }
+                }
+            }
+            ColumnValues::Double(values) => {
+                code |= CompressionCode::SHUFFLE | CompressionCode::LZ;
+                let shuffled = shuffle::shuffle_f64(values);
+                write_maybe_lz(&mut data_region, &shuffled);
+            }
+            ColumnValues::Str(values) => {
+                code |= CompressionCode::DICTIONARY | CompressionCode::BITPACK;
+                let enc = dictionary::encode(values);
+                n_dict_items = enc.entries.len() as u64;
+                let mut dict_blob = Vec::new();
+                dictionary::serialize_entries(&enc.entries, &mut dict_blob);
+                if write_maybe_lz(&mut dict_region, &dict_blob) {
+                    code |= CompressionCode::LZ;
+                }
+                let indexes: Vec<u64> = enc.indexes.iter().map(|&i| i as u64).collect();
+                let width = bitpack::width_for(&indexes);
+                data_region.push(width as u8);
+                let packed = bitpack::pack(&indexes, width);
+                if write_maybe_lz(&mut data_region, &packed) {
+                    code |= CompressionCode::LZ;
+                }
+            }
+            ColumnValues::StrSet(sets) => {
+                // Sets share one dictionary over all elements; each row
+                // stores a var-int element count plus bit-packed indexes.
+                code |= CompressionCode::DICTIONARY
+                    | CompressionCode::BITPACK
+                    | CompressionCode::VARINT;
+                let flat: Vec<&str> = sets.iter().flatten().map(String::as_str).collect();
+                let enc = dictionary::encode(&flat);
+                n_dict_items = enc.entries.len() as u64;
+                let mut dict_blob = Vec::new();
+                dictionary::serialize_entries(&enc.entries, &mut dict_blob);
+                if write_maybe_lz(&mut dict_region, &dict_blob) {
+                    code |= CompressionCode::LZ;
+                }
+                let mut lengths = Vec::new();
+                for set in sets {
+                    varint::write_u64(&mut lengths, set.len() as u64);
+                }
+                if write_maybe_lz(&mut data_region, &lengths) {
+                    code |= CompressionCode::LZ;
+                }
+                let indexes: Vec<u64> = enc.indexes.iter().map(|&i| i as u64).collect();
+                let width = bitpack::width_for(&indexes);
+                data_region.push(width as u8);
+                let packed = bitpack::pack(&indexes, width);
+                if write_maybe_lz(&mut data_region, &packed) {
+                    code |= CompressionCode::LZ;
+                }
+            }
+        }
+
+        // Assemble: header | dict | data | footer.
+        let dict_offset = if dict_region.is_empty() {
+            0
+        } else {
+            HEADER_SIZE as u64
+        };
+        let data_offset = (HEADER_SIZE + dict_region.len()) as u64;
+        let footer_offset = data_offset + data_region.len() as u64;
+        let n_bytes = footer_offset + FOOTER_SIZE as u64;
+
+        let mut buf = Vec::with_capacity(n_bytes as usize);
+        buf.extend_from_slice(&RBC_MAGIC.to_le_bytes());
+        buf.extend_from_slice(&RBC_VERSION.to_le_bytes());
+        buf.extend_from_slice(&code.to_le_bytes());
+        buf.push(data.column_type().code());
+        buf.extend_from_slice(&[0u8; 3]);
+        buf.extend_from_slice(&n_bytes.to_le_bytes());
+        buf.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        buf.extend_from_slice(&n_dict_items.to_le_bytes());
+        buf.extend_from_slice(&dict_offset.to_le_bytes());
+        buf.extend_from_slice(&data_offset.to_le_bytes());
+        buf.extend_from_slice(&footer_offset.to_le_bytes());
+        debug_assert_eq!(buf.len(), HEADER_SIZE);
+        buf.extend_from_slice(&dict_region);
+        buf.extend_from_slice(&data_region);
+        let checksum = crc32(&buf);
+        buf.extend_from_slice(&checksum.to_le_bytes());
+        buf.extend_from_slice(&RBC_END_MAGIC.to_le_bytes());
+
+        Ok(RowBlockColumn {
+            buf: buf.into_boxed_slice(),
+        })
+    }
+
+    /// Adopt a buffer copied from shared memory or read from disk,
+    /// validating magic, version, offsets, and the footer checksum. This is
+    /// the validation the restore path relies on to detect torn copies
+    /// (§4.3: a failed restore falls back to disk recovery).
+    pub fn from_bytes(buf: Box<[u8]>) -> Result<RowBlockColumn> {
+        let rbc = RowBlockColumn { buf };
+        rbc.parse_header()?; // validates structure
+        rbc.verify_checksum()?;
+        Ok(rbc)
+    }
+
+    /// The raw buffer — what gets `memcpy`'d to and from shared memory.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Total buffer size in bytes.
+    pub fn len_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Number of rows covered (nulls included).
+    pub fn n_items(&self) -> Result<usize> {
+        Ok(self.parse_header()?.n_items as usize)
+    }
+
+    /// Number of dictionary entries (string columns).
+    pub fn n_dict_items(&self) -> Result<usize> {
+        Ok(self.parse_header()?.n_dict_items as usize)
+    }
+
+    /// The column's type.
+    pub fn column_type(&self) -> Result<ColumnType> {
+        Ok(self.parse_header()?.column_type)
+    }
+
+    /// The compression code: which encodings the pipeline applied.
+    pub fn compression(&self) -> Result<CompressionCode> {
+        Ok(self.parse_header()?.compression)
+    }
+
+    /// Recompute the checksum and compare with the footer.
+    pub fn verify_checksum(&self) -> Result<()> {
+        let h = self.parse_header()?;
+        let footer = h.footer_offset as usize;
+        let stored = u32::from_le_bytes(self.buf[footer..footer + 4].try_into().unwrap());
+        let computed = crc32(&self.buf[..footer]);
+        if stored != computed {
+            return Err(Error::ChecksumMismatch {
+                expected: stored,
+                found: computed,
+            });
+        }
+        let end = u32::from_le_bytes(self.buf[footer + 4..footer + 8].try_into().unwrap());
+        if end != RBC_END_MAGIC {
+            return Err(Error::BadMagic {
+                expected: RBC_END_MAGIC,
+                found: end,
+            });
+        }
+        Ok(())
+    }
+
+    /// Decode the buffer back into heap column data.
+    pub fn decode(&self) -> Result<ColumnData> {
+        let h = self.parse_header()?;
+        let n_items = h.n_items as usize;
+        let data = &self.buf[h.data_offset as usize..h.footer_offset as usize];
+        let mut pos = 0usize;
+
+        // Presence bitmap.
+        let presence_flag = *data.get(pos).ok_or(Error::Truncated {
+            needed: 1,
+            available: data.len(),
+        })?;
+        pos += 1;
+        let presence = match presence_flag {
+            0 => None,
+            1 => {
+                let (raw, p) = read_maybe_lz(data, pos)?;
+                pos = p;
+                if raw.len() != n_items.div_ceil(64) * 8 {
+                    return Err(Error::Corrupt("presence bitmap size mismatch"));
+                }
+                let words: Vec<u64> = raw
+                    .chunks_exact(8)
+                    .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                    .collect();
+                Some(words)
+            }
+            _ => return Err(Error::Corrupt("bad presence flag")),
+        };
+
+        let (present_count, p) = varint::read_u64(data, pos)?;
+        pos = p;
+        let present_count = present_count as usize;
+        if present_count > n_items {
+            return Err(Error::Corrupt("present count exceeds item count"));
+        }
+
+        let values = match h.column_type {
+            ColumnType::Int64 => {
+                if present_count == 0 {
+                    ColumnValues::Int64(Vec::new())
+                } else {
+                    if pos + 9 > data.len() {
+                        return Err(Error::Truncated {
+                            needed: pos + 9,
+                            available: data.len(),
+                        });
+                    }
+                    let first = i64::from_le_bytes(data[pos..pos + 8].try_into().unwrap());
+                    let width = data[pos + 8] as u32;
+                    pos += 9;
+                    let (packed, p) = read_maybe_lz(data, pos)?;
+                    pos = p;
+                    let deltas = bitpack::unpack(&packed, width, present_count - 1)?;
+                    ColumnValues::Int64(delta::decode(first, &deltas, present_count))
+                }
+            }
+            ColumnType::Double => {
+                let (shuffled, p) = read_maybe_lz(data, pos)?;
+                pos = p;
+                ColumnValues::Double(shuffle::unshuffle_f64(&shuffled, present_count)?)
+            }
+            ColumnType::Str => {
+                let dict_region = &self.buf[h.dict_offset as usize..h.data_offset as usize];
+                let entries = if h.n_dict_items == 0 && dict_region.is_empty() {
+                    Vec::new()
+                } else {
+                    let (blob, _) = read_maybe_lz(dict_region, 0)?;
+                    let (entries, _) = dictionary::deserialize_entries(&blob, 0)?;
+                    if entries.len() as u64 != h.n_dict_items {
+                        return Err(Error::Corrupt("dictionary entry count mismatch"));
+                    }
+                    entries
+                };
+                let width = *data.get(pos).ok_or(Error::Truncated {
+                    needed: pos + 1,
+                    available: data.len(),
+                })? as u32;
+                pos += 1;
+                let (packed, p) = read_maybe_lz(data, pos)?;
+                pos = p;
+                let indexes = bitpack::unpack(&packed, width, present_count)?;
+                let idx32: Vec<u32> = indexes
+                    .into_iter()
+                    .map(|i| {
+                        u32::try_from(i).map_err(|_| Error::Corrupt("dictionary index too large"))
+                    })
+                    .collect::<Result<_>>()?;
+                let decoded = dictionary::decode(&dictionary::DictEncoded {
+                    entries,
+                    indexes: idx32,
+                })?;
+                ColumnValues::Str(decoded)
+            }
+            ColumnType::StrSet => {
+                let dict_region = &self.buf[h.dict_offset as usize..h.data_offset as usize];
+                let entries = if h.n_dict_items == 0 && dict_region.is_empty() {
+                    Vec::new()
+                } else {
+                    let (blob, _) = read_maybe_lz(dict_region, 0)?;
+                    let (entries, _) = dictionary::deserialize_entries(&blob, 0)?;
+                    if entries.len() as u64 != h.n_dict_items {
+                        return Err(Error::Corrupt("dictionary entry count mismatch"));
+                    }
+                    entries
+                };
+                let (lengths_blob, p) = read_maybe_lz(data, pos)?;
+                pos = p;
+                let mut lengths = Vec::with_capacity(present_count);
+                let mut lp = 0usize;
+                let mut total_elements = 0u64;
+                for _ in 0..present_count {
+                    let (len, q) = varint::read_u64(&lengths_blob, lp)?;
+                    lp = q;
+                    total_elements = total_elements
+                        .checked_add(len)
+                        .ok_or(Error::Corrupt("set element count overflow"))?;
+                    lengths.push(len as usize);
+                }
+                if lp != lengths_blob.len() {
+                    return Err(Error::Corrupt("trailing bytes in set lengths"));
+                }
+                let width = *data.get(pos).ok_or(Error::Truncated {
+                    needed: pos + 1,
+                    available: data.len(),
+                })? as u32;
+                pos += 1;
+                let (packed, p) = read_maybe_lz(data, pos)?;
+                pos = p;
+                let indexes = bitpack::unpack(&packed, width, total_elements as usize)?;
+                let mut sets = Vec::with_capacity(present_count);
+                let mut cursor = 0usize;
+                for len in lengths {
+                    let mut set = Vec::with_capacity(len);
+                    for &idx in &indexes[cursor..cursor + len] {
+                        let idx = usize::try_from(idx)
+                            .map_err(|_| Error::Corrupt("dictionary index too large"))?;
+                        let entry = entries
+                            .get(idx)
+                            .ok_or(Error::Corrupt("dictionary index out of range"))?;
+                        set.push(entry.clone());
+                    }
+                    cursor += len;
+                    sets.push(set);
+                }
+                ColumnValues::StrSet(sets)
+            }
+        };
+        let _ = pos;
+
+        ColumnData::from_parts(n_items, presence, values)
+    }
+
+    fn parse_header(&self) -> Result<Header> {
+        let buf = &self.buf;
+        if buf.len() < HEADER_SIZE + FOOTER_SIZE {
+            return Err(Error::Truncated {
+                needed: HEADER_SIZE + FOOTER_SIZE,
+                available: buf.len(),
+            });
+        }
+        let u32_at = |off: usize| u32::from_le_bytes(buf[off..off + 4].try_into().unwrap());
+        let u64_at = |off: usize| u64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
+        let magic = u32_at(0);
+        if magic != RBC_MAGIC {
+            return Err(Error::BadMagic {
+                expected: RBC_MAGIC,
+                found: magic,
+            });
+        }
+        let version = u32_at(4);
+        if version != RBC_VERSION {
+            return Err(Error::UnsupportedVersion(version));
+        }
+        let compression = CompressionCode(u32_at(8));
+        if !compression.is_known() {
+            return Err(Error::UnknownCompression(compression.0));
+        }
+        let column_type = ColumnType::from_code(buf[12])
+            .ok_or(Error::Corrupt("unknown column type code in header"))?;
+        let h = Header {
+            compression,
+            column_type,
+            n_bytes: u64_at(16),
+            n_items: u64_at(24),
+            n_dict_items: u64_at(32),
+            dict_offset: u64_at(40),
+            data_offset: u64_at(48),
+            footer_offset: u64_at(56),
+        };
+        if h.n_bytes as usize != buf.len() {
+            return Err(Error::BadOffset("n_bytes does not match buffer length"));
+        }
+        if h.dict_offset != 0 && h.dict_offset as usize != HEADER_SIZE {
+            return Err(Error::BadOffset("dictionary offset must follow header"));
+        }
+        if (h.data_offset as usize) < HEADER_SIZE
+            || h.data_offset > h.footer_offset
+            || h.footer_offset as usize + FOOTER_SIZE != buf.len()
+        {
+            return Err(Error::BadOffset("region offsets are not ordered"));
+        }
+        Ok(h)
+    }
+}
+
+/// Write a length-prefixed, optionally-LZ-compressed block:
+/// `u8 flag | varint raw_len | varint stored_len | bytes`. Compresses only
+/// when it actually shrinks the block. Returns whether LZ was used.
+fn write_maybe_lz(out: &mut Vec<u8>, raw: &[u8]) -> bool {
+    let compressed = lz::compress(raw);
+    if compressed.len() < raw.len() {
+        out.push(1);
+        varint::write_u64(out, raw.len() as u64);
+        varint::write_u64(out, compressed.len() as u64);
+        out.extend_from_slice(&compressed);
+        true
+    } else {
+        out.push(0);
+        varint::write_u64(out, raw.len() as u64);
+        varint::write_u64(out, raw.len() as u64);
+        out.extend_from_slice(raw);
+        false
+    }
+}
+
+/// Inverse of [`write_maybe_lz`]: returns the raw bytes and the position
+/// just past the block.
+fn read_maybe_lz(buf: &[u8], pos: usize) -> Result<(Vec<u8>, usize)> {
+    let flag = *buf.get(pos).ok_or(Error::Truncated {
+        needed: pos + 1,
+        available: buf.len(),
+    })?;
+    let (raw_len, p) = varint::read_u64(buf, pos + 1)?;
+    let (stored_len, p) = varint::read_u64(buf, p)?;
+    let stored_len = stored_len as usize;
+    if p + stored_len > buf.len() {
+        return Err(Error::Truncated {
+            needed: p + stored_len,
+            available: buf.len(),
+        });
+    }
+    let stored = &buf[p..p + stored_len];
+    let raw = match flag {
+        0 => {
+            if raw_len as usize != stored_len {
+                return Err(Error::Corrupt("raw block length mismatch"));
+            }
+            stored.to_vec()
+        }
+        1 => lz::decompress(stored, raw_len as usize)?,
+        _ => return Err(Error::Corrupt("bad LZ block flag")),
+    };
+    Ok((raw, p + stored_len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Value;
+
+    fn int_column(values: &[i64]) -> ColumnData {
+        ColumnData::from_values(ColumnValues::Int64(values.to_vec()))
+    }
+
+    fn round_trip(data: &ColumnData) -> RowBlockColumn {
+        let rbc = RowBlockColumn::encode(data).unwrap();
+        rbc.verify_checksum().unwrap();
+        let decoded = rbc.decode().unwrap();
+        assert_eq!(&decoded, data);
+        // Adoption path (the memcpy-from-shm path) must also succeed.
+        let adopted =
+            RowBlockColumn::from_bytes(rbc.as_bytes().to_vec().into_boxed_slice()).unwrap();
+        assert_eq!(adopted.decode().unwrap(), *data);
+        rbc
+    }
+
+    #[test]
+    fn int_round_trip() {
+        round_trip(&int_column(&[]));
+        round_trip(&int_column(&[42]));
+        round_trip(&int_column(&(0..10_000).collect::<Vec<_>>()));
+        round_trip(&int_column(&[i64::MIN, i64::MAX, 0, -1, 1]));
+    }
+
+    #[test]
+    fn double_round_trip() {
+        let d = ColumnData::from_values(ColumnValues::Double(vec![1.5, -2.5, 1e300, 0.0]));
+        round_trip(&d);
+        round_trip(&ColumnData::from_values(ColumnValues::Double(vec![])));
+    }
+
+    #[test]
+    fn string_round_trip() {
+        let values: Vec<String> = (0..1000).map(|i| format!("endpoint_{}", i % 23)).collect();
+        let rbc = round_trip(&ColumnData::from_values(ColumnValues::Str(values)));
+        assert_eq!(rbc.n_dict_items().unwrap(), 23);
+        assert!(rbc.compression().unwrap().has(CompressionCode::DICTIONARY));
+    }
+
+    #[test]
+    fn empty_string_column() {
+        round_trip(&ColumnData::from_values(ColumnValues::Str(vec![])));
+    }
+
+    #[test]
+    fn strset_round_trip() {
+        let sets: Vec<Vec<String>> = (0..500)
+            .map(|i| {
+                let mut v: Vec<String> = (0..(i % 5))
+                    .map(|k| format!("tag{}", (i + k) % 13))
+                    .collect();
+                v.sort();
+                v.dedup();
+                v
+            })
+            .collect();
+        let rbc = round_trip(&ColumnData::from_values(ColumnValues::StrSet(sets)));
+        assert!(rbc.n_dict_items().unwrap() <= 13);
+        let code = rbc.compression().unwrap();
+        assert!(code.has(CompressionCode::DICTIONARY));
+        assert!(code.has(CompressionCode::VARINT));
+        assert!(code.method_count() >= 2);
+    }
+
+    #[test]
+    fn strset_with_nulls_and_empties() {
+        let mut c = ColumnData::new(ColumnType::StrSet);
+        c.push(Value::set(["a", "b"])).unwrap();
+        c.push_null();
+        c.push(Value::set(Vec::<String>::new())).unwrap(); // empty set != null
+        c.push(Value::set(["z"])).unwrap();
+        let rbc = round_trip(&c);
+        let decoded = rbc.decode().unwrap();
+        assert_eq!(decoded.get(2), Value::set(Vec::<String>::new()));
+        assert_eq!(decoded.get(1), Value::Null);
+    }
+
+    #[test]
+    fn nullable_columns_round_trip() {
+        let mut c = ColumnData::new(ColumnType::Int64);
+        for i in 0..500i64 {
+            if i % 7 == 0 {
+                c.push_null();
+            } else {
+                c.push(Value::Int(i * 1000)).unwrap();
+            }
+        }
+        round_trip(&c);
+
+        let mut s = ColumnData::new(ColumnType::Str);
+        s.push_null();
+        s.push(Value::from("x")).unwrap();
+        s.push_null();
+        round_trip(&s);
+    }
+
+    #[test]
+    fn all_null_column() {
+        let mut c = ColumnData::new(ColumnType::Double);
+        for _ in 0..100 {
+            c.push_null();
+        }
+        round_trip(&c);
+    }
+
+    #[test]
+    fn at_least_two_methods_per_column() {
+        // §2.1: "at least two methods applied to each column".
+        let cases = vec![
+            int_column(&(0..1000).collect::<Vec<_>>()),
+            ColumnData::from_values(ColumnValues::Double((0..1000).map(|i| i as f64).collect())),
+            ColumnData::from_values(ColumnValues::Str(
+                (0..1000).map(|i| format!("s{}", i % 5)).collect(),
+            )),
+        ];
+        for data in cases {
+            let rbc = RowBlockColumn::encode(&data).unwrap();
+            assert!(
+                rbc.compression().unwrap().method_count() >= 2,
+                "type {:?} used {} methods",
+                data.column_type(),
+                rbc.compression().unwrap().method_count()
+            );
+        }
+    }
+
+    #[test]
+    fn timestamps_compress_heavily() {
+        // Near-monotonic unix timestamps, the `time` column workload.
+        let ts: Vec<i64> = (0..65_536).map(|i| 1_700_000_000 + i / 10).collect();
+        let rbc = RowBlockColumn::encode(&int_column(&ts)).unwrap();
+        let raw = ts.len() * 8;
+        assert!(
+            rbc.len_bytes() * 20 < raw,
+            "expected >20x compression, got {}x",
+            raw / rbc.len_bytes()
+        );
+    }
+
+    #[test]
+    fn corruption_detected_by_checksum() {
+        let rbc = RowBlockColumn::encode(&int_column(&(0..1000).collect::<Vec<_>>())).unwrap();
+        let mut bytes = rbc.as_bytes().to_vec();
+        // Flip one byte in the data region.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        let err = RowBlockColumn::from_bytes(bytes.into_boxed_slice()).unwrap_err();
+        assert!(matches!(
+            err,
+            Error::ChecksumMismatch { .. } | Error::BadOffset(_)
+        ));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let rbc = RowBlockColumn::encode(&int_column(&[1, 2, 3])).unwrap();
+        let bytes = rbc.as_bytes();
+        for cut in [0, 10, HEADER_SIZE, bytes.len() - 1] {
+            assert!(
+                RowBlockColumn::from_bytes(bytes[..cut].to_vec().into_boxed_slice()).is_err(),
+                "cut={cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_detected() {
+        let rbc = RowBlockColumn::encode(&int_column(&[1])).unwrap();
+        let mut bytes = rbc.as_bytes().to_vec();
+        bytes[0] = 0xEE;
+        assert!(matches!(
+            RowBlockColumn::from_bytes(bytes.clone().into_boxed_slice()).unwrap_err(),
+            Error::BadMagic { .. }
+        ));
+        let mut bytes = rbc.as_bytes().to_vec();
+        bytes[4] = 0xEE; // version
+        assert!(matches!(
+            RowBlockColumn::from_bytes(bytes.into_boxed_slice()).unwrap_err(),
+            Error::UnsupportedVersion(_)
+        ));
+    }
+
+    #[test]
+    fn single_memcpy_property() {
+        // The defining invariant: a byte-for-byte copy of the buffer is a
+        // fully valid column with no fixups beyond the base pointer.
+        let data = ColumnData::from_values(ColumnValues::Str(
+            (0..100).map(|i| format!("value{i}")).collect(),
+        ));
+        let rbc = RowBlockColumn::encode(&data).unwrap();
+        let mut shadow = vec![0u8; rbc.len_bytes()];
+        shadow.copy_from_slice(rbc.as_bytes()); // the "memcpy"
+        let copied = RowBlockColumn::from_bytes(shadow.into_boxed_slice()).unwrap();
+        assert_eq!(copied.decode().unwrap(), data);
+    }
+}

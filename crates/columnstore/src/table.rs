@@ -1,0 +1,310 @@
+//! Tables (Figure 2): a header plus a vector of row blocks.
+//!
+//! "Each table has a vector of pointers to row blocks (RBs) plus a header.
+//! The table name and a count of the row blocks are in the table header."
+//! Leaf servers "add new data as it arrives and process queries over their
+//! current data. They also delete data as it expires due to either age or
+//! size limits." (§2)
+
+use std::sync::Arc;
+
+use crate::builder::RowBlockBuilder;
+use crate::error::Result;
+use crate::row::Row;
+use crate::rowblock::RowBlock;
+
+/// Table-level metadata (Figure 2: "Table Name, Number of Row Blocks").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableHeader {
+    /// The table's name.
+    pub name: String,
+    /// Number of sealed row blocks.
+    pub num_row_blocks: usize,
+}
+
+/// Retention limits applied by [`Table::expire`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetentionLimits {
+    /// Drop blocks whose newest row is older than this many seconds, if set.
+    pub max_age_secs: Option<i64>,
+    /// Drop oldest blocks until encoded size fits under this, if set.
+    pub max_bytes: Option<usize>,
+}
+
+impl RetentionLimits {
+    /// No limits: nothing ever expires.
+    pub const NONE: RetentionLimits = RetentionLimits {
+        max_age_secs: None,
+        max_bytes: None,
+    };
+}
+
+/// A leaf-local fraction of one Scuba table: sealed row blocks plus the
+/// in-progress builder.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    blocks: Vec<Arc<RowBlock>>,
+    builder: RowBlockBuilder,
+}
+
+impl Table {
+    /// Create an empty table. `now` seeds the first block's creation
+    /// timestamp.
+    pub fn new(name: impl Into<String>, now: i64) -> Self {
+        Table {
+            name: name.into(),
+            blocks: Vec::new(),
+            builder: RowBlockBuilder::new(now),
+        }
+    }
+
+    /// Rebuild a table from recovered row blocks (the disk and shared-
+    /// memory restore paths both end here).
+    pub fn from_blocks(name: impl Into<String>, blocks: Vec<Arc<RowBlock>>, now: i64) -> Self {
+        Table {
+            name: name.into(),
+            blocks,
+            builder: RowBlockBuilder::new(now),
+        }
+    }
+
+    /// The table's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Header view (Figure 2).
+    pub fn header(&self) -> TableHeader {
+        TableHeader {
+            name: self.name.clone(),
+            num_row_blocks: self.blocks.len(),
+        }
+    }
+
+    /// Append one row; seals the current block and starts a new one when a
+    /// cap is reached. `now` stamps a freshly-started block.
+    pub fn append(&mut self, row: &Row, now: i64) -> Result<()> {
+        if self.builder.is_full() {
+            self.seal(now)?;
+        }
+        self.builder.push_row(row)
+    }
+
+    /// Seal the in-progress builder into a row block (no-op when empty).
+    pub fn seal(&mut self, now: i64) -> Result<()> {
+        if self.builder.is_empty() {
+            return Ok(());
+        }
+        let builder = std::mem::replace(&mut self.builder, RowBlockBuilder::new(now));
+        self.blocks.push(Arc::new(builder.finish()?));
+        Ok(())
+    }
+
+    /// Sealed row blocks, oldest first.
+    pub fn blocks(&self) -> &[Arc<RowBlock>] {
+        &self.blocks
+    }
+
+    /// Number of buffered (not yet sealed) rows.
+    pub fn unsealed_rows(&self) -> usize {
+        self.builder.row_count()
+    }
+
+    /// Total rows, sealed + buffered.
+    pub fn row_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.row_count()).sum::<usize>() + self.builder.row_count()
+    }
+
+    /// Blocks whose time range intersects `[from, to)`, including a
+    /// snapshot of unsealed rows if they qualify — this is the §2.1
+    /// min/max-timestamp pruning that lets queries skip cold blocks.
+    pub fn blocks_in_range(&self, from: i64, to: i64) -> Result<Vec<Arc<RowBlock>>> {
+        let mut out: Vec<Arc<RowBlock>> = self
+            .blocks
+            .iter()
+            .filter(|b| b.overlaps_time(from, to))
+            .cloned()
+            .collect();
+        if !self.builder.is_empty()
+            && self.builder.min_time() < to
+            && self.builder.max_time() >= from
+        {
+            out.push(Arc::new(self.builder.snapshot()?));
+        }
+        Ok(out)
+    }
+
+    /// Encoded bytes across sealed blocks (what shutdown will copy).
+    pub fn encoded_bytes(&self) -> usize {
+        self.blocks.iter().map(|b| b.image_bytes()).sum()
+    }
+
+    /// Approximate total heap footprint: encoded blocks plus the raw
+    /// builder estimate.
+    pub fn heap_bytes(&self) -> usize {
+        self.encoded_bytes() + self.builder.raw_bytes()
+    }
+
+    /// Apply retention limits (§2: "delete data as it expires due to either
+    /// age or size limits"), dropping whole blocks oldest-first. Returns
+    /// the number of blocks dropped.
+    pub fn expire(&mut self, limits: RetentionLimits, now: i64) -> usize {
+        let before = self.blocks.len();
+        if let Some(max_age) = limits.max_age_secs {
+            let cutoff = now - max_age;
+            self.blocks.retain(|b| b.header().max_time >= cutoff);
+        }
+        if let Some(max_bytes) = limits.max_bytes {
+            let mut total = self.encoded_bytes();
+            let mut drop_upto = 0usize;
+            for b in &self.blocks {
+                if total <= max_bytes {
+                    break;
+                }
+                total -= b.image_bytes();
+                drop_upto += 1;
+            }
+            self.blocks.drain(..drop_upto);
+        }
+        before - self.blocks.len()
+    }
+
+    /// Drop all sealed blocks and buffered rows (used when a restore path
+    /// replaces table contents wholesale).
+    pub fn clear(&mut self, now: i64) {
+        self.blocks.clear();
+        self.builder = RowBlockBuilder::new(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Value;
+
+    fn filled_table(rows: i64) -> Table {
+        let mut t = Table::new("events", 0);
+        for i in 0..rows {
+            t.append(&Row::at(i).with("v", i * 10), i).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn append_and_count() {
+        let t = filled_table(100);
+        assert_eq!(t.row_count(), 100);
+        assert_eq!(t.unsealed_rows(), 100); // under the cap: nothing sealed
+        assert!(t.blocks().is_empty());
+    }
+
+    #[test]
+    fn seal_moves_rows_to_blocks() {
+        let mut t = filled_table(100);
+        t.seal(100).unwrap();
+        assert_eq!(t.blocks().len(), 1);
+        assert_eq!(t.unsealed_rows(), 0);
+        assert_eq!(t.row_count(), 100);
+        assert_eq!(t.header().num_row_blocks, 1);
+    }
+
+    #[test]
+    fn range_query_sees_unsealed_rows() {
+        let t = filled_table(10); // times 0..9, unsealed
+        let blocks = t.blocks_in_range(0, 100).unwrap();
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].row_count(), 10);
+        // Disjoint range prunes everything.
+        assert!(t.blocks_in_range(100, 200).unwrap().is_empty());
+    }
+
+    #[test]
+    fn range_pruning_skips_blocks() {
+        let mut t = Table::new("e", 0);
+        for epoch in 0..5i64 {
+            for i in 0..10 {
+                t.append(&Row::at(epoch * 1000 + i), 0).unwrap();
+            }
+            t.seal(0).unwrap();
+        }
+        assert_eq!(t.blocks().len(), 5);
+        let hits = t.blocks_in_range(2000, 3000).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].header().min_time, 2000);
+    }
+
+    #[test]
+    fn expire_by_age() {
+        let mut t = Table::new("e", 0);
+        for epoch in 0..3i64 {
+            for i in 0..5 {
+                t.append(&Row::at(epoch * 100 + i), 0).unwrap();
+            }
+            t.seal(0).unwrap();
+        }
+        // now=300, max age 200 => cutoff 100: only epoch 0 (max_time 4) drops.
+        let dropped = t.expire(
+            RetentionLimits {
+                max_age_secs: Some(200),
+                max_bytes: None,
+            },
+            300,
+        );
+        assert_eq!(dropped, 1);
+        assert_eq!(t.blocks().len(), 2);
+    }
+
+    #[test]
+    fn expire_by_size_drops_oldest_first() {
+        let mut t = Table::new("e", 0);
+        for epoch in 0..4i64 {
+            for i in 0..50 {
+                t.append(&Row::at(epoch * 100 + i).with("pad", "x".repeat(50)), 0)
+                    .unwrap();
+            }
+            t.seal(0).unwrap();
+        }
+        let total = t.encoded_bytes();
+        let one_block = total / 4;
+        let dropped = t.expire(
+            RetentionLimits {
+                max_age_secs: None,
+                max_bytes: Some(total - one_block),
+            },
+            0,
+        );
+        assert!(dropped >= 1);
+        // Oldest block (min_time 0) is gone.
+        assert!(t.blocks().iter().all(|b| b.header().min_time >= 100));
+    }
+
+    #[test]
+    fn auto_seal_on_block_cap() {
+        let mut t = Table::new("e", 0);
+        for i in 0..(crate::MAX_ROWS_PER_BLOCK as i64 + 10) {
+            t.append(&Row::at(i), 0).unwrap();
+        }
+        assert_eq!(t.blocks().len(), 1);
+        assert_eq!(t.unsealed_rows(), 10);
+        assert_eq!(t.row_count(), crate::MAX_ROWS_PER_BLOCK + 10);
+    }
+
+    #[test]
+    fn from_blocks_rebuilds() {
+        let mut t = filled_table(50);
+        t.seal(0).unwrap();
+        let rebuilt = Table::from_blocks("events", t.blocks().to_vec(), 0);
+        assert_eq!(rebuilt.row_count(), 50);
+        assert_eq!(rebuilt.blocks()[0].cell(0, "v").unwrap(), Value::Int(0));
+    }
+
+    #[test]
+    fn clear_empties_table() {
+        let mut t = filled_table(50);
+        t.seal(0).unwrap();
+        t.clear(0);
+        assert_eq!(t.row_count(), 0);
+        assert_eq!(t.encoded_bytes(), 0);
+    }
+}

@@ -1,0 +1,273 @@
+//! Column types and dynamically-typed values.
+//!
+//! Scuba columns are integers, floating-point numbers, or strings; a row
+//! block's schema (Figure 2: "Name_0, Type_0 ...") assigns each column name
+//! a [`ColumnType`]. Rows may omit columns — different rows in the same
+//! table can carry different column sets (§2.1: "Different row blocks may
+//! have different schemas") — so decoded cells are `Option<Value>`-like via
+//! [`Value::Null`].
+
+use std::fmt;
+
+/// The type of a column, as recorded in a row block schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColumnType {
+    /// 64-bit signed integer (also used for the required `time` column).
+    Int64,
+    /// 64-bit IEEE float.
+    Double,
+    /// UTF-8 string.
+    Str,
+    /// Set of UTF-8 strings (Scuba's tag sets). Normalized: sorted,
+    /// deduplicated.
+    StrSet,
+}
+
+impl ColumnType {
+    /// Stable on-disk / in-shm code for this type.
+    pub fn code(self) -> u8 {
+        match self {
+            ColumnType::Int64 => 0,
+            ColumnType::Double => 1,
+            ColumnType::Str => 2,
+            ColumnType::StrSet => 3,
+        }
+    }
+
+    /// Inverse of [`ColumnType::code`].
+    pub fn from_code(code: u8) -> Option<ColumnType> {
+        match code {
+            0 => Some(ColumnType::Int64),
+            1 => Some(ColumnType::Double),
+            2 => Some(ColumnType::Str),
+            3 => Some(ColumnType::StrSet),
+            _ => None,
+        }
+    }
+
+    /// Human-readable name, used in error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            ColumnType::Int64 => "int64",
+            ColumnType::Double => "double",
+            ColumnType::Str => "string",
+            ColumnType::StrSet => "string set",
+        }
+    }
+}
+
+impl fmt::Display for ColumnType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A single dynamically-typed cell value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Missing cell (the row did not carry this column).
+    Null,
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Double(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Set of UTF-8 strings, kept sorted and deduplicated. Build with
+    /// [`Value::set`] to guarantee normalization.
+    StrSet(Vec<String>),
+}
+
+impl Value {
+    /// Build a normalized (sorted, deduplicated) string set.
+    pub fn set<I, S>(items: I) -> Value
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut v: Vec<String> = items.into_iter().map(Into::into).collect();
+        v.sort();
+        v.dedup();
+        Value::StrSet(v)
+    }
+
+    /// The column type this value belongs to, or `None` for nulls (which
+    /// fit any column).
+    pub fn column_type(&self) -> Option<ColumnType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(ColumnType::Int64),
+            Value::Double(_) => Some(ColumnType::Double),
+            Value::Str(_) => Some(ColumnType::Str),
+            Value::StrSet(_) => Some(ColumnType::StrSet),
+        }
+    }
+
+    /// Human-readable type name, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Int(_) => "int64",
+            Value::Double(_) => "double",
+            Value::Str(_) => "string",
+            Value::StrSet(_) => "string set",
+        }
+    }
+
+    /// True if this is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The integer payload, if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The float payload, if this is a [`Value::Double`].
+    pub fn as_double(&self) -> Option<f64> {
+        match self {
+            Value::Double(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The set payload, if this is a [`Value::StrSet`].
+    pub fn as_set(&self) -> Option<&[String]> {
+        match self {
+            Value::StrSet(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A numeric view of the value (ints widen to f64), used by aggregates.
+    pub fn as_numeric(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Double(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Approximate heap footprint of the value, used for the 1 GB
+    /// pre-compression row block cap and for leaf memory accounting.
+    pub fn heap_size(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::Int(_) | Value::Double(_) => 8,
+            Value::Str(s) => s.len() + 8,
+            Value::StrSet(items) => items.iter().map(|s| s.len() + 8).sum::<usize>() + 24,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Double(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::StrSet(items) => {
+                f.write_str("{")?;
+                for (i, s) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{s:?}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+impl From<Vec<String>> for Value {
+    fn from(v: Vec<String>) -> Self {
+        Value::set(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Double(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_codes_round_trip() {
+        for ty in [ColumnType::Int64, ColumnType::Double, ColumnType::Str] {
+            assert_eq!(ColumnType::from_code(ty.code()), Some(ty));
+        }
+        assert_eq!(ColumnType::from_code(99), None);
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Int(7).as_numeric(), Some(7.0));
+        assert_eq!(Value::Double(2.5).as_double(), Some(2.5));
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Str("abc".into()).as_int(), None);
+    }
+
+    #[test]
+    fn value_types() {
+        assert_eq!(Value::Int(1).column_type(), Some(ColumnType::Int64));
+        assert_eq!(Value::Null.column_type(), None);
+        assert_eq!(Value::from(1.0).type_name(), "double");
+    }
+
+    #[test]
+    fn sets_normalize() {
+        let v = Value::set(["b", "a", "b", "c"]);
+        assert_eq!(v.as_set().unwrap(), &["a", "b", "c"]);
+        assert_eq!(v.column_type(), Some(ColumnType::StrSet));
+        assert_eq!(v.to_string(), r#"{"a", "b", "c"}"#);
+        assert_eq!(
+            Value::from(vec!["x".to_owned(), "x".to_owned()]),
+            Value::set(["x"])
+        );
+        assert_eq!(Value::set(Vec::<String>::new()).as_set().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn heap_size_scales_with_strings() {
+        assert_eq!(Value::Int(0).heap_size(), 8);
+        assert!(Value::from("hello world").heap_size() > Value::from("x").heap_size());
+    }
+}

@@ -1,0 +1,288 @@
+//! Property-based tests for the column-store substrate: every encoding
+//! stage, the row block column buffer, and the row block image must
+//! round-trip arbitrary data, and every parser must reject arbitrary
+//! corruption without panicking.
+
+use proptest::collection::vec;
+use proptest::option;
+use proptest::prelude::*;
+
+use scuba_columnstore::column::ColumnData;
+use scuba_columnstore::encoding::{bitpack, delta, dictionary, lz, shuffle, varint};
+use scuba_columnstore::{Row, RowBlock, RowBlockBuilder, RowBlockColumn, Value};
+
+proptest! {
+    #[test]
+    fn varint_round_trips(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        varint::write_u64(&mut buf, v);
+        let (back, end) = varint::read_u64(&buf, 0).unwrap();
+        prop_assert_eq!(back, v);
+        prop_assert_eq!(end, buf.len());
+    }
+
+    #[test]
+    fn varint_rejects_arbitrary_garbage_without_panic(bytes in vec(any::<u8>(), 0..20)) {
+        // Must never panic; may parse or error.
+        let _ = varint::read_u64(&bytes, 0);
+    }
+
+    #[test]
+    fn zigzag_round_trips(v in any::<i64>()) {
+        prop_assert_eq!(varint::zigzag_decode(varint::zigzag_encode(v)), v);
+    }
+
+    #[test]
+    fn delta_round_trips(values in vec(any::<i64>(), 0..300)) {
+        let (first, deltas) = delta::encode(&values);
+        prop_assert_eq!(delta::decode(first, &deltas, values.len()), values);
+    }
+
+    #[test]
+    fn bitpack_round_trips_any_width(values in vec(any::<u64>(), 0..300), shift in 0u32..64) {
+        // Constrain values into a random width band.
+        let values: Vec<u64> = values.iter().map(|v| v >> shift).collect();
+        let width = bitpack::width_for(&values);
+        let packed = bitpack::pack(&values, width);
+        prop_assert_eq!(bitpack::unpack(&packed, width, values.len()).unwrap(), values);
+    }
+
+    #[test]
+    fn dictionary_round_trips(values in vec("[a-z]{0,12}", 0..200)) {
+        let enc = dictionary::encode(&values);
+        prop_assert_eq!(dictionary::decode(&enc).unwrap(), values);
+        // Entries are distinct.
+        let mut sorted = enc.entries.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), enc.entries.len());
+    }
+
+    #[test]
+    fn lz_round_trips(data in vec(any::<u8>(), 0..5000)) {
+        let compressed = lz::compress(&data);
+        prop_assert_eq!(lz::decompress(&compressed, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn lz_round_trips_repetitive(pattern in vec(any::<u8>(), 1..30), reps in 1usize..200) {
+        let data: Vec<u8> = pattern.iter().copied().cycle().take(pattern.len() * reps).collect();
+        let compressed = lz::compress(&data);
+        prop_assert_eq!(lz::decompress(&compressed, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn lz_decompress_never_panics_on_garbage(data in vec(any::<u8>(), 0..500), len in 0usize..2000) {
+        let _ = lz::decompress(&data, len);
+    }
+
+    #[test]
+    fn shuffle_round_trips(values in vec(any::<f64>(), 0..300)) {
+        let shuffled = shuffle::shuffle_f64(&values);
+        let back = shuffle::unshuffle_f64(&shuffled, values.len()).unwrap();
+        // Compare bit patterns so NaNs count as equal.
+        let a: Vec<u64> = values.iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u64> = back.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// Strategy for one column's worth of optional cells of a single type.
+fn int_cells() -> impl Strategy<Value = Vec<Option<i64>>> {
+    vec(option::of(any::<i64>()), 0..300)
+}
+
+fn str_cells() -> impl Strategy<Value = Vec<Option<String>>> {
+    vec(option::of("[a-zA-Z0-9 /_-]{0,20}"), 0..200)
+}
+
+fn double_cells() -> impl Strategy<Value = Vec<Option<f64>>> {
+    vec(
+        option::of(any::<f64>().prop_filter("no NaN in equality tests", |v| !v.is_nan())),
+        0..200,
+    )
+}
+
+fn set_cells() -> impl Strategy<Value = Vec<Option<Vec<String>>>> {
+    vec(
+        option::of(vec("[a-z]{0,6}", 0..5).prop_map(|items| {
+            let mut v = items;
+            v.sort();
+            v.dedup();
+            v
+        })),
+        0..120,
+    )
+}
+
+fn column_from<T: Clone, F: Fn(T) -> Value>(
+    cells: &[Option<T>],
+    ty: scuba_columnstore::ColumnType,
+    wrap: F,
+) -> ColumnData {
+    let mut col = ColumnData::new(ty);
+    for c in cells {
+        match c {
+            Some(v) => col.push(wrap(v.clone())).unwrap(),
+            None => col.push_null(),
+        }
+    }
+    col
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rbc_round_trips_int_columns(cells in int_cells()) {
+        let col = column_from(&cells, scuba_columnstore::ColumnType::Int64, Value::Int);
+        let rbc = RowBlockColumn::encode(&col).unwrap();
+        prop_assert_eq!(rbc.decode().unwrap(), col);
+    }
+
+    #[test]
+    fn rbc_round_trips_str_columns(cells in str_cells()) {
+        let col = column_from(&cells, scuba_columnstore::ColumnType::Str, Value::Str);
+        let rbc = RowBlockColumn::encode(&col).unwrap();
+        prop_assert_eq!(rbc.decode().unwrap(), col);
+    }
+
+    #[test]
+    fn rbc_round_trips_double_columns(cells in double_cells()) {
+        let col = column_from(&cells, scuba_columnstore::ColumnType::Double, Value::Double);
+        let rbc = RowBlockColumn::encode(&col).unwrap();
+        prop_assert_eq!(rbc.decode().unwrap(), col);
+    }
+
+    #[test]
+    fn rbc_round_trips_set_columns(cells in set_cells()) {
+        let col = column_from(&cells, scuba_columnstore::ColumnType::StrSet, Value::StrSet);
+        let rbc = RowBlockColumn::encode(&col).unwrap();
+        prop_assert_eq!(rbc.decode().unwrap(), col);
+    }
+
+    #[test]
+    fn rbc_memcpy_adoption_equals_original(cells in int_cells()) {
+        // The single-memcpy invariant under arbitrary data.
+        let col = column_from(&cells, scuba_columnstore::ColumnType::Int64, Value::Int);
+        let rbc = RowBlockColumn::encode(&col).unwrap();
+        let copy = RowBlockColumn::from_bytes(rbc.as_bytes().to_vec().into_boxed_slice()).unwrap();
+        prop_assert_eq!(copy.decode().unwrap(), col);
+    }
+
+    #[test]
+    fn rbc_detects_any_single_byte_corruption(
+        cells in vec(option::of(any::<i64>()), 1..60),
+        pos_seed in any::<usize>(),
+        xor in 1u8..=255,
+    ) {
+        let col = column_from(&cells, scuba_columnstore::ColumnType::Int64, Value::Int);
+        let rbc = RowBlockColumn::encode(&col).unwrap();
+        let mut bytes = rbc.as_bytes().to_vec();
+        let pos = pos_seed % bytes.len();
+        bytes[pos] ^= xor;
+        // Either rejected at parse/checksum, or (if it slipped past into a
+        // region the header does not constrain — there is none, but the
+        // property allows it) it must still decode to *something* without
+        // panicking. It must never decode to the original silently claiming
+        // integrity AND different content.
+        match RowBlockColumn::from_bytes(bytes.into_boxed_slice()) {
+            Err(_) => {} // detected: the expected outcome
+            Ok(adopted) => {
+                // Checksums passed => the flip must have been undone or be
+                // outside the checksummed region; there is no such region,
+                // so content must equal the original.
+                prop_assert_eq!(adopted.decode().unwrap(), col);
+            }
+        }
+    }
+}
+
+/// Arbitrary rows: a time plus a few typed columns from a fixed palette
+/// (consistent types per name, as the store requires).
+fn arb_rows() -> impl Strategy<Value = Vec<Row>> {
+    vec(
+        (
+            any::<i32>(),
+            option::of(any::<i64>()),
+            option::of("[a-z]{0,8}"),
+            option::of(any::<f64>().prop_filter("no NaN", |v| !v.is_nan())),
+            option::of(vec("[a-z]{0,4}", 0..4)),
+        ),
+        0..120,
+    )
+    .prop_map(|tuples| {
+        tuples
+            .into_iter()
+            .map(|(t, i, s, d, set)| {
+                let mut row = Row::at(t as i64);
+                if let Some(i) = i {
+                    row.set("ints", i);
+                }
+                if let Some(s) = s {
+                    row.set("strs", s);
+                }
+                if let Some(d) = d {
+                    row.set("dbls", d);
+                }
+                if let Some(set) = set {
+                    row.set("tags", Value::set(set));
+                }
+                row
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn row_block_round_trips_arbitrary_rows(rows in arb_rows()) {
+        let mut b = RowBlockBuilder::new(0);
+        for r in &rows {
+            b.push_row(r).unwrap();
+        }
+        let block = b.finish().unwrap();
+        prop_assert_eq!(block.row_count(), rows.len());
+        // decode_rows returns rows in order with identical contents.
+        let decoded = block.decode_rows().unwrap();
+        prop_assert_eq!(&decoded, &rows);
+        // Serialize + deserialize the whole image.
+        let mut buf = Vec::new();
+        block.serialize(&mut buf);
+        let (parsed, end) = RowBlock::deserialize(&buf, 0).unwrap();
+        prop_assert_eq!(end, buf.len());
+        prop_assert_eq!(parsed.decode_rows().unwrap(), rows);
+    }
+
+    #[test]
+    fn row_block_header_bounds_are_tight(rows in arb_rows()) {
+        prop_assume!(!rows.is_empty());
+        let mut b = RowBlockBuilder::new(0);
+        for r in &rows {
+            b.push_row(r).unwrap();
+        }
+        let block = b.finish().unwrap();
+        let min = rows.iter().map(Row::time).min().unwrap();
+        let max = rows.iter().map(Row::time).max().unwrap();
+        prop_assert_eq!(block.header().min_time, min);
+        prop_assert_eq!(block.header().max_time, max);
+        // Pruning is conservative: any in-range query overlaps.
+        prop_assert!(block.overlaps_time(min, max + 1));
+        prop_assert!(!block.overlaps_time(max + 1, max + 2));
+    }
+
+    #[test]
+    fn row_block_deserialize_survives_truncation(rows in arb_rows(), cut_seed in any::<usize>()) {
+        let mut b = RowBlockBuilder::new(0);
+        for r in &rows {
+            b.push_row(r).unwrap();
+        }
+        let block = b.finish().unwrap();
+        let mut buf = Vec::new();
+        block.serialize(&mut buf);
+        let cut = cut_seed % buf.len();
+        prop_assert!(RowBlock::deserialize(&buf[..cut], 0).is_err());
+    }
+}

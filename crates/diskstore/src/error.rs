@@ -1,0 +1,71 @@
+//! Errors from the disk backup layer.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// Result alias for disk operations.
+pub type DiskResult<T> = std::result::Result<T, DiskError>;
+
+/// A disk backup/recovery failure.
+#[derive(Debug)]
+pub enum DiskError {
+    /// An I/O operation failed.
+    Io { path: PathBuf, source: io::Error },
+    /// A record failed to parse (beyond a tolerable torn tail).
+    Format {
+        path: PathBuf,
+        offset: u64,
+        reason: String,
+    },
+    /// Column-store decode error while translating.
+    Store(scuba_columnstore::Error),
+    /// Table name cannot be mapped to a file name.
+    BadTableName(String),
+}
+
+impl DiskError {
+    pub(crate) fn io(path: &std::path::Path, source: io::Error) -> DiskError {
+        DiskError::Io {
+            path: path.to_owned(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for DiskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiskError::Io { path, source } => {
+                write!(f, "I/O error on {}: {source}", path.display())
+            }
+            DiskError::Format {
+                path,
+                offset,
+                reason,
+            } => write!(
+                f,
+                "bad record in {} at offset {offset}: {reason}",
+                path.display()
+            ),
+            DiskError::Store(e) => write!(f, "column store error during recovery: {e}"),
+            DiskError::BadTableName(name) => write!(f, "table name {name:?} is not storable"),
+        }
+    }
+}
+
+impl std::error::Error for DiskError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DiskError::Io { source, .. } => Some(source),
+            DiskError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<scuba_columnstore::Error> for DiskError {
+    fn from(e: scuba_columnstore::Error) -> Self {
+        DiskError::Store(e)
+    }
+}

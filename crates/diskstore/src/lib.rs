@@ -1,0 +1,39 @@
+//! Disk backup substrate for the Scuba fast-restart reproduction.
+//!
+//! "Scuba stores backups of all incoming data to disk, so it is always
+//! possible to recover from disk, even in the case of a software or
+//! hardware crash." (§4) Disk recovery is the slow path the paper is
+//! beating: "Reading about 120 GB of data from disk takes 20-25 minutes;
+//! reading that data in its disk format and translating it to its
+//! in-memory format takes 2.5-3 hours" (§1) — i.e. the dominant cost is
+//! *format translation*, not I/O.
+//!
+//! Two on-disk formats are implemented:
+//!
+//! * [`rowformat`] + [`backup::DiskBackup`] — the production path: a
+//!   row-oriented append-only log per table. Recovery must parse every
+//!   row and rebuild the columnar row blocks through the normal builder,
+//!   which is exactly the translation cost the paper describes. Torn
+//!   tails (crash mid-append) are tolerated by truncating at the first
+//!   bad record: "losing a tiny amount of data ... is acceptable and it
+//!   simplifies recovery greatly" (§4.1).
+//! * [`fastformat`] — the §6 future-work format: "We are planning to use
+//!   the shared memory format described in this paper as the disk format,
+//!   instead. We expect that the much simpler translation to heap memory
+//!   format will speed up disk recovery significantly." Row block images
+//!   are written verbatim; recovery is read + validate. Experiment E10
+//!   measures the difference.
+//!
+//! [`throttle::Throttle`] emulates a paper-scale disk (or memory) device
+//! for experiments that need real elapsed time at laptop scale.
+
+pub mod backup;
+pub mod error;
+pub mod fastformat;
+pub mod rowformat;
+pub mod throttle;
+
+pub use backup::{DiskBackup, RecoveryStats};
+pub use error::{DiskError, DiskResult};
+pub use fastformat::FastBackup;
+pub use throttle::Throttle;

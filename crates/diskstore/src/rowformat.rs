@@ -1,0 +1,263 @@
+//! The row-oriented on-disk record format.
+//!
+//! Deliberately row-major: Scuba's disk backup logs incoming row batches,
+//! and recovery has to parse every record and push it back through the
+//! columnar builder — that *translation* is what makes disk recovery take
+//! "2.5-3 hours" against "20-25 minutes" of raw reading (§1).
+//!
+//! # Record layout
+//!
+//! ```text
+//! u32 record length (bytes after this field)
+//! u32 crc32 of the payload
+//! payload:
+//!   i64 time
+//!   u16 column count
+//!   per column: u16 name length | name bytes | u8 type code | value
+//!     value: Int64/Double = 8 bytes LE; Str = u32 length + bytes
+//! ```
+
+use scuba_columnstore::checksum::crc32;
+use scuba_columnstore::{ColumnType, Row, Value};
+
+/// Maximum sane record size; larger length prefixes are treated as
+/// corruption (a torn length field could otherwise ask for gigabytes).
+pub const MAX_RECORD: usize = 64 << 20;
+
+/// Serialize one row as a length-prefixed, checksummed record.
+pub fn write_record(row: &Row, out: &mut Vec<u8>) {
+    let mut payload = Vec::with_capacity(row.heap_size() + 16);
+    payload.extend_from_slice(&row.time().to_le_bytes());
+    payload.extend_from_slice(&(row.num_columns() as u16).to_le_bytes());
+    for (name, value) in row.columns() {
+        payload.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        payload.extend_from_slice(name.as_bytes());
+        match value {
+            Value::Int(v) => {
+                payload.push(ColumnType::Int64.code());
+                payload.extend_from_slice(&v.to_le_bytes());
+            }
+            Value::Double(v) => {
+                payload.push(ColumnType::Double.code());
+                payload.extend_from_slice(&v.to_le_bytes());
+            }
+            Value::Str(s) => {
+                payload.push(ColumnType::Str.code());
+                payload.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                payload.extend_from_slice(s.as_bytes());
+            }
+            Value::StrSet(items) => {
+                payload.push(ColumnType::StrSet.code());
+                payload.extend_from_slice(&(items.len() as u32).to_le_bytes());
+                for item in items {
+                    payload.extend_from_slice(&(item.len() as u32).to_le_bytes());
+                    payload.extend_from_slice(item.as_bytes());
+                }
+            }
+            Value::Null => unreachable!("rows never store nulls"),
+        }
+    }
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+}
+
+/// Outcome of reading one record.
+#[derive(Debug, PartialEq)]
+pub enum ReadOutcome {
+    /// A full record parsed; cursor advanced past it.
+    Record(Row),
+    /// Clean end of input (no bytes left).
+    End,
+    /// Truncated or corrupt data at the tail; carries the reason. Callers
+    /// treat this as a crash-torn tail and stop (§4.1).
+    Torn(String),
+}
+
+/// Read one record from `buf` at `*pos`, advancing `*pos` on success.
+pub fn read_record(buf: &[u8], pos: &mut usize) -> ReadOutcome {
+    let p = *pos;
+    if p == buf.len() {
+        return ReadOutcome::End;
+    }
+    if p + 8 > buf.len() {
+        return ReadOutcome::Torn("record header truncated".to_owned());
+    }
+    let len = u32::from_le_bytes(buf[p..p + 4].try_into().unwrap()) as usize;
+    let stored_crc = u32::from_le_bytes(buf[p + 4..p + 8].try_into().unwrap());
+    if len > MAX_RECORD {
+        return ReadOutcome::Torn(format!("record length {len} exceeds cap"));
+    }
+    if p + 8 + len > buf.len() {
+        return ReadOutcome::Torn("record payload truncated".to_owned());
+    }
+    let payload = &buf[p + 8..p + 8 + len];
+    if crc32(payload) != stored_crc {
+        return ReadOutcome::Torn("record checksum mismatch".to_owned());
+    }
+    match parse_payload(payload) {
+        Ok(row) => {
+            *pos = p + 8 + len;
+            ReadOutcome::Record(row)
+        }
+        Err(reason) => ReadOutcome::Torn(reason),
+    }
+}
+
+fn parse_payload(payload: &[u8]) -> Result<Row, String> {
+    let take = |p: &mut usize, n: usize| -> Result<&[u8], String> {
+        if *p + n > payload.len() {
+            return Err("payload truncated".to_owned());
+        }
+        let s = &payload[*p..*p + n];
+        *p += n;
+        Ok(s)
+    };
+    let mut p = 0usize;
+    let time = i64::from_le_bytes(take(&mut p, 8)?.try_into().unwrap());
+    let ncols = u16::from_le_bytes(take(&mut p, 2)?.try_into().unwrap()) as usize;
+    let mut row = Row::at(time);
+    for _ in 0..ncols {
+        let name_len = u16::from_le_bytes(take(&mut p, 2)?.try_into().unwrap()) as usize;
+        let name = std::str::from_utf8(take(&mut p, name_len)?)
+            .map_err(|_| "column name is not UTF-8".to_owned())?
+            .to_owned();
+        let code = take(&mut p, 1)?[0];
+        let ty = ColumnType::from_code(code).ok_or_else(|| format!("bad type code {code}"))?;
+        let value = match ty {
+            ColumnType::Int64 => {
+                Value::Int(i64::from_le_bytes(take(&mut p, 8)?.try_into().unwrap()))
+            }
+            ColumnType::Double => {
+                Value::Double(f64::from_le_bytes(take(&mut p, 8)?.try_into().unwrap()))
+            }
+            ColumnType::Str => {
+                let len = u32::from_le_bytes(take(&mut p, 4)?.try_into().unwrap()) as usize;
+                let s = std::str::from_utf8(take(&mut p, len)?)
+                    .map_err(|_| "string value is not UTF-8".to_owned())?;
+                Value::Str(s.to_owned())
+            }
+            ColumnType::StrSet => {
+                let count = u32::from_le_bytes(take(&mut p, 4)?.try_into().unwrap()) as usize;
+                if count > payload.len() {
+                    return Err("set element count exceeds payload".to_owned());
+                }
+                let mut items = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let len = u32::from_le_bytes(take(&mut p, 4)?.try_into().unwrap()) as usize;
+                    let s = std::str::from_utf8(take(&mut p, len)?)
+                        .map_err(|_| "set element is not UTF-8".to_owned())?;
+                    items.push(s.to_owned());
+                }
+                Value::set(items)
+            }
+        };
+        row.set(&name, value);
+    }
+    if p != payload.len() {
+        return Err("trailing bytes in record payload".to_owned());
+    }
+    Ok(row)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_row() -> Row {
+        Row::at(1_700_000_123)
+            .with("endpoint", "/api/feed")
+            .with("status", 200i64)
+            .with("latency_ms", 12.75f64)
+    }
+
+    #[test]
+    fn record_round_trip() {
+        let row = sample_row();
+        let mut buf = Vec::new();
+        write_record(&row, &mut buf);
+        let mut pos = 0;
+        match read_record(&buf, &mut pos) {
+            ReadOutcome::Record(back) => assert_eq!(back, row),
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+        assert_eq!(pos, buf.len());
+        assert_eq!(read_record(&buf, &mut pos), ReadOutcome::End);
+    }
+
+    #[test]
+    fn many_records_stream() {
+        let mut buf = Vec::new();
+        let rows: Vec<Row> = (0..200)
+            .map(|i| Row::at(i).with("n", i * 3).with("s", format!("v{i}")))
+            .collect();
+        for r in &rows {
+            write_record(r, &mut buf);
+        }
+        let mut pos = 0;
+        let mut back = Vec::new();
+        loop {
+            match read_record(&buf, &mut pos) {
+                ReadOutcome::Record(r) => back.push(r),
+                ReadOutcome::End => break,
+                ReadOutcome::Torn(r) => panic!("torn: {r}"),
+            }
+        }
+        assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn torn_tail_detected_not_panicking() {
+        let mut buf = Vec::new();
+        write_record(&sample_row(), &mut buf);
+        let full = buf.len();
+        // Every truncation point inside the record must yield Torn (or End
+        // at exactly 0... no: 0 length means header truncated unless empty).
+        for cut in 1..full {
+            let mut pos = 0;
+            match read_record(&buf[..cut], &mut pos) {
+                ReadOutcome::Torn(_) => {}
+                other => panic!("cut={cut}: expected Torn, got {other:?}"),
+            }
+            assert_eq!(pos, 0, "cursor must not advance on torn record");
+        }
+    }
+
+    #[test]
+    fn bit_flip_detected_by_crc() {
+        let mut buf = Vec::new();
+        write_record(&sample_row(), &mut buf);
+        for i in 8..buf.len() {
+            let mut copy = buf.clone();
+            copy[i] ^= 0x01;
+            let mut pos = 0;
+            assert!(
+                matches!(read_record(&copy, &mut pos), ReadOutcome::Torn(_)),
+                "flip at {i} undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn absurd_length_rejected() {
+        let mut buf = vec![0xFF, 0xFF, 0xFF, 0x7F]; // ~2 GB length
+        buf.extend_from_slice(&[0u8; 12]);
+        let mut pos = 0;
+        assert!(matches!(read_record(&buf, &mut pos), ReadOutcome::Torn(_)));
+    }
+
+    #[test]
+    fn empty_row_round_trips() {
+        let row = Row::at(5);
+        let mut buf = Vec::new();
+        write_record(&row, &mut buf);
+        let mut pos = 0;
+        match read_record(&buf, &mut pos) {
+            ReadOutcome::Record(back) => {
+                assert_eq!(back.time(), 5);
+                assert_eq!(back.num_columns(), 0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Bandwidth throttling for paper-scale emulation.
+//!
+//! The paper's numbers come from spinning disks (~100 MB/s per disk) and
+//! memory (GB/s). Experiments that want realistic *elapsed-time ratios*
+//! at laptop scale wrap their byte movement in a [`Throttle`], which
+//! sleeps just enough to hold a configured bytes/second rate. The cluster
+//! simulator instead uses the same rates analytically (no sleeping); this
+//! type is for the real-execution experiments and demos.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Paces byte consumption at a fixed rate.
+#[derive(Debug)]
+pub struct Throttle {
+    bytes_per_sec: f64,
+    state: Mutex<State>,
+}
+
+#[derive(Debug)]
+struct State {
+    started: Option<Instant>,
+    consumed: u64,
+}
+
+impl Throttle {
+    /// A throttle allowing `bytes_per_sec` of traffic.
+    pub fn new(bytes_per_sec: u64) -> Throttle {
+        assert!(bytes_per_sec > 0, "rate must be positive");
+        Throttle {
+            bytes_per_sec: bytes_per_sec as f64,
+            state: Mutex::new(State {
+                started: None,
+                consumed: 0,
+            }),
+        }
+    }
+
+    /// The configured rate.
+    pub fn bytes_per_sec(&self) -> u64 {
+        self.bytes_per_sec as u64
+    }
+
+    /// Record `bytes` of traffic, sleeping if we are ahead of the rate.
+    pub fn consume(&self, bytes: u64) {
+        let sleep_needed = {
+            let mut s = self.state.lock().expect("throttle poisoned");
+            let started = *s.started.get_or_insert_with(Instant::now);
+            s.consumed += bytes;
+            let due = Duration::from_secs_f64(s.consumed as f64 / self.bytes_per_sec);
+            let elapsed = started.elapsed();
+            due.checked_sub(elapsed)
+        };
+        if let Some(d) = sleep_needed {
+            std::thread::sleep(d);
+        }
+    }
+
+    /// Simulated duration to move `bytes` at this rate, without sleeping
+    /// (used by analytic experiments).
+    pub fn duration_for(&self, bytes: u64) -> Duration {
+        Duration::from_secs_f64(bytes as f64 / self.bytes_per_sec)
+    }
+
+    /// Total bytes consumed so far.
+    pub fn consumed(&self) -> u64 {
+        self.state.lock().expect("throttle poisoned").consumed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paces_consumption() {
+        // 1 MB/s; consuming 200 KB should take ~200 ms.
+        let t = Throttle::new(1_000_000);
+        let start = Instant::now();
+        for _ in 0..10 {
+            t.consume(20_000);
+        }
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_millis(150), "{elapsed:?}");
+        assert!(elapsed < Duration::from_millis(800), "{elapsed:?}");
+        assert_eq!(t.consumed(), 200_000);
+    }
+
+    #[test]
+    fn duration_for_is_analytic() {
+        let t = Throttle::new(100 << 20); // 100 MiB/s "disk"
+        let d = t.duration_for(120 << 30); // 120 GiB, the paper's per-machine data
+                                           // 120 GiB / 100 MiB/s = ~20.5 minutes — the paper says 20-25 min.
+        assert!(
+            d >= Duration::from_secs(19 * 60) && d <= Duration::from_secs(26 * 60),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn fast_rate_barely_sleeps() {
+        let t = Throttle::new(u64::MAX / 2);
+        let start = Instant::now();
+        t.consume(10_000_000);
+        assert!(start.elapsed() < Duration::from_millis(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_panics() {
+        Throttle::new(0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests for the disk formats: arbitrary rows round-trip
+//! through both formats, and arbitrary corruption/truncation is detected
+//! (row format: torn-tail prefix recovery; fast format: hard error).
+
+use proptest::collection::vec;
+use proptest::option;
+use proptest::prelude::*;
+
+use scuba_columnstore::{Row, Table};
+use scuba_diskstore::rowformat::{read_record, write_record, ReadOutcome};
+use scuba_diskstore::{DiskBackup, FastBackup};
+
+fn arb_row() -> impl Strategy<Value = Row> {
+    (
+        any::<i32>(),
+        option::of(any::<i64>()),
+        option::of("[a-zA-Z0-9 ,./-]{0,30}"),
+        option::of(any::<f64>().prop_filter("no NaN", |v| !v.is_nan())),
+        option::of(vec("[a-z]{0,5}", 0..4)),
+    )
+        .prop_map(|(t, i, s, d, set)| {
+            let mut row = Row::at(t as i64);
+            if let Some(i) = i {
+                row.set("i", i);
+            }
+            if let Some(s) = s {
+                row.set("s", s);
+            }
+            if let Some(d) = d {
+                row.set("d", d);
+            }
+            if let Some(set) = set {
+                row.set("tags", scuba_columnstore::Value::set(set));
+            }
+            row
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn records_round_trip(rows in vec(arb_row(), 0..80)) {
+        let mut buf = Vec::new();
+        for r in &rows {
+            write_record(r, &mut buf);
+        }
+        let mut pos = 0;
+        let mut back = Vec::new();
+        loop {
+            match read_record(&buf, &mut pos) {
+                ReadOutcome::Record(r) => back.push(r),
+                ReadOutcome::End => break,
+                ReadOutcome::Torn(reason) => return Err(TestCaseError::fail(reason)),
+            }
+        }
+        prop_assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn any_truncation_recovers_exact_prefix(rows in vec(arb_row(), 1..40), cut_seed in any::<usize>()) {
+        // Record boundaries are known; a cut anywhere loses at most the
+        // records at/after the cut and never corrupts earlier ones.
+        let mut buf = Vec::new();
+        let mut boundaries = Vec::new();
+        for r in &rows {
+            write_record(r, &mut buf);
+            boundaries.push(buf.len());
+        }
+        let cut = cut_seed % buf.len();
+        let complete_before_cut = boundaries.iter().filter(|&&b| b <= cut).count();
+
+        let mut pos = 0;
+        let mut recovered = Vec::new();
+        while let ReadOutcome::Record(r) = read_record(&buf[..cut], &mut pos) {
+            recovered.push(r);
+        }
+        prop_assert_eq!(recovered.len(), complete_before_cut);
+        prop_assert_eq!(&recovered[..], &rows[..complete_before_cut]);
+    }
+
+    #[test]
+    fn single_bit_flips_never_yield_wrong_rows(rows in vec(arb_row(), 1..20), pos_seed in any::<usize>(), bit in 0u8..8) {
+        let mut buf = Vec::new();
+        for r in &rows {
+            write_record(r, &mut buf);
+        }
+        let flip_at = pos_seed % buf.len();
+        buf[flip_at] ^= 1 << bit;
+
+        let mut pos = 0;
+        let mut recovered = Vec::new();
+        while let ReadOutcome::Record(r) = read_record(&buf, &mut pos) {
+            recovered.push(r);
+        }
+        // Every recovered row must be one of the originals, in order — the
+        // flip may truncate the stream but never fabricate data. (A flip in
+        // a length field can only merge/shift records, which the CRC over
+        // the payload catches.)
+        prop_assert!(recovered.len() <= rows.len());
+        prop_assert_eq!(&recovered[..], &rows[..recovered.len()]);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn disk_backup_round_trips(batches in vec(vec(arb_row(), 1..30), 1..4)) {
+        let dir = std::env::temp_dir().join(format!(
+            "scuba_dprop_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut backup = DiskBackup::open(&dir).unwrap();
+        let mut all = Vec::new();
+        for batch in &batches {
+            backup.append("t", batch).unwrap();
+            all.extend(batch.iter().cloned());
+        }
+        backup.sync().unwrap();
+        let (map, stats) = backup.recover(0, None).unwrap();
+        prop_assert_eq!(stats.rows as usize, all.len());
+        let recovered: Vec<Row> = map
+            .get("t")
+            .unwrap()
+            .blocks()
+            .iter()
+            .flat_map(|b| b.decode_rows().unwrap())
+            .collect();
+        prop_assert_eq!(recovered, all);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fast_format_round_trips(rows in vec(arb_row(), 1..120), seal_every in 1usize..40) {
+        let dir = std::env::temp_dir().join(format!(
+            "scuba_fprop_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut t = Table::new("t", 0);
+        for (i, r) in rows.iter().enumerate() {
+            t.append(r, 0).unwrap();
+            if (i + 1) % seal_every == 0 {
+                t.seal(0).unwrap();
+            }
+        }
+        t.seal(0).unwrap();
+        let backup = FastBackup::open(&dir).unwrap();
+        backup.write_table(&t).unwrap();
+        let (map, stats) = backup.recover(0, None).unwrap();
+        prop_assert_eq!(stats.rows as usize, rows.len());
+        let recovered: Vec<Row> = map
+            .get("t")
+            .unwrap()
+            .blocks()
+            .iter()
+            .flat_map(|b| b.decode_rows().unwrap())
+            .collect();
+        prop_assert_eq!(recovered, rows);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

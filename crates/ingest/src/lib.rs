@@ -1,0 +1,23 @@
+//! Ingestion pipeline for the Scuba fast-restart reproduction.
+//!
+//! Figure 1: "Data flows from log calls in Facebook products and services
+//! into Scribe. Scuba 'tailer' processes pull the data for each table out
+//! of Scribe and send it into Scuba. Every N rows or t seconds, the
+//! tailer chooses a new Scuba leaf server and sends it a batch of rows."
+//!
+//! * [`scribe`] — an in-process stand-in for the distributed Scribe
+//!   message bus: per-category row logs with independent consumer offsets
+//!   (see the substitution table in DESIGN.md).
+//! * [`tailer`] — the batching and two-random-choice placement policy of
+//!   §2, including the retry-then-send-to-a-restarting-server fallback.
+//! * [`workload`] — deterministic synthetic service-log generators shaped
+//!   like the workloads the paper's introduction names (error monitoring,
+//!   request logging, ads revenue metrics).
+
+pub mod scribe;
+pub mod tailer;
+pub mod workload;
+
+pub use scribe::{Scribe, ScribeCursor};
+pub use tailer::{LeafClient, PlacementState, Tailer, TailerConfig, TailerStats};
+pub use workload::{WorkloadKind, WorkloadSpec};

@@ -1,0 +1,452 @@
+//! Tailers: batching and the two-random-choice placement policy (§2).
+//!
+//! "Every N rows or t seconds, the tailer chooses a new Scuba leaf server
+//! and sends it a batch of rows. How does it choose a server? It picks two
+//! servers randomly and asks them both for their current state and how
+//! much free memory they have. If both are alive, it sends the data to
+//! the server with more free memory. If only one is alive, that server
+//! gets the data. If neither server is alive, the tailer will try two
+//! more servers until it finds one that is alive or (after enough tries)
+//! sends the data to a restarting server."
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use scuba_columnstore::Row;
+
+use crate::scribe::{Scribe, ScribeCursor};
+
+/// What a leaf reports to a tailer when probed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementState {
+    /// Fully serving: preferred target.
+    Alive,
+    /// In disk recovery: accepts adds, used only as a last resort.
+    Restarting,
+    /// Unreachable (shutting down, copying, or gone).
+    Down,
+}
+
+/// The tailer's view of a leaf server. The cluster crate implements this
+/// for real leaf servers; tests use stubs.
+pub trait LeafClient {
+    /// Current placement state.
+    fn placement_state(&self) -> PlacementState;
+    /// Free memory in bytes (meaningful when alive).
+    fn free_memory(&self) -> usize;
+    /// Deliver a batch. Errors count as a failed delivery; the tailer
+    /// will retry the rows later.
+    fn deliver(&mut self, table: &str, rows: &[Row]) -> Result<(), String>;
+}
+
+/// Batching configuration: "every N rows or t seconds".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TailerConfig {
+    /// Flush when this many rows are pending (the "N rows" trigger).
+    pub batch_rows: usize,
+    /// Flush when the oldest pending row is this old (the "t seconds"
+    /// trigger), in seconds of the caller's clock.
+    pub batch_secs: i64,
+    /// How many random *pairs* to probe before falling back to a
+    /// restarting server.
+    pub max_pair_tries: usize,
+}
+
+impl Default for TailerConfig {
+    fn default() -> Self {
+        TailerConfig {
+            batch_rows: 1000,
+            batch_secs: 5,
+            max_pair_tries: 3,
+        }
+    }
+}
+
+/// Delivery statistics, used by the ingest-balance experiment (E12).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TailerStats {
+    /// Batches delivered.
+    pub batches_sent: usize,
+    /// Rows delivered.
+    pub rows_sent: u64,
+    /// Batches that went to a restarting leaf (last resort).
+    pub sent_to_restarting: usize,
+    /// Flush attempts where no leaf could take the batch (rows kept).
+    pub undeliverable: usize,
+    /// Per-leaf delivered row counts (indexed like the leaf slice).
+    pub per_leaf_rows: Vec<u64>,
+}
+
+/// One tailer: pulls a single table's rows out of Scribe and pushes
+/// batches into leaves.
+#[derive(Debug)]
+pub struct Tailer {
+    table: String,
+    cursor: ScribeCursor,
+    config: TailerConfig,
+    pending: Vec<Row>,
+    /// Caller-clock time at which the oldest pending row was pulled.
+    pending_since: Option<i64>,
+    stats: TailerStats,
+}
+
+impl Tailer {
+    /// Create a tailer for one table/category.
+    pub fn new(scribe: &Scribe, table: impl Into<String>, config: TailerConfig) -> Tailer {
+        let table = table.into();
+        Tailer {
+            cursor: scribe.cursor(&table),
+            table,
+            config,
+            pending: Vec::new(),
+            pending_since: None,
+            stats: TailerStats::default(),
+        }
+    }
+
+    /// The table this tailer feeds.
+    pub fn table(&self) -> &str {
+        &self.table
+    }
+
+    /// Delivery statistics so far.
+    pub fn stats(&self) -> &TailerStats {
+        &self.stats
+    }
+
+    /// Rows pulled from Scribe but not yet delivered.
+    pub fn pending_rows(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Pull new rows from Scribe and flush batches per the N-rows /
+    /// t-seconds policy. `now` is the caller's clock. Returns the number
+    /// of rows delivered this tick.
+    pub fn tick<L: LeafClient>(
+        &mut self,
+        scribe: &Scribe,
+        leaves: &mut [L],
+        rng: &mut impl Rng,
+        now: i64,
+    ) -> u64 {
+        // Pull everything available (bounded per tick to stay responsive).
+        let new_rows = scribe.poll(&mut self.cursor, 100_000);
+        if !new_rows.is_empty() && self.pending.is_empty() {
+            self.pending_since = Some(now);
+        }
+        self.pending.extend(new_rows);
+
+        let mut delivered = 0u64;
+        while self.should_flush(now) {
+            let take = self.pending.len().min(self.config.batch_rows);
+            let batch: Vec<Row> = self.pending.drain(..take).collect();
+            match self.deliver_batch(&batch, leaves, rng) {
+                Ok(()) => {
+                    delivered += batch.len() as u64;
+                    self.pending_since = if self.pending.is_empty() {
+                        None
+                    } else {
+                        Some(now)
+                    };
+                }
+                Err(()) => {
+                    // Put the rows back in order and stop for this tick.
+                    self.stats.undeliverable += 1;
+                    let mut rest = std::mem::take(&mut self.pending);
+                    self.pending = batch;
+                    self.pending.append(&mut rest);
+                    break;
+                }
+            }
+        }
+        delivered
+    }
+
+    fn should_flush(&self, now: i64) -> bool {
+        if self.pending.is_empty() {
+            return false;
+        }
+        if self.pending.len() >= self.config.batch_rows {
+            return true;
+        }
+        match self.pending_since {
+            Some(since) => now - since >= self.config.batch_secs,
+            None => false,
+        }
+    }
+
+    /// The §2 placement policy. Ok(()) if delivered somewhere.
+    fn deliver_batch<L: LeafClient>(
+        &mut self,
+        batch: &[Row],
+        leaves: &mut [L],
+        rng: &mut impl Rng,
+    ) -> Result<(), ()> {
+        if leaves.is_empty() {
+            return Err(());
+        }
+        let mut indexes: Vec<usize> = (0..leaves.len()).collect();
+        indexes.shuffle(rng);
+
+        // Probe pairs: "picks two servers randomly and asks them both".
+        let pairs = indexes.chunks(2).take(self.config.max_pair_tries);
+        for pair in pairs {
+            let alive: Vec<usize> = pair
+                .iter()
+                .copied()
+                .filter(|&i| leaves[i].placement_state() == PlacementState::Alive)
+                .collect();
+            let target = match alive.as_slice() {
+                [] => continue, // "the tailer will try two more servers"
+                [one] => Some(*one),
+                // "sends the data to the server with more free memory"
+                many => many
+                    .iter()
+                    .copied()
+                    .max_by_key(|&i| leaves[i].free_memory()),
+            };
+            if let Some(i) = target {
+                if self.try_send(i, batch, leaves) {
+                    return Ok(());
+                }
+            }
+        }
+        // "(after enough tries) sends the data to a restarting server".
+        if let Some(&i) = indexes
+            .iter()
+            .find(|&&i| leaves[i].placement_state() == PlacementState::Restarting)
+        {
+            if self.try_send(i, batch, leaves) {
+                self.stats.sent_to_restarting += 1;
+                return Ok(());
+            }
+        }
+        Err(())
+    }
+
+    fn try_send<L: LeafClient>(&mut self, index: usize, batch: &[Row], leaves: &mut [L]) -> bool {
+        if leaves[index].deliver(&self.table, batch).is_err() {
+            return false;
+        }
+        self.stats.batches_sent += 1;
+        self.stats.rows_sent += batch.len() as u64;
+        if self.stats.per_leaf_rows.len() < leaves.len() {
+            self.stats.per_leaf_rows.resize(leaves.len(), 0);
+        }
+        self.stats.per_leaf_rows[index] += batch.len() as u64;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Leaf stub with scriptable state and memory.
+    struct StubLeaf {
+        state: PlacementState,
+        free: usize,
+        received: Vec<(String, usize)>,
+        fail_delivery: bool,
+    }
+
+    impl StubLeaf {
+        fn alive(free: usize) -> StubLeaf {
+            StubLeaf {
+                state: PlacementState::Alive,
+                free,
+                received: Vec::new(),
+                fail_delivery: false,
+            }
+        }
+        fn rows_received(&self) -> usize {
+            self.received.iter().map(|(_, n)| n).sum()
+        }
+    }
+
+    impl LeafClient for StubLeaf {
+        fn placement_state(&self) -> PlacementState {
+            self.state
+        }
+        fn free_memory(&self) -> usize {
+            self.free
+        }
+        fn deliver(&mut self, table: &str, rows: &[Row]) -> Result<(), String> {
+            if self.fail_delivery {
+                return Err("injected failure".to_owned());
+            }
+            self.received.push((table.to_owned(), rows.len()));
+            self.free = self.free.saturating_sub(rows.len() * 100);
+            Ok(())
+        }
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    fn fill_scribe(s: &Scribe, n: i64) {
+        s.log_batch("t", (0..n).map(Row::at));
+    }
+
+    #[test]
+    fn batches_flush_at_row_threshold() {
+        let scribe = Scribe::new();
+        fill_scribe(&scribe, 2500);
+        let mut leaves = vec![StubLeaf::alive(1 << 30), StubLeaf::alive(1 << 30)];
+        let cfg = TailerConfig {
+            batch_rows: 1000,
+            batch_secs: 1000,
+            max_pair_tries: 3,
+        };
+        let mut t = Tailer::new(&scribe, "t", cfg);
+        let delivered = t.tick(&scribe.clone(), &mut leaves, &mut rng(), 0);
+        // Two full batches go; 500 remain pending (no time trigger yet).
+        assert_eq!(delivered, 2000);
+        assert_eq!(t.pending_rows(), 500);
+        assert_eq!(t.stats().batches_sent, 2);
+    }
+
+    #[test]
+    fn time_trigger_flushes_partial_batch() {
+        let scribe = Scribe::new();
+        fill_scribe(&scribe, 10);
+        let mut leaves = vec![StubLeaf::alive(1 << 30)];
+        let cfg = TailerConfig {
+            batch_rows: 1000,
+            batch_secs: 5,
+            max_pair_tries: 3,
+        };
+        let mut t = Tailer::new(&scribe, "t", cfg);
+        assert_eq!(t.tick(&scribe, &mut leaves, &mut rng(), 0), 0); // too fresh
+        assert_eq!(t.pending_rows(), 10);
+        assert_eq!(t.tick(&scribe, &mut leaves, &mut rng(), 6), 10); // aged out
+        assert_eq!(t.pending_rows(), 0);
+    }
+
+    #[test]
+    fn prefers_leaf_with_more_free_memory() {
+        let scribe = Scribe::new();
+        fill_scribe(&scribe, 1000);
+        let mut leaves = vec![StubLeaf::alive(100), StubLeaf::alive(1 << 30)];
+        let cfg = TailerConfig {
+            batch_rows: 1000,
+            batch_secs: 0,
+            max_pair_tries: 3,
+        };
+        let mut t = Tailer::new(&scribe, "t", cfg);
+        t.tick(&scribe, &mut leaves, &mut rng(), 0);
+        assert_eq!(leaves[1].rows_received(), 1000);
+        assert_eq!(leaves[0].rows_received(), 0);
+    }
+
+    #[test]
+    fn only_alive_leaf_gets_data() {
+        let scribe = Scribe::new();
+        fill_scribe(&scribe, 100);
+        let mut leaves = vec![
+            StubLeaf {
+                state: PlacementState::Down,
+                ..StubLeaf::alive(1 << 40)
+            },
+            StubLeaf::alive(1),
+        ];
+        let cfg = TailerConfig {
+            batch_rows: 100,
+            batch_secs: 0,
+            max_pair_tries: 3,
+        };
+        let mut t = Tailer::new(&scribe, "t", cfg);
+        t.tick(&scribe, &mut leaves, &mut rng(), 0);
+        assert_eq!(leaves[1].rows_received(), 100);
+    }
+
+    #[test]
+    fn falls_back_to_restarting_leaf() {
+        let scribe = Scribe::new();
+        fill_scribe(&scribe, 50);
+        let mut leaves = vec![
+            StubLeaf {
+                state: PlacementState::Down,
+                ..StubLeaf::alive(0)
+            },
+            StubLeaf {
+                state: PlacementState::Restarting,
+                ..StubLeaf::alive(0)
+            },
+        ];
+        let cfg = TailerConfig {
+            batch_rows: 50,
+            batch_secs: 0,
+            max_pair_tries: 2,
+        };
+        let mut t = Tailer::new(&scribe, "t", cfg);
+        t.tick(&scribe, &mut leaves, &mut rng(), 0);
+        assert_eq!(leaves[1].rows_received(), 50);
+        assert_eq!(t.stats().sent_to_restarting, 1);
+    }
+
+    #[test]
+    fn undeliverable_rows_are_retained_in_order() {
+        let scribe = Scribe::new();
+        fill_scribe(&scribe, 30);
+        let mut leaves = vec![StubLeaf {
+            state: PlacementState::Down,
+            ..StubLeaf::alive(0)
+        }];
+        let cfg = TailerConfig {
+            batch_rows: 10,
+            batch_secs: 0,
+            max_pair_tries: 1,
+        };
+        let mut t = Tailer::new(&scribe, "t", cfg);
+        assert_eq!(t.tick(&scribe, &mut leaves, &mut rng(), 0), 0);
+        assert_eq!(t.pending_rows(), 30);
+        assert_eq!(t.stats().undeliverable, 1);
+        // Leaf comes back: everything flows, still in order.
+        leaves[0].state = PlacementState::Alive;
+        assert_eq!(t.tick(&scribe, &mut leaves, &mut rng(), 0), 30);
+        assert_eq!(leaves[0].rows_received(), 30);
+    }
+
+    #[test]
+    fn failed_delivery_retries_later() {
+        let scribe = Scribe::new();
+        fill_scribe(&scribe, 10);
+        let mut leaves = vec![StubLeaf {
+            fail_delivery: true,
+            ..StubLeaf::alive(1 << 30)
+        }];
+        let cfg = TailerConfig {
+            batch_rows: 10,
+            batch_secs: 0,
+            max_pair_tries: 1,
+        };
+        let mut t = Tailer::new(&scribe, "t", cfg);
+        assert_eq!(t.tick(&scribe, &mut leaves, &mut rng(), 0), 0);
+        leaves[0].fail_delivery = false;
+        assert_eq!(t.tick(&scribe, &mut leaves, &mut rng(), 1), 10);
+    }
+
+    #[test]
+    fn two_choice_balances_load() {
+        // E12 shape check at unit scale: with power-of-two-choices, leaf
+        // fill stays much tighter than proportional random would allow.
+        let scribe = Scribe::new();
+        fill_scribe(&scribe, 40_000);
+        let mut leaves: Vec<StubLeaf> = (0..8).map(|_| StubLeaf::alive(1 << 30)).collect();
+        let cfg = TailerConfig {
+            batch_rows: 100,
+            batch_secs: 0,
+            max_pair_tries: 4,
+        };
+        let mut t = Tailer::new(&scribe, "t", cfg);
+        t.tick(&scribe, &mut leaves, &mut rng(), 0);
+        let counts: Vec<usize> = leaves.iter().map(StubLeaf::rows_received).collect();
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert_eq!(counts.iter().sum::<usize>(), 40_000);
+        assert!(max - min <= 40_000 / 8, "imbalance too high: {counts:?}");
+    }
+}

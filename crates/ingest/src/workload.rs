@@ -1,0 +1,274 @@
+//! Deterministic synthetic service-log workloads.
+//!
+//! The paper's intro names Scuba's workhorse use cases: "code regression
+//! analysis, bug report monitoring, ads revenue monitoring, and
+//! performance debugging" (§1). Each [`WorkloadKind`] synthesizes rows
+//! shaped like one of those: categorical columns with few distinct values
+//! (dictionary-friendly), near-monotonic timestamps (delta-friendly), and
+//! heavy-tailed numeric columns. All generation is seeded, so experiments
+//! are reproducible.
+
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scuba_columnstore::Row;
+
+/// Which service-log shape to synthesize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// User-facing error events: severity, product, error message, count.
+    ErrorLogs,
+    /// Request logs: endpoint, status, latency, host.
+    Requests,
+    /// Ads revenue metrics: campaign, impressions, revenue.
+    AdsMetrics,
+}
+
+impl WorkloadKind {
+    /// Conventional table name for this workload.
+    pub fn table_name(self) -> &'static str {
+        match self {
+            WorkloadKind::ErrorLogs => "error_logs",
+            WorkloadKind::Requests => "requests",
+            WorkloadKind::AdsMetrics => "ads_metrics",
+        }
+    }
+}
+
+/// A seeded row generator.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Which shape to generate.
+    pub kind: WorkloadKind,
+    /// RNG seed (same seed ⇒ same rows).
+    pub seed: u64,
+    /// First event timestamp.
+    pub start_time: i64,
+    /// Mean events per second (timestamps advance ~1/rate per row).
+    pub events_per_sec: u32,
+}
+
+impl WorkloadSpec {
+    /// A spec with conventional defaults.
+    pub fn new(kind: WorkloadKind, seed: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            kind,
+            seed,
+            start_time: 1_700_000_000,
+            events_per_sec: 1000,
+        }
+    }
+
+    /// Generate `n` rows.
+    pub fn rows(&self, n: usize) -> Vec<Row> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut time = self.start_time;
+        let mut ticker = 0u32;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            // Advance the clock roughly every events_per_sec rows, so the
+            // time column is the near-monotonic stream §2.1 describes.
+            ticker += 1;
+            if ticker >= self.events_per_sec {
+                ticker = 0;
+                time += 1;
+            }
+            out.push(self.row_at(&mut rng, time));
+        }
+        out
+    }
+
+    fn row_at(&self, rng: &mut StdRng, time: i64) -> Row {
+        match self.kind {
+            WorkloadKind::ErrorLogs => {
+                const SEVERITIES: [&str; 4] = ["fatal", "error", "warn", "info"];
+                const PRODUCTS: [&str; 6] =
+                    ["web", "android", "ios", "ads", "messenger", "graph_api"];
+                // Severity is skewed: infos dominate, fatals are rare.
+                let sev_idx = match rng.gen_range(0..100) {
+                    0 => 0,
+                    1..=9 => 1,
+                    10..=34 => 2,
+                    _ => 3,
+                };
+                let mut row = Row::at(time)
+                    .with("severity", SEVERITIES[sev_idx])
+                    .with("product", PRODUCTS[zipfish(rng, PRODUCTS.len())])
+                    .with(
+                        "message",
+                        format!("err_{:03}: operation failed", zipfish(rng, 200)),
+                    )
+                    .with("count", rng.gen_range(1..50i64));
+                if rng.gen_bool(0.3) {
+                    row.set("stack_hash", rng.gen_range(0..5000i64));
+                }
+                // Tag sets: a genuinely Scuba-flavored column type.
+                const TAGS: [&str; 6] = ["canary", "beta", "employee", "retry", "cold", "edge"];
+                let n_tags = rng.gen_range(0..4usize);
+                if n_tags > 0 {
+                    let tags: Vec<&str> = (0..n_tags)
+                        .map(|_| TAGS[rng.gen_range(0..TAGS.len())])
+                        .collect();
+                    row.set("tags", scuba_columnstore::Value::set(tags));
+                }
+                row
+            }
+            WorkloadKind::Requests => {
+                const ENDPOINTS: [&str; 8] = [
+                    "/home",
+                    "/feed",
+                    "/profile",
+                    "/api/graph",
+                    "/api/ads",
+                    "/search",
+                    "/video",
+                    "/upload",
+                ];
+                let status: i64 = match rng.gen_range(0..100) {
+                    0..=89 => 200,
+                    90..=94 => 302,
+                    95..=97 => 404,
+                    _ => 500,
+                };
+                // Lognormal-ish latency tail.
+                let base: f64 = rng.gen_range(1.0f64..4.0);
+                let latency = (base.exp() * rng.gen_range(0.5..2.0) * 10.0 * 100.0).round() / 100.0;
+                Row::at(time)
+                    .with("endpoint", ENDPOINTS[zipfish(rng, ENDPOINTS.len())])
+                    .with("status", status)
+                    .with("latency_ms", latency)
+                    .with("host", format!("web{:03}", zipfish(rng, 100)))
+            }
+            WorkloadKind::AdsMetrics => {
+                let campaign = zipfish(rng, 50) as i64;
+                let impressions = rng.gen_range(1..1000i64);
+                let ctr: f64 = rng.gen_range(0.001..0.05);
+                Row::at(time)
+                    .with("campaign_id", campaign)
+                    .with("region", ["us", "eu", "apac", "latam"][zipfish(rng, 4)])
+                    .with("impressions", impressions)
+                    .with(
+                        "revenue",
+                        (impressions as f64 * ctr * 100.0).round() / 100.0,
+                    )
+            }
+        }
+    }
+}
+
+/// A cheap zipf-ish index in `0..n`: low indexes much more likely.
+fn zipfish(rng: &mut StdRng, n: usize) -> usize {
+    let u = Uniform::new(0.0f64, 1.0).sample(rng);
+    let idx = (u * u * n as f64) as usize;
+    idx.min(n - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = WorkloadSpec::new(WorkloadKind::Requests, 7).rows(100);
+        let b = WorkloadSpec::new(WorkloadKind::Requests, 7).rows(100);
+        assert_eq!(a, b);
+        let c = WorkloadSpec::new(WorkloadKind::Requests, 8).rows(100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn timestamps_near_monotonic() {
+        let spec = WorkloadSpec {
+            events_per_sec: 10,
+            ..WorkloadSpec::new(WorkloadKind::ErrorLogs, 1)
+        };
+        let rows = spec.rows(100);
+        assert!(rows.windows(2).all(|w| w[0].time() <= w[1].time()));
+        assert_eq!(rows.last().unwrap().time() - rows[0].time(), 10);
+    }
+
+    #[test]
+    fn error_logs_shape() {
+        let rows = WorkloadSpec::new(WorkloadKind::ErrorLogs, 2).rows(1000);
+        for r in &rows {
+            assert!(r.get("severity").is_some());
+            assert!(r.get("product").is_some());
+            assert!(r.get("count").and_then(|v| v.as_int()).is_some());
+        }
+        // Severity skew: info should dominate fatal.
+        let count = |sev: &str| {
+            rows.iter()
+                .filter(|r| r.get("severity").and_then(|v| v.as_str()) == Some(sev))
+                .count()
+        };
+        assert!(count("info") > count("fatal") * 5);
+        // Optional column really is optional.
+        assert!(rows.iter().any(|r| r.get("stack_hash").is_none()));
+        assert!(rows.iter().any(|r| r.get("stack_hash").is_some()));
+        // Tag sets appear and are normalized.
+        let tagged = rows
+            .iter()
+            .filter_map(|r| r.get("tags"))
+            .collect::<Vec<_>>();
+        assert!(!tagged.is_empty());
+        for t in tagged {
+            let set = t.as_set().unwrap();
+            assert!(set.windows(2).all(|w| w[0] < w[1]), "unsorted set {set:?}");
+        }
+    }
+
+    #[test]
+    fn requests_shape() {
+        let rows = WorkloadSpec::new(WorkloadKind::Requests, 3).rows(1000);
+        let ok = rows
+            .iter()
+            .filter(|r| r.get("status").and_then(|v| v.as_int()) == Some(200))
+            .count();
+        assert!(ok > 800, "expected mostly 200s, got {ok}");
+        assert!(rows
+            .iter()
+            .all(|r| r.get("latency_ms").and_then(|v| v.as_double()).unwrap() > 0.0));
+    }
+
+    #[test]
+    fn ads_metrics_shape() {
+        let rows = WorkloadSpec::new(WorkloadKind::AdsMetrics, 4).rows(500);
+        for r in &rows {
+            let revenue = r.get("revenue").and_then(|v| v.as_double()).unwrap();
+            assert!(revenue >= 0.0);
+            assert!(r.get("campaign_id").and_then(|v| v.as_int()).unwrap() < 50);
+        }
+    }
+
+    #[test]
+    fn table_names() {
+        assert_eq!(WorkloadKind::ErrorLogs.table_name(), "error_logs");
+        assert_eq!(WorkloadKind::Requests.table_name(), "requests");
+        assert_eq!(WorkloadKind::AdsMetrics.table_name(), "ads_metrics");
+    }
+
+    #[test]
+    fn categorical_columns_compress_well() {
+        // The workload's purpose: feed the compression experiment. Check
+        // the dictionary-friendliness end to end.
+        use scuba_columnstore::{RowBlockColumn, Table};
+        let rows = WorkloadSpec::new(WorkloadKind::Requests, 5).rows(5000);
+        let mut t = Table::new("requests", 0);
+        for r in &rows {
+            t.append(r, 0).unwrap();
+        }
+        t.seal(0).unwrap();
+        let block = &t.blocks()[0];
+        let endpoint: &RowBlockColumn = block.column("endpoint").unwrap();
+        let raw: usize = rows
+            .iter()
+            .map(|r| r.get("endpoint").unwrap().heap_size())
+            .sum();
+        assert!(
+            endpoint.len_bytes() * 8 < raw,
+            "endpoint column {} vs raw {}",
+            endpoint.len_bytes(),
+            raw
+        );
+    }
+}

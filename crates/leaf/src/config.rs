@@ -1,0 +1,54 @@
+//! Leaf server configuration.
+
+use std::path::PathBuf;
+
+use scuba_columnstore::table::RetentionLimits;
+
+/// Static configuration for one leaf server process.
+#[derive(Debug, Clone)]
+pub struct LeafConfig {
+    /// Machine-local leaf index (0..N-1; the paper runs N = 8 per
+    /// machine, §2).
+    pub leaf_id: u32,
+    /// Cluster prefix for shared-memory segment names (keeps deployments
+    /// and tests apart).
+    pub shm_prefix: String,
+    /// Directory holding this leaf's disk backup.
+    pub disk_root: PathBuf,
+    /// Memory capacity in bytes, reported to tailers for two-random-choice
+    /// placement ("how much free memory they have", §2).
+    pub memory_capacity: usize,
+    /// Retention limits applied by [`crate::LeafServer::expire`].
+    pub retention: RetentionLimits,
+    /// Whether memory (shared-memory) recovery is enabled — the "memory
+    /// recovery disabled" edge of Figure 5(b) when false.
+    pub shm_recovery_enabled: bool,
+}
+
+impl LeafConfig {
+    /// A reasonable config for tests and examples.
+    pub fn new(leaf_id: u32, shm_prefix: impl Into<String>, disk_root: impl Into<PathBuf>) -> Self {
+        LeafConfig {
+            leaf_id,
+            shm_prefix: shm_prefix.into(),
+            disk_root: disk_root.into(),
+            memory_capacity: 512 << 20,
+            retention: RetentionLimits::NONE,
+            shm_recovery_enabled: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let c = LeafConfig::new(3, "test", "/tmp/x");
+        assert_eq!(c.leaf_id, 3);
+        assert!(c.shm_recovery_enabled);
+        assert_eq!(c.retention, RetentionLimits::NONE);
+        assert!(c.memory_capacity > 0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Leaf server errors.
+
+use std::fmt;
+
+use scuba_shmem::ShmError;
+
+/// Result alias for leaf operations.
+pub type LeafResult<T> = std::result::Result<T, LeafError>;
+
+/// A leaf server operation failure.
+#[derive(Debug)]
+pub enum LeafError {
+    /// The leaf is not in a phase that accepts this request (§4.3's
+    /// state-driven admission).
+    Unavailable {
+        /// What was attempted.
+        operation: &'static str,
+        /// Current phase name.
+        phase: &'static str,
+    },
+    /// Column-store failure.
+    Store(scuba_columnstore::Error),
+    /// Disk backup failure.
+    Disk(scuba_diskstore::DiskError),
+    /// Shared-memory failure.
+    Shm(ShmError),
+    /// Restart state machine violation.
+    State(scuba_restart::StateError),
+    /// Backup protocol failure (wraps the message; the typed cause is in
+    /// the log).
+    Backup(String),
+}
+
+impl fmt::Display for LeafError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LeafError::Unavailable { operation, phase } => {
+                write!(f, "leaf cannot {operation} while {phase}")
+            }
+            LeafError::Store(e) => write!(f, "column store error: {e}"),
+            LeafError::Disk(e) => write!(f, "disk backup error: {e}"),
+            LeafError::Shm(e) => write!(f, "shared memory error: {e}"),
+            LeafError::State(e) => write!(f, "restart state error: {e}"),
+            LeafError::Backup(m) => write!(f, "backup failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LeafError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LeafError::Store(e) => Some(e),
+            LeafError::Disk(e) => Some(e),
+            LeafError::Shm(e) => Some(e),
+            LeafError::State(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<scuba_columnstore::Error> for LeafError {
+    fn from(e: scuba_columnstore::Error) -> Self {
+        LeafError::Store(e)
+    }
+}
+
+impl From<scuba_diskstore::DiskError> for LeafError {
+    fn from(e: scuba_diskstore::DiskError) -> Self {
+        LeafError::Disk(e)
+    }
+}
+
+impl From<ShmError> for LeafError {
+    fn from(e: ShmError) -> Self {
+        LeafError::Shm(e)
+    }
+}
+
+impl From<scuba_restart::StateError> for LeafError {
+    fn from(e: scuba_restart::StateError) -> Self {
+        LeafError::State(e)
+    }
+}

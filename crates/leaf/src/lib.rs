@@ -1,0 +1,31 @@
+//! The Scuba leaf server (§2): stores a fraction of every table, accepts
+//! new rows, answers queries, expires old data — and restarts fast.
+//!
+//! A [`LeafServer`] composes the substrates:
+//!
+//! * the column store ([`scuba_columnstore`]) as its in-memory state,
+//! * the disk backup ([`scuba_diskstore`]) for durability and the slow
+//!   recovery path,
+//! * the restart protocol ([`scuba_restart`]) over shared memory
+//!   ([`scuba_shmem`]) for the fast recovery path,
+//! * the query engine ([`scuba_query`]) for leaf-local execution.
+//!
+//! The lifecycle mirrors §4:
+//!
+//! * [`LeafServer::shutdown_to_shm`] — the clean-shutdown path: stop
+//!   accepting work, kill pending deletes, flush to disk, copy the column
+//!   store into shared memory one row block column at a time, commit the
+//!   valid bit, and go down (Figures 5(a)/5(c)/6).
+//! * [`LeafServer::start`] — the startup path: attempt memory recovery;
+//!   any problem (no valid bit, version skew, torn data) falls back to
+//!   disk recovery, exactly as in Figures 5(b)/5(d)/7.
+
+pub mod config;
+pub mod error;
+pub mod persist;
+pub mod server;
+
+pub use config::LeafConfig;
+pub use error::{LeafError, LeafResult};
+pub use persist::LeafStore;
+pub use server::{LeafPhase, LeafServer, RecoveryOutcome, ShutdownSummary};

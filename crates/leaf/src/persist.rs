@@ -1,0 +1,408 @@
+//! [`LeafStore`]: the leaf's in-memory state, wired into the restart
+//! protocol via [`ShmPersistable`].
+//!
+//! Chunk granularity follows the paper exactly: within each table's
+//! segment, the stream is a table manifest, then per row block a small
+//! prelude (header + schema) followed by **one chunk per row block
+//! column** — each of those chunks is the single-`memcpy` RBC buffer of
+//! Figure 3. Heap memory is freed as chunks are emitted ("delete row
+//! block column from heap ... delete row block from heap ... delete table
+//! from heap", Figure 6), so the combined footprint stays flat (§4.4).
+
+use std::fmt;
+use std::sync::Arc;
+
+use scuba_columnstore::{
+    LeafMap, Result as StoreResult, Row, RowBlock, RowBlockColumn, Schema, Table,
+};
+use scuba_restart::{ChunkSink, ChunkSource, ShmPersistable};
+use scuba_shmem::ShmError;
+
+/// Error produced while (de)serializing leaf state for the protocol.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Column-store error (encode/decode/validation).
+    Store(scuba_columnstore::Error),
+    /// Shared-memory error propagated through a sink/source.
+    Shm(ShmError),
+    /// Framing violation (wrong chunk count, bad prelude...).
+    Framing(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Store(e) => write!(f, "store error: {e}"),
+            PersistError::Shm(e) => write!(f, "shared memory error: {e}"),
+            PersistError::Framing(m) => write!(f, "framing error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<ShmError> for PersistError {
+    fn from(e: ShmError) -> Self {
+        PersistError::Shm(e)
+    }
+}
+
+impl From<scuba_columnstore::Error> for PersistError {
+    fn from(e: scuba_columnstore::Error) -> Self {
+        PersistError::Store(e)
+    }
+}
+
+/// The leaf's in-memory store: a [`LeafMap`] plus persistence plumbing.
+#[derive(Debug, Default)]
+pub struct LeafStore {
+    map: LeafMap,
+}
+
+impl LeafStore {
+    /// An empty store.
+    pub fn new() -> LeafStore {
+        LeafStore {
+            map: LeafMap::new(),
+        }
+    }
+
+    /// Adopt a recovered leaf map (disk recovery path).
+    pub fn from_map(map: LeafMap) -> LeafStore {
+        LeafStore { map }
+    }
+
+    /// The underlying table map.
+    pub fn map(&self) -> &LeafMap {
+        &self.map
+    }
+
+    /// Mutable access to the table map.
+    pub fn map_mut(&mut self) -> &mut LeafMap {
+        &mut self.map
+    }
+
+    /// Append rows to a table, creating it if needed.
+    pub fn append_rows(&mut self, table: &str, rows: &[Row], now: i64) -> StoreResult<()> {
+        let t = self.map.get_or_create(table, now);
+        for row in rows {
+            t.append(row, now)?;
+        }
+        Ok(())
+    }
+
+    /// Seal every table's in-progress builder (pre-shutdown and
+    /// pre-backup step: only sealed blocks are persisted to shm).
+    pub fn seal_all(&mut self, now: i64) -> StoreResult<()> {
+        for t in self.map.iter_mut() {
+            t.seal(now)?;
+        }
+        Ok(())
+    }
+}
+
+/// Serialize a row block prelude (everything but the column buffers).
+fn write_prelude(block: &RowBlock, out: &mut Vec<u8>) {
+    let h = block.header();
+    out.extend_from_slice(&h.row_count.to_le_bytes());
+    out.extend_from_slice(&h.min_time.to_le_bytes());
+    out.extend_from_slice(&h.max_time.to_le_bytes());
+    out.extend_from_slice(&h.created_at.to_le_bytes());
+    out.extend_from_slice(&(block.columns().len() as u32).to_le_bytes());
+    block.schema().serialize(out);
+}
+
+/// Parse a prelude; returns (header fields, n_columns, schema).
+fn read_prelude(buf: &[u8]) -> Result<(u32, i64, i64, i64, u32, Schema), PersistError> {
+    if buf.len() < 32 {
+        return Err(PersistError::Framing("prelude too short".to_owned()));
+    }
+    let row_count = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+    let min_time = i64::from_le_bytes(buf[4..12].try_into().unwrap());
+    let max_time = i64::from_le_bytes(buf[12..20].try_into().unwrap());
+    let created_at = i64::from_le_bytes(buf[20..28].try_into().unwrap());
+    let n_columns = u32::from_le_bytes(buf[28..32].try_into().unwrap());
+    let (schema, end) = Schema::deserialize(buf, 32)?;
+    if end != buf.len() {
+        return Err(PersistError::Framing(
+            "trailing bytes in prelude".to_owned(),
+        ));
+    }
+    Ok((row_count, min_time, max_time, created_at, n_columns, schema))
+}
+
+impl ShmPersistable for LeafStore {
+    type Error = PersistError;
+
+    fn unit_names(&self) -> Vec<String> {
+        self.map.names().map(str::to_owned).collect()
+    }
+
+    fn estimate_unit_size(&self, unit: &str) -> usize {
+        // Figure 6: "estimate size of table". Encoded bytes plus framing
+        // slack; the writer grows the segment if this is low.
+        self.map
+            .get(unit)
+            .map(|t| t.encoded_bytes() + t.blocks().len() * 256 + 1024)
+            .unwrap_or(0)
+    }
+
+    fn backup_unit(&mut self, unit: &str, sink: &mut dyn ChunkSink) -> Result<(), Self::Error> {
+        // "delete table from heap" — the table leaves the map up front;
+        // its blocks are dropped one by one below.
+        let table = self
+            .map
+            .remove(unit)
+            .ok_or_else(|| PersistError::Framing(format!("unknown table {unit:?}")))?;
+        let (blocks, _builder) = decompose(table);
+
+        let mut manifest = Vec::with_capacity(8);
+        manifest.extend_from_slice(&(blocks.len() as u64).to_le_bytes());
+        sink.put_chunk(&manifest)?;
+
+        for block in blocks {
+            let mut prelude = Vec::new();
+            write_prelude(&block, &mut prelude);
+            sink.put_chunk(&prelude)?;
+            // One chunk per row block column: the single-memcpy copy.
+            // Unwrap the Arc if we are the last owner so the buffer is
+            // freed as we go; clone-on-shared keeps correctness if a
+            // query snapshot still holds the block.
+            let block = Arc::try_unwrap(block).unwrap_or_else(|arc| (*arc).clone());
+            for column in block.columns() {
+                sink.put_chunk(column.as_bytes())?;
+            }
+            // `block` (and each column buffer) freed here: "delete row
+            // block column from heap; delete row block from heap".
+        }
+        Ok(())
+    }
+
+    fn restore_unit(
+        &mut self,
+        unit: &str,
+        source: &mut dyn ChunkSource,
+    ) -> Result<(), Self::Error> {
+        let manifest = source
+            .next_chunk()?
+            .ok_or_else(|| PersistError::Framing("missing table manifest".to_owned()))?;
+        if manifest.len() != 8 {
+            return Err(PersistError::Framing("bad manifest size".to_owned()));
+        }
+        let n_blocks = u64::from_le_bytes(manifest.as_slice().try_into().unwrap());
+
+        let mut blocks = Vec::with_capacity(n_blocks.min(1 << 20) as usize);
+        for _ in 0..n_blocks {
+            let prelude = source
+                .next_chunk()?
+                .ok_or_else(|| PersistError::Framing("missing block prelude".to_owned()))?;
+            let (row_count, min_time, max_time, created_at, n_columns, schema) =
+                read_prelude(&prelude)?;
+            let mut columns = Vec::with_capacity(n_columns as usize);
+            for _ in 0..n_columns {
+                let chunk = source
+                    .next_chunk()?
+                    .ok_or_else(|| PersistError::Framing("missing column chunk".to_owned()))?;
+                // from_bytes validates magic, offsets, and the checksum —
+                // a torn copy surfaces here and becomes a disk fallback.
+                columns.push(RowBlockColumn::from_bytes(chunk.into_boxed_slice())?);
+            }
+            let header = scuba_columnstore::RowBlockHeader {
+                size_bytes: 0, // recomputed by from_parts
+                row_count,
+                min_time,
+                max_time,
+                created_at,
+            };
+            blocks.push(Arc::new(RowBlock::from_parts(header, schema, columns)?));
+        }
+        if source.next_chunk()?.is_some() {
+            return Err(PersistError::Framing(
+                "trailing chunks after last block".to_owned(),
+            ));
+        }
+        self.map.insert(Table::from_blocks(unit, blocks, 0));
+        Ok(())
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.map.heap_bytes()
+    }
+}
+
+/// Split a table into its sealed blocks (the builder's unsealed rows must
+/// have been sealed by the caller; any remainder is dropped, mirroring the
+/// crash-tolerance of §4.1 — callers seal first so this is empty).
+fn decompose(table: Table) -> (Vec<Arc<RowBlock>>, ()) {
+    (table.blocks().to_vec(), ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scuba_restart::{backup_to_shm, restore_from_shm};
+    use scuba_shmem::ShmNamespace;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    static COUNTER: AtomicU32 = AtomicU32::new(0);
+
+    fn ns() -> ShmNamespace {
+        ShmNamespace::new(
+            &format!("leafp{}", std::process::id()),
+            COUNTER.fetch_add(1, Ordering::Relaxed),
+        )
+        .unwrap()
+    }
+
+    struct Cleanup(ShmNamespace);
+    impl Drop for Cleanup {
+        fn drop(&mut self) {
+            self.0.unlink_all(16);
+        }
+    }
+
+    fn populated_store() -> LeafStore {
+        let mut s = LeafStore::new();
+        for table in ["errors", "requests"] {
+            let rows: Vec<Row> = (0..500)
+                .map(|i| {
+                    Row::at(i)
+                        .with("code", 200 + (i % 4) * 100)
+                        .with("msg", format!("event {} happened", i % 13))
+                        .with("ms", i as f64 / 7.0)
+                })
+                .collect();
+            s.append_rows(table, &rows, 0).unwrap();
+        }
+        s.seal_all(0).unwrap();
+        s
+    }
+
+    fn table_fingerprint(map: &LeafMap) -> Vec<(String, usize, usize)> {
+        map.iter()
+            .map(|t| (t.name().to_owned(), t.row_count(), t.encoded_bytes()))
+            .collect()
+    }
+
+    #[test]
+    fn full_shm_round_trip_preserves_tables() {
+        let ns = ns();
+        let _c = Cleanup(ns.clone());
+        let mut store = populated_store();
+        let fingerprint = table_fingerprint(store.map());
+        let expected_rows: Vec<_> = store
+            .map()
+            .iter()
+            .flat_map(|t| t.blocks().iter().map(|b| b.decode_rows().unwrap()))
+            .collect();
+
+        backup_to_shm(&mut store, &ns, 1).unwrap();
+        assert_eq!(store.heap_bytes(), 0);
+        assert!(store.map().is_empty());
+
+        let mut restored = LeafStore::new();
+        restore_from_shm(&mut restored, &ns, 1).unwrap();
+        assert_eq!(table_fingerprint(restored.map()), fingerprint);
+        let restored_rows: Vec<_> = restored
+            .map()
+            .iter()
+            .flat_map(|t| t.blocks().iter().map(|b| b.decode_rows().unwrap()))
+            .collect();
+        assert_eq!(restored_rows, expected_rows);
+    }
+
+    #[test]
+    fn multi_block_tables_round_trip() {
+        let ns = ns();
+        let _c = Cleanup(ns.clone());
+        let mut store = LeafStore::new();
+        // Several small sealed blocks.
+        for epoch in 0..5i64 {
+            let rows: Vec<Row> = (0..50)
+                .map(|i| Row::at(epoch * 100 + i).with("v", i))
+                .collect();
+            store.append_rows("t", &rows, 0).unwrap();
+            store.map_mut().get_mut("t").unwrap().seal(0).unwrap();
+        }
+        backup_to_shm(&mut store, &ns, 1).unwrap();
+        let mut restored = LeafStore::new();
+        restore_from_shm(&mut restored, &ns, 1).unwrap();
+        let t = restored.map().get("t").unwrap();
+        assert_eq!(t.blocks().len(), 5);
+        assert_eq!(t.row_count(), 250);
+        // Pruning metadata survived.
+        assert_eq!(t.blocks_in_range(200, 300).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn empty_store_round_trips() {
+        let ns = ns();
+        let _c = Cleanup(ns.clone());
+        let mut store = LeafStore::new();
+        backup_to_shm(&mut store, &ns, 1).unwrap();
+        let mut restored = LeafStore::new();
+        let rep = restore_from_shm(&mut restored, &ns, 1).unwrap();
+        assert_eq!(rep.units, 0);
+        assert!(restored.map().is_empty());
+    }
+
+    #[test]
+    fn empty_table_round_trips() {
+        let ns = ns();
+        let _c = Cleanup(ns.clone());
+        let mut store = LeafStore::new();
+        store.map_mut().get_or_create("hollow", 0);
+        backup_to_shm(&mut store, &ns, 1).unwrap();
+        let mut restored = LeafStore::new();
+        restore_from_shm(&mut restored, &ns, 1).unwrap();
+        assert!(restored.map().get("hollow").is_some());
+        assert_eq!(restored.map().get("hollow").unwrap().row_count(), 0);
+    }
+
+    #[test]
+    fn corrupted_column_chunk_falls_back() {
+        let ns = ns();
+        let _c = Cleanup(ns.clone());
+        let mut store = populated_store();
+        backup_to_shm(&mut store, &ns, 1).unwrap();
+
+        // Flip a byte deep inside the first table segment (past the
+        // framing, inside an RBC buffer) so the RBC checksum catches it.
+        let mut seg = scuba_shmem::ShmSegment::open(&ns.table_segment_name(0)).unwrap();
+        let len = seg.len();
+        seg.as_mut_slice()[len - 100] ^= 0xFF;
+        drop(seg);
+
+        let mut restored = LeafStore::new();
+        let err = restore_from_shm(&mut restored, &ns, 1).unwrap_err();
+        let scuba_restart::RestoreError::Fallback(fb) = err;
+        assert!(fb.cleaned_up);
+    }
+
+    #[test]
+    fn unsealed_rows_are_not_persisted() {
+        // Callers must seal first; backup drops unsealed rows, mirroring
+        // the acceptable-tiny-loss semantics of §4.1.
+        let ns = ns();
+        let _c = Cleanup(ns.clone());
+        let mut store = LeafStore::new();
+        store
+            .append_rows("t", &[Row::at(1).with("v", 1i64)], 0)
+            .unwrap();
+        // no seal_all
+        backup_to_shm(&mut store, &ns, 1).unwrap();
+        let mut restored = LeafStore::new();
+        restore_from_shm(&mut restored, &ns, 1).unwrap();
+        assert_eq!(restored.map().get("t").unwrap().row_count(), 0);
+    }
+
+    #[test]
+    fn estimate_covers_actual_size() {
+        let store = populated_store();
+        for name in store.unit_names() {
+            let est = store.estimate_unit_size(&name);
+            let actual = store.map().get(&name).unwrap().encoded_bytes();
+            assert!(est >= actual, "{name}: estimate {est} < actual {actual}");
+        }
+    }
+}

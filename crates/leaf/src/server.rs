@@ -1,0 +1,587 @@
+//! The leaf server lifecycle: serve → clean shutdown to shared memory →
+//! fast restart (or disk recovery).
+
+use std::time::Duration;
+
+use scuba_columnstore::Row;
+use scuba_diskstore::{DiskBackup, RecoveryStats, Throttle};
+use scuba_query::{execute, LeafQueryResult, Query};
+use scuba_restart::{
+    backup_to_shm, restore_from_shm, BackupReport, LeafBackupState, LeafRestoreState, RestoreError,
+    RestoreReport, TableBackupState, SHM_LAYOUT_VERSION,
+};
+use scuba_shmem::ShmNamespace;
+
+use crate::config::LeafConfig;
+use crate::error::{LeafError, LeafResult};
+use crate::persist::LeafStore;
+
+/// Coarse lifecycle phase of a leaf, deciding request admission (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeafPhase {
+    /// Serving adds and queries.
+    Alive,
+    /// Draining for shutdown (rejects new work).
+    Preparing,
+    /// Copying heap → shared memory.
+    CopyingToShm,
+    /// Restoring shared memory → heap (no adds, no queries).
+    MemoryRecovery,
+    /// Rebuilding from disk (adds and queries allowed; results partial).
+    DiskRecovery,
+    /// Process gone.
+    Down,
+}
+
+impl LeafPhase {
+    /// Phase name for errors and dashboards.
+    pub fn name(self) -> &'static str {
+        match self {
+            LeafPhase::Alive => "ALIVE",
+            LeafPhase::Preparing => "PREPARE",
+            LeafPhase::CopyingToShm => "COPY_TO_SHM",
+            LeafPhase::MemoryRecovery => "MEMORY_RECOVERY",
+            LeafPhase::DiskRecovery => "DISK_RECOVERY",
+            LeafPhase::Down => "DOWN",
+        }
+    }
+
+    /// May rows be added? (§4.3: disk recovery accepts adds, memory
+    /// recovery does not.)
+    pub fn accepts_adds(self) -> bool {
+        matches!(self, LeafPhase::Alive | LeafPhase::DiskRecovery)
+    }
+
+    /// May queries run? (Same admission rule as adds.)
+    pub fn accepts_queries(self) -> bool {
+        matches!(self, LeafPhase::Alive | LeafPhase::DiskRecovery)
+    }
+}
+
+/// How a leaf came back up.
+#[derive(Debug)]
+pub enum RecoveryOutcome {
+    /// Shared-memory restore succeeded.
+    Memory(RestoreReport),
+    /// Fell back to (or was configured for) disk recovery; carries the
+    /// reason and the disk recovery stats.
+    Disk {
+        /// Why memory recovery did not happen.
+        reason: String,
+        /// Read/translate breakdown of the disk path.
+        stats: RecoveryStats,
+    },
+}
+
+impl RecoveryOutcome {
+    /// True if this was a fast (memory) recovery.
+    pub fn is_memory(&self) -> bool {
+        matches!(self, RecoveryOutcome::Memory(_))
+    }
+
+    /// Wall-clock recovery duration.
+    pub fn duration(&self) -> Duration {
+        match self {
+            RecoveryOutcome::Memory(r) => r.duration,
+            RecoveryOutcome::Disk { stats, .. } => stats.read_duration + stats.translate_duration,
+        }
+    }
+}
+
+/// What a clean shutdown did.
+#[derive(Debug)]
+pub struct ShutdownSummary {
+    /// Per-table final backup state (all `Done` on success).
+    pub table_states: Vec<(String, TableBackupState)>,
+    /// Rows that were still unsealed and got sealed during prepare.
+    pub sealed_rows: usize,
+    /// Dirty bytes flushed to disk during prepare (§4.1 synchronization).
+    pub disk_synced_bytes: u64,
+    /// The shared-memory copy report.
+    pub backup: BackupReport,
+}
+
+/// One Scuba leaf server.
+#[derive(Debug)]
+pub struct LeafServer {
+    config: LeafConfig,
+    store: LeafStore,
+    disk: DiskBackup,
+    ns: ShmNamespace,
+    phase: LeafPhase,
+}
+
+impl LeafServer {
+    /// Create an empty leaf (first boot; no recovery attempted).
+    pub fn new(config: LeafConfig) -> LeafResult<LeafServer> {
+        let disk = DiskBackup::open(&config.disk_root)?;
+        let ns = ShmNamespace::new(&config.shm_prefix, config.leaf_id)?;
+        Ok(LeafServer {
+            config,
+            store: LeafStore::new(),
+            disk,
+            ns,
+            phase: LeafPhase::Alive,
+        })
+    }
+
+    /// Start a leaf process, recovering state — Figure 5(b)/Figure 7.
+    /// Tries shared memory first (if enabled), falling back to disk on any
+    /// problem. `now` stamps recovered blocks; `disk_throttle` optionally
+    /// paces the disk read phase at a simulated device bandwidth.
+    pub fn start(
+        config: LeafConfig,
+        now: i64,
+        disk_throttle: Option<&Throttle>,
+    ) -> LeafResult<(LeafServer, RecoveryOutcome)> {
+        let mut server = LeafServer::new(config)?;
+        let mut state = LeafRestoreState::Init;
+
+        if server.config.shm_recovery_enabled {
+            state = state.transition(LeafRestoreState::MemoryRecovery)?;
+            server.phase = LeafPhase::MemoryRecovery;
+            match restore_from_shm(&mut server.store, &server.ns, SHM_LAYOUT_VERSION) {
+                Ok(report) => {
+                    state = state.transition(LeafRestoreState::Alive)?;
+                    debug_assert_eq!(state, LeafRestoreState::Alive);
+                    server.phase = LeafPhase::Alive;
+                    return Ok((server, RecoveryOutcome::Memory(report)));
+                }
+                Err(RestoreError::Fallback(fb)) => {
+                    // Figure 5(b) "exception" edge: clear any partial
+                    // restore and recover from disk.
+                    state = state.transition(LeafRestoreState::DiskRecovery)?;
+                    server.store = LeafStore::new();
+                    let outcome = server.disk_recover(now, disk_throttle, fb.reason)?;
+                    state = state.transition(LeafRestoreState::Alive)?;
+                    debug_assert_eq!(state, LeafRestoreState::Alive);
+                    return Ok((server, outcome));
+                }
+            }
+        }
+        // Memory recovery disabled.
+        state = state.transition(LeafRestoreState::DiskRecovery)?;
+        let outcome =
+            server.disk_recover(now, disk_throttle, "memory recovery disabled".to_owned())?;
+        state = state.transition(LeafRestoreState::Alive)?;
+        debug_assert_eq!(state, LeafRestoreState::Alive);
+        Ok((server, outcome))
+    }
+
+    fn disk_recover(
+        &mut self,
+        now: i64,
+        throttle: Option<&Throttle>,
+        reason: String,
+    ) -> LeafResult<RecoveryOutcome> {
+        self.phase = LeafPhase::DiskRecovery;
+        let (map, stats) = self.disk.recover(now, throttle)?;
+        self.store = LeafStore::from_map(map);
+        self.phase = LeafPhase::Alive;
+        Ok(RecoveryOutcome::Disk { reason, stats })
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> LeafPhase {
+        self.phase
+    }
+
+    /// This leaf's shared-memory namespace.
+    pub fn namespace(&self) -> &ShmNamespace {
+        &self.ns
+    }
+
+    /// The leaf's configuration.
+    pub fn config(&self) -> &LeafConfig {
+        &self.config
+    }
+
+    /// In-memory bytes used.
+    pub fn memory_used(&self) -> usize {
+        use scuba_restart::ShmPersistable;
+        self.store.heap_bytes()
+    }
+
+    /// Free memory, as reported to tailers for two-random-choice placement
+    /// (§2: the tailer "asks them both for their current state and how
+    /// much free memory they have").
+    pub fn free_memory(&self) -> usize {
+        self.config
+            .memory_capacity
+            .saturating_sub(self.memory_used())
+    }
+
+    /// Total rows held.
+    pub fn total_rows(&self) -> usize {
+        self.store.map().total_rows()
+    }
+
+    /// The store (read access for tests and tools).
+    pub fn store(&self) -> &LeafStore {
+        &self.store
+    }
+
+    /// Mutable store access for benchmarks that drive the restart
+    /// protocol directly, bypassing the lifecycle. Not for normal use:
+    /// it skips the phase gating.
+    #[doc(hidden)]
+    pub fn store_mut_for_bench(&mut self) -> &mut LeafStore {
+        &mut self.store
+    }
+
+    /// Add a batch of rows: into memory and appended to the disk backup
+    /// (buffered; durable at the next sync).
+    pub fn add_rows(&mut self, table: &str, rows: &[Row], now: i64) -> LeafResult<()> {
+        if !self.phase.accepts_adds() {
+            return Err(LeafError::Unavailable {
+                operation: "add rows",
+                phase: self.phase.name(),
+            });
+        }
+        self.store.append_rows(table, rows, now)?;
+        self.disk.append(table, rows)?;
+        Ok(())
+    }
+
+    /// Execute a query against this leaf's fraction of the table.
+    pub fn query(&self, query: &Query) -> LeafResult<LeafQueryResult> {
+        if !self.phase.accepts_queries() {
+            return Err(LeafError::Unavailable {
+                operation: "query",
+                phase: self.phase.name(),
+            });
+        }
+        match self.store.map().get(&query.table) {
+            None => Ok(LeafQueryResult::empty()),
+            Some(t) => Ok(execute(t, query)?),
+        }
+    }
+
+    /// Apply retention limits (blocked during shutdown: Figure 5(c) kills
+    /// deletes at Prepare).
+    pub fn expire(&mut self, now: i64) -> LeafResult<usize> {
+        if !matches!(self.phase, LeafPhase::Alive) {
+            return Err(LeafError::Unavailable {
+                operation: "delete expired data",
+                phase: self.phase.name(),
+            });
+        }
+        Ok(self.store.map_mut().expire_all(self.config.retention, now))
+    }
+
+    /// Flush buffered disk appends and fsync.
+    pub fn sync_disk(&mut self) -> LeafResult<u64> {
+        Ok(self.disk.sync()?)
+    }
+
+    /// Clean shutdown via shared memory — Figures 5(a), 5(c), and 6.
+    ///
+    /// Walks the leaf through `Alive → CopyToShm → Exit` and every table
+    /// through `Alive → Prepare → CopyToShm → Done`: stop accepting work,
+    /// seal unsealed rows, flush the disk backup, copy everything into
+    /// shared memory, commit the valid bit. On success the server is
+    /// `Down` and holds no data; the replacement process recovers it with
+    /// [`LeafServer::start`].
+    pub fn shutdown_to_shm(&mut self, now: i64) -> LeafResult<ShutdownSummary> {
+        if self.phase != LeafPhase::Alive {
+            return Err(LeafError::Unavailable {
+                operation: "shut down",
+                phase: self.phase.name(),
+            });
+        }
+        let mut leaf_state = LeafBackupState::Alive;
+
+        // PREPARE (Figure 5(c)): reject new requests, kill deletes, wait
+        // for in-flight adds/queries (synchronous here), flush to disk.
+        self.phase = LeafPhase::Preparing;
+        let mut table_states: Vec<(String, TableBackupState)> = self
+            .store
+            .map()
+            .names()
+            .map(|n| (n.to_owned(), TableBackupState::Alive))
+            .collect();
+        for (_, st) in &mut table_states {
+            *st = st.transition(TableBackupState::Prepare)?;
+        }
+        let sealed_rows = self
+            .store
+            .map()
+            .iter()
+            .map(|t| t.unsealed_rows())
+            .sum::<usize>();
+        self.store.seal_all(now)?;
+        let disk_synced_bytes = self.disk.sync()?;
+
+        // COPY TO SHM (Figures 5(a) and 6).
+        leaf_state = leaf_state.transition(LeafBackupState::CopyToShm)?;
+        self.phase = LeafPhase::CopyingToShm;
+        for (_, st) in &mut table_states {
+            *st = st.transition(TableBackupState::CopyToShm)?;
+        }
+        let backup = backup_to_shm(&mut self.store, &self.ns, SHM_LAYOUT_VERSION)
+            .map_err(|e| LeafError::Backup(e.to_string()))?;
+        for (_, st) in &mut table_states {
+            *st = st.transition(TableBackupState::Done)?;
+        }
+
+        // EXIT.
+        leaf_state = leaf_state.transition(LeafBackupState::Exit)?;
+        debug_assert_eq!(leaf_state, LeafBackupState::Exit);
+        self.phase = LeafPhase::Down;
+
+        Ok(ShutdownSummary {
+            table_states,
+            sealed_rows,
+            disk_synced_bytes,
+            backup,
+        })
+    }
+
+    /// Crash the leaf: drop everything without copying to shared memory.
+    /// The next start will find no valid bit and recover from disk — the
+    /// §4 crash path.
+    pub fn crash(&mut self) {
+        self.store = LeafStore::new();
+        self.phase = LeafPhase::Down;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scuba_columnstore::table::RetentionLimits;
+    use scuba_columnstore::Value;
+    use scuba_query::{AggSpec, GroupKey};
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    static COUNTER: AtomicU32 = AtomicU32::new(0);
+
+    fn test_config(tag: &str) -> (LeafConfig, PathBuf) {
+        let id = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("scuba_leaf_{tag}_{}_{id}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = LeafConfig::new(id, format!("leafsrv{}", std::process::id()), &dir);
+        (cfg, dir)
+    }
+
+    struct Cleanup(ShmNamespace, PathBuf);
+    impl Drop for Cleanup {
+        fn drop(&mut self) {
+            self.0.unlink_all(16);
+            let _ = std::fs::remove_dir_all(&self.1);
+        }
+    }
+
+    fn fill(server: &mut LeafServer, rows: i64) {
+        let batch: Vec<Row> = (0..rows)
+            .map(|i| {
+                Row::at(i)
+                    .with("sev", if i % 10 == 0 { "error" } else { "info" })
+                    .with("code", i % 7)
+            })
+            .collect();
+        server.add_rows("logs", &batch, 0).unwrap();
+    }
+
+    #[test]
+    fn serve_add_and_query() {
+        let (cfg, dir) = test_config("serve");
+        let mut s = LeafServer::new(cfg).unwrap();
+        let _c = Cleanup(s.namespace().clone(), dir);
+        fill(&mut s, 100);
+        assert_eq!(s.total_rows(), 100);
+        let q = Query::new("logs", 0, 100)
+            .group_by("sev")
+            .aggregates(vec![AggSpec::Count]);
+        let r = s.query(&q).unwrap();
+        assert_eq!(
+            r.groups[&GroupKey::Str("error".into())][0].finish(),
+            Value::Int(10)
+        );
+        // Unknown table: empty, not an error.
+        let r = s.query(&Query::new("nope", 0, 100)).unwrap();
+        assert_eq!(r.rows_matched, 0);
+    }
+
+    #[test]
+    fn shm_restart_cycle_preserves_data_and_is_fast_path() {
+        let (cfg, dir) = test_config("cycle");
+        let mut s = LeafServer::new(cfg.clone()).unwrap();
+        let _c = Cleanup(s.namespace().clone(), dir);
+        fill(&mut s, 1000);
+
+        let summary = s.shutdown_to_shm(10).unwrap();
+        assert_eq!(s.phase(), LeafPhase::Down);
+        assert_eq!(summary.sealed_rows, 1000);
+        assert!(summary
+            .table_states
+            .iter()
+            .all(|(_, st)| *st == TableBackupState::Done));
+        assert!(summary.backup.bytes_copied > 0);
+        assert_eq!(s.total_rows(), 0);
+        drop(s); // old process exits
+
+        let (s2, outcome) = LeafServer::start(cfg, 20, None).unwrap();
+        assert!(outcome.is_memory(), "{outcome:?}");
+        assert_eq!(s2.phase(), LeafPhase::Alive);
+        assert_eq!(s2.total_rows(), 1000);
+        let r = s2.query(&Query::new("logs", 0, 2000)).unwrap();
+        assert_eq!(r.rows_matched, 1000);
+    }
+
+    #[test]
+    fn crash_recovers_from_disk() {
+        let (cfg, dir) = test_config("crash");
+        let mut s = LeafServer::new(cfg.clone()).unwrap();
+        let _c = Cleanup(s.namespace().clone(), dir);
+        fill(&mut s, 500);
+        s.sync_disk().unwrap();
+        s.crash(); // no shared-memory copy
+        drop(s);
+
+        let (s2, outcome) = LeafServer::start(cfg, 0, None).unwrap();
+        match &outcome {
+            RecoveryOutcome::Disk { reason, stats } => {
+                assert!(reason.contains("metadata unavailable"), "{reason}");
+                assert_eq!(stats.rows, 500);
+            }
+            other => panic!("expected disk recovery, got {other:?}"),
+        }
+        assert_eq!(s2.total_rows(), 500);
+    }
+
+    #[test]
+    fn crash_loses_unsynced_tail_only() {
+        let (cfg, dir) = test_config("tail");
+        let mut s = LeafServer::new(cfg.clone()).unwrap();
+        let _c = Cleanup(s.namespace().clone(), dir);
+        fill(&mut s, 300);
+        s.sync_disk().unwrap();
+        // 50 more rows, never synced: these are the "few thousand rows"
+        // §4.1 accepts losing. BufWriter may or may not have flushed them;
+        // a crash loses at most the buffered tail.
+        let extra: Vec<Row> = (300..350).map(Row::at).collect();
+        s.add_rows("logs", &extra, 0).unwrap();
+        s.crash();
+        drop(s);
+        let (s2, _) = LeafServer::start(cfg, 0, None).unwrap();
+        let n = s2.total_rows();
+        assert!((300..=350).contains(&n), "recovered {n} rows");
+    }
+
+    #[test]
+    fn shm_recovery_disabled_goes_to_disk() {
+        let (mut cfg, dir) = test_config("disabled");
+        let mut s = LeafServer::new(cfg.clone()).unwrap();
+        let _c = Cleanup(s.namespace().clone(), dir);
+        fill(&mut s, 100);
+        s.shutdown_to_shm(0).unwrap();
+        drop(s);
+
+        cfg.shm_recovery_enabled = false;
+        let (s2, outcome) = LeafServer::start(cfg, 0, None).unwrap();
+        match outcome {
+            RecoveryOutcome::Disk { reason, .. } => {
+                assert!(reason.contains("disabled"));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(s2.total_rows(), 100);
+    }
+
+    #[test]
+    fn requests_rejected_while_down() {
+        let (cfg, dir) = test_config("down");
+        let mut s = LeafServer::new(cfg).unwrap();
+        let _c = Cleanup(s.namespace().clone(), dir);
+        fill(&mut s, 10);
+        s.shutdown_to_shm(0).unwrap();
+        assert!(matches!(
+            s.add_rows("logs", &[Row::at(1)], 0),
+            Err(LeafError::Unavailable { .. })
+        ));
+        assert!(s.query(&Query::new("logs", 0, 10)).is_err());
+        assert!(s.expire(0).is_err());
+        assert!(s.shutdown_to_shm(0).is_err()); // double shutdown
+                                                // Clean up shm left by the successful shutdown.
+        s.namespace().unlink_all(4);
+    }
+
+    #[test]
+    fn free_memory_reporting() {
+        let (mut cfg, dir) = test_config("mem");
+        cfg.memory_capacity = 1 << 20;
+        let mut s = LeafServer::new(cfg).unwrap();
+        let _c = Cleanup(s.namespace().clone(), dir);
+        let before = s.free_memory();
+        assert_eq!(before, 1 << 20);
+        fill(&mut s, 1000);
+        assert!(s.free_memory() < before);
+        assert_eq!(s.free_memory(), (1 << 20) - s.memory_used());
+    }
+
+    #[test]
+    fn expire_applies_retention() {
+        let (mut cfg, dir) = test_config("exp");
+        cfg.retention = RetentionLimits {
+            max_age_secs: Some(50),
+            max_bytes: None,
+        };
+        let mut s = LeafServer::new(cfg).unwrap();
+        let _c = Cleanup(s.namespace().clone(), dir);
+        fill(&mut s, 100); // times 0..99
+        s.store.map_mut().get_mut("logs").unwrap().seal(0).unwrap();
+        // now = 200: whole block's max_time (99) < 150 cutoff -> dropped.
+        let dropped = s.expire(200).unwrap();
+        assert_eq!(dropped, 1);
+        assert_eq!(s.total_rows(), 0);
+    }
+
+    #[test]
+    fn disk_throttle_paces_recovery() {
+        use scuba_diskstore::Throttle;
+        let (cfg, dir) = test_config("throttle");
+        let mut s = LeafServer::new(cfg.clone()).unwrap();
+        let _c = Cleanup(s.namespace().clone(), dir);
+        fill(&mut s, 2000);
+        s.sync_disk().unwrap();
+        let on_disk = {
+            let b = scuba_diskstore::DiskBackup::open(&cfg.disk_root).unwrap();
+            b.size_bytes().unwrap()
+        };
+        s.crash();
+        drop(s);
+        // Throttle the read phase to ~4x the file size per second: the
+        // read alone must take at least ~1/4 s.
+        let throttle = Throttle::new((on_disk * 4).max(1));
+        let started = std::time::Instant::now();
+        let (s2, outcome) = LeafServer::start(cfg, 0, Some(&throttle)).unwrap();
+        assert!(!outcome.is_memory());
+        assert_eq!(s2.total_rows(), 2000);
+        assert!(
+            started.elapsed() >= std::time::Duration::from_millis(200),
+            "throttle had no effect: {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn second_start_after_memory_recovery_uses_disk() {
+        // The valid bit is consumed by the first restore; a second start
+        // (e.g. crash right after recovery) must go to disk.
+        let (cfg, dir) = test_config("second");
+        let mut s = LeafServer::new(cfg.clone()).unwrap();
+        let _c = Cleanup(s.namespace().clone(), dir);
+        fill(&mut s, 50);
+        s.shutdown_to_shm(0).unwrap();
+        let (mut s2, o1) = LeafServer::start(cfg.clone(), 0, None).unwrap();
+        assert!(o1.is_memory());
+        s2.crash();
+        drop(s2);
+        let (s3, o2) = LeafServer::start(cfg, 0, None).unwrap();
+        assert!(!o2.is_memory());
+        assert_eq!(s3.total_rows(), 50);
+    }
+}

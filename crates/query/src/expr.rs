@@ -1,0 +1,174 @@
+//! Row filters: `column <op> literal` predicates.
+
+use scuba_columnstore::Value;
+
+/// Comparison operators supported in filters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+    /// Substring match (strings only).
+    Contains,
+}
+
+/// One predicate over a named column. Null cells never match any filter
+/// (SQL-ish semantics), including `Ne`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Filter {
+    /// Column the predicate reads.
+    pub column: String,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Literal to compare against.
+    pub literal: Value,
+}
+
+impl Filter {
+    /// Build a filter.
+    pub fn new(column: impl Into<String>, op: CmpOp, literal: impl Into<Value>) -> Filter {
+        Filter {
+            column: column.into(),
+            op,
+            literal: literal.into(),
+        }
+    }
+
+    /// Evaluate the predicate against one cell.
+    pub fn matches(&self, cell: &Value) -> bool {
+        match (cell, &self.literal) {
+            (Value::Null, _) => false,
+            (Value::Int(a), Value::Int(b)) => cmp_ord(self.op, a.partial_cmp(b)),
+            (Value::Double(a), Value::Double(b)) => cmp_ord(self.op, a.partial_cmp(b)),
+            (Value::Int(a), Value::Double(b)) => cmp_ord(self.op, (*a as f64).partial_cmp(b)),
+            (Value::Double(a), Value::Int(b)) => cmp_ord(self.op, a.partial_cmp(&(*b as f64))),
+            (Value::Str(a), Value::Str(b)) => match self.op {
+                CmpOp::Contains => a.contains(b.as_str()),
+                _ => cmp_ord(self.op, a.partial_cmp(b)),
+            },
+            // Set semantics: Contains = membership, Eq/Ne = set equality
+            // (both sides normalized).
+            (Value::StrSet(set), Value::Str(needle)) => match self.op {
+                CmpOp::Contains => set.binary_search(needle).is_ok(),
+                _ => false,
+            },
+            (Value::StrSet(a), Value::StrSet(b)) => match self.op {
+                CmpOp::Eq => a == b,
+                CmpOp::Ne => a != b,
+                _ => false,
+            },
+            // Cross-type comparisons (other than numeric widening) never match.
+            _ => false,
+        }
+    }
+}
+
+fn cmp_ord(op: CmpOp, ord: Option<std::cmp::Ordering>) -> bool {
+    use std::cmp::Ordering::*;
+    let Some(ord) = ord else {
+        return false; // NaN comparisons
+    };
+    match op {
+        CmpOp::Eq => ord == Equal,
+        CmpOp::Ne => ord != Equal,
+        CmpOp::Lt => ord == Less,
+        CmpOp::Le => ord != Greater,
+        CmpOp::Gt => ord == Greater,
+        CmpOp::Ge => ord != Less,
+        CmpOp::Contains => false, // only meaningful for strings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_comparisons() {
+        let f = Filter::new("x", CmpOp::Ge, 10i64);
+        assert!(f.matches(&Value::Int(10)));
+        assert!(f.matches(&Value::Int(11)));
+        assert!(!f.matches(&Value::Int(9)));
+        assert!(Filter::new("x", CmpOp::Ne, 5i64).matches(&Value::Int(6)));
+        assert!(!Filter::new("x", CmpOp::Ne, 5i64).matches(&Value::Int(5)));
+    }
+
+    #[test]
+    fn numeric_widening() {
+        assert!(Filter::new("x", CmpOp::Lt, 2.5f64).matches(&Value::Int(2)));
+        assert!(Filter::new("x", CmpOp::Gt, 2i64).matches(&Value::Double(2.5)));
+    }
+
+    #[test]
+    fn string_ops() {
+        let eq = Filter::new("sev", CmpOp::Eq, "error");
+        assert!(eq.matches(&Value::from("error")));
+        assert!(!eq.matches(&Value::from("warn")));
+        let contains = Filter::new("msg", CmpOp::Contains, "time");
+        assert!(contains.matches(&Value::from("request timed out; timeout=30")));
+        assert!(!contains.matches(&Value::from("ok")));
+        // Lexicographic ordering works for strings too.
+        assert!(Filter::new("s", CmpOp::Lt, "b").matches(&Value::from("a")));
+    }
+
+    #[test]
+    fn nulls_never_match() {
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Contains] {
+            assert!(!Filter::new("x", op, 1i64).matches(&Value::Null));
+        }
+    }
+
+    #[test]
+    fn cross_type_never_matches() {
+        assert!(!Filter::new("x", CmpOp::Eq, "1").matches(&Value::Int(1)));
+        assert!(!Filter::new("x", CmpOp::Eq, 1i64).matches(&Value::from("1")));
+        assert!(!Filter::new("x", CmpOp::Contains, 1i64).matches(&Value::Int(1)));
+    }
+
+    #[test]
+    fn set_membership_and_equality() {
+        let cell = Value::set(["android", "beta", "us"]);
+        assert!(Filter::new("tags", CmpOp::Contains, "beta").matches(&cell));
+        assert!(!Filter::new("tags", CmpOp::Contains, "ios").matches(&cell));
+        // Substring of an element is NOT membership.
+        assert!(!Filter::new("tags", CmpOp::Contains, "bet").matches(&cell));
+        // Set equality is order-insensitive via normalization.
+        let same = Value::set(["us", "android", "beta"]);
+        assert!(Filter {
+            column: "tags".into(),
+            op: CmpOp::Eq,
+            literal: same.clone()
+        }
+        .matches(&cell));
+        assert!(Filter {
+            column: "tags".into(),
+            op: CmpOp::Ne,
+            literal: Value::set(["other"])
+        }
+        .matches(&cell));
+        // Ordering comparisons are undefined for sets.
+        assert!(!Filter {
+            column: "tags".into(),
+            op: CmpOp::Lt,
+            literal: same
+        }
+        .matches(&cell));
+    }
+
+    #[test]
+    fn nan_comparisons_false() {
+        let f = Filter::new("x", CmpOp::Le, f64::NAN);
+        assert!(!f.matches(&Value::Double(1.0)));
+        let f = Filter::new("x", CmpOp::Eq, 1.0f64);
+        assert!(!f.matches(&Value::Double(f64::NAN)));
+    }
+}

@@ -1,0 +1,28 @@
+//! Query engine for the Scuba fast-restart reproduction.
+//!
+//! Scuba queries are "interactive, ad hoc, analysis queries ... typically
+//! run in under a second over GBs of data" (§1): aggregations with
+//! filters, almost always carrying a time predicate that drives row-block
+//! pruning (§2.1). The engine is split the way Figure 1 splits it:
+//!
+//! * [`exec`] — leaf-local execution: prune blocks by time range, decode
+//!   only the touched columns, filter, group, aggregate.
+//! * [`partial`] — aggregator-side merging: "Scuba can and does return
+//!   partial query results when not all servers are available" (§1), so a
+//!   merged result carries the fraction of leaves that contributed.
+
+pub mod agg;
+pub mod exec;
+pub mod expr;
+pub mod histogram;
+pub mod parse;
+pub mod partial;
+pub mod query;
+
+pub use agg::{AggSpec, AggState, DistinctValue};
+pub use exec::{execute, LeafQueryResult};
+pub use expr::{CmpOp, Filter};
+pub use histogram::LogHistogram;
+pub use parse::{parse_query, ParseError};
+pub use partial::{merge_partials, MergedResult};
+pub use query::{GroupKey, Query};

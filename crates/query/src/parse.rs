@@ -1,0 +1,504 @@
+//! A small textual query language, for tools and the interactive shell.
+//!
+//! Scuba's users write queries in a UI; this crate's equivalent surface is
+//! a one-line language that covers the same shapes:
+//!
+//! ```text
+//! count(*), avg(latency_ms), p99(latency_ms)
+//!   from requests
+//!   where status >= 500 and endpoint contains '/api'
+//!   group by endpoint
+//!   bucket 60
+//!   since 1700000000 until 1700003600
+//! ```
+//!
+//! Grammar (case-insensitive keywords):
+//!
+//! ```text
+//! query   := aggs "from" ident [ "where" pred ("and" pred)* ]
+//!            [ "group" "by" ident ] [ "bucket" int ]
+//!            [ "since" int ] [ "until" int ]
+//! aggs    := agg ("," agg)*
+//! agg     := "count(*)" | fn "(" ident ")" | "percentile(" ident "," num ")"
+//! fn      := sum|min|max|avg|p50|p95|p99|count_distinct
+//! pred    := ident op literal
+//! op      := = | == | != | < | <= | > | >= | contains
+//! literal := int | float | 'str' | "str"
+//! ```
+
+use std::fmt;
+
+use crate::agg::AggSpec;
+use crate::expr::{CmpOp, Filter};
+use crate::query::Query;
+use scuba_columnstore::Value;
+
+/// A parse failure, with the offending position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the input where it went wrong.
+    pub position: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Comma,
+    LParen,
+    RParen,
+    Star,
+    Op(CmpOp),
+}
+
+struct Lexer<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(input: &'a str) -> Self {
+        Lexer { input, pos: 0 }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            position: self.pos,
+        }
+    }
+
+    fn tokens(mut self) -> Result<Vec<(Token, usize)>, ParseError> {
+        let mut out = Vec::new();
+        let bytes = self.input.as_bytes();
+        while self.pos < bytes.len() {
+            let start = self.pos;
+            let c = bytes[self.pos] as char;
+            match c {
+                ' ' | '\t' | '\n' | '\r' => {
+                    self.pos += 1;
+                }
+                ',' => {
+                    out.push((Token::Comma, start));
+                    self.pos += 1;
+                }
+                '(' => {
+                    out.push((Token::LParen, start));
+                    self.pos += 1;
+                }
+                ')' => {
+                    out.push((Token::RParen, start));
+                    self.pos += 1;
+                }
+                '*' => {
+                    out.push((Token::Star, start));
+                    self.pos += 1;
+                }
+                '=' => {
+                    self.pos += 1;
+                    if bytes.get(self.pos) == Some(&b'=') {
+                        self.pos += 1;
+                    }
+                    out.push((Token::Op(CmpOp::Eq), start));
+                }
+                '!' => {
+                    self.pos += 1;
+                    if bytes.get(self.pos) == Some(&b'=') {
+                        self.pos += 1;
+                        out.push((Token::Op(CmpOp::Ne), start));
+                    } else {
+                        return Err(self.err("expected '=' after '!'"));
+                    }
+                }
+                '<' => {
+                    self.pos += 1;
+                    if bytes.get(self.pos) == Some(&b'=') {
+                        self.pos += 1;
+                        out.push((Token::Op(CmpOp::Le), start));
+                    } else {
+                        out.push((Token::Op(CmpOp::Lt), start));
+                    }
+                }
+                '>' => {
+                    self.pos += 1;
+                    if bytes.get(self.pos) == Some(&b'=') {
+                        self.pos += 1;
+                        out.push((Token::Op(CmpOp::Ge), start));
+                    } else {
+                        out.push((Token::Op(CmpOp::Gt), start));
+                    }
+                }
+                '\'' | '"' => {
+                    let quote = c;
+                    self.pos += 1;
+                    let content_start = self.pos;
+                    while self.pos < bytes.len() && bytes[self.pos] as char != quote {
+                        self.pos += 1;
+                    }
+                    if self.pos >= bytes.len() {
+                        return Err(self.err("unterminated string literal"));
+                    }
+                    out.push((
+                        Token::Str(self.input[content_start..self.pos].to_owned()),
+                        start,
+                    ));
+                    self.pos += 1;
+                }
+                c if c.is_ascii_digit() || c == '-' => {
+                    self.pos += 1;
+                    let mut is_float = false;
+                    while self.pos < bytes.len() {
+                        let d = bytes[self.pos] as char;
+                        if d.is_ascii_digit() {
+                            self.pos += 1;
+                        } else if d == '.' && !is_float {
+                            is_float = true;
+                            self.pos += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    let text = &self.input[start..self.pos];
+                    if is_float {
+                        let v: f64 = text
+                            .parse()
+                            .map_err(|_| self.err(format!("bad float literal {text:?}")))?;
+                        out.push((Token::Float(v), start));
+                    } else {
+                        let v: i64 = text
+                            .parse()
+                            .map_err(|_| self.err(format!("bad integer literal {text:?}")))?;
+                        out.push((Token::Int(v), start));
+                    }
+                }
+                c if c.is_ascii_alphabetic() || c == '_' || c == '/' => {
+                    self.pos += 1;
+                    while self.pos < bytes.len() {
+                        let d = bytes[self.pos] as char;
+                        if d.is_ascii_alphanumeric() || d == '_' || d == '.' || d == '/' {
+                            self.pos += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    out.push((Token::Ident(self.input[start..self.pos].to_owned()), start));
+                }
+                other => return Err(self.err(format!("unexpected character {other:?}"))),
+            }
+        }
+        Ok(out)
+    }
+}
+
+struct Parser {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+    input_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn position(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|&(_, p)| p)
+            .unwrap_or(self.input_len)
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            position: self.position(),
+        }
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Consume an identifier equal (case-insensitively) to `kw`.
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if let Some(Token::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn expect(&mut self, token: Token, what: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(t) if t == token => Ok(()),
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn parse_agg(&mut self) -> Result<AggSpec, ParseError> {
+        let name = self.expect_ident("an aggregate function")?;
+        self.expect(Token::LParen, "'('")?;
+        let spec = match name.to_ascii_lowercase().as_str() {
+            "count" => {
+                self.expect(Token::Star, "'*' (count takes no column)")?;
+                AggSpec::Count
+            }
+            "sum" => AggSpec::Sum(self.expect_ident("a column name")?),
+            "min" => AggSpec::Min(self.expect_ident("a column name")?),
+            "max" => AggSpec::Max(self.expect_ident("a column name")?),
+            "avg" => AggSpec::Avg(self.expect_ident("a column name")?),
+            "p50" => AggSpec::p50(self.expect_ident("a column name")?),
+            "p95" => AggSpec::Percentile(self.expect_ident("a column name")?, 0.95),
+            "p99" => AggSpec::p99(self.expect_ident("a column name")?),
+            "count_distinct" => AggSpec::CountDistinct(self.expect_ident("a column name")?),
+            "percentile" => {
+                let column = self.expect_ident("a column name")?;
+                self.expect(Token::Comma, "','")?;
+                let q = match self.next() {
+                    Some(Token::Float(q)) => q,
+                    Some(Token::Int(q)) => q as f64,
+                    other => return Err(self.err(format!("expected a quantile, found {other:?}"))),
+                };
+                if !(0.0..=1.0).contains(&q) {
+                    return Err(self.err(format!("quantile {q} out of [0, 1]")));
+                }
+                AggSpec::Percentile(column, q)
+            }
+            other => return Err(self.err(format!("unknown aggregate function {other:?}"))),
+        };
+        self.expect(Token::RParen, "')'")?;
+        Ok(spec)
+    }
+
+    fn parse_predicate(&mut self) -> Result<Filter, ParseError> {
+        let column = self.expect_ident("a column name")?;
+        let op = match self.next() {
+            Some(Token::Op(op)) => op,
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("contains") => CmpOp::Contains,
+            other => {
+                return Err(self.err(format!("expected a comparison operator, found {other:?}")))
+            }
+        };
+        let literal = match self.next() {
+            Some(Token::Int(v)) => Value::Int(v),
+            Some(Token::Float(v)) => Value::Double(v),
+            Some(Token::Str(s)) => Value::Str(s),
+            other => return Err(self.err(format!("expected a literal, found {other:?}"))),
+        };
+        Ok(Filter {
+            column,
+            op,
+            literal,
+        })
+    }
+}
+
+/// Parse one query. `default_range` supplies `[since, until)` when the
+/// query does not say (pass the table's full range or `(0, i64::MAX)`).
+pub fn parse_query(input: &str, default_range: (i64, i64)) -> Result<Query, ParseError> {
+    let tokens = Lexer::new(input).tokens()?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        input_len: input.len(),
+    };
+
+    // Aggregates.
+    let mut aggregates = vec![p.parse_agg()?];
+    while p.peek() == Some(&Token::Comma) {
+        p.next();
+        aggregates.push(p.parse_agg()?);
+    }
+
+    if !p.eat_keyword("from") {
+        return Err(p.err("expected 'from'"));
+    }
+    let table = p.expect_ident("a table name")?;
+
+    let mut query = Query::new(table, default_range.0, default_range.1).aggregates(aggregates);
+
+    // Optional clauses, any order.
+    loop {
+        if p.eat_keyword("where") {
+            query.filters.push(p.parse_predicate()?);
+            while p.eat_keyword("and") {
+                query.filters.push(p.parse_predicate()?);
+            }
+        } else if p.eat_keyword("group") {
+            if !p.eat_keyword("by") {
+                return Err(p.err("expected 'by' after 'group'"));
+            }
+            query.group_by = Some(p.expect_ident("a column name")?);
+        } else if p.eat_keyword("bucket") {
+            match p.next() {
+                Some(Token::Int(secs)) if secs > 0 => query.bucket_secs = Some(secs),
+                other => {
+                    return Err(p.err(format!("expected a positive bucket width, found {other:?}")))
+                }
+            }
+        } else if p.eat_keyword("since") {
+            match p.next() {
+                Some(Token::Int(t)) => query.time_from = t,
+                other => return Err(p.err(format!("expected a timestamp, found {other:?}"))),
+            }
+        } else if p.eat_keyword("until") {
+            match p.next() {
+                Some(Token::Int(t)) => query.time_to = t,
+                other => return Err(p.err(format!("expected a timestamp, found {other:?}"))),
+            }
+        } else {
+            break;
+        }
+    }
+
+    if p.peek().is_some() {
+        return Err(p.err("unexpected trailing input"));
+    }
+    Ok(query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::GroupKey;
+
+    const FULL: (i64, i64) = (0, i64::MAX);
+
+    #[test]
+    fn minimal_count() {
+        let q = parse_query("count(*) from requests", FULL).unwrap();
+        assert_eq!(q.table, "requests");
+        assert_eq!(q.aggregates, vec![AggSpec::Count]);
+        assert!(q.filters.is_empty());
+        assert_eq!(q.time_from, 0);
+        assert_eq!(q.time_to, i64::MAX);
+    }
+
+    #[test]
+    fn full_dashboard_query() {
+        let q = parse_query(
+            "count(*), avg(latency_ms), p99(latency_ms), count_distinct(host) \
+             from requests \
+             where status >= 500 and endpoint contains '/api' \
+             group by endpoint bucket 60 since 1000 until 2000",
+            FULL,
+        )
+        .unwrap();
+        assert_eq!(q.aggregates.len(), 4);
+        assert_eq!(q.aggregates[2], AggSpec::p99("latency_ms"));
+        assert_eq!(q.filters.len(), 2);
+        assert_eq!(q.filters[0], Filter::new("status", CmpOp::Ge, 500i64));
+        assert_eq!(
+            q.filters[1],
+            Filter::new("endpoint", CmpOp::Contains, "/api")
+        );
+        assert_eq!(q.group_by.as_deref(), Some("endpoint"));
+        assert_eq!(q.bucket_secs, Some(60));
+        assert_eq!(q.time_from, 1000);
+        assert_eq!(q.time_to, 2000);
+    }
+
+    #[test]
+    fn percentile_with_explicit_quantile() {
+        let q = parse_query("percentile(lat, 0.999) from t", FULL).unwrap();
+        assert_eq!(q.aggregates[0], AggSpec::Percentile("lat".into(), 0.999));
+        assert!(parse_query("percentile(lat, 1.5) from t", FULL).is_err());
+    }
+
+    #[test]
+    fn operators_and_literals() {
+        for (text, op) in [
+            ("= 5", CmpOp::Eq),
+            ("== 5", CmpOp::Eq),
+            ("!= 5", CmpOp::Ne),
+            ("< 5", CmpOp::Lt),
+            ("<= 5", CmpOp::Le),
+            ("> 5", CmpOp::Gt),
+            (">= 5", CmpOp::Ge),
+        ] {
+            let q = parse_query(&format!("count(*) from t where x {text}"), FULL).unwrap();
+            assert_eq!(q.filters[0].op, op, "{text}");
+            assert_eq!(q.filters[0].literal, Value::Int(5));
+        }
+        let q = parse_query("count(*) from t where x = 2.5", FULL).unwrap();
+        assert_eq!(q.filters[0].literal, Value::Double(2.5));
+        let q = parse_query("count(*) from t where x = -3", FULL).unwrap();
+        assert_eq!(q.filters[0].literal, Value::Int(-3));
+        let q = parse_query(r#"count(*) from t where x = "hi there""#, FULL).unwrap();
+        assert_eq!(q.filters[0].literal, Value::from("hi there"));
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let q = parse_query(
+            "COUNT(*) FROM t WHERE x = 1 GROUP BY g BUCKET 10 SINCE 5 UNTIL 9",
+            FULL,
+        )
+        .unwrap();
+        assert_eq!(q.group_by.as_deref(), Some("g"));
+        assert_eq!(q.bucket_secs, Some(10));
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let e = parse_query("count(*) frm t", FULL).unwrap_err();
+        assert!(e.message.contains("expected 'from'"), "{e}");
+        assert_eq!(e.position, 9);
+        assert!(parse_query("count(*) from t trailing junk", FULL).is_err());
+        assert!(parse_query("bogus(x) from t", FULL).is_err());
+        assert!(parse_query("count(*) from t where x !! 1", FULL).is_err());
+        assert!(parse_query("count(*) from t where x = 'unterminated", FULL).is_err());
+        assert!(parse_query("", FULL).is_err());
+        assert!(parse_query("count(*) from t bucket 0", FULL).is_err());
+        assert!(parse_query("count(*) from t bucket -5", FULL).is_err());
+    }
+
+    #[test]
+    fn parsed_query_actually_runs() {
+        use scuba_columnstore::{Row, Table};
+        let mut t = Table::new("requests", 0);
+        for i in 0..100i64 {
+            t.append(
+                &Row::at(i)
+                    .with("status", if i % 4 == 0 { 500i64 } else { 200 })
+                    .with("latency_ms", i as f64),
+                0,
+            )
+            .unwrap();
+        }
+        t.seal(0).unwrap();
+        let q = parse_query(
+            "count(*), max(latency_ms) from requests where status >= 500",
+            FULL,
+        )
+        .unwrap();
+        let r = crate::exec::execute(&t, &q).unwrap();
+        assert_eq!(r.rows_matched, 25);
+        assert_eq!(r.groups[&GroupKey::Null][1].finish(), Value::Double(96.0));
+    }
+}

@@ -1,0 +1,183 @@
+//! Aggregator-side merging of leaf partial results.
+//!
+//! "The aggregator servers distribute a query to all leaves and then
+//! aggregate the results as they arrive from the leaves" (§2). Leaves in
+//! memory recovery do not answer (§4.3), and "Scuba can and does return
+//! partial query results when not all servers are available" (§1) — so a
+//! merged result reports the fraction of leaves that contributed, which
+//! is exactly the "98% of data online" number the rollover dashboard and
+//! availability experiments track.
+
+use std::collections::BTreeMap;
+
+use scuba_columnstore::Value;
+
+use crate::agg::AggSpec;
+use crate::exec::LeafQueryResult;
+use crate::query::GroupKey;
+
+/// The aggregator's merged answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergedResult {
+    /// Final values per group, one per requested aggregate, sorted by key.
+    pub groups: BTreeMap<GroupKey, Vec<Value>>,
+    /// Leaves the query was distributed to.
+    pub leaves_total: usize,
+    /// Leaves that returned a partial result.
+    pub leaves_responded: usize,
+    /// Total rows matched across responding leaves.
+    pub rows_matched: u64,
+    /// Total rows scanned across responding leaves.
+    pub rows_scanned: u64,
+}
+
+impl MergedResult {
+    /// Fraction of leaves that contributed (1.0 = complete answer).
+    pub fn availability(&self) -> f64 {
+        if self.leaves_total == 0 {
+            1.0
+        } else {
+            self.leaves_responded as f64 / self.leaves_total as f64
+        }
+    }
+
+    /// True if every leaf answered.
+    pub fn is_complete(&self) -> bool {
+        self.leaves_responded == self.leaves_total
+    }
+
+    /// Final values for the ungrouped result (group key `Null`).
+    pub fn totals(&self) -> Option<&[Value]> {
+        self.groups.get(&GroupKey::Null).map(Vec::as_slice)
+    }
+}
+
+/// Merge leaf partials into a final result. `leaves_total` is how many
+/// leaves the query was sent to; `partials` holds the answers that came
+/// back (length ≤ `leaves_total`). `aggregates` must be the query's
+/// aggregate list.
+pub fn merge_partials(
+    aggregates: &[AggSpec],
+    leaves_total: usize,
+    partials: &[LeafQueryResult],
+) -> MergedResult {
+    assert!(
+        partials.len() <= leaves_total,
+        "more answers than leaves asked"
+    );
+    let mut states: BTreeMap<GroupKey, Vec<crate::agg::AggState>> = BTreeMap::new();
+    let mut rows_matched = 0;
+    let mut rows_scanned = 0;
+    for partial in partials {
+        rows_matched += partial.rows_matched;
+        rows_scanned += partial.rows_scanned;
+        for (key, leaf_states) in &partial.groups {
+            let merged = states
+                .entry(key.clone())
+                .or_insert_with(|| aggregates.iter().map(|a| a.new_state()).collect());
+            for (m, l) in merged.iter_mut().zip(leaf_states) {
+                m.merge(l);
+            }
+        }
+    }
+    MergedResult {
+        groups: states
+            .into_iter()
+            .map(|(k, sts)| (k, sts.iter().map(|s| s.finish()).collect()))
+            .collect(),
+        leaves_total,
+        leaves_responded: partials.len(),
+        rows_matched,
+        rows_scanned,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute;
+    use crate::query::Query;
+    use scuba_columnstore::{Row, Table};
+
+    fn leaf_table(offset: i64, rows: i64) -> Table {
+        let mut t = Table::new("t", 0);
+        for i in 0..rows {
+            t.append(
+                &Row::at(offset + i)
+                    .with("v", offset + i)
+                    .with("host", format!("h{}", (offset + i) % 2)),
+                0,
+            )
+            .unwrap();
+        }
+        t.seal(0).unwrap();
+        t
+    }
+
+    #[test]
+    fn merging_equals_single_leaf_execution() {
+        // Split the same data across 4 "leaves": merged answer must match
+        // a single table holding everything.
+        let q = Query::new("t", 0, 400).group_by("host").aggregates(vec![
+            AggSpec::Count,
+            AggSpec::Sum("v".into()),
+            AggSpec::Min("v".into()),
+        ]);
+        let whole = leaf_table(0, 400);
+        let whole_result = execute(&whole, &q).unwrap();
+        let whole_merged = merge_partials(&q.aggregates, 1, &[whole_result]);
+
+        let partials: Vec<_> = (0..4)
+            .map(|i| execute(&leaf_table(i * 100, 100), &q).unwrap())
+            .collect();
+        let merged = merge_partials(&q.aggregates, 4, &partials);
+
+        assert_eq!(merged.groups, whole_merged.groups);
+        assert_eq!(merged.rows_matched, 400);
+        assert!(merged.is_complete());
+        assert_eq!(merged.availability(), 1.0);
+    }
+
+    #[test]
+    fn missing_leaves_reported_as_partial() {
+        let q = Query::new("t", 0, 200);
+        let partials: Vec<_> = (0..2)
+            .map(|i| execute(&leaf_table(i * 100, 100), &q).unwrap())
+            .collect();
+        // 2 of 8 leaves answered (6 restarting).
+        let merged = merge_partials(&q.aggregates, 8, &partials);
+        assert!(!merged.is_complete());
+        assert!((merged.availability() - 0.25).abs() < 1e-9);
+        assert_eq!(merged.rows_matched, 200);
+        assert_eq!(merged.totals().unwrap()[0], Value::Int(200));
+    }
+
+    #[test]
+    fn zero_leaves_is_vacuously_complete() {
+        let merged = merge_partials(&[AggSpec::Count], 0, &[]);
+        assert_eq!(merged.availability(), 1.0);
+        assert!(merged.groups.is_empty());
+    }
+
+    #[test]
+    fn empty_partials_merge_cleanly() {
+        let merged = merge_partials(
+            &[AggSpec::Count],
+            3,
+            &[LeafQueryResult::empty(), LeafQueryResult::empty()],
+        );
+        assert_eq!(merged.leaves_responded, 2);
+        assert!(merged.groups.is_empty());
+        assert_eq!(merged.totals(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "more answers than leaves")]
+    fn over_reporting_panics() {
+        merge_partials(
+            &[AggSpec::Count],
+            1,
+            &[LeafQueryResult::empty(), LeafQueryResult::empty()],
+        );
+    }
+}

@@ -1,0 +1,228 @@
+//! Property-based tests for the query engine: partial-result merging must
+//! be exact (splitting data across leaves never changes answers), pruning
+//! must never change results, and aggregates must match naive reference
+//! implementations.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use scuba_columnstore::{Row, Table, Value};
+use scuba_query::{execute, merge_partials, AggSpec, CmpOp, Filter, GroupKey, Query};
+
+/// Arbitrary event rows over a small key space so groups collide.
+fn arb_rows() -> impl Strategy<Value = Vec<Row>> {
+    vec((0i64..1000, 0i64..5, 0u8..4, 0i64..100), 1..300).prop_map(|tuples| {
+        tuples
+            .into_iter()
+            .map(|(t, group, opt, v)| {
+                let mut row = Row::at(t).with("g", group);
+                // Some rows omit the value column.
+                if opt != 0 {
+                    row.set("v", v);
+                }
+                row
+            })
+            .collect()
+    })
+}
+
+fn table_from(name: &str, rows: &[Row]) -> Table {
+    let mut t = Table::new(name, 0);
+    for r in rows {
+        t.append(r, 0).unwrap();
+    }
+    t.seal(0).unwrap();
+    t
+}
+
+fn test_query(from: i64, to: i64) -> Query {
+    Query::new("t", from, to).group_by("g").aggregates(vec![
+        AggSpec::Count,
+        AggSpec::Sum("v".into()),
+        AggSpec::Min("v".into()),
+        AggSpec::Max("v".into()),
+        AggSpec::Avg("v".into()),
+    ])
+}
+
+/// Like [`test_query`] but with the sketch/set aggregates and time
+/// buckets, for the shard-invariance properties (no naive reference —
+/// compared against single-table execution instead).
+fn rich_query(from: i64, to: i64) -> Query {
+    Query::new("t", from, to)
+        .group_by("g")
+        .bucket_secs(100)
+        .aggregates(vec![
+            AggSpec::Count,
+            AggSpec::p50("v"),
+            AggSpec::p99("v"),
+            AggSpec::CountDistinct("v".into()),
+        ])
+}
+
+/// Naive reference: compute the grouped aggregates directly from rows.
+fn reference(rows: &[Row], from: i64, to: i64) -> Vec<(GroupKey, Vec<Value>)> {
+    use std::collections::BTreeMap;
+    let mut groups: BTreeMap<GroupKey, Vec<i64>> = BTreeMap::new();
+    let mut counts: BTreeMap<GroupKey, u64> = BTreeMap::new();
+    for r in rows {
+        if r.time() < from || r.time() >= to {
+            continue;
+        }
+        let key = r
+            .get("g")
+            .map(GroupKey::from_value)
+            .unwrap_or(GroupKey::Null);
+        *counts.entry(key.clone()).or_default() += 1;
+        if let Some(v) = r.get("v").and_then(Value::as_int) {
+            groups.entry(key).or_default().push(v);
+        }
+    }
+    counts
+        .into_iter()
+        .map(|(key, count)| {
+            let vs = groups.get(&key).cloned().unwrap_or_default();
+            let sum: i64 = vs.iter().sum();
+            let vals = vec![
+                Value::Int(count as i64),
+                Value::Double(sum as f64),
+                vs.iter()
+                    .min()
+                    .map(|&m| Value::Double(m as f64))
+                    .unwrap_or(Value::Null),
+                vs.iter()
+                    .max()
+                    .map(|&m| Value::Double(m as f64))
+                    .unwrap_or(Value::Null),
+                if vs.is_empty() {
+                    Value::Null
+                } else {
+                    Value::Double(sum as f64 / vs.len() as f64)
+                },
+            ];
+            (key, vals)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn engine_matches_reference(rows in arb_rows(), from in 0i64..500, span in 1i64..1000) {
+        let to = from + span;
+        let table = table_from("t", &rows);
+        let q = test_query(from, to);
+        let partial = execute(&table, &q).unwrap();
+        let merged = merge_partials(&q.aggregates, 1, &[partial]);
+        let expected = reference(&rows, from, to);
+        let actual: Vec<(GroupKey, Vec<Value>)> =
+            merged.groups.clone().into_iter().collect();
+        prop_assert_eq!(actual, expected);
+    }
+
+    #[test]
+    fn sharding_never_changes_rich_answers(rows in arb_rows(), shards in 1usize..6) {
+        // Percentile sketches and distinct sets merge exactly, and time
+        // buckets are computed per row, so sharding must be invisible.
+        let q = rich_query(0, 1000);
+        let whole = execute(&table_from("t", &rows), &q).unwrap();
+        let whole = merge_partials(&q.aggregates, 1, &[whole]);
+
+        let mut shard_rows: Vec<Vec<Row>> = vec![Vec::new(); shards];
+        for (i, r) in rows.iter().enumerate() {
+            shard_rows[i % shards].push(r.clone());
+        }
+        let partials: Vec<_> = shard_rows
+            .iter()
+            .map(|rs| execute(&table_from("t", rs), &q).unwrap())
+            .collect();
+        let merged = merge_partials(&q.aggregates, shards, &partials);
+        prop_assert_eq!(merged.groups, whole.groups);
+    }
+
+    #[test]
+    fn sharding_never_changes_answers(rows in arb_rows(), shards in 1usize..6) {
+        // Split rows round-robin across N leaf tables; merged result must
+        // equal the single-table result — the Figure 1 aggregation
+        // topology is exact, not approximate.
+        let q = test_query(0, 1000);
+        let whole = execute(&table_from("t", &rows), &q).unwrap();
+        let whole = merge_partials(&q.aggregates, 1, &[whole]);
+
+        let mut shard_rows: Vec<Vec<Row>> = vec![Vec::new(); shards];
+        for (i, r) in rows.iter().enumerate() {
+            shard_rows[i % shards].push(r.clone());
+        }
+        let partials: Vec<_> = shard_rows
+            .iter()
+            .map(|rs| execute(&table_from("t", rs), &q).unwrap())
+            .collect();
+        let merged = merge_partials(&q.aggregates, shards, &partials);
+
+        prop_assert_eq!(merged.groups, whole.groups);
+        prop_assert_eq!(merged.rows_matched, whole.rows_matched);
+    }
+
+    #[test]
+    fn sealing_boundaries_never_change_answers(rows in arb_rows(), seal_every in 1usize..50) {
+        // However the rows are carved into row blocks, answers match.
+        let q = test_query(0, 1000);
+        let baseline = execute(&table_from("t", &rows), &q).unwrap();
+
+        let mut t = Table::new("t", 0);
+        for (i, r) in rows.iter().enumerate() {
+            t.append(r, 0).unwrap();
+            if (i + 1) % seal_every == 0 {
+                t.seal(0).unwrap();
+            }
+        }
+        t.seal(0).unwrap();
+        let chunked = execute(&t, &q).unwrap();
+        prop_assert_eq!(chunked.groups, baseline.groups);
+        prop_assert_eq!(chunked.rows_matched, baseline.rows_matched);
+    }
+
+    #[test]
+    fn pruning_is_only_an_optimization(rows in arb_rows(), from in 0i64..1000, span in 0i64..200, seal_every in 1usize..40) {
+        // Narrow queries on many-block tables exercise pruning; results
+        // must equal the row-level reference regardless.
+        let to = from + span;
+        let mut t = Table::new("t", 0);
+        for (i, r) in rows.iter().enumerate() {
+            t.append(r, 0).unwrap();
+            if (i + 1) % seal_every == 0 {
+                t.seal(0).unwrap();
+            }
+        }
+        t.seal(0).unwrap();
+        let q = test_query(from, to);
+        let res = execute(&t, &q).unwrap();
+        let merged = merge_partials(&q.aggregates, 1, &[res]);
+        let expected = reference(&rows, from, to);
+        let actual: Vec<(GroupKey, Vec<Value>)> = merged.groups.clone().into_iter().collect();
+        prop_assert_eq!(actual, expected);
+    }
+
+    #[test]
+    fn filters_equal_row_level_evaluation(rows in arb_rows(), threshold in 0i64..100) {
+        let q = Query::new("t", 0, 1000)
+            .filter(Filter::new("v", CmpOp::Ge, threshold))
+            .aggregates(vec![AggSpec::Count]);
+        let res = execute(&table_from("t", &rows), &q).unwrap();
+        let expected = rows
+            .iter()
+            .filter(|r| r.get("v").and_then(Value::as_int).is_some_and(|v| v >= threshold))
+            .count() as u64;
+        prop_assert_eq!(res.rows_matched, expected);
+    }
+
+    #[test]
+    fn availability_math(total in 1usize..100, responded_seed in any::<usize>()) {
+        let responded = responded_seed % (total + 1);
+        let partials = vec![scuba_query::LeafQueryResult::empty(); responded];
+        let merged = merge_partials(&[AggSpec::Count], total, &partials);
+        prop_assert!((merged.availability() - responded as f64 / total as f64).abs() < 1e-12);
+        prop_assert_eq!(merged.is_complete(), responded == total);
+    }
+}

@@ -1,0 +1,50 @@
+//! The core contribution of *Fast Database Restarts at Facebook* (SIGMOD
+//! 2014) as a reusable library: restart a database process without losing
+//! its in-memory state, by decoupling memory lifetime from process
+//! lifetime.
+//!
+//! "Our key observation is that we can decouple the memory lifetime from
+//! the process lifetime. When we shutdown a server for a planned upgrade,
+//! we know that the memory state is valid (unlike when a server shuts
+//! down unexpectedly). We can therefore use shared memory to preserve
+//! memory state from the old server process to the new process."
+//!
+//! The library is generic over the store being persisted via
+//! [`ShmPersistable`] — the paper notes the technique "can be applied to
+//! the in-memory state of any database". The pieces:
+//!
+//! * [`state`] — the four state machines of Figure 5 (leaf/table ×
+//!   backup/restore), with transitions enforced at runtime.
+//! * [`backup`] — the Figure 6 shutdown procedure: create the metadata
+//!   region with the valid bit false, stream each unit into its own
+//!   segment **chunk by chunk, freeing heap as it goes**, then commit by
+//!   setting the valid bit.
+//! * [`restore`] — the Figure 7 startup procedure: check the valid bit
+//!   (fall back to disk recovery if unset, corrupt, or version-skewed),
+//!   clear it, copy each unit back to heap chunk by chunk while punching
+//!   the consumed pages out of the segment, and delete the segments.
+//!
+//! Everything here is crash-conservative: any failure, torn copy, or
+//! version mismatch surfaces as [`restore::Fallback`], which the caller
+//! answers with a disk recovery (§4.3: "We do not use shared memory to
+//! recover from a crash; the crash may have been caused by memory
+//! corruption").
+
+pub mod backup;
+pub mod restore;
+pub mod state;
+pub mod traits;
+
+pub use backup::{backup_to_shm, BackupError, BackupReport};
+pub use restore::{restore_from_shm, Fallback, RestoreError, RestoreReport};
+pub use state::{
+    LeafBackupState, LeafRestoreState, StateError, TableBackupState, TableRestoreState,
+};
+pub use traits::{ChunkSink, ChunkSource, ShmPersistable};
+
+/// Current version of the shared-memory layout this library writes. The
+/// metadata region records it; a reader with a different version must fall
+/// back to disk (§4.2: "The layout version number indicates whether the
+/// shared memory layout has changed; note that the heap memory layout can
+/// change independently of the shared memory layout").
+pub const SHM_LAYOUT_VERSION: u32 = 1;

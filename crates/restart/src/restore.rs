@@ -1,0 +1,490 @@
+//! The startup procedure — Figure 7, literally:
+//!
+//! ```text
+//! if valid bit is false
+//!     delete shared memory segments
+//!     recover from disk
+//!     return
+//! set valid bit to false
+//! for each table shared memory segment
+//!     for each row block
+//!         for each row block column
+//!             allocate memory in heap
+//!             copy data from table segment to heap
+//!     truncate the table shared memory segment if needed
+//!     delete the table shared memory segment
+//! delete the metadata shared memory segment
+//! ```
+//!
+//! "If this code path is interrupted, the valid bit will be false on the
+//! next restart and disk recovery will be executed." Every failure mode —
+//! missing metadata, unset valid bit, layout version skew, torn segment,
+//! checksum mismatch, store decode error — collapses into [`Fallback`],
+//! which tells the caller to run its disk recovery instead.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use scuba_shmem::{LeafMetadata, SegmentReader, ShmError, ShmNamespace, ShmSegment};
+
+use crate::state::LeafRestoreState;
+use crate::traits::{ChunkSource, ShmPersistable};
+
+/// End-of-unit sentinel in the chunk framing (must match backup).
+const END_SENTINEL: u64 = u64::MAX;
+
+/// What a successful memory restore did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RestoreReport {
+    /// Units (tables) restored.
+    pub units: usize,
+    /// Chunks copied shared memory → heap.
+    pub chunks: usize,
+    /// Payload bytes copied.
+    pub bytes_copied: u64,
+    /// Wall-clock duration of the copy.
+    pub duration: Duration,
+    /// Peak of (store heap bytes + un-consumed shared memory bytes)
+    /// observed during the restore.
+    pub peak_footprint: usize,
+}
+
+/// Memory recovery is not possible; the caller must recover from disk.
+/// Shared memory has already been cleaned up ("delete shared memory
+/// segments") when `cleaned_up` is true.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fallback {
+    /// Why memory recovery was abandoned.
+    pub reason: String,
+    /// Whether the protocol already unlinked the segments it knew about.
+    pub cleaned_up: bool,
+}
+
+impl fmt::Display for Fallback {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "falling back to disk recovery: {}", self.reason)
+    }
+}
+
+impl std::error::Error for Fallback {}
+
+/// Restore failure. [`RestoreError::Fallback`] is the expected,
+/// protocol-level outcome; store errors are also mapped into it by
+/// [`restore_from_shm`], so callers usually only see `Fallback`.
+#[derive(Debug)]
+pub enum RestoreError {
+    /// Fall back to disk recovery.
+    Fallback(Fallback),
+}
+
+impl fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestoreError::Fallback(fb) => fb.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+/// Source wrapper that reads framed chunks from a unit's segment,
+/// punching consumed pages out as it goes.
+struct FramingSource<'a> {
+    reader: &'a mut SegmentReader,
+    done: bool,
+    chunks: usize,
+    payload_bytes: u64,
+}
+
+impl ChunkSource for FramingSource<'_> {
+    fn next_chunk(&mut self) -> Result<Option<Vec<u8>>, ShmError> {
+        if self.done {
+            return Ok(None);
+        }
+        let len = self.reader.read_u64()?;
+        if len == END_SENTINEL {
+            self.done = true;
+            return Ok(None);
+        }
+        let crc_bytes = self.reader.read(4)?;
+        let stored_crc = u32::from_le_bytes(crc_bytes.try_into().expect("read 4 bytes"));
+        // Figure 7: "allocate memory in heap; copy data from table segment
+        // to heap" — read() allocates and memcpys.
+        let chunk = self.reader.read(len as usize)?;
+        if scuba_shmem::crc32(&chunk) != stored_crc {
+            return Err(ShmError::Corrupt {
+                name: "chunk framing".to_owned(),
+                reason: "chunk checksum mismatch (torn or corrupted copy)".to_owned(),
+            });
+        }
+        self.chunks += 1;
+        self.payload_bytes += chunk.len() as u64;
+        // "truncate the table shared memory segment if needed": release
+        // the pages behind what we just consumed.
+        self.reader.release_consumed()?;
+        Ok(Some(chunk))
+    }
+}
+
+/// Restore `store` from the shared memory named by `ns`. Returns
+/// [`Fallback`] (wrapped in [`RestoreError`]) whenever memory recovery is
+/// impossible or anything goes wrong mid-way; in that case the shared
+/// memory has been deleted, the valid bit (if the metadata survived) is
+/// false, and the caller should clear any partially-restored units and
+/// run disk recovery.
+pub fn restore_from_shm<S: ShmPersistable>(
+    store: &mut S,
+    ns: &ShmNamespace,
+    expected_layout_version: u32,
+) -> Result<RestoreReport, RestoreError> {
+    let mut leaf_state = LeafRestoreState::Init;
+    leaf_state = leaf_state
+        .transition(LeafRestoreState::MemoryRecovery)
+        .expect("Init -> MemoryRecovery is always legal");
+
+    let start = Instant::now();
+
+    // Figure 7 line 1: check the valid bit.
+    let mut meta = match LeafMetadata::open(ns) {
+        Ok(m) => m,
+        Err(e) => {
+            // No metadata at all usually just means "no prior shutdown";
+            // corrupt metadata means a torn write. Either way: disk. The
+            // segment list is gone with the metadata, so sweep the
+            // deterministic name scheme for orphaned table segments.
+            cleanup(ns, &[]);
+            return Err(fallback(format!("metadata unavailable: {e}"), true));
+        }
+    };
+    let contents = match meta.read() {
+        Ok(c) => c,
+        Err(e) => {
+            cleanup(ns, &[]);
+            return Err(fallback(format!("metadata unreadable: {e}"), true));
+        }
+    };
+    if !contents.valid {
+        cleanup(ns, &contents.segment_names);
+        return Err(fallback("valid bit is false".to_owned(), true));
+    }
+    if contents.layout_version != expected_layout_version {
+        cleanup(ns, &contents.segment_names);
+        return Err(fallback(
+            format!(
+                "shared memory layout version {} does not match expected {}",
+                contents.layout_version, expected_layout_version
+            ),
+            true,
+        ));
+    }
+
+    // Figure 7 line 2: set the valid bit to false *before* consuming, so
+    // an interruption re-runs as disk recovery.
+    if let Err(e) = meta.set_valid(false) {
+        cleanup(ns, &contents.segment_names);
+        return Err(fallback(format!("could not clear valid bit: {e}"), true));
+    }
+
+    match copy_units_back(store, &contents.segment_names) {
+        Ok((units, chunks, bytes_copied, peak_footprint)) => {
+            // Figure 7 last line: delete the metadata segment. (Each table
+            // segment was deleted as it was drained.)
+            let _ = ShmSegment::unlink(&ns.metadata_name());
+            leaf_state = leaf_state
+                .transition(LeafRestoreState::Alive)
+                .expect("MemoryRecovery -> Alive is always legal");
+            debug_assert_eq!(leaf_state, LeafRestoreState::Alive);
+            Ok(RestoreReport {
+                units,
+                chunks,
+                bytes_copied,
+                duration: start.elapsed(),
+                peak_footprint,
+            })
+        }
+        Err(reason) => {
+            // The Figure 5(b) "exception" edge.
+            let state = leaf_state
+                .transition(LeafRestoreState::DiskRecovery)
+                .expect("MemoryRecovery -> DiskRecovery is always legal");
+            debug_assert_eq!(state, LeafRestoreState::DiskRecovery);
+            cleanup(ns, &contents.segment_names);
+            Err(fallback(reason, true))
+        }
+    }
+}
+
+fn copy_units_back<S: ShmPersistable>(
+    store: &mut S,
+    segment_names: &[String],
+) -> Result<(usize, usize, u64, usize), String> {
+    let mut chunks = 0usize;
+    let mut bytes_copied = 0u64;
+    let mut peak_footprint = store.heap_bytes();
+
+    // Remaining shm payload: sum of segment sizes, shrinking as we consume.
+    let mut remaining_shm: usize = 0;
+    let mut segments = Vec::with_capacity(segment_names.len());
+    for name in segment_names {
+        let seg = ShmSegment::open(name).map_err(|e| format!("segment {name:?} missing: {e}"))?;
+        remaining_shm += seg.len();
+        segments.push(seg);
+    }
+    peak_footprint = peak_footprint.max(store.heap_bytes() + remaining_shm);
+
+    for segment in segments {
+        let seg_len = segment.len();
+        let seg_name = segment.name().to_owned();
+        let mut reader = SegmentReader::new(segment);
+        let name_len = reader
+            .read_u64()
+            .map_err(|e| format!("unit name frame: {e}"))?;
+        let name_crc = reader
+            .read(4)
+            .map_err(|e| format!("unit name frame: {e}"))?;
+        let name_bytes = reader
+            .read(name_len as usize)
+            .map_err(|e| format!("unit name frame: {e}"))?;
+        if scuba_shmem::crc32(&name_bytes)
+            != u32::from_le_bytes(name_crc.try_into().expect("read 4 bytes"))
+        {
+            return Err("unit name frame checksum mismatch".to_owned());
+        }
+        let unit =
+            String::from_utf8(name_bytes).map_err(|_| "unit name is not UTF-8".to_owned())?;
+
+        let mut source = FramingSource {
+            reader: &mut reader,
+            done: false,
+            chunks: 0,
+            payload_bytes: 0,
+        };
+        store
+            .restore_unit(&unit, &mut source)
+            .map_err(|e| format!("restoring unit {unit:?}: {e}"))?;
+        if !source.done {
+            // The store stopped early; drain to validate framing so a
+            // short read doesn't silently drop data.
+            while source.next_chunk().map_err(|e| e.to_string())?.is_some() {}
+        }
+        chunks += source.chunks;
+        bytes_copied += source.payload_bytes;
+
+        // "delete the table shared memory segment".
+        drop(reader);
+        ShmSegment::unlink(&seg_name).map_err(|e| e.to_string())?;
+        remaining_shm -= seg_len;
+        peak_footprint = peak_footprint.max(store.heap_bytes() + remaining_shm);
+    }
+    Ok((segment_names.len(), chunks, bytes_copied, peak_footprint))
+}
+
+fn fallback(reason: String, cleaned_up: bool) -> RestoreError {
+    RestoreError::Fallback(Fallback { reason, cleaned_up })
+}
+
+fn cleanup(ns: &ShmNamespace, segment_names: &[String]) {
+    for name in segment_names {
+        let _ = ShmSegment::unlink(name);
+    }
+    let _ = ShmSegment::unlink(&ns.metadata_name());
+    // Table segments are numbered contiguously from 0, so a linear sweep
+    // catches orphans the (possibly lost) metadata did not list.
+    let mut index = 0;
+    while ShmSegment::exists(&ns.table_segment_name(index)) {
+        let _ = ShmSegment::unlink(&ns.table_segment_name(index));
+        index += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backup::testutil::{ToyError, ToyStore};
+    use crate::backup::{backup_to_shm, BackupError};
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    static COUNTER: AtomicU32 = AtomicU32::new(100);
+
+    fn test_ns() -> ShmNamespace {
+        ShmNamespace::new(
+            &format!("rst{}", std::process::id()),
+            COUNTER.fetch_add(1, Ordering::Relaxed),
+        )
+        .unwrap()
+    }
+
+    struct Cleanup(ShmNamespace);
+    impl Drop for Cleanup {
+        fn drop(&mut self) {
+            self.0.unlink_all(16);
+        }
+    }
+
+    fn sample_store() -> ToyStore {
+        ToyStore::with_units(&[
+            ("events", &[b"chunk-a" as &[u8], b"chunk-b", b"chunk-c"]),
+            ("metrics", &[b"m1" as &[u8]]),
+            ("empty_table", &[]),
+        ])
+    }
+
+    #[test]
+    fn full_round_trip_preserves_store() {
+        let ns = test_ns();
+        let _c = Cleanup(ns.clone());
+        let mut store = sample_store();
+        let original = store.clone();
+        let bak = backup_to_shm(&mut store, &ns, 1).unwrap();
+        assert!(store.units.is_empty());
+
+        let mut restored = ToyStore::default();
+        let rep = restore_from_shm(&mut restored, &ns, 1).unwrap();
+        assert_eq!(restored, original);
+        assert_eq!(rep.units, 3);
+        assert_eq!(rep.chunks, bak.chunks);
+        assert_eq!(rep.bytes_copied, bak.bytes_copied);
+
+        // Everything deleted afterwards.
+        assert!(!ShmSegment::exists(&ns.metadata_name()));
+        for i in 0..3 {
+            assert!(!ShmSegment::exists(&ns.table_segment_name(i)));
+        }
+    }
+
+    #[test]
+    fn second_restore_falls_back() {
+        // The valid bit is single-shot: after one successful restore the
+        // state is gone.
+        let ns = test_ns();
+        let _c = Cleanup(ns.clone());
+        let mut store = sample_store();
+        backup_to_shm(&mut store, &ns, 1).unwrap();
+        let mut restored = ToyStore::default();
+        restore_from_shm(&mut restored, &ns, 1).unwrap();
+
+        let mut again = ToyStore::default();
+        let err = restore_from_shm(&mut again, &ns, 1).unwrap_err();
+        let RestoreError::Fallback(fb) = err;
+        assert!(fb.reason.contains("metadata unavailable"), "{}", fb.reason);
+    }
+
+    #[test]
+    fn missing_metadata_falls_back() {
+        let ns = test_ns();
+        let _c = Cleanup(ns.clone());
+        let mut store = ToyStore::default();
+        let err = restore_from_shm(&mut store, &ns, 1).unwrap_err();
+        let RestoreError::Fallback(fb) = err;
+        assert!(fb.cleaned_up);
+    }
+
+    #[test]
+    fn unset_valid_bit_falls_back_and_cleans_up() {
+        let ns = test_ns();
+        let _c = Cleanup(ns.clone());
+        // Manufacture committed-but-unset state: backup, then clear bit.
+        let mut store = sample_store();
+        backup_to_shm(&mut store, &ns, 1).unwrap();
+        let mut meta = LeafMetadata::open(&ns).unwrap();
+        meta.set_valid(false).unwrap();
+        drop(meta);
+
+        let mut restored = ToyStore::default();
+        let err = restore_from_shm(&mut restored, &ns, 1).unwrap_err();
+        let RestoreError::Fallback(fb) = err;
+        assert!(fb.reason.contains("valid bit"), "{}", fb.reason);
+        assert!(restored.units.is_empty());
+        // Figure 7: "delete shared memory segments".
+        assert!(!ShmSegment::exists(&ns.metadata_name()));
+        assert!(!ShmSegment::exists(&ns.table_segment_name(0)));
+    }
+
+    #[test]
+    fn layout_version_skew_falls_back() {
+        let ns = test_ns();
+        let _c = Cleanup(ns.clone());
+        let mut store = sample_store();
+        backup_to_shm(&mut store, &ns, 1).unwrap();
+        let mut restored = ToyStore::default();
+        let err = restore_from_shm(&mut restored, &ns, 2).unwrap_err();
+        let RestoreError::Fallback(fb) = err;
+        assert!(fb.reason.contains("layout version"), "{}", fb.reason);
+        assert!(!ShmSegment::exists(&ns.metadata_name()));
+    }
+
+    #[test]
+    fn torn_segment_falls_back() {
+        let ns = test_ns();
+        let _c = Cleanup(ns.clone());
+        let mut store = sample_store();
+        backup_to_shm(&mut store, &ns, 1).unwrap();
+        // Tear a table segment: truncate it mid-frame.
+        let mut seg = ShmSegment::open(&ns.table_segment_name(0)).unwrap();
+        let half = seg.len() / 2;
+        seg.resize(half).unwrap();
+        drop(seg);
+
+        let mut restored = ToyStore::default();
+        let err = restore_from_shm(&mut restored, &ns, 1).unwrap_err();
+        let RestoreError::Fallback(fb) = err;
+        assert!(fb.cleaned_up);
+        assert!(!ShmSegment::exists(&ns.table_segment_name(1)));
+    }
+
+    #[test]
+    fn missing_table_segment_falls_back() {
+        let ns = test_ns();
+        let _c = Cleanup(ns.clone());
+        let mut store = sample_store();
+        backup_to_shm(&mut store, &ns, 1).unwrap();
+        ShmSegment::unlink(&ns.table_segment_name(1)).unwrap();
+        let mut restored = ToyStore::default();
+        let err = restore_from_shm(&mut restored, &ns, 1).unwrap_err();
+        let RestoreError::Fallback(fb) = err;
+        assert!(fb.reason.contains("missing"), "{}", fb.reason);
+    }
+
+    #[test]
+    fn store_error_during_restore_falls_back() {
+        let ns = test_ns();
+        let _c = Cleanup(ns.clone());
+        let mut store = sample_store();
+        backup_to_shm(&mut store, &ns, 1).unwrap();
+        let mut restored = ToyStore {
+            poison: Some("metrics".to_owned()),
+            ..Default::default()
+        };
+        let err = restore_from_shm(&mut restored, &ns, 1).unwrap_err();
+        let RestoreError::Fallback(fb) = err;
+        assert!(fb.reason.contains("poisoned"), "{}", fb.reason);
+        // Interrupted restore must leave the valid bit unusable.
+        assert!(!ShmSegment::exists(&ns.metadata_name()));
+    }
+
+    #[test]
+    fn interrupted_restore_cannot_be_replayed() {
+        // Figure 7: "If this code path is interrupted, the valid bit will
+        // be false on the next restart". Simulate the interruption by
+        // poisoning the first unit, then verify a clean retry also falls
+        // back (rather than restoring half the data).
+        let ns = test_ns();
+        let _c = Cleanup(ns.clone());
+        let mut store = sample_store();
+        backup_to_shm(&mut store, &ns, 1).unwrap();
+        let mut broken = ToyStore {
+            poison: Some("events".to_owned()),
+            ..Default::default()
+        };
+        assert!(restore_from_shm(&mut broken, &ns, 1).is_err());
+        let mut retry = ToyStore::default();
+        assert!(restore_from_shm(&mut retry, &ns, 1).is_err());
+        assert!(retry.units.is_empty());
+    }
+
+    #[test]
+    fn backup_error_type_displays() {
+        let e: BackupError<ToyError> = BackupError::Store(ToyError("x".into()));
+        assert!(e.to_string().contains("store error"));
+    }
+}

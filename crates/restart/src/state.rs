@@ -1,0 +1,353 @@
+//! The Figure 5 state machines.
+//!
+//! "At all times, each leaf and table keeps track of its state. The state
+//! indicates whether the leaf and table are working on a restart and
+//! determines which actions are permissible: adding data, deleting
+//! (expired) data, evaluating queries, etc." (§4.3)
+//!
+//! Four machines:
+//!
+//! * (a) leaf backup:  `Alive → CopyToShm → Exit`
+//! * (b) leaf restore: `Init → MemoryRecovery → Alive`, with
+//!   `Init → DiskRecovery` when memory recovery is disabled and
+//!   `MemoryRecovery → DiskRecovery` on exception, then → `Alive`
+//! * (c) table backup: `Alive → Prepare → CopyToShm → Done` — the extra
+//!   Prepare state "waits for some requests, kills delete requests, and
+//!   rejects any new work"
+//! * (d) table restore: identical shape to the leaf restore machine
+//!
+//! Transitions are validated: an illegal transition returns
+//! [`StateError`] instead of silently corrupting the protocol.
+
+use std::fmt;
+
+/// An illegal state-machine transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateError {
+    /// Which machine rejected the transition.
+    pub machine: &'static str,
+    /// State the machine was in.
+    pub from: &'static str,
+    /// State the caller asked for.
+    pub to: &'static str,
+}
+
+impl fmt::Display for StateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "illegal {} transition: {} -> {}",
+            self.machine, self.from, self.to
+        )
+    }
+}
+
+impl std::error::Error for StateError {}
+
+macro_rules! impl_name {
+    ($ty:ty { $($variant:ident => $name:expr),+ $(,)? }) => {
+        impl $ty {
+            /// Human-readable state name.
+            pub fn name(self) -> &'static str {
+                match self {
+                    $(Self::$variant => $name),+
+                }
+            }
+        }
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(self.name())
+            }
+        }
+    };
+}
+
+/// Figure 5(a): leaf states during a shared-memory backup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LeafBackupState {
+    /// Serving adds and queries normally.
+    #[default]
+    Alive,
+    /// Copying table data from heap to shared memory.
+    CopyToShm,
+    /// Data committed; the process exits.
+    Exit,
+}
+
+impl_name!(LeafBackupState {
+    Alive => "ALIVE",
+    CopyToShm => "COPY_TO_SHM",
+    Exit => "EXIT",
+});
+
+impl LeafBackupState {
+    /// Attempt a transition.
+    pub fn transition(self, to: LeafBackupState) -> Result<LeafBackupState, StateError> {
+        use LeafBackupState::*;
+        match (self, to) {
+            (Alive, CopyToShm) | (CopyToShm, Exit) => Ok(to),
+            _ => Err(StateError {
+                machine: "leaf backup",
+                from: self.name(),
+                to: to.name(),
+            }),
+        }
+    }
+
+    /// Whether the leaf may accept new adds/queries in this state.
+    pub fn accepts_requests(self) -> bool {
+        matches!(self, LeafBackupState::Alive)
+    }
+}
+
+/// Figure 5(b): leaf states during a restore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LeafRestoreState {
+    /// Fresh process, nothing decided yet.
+    #[default]
+    Init,
+    /// Copying data from shared memory back to heap.
+    MemoryRecovery,
+    /// Reading the disk backup (memory recovery disabled or failed).
+    DiskRecovery,
+    /// Fully recovered and serving.
+    Alive,
+}
+
+impl_name!(LeafRestoreState {
+    Init => "INIT",
+    MemoryRecovery => "MEMORY_RECOVERY",
+    DiskRecovery => "DISK_RECOVERY",
+    Alive => "ALIVE",
+});
+
+impl LeafRestoreState {
+    /// Attempt a transition. `MemoryRecovery → DiskRecovery` is the
+    /// "exception" edge of Figure 5(b); `Init → DiskRecovery` is the
+    /// "memory recovery disabled" edge.
+    pub fn transition(self, to: LeafRestoreState) -> Result<LeafRestoreState, StateError> {
+        use LeafRestoreState::*;
+        match (self, to) {
+            (Init, MemoryRecovery)
+            | (Init, DiskRecovery)
+            | (MemoryRecovery, DiskRecovery)
+            | (MemoryRecovery, Alive)
+            | (DiskRecovery, Alive) => Ok(to),
+            _ => Err(StateError {
+                machine: "leaf restore",
+                from: self.name(),
+                to: to.name(),
+            }),
+        }
+    }
+
+    /// §4.3: "During memory recovery ... no add data requests or queries
+    /// are accepted. During disk recovery ... both add and query requests
+    /// are processed by each leaf."
+    pub fn accepts_requests(self) -> bool {
+        matches!(
+            self,
+            LeafRestoreState::DiskRecovery | LeafRestoreState::Alive
+        )
+    }
+}
+
+/// Figure 5(c): table states during backup, with the Prepare barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TableBackupState {
+    /// Serving normally.
+    #[default]
+    Alive,
+    /// Rejecting new requests, killing deletes, draining adds/queries,
+    /// flushing to disk.
+    Prepare,
+    /// Copying to shared memory.
+    CopyToShm,
+    /// Fully copied.
+    Done,
+}
+
+impl_name!(TableBackupState {
+    Alive => "ALIVE",
+    Prepare => "PREPARE",
+    CopyToShm => "COPY_TO_SHM",
+    Done => "DONE",
+});
+
+impl TableBackupState {
+    /// Attempt a transition.
+    pub fn transition(self, to: TableBackupState) -> Result<TableBackupState, StateError> {
+        use TableBackupState::*;
+        match (self, to) {
+            (Alive, Prepare) | (Prepare, CopyToShm) | (CopyToShm, Done) => Ok(to),
+            _ => Err(StateError {
+                machine: "table backup",
+                from: self.name(),
+                to: to.name(),
+            }),
+        }
+    }
+
+    /// Whether new work may be accepted for this table.
+    pub fn accepts_requests(self) -> bool {
+        matches!(self, TableBackupState::Alive)
+    }
+
+    /// Whether delete (expiry) requests may run. Figure 5(c): deletes are
+    /// killed at Prepare; "Scuba stops deleting expired table data once
+    /// shutdown starts. Any needed deletions are made after recovery."
+    pub fn allows_deletes(self) -> bool {
+        matches!(self, TableBackupState::Alive)
+    }
+}
+
+/// Figure 5(d): table restore states — "identical to the leaf restart
+/// state machine", so this is a distinct type with the same shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TableRestoreState {
+    /// Nothing decided yet.
+    #[default]
+    Init,
+    /// Copying from shared memory.
+    MemoryRecovery,
+    /// Reading the disk backup.
+    DiskRecovery,
+    /// Recovered.
+    Alive,
+}
+
+impl_name!(TableRestoreState {
+    Init => "INIT",
+    MemoryRecovery => "MEMORY_RECOVERY",
+    DiskRecovery => "DISK_RECOVERY",
+    Alive => "ALIVE",
+});
+
+impl TableRestoreState {
+    /// Attempt a transition (same edges as [`LeafRestoreState`]).
+    pub fn transition(self, to: TableRestoreState) -> Result<TableRestoreState, StateError> {
+        use TableRestoreState::*;
+        match (self, to) {
+            (Init, MemoryRecovery)
+            | (Init, DiskRecovery)
+            | (MemoryRecovery, DiskRecovery)
+            | (MemoryRecovery, Alive)
+            | (DiskRecovery, Alive) => Ok(to),
+            _ => Err(StateError {
+                machine: "table restore",
+                from: self.name(),
+                to: to.name(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_backup_happy_path() {
+        let s = LeafBackupState::Alive;
+        assert!(s.accepts_requests());
+        let s = s.transition(LeafBackupState::CopyToShm).unwrap();
+        assert!(!s.accepts_requests());
+        let s = s.transition(LeafBackupState::Exit).unwrap();
+        assert_eq!(s, LeafBackupState::Exit);
+    }
+
+    #[test]
+    fn leaf_backup_rejects_illegal() {
+        assert!(LeafBackupState::Alive
+            .transition(LeafBackupState::Exit)
+            .is_err());
+        assert!(LeafBackupState::Exit
+            .transition(LeafBackupState::Alive)
+            .is_err());
+        assert!(LeafBackupState::CopyToShm
+            .transition(LeafBackupState::Alive)
+            .is_err());
+        let err = LeafBackupState::Alive
+            .transition(LeafBackupState::Exit)
+            .unwrap_err();
+        assert_eq!(err.machine, "leaf backup");
+        assert_eq!(err.from, "ALIVE");
+        assert_eq!(err.to, "EXIT");
+    }
+
+    #[test]
+    fn leaf_restore_memory_path() {
+        let s = LeafRestoreState::Init;
+        let s = s.transition(LeafRestoreState::MemoryRecovery).unwrap();
+        assert!(!s.accepts_requests()); // memory recovery blocks requests
+        let s = s.transition(LeafRestoreState::Alive).unwrap();
+        assert!(s.accepts_requests());
+    }
+
+    #[test]
+    fn leaf_restore_exception_falls_to_disk() {
+        let s = LeafRestoreState::Init
+            .transition(LeafRestoreState::MemoryRecovery)
+            .unwrap();
+        let s = s.transition(LeafRestoreState::DiskRecovery).unwrap();
+        assert!(s.accepts_requests()); // disk recovery serves partial results
+        s.transition(LeafRestoreState::Alive).unwrap();
+    }
+
+    #[test]
+    fn leaf_restore_disabled_goes_straight_to_disk() {
+        LeafRestoreState::Init
+            .transition(LeafRestoreState::DiskRecovery)
+            .unwrap();
+    }
+
+    #[test]
+    fn leaf_restore_rejects_illegal() {
+        assert!(LeafRestoreState::Init
+            .transition(LeafRestoreState::Alive)
+            .is_err());
+        assert!(LeafRestoreState::Alive
+            .transition(LeafRestoreState::MemoryRecovery)
+            .is_err());
+        assert!(LeafRestoreState::DiskRecovery
+            .transition(LeafRestoreState::MemoryRecovery)
+            .is_err());
+    }
+
+    #[test]
+    fn table_backup_has_prepare_barrier() {
+        let s = TableBackupState::Alive;
+        assert!(s.allows_deletes());
+        // Cannot skip Prepare.
+        assert!(s.transition(TableBackupState::CopyToShm).is_err());
+        let s = s.transition(TableBackupState::Prepare).unwrap();
+        assert!(!s.accepts_requests());
+        assert!(!s.allows_deletes());
+        let s = s.transition(TableBackupState::CopyToShm).unwrap();
+        let s = s.transition(TableBackupState::Done).unwrap();
+        assert!(s.transition(TableBackupState::Alive).is_err());
+    }
+
+    #[test]
+    fn table_restore_mirrors_leaf_restore() {
+        let s = TableRestoreState::Init
+            .transition(TableRestoreState::MemoryRecovery)
+            .unwrap();
+        let s = s.transition(TableRestoreState::DiskRecovery).unwrap();
+        s.transition(TableRestoreState::Alive).unwrap();
+        assert!(TableRestoreState::Alive
+            .transition(TableRestoreState::Init)
+            .is_err());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(LeafBackupState::CopyToShm.to_string(), "COPY_TO_SHM");
+        assert_eq!(
+            LeafRestoreState::MemoryRecovery.to_string(),
+            "MEMORY_RECOVERY"
+        );
+        assert_eq!(TableBackupState::Prepare.to_string(), "PREPARE");
+        assert_eq!(TableRestoreState::DiskRecovery.to_string(), "DISK_RECOVERY");
+    }
+}

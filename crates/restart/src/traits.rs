@@ -1,0 +1,64 @@
+//! The [`ShmPersistable`] abstraction: what a store must provide for the
+//! restart protocol to preserve it across processes.
+//!
+//! The paper's procedures (Figures 6–7) walk tables → row blocks → row
+//! block columns, moving **one row block column at a time** so the memory
+//! footprint never doubles (§4.4). The protocol here is generic: a store
+//! exposes named *units* (Scuba: tables) that stream themselves as
+//! *chunks* (Scuba: row block column buffers / row block images). The
+//! protocol owns segment naming, framing, the valid-bit commit, and
+//! footprint bookkeeping; the store owns its own serialization.
+
+use scuba_shmem::ShmError;
+
+/// Receives chunks during backup. Implemented by the protocol over a
+/// [`scuba_shmem::SegmentWriter`]; a store calls `put_chunk` once per row
+/// block column (or other natural copy unit) and frees the corresponding
+/// heap immediately after — that ordering is what keeps the footprint
+/// flat.
+pub trait ChunkSink {
+    /// Append one chunk to the unit's segment.
+    fn put_chunk(&mut self, chunk: &[u8]) -> Result<(), ShmError>;
+}
+
+/// Yields chunks during restore, in the order they were written.
+pub trait ChunkSource {
+    /// The next chunk, or `None` at end of unit. Each returned buffer is a
+    /// fresh heap allocation (the shm→heap memcpy); the protocol releases
+    /// the consumed shared-memory pages behind it.
+    fn next_chunk(&mut self) -> Result<Option<Vec<u8>>, ShmError>;
+}
+
+/// A store whose in-memory state can be persisted across process
+/// lifetimes by the restart protocol.
+pub trait ShmPersistable {
+    /// Store-level serialization error.
+    type Error: std::error::Error + From<ShmError> + Send + Sync + 'static;
+
+    /// Names of the units to persist, in persist order (Scuba: table
+    /// names). Captured once at the start of backup.
+    fn unit_names(&self) -> Vec<String>;
+
+    /// Estimated encoded size of a unit in bytes (Figure 6: "estimate
+    /// size of table"). Pre-sizes the unit's segment; the writer grows it
+    /// if the estimate was low and trims it afterwards.
+    fn estimate_unit_size(&self, unit: &str) -> usize;
+
+    /// Stream one unit into `sink` chunk by chunk, freeing the unit's
+    /// heap memory as each chunk is handed off (Figure 6's inner loops:
+    /// "copy data from heap to the table segment; delete row block column
+    /// from heap"). On success the unit must be gone from the store.
+    fn backup_unit(&mut self, unit: &str, sink: &mut dyn ChunkSink) -> Result<(), Self::Error>;
+
+    /// Rebuild one unit by draining `source` (Figure 7's inner loops:
+    /// "allocate memory in heap; copy data from table segment to heap").
+    /// Must validate chunk integrity and error on anything suspect — the
+    /// protocol turns any error into a fall-back-to-disk.
+    fn restore_unit(&mut self, unit: &str, source: &mut dyn ChunkSource)
+        -> Result<(), Self::Error>;
+
+    /// Current heap footprint in bytes. Sampled by the protocol after
+    /// every chunk to record the peak combined footprint, so it should be
+    /// O(1) (a maintained counter, not a walk).
+    fn heap_bytes(&self) -> usize;
+}

@@ -1,0 +1,269 @@
+//! The design the paper **rejected**: a custom allocator living inside a
+//! shared-memory segment (§3, method 1).
+//!
+//! "To get thread safety and scalability in the allocator adds significant
+//! complexity. ... jemalloc uses lazy allocation of backing pages ... In
+//! shared memory, lazy allocation of backing pages is not possible. We
+//! worried that an allocator in shared memory would lead to increased
+//! fragmentation over time. Therefore, we chose method 2."
+//!
+//! We implement a deliberately-straightforward first-fit free-list
+//! allocator so experiment E11 can *measure* the fragmentation and
+//! committed-footprint behaviour the paper reasoned about, instead of just
+//! citing it. It is not used by the restart path.
+
+use crate::error::{ShmError, ShmResult};
+use crate::segment::ShmSegment;
+
+/// Allocation granularity: all sizes round up to this.
+pub const ALIGN: usize = 16;
+
+/// A first-fit free-list allocator over one pre-committed segment.
+///
+/// The free list lives on the heap beside the segment (a production
+/// version would have to keep it *in* the segment and make it crash-safe —
+/// part of the "significant complexity" the paper avoided).
+#[derive(Debug)]
+pub struct ShmAllocator {
+    segment: ShmSegment,
+    /// Sorted, coalesced list of free `(offset, len)` runs.
+    free: Vec<(usize, usize)>,
+    allocated_bytes: usize,
+    /// Total number of alloc calls served (for stats).
+    allocs: u64,
+}
+
+/// Fragmentation metrics for experiment E11.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AllocStats {
+    /// Bytes handed out and not yet freed.
+    pub allocated_bytes: usize,
+    /// Bytes free inside the segment.
+    pub free_bytes: usize,
+    /// Largest single free run.
+    pub largest_free: usize,
+    /// Number of free runs (coalesced).
+    pub free_runs: usize,
+    /// 1 - largest_free/free_bytes: 0 = perfectly compact, →1 = shattered.
+    pub fragmentation: f64,
+    /// Bytes the OS must commit for the segment regardless of use — the
+    /// "no lazy backing pages" cost.
+    pub committed_bytes: usize,
+}
+
+impl ShmAllocator {
+    /// Take ownership of `segment` and manage its whole extent.
+    pub fn new(segment: ShmSegment) -> ShmAllocator {
+        let len = segment.len();
+        ShmAllocator {
+            segment,
+            free: if len == 0 { Vec::new() } else { vec![(0, len)] },
+            allocated_bytes: 0,
+            allocs: 0,
+        }
+    }
+
+    /// Allocate `size` bytes; returns the offset into the segment.
+    pub fn alloc(&mut self, size: usize) -> ShmResult<usize> {
+        let size = size.max(1).div_ceil(ALIGN) * ALIGN;
+        // First fit.
+        for i in 0..self.free.len() {
+            let (off, len) = self.free[i];
+            if len >= size {
+                if len == size {
+                    self.free.remove(i);
+                } else {
+                    self.free[i] = (off + size, len - size);
+                }
+                self.allocated_bytes += size;
+                self.allocs += 1;
+                return Ok(off);
+            }
+        }
+        Err(ShmError::OutOfBounds {
+            name: self.segment.name().to_owned(),
+            offset: 0,
+            len: size,
+            size: self.segment.len(),
+        })
+    }
+
+    /// Free a block previously returned by [`alloc`](Self::alloc) with the
+    /// same `size`. Coalesces with neighbours.
+    pub fn free(&mut self, offset: usize, size: usize) {
+        let size = size.max(1).div_ceil(ALIGN) * ALIGN;
+        debug_assert!(offset + size <= self.segment.len());
+        let idx = self.free.partition_point(|&(o, _)| o < offset);
+        debug_assert!(
+            idx == 0 || self.free[idx - 1].0 + self.free[idx - 1].1 <= offset,
+            "double free or overlap"
+        );
+        self.free.insert(idx, (offset, size));
+        self.allocated_bytes -= size;
+        // Coalesce with next, then previous.
+        if idx + 1 < self.free.len() && self.free[idx].0 + self.free[idx].1 == self.free[idx + 1].0
+        {
+            self.free[idx].1 += self.free[idx + 1].1;
+            self.free.remove(idx + 1);
+        }
+        if idx > 0 && self.free[idx - 1].0 + self.free[idx - 1].1 == self.free[idx].0 {
+            self.free[idx - 1].1 += self.free[idx].1;
+            self.free.remove(idx);
+        }
+    }
+
+    /// Write into an allocated block.
+    pub fn write(&mut self, offset: usize, bytes: &[u8]) -> ShmResult<()> {
+        if offset + bytes.len() > self.segment.len() {
+            return Err(ShmError::OutOfBounds {
+                name: self.segment.name().to_owned(),
+                offset,
+                len: bytes.len(),
+                size: self.segment.len(),
+            });
+        }
+        self.segment.as_mut_slice()[offset..offset + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Read from an allocated block.
+    pub fn read(&self, offset: usize, len: usize) -> ShmResult<&[u8]> {
+        if offset + len > self.segment.len() {
+            return Err(ShmError::OutOfBounds {
+                name: self.segment.name().to_owned(),
+                offset,
+                len,
+                size: self.segment.len(),
+            });
+        }
+        Ok(&self.segment.as_slice()[offset..offset + len])
+    }
+
+    /// Current fragmentation metrics.
+    pub fn stats(&self) -> AllocStats {
+        let free_bytes: usize = self.free.iter().map(|&(_, l)| l).sum();
+        let largest_free = self.free.iter().map(|&(_, l)| l).max().unwrap_or(0);
+        AllocStats {
+            allocated_bytes: self.allocated_bytes,
+            free_bytes,
+            largest_free,
+            free_runs: self.free.len(),
+            fragmentation: if free_bytes == 0 {
+                0.0
+            } else {
+                1.0 - largest_free as f64 / free_bytes as f64
+            },
+            committed_bytes: self.segment.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    fn allocator(size: usize) -> (ShmAllocator, String) {
+        let name = format!(
+            "/scuba_alloc_{}_{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        );
+        (
+            ShmAllocator::new(ShmSegment::create(&name, size).unwrap()),
+            name,
+        )
+    }
+
+    struct Cleanup(String);
+    impl Drop for Cleanup {
+        fn drop(&mut self) {
+            let _ = ShmSegment::unlink(&self.0);
+        }
+    }
+
+    #[test]
+    fn alloc_write_read_free() {
+        let (mut a, name) = allocator(4096);
+        let _c = Cleanup(name);
+        let off = a.alloc(100).unwrap();
+        a.write(off, b"payload").unwrap();
+        assert_eq!(a.read(off, 7).unwrap(), b"payload");
+        a.free(off, 100);
+        assert_eq!(a.stats().allocated_bytes, 0);
+        assert_eq!(a.stats().free_bytes, 4096);
+    }
+
+    #[test]
+    fn exhaustion_errors() {
+        let (mut a, name) = allocator(64);
+        let _c = Cleanup(name);
+        a.alloc(64).unwrap();
+        assert!(a.alloc(1).is_err());
+    }
+
+    #[test]
+    fn coalescing_restores_large_runs() {
+        let (mut a, name) = allocator(4096);
+        let _c = Cleanup(name);
+        let o1 = a.alloc(1024).unwrap();
+        let o2 = a.alloc(1024).unwrap();
+        let o3 = a.alloc(1024).unwrap();
+        a.free(o2, 1024);
+        assert_eq!(a.stats().free_runs, 2); // hole + tail
+        a.free(o1, 1024);
+        a.free(o3, 1024);
+        let s = a.stats();
+        assert_eq!(s.free_runs, 1);
+        assert_eq!(s.largest_free, 4096);
+        assert_eq!(s.fragmentation, 0.0);
+    }
+
+    #[test]
+    fn churn_fragments_the_heap() {
+        // The measurable version of the paper's fragmentation worry:
+        // alternating alloc/free of mixed sizes leaves holes no large
+        // allocation can use.
+        let (mut a, name) = allocator(1 << 20);
+        let _c = Cleanup(name);
+        let mut live: Vec<(usize, usize)> = Vec::new();
+        let mut state = 9u64;
+        for round in 0..2000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let size = 64 + (state >> 33) as usize % 2000;
+            if round % 3 == 2 && !live.is_empty() {
+                let idx = (state as usize) % live.len();
+                let (off, sz) = live.swap_remove(idx);
+                a.free(off, sz);
+            } else if let Ok(off) = a.alloc(size) {
+                live.push((off, size));
+            }
+        }
+        let s = a.stats();
+        assert!(s.free_runs > 1, "expected fragmentation, got {s:?}");
+        assert!(s.fragmentation > 0.0);
+        // And the committed footprint never shrinks, unlike the copy
+        // strategy which truncates segments as it drains them.
+        assert_eq!(s.committed_bytes, 1 << 20);
+    }
+
+    #[test]
+    fn out_of_bounds_io_rejected() {
+        let (mut a, name) = allocator(64);
+        let _c = Cleanup(name);
+        assert!(a.write(60, b"12345").is_err());
+        assert!(a.read(60, 5).is_err());
+    }
+
+    #[test]
+    fn zero_size_allocs_round_up() {
+        let (mut a, name) = allocator(64);
+        let _c = Cleanup(name);
+        let o = a.alloc(0).unwrap();
+        assert_eq!(a.stats().allocated_bytes, ALIGN);
+        a.free(o, 0);
+        assert_eq!(a.stats().allocated_bytes, 0);
+    }
+}

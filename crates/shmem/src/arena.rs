@@ -1,0 +1,252 @@
+//! Sequential writers/readers over a segment.
+//!
+//! Shutdown (Figure 6) appends row-block-column buffers to a table segment,
+//! growing it as needed; restore (Figure 7) reads them back in order and
+//! truncates the segment as it goes so the freed pages return to the OS
+//! while the heap refills — the trick that keeps the total footprint flat
+//! (§4.4).
+
+use crate::error::{ShmError, ShmResult};
+use crate::segment::ShmSegment;
+
+/// Growth quantum for [`SegmentWriter`]: grow in 1 MiB steps to amortize
+/// remaps without over-reserving (shutdown "estimates" table size first;
+/// the quantum absorbs estimate error).
+pub const GROWTH_QUANTUM: usize = 1 << 20;
+
+/// Appends bytes to a segment, growing it on demand.
+#[derive(Debug)]
+pub struct SegmentWriter {
+    segment: ShmSegment,
+    cursor: usize,
+}
+
+impl SegmentWriter {
+    /// Wrap a segment, appending after `cursor` = 0.
+    pub fn new(segment: ShmSegment) -> SegmentWriter {
+        SegmentWriter { segment, cursor: 0 }
+    }
+
+    /// Bytes written so far.
+    pub fn written(&self) -> usize {
+        self.cursor
+    }
+
+    /// Append `bytes`, growing the segment if needed (Figure 6: "grow the
+    /// table segment in size if needed").
+    pub fn write(&mut self, bytes: &[u8]) -> ShmResult<()> {
+        let end = self.cursor + bytes.len();
+        if end > self.segment.len() {
+            let new_size = end.div_ceil(GROWTH_QUANTUM) * GROWTH_QUANTUM;
+            self.segment.resize(new_size)?;
+        }
+        self.segment.as_mut_slice()[self.cursor..end].copy_from_slice(bytes);
+        self.cursor = end;
+        Ok(())
+    }
+
+    /// Append a little-endian u64 (length prefixes).
+    pub fn write_u64(&mut self, v: u64) -> ShmResult<()> {
+        self.write(&v.to_le_bytes())
+    }
+
+    /// Finish: shrink the segment to exactly the bytes written, sync, and
+    /// return it.
+    pub fn finish(mut self) -> ShmResult<ShmSegment> {
+        self.segment.resize(self.cursor)?;
+        self.segment.sync()?;
+        Ok(self.segment)
+    }
+}
+
+/// Reads bytes sequentially from a segment, optionally truncating behind
+/// the cursor to release memory during restore.
+#[derive(Debug)]
+pub struct SegmentReader {
+    segment: ShmSegment,
+    cursor: usize,
+    /// End of the prefix already punched out.
+    released: usize,
+}
+
+impl SegmentReader {
+    /// Wrap a segment for sequential reading.
+    pub fn new(segment: ShmSegment) -> SegmentReader {
+        SegmentReader {
+            segment,
+            cursor: 0,
+            released: 0,
+        }
+    }
+
+    /// Bytes remaining after the cursor.
+    pub fn remaining(&self) -> usize {
+        self.segment.len() - self.cursor
+    }
+
+    /// Current read position.
+    pub fn position(&self) -> usize {
+        self.cursor
+    }
+
+    /// Read exactly `len` bytes into a fresh heap buffer (this copy *is*
+    /// the shm→heap memcpy of Figure 7).
+    pub fn read(&mut self, len: usize) -> ShmResult<Vec<u8>> {
+        if len > self.remaining() {
+            return Err(ShmError::OutOfBounds {
+                name: self.segment.name().to_owned(),
+                offset: self.cursor,
+                len,
+                size: self.segment.len(),
+            });
+        }
+        let out = self.segment.as_slice()[self.cursor..self.cursor + len].to_vec();
+        self.cursor += len;
+        Ok(out)
+    }
+
+    /// Read a little-endian u64 length prefix.
+    pub fn read_u64(&mut self) -> ShmResult<u64> {
+        let bytes = self.read(8)?;
+        Ok(u64::from_le_bytes(bytes.try_into().unwrap()))
+    }
+
+    /// Punch out the fully-consumed, page-aligned prefix behind the
+    /// cursor, returning those physical pages to the OS (Figure 7:
+    /// "truncate the table shared memory segment if needed"). Already-read
+    /// data is untouched by definition; unread data is never released.
+    pub fn release_consumed(&mut self) -> ShmResult<usize> {
+        const PAGE: usize = 4096;
+        let target = self.cursor / PAGE * PAGE;
+        if target <= self.released {
+            return Ok(0);
+        }
+        let len = target - self.released;
+        self.segment.punch_hole(self.released, len)?;
+        self.released = target;
+        Ok(len)
+    }
+
+    /// Physical bytes still backing the segment.
+    pub fn resident_bytes(&self) -> ShmResult<usize> {
+        self.segment.resident_bytes()
+    }
+
+    /// Consume the reader, returning the segment (e.g. to unlink it).
+    pub fn into_segment(self) -> ShmSegment {
+        self.segment
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    fn seg(tag: &str, size: usize) -> (ShmSegment, String) {
+        let name = format!(
+            "/scuba_arena_{}_{}_{}",
+            tag,
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        );
+        (ShmSegment::create(&name, size).unwrap(), name)
+    }
+
+    struct Cleanup(String);
+    impl Drop for Cleanup {
+        fn drop(&mut self) {
+            let _ = ShmSegment::unlink(&self.0);
+        }
+    }
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let (s, name) = seg("rt", 0);
+        let _c = Cleanup(name);
+        let mut w = SegmentWriter::new(s);
+        w.write_u64(3).unwrap();
+        w.write(b"abc").unwrap();
+        w.write_u64(5).unwrap();
+        w.write(b"hello").unwrap();
+        let s = w.finish().unwrap();
+        assert_eq!(s.len(), 8 + 3 + 8 + 5);
+
+        let mut r = SegmentReader::new(s);
+        let n = r.read_u64().unwrap();
+        assert_eq!(r.read(n as usize).unwrap(), b"abc");
+        let n = r.read_u64().unwrap();
+        assert_eq!(r.read(n as usize).unwrap(), b"hello");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn writer_grows_across_quantum() {
+        let (s, name) = seg("grow", 0);
+        let _c = Cleanup(name);
+        let mut w = SegmentWriter::new(s);
+        let chunk = vec![0x5A; 700_000];
+        for _ in 0..3 {
+            w.write(&chunk).unwrap(); // crosses 1 MiB and 2 MiB boundaries
+        }
+        assert_eq!(w.written(), 2_100_000);
+        let s = w.finish().unwrap();
+        assert_eq!(s.len(), 2_100_000);
+        assert!(s.as_slice().iter().all(|&b| b == 0x5A));
+    }
+
+    #[test]
+    fn reader_rejects_overrun() {
+        let (s, name) = seg("over", 4);
+        let _c = Cleanup(name);
+        let mut r = SegmentReader::new(s);
+        assert!(r.read(5).is_err());
+        assert_eq!(r.read(4).unwrap().len(), 4);
+        assert!(r.read(1).is_err());
+        assert!(matches!(r.read_u64(), Err(ShmError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn release_consumed_frees_pages_behind_cursor() {
+        let (s, name) = seg("release", 0);
+        let _c = Cleanup(name);
+        let mut w = SegmentWriter::new(s);
+        let payload: Vec<u8> = (0..512 * 1024).map(|i| (i % 251) as u8).collect();
+        w.write(&payload).unwrap();
+        let s = w.finish().unwrap();
+        let full = s.resident_bytes().unwrap();
+
+        let mut r = SegmentReader::new(s);
+        assert_eq!(r.release_consumed().unwrap(), 0); // nothing consumed yet
+        let half = payload.len() / 2;
+        assert_eq!(r.read(half).unwrap(), &payload[..half]);
+        let released = r.release_consumed().unwrap();
+        assert!(released >= half - 4096, "released {released}");
+        assert!(r.resident_bytes().unwrap() <= full - released + 4096);
+        // Remaining data still reads correctly after the punch.
+        assert_eq!(r.read(payload.len() - half).unwrap(), &payload[half..]);
+        // Idempotent at the same cursor.
+        r.release_consumed().unwrap();
+    }
+
+    #[test]
+    fn finish_trims_to_written() {
+        let (s, name) = seg("trim", 1 << 16);
+        let _c = Cleanup(name);
+        let mut w = SegmentWriter::new(s);
+        w.write(b"xy").unwrap();
+        let s = w.finish().unwrap();
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn empty_writer_finishes_empty() {
+        let (s, name) = seg("empty", 0);
+        let _c = Cleanup(name);
+        let s = SegmentWriter::new(s).finish().unwrap();
+        assert!(s.is_empty());
+        assert_eq!(SegmentReader::new(s).remaining(), 0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Errors from the shared-memory layer, carrying the failing syscall and
+//! its errno so operators can tell ENOSPC-on-/dev/shm from EEXIST races.
+
+use std::fmt;
+use std::io;
+
+/// Result alias for shared-memory operations.
+pub type ShmResult<T> = std::result::Result<T, ShmError>;
+
+/// A shared-memory operation failure.
+#[derive(Debug)]
+pub enum ShmError {
+    /// A syscall failed; carries the call name, the segment name, and the
+    /// OS error.
+    Syscall {
+        call: &'static str,
+        name: String,
+        source: io::Error,
+    },
+    /// A segment name was not usable (empty, embedded NUL or '/', or too
+    /// long for `shm_open`).
+    BadName(String),
+    /// A segment existed but its contents failed validation.
+    Corrupt { name: String, reason: String },
+    /// A read or write ran past the end of the segment.
+    OutOfBounds {
+        name: String,
+        offset: usize,
+        len: usize,
+        size: usize,
+    },
+}
+
+impl ShmError {
+    pub(crate) fn syscall(call: &'static str, name: &str) -> ShmError {
+        ShmError::Syscall {
+            call,
+            name: name.to_owned(),
+            source: io::Error::last_os_error(),
+        }
+    }
+}
+
+impl fmt::Display for ShmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShmError::Syscall { call, name, source } => {
+                write!(f, "{call}({name:?}) failed: {source}")
+            }
+            ShmError::BadName(name) => write!(f, "invalid shared memory name {name:?}"),
+            ShmError::Corrupt { name, reason } => {
+                write!(f, "segment {name:?} is corrupt: {reason}")
+            }
+            ShmError::OutOfBounds {
+                name,
+                offset,
+                len,
+                size,
+            } => write!(
+                f,
+                "access at {offset}+{len} out of bounds for segment {name:?} of {size} bytes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShmError::Syscall { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! The leaf metadata region (Figure 4, §4.2).
+//!
+//! "Each leaf has a unique hard coded location in shared memory for its
+//! metadata. In that location, the leaf stores a valid bit, a layout
+//! version number, and pointers to any shared memory segments it has
+//! allocated. There is one segment per table. The layout version number
+//! indicates whether the shared memory layout has changed; note that the
+//! heap memory layout can change independently of the shared memory
+//! layout."
+//!
+//! The valid bit is the protocol's commit point: shutdown creates the
+//! metadata with the bit **false**, copies everything, syncs, and only
+//! then sets it **true** (Figure 6). Restore checks it first, and flips it
+//! back to false before consuming the data so an interrupted restore
+//! re-runs as a disk recovery (Figure 7).
+//!
+//! # Region layout
+//!
+//! ```text
+//! 0  magic u32 ("SLMD")   4 layout version u32   8 valid u32
+//! 12 segment count u32    16 crc32 of name region
+//! 20 name region: per segment u16 length + UTF-8 name bytes
+//! ```
+//!
+//! The CRC covers the name region only, so flipping the valid bit does not
+//! require recomputing it.
+
+use crate::checksum::crc32;
+use crate::error::{ShmError, ShmResult};
+use crate::namespace::ShmNamespace;
+use crate::segment::ShmSegment;
+
+/// "SLMD" little-endian.
+pub const META_MAGIC: u32 = 0x444D_4C53;
+const HEADER: usize = 20;
+const VALID_OFFSET: usize = 8;
+
+/// Decoded metadata contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetadataContents {
+    /// Shared-memory layout version the writer used.
+    pub layout_version: u32,
+    /// Whether the shared-memory state is usable for recovery.
+    pub valid: bool,
+    /// Names of the table segments, table order.
+    pub segment_names: Vec<String>,
+}
+
+/// Handle to a leaf's metadata segment.
+#[derive(Debug)]
+pub struct LeafMetadata {
+    segment: ShmSegment,
+}
+
+fn encode(layout_version: u32, valid: bool, names: &[String]) -> Vec<u8> {
+    let mut name_region = Vec::new();
+    for n in names {
+        name_region.extend_from_slice(&(n.len() as u16).to_le_bytes());
+        name_region.extend_from_slice(n.as_bytes());
+    }
+    let mut buf = Vec::with_capacity(HEADER + name_region.len());
+    buf.extend_from_slice(&META_MAGIC.to_le_bytes());
+    buf.extend_from_slice(&layout_version.to_le_bytes());
+    buf.extend_from_slice(&(valid as u32).to_le_bytes());
+    buf.extend_from_slice(&(names.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&crc32(&name_region).to_le_bytes());
+    buf.extend_from_slice(&name_region);
+    buf
+}
+
+impl LeafMetadata {
+    /// Create the metadata region with the valid bit **false** (the first
+    /// line of the Figure 6 shutdown procedure). Fails if it already
+    /// exists; callers unlink stale state first.
+    pub fn create(ns: &ShmNamespace, layout_version: u32) -> ShmResult<LeafMetadata> {
+        let bytes = encode(layout_version, false, &[]);
+        let mut segment = ShmSegment::create(&ns.metadata_name(), bytes.len())?;
+        segment.as_mut_slice().copy_from_slice(&bytes);
+        segment.sync()?;
+        Ok(LeafMetadata { segment })
+    }
+
+    /// Open an existing metadata region (the first step of restore).
+    pub fn open(ns: &ShmNamespace) -> ShmResult<LeafMetadata> {
+        let segment = ShmSegment::open(&ns.metadata_name())?;
+        let meta = LeafMetadata { segment };
+        meta.read()?; // validate eagerly
+        Ok(meta)
+    }
+
+    /// Decode and validate the region.
+    pub fn read(&self) -> ShmResult<MetadataContents> {
+        let buf = self.segment.as_slice();
+        let name = self.segment.name();
+        let corrupt = |reason: &str| ShmError::Corrupt {
+            name: name.to_owned(),
+            reason: reason.to_owned(),
+        };
+        if buf.len() < HEADER {
+            return Err(corrupt("metadata shorter than header"));
+        }
+        let u32_at = |off: usize| u32::from_le_bytes(buf[off..off + 4].try_into().unwrap());
+        if u32_at(0) != META_MAGIC {
+            return Err(corrupt("bad metadata magic"));
+        }
+        let layout_version = u32_at(4);
+        let valid = match u32_at(VALID_OFFSET) {
+            0 => false,
+            1 => true,
+            _ => return Err(corrupt("valid bit is neither 0 nor 1")),
+        };
+        let count = u32_at(12) as usize;
+        let stored_crc = u32_at(16);
+        let name_region = &buf[HEADER..];
+        if crc32(name_region) != stored_crc {
+            return Err(corrupt("metadata name region checksum mismatch"));
+        }
+        let mut names = Vec::with_capacity(count.min(1 << 16));
+        let mut pos = 0usize;
+        for _ in 0..count {
+            if pos + 2 > name_region.len() {
+                return Err(corrupt("metadata name region truncated"));
+            }
+            let len = u16::from_le_bytes(name_region[pos..pos + 2].try_into().unwrap()) as usize;
+            pos += 2;
+            if pos + len > name_region.len() {
+                return Err(corrupt("metadata name runs past region"));
+            }
+            let s = std::str::from_utf8(&name_region[pos..pos + len])
+                .map_err(|_| corrupt("metadata name is not UTF-8"))?;
+            names.push(s.to_owned());
+            pos += len;
+        }
+        if pos != name_region.len() {
+            return Err(corrupt("metadata name region has trailing bytes"));
+        }
+        Ok(MetadataContents {
+            layout_version,
+            valid,
+            segment_names: names,
+        })
+    }
+
+    /// Register a table segment name (Figure 6: "add table segment to the
+    /// leaf metadata"). Rewrites the name region; the valid bit must still
+    /// be false (registration after commit is a protocol violation).
+    pub fn add_segment(&mut self, segment_name: &str) -> ShmResult<()> {
+        let contents = self.read()?;
+        if contents.valid {
+            return Err(ShmError::Corrupt {
+                name: self.segment.name().to_owned(),
+                reason: "cannot register segments after the valid bit is set".to_owned(),
+            });
+        }
+        let mut names = contents.segment_names;
+        names.push(segment_name.to_owned());
+        let bytes = encode(contents.layout_version, false, &names);
+        self.segment.resize(bytes.len())?;
+        self.segment.as_mut_slice().copy_from_slice(&bytes);
+        self.segment.sync()?;
+        Ok(())
+    }
+
+    /// Flip the valid bit. Setting it to `true` is the shutdown commit
+    /// point; the region is synced before and the bit write is synced
+    /// after, ordering the data before the commit.
+    pub fn set_valid(&mut self, valid: bool) -> ShmResult<()> {
+        self.segment.sync()?;
+        let word = (valid as u32).to_le_bytes();
+        self.segment.as_mut_slice()[VALID_OFFSET..VALID_OFFSET + 4].copy_from_slice(&word);
+        self.segment.sync()
+    }
+
+    /// Convenience: the current valid bit (false if unreadable).
+    pub fn is_valid(&self) -> bool {
+        self.read().map(|c| c.valid).unwrap_or(false)
+    }
+
+    /// The underlying segment name.
+    pub fn segment_name(&self) -> &str {
+        self.segment.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    fn ns() -> ShmNamespace {
+        ShmNamespace::new(
+            &format!("meta{}", std::process::id()),
+            COUNTER.fetch_add(1, Ordering::Relaxed) as u32,
+        )
+        .unwrap()
+    }
+
+    struct Cleanup(ShmNamespace);
+    impl Drop for Cleanup {
+        fn drop(&mut self) {
+            self.0.unlink_all(8);
+        }
+    }
+
+    #[test]
+    fn create_starts_invalid() {
+        let ns = ns();
+        let _c = Cleanup(ns.clone());
+        let meta = LeafMetadata::create(&ns, 7).unwrap();
+        let c = meta.read().unwrap();
+        assert!(!c.valid);
+        assert_eq!(c.layout_version, 7);
+        assert!(c.segment_names.is_empty());
+        assert!(!meta.is_valid());
+    }
+
+    #[test]
+    fn register_then_commit_then_reopen() {
+        let ns = ns();
+        let _c = Cleanup(ns.clone());
+        let mut meta = LeafMetadata::create(&ns, 1).unwrap();
+        meta.add_segment(&ns.table_segment_name(0)).unwrap();
+        meta.add_segment(&ns.table_segment_name(1)).unwrap();
+        meta.set_valid(true).unwrap();
+        drop(meta); // "process exits"
+
+        let meta = LeafMetadata::open(&ns).unwrap();
+        let c = meta.read().unwrap();
+        assert!(c.valid);
+        assert_eq!(
+            c.segment_names,
+            vec![ns.table_segment_name(0), ns.table_segment_name(1)]
+        );
+    }
+
+    #[test]
+    fn registration_after_commit_rejected() {
+        let ns = ns();
+        let _c = Cleanup(ns.clone());
+        let mut meta = LeafMetadata::create(&ns, 1).unwrap();
+        meta.set_valid(true).unwrap();
+        assert!(meta.add_segment("/x").is_err());
+    }
+
+    #[test]
+    fn valid_bit_round_trips() {
+        let ns = ns();
+        let _c = Cleanup(ns.clone());
+        let mut meta = LeafMetadata::create(&ns, 1).unwrap();
+        meta.set_valid(true).unwrap();
+        assert!(meta.is_valid());
+        meta.set_valid(false).unwrap();
+        assert!(!meta.is_valid());
+    }
+
+    #[test]
+    fn corrupt_magic_detected() {
+        let ns = ns();
+        let _c = Cleanup(ns.clone());
+        let _meta = LeafMetadata::create(&ns, 1).unwrap();
+        // Scribble over the magic through a second mapping.
+        let mut raw = ShmSegment::open(&ns.metadata_name()).unwrap();
+        raw.as_mut_slice()[0] = 0xEE;
+        assert!(LeafMetadata::open(&ns).is_err());
+    }
+
+    #[test]
+    fn corrupt_name_region_detected() {
+        let ns = ns();
+        let _c = Cleanup(ns.clone());
+        let mut meta = LeafMetadata::create(&ns, 1).unwrap();
+        meta.add_segment("/some_table_segment").unwrap();
+        let mut raw = ShmSegment::open(&ns.metadata_name()).unwrap();
+        let len = raw.len();
+        raw.as_mut_slice()[len - 1] ^= 0xFF;
+        assert!(LeafMetadata::open(&ns).is_err());
+    }
+
+    #[test]
+    fn garbage_valid_word_detected() {
+        let ns = ns();
+        let _c = Cleanup(ns.clone());
+        let _meta = LeafMetadata::create(&ns, 1).unwrap();
+        let mut raw = ShmSegment::open(&ns.metadata_name()).unwrap();
+        raw.as_mut_slice()[8] = 0x42;
+        assert!(LeafMetadata::open(&ns).is_err());
+    }
+
+    #[test]
+    fn open_missing_fails() {
+        assert!(LeafMetadata::open(&ns()).is_err());
+    }
+}

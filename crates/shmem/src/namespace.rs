@@ -1,0 +1,116 @@
+//! Segment naming: the "unique hard coded location" of §4.2.
+//!
+//! "Each leaf has a unique hard coded location in shared memory for its
+//! metadata. In that location, the leaf stores a valid bit, a layout
+//! version number, and pointers to any shared memory segments it has
+//! allocated. There is one segment per table."
+//!
+//! A [`ShmNamespace`] derives those names deterministically from a cluster
+//! prefix and a leaf id, so the replacement process computes the same
+//! names without any handshake with its predecessor — the only rendezvous
+//! is the name scheme itself.
+
+use crate::error::{ShmError, ShmResult};
+use crate::segment::ShmSegment;
+
+/// Deterministic name scheme for one leaf server's segments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShmNamespace {
+    prefix: String,
+    leaf_id: u32,
+}
+
+impl ShmNamespace {
+    /// Create a namespace. `prefix` identifies the cluster/deployment
+    /// (and keeps parallel test runs apart); `leaf_id` is the leaf's
+    /// machine-local index.
+    pub fn new(prefix: &str, leaf_id: u32) -> ShmResult<ShmNamespace> {
+        if prefix.is_empty()
+            || prefix.len() > 80
+            || !prefix
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        {
+            return Err(ShmError::BadName(prefix.to_owned()));
+        }
+        Ok(ShmNamespace {
+            prefix: prefix.to_owned(),
+            leaf_id,
+        })
+    }
+
+    /// The cluster prefix.
+    pub fn prefix(&self) -> &str {
+        &self.prefix
+    }
+
+    /// The leaf id.
+    pub fn leaf_id(&self) -> u32 {
+        self.leaf_id
+    }
+
+    /// Name of the leaf's fixed metadata segment.
+    pub fn metadata_name(&self) -> String {
+        format!("/{}_leaf{}_meta", self.prefix, self.leaf_id)
+    }
+
+    /// Name of the segment holding table number `index` (one segment per
+    /// table, §4.2).
+    pub fn table_segment_name(&self, index: usize) -> String {
+        format!("/{}_leaf{}_t{}", self.prefix, self.leaf_id, index)
+    }
+
+    /// Unlink the metadata segment and every table segment listed in it
+    /// (best effort), plus any segments matching the name scheme up to
+    /// `max_tables`. Used on fallback-to-disk ("frees any shared memory in
+    /// use", §4.3) and by tests.
+    pub fn unlink_all(&self, max_tables: usize) -> usize {
+        let mut removed = 0;
+        if ShmSegment::unlink(&self.metadata_name()).unwrap_or(false) {
+            removed += 1;
+        }
+        for i in 0..max_tables {
+            if ShmSegment::unlink(&self.table_segment_name(i)).unwrap_or(false) {
+                removed += 1;
+            }
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_deterministic_and_distinct() {
+        let ns = ShmNamespace::new("prod", 3).unwrap();
+        assert_eq!(ns.metadata_name(), "/prod_leaf3_meta");
+        assert_eq!(ns.table_segment_name(0), "/prod_leaf3_t0");
+        assert_eq!(ns.table_segment_name(12), "/prod_leaf3_t12");
+        let other = ShmNamespace::new("prod", 4).unwrap();
+        assert_ne!(ns.metadata_name(), other.metadata_name());
+        // Two processes computing independently agree — the rendezvous.
+        let again = ShmNamespace::new("prod", 3).unwrap();
+        assert_eq!(ns.metadata_name(), again.metadata_name());
+    }
+
+    #[test]
+    fn invalid_prefixes_rejected() {
+        assert!(ShmNamespace::new("", 0).is_err());
+        assert!(ShmNamespace::new("has space", 0).is_err());
+        assert!(ShmNamespace::new("has/slash", 0).is_err());
+        assert!(ShmNamespace::new(&"x".repeat(100), 0).is_err());
+        assert!(ShmNamespace::new("ok_name_9", 0).is_ok());
+    }
+
+    #[test]
+    fn unlink_all_sweeps_scheme() {
+        let ns = ShmNamespace::new(&format!("swp{}", std::process::id()), 7).unwrap();
+        let _m = ShmSegment::create(&ns.metadata_name(), 16).unwrap();
+        let _t = ShmSegment::create(&ns.table_segment_name(0), 16).unwrap();
+        assert_eq!(ns.unlink_all(4), 2);
+        assert!(!ShmSegment::exists(&ns.metadata_name()));
+        assert_eq!(ns.unlink_all(4), 0);
+    }
+}

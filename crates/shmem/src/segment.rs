@@ -1,0 +1,520 @@
+//! A named POSIX shared-memory segment.
+//!
+//! The defining property (§3): the segment's lifetime is tied to the
+//! *name* in the kernel, not to any process. Dropping an [`ShmSegment`]
+//! unmaps and closes but does **not** unlink, so the bytes survive for the
+//! replacement process to `open` — "the lifetimes of the two processes do
+//! not overlap".
+//!
+//! # Safety
+//!
+//! This module owns the only `unsafe` blocks in the workspace's hot path.
+//! The invariants each mapping upholds:
+//!
+//! * `ptr` is the non-null result of a successful `mmap` of exactly `len`
+//!   bytes, and is unmapped exactly once (in `unmap`/`Drop`).
+//! * `len` never exceeds the file size set via `ftruncate`.
+//! * Slices handed out borrow `self`, so they cannot outlive the mapping,
+//!   and `&mut` access goes through `&mut self`, so Rust aliasing rules
+//!   hold within this process. Cross-process aliasing is inherent to
+//!   shared memory; the restart protocol never has both processes alive
+//!   and writing at once (the old process exits before the new one reads),
+//!   and the valid-bit + checksum protocol detects torn writes.
+
+use std::ffi::CString;
+use std::ptr::NonNull;
+
+use crate::error::{ShmError, ShmResult};
+
+/// An open, mapped shared-memory segment.
+#[derive(Debug)]
+pub struct ShmSegment {
+    name: String,
+    fd: libc::c_int,
+    ptr: NonNull<u8>,
+    len: usize,
+}
+
+// The raw pointer is to process-shared memory owned by this handle; access
+// is mediated by &/&mut self, so moving the handle across threads is fine.
+unsafe impl Send for ShmSegment {}
+unsafe impl Sync for ShmSegment {}
+
+fn validate_name(name: &str) -> ShmResult<CString> {
+    // POSIX: name should start with '/', contain no other '/', and fit in
+    // NAME_MAX (255 on Linux).
+    if name.is_empty() || !name.starts_with('/') || name[1..].contains('/') || name.len() > 250 {
+        return Err(ShmError::BadName(name.to_owned()));
+    }
+    CString::new(name).map_err(|_| ShmError::BadName(name.to_owned()))
+}
+
+impl ShmSegment {
+    /// Create a new segment of `size` bytes. Fails if the name exists
+    /// (`O_EXCL`) — shutdown is expected to have cleaned up or the caller
+    /// to have unlinked stale segments first.
+    pub fn create(name: &str, size: usize) -> ShmResult<ShmSegment> {
+        let cname = validate_name(name)?;
+        let fd = unsafe {
+            libc::shm_open(
+                cname.as_ptr(),
+                libc::O_CREAT | libc::O_EXCL | libc::O_RDWR,
+                0o600,
+            )
+        };
+        if fd < 0 {
+            return Err(ShmError::syscall("shm_open", name));
+        }
+        let seg = Self::finish_open(name, fd, size, true)?;
+        Ok(seg)
+    }
+
+    /// Open an existing segment, mapping its current size.
+    pub fn open(name: &str) -> ShmResult<ShmSegment> {
+        let cname = validate_name(name)?;
+        let fd = unsafe { libc::shm_open(cname.as_ptr(), libc::O_RDWR, 0o600) };
+        if fd < 0 {
+            return Err(ShmError::syscall("shm_open", name));
+        }
+        let mut stat: libc::stat = unsafe { std::mem::zeroed() };
+        if unsafe { libc::fstat(fd, &mut stat) } != 0 {
+            let err = ShmError::syscall("fstat", name);
+            unsafe { libc::close(fd) };
+            return Err(err);
+        }
+        Self::finish_open(name, fd, stat.st_size as usize, false)
+    }
+
+    fn finish_open(
+        name: &str,
+        fd: libc::c_int,
+        size: usize,
+        truncate: bool,
+    ) -> ShmResult<ShmSegment> {
+        if truncate && unsafe { libc::ftruncate(fd, size as libc::off_t) } != 0 {
+            let err = ShmError::syscall("ftruncate", name);
+            unsafe {
+                libc::close(fd);
+            }
+            // A failed create should not leave the name behind.
+            let _ = Self::unlink(name);
+            return Err(err);
+        }
+        let map_len = size.max(1); // mmap rejects length 0
+        let ptr = unsafe {
+            libc::mmap(
+                std::ptr::null_mut(),
+                map_len,
+                libc::PROT_READ | libc::PROT_WRITE,
+                libc::MAP_SHARED,
+                fd,
+                0,
+            )
+        };
+        if ptr == libc::MAP_FAILED {
+            let err = ShmError::syscall("mmap", name);
+            unsafe { libc::close(fd) };
+            return Err(err);
+        }
+        Ok(ShmSegment {
+            name: name.to_owned(),
+            fd,
+            ptr: NonNull::new(ptr as *mut u8).expect("mmap returned non-null"),
+            len: size,
+        })
+    }
+
+    /// The segment's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Mapped size in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the segment has zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read-only view of the whole segment.
+    pub fn as_slice(&self) -> &[u8] {
+        // SAFETY: ptr/len describe a live mapping (module invariants).
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+
+    /// Mutable view of the whole segment.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        // SAFETY: as above; &mut self gives in-process exclusivity.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+
+    /// Resize the segment (grow or shrink) and remap. Figure 6's shutdown
+    /// loop grows the table segment as row blocks are appended; Figure 7's
+    /// restore truncates it as data is copied back out.
+    pub fn resize(&mut self, new_size: usize) -> ShmResult<()> {
+        if new_size == self.len {
+            return Ok(());
+        }
+        self.unmap();
+        if unsafe { libc::ftruncate(self.fd, new_size as libc::off_t) } != 0 {
+            return Err(ShmError::syscall("ftruncate", &self.name));
+        }
+        let map_len = new_size.max(1);
+        let ptr = unsafe {
+            libc::mmap(
+                std::ptr::null_mut(),
+                map_len,
+                libc::PROT_READ | libc::PROT_WRITE,
+                libc::MAP_SHARED,
+                self.fd,
+                0,
+            )
+        };
+        if ptr == libc::MAP_FAILED {
+            return Err(ShmError::syscall("mmap", &self.name));
+        }
+        self.ptr = NonNull::new(ptr as *mut u8).expect("mmap returned non-null");
+        self.len = new_size;
+        Ok(())
+    }
+
+    /// Flush the mapping to backing store (`msync(MS_SYNC)`). tmpfs-backed
+    /// segments do not strictly need this, but the restart protocol calls
+    /// it before publishing the valid bit as a write barrier.
+    pub fn sync(&self) -> ShmResult<()> {
+        if self.len == 0 {
+            return Ok(());
+        }
+        let rc = unsafe {
+            libc::msync(
+                self.ptr.as_ptr() as *mut libc::c_void,
+                self.len,
+                libc::MS_SYNC,
+            )
+        };
+        if rc != 0 {
+            return Err(ShmError::syscall("msync", &self.name));
+        }
+        Ok(())
+    }
+
+    /// Make the mapping read-only (`mprotect(PROT_READ)`). §3 lists
+    /// mprotect among the POSIX calls the paper's implementation uses;
+    /// the restore path can apply it after opening a committed segment so
+    /// a buggy reader cannot corrupt the one good copy of the data before
+    /// it has been checksum-verified. Mutating methods will fault after
+    /// this; use [`Self::protect_readwrite`] to undo.
+    pub fn protect_readonly(&mut self) -> ShmResult<()> {
+        self.protect(libc::PROT_READ)
+    }
+
+    /// Restore read-write protection (`mprotect(PROT_READ|PROT_WRITE)`).
+    pub fn protect_readwrite(&mut self) -> ShmResult<()> {
+        self.protect(libc::PROT_READ | libc::PROT_WRITE)
+    }
+
+    fn protect(&mut self, prot: libc::c_int) -> ShmResult<()> {
+        if self.len == 0 {
+            return Ok(());
+        }
+        let rc = unsafe { libc::mprotect(self.ptr.as_ptr() as *mut libc::c_void, self.len, prot) };
+        if rc != 0 {
+            return Err(ShmError::syscall("mprotect", &self.name));
+        }
+        Ok(())
+    }
+
+    /// Release the physical pages behind `[offset, offset+len)` back to
+    /// the OS while keeping the segment size and all other offsets intact
+    /// (`fallocate(FALLOC_FL_PUNCH_HOLE)`, supported on tmpfs). The
+    /// restore path punches out each row block column after copying it to
+    /// heap, which is what keeps the total memory footprint flat (§4.4);
+    /// reading the punched range again yields zeros.
+    pub fn punch_hole(&mut self, offset: usize, len: usize) -> ShmResult<()> {
+        if len == 0 {
+            return Ok(());
+        }
+        if offset + len > self.len {
+            return Err(ShmError::OutOfBounds {
+                name: self.name.clone(),
+                offset,
+                len,
+                size: self.len,
+            });
+        }
+        let rc = unsafe {
+            libc::fallocate(
+                self.fd,
+                libc::FALLOC_FL_PUNCH_HOLE | libc::FALLOC_FL_KEEP_SIZE,
+                offset as libc::off_t,
+                len as libc::off_t,
+            )
+        };
+        if rc != 0 {
+            return Err(ShmError::syscall("fallocate", &self.name));
+        }
+        Ok(())
+    }
+
+    /// Physical bytes currently backing the segment (`st_blocks * 512`),
+    /// which shrinks as holes are punched. Used by the footprint
+    /// experiment (E3).
+    pub fn resident_bytes(&self) -> ShmResult<usize> {
+        let mut stat: libc::stat = unsafe { std::mem::zeroed() };
+        if unsafe { libc::fstat(self.fd, &mut stat) } != 0 {
+            return Err(ShmError::syscall("fstat", &self.name));
+        }
+        Ok(stat.st_blocks as usize * 512)
+    }
+
+    /// Remove the segment *name* from the system. Existing mappings stay
+    /// valid; the memory is freed once the last mapping goes away. Returns
+    /// `Ok(false)` if the name did not exist.
+    pub fn unlink(name: &str) -> ShmResult<bool> {
+        let cname = validate_name(name)?;
+        let rc = unsafe { libc::shm_unlink(cname.as_ptr()) };
+        if rc == 0 {
+            Ok(true)
+        } else if std::io::Error::last_os_error().raw_os_error() == Some(libc::ENOENT) {
+            Ok(false)
+        } else {
+            Err(ShmError::syscall("shm_unlink", name))
+        }
+    }
+
+    /// True if a segment with this name currently exists.
+    pub fn exists(name: &str) -> bool {
+        let Ok(cname) = validate_name(name) else {
+            return false;
+        };
+        let fd = unsafe { libc::shm_open(cname.as_ptr(), libc::O_RDONLY, 0o600) };
+        if fd >= 0 {
+            unsafe { libc::close(fd) };
+            true
+        } else {
+            false
+        }
+    }
+
+    fn unmap(&mut self) {
+        // SAFETY: ptr/len describe a live mapping; after this call the
+        // struct is only used by resize (which remaps) or Drop.
+        unsafe {
+            libc::munmap(self.ptr.as_ptr() as *mut libc::c_void, self.len.max(1));
+        }
+    }
+}
+
+impl Drop for ShmSegment {
+    fn drop(&mut self) {
+        self.unmap();
+        unsafe {
+            libc::close(self.fd);
+        }
+        // Deliberately NOT shm_unlink: the data must outlive this process.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    fn unique_name(tag: &str) -> String {
+        format!(
+            "/scuba_test_{}_{}_{}",
+            tag,
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        )
+    }
+
+    /// Unlinks the named segment when dropped, even on test panic.
+    struct Cleanup(String);
+    impl Drop for Cleanup {
+        fn drop(&mut self) {
+            let _ = ShmSegment::unlink(&self.0);
+        }
+    }
+
+    #[test]
+    fn create_write_open_read() {
+        let name = unique_name("rw");
+        let _c = Cleanup(name.clone());
+        let mut seg = ShmSegment::create(&name, 4096).unwrap();
+        assert_eq!(seg.len(), 4096);
+        seg.as_mut_slice()[..5].copy_from_slice(b"hello");
+        drop(seg); // unmaps but does not unlink
+
+        let seg2 = ShmSegment::open(&name).unwrap();
+        assert_eq!(&seg2.as_slice()[..5], b"hello");
+        assert_eq!(seg2.len(), 4096);
+    }
+
+    #[test]
+    fn data_survives_handle_drop() {
+        // The paper's core property at segment granularity: writer handle
+        // closed before reader handle opens.
+        let name = unique_name("persist");
+        let _c = Cleanup(name.clone());
+        {
+            let mut seg = ShmSegment::create(&name, 128).unwrap();
+            for (i, b) in seg.as_mut_slice().iter_mut().enumerate() {
+                *b = (i * 7) as u8;
+            }
+            seg.sync().unwrap();
+        } // fully closed here
+        let seg = ShmSegment::open(&name).unwrap();
+        for (i, b) in seg.as_slice().iter().enumerate() {
+            assert_eq!(*b, (i * 7) as u8);
+        }
+    }
+
+    #[test]
+    fn create_excl_rejects_existing() {
+        let name = unique_name("excl");
+        let _c = Cleanup(name.clone());
+        let _seg = ShmSegment::create(&name, 64).unwrap();
+        assert!(ShmSegment::create(&name, 64).is_err());
+    }
+
+    #[test]
+    fn open_missing_fails() {
+        assert!(ShmSegment::open(&unique_name("missing")).is_err());
+    }
+
+    #[test]
+    fn resize_grows_and_preserves_prefix() {
+        let name = unique_name("grow");
+        let _c = Cleanup(name.clone());
+        let mut seg = ShmSegment::create(&name, 8).unwrap();
+        seg.as_mut_slice().copy_from_slice(b"ABCDEFGH");
+        seg.resize(1 << 20).unwrap();
+        assert_eq!(seg.len(), 1 << 20);
+        assert_eq!(&seg.as_slice()[..8], b"ABCDEFGH");
+        assert!(seg.as_slice()[8..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn resize_shrinks() {
+        let name = unique_name("shrink");
+        let _c = Cleanup(name.clone());
+        let mut seg = ShmSegment::create(&name, 4096).unwrap();
+        seg.as_mut_slice()[..4].copy_from_slice(b"keep");
+        seg.resize(4).unwrap();
+        assert_eq!(seg.as_slice(), b"keep");
+        // Reopening sees the shrunk size.
+        drop(seg);
+        assert_eq!(ShmSegment::open(&name).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn unlink_and_exists() {
+        let name = unique_name("unlink");
+        let seg = ShmSegment::create(&name, 16).unwrap();
+        assert!(ShmSegment::exists(&name));
+        assert!(ShmSegment::unlink(&name).unwrap());
+        assert!(!ShmSegment::exists(&name));
+        assert!(!ShmSegment::unlink(&name).unwrap()); // second time: absent
+        drop(seg); // mapping was still valid after unlink
+    }
+
+    #[test]
+    fn zero_sized_segment() {
+        let name = unique_name("zero");
+        let _c = Cleanup(name.clone());
+        let seg = ShmSegment::create(&name, 0).unwrap();
+        assert!(seg.is_empty());
+        assert!(seg.as_slice().is_empty());
+        seg.sync().unwrap();
+    }
+
+    #[test]
+    fn bad_names_rejected() {
+        assert!(matches!(
+            ShmSegment::create("noslash", 16),
+            Err(ShmError::BadName(_))
+        ));
+        assert!(matches!(
+            ShmSegment::create("/a/b", 16),
+            Err(ShmError::BadName(_))
+        ));
+        assert!(matches!(
+            ShmSegment::create("", 16),
+            Err(ShmError::BadName(_))
+        ));
+        let long = format!("/{}", "x".repeat(300));
+        assert!(matches!(
+            ShmSegment::create(&long, 16),
+            Err(ShmError::BadName(_))
+        ));
+        assert!(!ShmSegment::exists("not-a-name/"));
+    }
+
+    #[test]
+    fn punch_hole_releases_pages_and_zeroes() {
+        let name = unique_name("punch");
+        let _c = Cleanup(name.clone());
+        let size = 1 << 20;
+        let mut seg = ShmSegment::create(&name, size).unwrap();
+        seg.as_mut_slice().fill(0xAB);
+        seg.sync().unwrap();
+        let before = seg.resident_bytes().unwrap();
+        assert!(before >= size, "expected fully backed, got {before}");
+        // Punch the first half (page aligned).
+        seg.punch_hole(0, size / 2).unwrap();
+        let after = seg.resident_bytes().unwrap();
+        assert!(
+            after <= before - size / 2 + 4096,
+            "before={before} after={after}"
+        );
+        // Punched range reads as zeros; the rest is intact.
+        assert!(seg.as_slice()[..size / 2].iter().all(|&b| b == 0));
+        assert!(seg.as_slice()[size / 2..].iter().all(|&b| b == 0xAB));
+        // Size and offsets unchanged.
+        assert_eq!(seg.len(), size);
+    }
+
+    #[test]
+    fn protect_readonly_still_readable_and_reversible() {
+        let name = unique_name("prot");
+        let _c = Cleanup(name.clone());
+        let mut seg = ShmSegment::create(&name, 4096).unwrap();
+        seg.as_mut_slice()[0] = 0x7E;
+        seg.protect_readonly().unwrap();
+        assert_eq!(seg.as_slice()[0], 0x7E); // reads still fine
+        seg.protect_readwrite().unwrap();
+        seg.as_mut_slice()[0] = 0x7F; // writable again
+        assert_eq!(seg.as_slice()[0], 0x7F);
+        // Zero-length segments are a no-op.
+        let mut empty = ShmSegment::create(&format!("{name}e"), 0).unwrap();
+        empty.protect_readonly().unwrap();
+        let _ = ShmSegment::unlink(&format!("{name}e"));
+    }
+
+    #[test]
+    fn punch_hole_bounds_checked() {
+        let name = unique_name("punchb");
+        let _c = Cleanup(name.clone());
+        let mut seg = ShmSegment::create(&name, 4096).unwrap();
+        assert!(seg.punch_hole(0, 8192).is_err());
+        seg.punch_hole(0, 0).unwrap(); // zero-length is a no-op
+    }
+
+    #[test]
+    fn unlinked_mapping_still_readable() {
+        // POSIX semantics the protocol relies on during restore cleanup.
+        let name = unique_name("orphan");
+        let mut seg = ShmSegment::create(&name, 32).unwrap();
+        seg.as_mut_slice()[0] = 0xAB;
+        ShmSegment::unlink(&name).unwrap();
+        assert_eq!(seg.as_slice()[0], 0xAB);
+        seg.as_mut_slice()[0] = 0xCD;
+        assert_eq!(seg.as_slice()[0], 0xCD);
+    }
+}

@@ -1,0 +1,109 @@
+//! Crash vs clean shutdown: why the valid bit exists.
+//!
+//! ```sh
+//! cargo run --release --example crash_recovery
+//! ```
+//!
+//! §4: "We do not use shared memory to recover from a crash; the crash
+//! may have been caused by memory corruption." This example shows all
+//! three recovery situations side by side on the same data:
+//!
+//! 1. clean shutdown → memory recovery (fast path),
+//! 2. crash → disk recovery (valid bit never set),
+//! 3. torn shared memory → checksum-detected fallback to disk.
+
+use std::time::Instant;
+
+use scuba::columnstore::Row;
+use scuba::leaf::{LeafConfig, LeafServer, RecoveryOutcome};
+use scuba::shmem::ShmSegment;
+
+const ROWS: i64 = 200_000;
+
+fn build_leaf(config: &LeafConfig) -> LeafServer {
+    let mut server = LeafServer::new(config.clone()).expect("boot leaf");
+    for chunk in 0..(ROWS / 10_000) {
+        let rows: Vec<Row> = (0..10_000)
+            .map(|i| {
+                let n = chunk * 10_000 + i;
+                Row::at(n)
+                    .with("payload", format!("event-{}", n % 1000))
+                    .with("v", n)
+            })
+            .collect();
+        server.add_rows("events", &rows, chunk).expect("add");
+    }
+    server.sync_disk().expect("sync");
+    server
+}
+
+fn describe(outcome: &RecoveryOutcome, elapsed: std::time::Duration, rows: usize) {
+    match outcome {
+        RecoveryOutcome::Memory(r) => println!(
+            "  -> MEMORY recovery: {} rows, {:.1} MB copied, {:?} (protocol: {:?})\n",
+            rows,
+            r.bytes_copied as f64 / 1e6,
+            elapsed,
+            r.duration
+        ),
+        RecoveryOutcome::Disk { reason, stats } => println!(
+            "  -> DISK recovery: {} rows, {:.1} MB read in {:?}, translated in {:?} ({:?} total)\n     reason: {}\n",
+            rows,
+            stats.bytes_read as f64 / 1e6,
+            stats.read_duration,
+            stats.translate_duration,
+            elapsed,
+            reason
+        ),
+    }
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("scuba_crash_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = LeafConfig::new(0, format!("crash{}", std::process::id()), &dir);
+
+    // --- Scenario 1: planned upgrade.
+    println!("scenario 1: clean shutdown, then restart");
+    let mut server = build_leaf(&config);
+    server.shutdown_to_shm(ROWS).expect("clean shutdown");
+    drop(server);
+    let t = Instant::now();
+    let (server, outcome) = LeafServer::start(config.clone(), ROWS, None).expect("restart");
+    describe(&outcome, t.elapsed(), server.total_rows());
+    assert!(outcome.is_memory());
+
+    // --- Scenario 2: crash (power loss, segfault, OOM kill...).
+    println!("scenario 2: crash, then restart");
+    let mut server = server;
+    server.crash(); // heap gone, no valid bit, nothing in /dev/shm
+    drop(server);
+    let t = Instant::now();
+    let (server, outcome) = LeafServer::start(config.clone(), ROWS, None).expect("restart");
+    describe(&outcome, t.elapsed(), server.total_rows());
+    assert!(!outcome.is_memory());
+
+    // --- Scenario 3: clean shutdown, but the shared memory gets torn.
+    println!("scenario 3: clean shutdown, torn shared memory, then restart");
+    let mut server = server;
+    server.shutdown_to_shm(ROWS).expect("clean shutdown");
+    let ns = server.namespace().clone();
+    drop(server);
+    // Vandalize one byte of the first table segment.
+    let mut seg = ShmSegment::open(&ns.table_segment_name(0)).expect("open segment");
+    let mid = seg.len() / 2;
+    seg.as_mut_slice()[mid] ^= 0xFF;
+    drop(seg);
+    println!("  (flipped one byte inside the table segment)");
+    let t = Instant::now();
+    let (server, outcome) = LeafServer::start(config, ROWS, None).expect("restart");
+    describe(&outcome, t.elapsed(), server.total_rows());
+    assert!(
+        !outcome.is_memory(),
+        "corruption must not pass the checksum"
+    );
+
+    println!("all three scenarios recovered the full dataset ✓");
+    server.namespace().unlink_all(8);
+    let _ = std::fs::remove_dir_all(&dir);
+}

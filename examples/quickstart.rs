@@ -1,0 +1,98 @@
+//! Quickstart: one leaf server, one planned restart, zero data loss.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Walks the paper's core loop: ingest → query → clean shutdown into
+//! shared memory → replacement process recovers at memory speed → same
+//! query, same answer.
+
+use std::time::Instant;
+
+use scuba::columnstore::Row;
+use scuba::leaf::{LeafConfig, LeafServer};
+use scuba::query::{AggSpec, CmpOp, Filter, Query};
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("scuba_quickstart_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = LeafConfig::new(0, format!("qs{}", std::process::id()), &dir);
+
+    // 1. Boot an empty leaf server.
+    let mut server = LeafServer::new(config.clone()).expect("boot leaf");
+    println!("leaf 0 up, phase = {}", server.phase().name());
+
+    // 2. Ingest a million rows of request logs.
+    println!("ingesting 1,000,000 rows ...");
+    let t = Instant::now();
+    for chunk in 0..100 {
+        let rows: Vec<Row> = (0..10_000)
+            .map(|i| {
+                let n = chunk * 10_000 + i;
+                Row::at(n / 1000)
+                    .with("endpoint", ["/home", "/feed", "/api"][(n % 3) as usize])
+                    .with("status", if n % 50 == 0 { 500i64 } else { 200 })
+                    .with("latency_ms", (n % 97) as f64)
+            })
+            .collect();
+        server
+            .add_rows("requests", &rows, chunk * 10)
+            .expect("add rows");
+    }
+    println!(
+        "  done in {:?} ({} rows, {:.1} MB in memory)",
+        t.elapsed(),
+        server.total_rows(),
+        server.memory_used() as f64 / 1e6
+    );
+
+    // 3. A dashboard query: error rate by endpoint.
+    let query = Query::new("requests", 0, i64::MAX)
+        .filter(Filter::new("status", CmpOp::Ge, 500i64))
+        .group_by("endpoint")
+        .aggregates(vec![AggSpec::Count]);
+    let t = Instant::now();
+    let before = server.query(&query).expect("query");
+    println!(
+        "query: {} errors across {} endpoints in {:?}",
+        before.rows_matched,
+        before.groups.len(),
+        t.elapsed()
+    );
+
+    // 4. Planned upgrade: park the data in shared memory and exit.
+    let t = Instant::now();
+    let summary = server.shutdown_to_shm(1_000).expect("clean shutdown");
+    println!(
+        "shutdown: copied {:.1} MB to shared memory in {:?} ({} chunks, peak footprint {:.1} MB)",
+        summary.backup.bytes_copied as f64 / 1e6,
+        summary.backup.duration,
+        summary.backup.chunks,
+        summary.backup.peak_footprint as f64 / 1e6,
+    );
+    drop(server); // the old process is gone
+
+    // 5. The "new binary" starts and recovers at memory speed.
+    let t2 = Instant::now();
+    let (server, outcome) = LeafServer::start(config, 1_000, None).expect("restart");
+    println!(
+        "restart: recovered {} rows via {} in {:?} (total turnaround {:?})",
+        server.total_rows(),
+        if outcome.is_memory() {
+            "SHARED MEMORY"
+        } else {
+            "DISK"
+        },
+        outcome.duration(),
+        t.elapsed().max(t2.elapsed()),
+    );
+
+    // 6. Same query, same answer.
+    let after = server.query(&query).expect("query after restart");
+    assert_eq!(after.groups, before.groups);
+    println!("query results identical across the restart ✓");
+
+    server.namespace().unlink_all(8);
+    let _ = std::fs::remove_dir_all(&dir);
+}

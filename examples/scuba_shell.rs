@@ -1,0 +1,181 @@
+//! An interactive Scuba shell: load workloads, run textual queries, and
+//! restart the server underneath yourself.
+//!
+//! ```sh
+//! cargo run --release --example scuba_shell            # interactive
+//! echo 'load requests 100000
+//! query count(*), p99(latency_ms) from requests group by endpoint
+//! restart
+//! query count(*), p99(latency_ms) from requests group by endpoint
+//! quit' | cargo run --release --example scuba_shell    # scripted
+//! ```
+//!
+//! Commands:
+//!
+//! ```text
+//! load <workload> <rows>    workloads: error_logs | requests | ads_metrics
+//! query <query text>        see scuba::query::parse for the language
+//! restart                   clean shutdown into shared memory + recover
+//! crash                     crash; the next restart recovers from disk
+//! tables                    list tables with row counts
+//! quit
+//! ```
+
+use std::io::{BufRead, Write};
+use std::time::Instant;
+
+use scuba::ingest::{WorkloadKind, WorkloadSpec};
+use scuba::leaf::{LeafConfig, LeafServer};
+use scuba::query::parse_query;
+
+fn print_result(result: &scuba::query::LeafQueryResult, elapsed: std::time::Duration) {
+    if result.groups.is_empty() {
+        println!("  (no rows matched; scanned {})", result.rows_scanned);
+        return;
+    }
+    for (key, aggs) in &result.groups {
+        let rendered: Vec<String> = aggs.iter().map(|a| a.finish().to_string()).collect();
+        println!("  {key:<24} {}", rendered.join("  "));
+    }
+    println!(
+        "  -- {} matched / {} scanned / {} blocks pruned in {elapsed:?}",
+        result.rows_matched, result.rows_scanned, result.blocks_pruned
+    );
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("scuba_shell_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = LeafConfig::new(0, format!("shell{}", std::process::id()), &dir);
+    let mut server = Some(LeafServer::new(config.clone()).expect("boot leaf"));
+    let mut seed = 0u64;
+
+    println!(
+        "scuba shell — `load requests 100000`, `query count(*) from requests`, `restart`, `quit`"
+    );
+    let stdin = std::io::stdin();
+    loop {
+        print!("scuba> ");
+        let _ = std::io::stdout().flush();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break; // EOF
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (cmd, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match cmd.to_ascii_lowercase().as_str() {
+            "quit" | "exit" => break,
+            "load" => {
+                let mut parts = rest.split_whitespace();
+                let kind = match parts.next() {
+                    Some("error_logs") => WorkloadKind::ErrorLogs,
+                    Some("requests") => WorkloadKind::Requests,
+                    Some("ads_metrics") => WorkloadKind::AdsMetrics,
+                    other => {
+                        println!("unknown workload {other:?} (error_logs|requests|ads_metrics)");
+                        continue;
+                    }
+                };
+                let n: usize = parts.next().and_then(|s| s.parse().ok()).unwrap_or(10_000);
+                seed += 1;
+                let spec = WorkloadSpec::new(kind, seed);
+                let rows = spec.rows(n);
+                let t = Instant::now();
+                let srv = server.as_mut().expect("server running");
+                for chunk in rows.chunks(50_000) {
+                    srv.add_rows(kind.table_name(), chunk, chunk[0].time())
+                        .expect("ingest");
+                }
+                println!(
+                    "loaded {n} rows into {:?} in {:?} ({} rows total)",
+                    kind.table_name(),
+                    t.elapsed(),
+                    srv.total_rows()
+                );
+            }
+            "query" => {
+                let srv = server.as_ref().expect("server running");
+                match parse_query(rest, (0, i64::MAX)) {
+                    Err(e) => println!("  {e}"),
+                    Ok(q) => {
+                        let t = Instant::now();
+                        match srv.query(&q) {
+                            Ok(r) => print_result(&r, t.elapsed()),
+                            Err(e) => println!("  query failed: {e}"),
+                        }
+                    }
+                }
+            }
+            "tables" => {
+                let srv = server.as_ref().expect("server running");
+                for table in srv.store().map().iter() {
+                    println!(
+                        "  {:<16} {:>10} rows  {:>10} encoded bytes",
+                        table.name(),
+                        table.row_count(),
+                        table.encoded_bytes()
+                    );
+                }
+            }
+            "restart" => {
+                let mut srv = server.take().expect("server running");
+                let rows = srv.total_rows();
+                let t = Instant::now();
+                match srv.shutdown_to_shm(0) {
+                    Err(e) => {
+                        println!("shutdown failed ({e}); killing");
+                        srv.crash();
+                    }
+                    Ok(summary) => {
+                        println!(
+                            "old process exited: {} copied to shared memory in {:?}",
+                            summary.backup.bytes_copied, summary.backup.duration
+                        );
+                    }
+                }
+                drop(srv);
+                let (srv, outcome) =
+                    LeafServer::start(config.clone(), 0, None).expect("replacement boots");
+                println!(
+                    "new process up via {} in {:?}: {} of {rows} rows recovered",
+                    if outcome.is_memory() {
+                        "SHARED MEMORY"
+                    } else {
+                        "DISK"
+                    },
+                    t.elapsed(),
+                    srv.total_rows(),
+                );
+                server = Some(srv);
+            }
+            "crash" => {
+                let mut srv = server.take().expect("server running");
+                let _ = srv.sync_disk();
+                srv.crash();
+                drop(srv);
+                let (srv, outcome) =
+                    LeafServer::start(config.clone(), 0, None).expect("replacement boots");
+                println!(
+                    "crashed and recovered via {}: {} rows",
+                    if outcome.is_memory() {
+                        "SHARED MEMORY (!)"
+                    } else {
+                        "DISK"
+                    },
+                    srv.total_rows()
+                );
+                server = Some(srv);
+            }
+            other => println!("unknown command {other:?} (load|query|tables|restart|crash|quit)"),
+        }
+    }
+
+    if let Some(srv) = &server {
+        srv.namespace().unlink_all(8);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("bye");
+}

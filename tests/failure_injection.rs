@@ -1,0 +1,215 @@
+//! Integration: failure injection across the restart protocol (E9).
+//!
+//! §4.3's safety argument is that *anything* wrong with the shared-memory
+//! state — torn copy, stale version, corrupt checksum, missing segment,
+//! interrupted restore — lands in disk recovery, never in silently wrong
+//! data. Each test here wounds the state differently and asserts both the
+//! fallback and the fidelity of the disk-recovered data.
+
+use scuba::columnstore::Row;
+use scuba::leaf::{LeafConfig, LeafServer, RecoveryOutcome};
+use scuba::query::Query;
+use scuba::shmem::{LeafMetadata, ShmNamespace, ShmSegment};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+static COUNTER: AtomicU32 = AtomicU32::new(0);
+
+struct Rig {
+    cfg: LeafConfig,
+    ns: ShmNamespace,
+    dir: PathBuf,
+    rows: usize,
+}
+
+impl Drop for Rig {
+    fn drop(&mut self) {
+        self.ns.unlink_all(16);
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// Build a leaf with data, durable disk backup, and a committed
+/// shared-memory image — then let the caller vandalize the image.
+fn rig(tag: &str, rows: i64) -> Rig {
+    let id = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let prefix = format!("fi{tag}{}", std::process::id());
+    let dir = std::env::temp_dir().join(format!("scuba_fi_{tag}_{}_{id}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = LeafConfig::new(id, &prefix, &dir);
+    let ns = ShmNamespace::new(&prefix, id).unwrap();
+    ns.unlink_all(16);
+
+    let mut server = LeafServer::new(cfg.clone()).unwrap();
+    let batch: Vec<Row> = (0..rows)
+        .map(|i| Row::at(i).with("v", i).with("tag", format!("r{}", i % 31)))
+        .collect();
+    server.add_rows("data", &batch, 0).unwrap();
+    server.sync_disk().unwrap();
+    server.shutdown_to_shm(rows).unwrap();
+    Rig {
+        cfg,
+        ns,
+        dir,
+        rows: rows as usize,
+    }
+}
+
+/// Start the leaf and require a disk recovery that still yields all rows.
+fn assert_disk_fallback(rig: &Rig, why_contains: Option<&str>) {
+    let (server, outcome) = LeafServer::start(rig.cfg.clone(), 0, None).unwrap();
+    match &outcome {
+        RecoveryOutcome::Disk { reason, stats } => {
+            if let Some(needle) = why_contains {
+                assert!(
+                    reason.contains(needle),
+                    "reason {reason:?} lacks {needle:?}"
+                );
+            }
+            assert_eq!(stats.rows as usize, rig.rows);
+        }
+        other => panic!("expected disk fallback, got {other:?}"),
+    }
+    assert_eq!(server.total_rows(), rig.rows);
+    let r = server.query(&Query::new("data", 0, i64::MAX)).unwrap();
+    assert_eq!(r.rows_matched as usize, rig.rows);
+    // Whatever the wound was, nothing may linger in /dev/shm afterwards.
+    assert!(!ShmSegment::exists(&rig.ns.metadata_name()));
+}
+
+#[test]
+fn baseline_memory_recovery_works() {
+    // Control: an unwounded rig recovers from memory.
+    let r = rig("ok", 2000);
+    let (server, outcome) = LeafServer::start(r.cfg.clone(), 0, None).unwrap();
+    assert!(outcome.is_memory());
+    assert_eq!(server.total_rows(), r.rows);
+}
+
+#[test]
+fn valid_bit_cleared() {
+    let r = rig("vb", 2000);
+    let mut meta = LeafMetadata::open(&r.ns).unwrap();
+    meta.set_valid(false).unwrap();
+    drop(meta);
+    assert_disk_fallback(&r, Some("valid bit"));
+}
+
+#[test]
+fn metadata_deleted() {
+    let r = rig("md", 2000);
+    ShmSegment::unlink(&r.ns.metadata_name()).unwrap();
+    assert_disk_fallback(&r, Some("metadata unavailable"));
+}
+
+#[test]
+fn metadata_magic_scribbled() {
+    let r = rig("mm", 2000);
+    let mut seg = ShmSegment::open(&r.ns.metadata_name()).unwrap();
+    seg.as_mut_slice()[0] = 0x00;
+    drop(seg);
+    assert_disk_fallback(&r, None);
+}
+
+#[test]
+fn table_segment_deleted() {
+    let r = rig("ts", 2000);
+    ShmSegment::unlink(&r.ns.table_segment_name(0)).unwrap();
+    assert_disk_fallback(&r, Some("missing"));
+}
+
+#[test]
+fn table_segment_truncated_mid_frame() {
+    let r = rig("tt", 2000);
+    let mut seg = ShmSegment::open(&r.ns.table_segment_name(0)).unwrap();
+    let half = seg.len() / 2;
+    seg.resize(half).unwrap();
+    drop(seg);
+    assert_disk_fallback(&r, None);
+}
+
+#[test]
+fn column_payload_bitflip_caught_by_checksum() {
+    let r = rig("bf", 2000);
+    let mut seg = ShmSegment::open(&r.ns.table_segment_name(0)).unwrap();
+    let len = seg.len();
+    seg.as_mut_slice()[len / 2] ^= 0x80;
+    drop(seg);
+    assert_disk_fallback(&r, None);
+}
+
+#[test]
+fn layout_version_skew() {
+    let r = rig("lv", 2000);
+    let mut seg = ShmSegment::open(&r.ns.metadata_name()).unwrap();
+    seg.as_mut_slice()[4] = 99;
+    drop(seg);
+    assert_disk_fallback(&r, Some("layout version"));
+}
+
+#[test]
+fn every_byte_of_metadata_is_load_bearing() {
+    // Sweep: flip each metadata byte in turn; recovery must either still
+    // succeed (flip was in padding the protocol tolerates — there is
+    // none, but the sweep proves it) or fall back to disk with full data.
+    // Never a panic, never wrong results.
+    let r = rig("sweep", 300);
+    let baseline = ShmSegment::open(&r.ns.metadata_name())
+        .unwrap()
+        .as_slice()
+        .to_vec();
+    for i in 0..baseline.len() {
+        // Restore pristine state bytes.
+        {
+            let mut seg = ShmSegment::open(&r.ns.metadata_name()).unwrap();
+            seg.as_mut_slice().copy_from_slice(&baseline);
+            seg.as_mut_slice()[i] ^= 0xFF;
+        }
+        let (server, _outcome) = LeafServer::start(r.cfg.clone(), 0, None).unwrap();
+        assert_eq!(server.total_rows(), r.rows, "byte {i}");
+        // The start consumed or cleaned the shm; recreate it for the next
+        // iteration by shutting down again.
+        let mut server = server;
+        server.shutdown_to_shm(0).unwrap();
+    }
+}
+
+#[test]
+fn interrupted_restore_reruns_as_disk_recovery() {
+    // Figure 7: "If this code path is interrupted, the valid bit will be
+    // false on the next restart and disk recovery will be executed."
+    // Simulate the interruption by clearing the bit the way a started-
+    // then-killed restore leaves it.
+    let r = rig("int", 2000);
+    let mut meta = LeafMetadata::open(&r.ns).unwrap();
+    meta.set_valid(false).unwrap(); // what restore does before copying
+    drop(meta);
+    // Segments still exist (the "interrupted" state)...
+    assert!(ShmSegment::exists(&r.ns.table_segment_name(0)));
+    // ...but the next start must go to disk and clean them up.
+    assert_disk_fallback(&r, Some("valid bit"));
+    assert!(!ShmSegment::exists(&r.ns.table_segment_name(0)));
+}
+
+#[test]
+fn disk_backup_torn_tail_tolerated_during_fallback() {
+    // Wound BOTH layers: shm invalid AND the disk log torn. Recovery
+    // still proceeds with the surviving prefix (§4.1's tiny-loss rule).
+    let r = rig("both", 2000);
+    ShmSegment::unlink(&r.ns.metadata_name()).unwrap();
+    // Tear the disk log.
+    let path = r.dir.join("data.rows");
+    let len = std::fs::metadata(&path).unwrap().len();
+    let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+    f.set_len(len - 13).unwrap();
+
+    let (server, outcome) = LeafServer::start(r.cfg.clone(), 0, None).unwrap();
+    match outcome {
+        RecoveryOutcome::Disk { stats, .. } => {
+            assert_eq!(stats.torn_tails, 1);
+            assert_eq!(stats.rows, 1999); // exactly one row lost
+        }
+        other => panic!("{other:?}"),
+    }
+    assert_eq!(server.total_rows(), 1999);
+}
