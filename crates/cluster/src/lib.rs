@@ -16,6 +16,7 @@
 //!   translation the dominant cost, memory at GB/s). See the substitution
 //!   table in DESIGN.md and the calibration notes in EXPERIMENTS.md.
 
+pub mod chaos;
 pub mod cluster;
 pub mod dashboard;
 pub mod host;
@@ -24,6 +25,7 @@ pub mod machine;
 pub mod rollover;
 pub mod sim;
 
+pub use chaos::{run_chaos, ChaosConfig, ChaosReport, WaveRecord};
 pub use cluster::{Cluster, ClusterConfig};
 pub use dashboard::{Dashboard, DashboardRow};
 pub use host::{HostStatus, LeafHost};

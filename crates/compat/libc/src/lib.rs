@@ -1,0 +1,163 @@
+//! Offline stand-in for the `libc` crate.
+//!
+//! The build environment has no network access and no vendored registry, so
+//! the real `libc` crate cannot be downloaded. This shim declares exactly the
+//! symbols, constants, and types the workspace uses, with x86_64-linux ABI
+//! layouts. Everything here resolves against glibc at link time — these are
+//! real syscall wrappers, not mocks.
+
+#![allow(non_camel_case_types)]
+
+pub use std::os::raw::{c_char, c_int, c_long, c_uint, c_void};
+
+pub type mode_t = u32;
+pub type off_t = i64;
+pub type size_t = usize;
+pub type pid_t = i32;
+pub type dev_t = u64;
+pub type ino_t = u64;
+pub type nlink_t = u64;
+pub type uid_t = u32;
+pub type gid_t = u32;
+pub type blksize_t = i64;
+pub type blkcnt_t = i64;
+pub type time_t = i64;
+
+// open(2) flags (x86_64 linux).
+pub const O_RDONLY: c_int = 0;
+pub const O_WRONLY: c_int = 1;
+pub const O_RDWR: c_int = 2;
+pub const O_CREAT: c_int = 0o100;
+pub const O_EXCL: c_int = 0o200;
+pub const O_TRUNC: c_int = 0o1000;
+
+// mmap(2).
+pub const PROT_READ: c_int = 1;
+pub const PROT_WRITE: c_int = 2;
+pub const MAP_SHARED: c_int = 1;
+pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+// msync(2).
+pub const MS_ASYNC: c_int = 1;
+pub const MS_SYNC: c_int = 4;
+
+// fallocate(2).
+pub const FALLOC_FL_KEEP_SIZE: c_int = 1;
+pub const FALLOC_FL_PUNCH_HOLE: c_int = 2;
+
+// errno values (x86_64 linux).
+pub const ENOENT: c_int = 2;
+pub const EINTR: c_int = 4;
+pub const EAGAIN: c_int = 11;
+pub const ENOMEM: c_int = 12;
+pub const EACCES: c_int = 13;
+pub const EEXIST: c_int = 17;
+pub const EINVAL: c_int = 22;
+
+// Signals.
+pub const SIGKILL: c_int = 9;
+pub const SIGTERM: c_int = 15;
+
+// waitpid(2) option.
+pub const WNOHANG: c_int = 1;
+
+/// `struct stat` with the x86_64-linux field layout.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct stat {
+    pub st_dev: dev_t,
+    pub st_ino: ino_t,
+    pub st_nlink: nlink_t,
+    pub st_mode: mode_t,
+    pub st_uid: uid_t,
+    pub st_gid: gid_t,
+    __pad0: c_int,
+    pub st_rdev: dev_t,
+    pub st_size: off_t,
+    pub st_blksize: blksize_t,
+    pub st_blocks: blkcnt_t,
+    pub st_atime: time_t,
+    pub st_atime_nsec: c_long,
+    pub st_mtime: time_t,
+    pub st_mtime_nsec: c_long,
+    pub st_ctime: time_t,
+    pub st_ctime_nsec: c_long,
+    __unused: [c_long; 3],
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+compile_error!("the offline libc shim only supports x86_64-linux");
+
+extern "C" {
+    pub fn shm_open(name: *const c_char, oflag: c_int, mode: mode_t) -> c_int;
+    pub fn shm_unlink(name: *const c_char) -> c_int;
+    pub fn mmap(
+        addr: *mut c_void,
+        len: size_t,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: off_t,
+    ) -> *mut c_void;
+    pub fn munmap(addr: *mut c_void, len: size_t) -> c_int;
+    pub fn msync(addr: *mut c_void, len: size_t, flags: c_int) -> c_int;
+    pub fn mprotect(addr: *mut c_void, len: size_t, prot: c_int) -> c_int;
+    pub fn ftruncate(fd: c_int, length: off_t) -> c_int;
+    pub fn fallocate(fd: c_int, mode: c_int, offset: off_t, len: off_t) -> c_int;
+    pub fn fstat(fd: c_int, buf: *mut stat) -> c_int;
+    pub fn close(fd: c_int) -> c_int;
+    pub fn fork() -> pid_t;
+    pub fn waitpid(pid: pid_t, status: *mut c_int, options: c_int) -> pid_t;
+    pub fn kill(pid: pid_t, sig: c_int) -> c_int;
+    pub fn getpid() -> pid_t;
+    pub fn _exit(status: c_int) -> !;
+    pub fn usleep(usec: c_uint) -> c_int;
+}
+
+/// `WIFEXITED` / `WEXITSTATUS` / `WIFSIGNALED` / `WTERMSIG` as functions,
+/// matching the libc crate's API shape.
+#[allow(non_snake_case)]
+pub fn WIFEXITED(status: c_int) -> bool {
+    (status & 0x7f) == 0
+}
+#[allow(non_snake_case)]
+pub fn WEXITSTATUS(status: c_int) -> c_int {
+    (status >> 8) & 0xff
+}
+#[allow(non_snake_case)]
+pub fn WIFSIGNALED(status: c_int) -> bool {
+    ((((status & 0x7f) + 1) as i8) >> 1) > 0
+}
+#[allow(non_snake_case)]
+pub fn WTERMSIG(status: c_int) -> c_int {
+    status & 0x7f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stat_layout_matches_kernel() {
+        // If the struct layout were wrong, st_size would read garbage.
+        assert_eq!(std::mem::size_of::<stat>(), 144);
+        let f = std::fs::File::open("/proc/self/exe").unwrap();
+        use std::os::unix::io::AsRawFd;
+        let mut st: stat = unsafe { std::mem::zeroed() };
+        let rc = unsafe { fstat(f.as_raw_fd(), &mut st) };
+        assert_eq!(rc, 0);
+        let meta = f.metadata().unwrap();
+        assert_eq!(st.st_size as u64, meta.len());
+    }
+
+    #[test]
+    fn shm_open_unlink_roundtrip() {
+        let name =
+            std::ffi::CString::new(format!("/libc_shim_test_{}", std::process::id())).unwrap();
+        let fd = unsafe { shm_open(name.as_ptr(), O_CREAT | O_EXCL | O_RDWR, 0o600) };
+        assert!(fd >= 0, "shm_open failed");
+        assert_eq!(unsafe { ftruncate(fd, 4096) }, 0);
+        assert_eq!(unsafe { close(fd) }, 0);
+        assert_eq!(unsafe { shm_unlink(name.as_ptr()) }, 0);
+    }
+}

@@ -135,6 +135,28 @@ impl DiskBackup {
         for row in rows {
             write_record(row, &mut buf);
         }
+        match scuba_faults::check("diskstore::append") {
+            Some(scuba_faults::Fault::ShortWrite(n)) => {
+                // A torn append: part of the batch reaches the log, then
+                // the write fails — the §4.1 crash shape the record CRCs
+                // exist to detect.
+                let n = n.min(buf.len());
+                w.write_all(&buf[..n])
+                    .map_err(|e| DiskError::io(&path, e))?;
+                self.dirty_bytes += n as u64;
+                return Err(DiskError::Io {
+                    path,
+                    source: std::io::Error::other("injected fault at 'diskstore::append'"),
+                });
+            }
+            Some(_) => {
+                return Err(DiskError::Io {
+                    path,
+                    source: std::io::Error::other("injected fault at 'diskstore::append'"),
+                });
+            }
+            None => {}
+        }
         w.write_all(&buf).map_err(|e| DiskError::io(&path, e))?;
         self.dirty_bytes += buf.len() as u64;
         Ok(())
@@ -144,6 +166,12 @@ impl DiskBackup {
     /// pending synchronization with the data on disk" (§4.1). Returns the
     /// number of dirty bytes made durable.
     pub fn sync(&mut self) -> DiskResult<u64> {
+        if scuba_faults::check("diskstore::sync").is_some() {
+            return Err(DiskError::Io {
+                path: self.root.clone(),
+                source: std::io::Error::other("injected fault at 'diskstore::sync'"),
+            });
+        }
         for (table, w) in &mut self.writers {
             let path = self.root.join(format!(
                 "{}.{ROWS_EXT}",

@@ -59,6 +59,17 @@ pub fn write_record(row: &Row, out: &mut Vec<u8>) {
     }
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    // Failpoint producing a crash-torn record: full header, truncated
+    // payload — what a power cut mid-append leaves in the log. Recovery
+    // must detect it by CRC and drop exactly this record.
+    if let Some(fault) = scuba_faults::check("diskstore::rowformat::record") {
+        let keep = match fault {
+            scuba_faults::Fault::ShortWrite(n) => n.min(payload.len()),
+            scuba_faults::Fault::Error => 0,
+        };
+        out.extend_from_slice(&payload[..keep]);
+        return;
+    }
     out.extend_from_slice(&payload);
 }
 

@@ -1,0 +1,551 @@
+//! Deterministic fault injection for the restart protocol.
+//!
+//! The paper's protocol is a chain of "what if we die *here*?" arguments:
+//! between writing segments and setting the valid bit, between clearing
+//! the valid bit and consuming the data, mid-chunk, mid-sync. This crate
+//! lets tests stand on each of those points deliberately. Production paths
+//! call [`check`] at named **sites**; tests arm a site with a **plan**
+//! (what to do, and on which hit) and the next matching call fails there.
+//!
+//! # Zero cost when disabled
+//!
+//! The whole registry sits behind one `AtomicU8`. When no site is armed —
+//! every production run — [`check`] is a single relaxed load and a
+//! predictable branch; no lock, no hash, no string work. The benchmarks
+//! (`benches/shutdown.rs`, `benches/restart_time.rs`) run with the
+//! registry disarmed and see exactly that fast path.
+//!
+//! # Plans
+//!
+//! A plan is `EFFECT[TRIGGER]`:
+//!
+//! | effect       | meaning                                                |
+//! |--------------|--------------------------------------------------------|
+//! | `error`      | [`check`] returns [`Fault::Error`]; the caller fails   |
+//! | `short=N`    | [`check`] returns [`Fault::ShortWrite`]`(N)`           |
+//! | `delay=MS`   | [`check`] sleeps `MS` milliseconds, then returns `None`|
+//! | `panic`      | [`check`] panics                                       |
+//! | `abort`      | [`check`] aborts the process (SIGABRT, no unwinding)   |
+//!
+//! | trigger      | fires on…                                              |
+//! |--------------|--------------------------------------------------------|
+//! | *(none)*     | every hit                                              |
+//! | `@N`         | exactly the Nth hit (1-based), once                    |
+//! | `%K`         | every Kth hit                                          |
+//! | `~P:SEED`    | each hit independently with probability `P`, from a    |
+//! |              | seeded deterministic stream                            |
+//!
+//! Examples: `error@3` (fail the third hit), `delay=200` (slow every hit
+//! by 200 ms), `short=16%2` (truncate every second write to 16 bytes).
+//!
+//! # Cross-process configuration
+//!
+//! `SCUBA_FAULTS="site=plan;site2=plan"` in the environment arms sites at
+//! first use, so a re-exec'd or forked child can be wounded without any
+//! code path to reach into it.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, RwLock};
+use std::time::Duration;
+
+/// Environment variable parsed on first [`check`]/[`configure`] to arm
+/// sites in a child process.
+pub const ENV_VAR: &str = "SCUBA_FAULTS";
+
+const UNINIT: u8 = 0;
+const OFF: u8 = 1;
+const ON: u8 = 2;
+
+/// Tri-state arm flag. `UNINIT` until the first check/configure (so the
+/// env var is parsed lazily), then `OFF` whenever the registry is empty
+/// and `ON` whenever it is not. The disabled-path cost of [`check`] is
+/// exactly one relaxed load of this flag.
+static ARMED: AtomicU8 = AtomicU8::new(UNINIT);
+
+/// What an armed site tells its caller to do. Only the effects the caller
+/// must act on are returned; `delay`/`panic`/`abort` are executed inside
+/// [`check`] itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Fail the operation with an injected error.
+    Error,
+    /// Perform only the first `N` bytes of the write, then fail.
+    ShortWrite(usize),
+}
+
+/// What to do when a site's trigger fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Effect {
+    /// Return [`Fault::Error`].
+    Error,
+    /// Return [`Fault::ShortWrite`] with this byte budget.
+    ShortWrite(usize),
+    /// Sleep this many milliseconds, then proceed normally.
+    Delay(u64),
+    /// Panic at the site.
+    Panic,
+    /// Abort the process at the site.
+    Abort,
+}
+
+/// When a site's effect applies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Trigger {
+    /// Every hit.
+    Always,
+    /// Exactly the Nth hit (1-based), once.
+    OnceAt(u64),
+    /// Every Kth hit.
+    Every(u64),
+    /// Each hit independently with this probability, from a stream seeded
+    /// with the given value (deterministic across runs).
+    Random(f64, u64),
+}
+
+/// A parsed fault plan: an effect plus the trigger deciding which hits it
+/// applies to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Plan {
+    pub effect: Effect,
+    pub trigger: Trigger,
+}
+
+struct Site {
+    plan: Plan,
+    /// Times [`check`] reached this site while armed.
+    hits: AtomicU64,
+    /// Times the trigger fired.
+    triggered: AtomicU64,
+    /// splitmix64 state for `Random` triggers.
+    rng: AtomicU64,
+}
+
+fn registry() -> &'static RwLock<HashMap<String, Site>> {
+    static REG: OnceLock<RwLock<HashMap<String, Site>>> = OnceLock::new();
+    REG.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+/// Parse a plan string (`error`, `short=16@2`, `delay=200`, `panic%3`,
+/// `error~0.25:42`, …).
+pub fn parse_plan(spec: &str) -> Result<Plan, String> {
+    let spec = spec.trim();
+    // Split the trigger suffix off first; '@' / '%' / '~' cannot appear in
+    // an effect.
+    let (effect_str, trigger) = if let Some((e, n)) = spec.split_once('@') {
+        let n: u64 = n
+            .parse()
+            .map_err(|_| format!("bad @N trigger in {spec:?}"))?;
+        if n == 0 {
+            return Err(format!("@N trigger is 1-based, got 0 in {spec:?}"));
+        }
+        (e, Trigger::OnceAt(n))
+    } else if let Some((e, k)) = spec.split_once('%') {
+        let k: u64 = k
+            .parse()
+            .map_err(|_| format!("bad %K trigger in {spec:?}"))?;
+        if k == 0 {
+            return Err(format!("%K trigger needs K >= 1 in {spec:?}"));
+        }
+        (e, Trigger::Every(k))
+    } else if let Some((e, ps)) = spec.split_once('~') {
+        let (p, seed) = ps
+            .split_once(':')
+            .ok_or_else(|| format!("~P trigger needs ~P:SEED in {spec:?}"))?;
+        let p: f64 = p
+            .parse()
+            .map_err(|_| format!("bad probability in {spec:?}"))?;
+        if !(0.0..=1.0).contains(&p) {
+            return Err(format!("probability out of [0,1] in {spec:?}"));
+        }
+        let seed: u64 = seed.parse().map_err(|_| format!("bad seed in {spec:?}"))?;
+        (e, Trigger::Random(p, seed))
+    } else {
+        (spec, Trigger::Always)
+    };
+
+    let effect = match effect_str {
+        "error" => Effect::Error,
+        "panic" => Effect::Panic,
+        "abort" => Effect::Abort,
+        _ => {
+            if let Some(ms) = effect_str.strip_prefix("delay=") {
+                Effect::Delay(
+                    ms.parse()
+                        .map_err(|_| format!("bad delay millis in {spec:?}"))?,
+                )
+            } else if let Some(n) = effect_str.strip_prefix("short=") {
+                Effect::ShortWrite(
+                    n.parse()
+                        .map_err(|_| format!("bad short-write length in {spec:?}"))?,
+                )
+            } else {
+                return Err(format!("unknown effect {effect_str:?} in {spec:?}"));
+            }
+        }
+    };
+    Ok(Plan { effect, trigger })
+}
+
+/// Lazily parse [`ENV_VAR`] exactly once, transitioning `ARMED` out of
+/// `UNINIT`. All registry mutators call this first so explicit
+/// configuration composes with env-derived sites.
+fn ensure_init() {
+    if ARMED.load(Ordering::Relaxed) != UNINIT {
+        return;
+    }
+    let mut reg = lock_write();
+    // Re-check under the lock: another thread may have initialized.
+    if ARMED.load(Ordering::Relaxed) != UNINIT {
+        return;
+    }
+    if let Ok(spec) = std::env::var(ENV_VAR) {
+        for entry in spec.split(';').map(str::trim).filter(|e| !e.is_empty()) {
+            let Some((site, plan_str)) = entry.split_once('=') else {
+                eprintln!("scuba-faults: ignoring malformed {ENV_VAR} entry {entry:?}");
+                continue;
+            };
+            match parse_plan(plan_str) {
+                Ok(plan) => {
+                    reg.insert(site.trim().to_owned(), new_site(plan));
+                }
+                Err(e) => eprintln!("scuba-faults: ignoring {ENV_VAR} entry {entry:?}: {e}"),
+            }
+        }
+    }
+    let state = if reg.is_empty() { OFF } else { ON };
+    ARMED.store(state, Ordering::SeqCst);
+}
+
+fn new_site(plan: Plan) -> Site {
+    let seed = match plan.trigger {
+        Trigger::Random(_, seed) => seed,
+        _ => 0,
+    };
+    Site {
+        plan,
+        hits: AtomicU64::new(0),
+        triggered: AtomicU64::new(0),
+        rng: AtomicU64::new(seed),
+    }
+}
+
+fn lock_read() -> std::sync::RwLockReadGuard<'static, HashMap<String, Site>> {
+    registry().read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn lock_write() -> std::sync::RwLockWriteGuard<'static, HashMap<String, Site>> {
+    registry().write().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The production-path hook. Returns `None` (almost always, and with one
+/// relaxed atomic load when nothing is armed) or the [`Fault`] the caller
+/// must act on. `delay` plans sleep here; `panic`/`abort` plans do not
+/// return.
+#[inline]
+pub fn check(site: &str) -> Option<Fault> {
+    if ARMED.load(Ordering::Relaxed) == OFF {
+        return None;
+    }
+    check_slow(site)
+}
+
+#[cold]
+fn check_slow(site: &str) -> Option<Fault> {
+    ensure_init();
+    if ARMED.load(Ordering::Relaxed) != ON {
+        return None;
+    }
+    let effect = {
+        let reg = lock_read();
+        let s = reg.get(site)?;
+        let hit = s.hits.fetch_add(1, Ordering::SeqCst) + 1;
+        let fire = match s.plan.trigger {
+            Trigger::Always => true,
+            Trigger::OnceAt(n) => hit == n,
+            Trigger::Every(k) => hit % k == 0,
+            Trigger::Random(p, _) => unit_f64(splitmix_next(&s.rng)) < p,
+        };
+        if !fire {
+            return None;
+        }
+        s.triggered.fetch_add(1, Ordering::SeqCst);
+        s.plan.effect
+    }; // registry lock released before any blocking effect
+    match effect {
+        Effect::Error => Some(Fault::Error),
+        Effect::ShortWrite(n) => Some(Fault::ShortWrite(n)),
+        Effect::Delay(ms) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            None
+        }
+        Effect::Panic => panic!("injected panic at fault site {site:?}"),
+        Effect::Abort => {
+            eprintln!("scuba-faults: injected abort at fault site {site:?}");
+            std::process::abort();
+        }
+    }
+}
+
+fn splitmix_next(state: &AtomicU64) -> u64 {
+    let x = state
+        .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::SeqCst)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Arm `site` with a plan string. Replaces any existing plan (and resets
+/// the site's counters).
+pub fn configure(site: &str, plan: &str) -> Result<(), String> {
+    configure_plan(site, parse_plan(plan)?);
+    Ok(())
+}
+
+/// Arm `site` with an already-parsed [`Plan`].
+pub fn configure_plan(site: &str, plan: Plan) {
+    ensure_init();
+    let mut reg = lock_write();
+    reg.insert(site.to_owned(), new_site(plan));
+    ARMED.store(ON, Ordering::SeqCst);
+}
+
+/// Disarm one site. The fast path goes back to a single load once the
+/// registry is empty.
+pub fn clear(site: &str) {
+    ensure_init();
+    let mut reg = lock_write();
+    reg.remove(site);
+    if reg.is_empty() {
+        ARMED.store(OFF, Ordering::SeqCst);
+    }
+}
+
+/// Disarm every site.
+pub fn clear_all() {
+    ensure_init();
+    let mut reg = lock_write();
+    reg.clear();
+    ARMED.store(OFF, Ordering::SeqCst);
+}
+
+/// Times [`check`] reached `site` while armed (0 if never configured).
+pub fn hits(site: &str) -> u64 {
+    ensure_init();
+    lock_read()
+        .get(site)
+        .map(|s| s.hits.load(Ordering::SeqCst))
+        .unwrap_or(0)
+}
+
+/// Times `site`'s trigger fired (0 if never configured).
+pub fn triggered(site: &str) -> u64 {
+    ensure_init();
+    lock_read()
+        .get(site)
+        .map(|s| s.triggered.load(Ordering::SeqCst))
+        .unwrap_or(0)
+}
+
+/// True if any site is currently armed.
+pub fn any_armed() -> bool {
+    ensure_init();
+    ARMED.load(Ordering::SeqCst) == ON
+}
+
+/// RAII guard from [`guard`], disarming its site on drop (including on
+/// test panic).
+#[derive(Debug)]
+pub struct FaultGuard {
+    site: String,
+}
+
+impl FaultGuard {
+    /// The guarded site name.
+    pub fn site(&self) -> &str {
+        &self.site
+    }
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        clear(&self.site);
+    }
+}
+
+/// Arm `site` and return a guard that disarms it when dropped.
+pub fn guard(site: &str, plan: &str) -> Result<FaultGuard, String> {
+    configure(site, plan)?;
+    Ok(FaultGuard {
+        site: site.to_owned(),
+    })
+}
+
+/// Serialize tests that arm failpoints: the registry is process-global, so
+/// concurrently running `#[test]`s would otherwise wound each other. Hold
+/// the returned guard for the duration of the test.
+pub fn exclusive() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_check_is_none_and_counts_nothing() {
+        let _x = exclusive();
+        clear_all();
+        assert_eq!(check("nowhere"), None);
+        assert_eq!(hits("nowhere"), 0);
+        assert!(!any_armed());
+    }
+
+    #[test]
+    fn always_error_fires_every_hit() {
+        let _x = exclusive();
+        clear_all();
+        let _g = guard("t::always", "error").unwrap();
+        for _ in 0..5 {
+            assert_eq!(check("t::always"), Some(Fault::Error));
+        }
+        assert_eq!(hits("t::always"), 5);
+        assert_eq!(triggered("t::always"), 5);
+    }
+
+    #[test]
+    fn once_at_fires_exactly_nth_hit() {
+        let _x = exclusive();
+        clear_all();
+        let _g = guard("t::once", "error@3").unwrap();
+        assert_eq!(check("t::once"), None);
+        assert_eq!(check("t::once"), None);
+        assert_eq!(check("t::once"), Some(Fault::Error));
+        assert_eq!(check("t::once"), None);
+        assert_eq!(triggered("t::once"), 1);
+    }
+
+    #[test]
+    fn every_k_fires_periodically() {
+        let _x = exclusive();
+        clear_all();
+        let _g = guard("t::every", "short=7%2").unwrap();
+        let fired: Vec<bool> = (0..6).map(|_| check("t::every").is_some()).collect();
+        assert_eq!(fired, [false, true, false, true, false, true]);
+        assert_eq!(check("t::every"), None);
+        assert_eq!(check("t::every"), Some(Fault::ShortWrite(7)));
+    }
+
+    #[test]
+    fn random_trigger_is_deterministic_and_calibrated() {
+        let _x = exclusive();
+        clear_all();
+        let run = || -> Vec<bool> {
+            let _g = guard("t::rand", "error~0.3:42").unwrap();
+            (0..1000).map(|_| check("t::rand").is_some()).collect()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed must give the same firing sequence");
+        let fired = a.iter().filter(|&&f| f).count();
+        assert!((200..400).contains(&fired), "fired {fired}/1000 at p=0.3");
+    }
+
+    #[test]
+    fn delay_sleeps_then_passes() {
+        let _x = exclusive();
+        clear_all();
+        let _g = guard("t::delay", "delay=30").unwrap();
+        let start = std::time::Instant::now();
+        assert_eq!(check("t::delay"), None);
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn guard_drop_disarms() {
+        let _x = exclusive();
+        clear_all();
+        {
+            let _g = guard("t::guarded", "error").unwrap();
+            assert_eq!(check("t::guarded"), Some(Fault::Error));
+        }
+        assert_eq!(check("t::guarded"), None);
+        assert!(!any_armed());
+    }
+
+    #[test]
+    fn clear_site_leaves_others_armed() {
+        let _x = exclusive();
+        clear_all();
+        configure("t::a", "error").unwrap();
+        configure("t::b", "error").unwrap();
+        clear("t::a");
+        assert_eq!(check("t::a"), None);
+        assert_eq!(check("t::b"), Some(Fault::Error));
+        assert!(any_armed());
+        clear_all();
+    }
+
+    #[test]
+    fn plan_parse_errors() {
+        assert!(parse_plan("bogus").is_err());
+        assert!(parse_plan("error@0").is_err());
+        assert!(parse_plan("error%0").is_err());
+        assert!(parse_plan("error~2.0:1").is_err());
+        assert!(parse_plan("error~0.5").is_err());
+        assert!(parse_plan("delay=xyz").is_err());
+        assert!(parse_plan("short=").is_err());
+        assert!(configure("t::bad", "nope").is_err());
+    }
+
+    #[test]
+    fn plan_parse_round_trips() {
+        assert_eq!(
+            parse_plan("error").unwrap(),
+            Plan {
+                effect: Effect::Error,
+                trigger: Trigger::Always
+            }
+        );
+        assert_eq!(
+            parse_plan("short=16@2").unwrap(),
+            Plan {
+                effect: Effect::ShortWrite(16),
+                trigger: Trigger::OnceAt(2)
+            }
+        );
+        assert_eq!(
+            parse_plan("delay=250%3").unwrap(),
+            Plan {
+                effect: Effect::Delay(250),
+                trigger: Trigger::Every(3)
+            }
+        );
+        assert_eq!(
+            parse_plan("abort~0.5:7").unwrap(),
+            Plan {
+                effect: Effect::Abort,
+                trigger: Trigger::Random(0.5, 7)
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "injected panic at fault site")]
+    fn panic_effect_panics() {
+        let _x = exclusive();
+        clear_all();
+        // Configure without a guard: the panic unwinds through this frame,
+        // so clean up via the poisoned-lock-tolerant clear in the harness
+        // of the next test (clear_all at each test head).
+        configure("t::panic", "panic").unwrap();
+        let _ = check("t::panic");
+    }
+}

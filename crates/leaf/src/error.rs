@@ -29,6 +29,12 @@ pub enum LeafError {
     /// Backup protocol failure (wraps the message; the typed cause is in
     /// the log).
     Backup(String),
+    /// A fault-injection site fired at a lifecycle phase (tests only; the
+    /// production registry is never armed).
+    Injected {
+        /// The fault site that fired.
+        site: &'static str,
+    },
 }
 
 impl fmt::Display for LeafError {
@@ -42,6 +48,7 @@ impl fmt::Display for LeafError {
             LeafError::Shm(e) => write!(f, "shared memory error: {e}"),
             LeafError::State(e) => write!(f, "restart state error: {e}"),
             LeafError::Backup(m) => write!(f, "backup failed: {m}"),
+            LeafError::Injected { site } => write!(f, "injected fault at {site:?}"),
         }
     }
 }

@@ -16,6 +16,17 @@ use crate::config::LeafConfig;
 use crate::error::{LeafError, LeafResult};
 use crate::persist::LeafStore;
 
+/// Check the failpoint guarding entry into a lifecycle phase. `error`
+/// plans surface as [`LeafError::Injected`] (the caller treats the leaf as
+/// crashed); `abort` plans kill the process at the phase itself, which is
+/// how the chaos tests stand a real death on each [`LeafPhase`].
+fn phase_failpoint(site: &'static str) -> LeafResult<()> {
+    if scuba_faults::check(site).is_some() {
+        return Err(LeafError::Injected { site });
+    }
+    Ok(())
+}
+
 /// Coarse lifecycle phase of a leaf, deciding request admission (§4.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LeafPhase {
@@ -140,6 +151,7 @@ impl LeafServer {
         if server.config.shm_recovery_enabled {
             state = state.transition(LeafRestoreState::MemoryRecovery)?;
             server.phase = LeafPhase::MemoryRecovery;
+            phase_failpoint("leaf::phase::memory_recovery")?;
             match restore_from_shm(&mut server.store, &server.ns, SHM_LAYOUT_VERSION) {
                 Ok(report) => {
                     state = state.transition(LeafRestoreState::Alive)?;
@@ -175,6 +187,7 @@ impl LeafServer {
         reason: String,
     ) -> LeafResult<RecoveryOutcome> {
         self.phase = LeafPhase::DiskRecovery;
+        phase_failpoint("leaf::phase::disk_recovery")?;
         let (map, stats) = self.disk.recover(now, throttle)?;
         self.store = LeafStore::from_map(map);
         self.phase = LeafPhase::Alive;
@@ -294,6 +307,7 @@ impl LeafServer {
         // PREPARE (Figure 5(c)): reject new requests, kill deletes, wait
         // for in-flight adds/queries (synchronous here), flush to disk.
         self.phase = LeafPhase::Preparing;
+        phase_failpoint("leaf::phase::preparing")?;
         let mut table_states: Vec<(String, TableBackupState)> = self
             .store
             .map()
@@ -315,6 +329,7 @@ impl LeafServer {
         // COPY TO SHM (Figures 5(a) and 6).
         leaf_state = leaf_state.transition(LeafBackupState::CopyToShm)?;
         self.phase = LeafPhase::CopyingToShm;
+        phase_failpoint("leaf::phase::copying")?;
         for (_, st) in &mut table_states {
             *st = st.transition(TableBackupState::CopyToShm)?;
         }
@@ -324,7 +339,10 @@ impl LeafServer {
             *st = st.transition(TableBackupState::Done)?;
         }
 
-        // EXIT.
+        // EXIT. A fault here stands on the narrowest ledge: the valid bit
+        // is already committed, so a death is a *successful* shutdown and
+        // the replacement memory-restores.
+        phase_failpoint("leaf::phase::exit")?;
         leaf_state = leaf_state.transition(LeafBackupState::Exit)?;
         debug_assert_eq!(leaf_state, LeafBackupState::Exit);
         self.phase = LeafPhase::Down;

@@ -100,6 +100,21 @@ struct FramingSink<'a> {
 
 impl ChunkSink for FramingSink<'_> {
     fn put_chunk(&mut self, chunk: &[u8]) -> Result<(), ShmError> {
+        match scuba_faults::check("restart::backup::chunk") {
+            Some(scuba_faults::Fault::ShortWrite(n)) => {
+                // Write a torn frame — full header, truncated payload — the
+                // shape a crash mid-memcpy leaves behind.
+                self.writer.write_u64(chunk.len() as u64)?;
+                self.writer
+                    .write(&scuba_shmem::crc32(chunk).to_le_bytes())?;
+                self.writer.write(&chunk[..n.min(chunk.len())])?;
+                return Err(ShmError::injected("restart::backup::chunk", "failpoint"));
+            }
+            Some(_) => {
+                return Err(ShmError::injected("restart::backup::chunk", "failpoint"));
+            }
+            None => {}
+        }
         self.writer.write_u64(chunk.len() as u64)?;
         // Per-chunk CRC: the protocol verifies payload integrity itself
         // rather than trusting every store to (the column store's RBC
@@ -138,7 +153,18 @@ pub fn backup_to_shm<S: ShmPersistable>(
     let _ = ShmSegment::unlink(&ns.metadata_name());
     let mut meta = LeafMetadata::create(ns, layout_version)?;
 
-    let result = copy_units(store, ns, &mut meta, &unit_names, &mut peak_footprint);
+    let result =
+        copy_units(store, ns, &mut meta, &unit_names, &mut peak_footprint).and_then(|ok| {
+            // The instant before commit: every segment written and synced,
+            // the valid bit still false. Dying here must cost only speed.
+            if scuba_faults::check("restart::backup::commit").is_some() {
+                return Err(BackupError::Shm(ShmError::injected(
+                    "restart::backup::commit",
+                    "failpoint",
+                )));
+            }
+            Ok(ok)
+        });
     match result {
         Ok((chunks, bytes_copied, segment_names)) => {
             // Commit point: everything is in shared memory and synced.
@@ -179,6 +205,13 @@ fn copy_units<S: ShmPersistable>(
     let mut segment_names = Vec::with_capacity(unit_names.len());
 
     for (index, unit) in unit_names.iter().enumerate() {
+        // Between units: some tables fully copied, others still heap-only.
+        if scuba_faults::check("restart::backup::unit").is_some() {
+            return Err(BackupError::Shm(ShmError::injected(
+                "restart::backup::unit",
+                "failpoint",
+            )));
+        }
         // Figure 6: estimate size of table; create table segment; add the
         // segment to the leaf metadata.
         let estimate = store.estimate_unit_size(unit);

@@ -101,6 +101,9 @@ impl ChunkSource for FramingSource<'_> {
         if self.done {
             return Ok(None);
         }
+        if scuba_faults::check("restart::restore::chunk").is_some() {
+            return Err(ShmError::injected("restart::restore::chunk", "failpoint"));
+        }
         let len = self.reader.read_u64()?;
         if len == END_SENTINEL {
             self.done = true;
@@ -178,11 +181,33 @@ pub fn restore_from_shm<S: ShmPersistable>(
         ));
     }
 
+    // Failure here leaves the valid bit true. A *death* (abort/SIGKILL
+    // plans) preserves the segments for the next process to memory-restore;
+    // an in-process error means this process will fall back to disk, and
+    // §4.3 requires the fallback to free the shared memory first.
+    if scuba_faults::check("restart::restore::before_invalidate").is_some() {
+        cleanup(ns, &contents.segment_names);
+        return Err(fallback(
+            "injected fault before valid-bit clear".to_owned(),
+            true,
+        ));
+    }
+
     // Figure 7 line 2: set the valid bit to false *before* consuming, so
     // an interruption re-runs as disk recovery.
     if let Err(e) = meta.set_valid(false) {
         cleanup(ns, &contents.segment_names);
         return Err(fallback(format!("could not clear valid bit: {e}"), true));
+    }
+
+    // A death here — valid bit cleared, nothing consumed — must send the
+    // next attempt to disk even though every segment is intact.
+    if scuba_faults::check("restart::restore::after_invalidate").is_some() {
+        cleanup(ns, &contents.segment_names);
+        return Err(fallback(
+            "injected fault after valid-bit clear".to_owned(),
+            true,
+        ));
     }
 
     match copy_units_back(store, &contents.segment_names) {

@@ -39,6 +39,16 @@ impl ShmError {
             source: io::Error::last_os_error(),
         }
     }
+
+    /// An error standing in for a failure injected at a fault site; `call`
+    /// is the site name so the message points back at the plan that fired.
+    pub fn injected(call: &'static str, name: &str) -> ShmError {
+        ShmError::Syscall {
+            call,
+            name: name.to_owned(),
+            source: io::Error::other("injected fault"),
+        }
+    }
 }
 
 impl fmt::Display for ShmError {

@@ -166,6 +166,14 @@ impl LeafMetadata {
     /// after, ordering the data before the commit.
     pub fn set_valid(&mut self, valid: bool) -> ShmResult<()> {
         self.segment.sync()?;
+        // The window the valid bit exists to protect: segments are written
+        // and synced, the bit is not yet flipped.
+        if scuba_faults::check("shmem::metadata::commit").is_some() {
+            return Err(ShmError::injected(
+                "shmem::metadata::commit",
+                self.segment.name(),
+            ));
+        }
         let word = (valid as u32).to_le_bytes();
         self.segment.as_mut_slice()[VALID_OFFSET..VALID_OFFSET + 4].copy_from_slice(&word);
         self.segment.sync()

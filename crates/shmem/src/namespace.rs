@@ -60,16 +60,46 @@ impl ShmNamespace {
         format!("/{}_leaf{}_t{}", self.prefix, self.leaf_id, index)
     }
 
-    /// Unlink the metadata segment and every table segment listed in it
-    /// (best effort), plus any segments matching the name scheme up to
-    /// `max_tables`. Used on fallback-to-disk ("frees any shared memory in
-    /// use", §4.3) and by tests.
+    /// Unlink the metadata segment and every table segment this leaf may
+    /// have left behind. Used on fallback-to-disk ("frees any shared
+    /// memory in use", §4.3) and by tests. Returns how many names were
+    /// actually removed.
+    ///
+    /// The sweep is three-layered, most-authoritative first:
+    ///
+    /// 1. the segment names listed in the metadata registry, when it is
+    ///    present and readable — these are exact, even past `max_tables`;
+    /// 2. a contiguous walk of the deterministic name scheme from index 0,
+    ///    which catches segments created before they were registered;
+    /// 3. a capped `0..max_tables` fallback for non-contiguous leftovers
+    ///    (e.g. `t1` orphaned after `t0` was already removed).
     pub fn unlink_all(&self, max_tables: usize) -> usize {
         let mut removed = 0;
+        // Layer 1: read the registry before destroying it. A missing or
+        // corrupt registry just means the later layers do the work.
+        let listed = crate::metadata::LeafMetadata::open(self)
+            .ok()
+            .and_then(|meta| meta.read().ok())
+            .map(|contents| contents.segment_names)
+            .unwrap_or_default();
+        for name in &listed {
+            if ShmSegment::unlink(name).unwrap_or(false) {
+                removed += 1;
+            }
+        }
         if ShmSegment::unlink(&self.metadata_name()).unwrap_or(false) {
             removed += 1;
         }
-        for i in 0..max_tables {
+        // Layer 2: contiguous sweep from 0.
+        let mut index = 0;
+        while ShmSegment::exists(&self.table_segment_name(index)) {
+            if ShmSegment::unlink(&self.table_segment_name(index)).unwrap_or(false) {
+                removed += 1;
+            }
+            index += 1;
+        }
+        // Layer 3: capped fallback beyond the contiguous run.
+        for i in index..max_tables {
             if ShmSegment::unlink(&self.table_segment_name(i)).unwrap_or(false) {
                 removed += 1;
             }
@@ -112,5 +142,32 @@ mod tests {
         assert_eq!(ns.unlink_all(4), 2);
         assert!(!ShmSegment::exists(&ns.metadata_name()));
         assert_eq!(ns.unlink_all(4), 0);
+    }
+
+    #[test]
+    fn unlink_all_reads_registry_beyond_cap() {
+        use crate::metadata::LeafMetadata;
+        let ns = ShmNamespace::new(&format!("swpreg{}", std::process::id()), 8).unwrap();
+        // Register a segment far past the cap: only the registry knows it.
+        let far = ns.table_segment_name(9);
+        let mut meta = LeafMetadata::create(&ns, 1).unwrap();
+        let _t = ShmSegment::create(&far, 16).unwrap();
+        meta.add_segment(&far).unwrap();
+        drop(meta);
+        assert_eq!(ns.unlink_all(2), 2); // metadata + t9, despite cap 2
+        assert!(!ShmSegment::exists(&far));
+        assert!(!ShmSegment::exists(&ns.metadata_name()));
+    }
+
+    #[test]
+    fn unlink_all_cap_fallback_catches_noncontiguous_orphans() {
+        let ns = ShmNamespace::new(&format!("swporph{}", std::process::id()), 9).unwrap();
+        // No metadata, no t0 — t2 is a non-contiguous orphan only the
+        // capped fallback can find.
+        let _t = ShmSegment::create(&ns.table_segment_name(2), 16).unwrap();
+        assert_eq!(ns.unlink_all(1), 0); // cap too small: missed
+        assert!(ShmSegment::exists(&ns.table_segment_name(2)));
+        assert_eq!(ns.unlink_all(4), 1);
+        assert!(!ShmSegment::exists(&ns.table_segment_name(2)));
     }
 }

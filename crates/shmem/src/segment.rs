@@ -23,8 +23,58 @@
 
 use std::ffi::CString;
 use std::ptr::NonNull;
+use std::time::Duration;
 
 use crate::error::{ShmError, ShmResult};
+
+/// Attempts (initial try + retries) for syscalls that can fail transiently
+/// with `EINTR`/`EAGAIN` — e.g. `shm_open` interrupted by a signal during
+/// a rollover's SIGTERM window.
+const RETRY_ATTEMPTS: u32 = 5;
+/// First backoff; doubles per retry, capped at ~1 ms so a persistent
+/// failure still surfaces in microseconds, not seconds.
+const RETRY_BASE: Duration = Duration::from_micros(10);
+
+fn is_transient(err: &std::io::Error) -> bool {
+    matches!(
+        err.raw_os_error(),
+        Some(code) if code == libc::EINTR || code == libc::EAGAIN
+    )
+}
+
+/// Run `op`, retrying transient `EINTR`/`EAGAIN` failures with bounded
+/// exponential backoff. Other errors, and transient errors persisting past
+/// [`RETRY_ATTEMPTS`], surface as a clean [`ShmError::Syscall`]. The
+/// `site` failpoint injects synthetic `EINTR`s ahead of the real call, so
+/// tests can prove both the retry-then-succeed and the give-up path.
+fn retry_transient<T>(
+    site: &str,
+    call: &'static str,
+    name: &str,
+    mut op: impl FnMut() -> Result<T, std::io::Error>,
+) -> ShmResult<T> {
+    let mut backoff = RETRY_BASE;
+    for attempt in 1..=RETRY_ATTEMPTS {
+        let err = if scuba_faults::check(site).is_some() {
+            std::io::Error::from_raw_os_error(libc::EINTR)
+        } else {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) => e,
+            }
+        };
+        if !is_transient(&err) || attempt == RETRY_ATTEMPTS {
+            return Err(ShmError::Syscall {
+                call,
+                name: name.to_owned(),
+                source: err,
+            });
+        }
+        std::thread::sleep(backoff);
+        backoff = (backoff * 2).min(Duration::from_millis(1));
+    }
+    unreachable!("loop returns on success or on the final attempt's error")
+}
 
 /// An open, mapped shared-memory segment.
 #[derive(Debug)]
@@ -54,28 +104,42 @@ impl ShmSegment {
     /// (`O_EXCL`) — shutdown is expected to have cleaned up or the caller
     /// to have unlinked stale segments first.
     pub fn create(name: &str, size: usize) -> ShmResult<ShmSegment> {
-        let cname = validate_name(name)?;
-        let fd = unsafe {
-            libc::shm_open(
-                cname.as_ptr(),
-                libc::O_CREAT | libc::O_EXCL | libc::O_RDWR,
-                0o600,
-            )
-        };
-        if fd < 0 {
-            return Err(ShmError::syscall("shm_open", name));
+        if scuba_faults::check("shmem::segment::create").is_some() {
+            return Err(ShmError::injected("shmem::segment::create", name));
         }
+        let cname = validate_name(name)?;
+        let fd = retry_transient("shmem::segment::shm_open", "shm_open", name, || {
+            let fd = unsafe {
+                libc::shm_open(
+                    cname.as_ptr(),
+                    libc::O_CREAT | libc::O_EXCL | libc::O_RDWR,
+                    0o600,
+                )
+            };
+            if fd < 0 {
+                Err(std::io::Error::last_os_error())
+            } else {
+                Ok(fd)
+            }
+        })?;
         let seg = Self::finish_open(name, fd, size, true)?;
         Ok(seg)
     }
 
     /// Open an existing segment, mapping its current size.
     pub fn open(name: &str) -> ShmResult<ShmSegment> {
-        let cname = validate_name(name)?;
-        let fd = unsafe { libc::shm_open(cname.as_ptr(), libc::O_RDWR, 0o600) };
-        if fd < 0 {
-            return Err(ShmError::syscall("shm_open", name));
+        if scuba_faults::check("shmem::segment::open").is_some() {
+            return Err(ShmError::injected("shmem::segment::open", name));
         }
+        let cname = validate_name(name)?;
+        let fd = retry_transient("shmem::segment::shm_open", "shm_open", name, || {
+            let fd = unsafe { libc::shm_open(cname.as_ptr(), libc::O_RDWR, 0o600) };
+            if fd < 0 {
+                Err(std::io::Error::last_os_error())
+            } else {
+                Ok(fd)
+            }
+        })?;
         let mut stat: libc::stat = unsafe { std::mem::zeroed() };
         if unsafe { libc::fstat(fd, &mut stat) } != 0 {
             let err = ShmError::syscall("fstat", name);
@@ -91,14 +155,22 @@ impl ShmSegment {
         size: usize,
         truncate: bool,
     ) -> ShmResult<ShmSegment> {
-        if truncate && unsafe { libc::ftruncate(fd, size as libc::off_t) } != 0 {
-            let err = ShmError::syscall("ftruncate", name);
-            unsafe {
-                libc::close(fd);
+        if truncate {
+            let grown = retry_transient("shmem::segment::ftruncate", "ftruncate", name, || {
+                if unsafe { libc::ftruncate(fd, size as libc::off_t) } != 0 {
+                    Err(std::io::Error::last_os_error())
+                } else {
+                    Ok(())
+                }
+            });
+            if let Err(err) = grown {
+                unsafe {
+                    libc::close(fd);
+                }
+                // A failed create should not leave the name behind.
+                let _ = Self::unlink(name);
+                return Err(err);
             }
-            // A failed create should not leave the name behind.
-            let _ = Self::unlink(name);
-            return Err(err);
         }
         let map_len = size.max(1); // mmap rejects length 0
         let ptr = unsafe {
@@ -158,10 +230,18 @@ impl ShmSegment {
         if new_size == self.len {
             return Ok(());
         }
-        self.unmap();
-        if unsafe { libc::ftruncate(self.fd, new_size as libc::off_t) } != 0 {
-            return Err(ShmError::syscall("ftruncate", &self.name));
+        if scuba_faults::check("shmem::segment::resize").is_some() {
+            return Err(ShmError::injected("shmem::segment::resize", &self.name));
         }
+        self.unmap();
+        let fd = self.fd;
+        retry_transient("shmem::segment::ftruncate", "ftruncate", &self.name, || {
+            if unsafe { libc::ftruncate(fd, new_size as libc::off_t) } != 0 {
+                Err(std::io::Error::last_os_error())
+            } else {
+                Ok(())
+            }
+        })?;
         let map_len = new_size.max(1);
         let ptr = unsafe {
             libc::mmap(
@@ -188,17 +268,18 @@ impl ShmSegment {
         if self.len == 0 {
             return Ok(());
         }
-        let rc = unsafe {
-            libc::msync(
-                self.ptr.as_ptr() as *mut libc::c_void,
-                self.len,
-                libc::MS_SYNC,
-            )
-        };
-        if rc != 0 {
-            return Err(ShmError::syscall("msync", &self.name));
+        if scuba_faults::check("shmem::segment::sync").is_some() {
+            return Err(ShmError::injected("shmem::segment::sync", &self.name));
         }
-        Ok(())
+        let ptr = self.ptr.as_ptr() as *mut libc::c_void;
+        let len = self.len;
+        retry_transient("shmem::segment::msync", "msync", &self.name, || {
+            if unsafe { libc::msync(ptr, len, libc::MS_SYNC) } != 0 {
+                Err(std::io::Error::last_os_error())
+            } else {
+                Ok(())
+            }
+        })
     }
 
     /// Make the mapping read-only (`mprotect(PROT_READ)`). §3 lists
@@ -244,6 +325,9 @@ impl ShmSegment {
                 len,
                 size: self.len,
             });
+        }
+        if scuba_faults::check("shmem::segment::punch_hole").is_some() {
+            return Err(ShmError::injected("shmem::segment::punch_hole", &self.name));
         }
         let rc = unsafe {
             libc::fallocate(

@@ -1,0 +1,118 @@
+//! Failpoint-driven tests for the segment layer: transient EINTR/EAGAIN
+//! retry behavior and the hard failure sites.
+//!
+//! These live in their own test binary (not the unit tests) because armed
+//! failpoints are process-global: a site armed here must not be able to
+//! wound an unrelated concurrently-running segment test. Every test takes
+//! `scuba_faults::exclusive()` so they also serialize among themselves.
+
+use scuba_shmem::{ShmError, ShmSegment};
+
+fn unique_name(tag: &str) -> String {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    format!(
+        "/scuba_fretry_{}_{}_{}",
+        tag,
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    )
+}
+
+/// Unlinks the named segment when dropped, even on test panic.
+struct Cleanup(String);
+impl Drop for Cleanup {
+    fn drop(&mut self) {
+        let _ = ShmSegment::unlink(&self.0);
+    }
+}
+
+#[test]
+fn transient_eintr_is_retried_then_succeeds() {
+    let _x = scuba_faults::exclusive();
+    scuba_faults::clear_all();
+    let name = unique_name("ok");
+    let _c = Cleanup(name.clone());
+    // The first shm_open attempt gets a synthetic EINTR; the retry succeeds.
+    let _g = scuba_faults::guard("shmem::segment::shm_open", "error@1").unwrap();
+    let seg = ShmSegment::create(&name, 64).unwrap();
+    assert_eq!(seg.len(), 64);
+    assert_eq!(scuba_faults::triggered("shmem::segment::shm_open"), 1);
+    assert!(scuba_faults::hits("shmem::segment::shm_open") >= 2);
+}
+
+#[test]
+fn persistent_eintr_fails_cleanly_after_bounded_retries() {
+    let _x = scuba_faults::exclusive();
+    scuba_faults::clear_all();
+    let name = unique_name("bounded");
+    {
+        let _g = scuba_faults::guard("shmem::segment::shm_open", "error").unwrap();
+        let err = ShmSegment::create(&name, 64).unwrap_err();
+        match err {
+            ShmError::Syscall { call, source, .. } => {
+                assert_eq!(call, "shm_open");
+                assert_eq!(source.raw_os_error(), Some(libc::EINTR));
+            }
+            other => panic!("expected a syscall error, got {other:?}"),
+        }
+        // Bounded: exactly RETRY_ATTEMPTS (5) attempts, then give up.
+        assert_eq!(scuba_faults::hits("shmem::segment::shm_open"), 5);
+    }
+    // Nothing left behind, and the disarmed path works again.
+    assert!(!ShmSegment::exists(&name));
+    let _c = Cleanup(name.clone());
+    ShmSegment::create(&name, 64).unwrap();
+}
+
+#[test]
+fn transient_msync_and_ftruncate_also_retry() {
+    let _x = scuba_faults::exclusive();
+    scuba_faults::clear_all();
+    let name = unique_name("mixed");
+    let _c = Cleanup(name.clone());
+    {
+        let _g = scuba_faults::guard("shmem::segment::ftruncate", "error@1").unwrap();
+        let seg = ShmSegment::create(&name, 4096).unwrap(); // survived one EINTR
+        assert_eq!(seg.len(), 4096);
+    }
+    let seg = ShmSegment::open(&name).unwrap();
+    let _g = scuba_faults::guard("shmem::segment::msync", "error@1").unwrap();
+    seg.sync().unwrap(); // survived one EINTR
+    assert_eq!(scuba_faults::triggered("shmem::segment::msync"), 1);
+}
+
+#[test]
+fn hard_failpoints_cover_each_segment_operation() {
+    let _x = scuba_faults::exclusive();
+    scuba_faults::clear_all();
+    let name = unique_name("hard");
+    let _c = Cleanup(name.clone());
+    {
+        let _g = scuba_faults::guard("shmem::segment::create", "error").unwrap();
+        assert!(ShmSegment::create(&name, 4096).is_err());
+    }
+    let mut seg = ShmSegment::create(&name, 4096).unwrap();
+    {
+        let _g = scuba_faults::guard("shmem::segment::sync", "error").unwrap();
+        assert!(seg.sync().is_err());
+    }
+    {
+        let _g = scuba_faults::guard("shmem::segment::resize", "error").unwrap();
+        assert!(seg.resize(8192).is_err());
+        assert_eq!(seg.len(), 4096, "failed resize must not change the size");
+    }
+    {
+        let _g = scuba_faults::guard("shmem::segment::punch_hole", "error").unwrap();
+        assert!(seg.punch_hole(0, 4096).is_err());
+    }
+    {
+        let _g = scuba_faults::guard("shmem::segment::open", "error").unwrap();
+        assert!(ShmSegment::open(&name).is_err());
+    }
+    // All disarmed: everything works again.
+    seg.sync().unwrap();
+    seg.resize(8192).unwrap();
+    ShmSegment::open(&name).unwrap();
+    assert!(!scuba_faults::any_armed());
+}

@@ -1,0 +1,56 @@
+//! Chaos soak over the restart protocol (ISSUE acceptance gate).
+//!
+//! Seeded waves of rollover-under-fault, each asserting that the leaf comes
+//! back (memory restore or disk fallback), that everything durably synced
+//! survives with query-level fidelity, and that nothing is orphaned in
+//! `/dev/shm`.
+//!
+//! Knobs (env):
+//! * `SCUBA_CHAOS_WAVES` — wave count (default 200).
+//! * `SCUBA_CHAOS_SEED`  — wave script seed (default fixed).
+
+use scuba_cluster::chaos::{run_chaos, ChaosConfig};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+#[test]
+fn chaos_soak_over_restart_protocol() {
+    let waves = env_u64("SCUBA_CHAOS_WAVES", 200) as usize;
+    let seed = env_u64("SCUBA_CHAOS_SEED", 0xC0FF_EE00);
+    let prefix = format!("chaossoak{}", std::process::id());
+    let dir = std::env::temp_dir().join(format!("scuba_{prefix}"));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let cfg = ChaosConfig {
+        seed,
+        waves,
+        rows_per_wave: 120,
+        shm_prefix: prefix,
+        disk_root: dir.clone(),
+    };
+    let report = run_chaos(&cfg).unwrap_or_else(|violation| panic!("{violation}"));
+
+    assert_eq!(report.waves, waves, "every wave must complete");
+    // The script spans ~19 plans over 20 sites; a full-length soak must
+    // actually exercise a broad cross-section of them.
+    if waves >= 200 {
+        assert!(
+            report.distinct_sites_fired() >= 10,
+            "only {} distinct sites fired: {:?}",
+            report.distinct_sites_fired(),
+            report.fired_by_site
+        );
+        assert!(
+            report.disk_recoveries > 0 && report.memory_recoveries > 0,
+            "soak should see both recovery paths (disk={}, memory={})",
+            report.disk_recoveries,
+            report.memory_recoveries
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,93 @@
+//! Real process-death test: SIGKILL a forked child mid-`backup_to_shm` and
+//! prove the replacement process takes disk recovery with full durable
+//! fidelity — the protocol's answer to a crash at the worst moment (§4.3).
+//!
+//! The child is slowed inside the copy loop by a `delay` plan on the
+//! `restart::backup::chunk` failpoint, so the parent's SIGKILL is
+//! guaranteed to land after the backup started and before the valid bit
+//! could possibly be set. No destructor, no cleanup code, no flush runs in
+//! the child — exactly what a kill -9 during a rollover looks like.
+
+use scuba_columnstore::Row;
+use scuba_leaf::{LeafConfig, LeafServer, RecoveryOutcome};
+use scuba_query::Query;
+use scuba_shmem::{ShmNamespace, ShmSegment};
+
+const ROWS: i64 = 5000;
+
+#[test]
+fn sigkill_mid_backup_forces_disk_recovery_with_full_fidelity() {
+    let _x = scuba_faults::exclusive();
+    scuba_faults::clear_all();
+
+    let prefix = format!("pdeath{}", std::process::id());
+    let dir = std::env::temp_dir().join(format!("scuba_{prefix}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = LeafConfig::new(0, prefix.clone(), dir.clone());
+
+    // Build durable state in the parent before forking the "old process".
+    let mut server = LeafServer::new(cfg.clone()).unwrap();
+    let rows: Vec<Row> = (0..ROWS).map(|i| Row::at(i).with("v", i)).collect();
+    server.add_rows("data", &rows, 0).unwrap();
+    server.sync_disk().unwrap();
+
+    // Every backup chunk copy stalls half a second. Armed before the fork
+    // so the child inherits it; the child never touches the registry lock.
+    scuba_faults::configure("restart::backup::chunk", "delay=500").unwrap();
+
+    let child = unsafe { libc::fork() };
+    assert!(child >= 0, "fork failed");
+    if child == 0 {
+        // Child: the old leaf, attempting a clean shutdown — it will crawl
+        // through the copy loop until the parent kills it cold.
+        let _ = server.shutdown_to_shm(0);
+        // Reached only if the kill missed; report that as failure without
+        // running the test harness's machinery in the forked copy.
+        unsafe { libc::_exit(86) };
+    }
+
+    // Parent: give the child time to reach the copy loop's first stall,
+    // then SIGKILL — no signal handler, no unwinding, nothing runs.
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    unsafe {
+        assert_eq!(libc::kill(child, libc::SIGKILL), 0, "kill failed");
+    }
+    let mut status = 0;
+    let waited = unsafe { libc::waitpid(child, &mut status, 0) };
+    assert_eq!(waited, child, "waitpid failed");
+    assert!(
+        libc::WIFSIGNALED(status),
+        "child exited instead of dying by signal (status {status})"
+    );
+    assert_eq!(libc::WTERMSIG(status), libc::SIGKILL);
+
+    scuba_faults::clear_all();
+    drop(server); // the old process is gone; drop the parent's handle too
+
+    // The replacement process: the valid bit was never set, so memory
+    // recovery must refuse the partial state and fall back to disk — with
+    // everything that was durably synced, row for row.
+    let (recovered, outcome) = LeafServer::start(cfg, 0, None).unwrap();
+    match &outcome {
+        RecoveryOutcome::Disk { .. } => {}
+        other => panic!("expected disk recovery after SIGKILL, got {other:?}"),
+    }
+    assert_eq!(recovered.total_rows(), ROWS as usize);
+    let r = recovered.query(&Query::new("data", 0, i64::MAX)).unwrap();
+    assert_eq!(r.rows_matched, ROWS as u64);
+
+    // The fallback path frees the dead child's partial segments: nothing
+    // may be left in /dev/shm.
+    let ns = ShmNamespace::new(&prefix, 0).unwrap();
+    assert!(
+        !ShmSegment::exists(&ns.metadata_name()),
+        "orphan metadata segment"
+    );
+    for i in 0..8 {
+        assert!(
+            !ShmSegment::exists(&ns.table_segment_name(i)),
+            "orphan table segment {i}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
