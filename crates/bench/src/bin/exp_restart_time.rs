@@ -12,7 +12,7 @@
 use std::time::Instant;
 
 use scuba::cluster::{leaf_restart_secs, simulate_single_machine, RecoveryPath, SimConfig};
-use scuba::leaf::LeafServer;
+use scuba::leaf::{LeafServer, RecoveryOutcome};
 use scuba_bench::{build_leaf, fmt_bytes, fmt_dur, header, row, table_header, LeafRig};
 
 fn main() {
@@ -58,6 +58,46 @@ fn main() {
             disk_secs / shm_secs
         );
     }
+
+    println!("\n-- parallel copy pipeline, thread sweep (1M rows) --\n");
+    println!(
+        "  {:>8} {:>7} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "threads", "used", "resident", "backup", "bak MB/s", "restore", "rst MB/s"
+    );
+    for threads in [1usize, 2, 4] {
+        let mut rig = LeafRig::new("e1t");
+        rig.config.copy_threads = threads;
+        let mut server = build_leaf(&rig, 1_000_000);
+        let resident = server.memory_used();
+
+        // build_leaf already sealed + synced, so the shutdown window is
+        // dominated by the shm copy itself.
+        let t = Instant::now();
+        let summary = server.shutdown_to_shm(0).expect("shutdown");
+        let bak_secs = t.elapsed().as_secs_f64();
+        drop(server);
+
+        let t = Instant::now();
+        let (_server, outcome) = LeafServer::start(rig.config.clone(), 0, None).expect("start");
+        let rst_secs = t.elapsed().as_secs_f64();
+        let restore = match outcome {
+            RecoveryOutcome::Memory(rep) => rep,
+            other => panic!("expected memory recovery, got {other:?}"),
+        };
+
+        println!(
+            "  {:>8} {:>7} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            threads,
+            summary.backup.threads,
+            fmt_bytes(resident as u64),
+            fmt_dur(bak_secs),
+            format!("{:.0}", summary.backup.bytes_copied as f64 / bak_secs / 1e6),
+            fmt_dur(rst_secs),
+            format!("{:.0}", restore.bytes_copied as f64 / rst_secs / 1e6),
+        );
+    }
+    println!("\n  (\"used\" is the pool size after clamping to the table count;");
+    println!("  scaling requires a multi-core host — nproc gates the speedup.)");
 
     println!("\n-- paper scale (simulator, 8 leaves x 15 GB per machine) --\n");
     let cfg = SimConfig::paper_defaults();

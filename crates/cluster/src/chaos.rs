@@ -148,6 +148,8 @@ pub struct ChaosConfig {
     pub shm_prefix: String,
     /// Disk backup directory.
     pub disk_root: PathBuf,
+    /// Copy-pipeline worker threads for the leaf under test (0 = auto).
+    pub copy_threads: usize,
 }
 
 /// What one wave did.
@@ -198,7 +200,8 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
     let _x = scuba_faults::exclusive();
     scuba_faults::clear_all();
 
-    let leaf_cfg = LeafConfig::new(0, cfg.shm_prefix.clone(), cfg.disk_root.clone());
+    let mut leaf_cfg = LeafConfig::new(0, cfg.shm_prefix.clone(), cfg.disk_root.clone());
+    leaf_cfg.copy_threads = cfg.copy_threads;
     let ns = ShmNamespace::new(&cfg.shm_prefix, 0).map_err(|e| e.to_string())?;
     let mut server = LeafServer::new(leaf_cfg.clone()).map_err(|e| e.to_string())?;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -348,6 +351,7 @@ mod tests {
             rows_per_wave: 60,
             shm_prefix: prefix,
             disk_root: dir,
+            copy_threads: 0,
         }
     }
 
@@ -366,5 +370,23 @@ mod tests {
         assert_eq!(a.fired_by_site, b.fired_by_site);
         assert_eq!(a.final_rows, b.final_rows);
         let _ = std::fs::remove_dir_all(&cfg_b.disk_root);
+    }
+
+    #[test]
+    fn short_soak_outcomes_survive_parallel_copy() {
+        // One-shot `@N` triggers fire on global hit counters and the
+        // protocol outcome (abort → cleanup → disk fallback) does not
+        // depend on worker scheduling, so the wave trace with the pool
+        // enabled must match the sequential trace for the same seed.
+        let cfg_seq = soak_config("s1", 10, 23);
+        let seq = run_chaos(&cfg_seq).unwrap();
+        let _ = std::fs::remove_dir_all(&cfg_seq.disk_root);
+
+        let mut cfg_par = soak_config("s4", 10, 23);
+        cfg_par.copy_threads = 4;
+        let par = run_chaos(&cfg_par).unwrap();
+        assert_eq!(seq.records, par.records);
+        assert_eq!(seq.final_rows, par.final_rows);
+        let _ = std::fs::remove_dir_all(&cfg_par.disk_root);
     }
 }

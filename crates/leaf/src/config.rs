@@ -23,6 +23,9 @@ pub struct LeafConfig {
     /// Whether memory (shared-memory) recovery is enabled — the "memory
     /// recovery disabled" edge of Figure 5(b) when false.
     pub shm_recovery_enabled: bool,
+    /// Worker threads for the backup/restore copy pipeline. 0 means auto
+    /// (min(cores, 4)); the `SCUBA_COPY_THREADS` env var overrides both.
+    pub copy_threads: usize,
 }
 
 impl LeafConfig {
@@ -35,6 +38,7 @@ impl LeafConfig {
             memory_capacity: 512 << 20,
             retention: RetentionLimits::NONE,
             shm_recovery_enabled: true,
+            copy_threads: 0,
         }
     }
 }

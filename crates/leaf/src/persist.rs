@@ -133,6 +133,7 @@ fn read_prelude(buf: &[u8]) -> Result<(u32, i64, i64, i64, u32, Schema), Persist
 
 impl ShmPersistable for LeafStore {
     type Error = PersistError;
+    type Unit = Table;
 
     fn unit_names(&self) -> Vec<String> {
         self.map.names().map(str::to_owned).collect()
@@ -147,13 +148,19 @@ impl ShmPersistable for LeafStore {
             .unwrap_or(0)
     }
 
-    fn backup_unit(&mut self, unit: &str, sink: &mut dyn ChunkSink) -> Result<(), Self::Error> {
-        // "delete table from heap" — the table leaves the map up front;
-        // its blocks are dropped one by one below.
-        let table = self
-            .map
+    fn extract_unit(&mut self, unit: &str) -> Result<Table, Self::Error> {
+        // "delete table from heap" — the table leaves the map here, under
+        // the coordinator; a worker thread serializes and frees it.
+        self.map
             .remove(unit)
-            .ok_or_else(|| PersistError::Framing(format!("unknown table {unit:?}")))?;
+            .ok_or_else(|| PersistError::Framing(format!("unknown table {unit:?}")))
+    }
+
+    fn unit_heap_bytes(unit: &Table) -> usize {
+        unit.heap_bytes()
+    }
+
+    fn backup_extracted(table: Table, sink: &mut dyn ChunkSink) -> Result<(), Self::Error> {
         let (blocks, _builder) = decompose(table);
 
         let mut manifest = Vec::with_capacity(8);
@@ -178,11 +185,7 @@ impl ShmPersistable for LeafStore {
         Ok(())
     }
 
-    fn restore_unit(
-        &mut self,
-        unit: &str,
-        source: &mut dyn ChunkSource,
-    ) -> Result<(), Self::Error> {
+    fn decode_unit(unit: &str, source: &mut dyn ChunkSource) -> Result<Table, Self::Error> {
         let manifest = source
             .next_chunk()?
             .ok_or_else(|| PersistError::Framing("missing table manifest".to_owned()))?;
@@ -221,7 +224,11 @@ impl ShmPersistable for LeafStore {
                 "trailing chunks after last block".to_owned(),
             ));
         }
-        self.map.insert(Table::from_blocks(unit, blocks, 0));
+        Ok(Table::from_blocks(unit, blocks, 0))
+    }
+
+    fn install_unit(&mut self, _unit: &str, table: Table) -> Result<(), Self::Error> {
+        self.map.insert(table);
         Ok(())
     }
 

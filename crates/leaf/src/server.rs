@@ -7,8 +7,8 @@ use scuba_columnstore::Row;
 use scuba_diskstore::{DiskBackup, RecoveryStats, Throttle};
 use scuba_query::{execute, LeafQueryResult, Query};
 use scuba_restart::{
-    backup_to_shm, restore_from_shm, BackupReport, LeafBackupState, LeafRestoreState, RestoreError,
-    RestoreReport, TableBackupState, SHM_LAYOUT_VERSION,
+    backup_to_shm_with, restore_from_shm_with, BackupReport, CopyOptions, LeafBackupState,
+    LeafRestoreState, RestoreError, RestoreReport, TableBackupState, SHM_LAYOUT_VERSION,
 };
 use scuba_shmem::ShmNamespace;
 
@@ -152,7 +152,12 @@ impl LeafServer {
             state = state.transition(LeafRestoreState::MemoryRecovery)?;
             server.phase = LeafPhase::MemoryRecovery;
             phase_failpoint("leaf::phase::memory_recovery")?;
-            match restore_from_shm(&mut server.store, &server.ns, SHM_LAYOUT_VERSION) {
+            match restore_from_shm_with(
+                &mut server.store,
+                &server.ns,
+                SHM_LAYOUT_VERSION,
+                CopyOptions::with_threads(server.config.copy_threads),
+            ) {
                 Ok(report) => {
                     state = state.transition(LeafRestoreState::Alive)?;
                     debug_assert_eq!(state, LeafRestoreState::Alive);
@@ -333,8 +338,13 @@ impl LeafServer {
         for (_, st) in &mut table_states {
             *st = st.transition(TableBackupState::CopyToShm)?;
         }
-        let backup = backup_to_shm(&mut self.store, &self.ns, SHM_LAYOUT_VERSION)
-            .map_err(|e| LeafError::Backup(e.to_string()))?;
+        let backup = backup_to_shm_with(
+            &mut self.store,
+            &self.ns,
+            SHM_LAYOUT_VERSION,
+            CopyOptions::with_threads(self.config.copy_threads),
+        )
+        .map_err(|e| LeafError::Backup(e.to_string()))?;
         for (_, st) in &mut table_states {
             *st = st.transition(TableBackupState::Done)?;
         }

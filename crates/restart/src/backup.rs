@@ -17,15 +17,30 @@
 //! set valid bit to true
 //! ```
 //!
-//! The inner loops live in the store's [`ShmPersistable::backup_unit`];
-//! this module owns the metadata/valid-bit envelope, per-unit segments,
-//! chunk framing, and footprint accounting.
+//! The inner loops live in the store's
+//! [`ShmPersistable::backup_extracted`]; this module owns the
+//! metadata/valid-bit envelope, per-unit segments, chunk framing, and
+//! footprint accounting.
+//!
+//! The per-table loop is parallelized across a bounded worker pool
+//! ([`crate::CopyOptions`]): the coordinator walks units in order —
+//! failpoint, estimate, create segment, register it in the metadata,
+//! extract the unit from the store — and hands `(unit, SegmentWriter)`
+//! jobs to workers over a bounded channel, which caps in-flight units so
+//! the §4.4 footprint invariant survives parallelism. Workers serialize
+//! and sync independently; the valid bit is still committed exactly once,
+//! by the coordinator, only after every worker has finished — a failure
+//! anywhere propagates (first unit in order wins) and cleanup is
+//! unchanged, so crash semantics are identical to the sequential path.
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use scuba_shmem::{LeafMetadata, SegmentWriter, ShmError, ShmNamespace, ShmSegment};
 
+use crate::copy::{CopyOptions, FootprintTracker};
 use crate::state::{LeafBackupState, StateError};
 use crate::traits::{ChunkSink, ShmPersistable};
 
@@ -43,14 +58,17 @@ pub struct BackupReport {
     pub bytes_copied: u64,
     /// Wall-clock duration of the copy.
     pub duration: Duration,
-    /// Peak of (store heap bytes + shared memory bytes written) observed
-    /// during the copy — the §4.4 "footprint nearly unchanged" metric.
+    /// Peak of (store heap bytes + in-flight unit bytes + shared memory
+    /// bytes written) observed during the copy — the §4.4 "footprint
+    /// nearly unchanged" metric.
     pub peak_footprint: usize,
     /// Store footprint when the backup started, for comparison against
     /// `peak_footprint`.
     pub initial_footprint: usize,
     /// Names of the segments created, in unit order.
     pub segment_names: Vec<String>,
+    /// Copy worker threads actually used.
+    pub threads: usize,
 }
 
 /// Backup failure.
@@ -91,9 +109,14 @@ impl<E> From<ShmError> for BackupError<E> {
 }
 
 /// Sink wrapper that frames chunks into the unit segment and keeps the
-/// footprint statistics.
+/// footprint statistics. One per in-flight unit; safe to drive from a
+/// worker thread (the tracker is atomic).
 struct FramingSink<'a> {
     writer: &'a mut SegmentWriter,
+    tracker: &'a FootprintTracker,
+    /// Heap bytes of the unit not yet handed off, for in-flight
+    /// accounting (decremented as chunks are emitted, saturating).
+    heap_remaining: usize,
     chunks: usize,
     payload_bytes: u64,
 }
@@ -124,8 +147,26 @@ impl ChunkSink for FramingSink<'_> {
         self.writer.write(chunk)?;
         self.chunks += 1;
         self.payload_bytes += chunk.len() as u64;
+        // Footprint: the chunk's heap is freed by the store right after
+        // this returns, so move its bytes from in-flight heap to shm.
+        let consumed = self.heap_remaining.min(chunk.len());
+        self.heap_remaining -= consumed;
+        self.tracker.sub_in_flight(consumed);
+        self.tracker.add_shm(8 + 4 + chunk.len());
+        self.tracker.sample();
         Ok(())
     }
+}
+
+/// Persist `store` into the shared memory named by `ns`, committing with
+/// the valid bit, with default copy options (auto thread count). See
+/// [`backup_to_shm_with`].
+pub fn backup_to_shm<S: ShmPersistable>(
+    store: &mut S,
+    ns: &ShmNamespace,
+    layout_version: u32,
+) -> Result<BackupReport, BackupError<S::Error>> {
+    backup_to_shm_with(store, ns, layout_version, CopyOptions::default())
 }
 
 /// Persist `store` into the shared memory named by `ns`, committing with
@@ -133,10 +174,11 @@ impl ChunkSink for FramingSink<'_> {
 /// recover everything with [`crate::restore_from_shm`]; on failure the
 /// shared memory is cleaned up and the valid bit stays false, so the next
 /// process will fall back to disk recovery.
-pub fn backup_to_shm<S: ShmPersistable>(
+pub fn backup_to_shm_with<S: ShmPersistable>(
     store: &mut S,
     ns: &ShmNamespace,
     layout_version: u32,
+    options: CopyOptions,
 ) -> Result<BackupReport, BackupError<S::Error>> {
     let mut leaf_state = LeafBackupState::Alive;
     leaf_state = leaf_state
@@ -145,26 +187,26 @@ pub fn backup_to_shm<S: ShmPersistable>(
 
     let start = Instant::now();
     let initial_footprint = store.heap_bytes();
-    let mut peak_footprint = initial_footprint;
+    let tracker = FootprintTracker::new(initial_footprint);
+    let unit_names = store.unit_names();
+    let threads = options.resolved_threads().clamp(1, unit_names.len().max(1));
 
     // Stale state from a previous crashed attempt must not block us: the
     // metadata region is recreated from scratch (valid bit false).
-    let unit_names = store.unit_names();
     let _ = ShmSegment::unlink(&ns.metadata_name());
     let mut meta = LeafMetadata::create(ns, layout_version)?;
 
-    let result =
-        copy_units(store, ns, &mut meta, &unit_names, &mut peak_footprint).and_then(|ok| {
-            // The instant before commit: every segment written and synced,
-            // the valid bit still false. Dying here must cost only speed.
-            if scuba_faults::check("restart::backup::commit").is_some() {
-                return Err(BackupError::Shm(ShmError::injected(
-                    "restart::backup::commit",
-                    "failpoint",
-                )));
-            }
-            Ok(ok)
-        });
+    let result = copy_units(store, ns, &mut meta, &unit_names, &tracker, threads).and_then(|ok| {
+        // The instant before commit: every segment written and synced,
+        // the valid bit still false. Dying here must cost only speed.
+        if scuba_faults::check("restart::backup::commit").is_some() {
+            return Err(BackupError::Shm(ShmError::injected(
+                "restart::backup::commit",
+                "failpoint",
+            )));
+        }
+        Ok(ok)
+    });
     match result {
         Ok((chunks, bytes_copied, segment_names)) => {
             // Commit point: everything is in shared memory and synced.
@@ -178,9 +220,10 @@ pub fn backup_to_shm<S: ShmPersistable>(
                 chunks,
                 bytes_copied,
                 duration: start.elapsed(),
-                peak_footprint,
+                peak_footprint: tracker.peak(),
                 initial_footprint,
                 segment_names,
+                threads,
             })
         }
         Err(e) => {
@@ -192,62 +235,239 @@ pub fn backup_to_shm<S: ShmPersistable>(
     }
 }
 
+/// Coordinator-side per-unit prologue: failpoint, estimate, segment
+/// create, metadata registration. Identical on both copy paths.
+fn prepare_segment<S: ShmPersistable>(
+    store: &S,
+    ns: &ShmNamespace,
+    meta: &mut LeafMetadata,
+    index: usize,
+    unit: &str,
+) -> Result<(SegmentWriter, String), BackupError<S::Error>> {
+    // Between units: some tables fully copied, others still heap-only.
+    if scuba_faults::check("restart::backup::unit").is_some() {
+        return Err(BackupError::Shm(ShmError::injected(
+            "restart::backup::unit",
+            "failpoint",
+        )));
+    }
+    // Figure 6: estimate size of table; create table segment; add the
+    // segment to the leaf metadata.
+    let estimate = store.estimate_unit_size(unit);
+    let seg_name = ns.table_segment_name(index);
+    let _ = ShmSegment::unlink(&seg_name); // clear stale
+    let segment = ShmSegment::create(&seg_name, estimate)?;
+    meta.add_segment(&seg_name)?;
+    Ok((SegmentWriter::new(segment), seg_name))
+}
+
+/// Serialize one extracted unit into its segment: name frame, chunk
+/// frames, end sentinel, trim + sync. Runs on a worker thread on the
+/// parallel path, inline on the sequential path.
+fn write_unit<S: ShmPersistable>(
+    unit: &str,
+    data: S::Unit,
+    heap_bytes: usize,
+    mut writer: SegmentWriter,
+    tracker: &FootprintTracker,
+) -> Result<(usize, u64), BackupError<S::Error>> {
+    // Unit name frame so restore knows which table this segment holds;
+    // CRC'd like every other frame.
+    writer.write_u64(unit.len() as u64)?;
+    writer.write(&scuba_shmem::crc32(unit.as_bytes()).to_le_bytes())?;
+    writer.write(unit.as_bytes())?;
+    tracker.add_shm(8 + 4 + unit.len());
+
+    let mut sink = FramingSink {
+        writer: &mut writer,
+        tracker,
+        heap_remaining: heap_bytes,
+        chunks: 0,
+        payload_bytes: 0,
+    };
+    let result = S::backup_extracted(data, &mut sink).map_err(BackupError::Store);
+    let (chunks, payload_bytes, leftover) = (sink.chunks, sink.payload_bytes, sink.heap_remaining);
+    // The unit's data is dropped by now on both paths; release whatever
+    // in-flight heap the chunk loop did not already account for.
+    tracker.sub_in_flight(leftover);
+    result?;
+
+    writer.write_u64(END_SENTINEL)?;
+    tracker.add_shm(8);
+    writer.finish()?; // trims to written, syncs
+    tracker.sample();
+    Ok((chunks, payload_bytes))
+}
+
 fn copy_units<S: ShmPersistable>(
     store: &mut S,
     ns: &ShmNamespace,
     meta: &mut LeafMetadata,
     unit_names: &[String],
-    peak_footprint: &mut usize,
+    tracker: &FootprintTracker,
+    threads: usize,
+) -> Result<(usize, u64, Vec<String>), BackupError<S::Error>> {
+    if threads <= 1 || unit_names.len() <= 1 {
+        copy_units_sequential(store, ns, meta, unit_names, tracker)
+    } else {
+        copy_units_parallel(store, ns, meta, unit_names, tracker, threads)
+    }
+}
+
+fn copy_units_sequential<S: ShmPersistable>(
+    store: &mut S,
+    ns: &ShmNamespace,
+    meta: &mut LeafMetadata,
+    unit_names: &[String],
+    tracker: &FootprintTracker,
 ) -> Result<(usize, u64, Vec<String>), BackupError<S::Error>> {
     let mut chunks = 0usize;
     let mut bytes_copied = 0u64;
-    let mut shm_bytes_total = 0usize;
     let mut segment_names = Vec::with_capacity(unit_names.len());
 
     for (index, unit) in unit_names.iter().enumerate() {
-        // Between units: some tables fully copied, others still heap-only.
-        if scuba_faults::check("restart::backup::unit").is_some() {
-            return Err(BackupError::Shm(ShmError::injected(
-                "restart::backup::unit",
-                "failpoint",
-            )));
-        }
-        // Figure 6: estimate size of table; create table segment; add the
-        // segment to the leaf metadata.
-        let estimate = store.estimate_unit_size(unit);
-        let seg_name = ns.table_segment_name(index);
-        let _ = ShmSegment::unlink(&seg_name); // clear stale
-        let segment = ShmSegment::create(&seg_name, estimate)?;
-        meta.add_segment(&seg_name)?;
-
-        let mut writer = SegmentWriter::new(segment);
-        // Unit name frame so restore knows which table this segment
-        // holds; CRC'd like every other frame.
-        writer.write_u64(unit.len() as u64)?;
-        writer.write(&scuba_shmem::crc32(unit.as_bytes()).to_le_bytes())?;
-        writer.write(unit.as_bytes())?;
-
-        let mut sink = FramingSink {
-            writer: &mut writer,
-            chunks: 0,
-            payload_bytes: 0,
-        };
-        store
-            .backup_unit(unit, &mut sink)
-            .map_err(BackupError::Store)?;
-        chunks += sink.chunks;
-        bytes_copied += sink.payload_bytes;
-
-        writer.write_u64(END_SENTINEL)?;
-        let written = writer.written();
-        let segment = writer.finish()?; // trims to written, syncs
-        drop(segment);
-        shm_bytes_total += written;
-
-        // Footprint sample: heap shrank by the unit, shm grew by it.
-        let footprint = store.heap_bytes() + shm_bytes_total;
-        *peak_footprint = (*peak_footprint).max(footprint);
+        let (writer, seg_name) = prepare_segment(store, ns, meta, index, unit)?;
+        let data = store.extract_unit(unit).map_err(BackupError::Store)?;
+        let heap = S::unit_heap_bytes(&data);
+        tracker.add_in_flight(heap);
+        tracker.set_store_heap(store.heap_bytes());
+        let (c, b) = write_unit::<S>(unit, data, heap, writer, tracker)?;
+        chunks += c;
+        bytes_copied += b;
         segment_names.push(seg_name);
+    }
+    Ok((chunks, bytes_copied, segment_names))
+}
+
+/// One unit handed from the coordinator to a worker.
+struct UnitJob<S: ShmPersistable> {
+    index: usize,
+    unit: String,
+    data: S::Unit,
+    heap_bytes: usize,
+    writer: SegmentWriter,
+}
+
+/// A worker's verdict on one unit.
+struct UnitDone<E> {
+    index: usize,
+    result: Result<(usize, u64), BackupError<E>>,
+}
+
+fn copy_units_parallel<S: ShmPersistable>(
+    store: &mut S,
+    ns: &ShmNamespace,
+    meta: &mut LeafMetadata,
+    unit_names: &[String],
+    tracker: &FootprintTracker,
+    threads: usize,
+) -> Result<(usize, u64, Vec<String>), BackupError<S::Error>> {
+    let abort = AtomicBool::new(false);
+    let (res_tx, res_rx) = mpsc::channel::<UnitDone<S::Error>>();
+    let mut coordinator_err: Option<(usize, BackupError<S::Error>)> = None;
+    let mut segment_names = Vec::with_capacity(unit_names.len());
+
+    std::thread::scope(|scope| {
+        // Bounded handoff: at most `threads` units being serialized plus
+        // one queued — the in-flight cap that keeps §4.4 honest.
+        let (job_tx, job_rx) = mpsc::sync_channel::<UnitJob<S>>(1);
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        for _ in 0..threads {
+            let job_rx = Arc::clone(&job_rx);
+            let res_tx = res_tx.clone();
+            let abort = &abort;
+            scope.spawn(move || loop {
+                let job = {
+                    let rx = job_rx.lock().expect("job receiver lock");
+                    rx.recv()
+                };
+                let Ok(job) = job else { break };
+                if abort.load(Ordering::Acquire) {
+                    // Another worker failed: drain the queue (dropping the
+                    // unit frees its heap) so the coordinator never blocks
+                    // on a full channel during shutdown-on-error.
+                    tracker.sub_in_flight(job.heap_bytes);
+                    drop(job.data);
+                    continue;
+                }
+                let UnitJob {
+                    index,
+                    unit,
+                    data,
+                    heap_bytes,
+                    writer,
+                } = job;
+                let result = write_unit::<S>(&unit, data, heap_bytes, writer, tracker);
+                if result.is_err() {
+                    abort.store(true, Ordering::Release);
+                }
+                let _ = res_tx.send(UnitDone { index, result });
+            });
+        }
+        drop(res_tx); // workers hold the remaining senders
+
+        for (index, unit) in unit_names.iter().enumerate() {
+            if abort.load(Ordering::Acquire) {
+                break;
+            }
+            match prepare_segment::<S>(store, ns, meta, index, unit) {
+                Ok((writer, seg_name)) => {
+                    segment_names.push(seg_name);
+                    match store.extract_unit(unit) {
+                        Ok(data) => {
+                            let heap = S::unit_heap_bytes(&data);
+                            tracker.add_in_flight(heap);
+                            tracker.set_store_heap(store.heap_bytes());
+                            tracker.sample();
+                            let job = UnitJob {
+                                index,
+                                unit: unit.clone(),
+                                data,
+                                heap_bytes: heap,
+                                writer,
+                            };
+                            if job_tx.send(job).is_err() {
+                                break; // all workers gone (unreachable in practice)
+                            }
+                        }
+                        Err(e) => {
+                            coordinator_err = Some((index, BackupError::Store(e)));
+                            abort.store(true, Ordering::Release);
+                            break;
+                        }
+                    }
+                }
+                Err(e) => {
+                    coordinator_err = Some((index, e));
+                    abort.store(true, Ordering::Release);
+                    break;
+                }
+            }
+        }
+        drop(job_tx); // close the queue; workers drain and exit
+    });
+
+    // Workers joined (scope end). First error in unit order wins, so a
+    // single injected fault surfaces identically regardless of worker
+    // scheduling.
+    let mut chunks = 0usize;
+    let mut bytes_copied = 0u64;
+    let mut first_err = coordinator_err;
+    for done in res_rx.try_iter() {
+        match done.result {
+            Ok((c, b)) => {
+                chunks += c;
+                bytes_copied += b;
+            }
+            Err(e) => {
+                if first_err.as_ref().is_none_or(|(i, _)| done.index < *i) {
+                    first_err = Some((done.index, e));
+                }
+            }
+        }
+    }
+    if let Some((_, e)) = first_err {
+        return Err(e);
     }
     Ok((chunks, bytes_copied, segment_names))
 }
@@ -263,7 +483,8 @@ pub(crate) mod testutil {
     #[derive(Debug, Default, Clone, PartialEq, Eq)]
     pub struct ToyStore {
         pub units: BTreeMap<String, Vec<Vec<u8>>>,
-        /// If set, backup/restore of this unit fails (failure injection).
+        /// If set, extraction (backup) / installation (restore) of this
+        /// unit fails (failure injection).
         pub poison: Option<String>,
     }
 
@@ -297,10 +518,36 @@ pub(crate) mod testutil {
                 poison: None,
             }
         }
+
+        /// A deterministic pseudo-random store: `units` units, up to
+        /// `max_chunks` chunks each, up to `max_len` bytes per chunk.
+        pub fn seeded(seed: u64, units: usize, max_chunks: usize, max_len: usize) -> ToyStore {
+            let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+            let mut next = move || {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let mut store = ToyStore::default();
+            for u in 0..units {
+                let n_chunks = (next() as usize) % (max_chunks + 1);
+                let chunks = (0..n_chunks)
+                    .map(|_| {
+                        let len = (next() as usize) % (max_len + 1);
+                        (0..len).map(|_| next() as u8).collect()
+                    })
+                    .collect();
+                store.units.insert(format!("unit_{u:03}"), chunks);
+            }
+            store
+        }
     }
 
     impl ShmPersistable for ToyStore {
         type Error = ToyError;
+        type Unit = Vec<Vec<u8>>;
 
         fn unit_names(&self) -> Vec<String> {
             self.units.keys().cloned().collect()
@@ -313,34 +560,43 @@ pub(crate) mod testutil {
                 .unwrap_or(0)
         }
 
-        fn backup_unit(&mut self, unit: &str, sink: &mut dyn ChunkSink) -> Result<(), Self::Error> {
+        fn extract_unit(&mut self, unit: &str) -> Result<Self::Unit, Self::Error> {
             if self.poison.as_deref() == Some(unit) {
                 return Err(ToyError(format!("poisoned unit {unit}")));
             }
-            let chunks = self
-                .units
+            self.units
                 .remove(unit)
-                .ok_or_else(|| ToyError(format!("unknown unit {unit}")))?;
-            for c in chunks {
+                .ok_or_else(|| ToyError(format!("unknown unit {unit}")))
+        }
+
+        fn unit_heap_bytes(unit: &Self::Unit) -> usize {
+            unit.iter().map(Vec::len).sum()
+        }
+
+        fn backup_extracted(data: Self::Unit, sink: &mut dyn ChunkSink) -> Result<(), Self::Error> {
+            for c in data {
                 sink.put_chunk(&c)?;
                 // chunk freed here as it goes out of scope
             }
             Ok(())
         }
 
-        fn restore_unit(
-            &mut self,
-            unit: &str,
+        fn decode_unit(
+            _unit: &str,
             source: &mut dyn ChunkSource,
-        ) -> Result<(), Self::Error> {
-            if self.poison.as_deref() == Some(unit) {
-                return Err(ToyError(format!("poisoned unit {unit}")));
-            }
+        ) -> Result<Self::Unit, Self::Error> {
             let mut chunks = Vec::new();
             while let Some(c) = source.next_chunk()? {
                 chunks.push(c);
             }
-            self.units.insert(unit.to_owned(), chunks);
+            Ok(chunks)
+        }
+
+        fn install_unit(&mut self, unit: &str, data: Self::Unit) -> Result<(), Self::Error> {
+            if self.poison.as_deref() == Some(unit) {
+                return Err(ToyError(format!("poisoned unit {unit}")));
+            }
+            self.units.insert(unit.to_owned(), data);
             Ok(())
         }
 
@@ -423,6 +679,22 @@ mod tests {
     }
 
     #[test]
+    fn failed_backup_leaves_no_shared_memory_parallel() {
+        // Same invariant with the worker pool on: a poisoned extraction
+        // aborts the run and every segment is unlinked.
+        let ns = test_ns();
+        let _c = Cleanup(ns.clone());
+        let mut store = ToyStore::seeded(11, 8, 4, 512);
+        store.poison = Some("unit_005".to_owned());
+        let err = backup_to_shm_with(&mut store, &ns, 1, CopyOptions::with_threads(8)).unwrap_err();
+        assert!(matches!(err, BackupError::Store(_)));
+        assert!(!ShmSegment::exists(&ns.metadata_name()));
+        for i in 0..10 {
+            assert!(!ShmSegment::exists(&ns.table_segment_name(i)));
+        }
+    }
+
+    #[test]
     fn backup_overwrites_stale_state() {
         let ns = test_ns();
         let _c = Cleanup(ns.clone());
@@ -449,6 +721,40 @@ mod tests {
         assert_eq!(report.initial_footprint, initial);
         // Footprint may exceed initial by framing overhead but must stay
         // well under 2x (no full second copy).
+        assert!(
+            report.peak_footprint < initial * 3 / 2,
+            "peak {} vs initial {}",
+            report.peak_footprint,
+            initial
+        );
+    }
+
+    #[test]
+    fn footprint_tracked_parallel() {
+        // §4.4 must survive the worker pool: several big units in flight
+        // at once, peak still bounded because extraction moves bytes
+        // (heap → in-flight) rather than copying, and each chunk frees
+        // heap as it lands in shm.
+        let ns = test_ns();
+        let _c = Cleanup(ns.clone());
+        let big = vec![0x55u8; 150_000];
+        let chunks: Vec<&[u8]> = vec![&big, &big, &big];
+        let mut store = ToyStore::with_units(&[
+            ("b0", &chunks),
+            ("b1", &chunks),
+            ("b2", &chunks),
+            ("b3", &chunks),
+            ("b4", &chunks),
+            ("b5", &chunks),
+        ]);
+        let initial = store.heap_bytes();
+        let report = backup_to_shm_with(&mut store, &ns, 1, CopyOptions::with_threads(4)).unwrap();
+        // The env override (CI matrix) may repin the pool; either way the
+        // report must carry the resolved size, clamped to the unit count.
+        assert_eq!(
+            report.threads,
+            crate::copy::resolve_copy_threads(4).clamp(1, 6)
+        );
         assert!(
             report.peak_footprint < initial * 3 / 2,
             "peak {} vs initial {}",

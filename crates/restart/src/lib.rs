@@ -23,6 +23,11 @@
 //!   (fall back to disk recovery if unset, corrupt, or version-skewed),
 //!   clear it, copy each unit back to heap chunk by chunk while punching
 //!   the consumed pages out of the segment, and delete the segments.
+//! * [`copy`] — the worker pool both directions share: per-unit copy jobs
+//!   fan out across a bounded `std::thread` pool ([`CopyOptions`],
+//!   `SCUBA_COPY_THREADS`) so the copy runs at memory-bandwidth speed on
+//!   multi-core hosts, while the valid-bit commit stays single-shot under
+//!   the coordinator.
 //!
 //! Everything here is crash-conservative: any failure, torn copy, or
 //! version mismatch surfaces as [`restore::Fallback`], which the caller
@@ -31,12 +36,14 @@
 //! corruption").
 
 pub mod backup;
+pub mod copy;
 pub mod restore;
 pub mod state;
 pub mod traits;
 
-pub use backup::{backup_to_shm, BackupError, BackupReport};
-pub use restore::{restore_from_shm, Fallback, RestoreError, RestoreReport};
+pub use backup::{backup_to_shm, backup_to_shm_with, BackupError, BackupReport};
+pub use copy::{default_copy_threads, resolve_copy_threads, CopyOptions, COPY_THREADS_ENV};
+pub use restore::{restore_from_shm, restore_from_shm_with, Fallback, RestoreError, RestoreReport};
 pub use state::{
     LeafBackupState, LeafRestoreState, StateError, TableBackupState, TableRestoreState,
 };

@@ -21,17 +21,31 @@
 //! missing metadata, unset valid bit, layout version skew, torn segment,
 //! checksum mismatch, store decode error — collapses into [`Fallback`],
 //! which tells the caller to run its disk recovery instead.
+//!
+//! The per-segment loop mirrors the backup worker pool: the coordinator
+//! opens and validates every segment (and owns both valid-bit edges),
+//! workers drain segments into decoded units concurrently, and each
+//! decoded unit is installed into the store back on the coordinator. Any
+//! worker error aborts the run and falls back exactly like the sequential
+//! path.
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use scuba_shmem::{LeafMetadata, SegmentReader, ShmError, ShmNamespace, ShmSegment};
 
+use crate::copy::{CopyOptions, FootprintTracker};
 use crate::state::LeafRestoreState;
 use crate::traits::{ChunkSource, ShmPersistable};
 
 /// End-of-unit sentinel in the chunk framing (must match backup).
 const END_SENTINEL: u64 = u64::MAX;
+
+/// Index cap for the orphan sweep when the metadata registry is gone: no
+/// deployment here runs anywhere near this many tables per leaf.
+const ORPHAN_SWEEP_CAP: usize = 64;
 
 /// What a successful memory restore did.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,9 +58,11 @@ pub struct RestoreReport {
     pub bytes_copied: u64,
     /// Wall-clock duration of the copy.
     pub duration: Duration,
-    /// Peak of (store heap bytes + un-consumed shared memory bytes)
-    /// observed during the restore.
+    /// Peak of (store heap bytes + decoded-but-uninstalled unit bytes +
+    /// un-consumed shared memory bytes) observed during the restore.
     pub peak_footprint: usize,
+    /// Copy worker threads actually used.
+    pub threads: usize,
 }
 
 /// Memory recovery is not possible; the caller must recover from disk.
@@ -88,9 +104,12 @@ impl fmt::Display for RestoreError {
 impl std::error::Error for RestoreError {}
 
 /// Source wrapper that reads framed chunks from a unit's segment,
-/// punching consumed pages out as it goes.
+/// punching consumed pages out as it goes. Verifies each chunk's CRC on
+/// the borrowed shared-memory bytes *before* paying the shm→heap memcpy,
+/// so a torn chunk never allocates.
 struct FramingSource<'a> {
     reader: &'a mut SegmentReader,
+    tracker: &'a FootprintTracker,
     done: bool,
     chunks: usize,
     payload_bytes: u64,
@@ -109,24 +128,36 @@ impl ChunkSource for FramingSource<'_> {
             self.done = true;
             return Ok(None);
         }
-        let crc_bytes = self.reader.read(4)?;
-        let stored_crc = u32::from_le_bytes(crc_bytes.try_into().expect("read 4 bytes"));
-        // Figure 7: "allocate memory in heap; copy data from table segment
-        // to heap" — read() allocates and memcpys.
-        let chunk = self.reader.read(len as usize)?;
-        if scuba_shmem::crc32(&chunk) != stored_crc {
+        let stored_crc = self.reader.read_u32()?;
+        let payload = self.reader.read_borrowed(len as usize)?;
+        if scuba_shmem::crc32(payload) != stored_crc {
             return Err(ShmError::Corrupt {
                 name: "chunk framing".to_owned(),
                 reason: "chunk checksum mismatch (torn or corrupted copy)".to_owned(),
             });
         }
+        // Figure 7: "allocate memory in heap; copy data from table segment
+        // to heap" — this to_vec is the one memcpy.
+        let chunk = payload.to_vec();
         self.chunks += 1;
         self.payload_bytes += chunk.len() as u64;
+        self.tracker.add_in_flight(chunk.len());
+        self.tracker.sample();
         // "truncate the table shared memory segment if needed": release
         // the pages behind what we just consumed.
         self.reader.release_consumed()?;
         Ok(Some(chunk))
     }
+}
+
+/// Restore `store` from the shared memory named by `ns` with default copy
+/// options (auto thread count). See [`restore_from_shm_with`].
+pub fn restore_from_shm<S: ShmPersistable>(
+    store: &mut S,
+    ns: &ShmNamespace,
+    expected_layout_version: u32,
+) -> Result<RestoreReport, RestoreError> {
+    restore_from_shm_with(store, ns, expected_layout_version, CopyOptions::default())
 }
 
 /// Restore `store` from the shared memory named by `ns`. Returns
@@ -135,10 +166,11 @@ impl ChunkSource for FramingSource<'_> {
 /// memory has been deleted, the valid bit (if the metadata survived) is
 /// false, and the caller should clear any partially-restored units and
 /// run disk recovery.
-pub fn restore_from_shm<S: ShmPersistable>(
+pub fn restore_from_shm_with<S: ShmPersistable>(
     store: &mut S,
     ns: &ShmNamespace,
     expected_layout_version: u32,
+    options: CopyOptions,
 ) -> Result<RestoreReport, RestoreError> {
     let mut leaf_state = LeafRestoreState::Init;
     leaf_state = leaf_state
@@ -210,8 +242,13 @@ pub fn restore_from_shm<S: ShmPersistable>(
         ));
     }
 
-    match copy_units_back(store, &contents.segment_names) {
-        Ok((units, chunks, bytes_copied, peak_footprint)) => {
+    let tracker = FootprintTracker::new(store.heap_bytes());
+    let threads = options
+        .resolved_threads()
+        .clamp(1, contents.segment_names.len().max(1));
+
+    match copy_units_back(store, &contents.segment_names, &tracker, threads) {
+        Ok((units, chunks, bytes_copied)) => {
             // Figure 7 last line: delete the metadata segment. (Each table
             // segment was deleted as it was drained.)
             let _ = ShmSegment::unlink(&ns.metadata_name());
@@ -224,7 +261,8 @@ pub fn restore_from_shm<S: ShmPersistable>(
                 chunks,
                 bytes_copied,
                 duration: start.elapsed(),
-                peak_footprint,
+                peak_footprint: tracker.peak(),
+                threads,
             })
         }
         Err(reason) => {
@@ -239,69 +277,224 @@ pub fn restore_from_shm<S: ShmPersistable>(
     }
 }
 
+/// Drain one opened segment into a decoded unit: name frame, chunk
+/// frames, drain-validate, unlink. Runs on a worker thread on the
+/// parallel path, inline on the sequential path. Store access is not
+/// needed — the decoded unit is installed by the coordinator.
+fn read_unit<S: ShmPersistable>(
+    segment: ShmSegment,
+    tracker: &FootprintTracker,
+) -> Result<(String, S::Unit, usize, u64), String> {
+    let seg_len = segment.len();
+    let seg_name = segment.name().to_owned();
+    let mut reader = SegmentReader::new(segment);
+    let name_len = reader
+        .read_u64()
+        .map_err(|e| format!("unit name frame: {e}"))?;
+    let name_crc = reader
+        .read_u32()
+        .map_err(|e| format!("unit name frame: {e}"))?;
+    let name_bytes = reader
+        .read_borrowed(name_len as usize)
+        .map_err(|e| format!("unit name frame: {e}"))?;
+    if scuba_shmem::crc32(name_bytes) != name_crc {
+        return Err("unit name frame checksum mismatch".to_owned());
+    }
+    let unit = std::str::from_utf8(name_bytes)
+        .map_err(|_| "unit name is not UTF-8".to_owned())?
+        .to_owned();
+
+    let mut source = FramingSource {
+        reader: &mut reader,
+        tracker,
+        done: false,
+        chunks: 0,
+        payload_bytes: 0,
+    };
+    let data =
+        S::decode_unit(&unit, &mut source).map_err(|e| format!("restoring unit {unit:?}: {e}"))?;
+    if !source.done {
+        // The store stopped early; drain to validate framing so a
+        // short read doesn't silently drop data.
+        while source.next_chunk().map_err(|e| e.to_string())?.is_some() {}
+    }
+    let chunks = source.chunks;
+    let payload_bytes = source.payload_bytes;
+
+    // "delete the table shared memory segment".
+    drop(reader);
+    ShmSegment::unlink(&seg_name).map_err(|e| e.to_string())?;
+    tracker.sub_shm(seg_len);
+    tracker.sample();
+    Ok((unit, data, chunks, payload_bytes))
+}
+
+/// Coordinator-side epilogue for one decoded unit: put it in the store
+/// and move its bytes from in-flight to store heap.
+fn install_unit<S: ShmPersistable>(
+    store: &mut S,
+    unit: &str,
+    data: S::Unit,
+    payload_bytes: u64,
+    tracker: &FootprintTracker,
+) -> Result<(), String> {
+    store
+        .install_unit(unit, data)
+        .map_err(|e| format!("restoring unit {unit:?}: {e}"))?;
+    tracker.sub_in_flight(payload_bytes as usize);
+    tracker.set_store_heap(store.heap_bytes());
+    tracker.sample();
+    Ok(())
+}
+
 fn copy_units_back<S: ShmPersistable>(
     store: &mut S,
     segment_names: &[String],
-) -> Result<(usize, usize, u64, usize), String> {
-    let mut chunks = 0usize;
-    let mut bytes_copied = 0u64;
-    let mut peak_footprint = store.heap_bytes();
-
-    // Remaining shm payload: sum of segment sizes, shrinking as we consume.
-    let mut remaining_shm: usize = 0;
+    tracker: &FootprintTracker,
+    threads: usize,
+) -> Result<(usize, usize, u64), String> {
+    // Open every segment up front: a missing one fails the whole restore
+    // before any unit is decoded, and the sum of their sizes seeds the
+    // footprint's shared-memory term.
     let mut segments = Vec::with_capacity(segment_names.len());
+    let mut total_shm = 0usize;
     for name in segment_names {
         let seg = ShmSegment::open(name).map_err(|e| format!("segment {name:?} missing: {e}"))?;
-        remaining_shm += seg.len();
+        total_shm += seg.len();
         segments.push(seg);
     }
-    peak_footprint = peak_footprint.max(store.heap_bytes() + remaining_shm);
+    tracker.add_shm(total_shm);
+    tracker.sample();
 
+    let (chunks, bytes_copied) = if threads <= 1 || segments.len() <= 1 {
+        copy_back_sequential::<S>(store, segments, tracker)?
+    } else {
+        copy_back_parallel::<S>(store, segments, tracker, threads)?
+    };
+    Ok((segment_names.len(), chunks, bytes_copied))
+}
+
+fn copy_back_sequential<S: ShmPersistable>(
+    store: &mut S,
+    segments: Vec<ShmSegment>,
+    tracker: &FootprintTracker,
+) -> Result<(usize, u64), String> {
+    let mut chunks = 0usize;
+    let mut bytes_copied = 0u64;
     for segment in segments {
-        let seg_len = segment.len();
-        let seg_name = segment.name().to_owned();
-        let mut reader = SegmentReader::new(segment);
-        let name_len = reader
-            .read_u64()
-            .map_err(|e| format!("unit name frame: {e}"))?;
-        let name_crc = reader
-            .read(4)
-            .map_err(|e| format!("unit name frame: {e}"))?;
-        let name_bytes = reader
-            .read(name_len as usize)
-            .map_err(|e| format!("unit name frame: {e}"))?;
-        if scuba_shmem::crc32(&name_bytes)
-            != u32::from_le_bytes(name_crc.try_into().expect("read 4 bytes"))
-        {
-            return Err("unit name frame checksum mismatch".to_owned());
-        }
-        let unit =
-            String::from_utf8(name_bytes).map_err(|_| "unit name is not UTF-8".to_owned())?;
-
-        let mut source = FramingSource {
-            reader: &mut reader,
-            done: false,
-            chunks: 0,
-            payload_bytes: 0,
-        };
-        store
-            .restore_unit(&unit, &mut source)
-            .map_err(|e| format!("restoring unit {unit:?}: {e}"))?;
-        if !source.done {
-            // The store stopped early; drain to validate framing so a
-            // short read doesn't silently drop data.
-            while source.next_chunk().map_err(|e| e.to_string())?.is_some() {}
-        }
-        chunks += source.chunks;
-        bytes_copied += source.payload_bytes;
-
-        // "delete the table shared memory segment".
-        drop(reader);
-        ShmSegment::unlink(&seg_name).map_err(|e| e.to_string())?;
-        remaining_shm -= seg_len;
-        peak_footprint = peak_footprint.max(store.heap_bytes() + remaining_shm);
+        let (unit, data, c, b) = read_unit::<S>(segment, tracker)?;
+        install_unit(store, &unit, data, b, tracker)?;
+        chunks += c;
+        bytes_copied += b;
     }
-    Ok((segment_names.len(), chunks, bytes_copied, peak_footprint))
+    Ok((chunks, bytes_copied))
+}
+
+/// One segment handed from the coordinator to a worker.
+struct SegmentJob {
+    index: usize,
+    segment: ShmSegment,
+}
+
+/// A worker's verdict on one segment: the decoded unit ready to install,
+/// or the first failure.
+struct SegmentDone<U> {
+    index: usize,
+    result: Result<(String, U, usize, u64), String>,
+}
+
+fn copy_back_parallel<S: ShmPersistable>(
+    store: &mut S,
+    segments: Vec<ShmSegment>,
+    tracker: &FootprintTracker,
+    threads: usize,
+) -> Result<(usize, u64), String> {
+    let abort = AtomicBool::new(false);
+    let (res_tx, res_rx) = mpsc::channel::<SegmentDone<S::Unit>>();
+    let mut chunks = 0usize;
+    let mut bytes_copied = 0u64;
+    let mut first_err: Option<(usize, String)> = None;
+
+    std::thread::scope(|scope| {
+        let (job_tx, job_rx) = mpsc::sync_channel::<SegmentJob>(1);
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        for _ in 0..threads {
+            let job_rx = Arc::clone(&job_rx);
+            let res_tx = res_tx.clone();
+            let abort = &abort;
+            scope.spawn(move || loop {
+                let job = {
+                    let rx = job_rx.lock().expect("job receiver lock");
+                    rx.recv()
+                };
+                let Ok(job) = job else { break };
+                if abort.load(Ordering::Acquire) {
+                    // Drop without unlinking; the caller's cleanup sweeps
+                    // every segment on the error path.
+                    drop(job.segment);
+                    continue;
+                }
+                let result = read_unit::<S>(job.segment, tracker);
+                if result.is_err() {
+                    abort.store(true, Ordering::Release);
+                }
+                let _ = res_tx.send(SegmentDone {
+                    index: job.index,
+                    result,
+                });
+            });
+        }
+        drop(res_tx); // workers hold the remaining senders
+
+        let handle = |done: SegmentDone<S::Unit>,
+                      store: &mut S,
+                      first_err: &mut Option<(usize, String)>,
+                      chunks: &mut usize,
+                      bytes_copied: &mut u64| {
+            match done.result {
+                Ok((unit, data, c, b)) => match install_unit(store, &unit, data, b, tracker) {
+                    Ok(()) => {
+                        *chunks += c;
+                        *bytes_copied += b;
+                    }
+                    Err(e) => {
+                        abort.store(true, Ordering::Release);
+                        if first_err.as_ref().is_none_or(|(i, _)| done.index < *i) {
+                            *first_err = Some((done.index, e));
+                        }
+                    }
+                },
+                Err(e) => {
+                    if first_err.as_ref().is_none_or(|(i, _)| done.index < *i) {
+                        *first_err = Some((done.index, e));
+                    }
+                }
+            }
+        };
+
+        for (index, segment) in segments.into_iter().enumerate() {
+            if abort.load(Ordering::Acquire) {
+                break; // undrained segments are swept by cleanup
+            }
+            if job_tx.send(SegmentJob { index, segment }).is_err() {
+                break;
+            }
+            // Install whatever has already finished while dispatch
+            // continues, so decoded units do not pile up.
+            for done in res_rx.try_iter() {
+                handle(done, store, &mut first_err, &mut chunks, &mut bytes_copied);
+            }
+        }
+        drop(job_tx); // close the queue; workers drain and exit
+        for done in res_rx.iter() {
+            handle(done, store, &mut first_err, &mut chunks, &mut bytes_copied);
+        }
+    });
+
+    match first_err {
+        Some((_, e)) => Err(e),
+        None => Ok((chunks, bytes_copied)),
+    }
 }
 
 fn fallback(reason: String, cleaned_up: bool) -> RestoreError {
@@ -312,21 +505,19 @@ fn cleanup(ns: &ShmNamespace, segment_names: &[String]) {
     for name in segment_names {
         let _ = ShmSegment::unlink(name);
     }
-    let _ = ShmSegment::unlink(&ns.metadata_name());
-    // Table segments are numbered contiguously from 0, so a linear sweep
-    // catches orphans the (possibly lost) metadata did not list.
-    let mut index = 0;
-    while ShmSegment::exists(&ns.table_segment_name(index)) {
-        let _ = ShmSegment::unlink(&ns.table_segment_name(index));
-        index += 1;
-    }
+    // Sweep orphans through the namespace (registry first, then the
+    // contiguous walk, then a capped index fallback). A plain
+    // `while exists(table_segment_name(i))` walk would stop at the first
+    // numbering gap and strand every higher-numbered segment — exactly
+    // the hole a partially-drained parallel restore leaves behind.
+    ns.unlink_all(ORPHAN_SWEEP_CAP.max(segment_names.len()));
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::backup::testutil::{ToyError, ToyStore};
-    use crate::backup::{backup_to_shm, BackupError};
+    use crate::backup::{backup_to_shm, backup_to_shm_with, BackupError};
     use std::sync::atomic::{AtomicU32, Ordering};
 
     static COUNTER: AtomicU32 = AtomicU32::new(100);
@@ -374,6 +565,47 @@ mod tests {
         assert!(!ShmSegment::exists(&ns.metadata_name()));
         for i in 0..3 {
             assert!(!ShmSegment::exists(&ns.table_segment_name(i)));
+        }
+    }
+
+    #[test]
+    fn parallel_round_trip_matches_sequential() {
+        // The tentpole fidelity property: for threads ∈ {1, 2, 8}, a
+        // parallel backup/restore cycle yields exactly the store and chunk
+        // counts the sequential protocol produces.
+        let seq_ns = test_ns();
+        let _c0 = Cleanup(seq_ns.clone());
+        let original = ToyStore::seeded(42, 9, 6, 2048);
+        let mut seq_store = original.clone();
+        let seq_bak =
+            backup_to_shm_with(&mut seq_store, &seq_ns, 1, CopyOptions::with_threads(1)).unwrap();
+        let mut seq_restored = ToyStore::default();
+        let seq_res =
+            restore_from_shm_with(&mut seq_restored, &seq_ns, 1, CopyOptions::with_threads(1))
+                .unwrap();
+        assert_eq!(seq_restored, original);
+
+        for threads in [2usize, 8] {
+            let ns = test_ns();
+            let _c = Cleanup(ns.clone());
+            let mut store = original.clone();
+            let bak =
+                backup_to_shm_with(&mut store, &ns, 1, CopyOptions::with_threads(threads)).unwrap();
+            assert!(store.units.is_empty());
+            assert_eq!(bak.chunks, seq_bak.chunks, "threads={threads}");
+            assert_eq!(bak.bytes_copied, seq_bak.bytes_copied, "threads={threads}");
+
+            let mut restored = ToyStore::default();
+            let res =
+                restore_from_shm_with(&mut restored, &ns, 1, CopyOptions::with_threads(threads))
+                    .unwrap();
+            assert_eq!(restored, original, "threads={threads}");
+            assert_eq!(res.chunks, seq_res.chunks, "threads={threads}");
+            assert_eq!(res.bytes_copied, seq_res.bytes_copied, "threads={threads}");
+            assert!(!ShmSegment::exists(&ns.metadata_name()));
+            for i in 0..12 {
+                assert!(!ShmSegment::exists(&ns.table_segment_name(i)));
+            }
         }
     }
 
@@ -485,6 +717,49 @@ mod tests {
         assert!(fb.reason.contains("poisoned"), "{}", fb.reason);
         // Interrupted restore must leave the valid bit unusable.
         assert!(!ShmSegment::exists(&ns.metadata_name()));
+    }
+
+    #[test]
+    fn store_error_during_parallel_restore_falls_back() {
+        // Same invariant with workers: a poisoned install aborts the run,
+        // the fallback fires, and the sweep leaves nothing behind — even
+        // though other workers had already unlinked their segments
+        // (numbering gaps must not strand the rest).
+        let ns = test_ns();
+        let _c = Cleanup(ns.clone());
+        let mut store = ToyStore::seeded(77, 8, 4, 512);
+        backup_to_shm_with(&mut store, &ns, 1, CopyOptions::with_threads(4)).unwrap();
+        let mut restored = ToyStore {
+            poison: Some("unit_004".to_owned()),
+            ..Default::default()
+        };
+        let err =
+            restore_from_shm_with(&mut restored, &ns, 1, CopyOptions::with_threads(4)).unwrap_err();
+        let RestoreError::Fallback(fb) = err;
+        assert!(fb.reason.contains("poisoned"), "{}", fb.reason);
+        assert!(fb.cleaned_up);
+        assert!(!ShmSegment::exists(&ns.metadata_name()));
+        for i in 0..10 {
+            assert!(!ShmSegment::exists(&ns.table_segment_name(i)));
+        }
+    }
+
+    #[test]
+    fn cleanup_sweeps_past_numbering_gaps() {
+        // Orphan sweep regression: segments t0 and t2 exist, t1 does not.
+        // The old `while exists(i)` walk stopped at the gap and leaked t2.
+        let ns = test_ns();
+        let _c = Cleanup(ns.clone());
+        let _ = ShmSegment::create(&ns.table_segment_name(0), 64).unwrap();
+        let _ = ShmSegment::create(&ns.table_segment_name(2), 64).unwrap();
+        let _ = ShmSegment::create(&ns.table_segment_name(7), 64).unwrap();
+        cleanup(&ns, &[]);
+        for i in 0..10 {
+            assert!(
+                !ShmSegment::exists(&ns.table_segment_name(i)),
+                "segment {i} leaked past the sweep"
+            );
+        }
     }
 
     #[test]

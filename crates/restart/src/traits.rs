@@ -8,6 +8,14 @@
 //! *chunks* (Scuba: row block column buffers / row block images). The
 //! protocol owns segment naming, framing, the valid-bit commit, and
 //! footprint bookkeeping; the store owns its own serialization.
+//!
+//! The interface is split so the copy loops can be parallelized across
+//! units: taking a unit *out of the store* ([`ShmPersistable::extract_unit`],
+//! [`ShmPersistable::install_unit`]) happens under the coordinator, which
+//! owns `&mut self`; turning an owned unit into chunks and back
+//! ([`ShmPersistable::backup_extracted`], [`ShmPersistable::decode_unit`])
+//! needs no store access at all, so worker threads can run those steps for
+//! different units concurrently.
 
 use scuba_shmem::ShmError;
 
@@ -35,6 +43,10 @@ pub trait ShmPersistable {
     /// Store-level serialization error.
     type Error: std::error::Error + From<ShmError> + Send + Sync + 'static;
 
+    /// One extracted unit, owned by value (Scuba: a table). `Send` so a
+    /// worker thread can serialize or decode it away from the store.
+    type Unit: Send + 'static;
+
     /// Names of the units to persist, in persist order (Scuba: table
     /// names). Captured once at the start of backup.
     fn unit_names(&self) -> Vec<String>;
@@ -44,21 +56,38 @@ pub trait ShmPersistable {
     /// if the estimate was low and trims it afterwards.
     fn estimate_unit_size(&self, unit: &str) -> usize;
 
-    /// Stream one unit into `sink` chunk by chunk, freeing the unit's
+    /// Take `unit` out of the store by value (Figure 6: "delete table
+    /// from heap" — the table leaves the map here; its blocks are freed
+    /// chunk by chunk in [`ShmPersistable::backup_extracted`]). After this
+    /// returns, [`ShmPersistable::heap_bytes`] no longer counts the unit.
+    fn extract_unit(&mut self, unit: &str) -> Result<Self::Unit, Self::Error>;
+
+    /// Heap bytes held by an extracted unit. Used by the protocol to keep
+    /// the §4.4 footprint accounting exact while units are in flight
+    /// between extraction and serialization.
+    fn unit_heap_bytes(unit: &Self::Unit) -> usize;
+
+    /// Stream an extracted unit into `sink` chunk by chunk, freeing its
     /// heap memory as each chunk is handed off (Figure 6's inner loops:
     /// "copy data from heap to the table segment; delete row block column
-    /// from heap"). On success the unit must be gone from the store.
-    fn backup_unit(&mut self, unit: &str, sink: &mut dyn ChunkSink) -> Result<(), Self::Error>;
+    /// from heap"). Takes no `&self`, so workers may run it concurrently
+    /// for different units.
+    fn backup_extracted(data: Self::Unit, sink: &mut dyn ChunkSink) -> Result<(), Self::Error>;
 
     /// Rebuild one unit by draining `source` (Figure 7's inner loops:
     /// "allocate memory in heap; copy data from table segment to heap").
     /// Must validate chunk integrity and error on anything suspect — the
-    /// protocol turns any error into a fall-back-to-disk.
-    fn restore_unit(&mut self, unit: &str, source: &mut dyn ChunkSource)
-        -> Result<(), Self::Error>;
+    /// protocol turns any error into a fall-back-to-disk. Takes no
+    /// `&self`; the decoded unit is handed to
+    /// [`ShmPersistable::install_unit`] under the coordinator.
+    fn decode_unit(unit: &str, source: &mut dyn ChunkSource) -> Result<Self::Unit, Self::Error>;
 
-    /// Current heap footprint in bytes. Sampled by the protocol after
-    /// every chunk to record the peak combined footprint, so it should be
-    /// O(1) (a maintained counter, not a walk).
+    /// Put a decoded unit into the store (the only store mutation on the
+    /// restore path, run under the coordinator's `&mut self`).
+    fn install_unit(&mut self, unit: &str, data: Self::Unit) -> Result<(), Self::Error>;
+
+    /// Current heap footprint in bytes, excluding extracted units. Sampled
+    /// by the protocol to record the peak combined footprint, so it should
+    /// be O(1) (a maintained counter, not a walk).
     fn heap_bytes(&self) -> usize;
 }

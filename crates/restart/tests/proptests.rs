@@ -10,7 +10,8 @@ use proptest::collection::{btree_map, vec};
 use proptest::prelude::*;
 
 use scuba_restart::{
-    backup_to_shm, restore_from_shm, ChunkSink, ChunkSource, RestoreError, ShmPersistable,
+    backup_to_shm, backup_to_shm_with, restore_from_shm, restore_from_shm_with, ChunkSink,
+    ChunkSource, CopyOptions, RestoreError, ShmPersistable,
 };
 use scuba_shmem::{ShmError, ShmNamespace, ShmSegment};
 
@@ -36,6 +37,7 @@ impl From<ShmError> for PropError {
 
 impl ShmPersistable for PropStore {
     type Error = PropError;
+    type Unit = Vec<Vec<u8>>;
     fn unit_names(&self) -> Vec<String> {
         self.units.keys().cloned().collect()
     }
@@ -45,18 +47,27 @@ impl ShmPersistable for PropStore {
             .map(|cs| cs.iter().map(Vec::len).sum())
             .unwrap_or(0)
     }
-    fn backup_unit(&mut self, unit: &str, sink: &mut dyn ChunkSink) -> Result<(), PropError> {
-        for chunk in self.units.remove(unit).unwrap_or_default() {
+    fn extract_unit(&mut self, unit: &str) -> Result<Self::Unit, PropError> {
+        Ok(self.units.remove(unit).unwrap_or_default())
+    }
+    fn unit_heap_bytes(unit: &Self::Unit) -> usize {
+        unit.iter().map(Vec::len).sum()
+    }
+    fn backup_extracted(data: Self::Unit, sink: &mut dyn ChunkSink) -> Result<(), PropError> {
+        for chunk in data {
             sink.put_chunk(&chunk)?;
         }
         Ok(())
     }
-    fn restore_unit(&mut self, unit: &str, source: &mut dyn ChunkSource) -> Result<(), PropError> {
+    fn decode_unit(_unit: &str, source: &mut dyn ChunkSource) -> Result<Self::Unit, PropError> {
         let mut chunks = Vec::new();
         while let Some(c) = source.next_chunk()? {
             chunks.push(c);
         }
-        self.units.insert(unit.to_owned(), chunks);
+        Ok(chunks)
+    }
+    fn install_unit(&mut self, unit: &str, data: Self::Unit) -> Result<(), PropError> {
+        self.units.insert(unit.to_owned(), data);
         Ok(())
     }
     fn heap_bytes(&self) -> usize {
@@ -96,16 +107,17 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]
 
     #[test]
-    fn backup_restore_is_identity(store in arb_store()) {
+    fn backup_restore_is_identity(store in arb_store(), threads in 1usize..=8) {
         let ns = fresh_ns();
         let _c = Cleanup(ns.clone());
         let original = store.clone();
         let mut store = store;
-        let bak = backup_to_shm(&mut store, &ns, 1).unwrap();
+        let opts = CopyOptions::with_threads(threads);
+        let bak = backup_to_shm_with(&mut store, &ns, 1, opts).unwrap();
         prop_assert!(store.units.is_empty());
 
         let mut restored = PropStore::default();
-        let res = restore_from_shm(&mut restored, &ns, 1).unwrap();
+        let res = restore_from_shm_with(&mut restored, &ns, 1, opts).unwrap();
         prop_assert_eq!(&restored, &original);
         prop_assert_eq!(res.chunks, bak.chunks);
         prop_assert_eq!(res.bytes_copied, bak.bytes_copied);

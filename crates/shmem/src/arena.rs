@@ -105,10 +105,37 @@ impl SegmentReader {
         Ok(out)
     }
 
+    /// Borrow the next `len` bytes directly out of the mapping without
+    /// copying, advancing the cursor. This is the zero-copy read the
+    /// restore path uses for framing fields and for checksum verification
+    /// *before* paying the shm→heap memcpy: a torn chunk is rejected
+    /// without ever allocating for it. The borrow ends before the next
+    /// mutating call (`release_consumed` punches only *behind* the cursor,
+    /// so a hole never invalidates data a previous borrow copied out).
+    pub fn read_borrowed(&mut self, len: usize) -> ShmResult<&[u8]> {
+        if len > self.remaining() {
+            return Err(ShmError::OutOfBounds {
+                name: self.segment.name().to_owned(),
+                offset: self.cursor,
+                len,
+                size: self.segment.len(),
+            });
+        }
+        let start = self.cursor;
+        self.cursor += len;
+        Ok(&self.segment.as_slice()[start..start + len])
+    }
+
     /// Read a little-endian u64 length prefix.
     pub fn read_u64(&mut self) -> ShmResult<u64> {
-        let bytes = self.read(8)?;
+        let bytes = self.read_borrowed(8)?;
         Ok(u64::from_le_bytes(bytes.try_into().unwrap()))
+    }
+
+    /// Read a little-endian u32 (checksum fields).
+    pub fn read_u32(&mut self) -> ShmResult<u32> {
+        let bytes = self.read_borrowed(4)?;
+        Ok(u32::from_le_bytes(bytes.try_into().unwrap()))
     }
 
     /// Punch out the fully-consumed, page-aligned prefix behind the
@@ -229,6 +256,27 @@ mod tests {
         assert_eq!(r.read(payload.len() - half).unwrap(), &payload[half..]);
         // Idempotent at the same cursor.
         r.release_consumed().unwrap();
+    }
+
+    #[test]
+    fn read_borrowed_is_zero_copy_and_advances() {
+        let (s, name) = seg("borrow", 0);
+        let _c = Cleanup(name);
+        let mut w = SegmentWriter::new(s);
+        w.write(b"abcdefgh").unwrap();
+        w.write_u64(42).unwrap();
+        let s = w.finish().unwrap();
+
+        let mut r = SegmentReader::new(s);
+        assert_eq!(r.read_borrowed(4).unwrap(), b"abcd");
+        assert_eq!(r.position(), 4);
+        assert_eq!(r.read_borrowed(4).unwrap(), b"efgh");
+        assert_eq!(r.read_u64().unwrap(), 42);
+        assert_eq!(r.remaining(), 0);
+        assert!(matches!(
+            r.read_borrowed(1),
+            Err(ShmError::OutOfBounds { .. })
+        ));
     }
 
     #[test]

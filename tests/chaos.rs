@@ -6,8 +6,10 @@
 //! `/dev/shm`.
 //!
 //! Knobs (env):
-//! * `SCUBA_CHAOS_WAVES` — wave count (default 200).
-//! * `SCUBA_CHAOS_SEED`  — wave script seed (default fixed).
+//! * `SCUBA_CHAOS_WAVES`   — wave count (default 200).
+//! * `SCUBA_CHAOS_SEED`    — wave script seed (default fixed).
+//! * `SCUBA_CHAOS_THREADS` — copy-pipeline workers (default 4: the soak
+//!   runs with the parallel pool enabled).
 
 use scuba_cluster::chaos::{run_chaos, ChaosConfig};
 
@@ -32,6 +34,7 @@ fn chaos_soak_over_restart_protocol() {
         rows_per_wave: 120,
         shm_prefix: prefix,
         disk_root: dir.clone(),
+        copy_threads: env_u64("SCUBA_CHAOS_THREADS", 4) as usize,
     };
     let report = run_chaos(&cfg).unwrap_or_else(|violation| panic!("{violation}"));
 
