@@ -99,6 +99,39 @@ fn main() {
     println!("\n  (\"used\" is the pool size after clamping to the table count;");
     println!("  scaling requires a multi-core host — nproc gates the speedup.)");
 
+    // -- Figure-5 phase breakdown from the instrumented protocol. --------
+    // A dedicated single-thread run, so the per-phase nanoseconds are
+    // wall-clock (with a worker pool the phase sum counts CPU time across
+    // workers and legitimately exceeds the run's wall time).
+    let mut rig = LeafRig::new("e1r");
+    rig.config.copy_threads = 1;
+    let mut server = build_leaf(&rig, 300_000);
+    server.shutdown_to_shm(0).expect("shutdown");
+    drop(server);
+    let (_server, outcome) = LeafServer::start(rig.config.clone(), 0, None).expect("start");
+    assert!(outcome.is_memory());
+
+    println!("\n-- instrumented phase breakdown (1 thread, 300k rows) --\n");
+    let report = scuba::obs::RestartReport::capture();
+    print!("{report}");
+    if scuba::obs::enabled() {
+        for b in [&report.backup, &report.restore] {
+            let b = b
+                .as_ref()
+                .expect("instrumented run must publish a breakdown");
+            let sum = b.phase_sum().as_secs_f64();
+            let total = b.total.as_secs_f64();
+            assert!(
+                sum >= total * 0.95 && sum <= total * 1.05,
+                "{} phase sum {:.3} ms strays >5% from total {:.3} ms",
+                b.op,
+                sum * 1e3,
+                total * 1e3
+            );
+        }
+        println!("\n  phase sums within 5% of measured totals: ok");
+    }
+
     println!("\n-- paper scale (simulator, 8 leaves x 15 GB per machine) --\n");
     let cfg = SimConfig::paper_defaults();
     table_header();
@@ -127,4 +160,16 @@ fn main() {
         &fmt_dur(leaf_restart_secs(&cfg, RecoveryPath::Disk, 1)),
     );
     println!("\nshape check: shared memory wins at every size; the gap grows with data volume.");
+
+    // For the CI observability leg: dump both expositions for offline
+    // linting (`obs_lint`) when asked.
+    if let Ok(dir) = std::env::var("SCUBA_OBS_DIR") {
+        let dir = std::path::PathBuf::from(dir);
+        std::fs::create_dir_all(&dir).expect("create SCUBA_OBS_DIR");
+        std::fs::write(dir.join("metrics.prom"), scuba::obs::prometheus_text())
+            .expect("write metrics.prom");
+        std::fs::write(dir.join("metrics.json"), scuba::obs::json_snapshot())
+            .expect("write metrics.json");
+        println!("\nwrote metrics exposition to {}", dir.display());
+    }
 }

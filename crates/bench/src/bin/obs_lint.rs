@@ -1,0 +1,90 @@
+//! Offline lint for the CI observability leg.
+//!
+//! `exp_restart_time` (run with `SCUBA_OBS_DIR=<dir>`) dumps the
+//! Prometheus text exposition to `<dir>/metrics.prom` and the JSON
+//! snapshot to `<dir>/metrics.json`. This binary then fails the build if
+//!
+//! 1. the text exposition does not pass the `promtool check metrics`-style
+//!    lint (hand-coded scanner in `scuba-obs`, no regex crate), or
+//! 2. any instrumented restart phase reports zero accumulated duration —
+//!    a zero `restart_phase_nanos_total{op,phase}` counter after a real
+//!    backup + restore means an instrumentation point went dead.
+//!
+//! ```sh
+//! SCUBA_OBS_DIR=/tmp/obs cargo run --release -p scuba-bench --bin exp_restart_time
+//! cargo run --release -p scuba-bench --bin obs_lint -- /tmp/obs
+//! ```
+
+use std::path::PathBuf;
+use std::process::exit;
+
+const BACKUP_PHASES: &[&str] = &["prepare", "extract", "encode", "crc", "shm_write", "commit"];
+const RESTORE_PHASES: &[&str] = &["open", "crc", "heap_copy", "decode", "install", "commit"];
+
+/// Pull an unsigned integer value for `key` out of the JSON snapshot.
+/// Keys are full series names; quotes inside label values arrive escaped.
+fn json_u64(json: &str, key: &str) -> Option<u64> {
+    let escaped = key.replace('\\', "\\\\").replace('"', "\\\"");
+    let needle = format!("\"{escaped}\": ");
+    let start = json.find(&needle)? + needle.len();
+    let digits: String = json[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+fn read(path: &PathBuf) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("obs_lint: cannot read {}: {e}", path.display());
+        eprintln!("(run exp_restart_time with SCUBA_OBS_DIR set to produce it)");
+        exit(2);
+    })
+}
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .or_else(|| std::env::var("SCUBA_OBS_DIR").ok())
+        .unwrap_or_else(|| {
+            eprintln!("usage: obs_lint <dir with metrics.prom + metrics.json>");
+            exit(2);
+        });
+    let dir = PathBuf::from(dir);
+    let mut problems = Vec::new();
+
+    // 1. promtool-style lint over the text exposition.
+    let prom = read(&dir.join("metrics.prom"));
+    for p in scuba::obs::promlint(&prom) {
+        problems.push(format!("metrics.prom: {p}"));
+    }
+    println!(
+        "obs_lint: metrics.prom — {} lines, {} problem(s)",
+        prom.lines().count(),
+        problems.len()
+    );
+
+    // 2. every instrumented phase recorded real time.
+    let json = read(&dir.join("metrics.json"));
+    for (op, phases) in [("backup", BACKUP_PHASES), ("restore", RESTORE_PHASES)] {
+        for phase in phases {
+            let key = format!("restart_phase_nanos_total{{op=\"{op}\",phase=\"{phase}\"}}");
+            match json_u64(&json, &key) {
+                None => problems.push(format!("metrics.json: series `{key}` is missing")),
+                Some(0) => problems.push(format!(
+                    "metrics.json: phase `{op}/{phase}` reports zero duration"
+                )),
+                Some(ns) => println!("obs_lint: {op:>7}/{phase:<9} {ns:>12} ns"),
+            }
+        }
+    }
+
+    if problems.is_empty() {
+        println!("obs_lint: clean");
+    } else {
+        for p in &problems {
+            eprintln!("obs_lint: FAIL: {p}");
+        }
+        exit(1);
+    }
+}

@@ -17,6 +17,7 @@
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
+use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -24,6 +25,8 @@ use scuba_columnstore::Row;
 use scuba_leaf::{LeafConfig, LeafPhase, LeafServer};
 use scuba_query::Query;
 use scuba_shmem::{ShmNamespace, ShmSegment};
+
+use crate::dashboard::{Dashboard, DashboardFeed};
 
 /// One scripted injection: the site to arm, its plan, and (for sites only
 /// reachable on the disk path) a companion fault that steers the wave
@@ -165,8 +168,9 @@ pub struct WaveRecord {
     pub memory: bool,
 }
 
-/// Soak summary; fully deterministic for a given [`ChaosConfig`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Soak summary; the wave trace is fully deterministic for a given
+/// [`ChaosConfig`] (the dashboard rows carry wall-clock timings).
+#[derive(Debug, Clone)]
 pub struct ChaosReport {
     /// Waves completed.
     pub waves: usize,
@@ -180,6 +184,9 @@ pub struct ChaosReport {
     pub final_rows: usize,
     /// Per-wave trace.
     pub records: Vec<WaveRecord>,
+    /// Figure-8 style availability trace built from the live leaf
+    /// metrics: one "down" and one "recovered" sample per wave.
+    pub dashboard: Dashboard,
 }
 
 impl ChaosReport {
@@ -205,6 +212,9 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
     let ns = ShmNamespace::new(&cfg.shm_prefix, 0).map_err(|e| e.to_string())?;
     let mut server = LeafServer::new(leaf_cfg.clone()).map_err(|e| e.to_string())?;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Dashboard rows come straight from the leaf's published metrics.
+    let mut feed = DashboardFeed::from_keys(vec![server.obs_key().to_owned()]);
+    let started = Instant::now();
 
     let mut report = ChaosReport {
         waves: 0,
@@ -213,6 +223,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
         fired_by_site: BTreeMap::new(),
         final_rows: 0,
         records: Vec::with_capacity(cfg.waves),
+        dashboard: Dashboard::new(1),
     };
     // Rows made durable (synced) so far, per table. Nothing is ever added
     // while a fault is armed, so recovery must reproduce these exactly.
@@ -250,6 +261,10 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
         if server.shutdown_to_shm(0).is_err() {
             server.crash();
         }
+        // The leaf is down: the metric-fed dashboard must show the dip.
+        report
+            .dashboard
+            .push(feed.sample_metrics(started.elapsed()));
         let (new_server, outcome) = match LeafServer::start(leaf_cfg.clone(), 0, None) {
             Ok(pair) => pair,
             Err(_) => {
@@ -319,6 +334,11 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
             }
         }
 
+        // Back up: the same feed must report the leaf answering again.
+        report
+            .dashboard
+            .push(feed.sample_metrics(started.elapsed()));
+
         report.records.push(WaveRecord {
             wave,
             site: inj.site,
@@ -361,6 +381,14 @@ mod tests {
         let a = run_chaos(&cfg_a).unwrap();
         assert_eq!(a.waves, 12);
         assert!(a.records.iter().any(|r| r.fired));
+        // The metric-fed dashboard saw each wave's dip and recovery.
+        assert_eq!(a.dashboard.rows().len(), 2 * a.waves);
+        if scuba_obs::enabled() {
+            assert!(a.dashboard.rows().iter().any(|r| r.availability == 0.0));
+            let last = a.dashboard.rows().last().unwrap();
+            assert_eq!(last.availability, 1.0);
+            assert_eq!(last.new_version, 1);
+        }
         let _ = std::fs::remove_dir_all(&cfg_a.disk_root);
 
         // Same seed, fresh state: identical wave script and outcomes.

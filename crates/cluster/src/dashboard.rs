@@ -13,6 +13,8 @@
 use std::fmt;
 use std::time::Duration;
 
+use crate::cluster::Cluster;
+
 /// One sample of rollover progress.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DashboardRow {
@@ -102,6 +104,128 @@ impl Dashboard {
 impl fmt::Display for Dashboard {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.render(20))
+    }
+}
+
+/// Produces [`DashboardRow`]s from the live per-leaf metrics published by
+/// `scuba-leaf` (`leaf_recoveries_total`, `leaf_accepting_queries`)
+/// instead of hand-constructed samples.
+///
+/// The feed snapshots each leaf's recovery counter at creation; a leaf
+/// whose counter has advanced past that baseline has come back on the
+/// "new version". A leaf whose gauge says it is not answering queries is
+/// "rolling"; everyone else is still "old". Availability is the fraction
+/// of leaves answering — by construction the same number
+/// [`Cluster::availability`] computes from slot phases, because every
+/// phase transition in the leaf server routes through the gauge.
+///
+/// When instrumentation is disabled ([`scuba_obs::enabled`] is false) the
+/// gauges are never written, so [`DashboardFeed::sample`] falls back to
+/// reading slot phases directly and classifies a leaf as "new" once it
+/// has been observed down and then answering again.
+#[derive(Debug)]
+pub struct DashboardFeed {
+    keys: Vec<String>,
+    baseline: Vec<u64>,
+    /// Fallback state for the metrics-disabled path: set once a leaf is
+    /// seen not answering; a leaf that answers again afterwards is "new".
+    seen_down: Vec<bool>,
+}
+
+fn recoveries(key: &str) -> u64 {
+    let name = scuba_obs::labeled_name("leaf_recoveries_total", &[("leaf", key)]);
+    scuba_obs::counter_value(&name).unwrap_or(0)
+}
+
+fn accepting(key: &str) -> Option<bool> {
+    let name = scuba_obs::labeled_name("leaf_accepting_queries", &[("leaf", key)]);
+    scuba_obs::gauge_value(&name).map(|v| v > 0)
+}
+
+impl DashboardFeed {
+    /// A feed over every leaf in `cluster`, with recovery baselines taken
+    /// now. Create it immediately before starting a rollover.
+    pub fn new(cluster: &Cluster) -> DashboardFeed {
+        let keys = cluster
+            .machines()
+            .iter()
+            .flat_map(|m| m.slots())
+            .map(|s| format!("{}:{}", s.config().shm_prefix, s.config().leaf_id))
+            .collect();
+        DashboardFeed::from_keys(keys)
+    }
+
+    /// A feed over an explicit set of leaf metric keys (each leaf's
+    /// `shm_prefix:leaf_id`), for callers without a [`Cluster`] handle —
+    /// the chaos soak rolls a single bare [`scuba_leaf::LeafServer`].
+    pub fn from_keys(keys: Vec<String>) -> DashboardFeed {
+        let baseline = keys.iter().map(|k| recoveries(k)).collect();
+        let seen_down = vec![false; keys.len()];
+        DashboardFeed {
+            keys,
+            baseline,
+            seen_down,
+        }
+    }
+
+    /// Sample the fleet: one row classifying every leaf as old/rolling/new
+    /// from the metric registry, falling back to slot phases when
+    /// instrumentation is disabled.
+    pub fn sample(&mut self, cluster: &Cluster, elapsed: Duration) -> DashboardRow {
+        let phases: Vec<bool> = cluster
+            .machines()
+            .iter()
+            .flat_map(|m| m.slots())
+            .map(|s| s.phase().accepts_queries())
+            .collect();
+        self.sample_inner(elapsed, &phases)
+    }
+
+    /// Sample purely from the metric registry, with no cluster handle.
+    /// With instrumentation disabled there is nothing to read, so every
+    /// leaf reports as answering on the old version.
+    pub fn sample_metrics(&mut self, elapsed: Duration) -> DashboardRow {
+        let fallback = vec![true; self.keys.len()];
+        self.sample_inner(elapsed, &fallback)
+    }
+
+    fn sample_inner(&mut self, elapsed: Duration, fallback_accepts: &[bool]) -> DashboardRow {
+        let total = self.keys.len();
+        let mut old_version = 0;
+        let mut rolling = 0;
+        let mut new_version = 0;
+        let mut answering = 0;
+        for (i, key) in self.keys.iter().enumerate() {
+            let accepts =
+                accepting(key).unwrap_or_else(|| fallback_accepts.get(i).copied().unwrap_or(true));
+            if accepts {
+                answering += 1;
+            } else {
+                self.seen_down[i] = true;
+            }
+            let recovered = match scuba_obs::enabled() {
+                true => recoveries(key) > self.baseline[i],
+                false => self.seen_down[i] && accepts,
+            };
+            if !accepts {
+                rolling += 1;
+            } else if recovered {
+                new_version += 1;
+            } else {
+                old_version += 1;
+            }
+        }
+        DashboardRow {
+            elapsed,
+            old_version,
+            rolling,
+            new_version,
+            availability: if total == 0 {
+                1.0
+            } else {
+                answering as f64 / total as f64
+            },
+        }
     }
 }
 

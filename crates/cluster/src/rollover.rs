@@ -14,7 +14,7 @@ use std::time::{Duration, Instant};
 use scuba_leaf::RecoveryOutcome;
 
 use crate::cluster::Cluster;
-use crate::dashboard::{Dashboard, DashboardRow};
+use crate::dashboard::{Dashboard, DashboardFeed};
 
 /// Rollover policy knobs.
 #[derive(Debug, Clone)]
@@ -101,8 +101,9 @@ pub fn rollover(cluster: &mut Cluster, config: &RolloverConfig) -> RolloverRepor
     let started = Instant::now();
     let mut events = Vec::with_capacity(total);
     let mut dashboard = Dashboard::new(total);
+    // Dashboard rows come from the live leaf metrics, not hand counting.
+    let mut feed = DashboardFeed::new(cluster);
     let mut min_availability = 1.0f64;
-    let mut restarted = 0usize;
     let mut wave = 0usize;
 
     for chunk in order.chunks(per_wave) {
@@ -139,13 +140,7 @@ pub fn rollover(cluster: &mut Cluster, config: &RolloverConfig) -> RolloverRepor
 
         // Availability dips while the wave is down.
         min_availability = min_availability.min(cluster.availability());
-        dashboard.push(DashboardRow {
-            elapsed: started.elapsed(),
-            old_version: total - restarted - chunk.len(),
-            rolling: chunk.len(),
-            new_version: restarted,
-            availability: cluster.availability(),
-        });
+        dashboard.push(feed.sample(cluster, started.elapsed()));
 
         // Phase 2: start replacements and wait for recovery.
         for (m, l, killed, leaf_start) in wave_started {
@@ -162,17 +157,10 @@ pub fn rollover(cluster: &mut Cluster, config: &RolloverConfig) -> RolloverRepor
                 duration: leaf_start.elapsed(),
             });
         }
-        restarted += chunk.len();
         wave += 1;
     }
 
-    dashboard.push(DashboardRow {
-        elapsed: started.elapsed(),
-        old_version: 0,
-        rolling: 0,
-        new_version: total,
-        availability: cluster.availability(),
-    });
+    dashboard.push(feed.sample(cluster, started.elapsed()));
 
     RolloverReport {
         events,
@@ -270,6 +258,43 @@ mod tests {
         let report = rollover(&mut c, &cfg);
         assert_eq!(report.memory_recoveries(), 0);
         assert_eq!(c.total_rows(), 80);
+        cleanup(&c, &dir);
+    }
+
+    #[test]
+    fn feed_rows_match_hand_computation() {
+        let (mut c, dir) = test_cluster(2, 2);
+        fill(&mut c, 5);
+        let total = c.total_leaves();
+        let mut feed = DashboardFeed::new(&c);
+
+        let row = feed.sample(&c, Duration::from_secs(0));
+        assert_eq!(
+            (row.old_version, row.rolling, row.new_version),
+            (total, 0, 0)
+        );
+        assert_eq!(row.availability, c.availability());
+
+        // One leaf down: it shows as rolling, and the metric-derived
+        // availability equals the cluster's phase-based computation.
+        c.machines_mut()[0].slots_mut()[0].shutdown(0).unwrap();
+        let row = feed.sample(&c, Duration::from_secs(1));
+        assert_eq!(
+            (row.old_version, row.rolling, row.new_version),
+            (total - 1, 1, 0)
+        );
+        assert_eq!(row.availability, c.availability());
+        assert!(row.availability < 1.0);
+
+        // Back up: the advanced recovery counter moves it to "new".
+        c.machines_mut()[0].slots_mut()[0].start(0).unwrap();
+        let row = feed.sample(&c, Duration::from_secs(2));
+        assert_eq!(
+            (row.old_version, row.rolling, row.new_version),
+            (total - 1, 0, 1)
+        );
+        assert_eq!(row.availability, c.availability());
+        assert_eq!(row.availability, 1.0);
         cleanup(&c, &dir);
     }
 

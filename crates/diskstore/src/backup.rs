@@ -182,7 +182,10 @@ impl DiskBackup {
                 .sync_data()
                 .map_err(|e| DiskError::io(&path, e))?;
         }
-        Ok(std::mem::take(&mut self.dirty_bytes))
+        let synced = std::mem::take(&mut self.dirty_bytes);
+        scuba_obs::counter!("diskstore_syncs").inc();
+        scuba_obs::counter!("diskstore_synced_bytes").add(synced);
+        Ok(synced)
     }
 
     /// Bytes appended since the last sync.
@@ -259,6 +262,15 @@ impl DiskBackup {
             map.insert(t);
             stats.tables += 1;
         }
+        // Mirror the two §4.1 phases into the registry so disk recoveries
+        // show up next to the shared-memory phase counters.
+        scuba_obs::counter!("diskstore_recoveries").inc();
+        scuba_obs::counter!("diskstore_recovered_rows").add(stats.rows);
+        scuba_obs::counter!("diskstore_recovered_bytes").add(stats.bytes_read);
+        scuba_obs::counter!("diskstore_torn_tails").add(stats.torn_tails as u64);
+        scuba_obs::counter!("diskstore_read_nanos").add(stats.read_duration.as_nanos() as u64);
+        scuba_obs::counter!("diskstore_translate_nanos")
+            .add(stats.translate_duration.as_nanos() as u64);
         Ok((map, stats))
     }
 

@@ -260,6 +260,9 @@ fn check_slow(site: &str) -> Option<Fault> {
         let reg = lock_read();
         let s = reg.get(site)?;
         let hit = s.hits.fetch_add(1, Ordering::SeqCst) + 1;
+        // Only armed sites reach this cold path, so the per-site obs
+        // counters stay proportional to actual fault activity.
+        scuba_obs::labeled_counter("faults_hits_total", &[("site", site)]).inc();
         let fire = match s.plan.trigger {
             Trigger::Always => true,
             Trigger::OnceAt(n) => hit == n,
@@ -270,6 +273,7 @@ fn check_slow(site: &str) -> Option<Fault> {
             return None;
         }
         s.triggered.fetch_add(1, Ordering::SeqCst);
+        scuba_obs::labeled_counter("faults_triggered_total", &[("site", site)]).inc();
         s.plan.effect
     }; // registry lock released before any blocking effect
     match effect {

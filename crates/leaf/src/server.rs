@@ -67,6 +67,18 @@ impl LeafPhase {
     pub fn accepts_queries(self) -> bool {
         matches!(self, LeafPhase::Alive | LeafPhase::DiskRecovery)
     }
+
+    /// Stable ordinal for the `leaf_phase` gauge (0 = ALIVE … 5 = DOWN).
+    pub fn index(self) -> u8 {
+        match self {
+            LeafPhase::Alive => 0,
+            LeafPhase::Preparing => 1,
+            LeafPhase::CopyingToShm => 2,
+            LeafPhase::MemoryRecovery => 3,
+            LeafPhase::DiskRecovery => 4,
+            LeafPhase::Down => 5,
+        }
+    }
 }
 
 /// How a leaf came back up.
@@ -120,6 +132,9 @@ pub struct LeafServer {
     disk: DiskBackup,
     ns: ShmNamespace,
     phase: LeafPhase,
+    /// `{shm_prefix}:{leaf_id}` — the `leaf` label on this server's
+    /// metric series, unique per leaf within the process.
+    obs_key: String,
 }
 
 impl LeafServer {
@@ -127,20 +142,67 @@ impl LeafServer {
     pub fn new(config: LeafConfig) -> LeafResult<LeafServer> {
         let disk = DiskBackup::open(&config.disk_root)?;
         let ns = ShmNamespace::new(&config.shm_prefix, config.leaf_id)?;
-        Ok(LeafServer {
+        let obs_key = format!("{}:{}", config.shm_prefix, config.leaf_id);
+        let mut server = LeafServer {
             config,
             store: LeafStore::new(),
             disk,
             ns,
             phase: LeafPhase::Alive,
-        })
+            obs_key,
+        };
+        server.set_phase(LeafPhase::Alive);
+        Ok(server)
+    }
+
+    /// Record a phase edge: the admission-controlling field plus the
+    /// per-leaf `leaf_phase` / `leaf_accepting_queries` gauges the
+    /// dashboard feed reads. Every phase assignment goes through here.
+    fn set_phase(&mut self, phase: LeafPhase) {
+        self.phase = phase;
+        if scuba_obs::enabled() {
+            let labels = [("leaf", self.obs_key.as_str())];
+            scuba_obs::labeled_gauge("leaf_phase", &labels).set(i64::from(phase.index()));
+            scuba_obs::labeled_gauge("leaf_accepting_queries", &labels)
+                .set(i64::from(phase.accepts_queries()));
+        }
     }
 
     /// Start a leaf process, recovering state — Figure 5(b)/Figure 7.
     /// Tries shared memory first (if enabled), falling back to disk on any
     /// problem. `now` stamps recovered blocks; `disk_throttle` optionally
     /// paces the disk read phase at a simulated device bandwidth.
+    ///
+    /// This wrapper owns the restart counters: every call moves
+    /// `restarts_started`, and exactly one of `restarts_completed` /
+    /// `restarts_failed` — the chaos soak asserts started = completed +
+    /// failed after hundreds of waves.
     pub fn start(
+        config: LeafConfig,
+        now: i64,
+        disk_throttle: Option<&Throttle>,
+    ) -> LeafResult<(LeafServer, RecoveryOutcome)> {
+        scuba_obs::counter!("restarts_started").inc();
+        match LeafServer::start_inner(config, now, disk_throttle) {
+            Ok((server, outcome)) => {
+                if scuba_obs::enabled() {
+                    scuba_obs::counter!("restarts_completed").inc();
+                    scuba_obs::labeled_counter(
+                        "leaf_recoveries_total",
+                        &[("leaf", server.obs_key.as_str())],
+                    )
+                    .inc();
+                }
+                Ok((server, outcome))
+            }
+            Err(e) => {
+                scuba_obs::counter!("restarts_failed").inc();
+                Err(e)
+            }
+        }
+    }
+
+    fn start_inner(
         config: LeafConfig,
         now: i64,
         disk_throttle: Option<&Throttle>,
@@ -150,7 +212,7 @@ impl LeafServer {
 
         if server.config.shm_recovery_enabled {
             state = state.transition(LeafRestoreState::MemoryRecovery)?;
-            server.phase = LeafPhase::MemoryRecovery;
+            server.set_phase(LeafPhase::MemoryRecovery);
             phase_failpoint("leaf::phase::memory_recovery")?;
             match restore_from_shm_with(
                 &mut server.store,
@@ -161,7 +223,7 @@ impl LeafServer {
                 Ok(report) => {
                     state = state.transition(LeafRestoreState::Alive)?;
                     debug_assert_eq!(state, LeafRestoreState::Alive);
-                    server.phase = LeafPhase::Alive;
+                    server.set_phase(LeafPhase::Alive);
                     return Ok((server, RecoveryOutcome::Memory(report)));
                 }
                 Err(RestoreError::Fallback(fb)) => {
@@ -191,17 +253,34 @@ impl LeafServer {
         throttle: Option<&Throttle>,
         reason: String,
     ) -> LeafResult<RecoveryOutcome> {
-        self.phase = LeafPhase::DiskRecovery;
+        self.set_phase(LeafPhase::DiskRecovery);
         phase_failpoint("leaf::phase::disk_recovery")?;
         let (map, stats) = self.disk.recover(now, throttle)?;
         self.store = LeafStore::from_map(map);
-        self.phase = LeafPhase::Alive;
+        self.set_phase(LeafPhase::Alive);
         Ok(RecoveryOutcome::Disk { reason, stats })
     }
 
     /// Current phase.
     pub fn phase(&self) -> LeafPhase {
         self.phase
+    }
+
+    /// The `leaf` label on this server's metric series
+    /// (`{shm_prefix}:{leaf_id}`), for dashboards that read the gauges.
+    pub fn obs_key(&self) -> &str {
+        &self.obs_key
+    }
+
+    /// Prometheus text exposition of the process-wide metrics — what this
+    /// leaf's scrape endpoint would serve.
+    pub fn metrics_prometheus(&self) -> String {
+        scuba_obs::prometheus_text()
+    }
+
+    /// JSON snapshot of the process-wide metrics.
+    pub fn metrics_json(&self) -> String {
+        scuba_obs::json_snapshot()
     }
 
     /// This leaf's shared-memory namespace.
@@ -311,7 +390,7 @@ impl LeafServer {
 
         // PREPARE (Figure 5(c)): reject new requests, kill deletes, wait
         // for in-flight adds/queries (synchronous here), flush to disk.
-        self.phase = LeafPhase::Preparing;
+        self.set_phase(LeafPhase::Preparing);
         phase_failpoint("leaf::phase::preparing")?;
         let mut table_states: Vec<(String, TableBackupState)> = self
             .store
@@ -333,7 +412,7 @@ impl LeafServer {
 
         // COPY TO SHM (Figures 5(a) and 6).
         leaf_state = leaf_state.transition(LeafBackupState::CopyToShm)?;
-        self.phase = LeafPhase::CopyingToShm;
+        self.set_phase(LeafPhase::CopyingToShm);
         phase_failpoint("leaf::phase::copying")?;
         for (_, st) in &mut table_states {
             *st = st.transition(TableBackupState::CopyToShm)?;
@@ -355,7 +434,7 @@ impl LeafServer {
         phase_failpoint("leaf::phase::exit")?;
         leaf_state = leaf_state.transition(LeafBackupState::Exit)?;
         debug_assert_eq!(leaf_state, LeafBackupState::Exit);
-        self.phase = LeafPhase::Down;
+        self.set_phase(LeafPhase::Down);
 
         Ok(ShutdownSummary {
             table_states,
@@ -370,7 +449,7 @@ impl LeafServer {
     /// §4 crash path.
     pub fn crash(&mut self) {
         self.store = LeafStore::new();
-        self.phase = LeafPhase::Down;
+        self.set_phase(LeafPhase::Down);
     }
 }
 

@@ -1,0 +1,374 @@
+//! The process-global metrics registry: named counters, gauges, and
+//! log₂-bucket histograms.
+//!
+//! Metric handles are `&'static` — looked up (or created) once through the
+//! registry `RwLock`, then updated forever after with relaxed atomics. Hot
+//! sites cache the handle in a `OnceLock` via the [`counter!`] /
+//! [`gauge!`] / [`histogram!`] macros so the steady-state cost is one
+//! enabled-check load plus one `fetch_add`.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{OnceLock, RwLock};
+
+use crate::enabled;
+
+/// Monotonic counter. Increments are relaxed atomics and become no-ops when
+/// instrumentation is disabled.
+#[derive(Debug)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    fn new() -> Counter {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Add 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Signed gauge (e.g. live shm segment count). Updates are relaxed atomics
+/// and become no-ops when instrumentation is disabled.
+#[derive(Debug)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    fn new() -> Gauge {
+        Gauge {
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if enabled() {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Add a (possibly negative) delta.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if enabled() {
+            self.value.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Add 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtract 1.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: one per power of two of a `u64`, plus the
+/// zero bucket folded into slot 0 and an overflow (+Inf) slot at 63.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Fixed-bucket log₂ histogram. Bucket 0 holds exactly the value 0; bucket
+/// `i ≥ 1` holds `[2^(i-1), 2^i - 1]` (upper bound `2^i - 1`); bucket 63 is
+/// the +Inf overflow. Observations are three relaxed `fetch_add`s.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Bucket index for a value: 0 for 0, otherwise `64 - leading_zeros`,
+    /// clamped into the overflow slot.
+    #[inline]
+    pub fn bucket_index(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            ((64 - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+        }
+    }
+
+    /// Inclusive upper bound of bucket `i`, or `None` for the +Inf slot.
+    pub fn bucket_bound(i: usize) -> Option<u64> {
+        match i {
+            0 => Some(0),
+            _ if i < HISTOGRAM_BUCKETS - 1 => Some((1u64 << i) - 1),
+            _ => None,
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        if enabled() {
+            self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(v, Ordering::Relaxed);
+            self.count.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Raw (non-cumulative) per-bucket counts.
+    pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+/// A registered metric of any kind.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Metric {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+pub(crate) fn registry() -> &'static RwLock<BTreeMap<String, Metric>> {
+    static REGISTRY: OnceLock<RwLock<BTreeMap<String, Metric>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| RwLock::new(BTreeMap::new()))
+}
+
+fn lock_read() -> std::sync::RwLockReadGuard<'static, BTreeMap<String, Metric>> {
+    registry().read().unwrap_or_else(|p| p.into_inner())
+}
+
+fn lock_write() -> std::sync::RwLockWriteGuard<'static, BTreeMap<String, Metric>> {
+    registry().write().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Look up or create the counter `name`. Registration leaks one `Counter`
+/// per distinct name for the life of the process — metric names are a small
+/// fixed vocabulary, so this is the standard static-registry trade.
+pub fn counter(name: &str) -> &'static Counter {
+    if let Some(Metric::Counter(c)) = lock_read().get(name) {
+        return c;
+    }
+    let mut reg = lock_write();
+    match reg.get(name) {
+        Some(Metric::Counter(c)) => c,
+        Some(_) => panic!("metric `{name}` already registered with a different type"),
+        None => {
+            let c: &'static Counter = Box::leak(Box::new(Counter::new()));
+            reg.insert(name.to_string(), Metric::Counter(c));
+            c
+        }
+    }
+}
+
+/// Look up or create the gauge `name`.
+pub fn gauge(name: &str) -> &'static Gauge {
+    if let Some(Metric::Gauge(g)) = lock_read().get(name) {
+        return g;
+    }
+    let mut reg = lock_write();
+    match reg.get(name) {
+        Some(Metric::Gauge(g)) => g,
+        Some(_) => panic!("metric `{name}` already registered with a different type"),
+        None => {
+            let g: &'static Gauge = Box::leak(Box::new(Gauge::new()));
+            reg.insert(name.to_string(), Metric::Gauge(g));
+            g
+        }
+    }
+}
+
+/// Look up or create the histogram `name`.
+pub fn histogram(name: &str) -> &'static Histogram {
+    if let Some(Metric::Histogram(h)) = lock_read().get(name) {
+        return h;
+    }
+    let mut reg = lock_write();
+    match reg.get(name) {
+        Some(Metric::Histogram(h)) => h,
+        Some(_) => panic!("metric `{name}` already registered with a different type"),
+        None => {
+            let h: &'static Histogram = Box::leak(Box::new(Histogram::new()));
+            reg.insert(name.to_string(), Metric::Histogram(h));
+            h
+        }
+    }
+}
+
+/// Build the full registry key for a labelled series:
+/// `name{k1="v1",k2="v2"}` with label values escaped for exposition.
+pub fn labeled_name(name: &str, labels: &[(&str, &str)]) -> String {
+    let mut out = String::with_capacity(name.len() + 16 * labels.len());
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        for ch in v.chars() {
+            match ch {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// Counter with labels, e.g. `leaf_recoveries_total{leaf="pfx:0"}`.
+pub fn labeled_counter(name: &str, labels: &[(&str, &str)]) -> &'static Counter {
+    counter(&labeled_name(name, labels))
+}
+
+/// Gauge with labels.
+pub fn labeled_gauge(name: &str, labels: &[(&str, &str)]) -> &'static Gauge {
+    gauge(&labeled_name(name, labels))
+}
+
+/// Current value of a counter series by full name (`None` if unregistered).
+pub fn counter_value(name: &str) -> Option<u64> {
+    match lock_read().get(name) {
+        Some(Metric::Counter(c)) => Some(c.get()),
+        _ => None,
+    }
+}
+
+/// Current value of a gauge series by full name (`None` if unregistered).
+pub fn gauge_value(name: &str) -> Option<i64> {
+    match lock_read().get(name) {
+        Some(Metric::Gauge(g)) => Some(g.get()),
+        _ => None,
+    }
+}
+
+/// All registered gauges and their values — used by the chaos soak to
+/// assert the "no negative gauges" invariant in one sweep.
+pub fn gauge_values() -> Vec<(String, i64)> {
+    lock_read()
+        .iter()
+        .filter_map(|(name, m)| match m {
+            Metric::Gauge(g) => Some((name.clone(), g.get())),
+            _ => None,
+        })
+        .collect()
+}
+
+/// `&'static Counter` for a hot site: the registry lookup runs once, then
+/// the cached handle is a plain static reference.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static CELL: ::std::sync::OnceLock<&'static $crate::Counter> = ::std::sync::OnceLock::new();
+        *CELL.get_or_init(|| $crate::counter($name))
+    }};
+}
+
+/// `&'static Gauge` for a hot site (see [`counter!`]).
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static CELL: ::std::sync::OnceLock<&'static $crate::Gauge> = ::std::sync::OnceLock::new();
+        *CELL.get_or_init(|| $crate::gauge($name))
+    }};
+}
+
+/// `&'static Histogram` for a hot site (see [`counter!`]).
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static CELL: ::std::sync::OnceLock<&'static $crate::Histogram> =
+            ::std::sync::OnceLock::new();
+        *CELL.get_or_init(|| $crate::histogram($name))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 63);
+        // Each finite bucket's bound is the largest value it admits.
+        for i in 1..HISTOGRAM_BUCKETS - 1 {
+            let bound = Histogram::bucket_bound(i).unwrap();
+            assert_eq!(Histogram::bucket_index(bound), i, "bound of bucket {i}");
+            assert_eq!(Histogram::bucket_index(bound + 1), i + 1);
+        }
+        assert_eq!(Histogram::bucket_bound(63), None);
+    }
+
+    #[test]
+    fn labeled_name_escapes() {
+        assert_eq!(
+            labeled_name("m", &[("k", "a\"b\\c")]),
+            "m{k=\"a\\\"b\\\\c\"}"
+        );
+        assert_eq!(
+            labeled_name("m", &[("a", "1"), ("b", "2")]),
+            "m{a=\"1\",b=\"2\"}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_conflict_panics() {
+        let _x = crate::exclusive();
+        counter("obs_test_conflict_metric");
+        gauge("obs_test_conflict_metric");
+    }
+}

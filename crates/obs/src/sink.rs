@@ -1,0 +1,405 @@
+//! Exposition sinks: Prometheus text format, a hand-rolled JSON snapshot,
+//! and an offline `promtool`-style lint (no regex crate — hand-coded
+//! scanners only, per the no-new-dependencies rule).
+
+use std::collections::BTreeMap;
+
+use crate::metrics::{registry, Histogram, Metric};
+
+/// Split a full series key into `(base_name, labels_with_braces)`.
+fn split_series(key: &str) -> (&str, &str) {
+    match key.find('{') {
+        Some(i) => (&key[..i], &key[i..]),
+        None => (key, ""),
+    }
+}
+
+/// Prometheus counter names end in `_total`; labelled families already
+/// follow the convention, bare names get the suffix appended here.
+fn counter_exposition_name(base: &str) -> String {
+    if base.ends_with("_total") {
+        base.to_string()
+    } else {
+        format!("{base}_total")
+    }
+}
+
+/// Full Prometheus text exposition of every registered metric.
+pub fn prometheus_text() -> String {
+    prometheus_text_for("")
+}
+
+/// Prometheus text exposition restricted to series whose base name starts
+/// with `prefix` (empty prefix = everything). The filter keeps golden-file
+/// tests stable while other tests in the same process grow the registry.
+pub fn prometheus_text_for(prefix: &str) -> String {
+    let reg = registry().read().unwrap_or_else(|p| p.into_inner());
+    // Group series by base name so each family gets exactly one TYPE line.
+    let mut families: BTreeMap<String, Vec<(String, Metric)>> = BTreeMap::new();
+    for (key, metric) in reg.iter() {
+        let (base, labels) = split_series(key);
+        if !base.starts_with(prefix) {
+            continue;
+        }
+        families
+            .entry(base.to_string())
+            .or_default()
+            .push((labels.to_string(), *metric));
+    }
+    drop(reg);
+
+    let mut out = String::new();
+    for (base, series) in &families {
+        match series[0].1 {
+            Metric::Counter(_) => {
+                let name = counter_exposition_name(base);
+                out.push_str(&format!("# TYPE {name} counter\n"));
+                for (labels, metric) in series {
+                    if let Metric::Counter(c) = metric {
+                        out.push_str(&format!("{name}{labels} {}\n", c.get()));
+                    }
+                }
+            }
+            Metric::Gauge(_) => {
+                out.push_str(&format!("# TYPE {base} gauge\n"));
+                for (labels, metric) in series {
+                    if let Metric::Gauge(g) = metric {
+                        out.push_str(&format!("{base}{labels} {}\n", g.get()));
+                    }
+                }
+            }
+            Metric::Histogram(_) => {
+                out.push_str(&format!("# TYPE {base} histogram\n"));
+                for (labels, metric) in series {
+                    if let Metric::Histogram(h) = metric {
+                        write_histogram(&mut out, base, labels, h);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Emit cumulative `_bucket` lines (only boundaries with observations,
+/// plus the mandatory `+Inf`), then `_sum` and `_count`.
+fn write_histogram(out: &mut String, base: &str, labels: &str, h: &Histogram) {
+    let counts = h.bucket_counts();
+    let mut cumulative = 0u64;
+    for (i, &n) in counts.iter().enumerate() {
+        cumulative += n;
+        if n == 0 {
+            continue;
+        }
+        let le = match Histogram::bucket_bound(i) {
+            Some(bound) => bound.to_string(),
+            None => "+Inf".to_string(),
+        };
+        if le == "+Inf" {
+            continue; // emitted unconditionally below with the final total
+        }
+        out.push_str(&format!(
+            "{base}_bucket{} {cumulative}\n",
+            merge_le_label(labels, &le)
+        ));
+    }
+    out.push_str(&format!(
+        "{base}_bucket{} {}\n",
+        merge_le_label(labels, "+Inf"),
+        h.count()
+    ));
+    out.push_str(&format!("{base}_sum{labels} {}\n", h.sum()));
+    out.push_str(&format!("{base}_count{labels} {}\n", h.count()));
+}
+
+/// Insert `le="…"` into an existing label set (or create one).
+fn merge_le_label(labels: &str, le: &str) -> String {
+    if labels.is_empty() {
+        format!("{{le=\"{le}\"}}")
+    } else {
+        let inner = &labels[1..labels.len() - 1];
+        format!("{{{inner},le=\"{le}\"}}")
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// JSON snapshot of the whole registry:
+/// `{"counters":{...},"gauges":{...},"histograms":{"name":{"count":..,"sum":..,"buckets":[[le,cumulative],..]}}}`.
+/// Keys are the full series names (labels included).
+pub fn json_snapshot() -> String {
+    let reg = registry().read().unwrap_or_else(|p| p.into_inner());
+    let mut counters = Vec::new();
+    let mut gauges = Vec::new();
+    let mut histograms = Vec::new();
+    for (key, metric) in reg.iter() {
+        match metric {
+            Metric::Counter(c) => counters.push(format!("\"{}\": {}", json_escape(key), c.get())),
+            Metric::Gauge(g) => gauges.push(format!("\"{}\": {}", json_escape(key), g.get())),
+            Metric::Histogram(h) => {
+                let counts = h.bucket_counts();
+                let mut cumulative = 0u64;
+                let mut buckets = Vec::new();
+                for (i, &n) in counts.iter().enumerate() {
+                    cumulative += n;
+                    if n == 0 {
+                        continue;
+                    }
+                    let le = match Histogram::bucket_bound(i) {
+                        Some(bound) => format!("\"{bound}\""),
+                        None => "\"+Inf\"".to_string(),
+                    };
+                    buckets.push(format!("[{le}, {cumulative}]"));
+                }
+                histograms.push(format!(
+                    "\"{}\": {{\"count\": {}, \"sum\": {}, \"buckets\": [{}]}}",
+                    json_escape(key),
+                    h.count(),
+                    h.sum(),
+                    buckets.join(", ")
+                ));
+            }
+        }
+    }
+    drop(reg);
+    format!(
+        "{{\n  \"counters\": {{\n    {}\n  }},\n  \"gauges\": {{\n    {}\n  }},\n  \"histograms\": {{\n    {}\n  }}\n}}\n",
+        counters.join(",\n    "),
+        gauges.join(",\n    "),
+        histograms.join(",\n    ")
+    )
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_pair(pair: &str) -> bool {
+    let Some(eq) = pair.find('=') else {
+        return false;
+    };
+    let (key, value) = (&pair[..eq], &pair[eq + 1..]);
+    if key.is_empty() || !valid_metric_name(key) {
+        return false;
+    }
+    value.len() >= 2 && value.starts_with('"') && value.ends_with('"')
+}
+
+/// Split a label body `k="v",k2="v2"` on commas that sit outside quotes.
+fn split_label_pairs(body: &str) -> Vec<String> {
+    let mut pairs = Vec::new();
+    let mut current = String::new();
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for ch in body.chars() {
+        if escaped {
+            current.push(ch);
+            escaped = false;
+            continue;
+        }
+        match ch {
+            '\\' if in_quotes => {
+                current.push(ch);
+                escaped = true;
+            }
+            '"' => {
+                current.push(ch);
+                in_quotes = !in_quotes;
+            }
+            ',' if !in_quotes => {
+                pairs.push(std::mem::take(&mut current));
+            }
+            c => current.push(c),
+        }
+    }
+    if !current.is_empty() {
+        pairs.push(current);
+    }
+    pairs
+}
+
+/// Offline `promtool check metrics`-style lint over a text exposition.
+/// Returns a list of problems (empty = clean). Checks: well-formed `# TYPE`
+/// lines with known types, valid metric/label syntax on every sample,
+/// numeric values, every sample preceded by a TYPE declaration for its
+/// family, no duplicate TYPE lines, and counter families named `*_total`.
+pub fn promlint(text: &str) -> Vec<String> {
+    let mut problems = Vec::new();
+    let mut declared: BTreeMap<String, String> = BTreeMap::new(); // family -> type
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.trim_end();
+        if line.is_empty() || (line.starts_with('#') && !line.starts_with("# TYPE")) {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let (Some(name), Some(kind), None) = (parts.next(), parts.next(), parts.next()) else {
+                problems.push(format!("line {lineno}: malformed TYPE line: {line}"));
+                continue;
+            };
+            if !valid_metric_name(name) {
+                problems.push(format!("line {lineno}: invalid metric name `{name}`"));
+            }
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                problems.push(format!("line {lineno}: unknown metric type `{kind}`"));
+            }
+            if kind == "counter" && !name.ends_with("_total") {
+                problems.push(format!(
+                    "line {lineno}: counter `{name}` should end in _total"
+                ));
+            }
+            if declared
+                .insert(name.to_string(), kind.to_string())
+                .is_some()
+            {
+                problems.push(format!("line {lineno}: duplicate TYPE for `{name}`"));
+            }
+            continue;
+        }
+        // Sample line: name[{labels}] value
+        let (series, value) = match line.rfind(' ') {
+            Some(i) => (&line[..i], line[i + 1..].trim()),
+            None => {
+                problems.push(format!("line {lineno}: sample missing value: {line}"));
+                continue;
+            }
+        };
+        if value.parse::<f64>().is_err() && value != "+Inf" && value != "-Inf" && value != "NaN" {
+            problems.push(format!("line {lineno}: non-numeric value `{value}`"));
+        }
+        let (name, labels) = split_series(series);
+        if !valid_metric_name(name) {
+            problems.push(format!("line {lineno}: invalid metric name `{name}`"));
+        }
+        if !labels.is_empty() {
+            if !labels.starts_with('{') || !labels.ends_with('}') {
+                problems.push(format!("line {lineno}: malformed label block `{labels}`"));
+            } else {
+                for pair in split_label_pairs(&labels[1..labels.len() - 1]) {
+                    if !valid_label_pair(&pair) {
+                        problems.push(format!("line {lineno}: malformed label pair `{pair}`"));
+                    }
+                }
+            }
+        }
+        // A histogram family declares `x` but emits `x_bucket/_sum/_count`.
+        let family = declared.contains_key(name).then_some(name).or_else(|| {
+            ["_bucket", "_sum", "_count"].iter().find_map(|suffix| {
+                let stem = name.strip_suffix(suffix)?;
+                (declared.get(stem).map(String::as_str) == Some("histogram")).then_some(stem)
+            })
+        });
+        if family.is_none() {
+            problems.push(format!(
+                "line {lineno}: sample `{name}` has no preceding TYPE declaration"
+            ));
+        }
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_accepts_well_formed_exposition() {
+        let text = "# TYPE foo_total counter\nfoo_total{a=\"x,y\"} 3\n\
+                    # TYPE bar gauge\nbar 0\n\
+                    # TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 2\nh_count 2\n";
+        assert_eq!(promlint(text), Vec::<String>::new());
+    }
+
+    #[test]
+    fn lint_flags_problems() {
+        let text = "# TYPE foo counter\n\
+                    bad name 1\n\
+                    orphan 2\n\
+                    foo{k=} nope\n";
+        let problems = promlint(text);
+        assert!(
+            problems.iter().any(|p| p.contains("should end in _total")),
+            "{problems:?}"
+        );
+        assert!(
+            problems.iter().any(|p| p.contains("no preceding TYPE")),
+            "{problems:?}"
+        );
+        assert!(
+            problems.iter().any(|p| p.contains("non-numeric value")),
+            "{problems:?}"
+        );
+        assert!(
+            problems.iter().any(|p| p.contains("malformed label pair")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn own_exposition_passes_lint() {
+        let _x = crate::exclusive();
+        crate::set_enabled(true);
+        crate::counter("obs_sink_demo_ops_total").add(2);
+        crate::gauge("obs_sink_demo_depth").set(-3);
+        crate::histogram("obs_sink_demo_lat_ns").observe(100);
+        crate::labeled_counter("obs_sink_demo_hits_total", &[("site", "a,b\"c")]).inc();
+        let text = prometheus_text();
+        assert_eq!(promlint(&text), Vec::<String>::new(), "{text}");
+        let json = json_snapshot();
+        assert!(json.contains("\"obs_sink_demo_depth\": -3"), "{json}");
+        assert!(json.contains("obs_sink_demo_lat_ns"), "{json}");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let _x = crate::exclusive();
+        crate::set_enabled(true);
+        let h = crate::histogram("obs_sink_cumulative_ns");
+        h.observe(0);
+        h.observe(1);
+        h.observe(1);
+        h.observe(5); // bucket 3 (le=7)
+        let text = prometheus_text_for("obs_sink_cumulative_ns");
+        assert!(
+            text.contains("obs_sink_cumulative_ns_bucket{le=\"0\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("obs_sink_cumulative_ns_bucket{le=\"1\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("obs_sink_cumulative_ns_bucket{le=\"7\"} 4"),
+            "{text}"
+        );
+        assert!(
+            text.contains("obs_sink_cumulative_ns_bucket{le=\"+Inf\"} 4"),
+            "{text}"
+        );
+        assert!(text.contains("obs_sink_cumulative_ns_sum 7"), "{text}");
+        assert!(text.contains("obs_sink_cumulative_ns_count 4"), "{text}");
+    }
+}

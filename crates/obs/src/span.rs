@@ -1,0 +1,237 @@
+//! Structured spans: scoped timers with attributes, bytes, and an outcome,
+//! recorded into a bounded ring buffer when dropped.
+//!
+//! The Drop-flush is load-bearing: a worker that errors mid-copy still
+//! records its partial span (outcome `"error"`, duration up to the failure
+//! point), which is what makes failed restarts diagnosable (ISSUE 3
+//! satellite 1).
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::enabled;
+
+/// Default ring capacity; override with [`set_span_capacity`].
+const DEFAULT_CAPACITY: usize = 256;
+
+struct Ring {
+    records: VecDeque<SpanRecord>,
+    capacity: usize,
+}
+
+fn ring() -> &'static Mutex<Ring> {
+    static RING: Mutex<Ring> = Mutex::new(Ring {
+        records: VecDeque::new(),
+        capacity: DEFAULT_CAPACITY,
+    });
+    &RING
+}
+
+fn lock_ring() -> std::sync::MutexGuard<'static, Ring> {
+    ring().lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// A finished span as stored in the ring buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name, e.g. `backup.table`.
+    pub name: &'static str,
+    /// Attribute key/value pairs in the order they were attached.
+    pub attrs: Vec<(&'static str, String)>,
+    /// Wall time between `span_start` and drop.
+    pub duration: Duration,
+    /// Bytes attributed to the span (0 if never set).
+    pub bytes: u64,
+    /// `"ok"` if [`Span::ok`] ran, otherwise `"error"`.
+    pub outcome: &'static str,
+}
+
+/// An in-flight span. Records itself into the ring buffer when dropped;
+/// call [`Span::ok`] on the success path so the outcome flips from the
+/// default `"error"`.
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+    attrs: Vec<(&'static str, String)>,
+    bytes: u64,
+    outcome: &'static str,
+}
+
+/// Open a span. When instrumentation is disabled the span is inert: no
+/// clock read, attributes are not formatted, and nothing is recorded.
+#[inline]
+pub fn span_start(name: &'static str) -> Span {
+    Span {
+        name,
+        start: if enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        },
+        attrs: Vec::new(),
+        bytes: 0,
+        outcome: "error",
+    }
+}
+
+impl Span {
+    /// Attach an attribute. Skips the `Display` formatting entirely when
+    /// the span is inert.
+    #[inline]
+    pub fn attr(mut self, key: &'static str, value: impl std::fmt::Display) -> Span {
+        if self.start.is_some() {
+            self.attrs.push((key, value.to_string()));
+        }
+        self
+    }
+
+    /// Attach a byte count (e.g. payload copied under this span).
+    #[inline]
+    pub fn set_bytes(&mut self, bytes: u64) {
+        self.bytes = bytes;
+    }
+
+    /// Add to the byte count.
+    #[inline]
+    pub fn add_bytes(&mut self, bytes: u64) {
+        self.bytes += bytes;
+    }
+
+    /// Whether this span is live (instrumentation was enabled at open).
+    pub fn active(&self) -> bool {
+        self.start.is_some()
+    }
+
+    /// Elapsed time so far (zero for an inert span).
+    pub fn elapsed(&self) -> Duration {
+        self.start.map(|t| t.elapsed()).unwrap_or(Duration::ZERO)
+    }
+
+    /// Mark the span successful and record it (consumes the span; the
+    /// actual recording happens in `Drop`).
+    #[inline]
+    pub fn ok(mut self) {
+        self.outcome = "ok";
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let record = SpanRecord {
+            name: self.name,
+            attrs: std::mem::take(&mut self.attrs),
+            duration: start.elapsed(),
+            bytes: self.bytes,
+            outcome: self.outcome,
+        };
+        let mut ring = lock_ring();
+        while ring.records.len() >= ring.capacity {
+            ring.records.pop_front(); // overflow drops the oldest span
+        }
+        ring.records.push_back(record);
+    }
+}
+
+/// Resize the ring buffer (drops oldest records if shrinking).
+pub fn set_span_capacity(capacity: usize) {
+    let mut ring = lock_ring();
+    ring.capacity = capacity.max(1);
+    while ring.records.len() > ring.capacity {
+        ring.records.pop_front();
+    }
+}
+
+/// Snapshot of the ring buffer, oldest first.
+pub fn recent_spans() -> Vec<SpanRecord> {
+    lock_ring().records.iter().cloned().collect()
+}
+
+/// Empty the ring buffer (tests).
+pub fn clear_spans() {
+    lock_ring().records.clear();
+}
+
+/// Open a span with attributes: `span!("backup.table", table = name)` or
+/// the shorthand `span!("backup.table", table, segment)` where the
+/// identifier doubles as the attribute key.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span_start($name)
+    };
+    ($name:expr, $($rest:tt)+) => {
+        $crate::span!(@build $crate::span_start($name), $($rest)+)
+    };
+    (@build $s:expr, $key:ident = $value:expr, $($rest:tt)+) => {
+        $crate::span!(@build $s.attr(stringify!($key), &$value), $($rest)+)
+    };
+    (@build $s:expr, $key:ident = $value:expr $(,)?) => {
+        $s.attr(stringify!($key), &$value)
+    };
+    (@build $s:expr, $key:ident, $($rest:tt)+) => {
+        $crate::span!(@build $s.attr(stringify!($key), &$key), $($rest)+)
+    };
+    (@build $s:expr, $key:ident $(,)?) => {
+        $s.attr(stringify!($key), &$key)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{exclusive, set_enabled};
+
+    #[test]
+    fn spans_record_on_drop_with_outcome() {
+        let _x = exclusive();
+        set_enabled(true);
+        clear_spans();
+        let table = "t0";
+        span!("obs.test", table, bytes_hint = 7).ok();
+        {
+            let mut s = span!("obs.test.fail");
+            s.set_bytes(42);
+            // dropped without ok(): outcome stays "error"
+        }
+        let spans = recent_spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].outcome, "ok");
+        assert_eq!(spans[0].attrs[0], ("table", "t0".to_string()));
+        assert_eq!(spans[0].attrs[1], ("bytes_hint", "7".to_string()));
+        assert_eq!(spans[1].outcome, "error");
+        assert_eq!(spans[1].bytes, 42);
+        clear_spans();
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _x = exclusive();
+        set_enabled(false);
+        clear_spans();
+        let s = span!("obs.test.off", k = 1);
+        assert!(!s.active());
+        s.ok();
+        assert!(recent_spans().is_empty());
+        set_enabled(true);
+    }
+
+    #[test]
+    fn ring_overflow_keeps_newest() {
+        let _x = exclusive();
+        set_enabled(true);
+        clear_spans();
+        set_span_capacity(4);
+        for i in 0..10u32 {
+            span!("obs.test.ring", i).ok();
+        }
+        let spans = recent_spans();
+        assert_eq!(spans.len(), 4);
+        let kept: Vec<String> = spans.iter().map(|s| s.attrs[0].1.clone()).collect();
+        assert_eq!(kept, ["6", "7", "8", "9"]);
+        set_span_capacity(super::DEFAULT_CAPACITY);
+        clear_spans();
+    }
+}

@@ -1,0 +1,156 @@
+//! scuba-obs self-tests (ISSUE 3 satellite 2): concurrent hammering with
+//! exact totals, histogram bucket boundaries, ring-buffer overflow, and a
+//! Prometheus exposition golden file.
+//!
+//! The registry and ring are process-global, so every test that toggles
+//! the enable switch or asserts on global state holds `obs::exclusive()`.
+
+use std::sync::Barrier;
+use std::time::Duration;
+
+use scuba_obs as obs;
+
+#[test]
+fn concurrent_counter_and_histogram_totals_are_exact() {
+    let _x = obs::exclusive();
+    obs::set_enabled(true);
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 50_000;
+    let ctr = obs::counter("obs_it_hammer_ops");
+    let gau = obs::gauge("obs_it_hammer_depth");
+    let hist = obs::histogram("obs_it_hammer_lat_ns");
+    let (c0, g0, h0, s0) = (ctr.get(), gau.get(), hist.count(), hist.sum());
+    let barrier = Barrier::new(THREADS);
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let barrier = &barrier;
+            scope.spawn(move || {
+                barrier.wait();
+                for i in 0..PER_THREAD {
+                    ctr.inc();
+                    gau.inc();
+                    hist.observe(i % 1024);
+                    if i % 2 == 0 {
+                        gau.dec();
+                    }
+                }
+            });
+        }
+    });
+    let n = (THREADS as u64) * PER_THREAD;
+    assert_eq!(ctr.get() - c0, n, "every increment must land exactly once");
+    assert_eq!(hist.count() - h0, n);
+    // Sum of (i % 1024) over one thread's loop, times THREADS.
+    let per_thread_sum: u64 = (0..PER_THREAD).map(|i| i % 1024).sum();
+    assert_eq!(hist.sum() - s0, per_thread_sum * THREADS as u64);
+    // Each thread nets +PER_THREAD - ceil(PER_THREAD/2) on the gauge.
+    let per_thread_net = (PER_THREAD - PER_THREAD.div_ceil(2)) as i64;
+    assert_eq!(gau.get() - g0, per_thread_net * THREADS as i64);
+}
+
+#[test]
+fn histogram_bucket_boundaries() {
+    let _x = obs::exclusive();
+    obs::set_enabled(true);
+    let h = obs::histogram("obs_it_boundaries_ns");
+    // One observation per interesting boundary: zero, each power of two and
+    // its predecessor, and the overflow bucket.
+    h.observe(0);
+    for i in 1..obs::HISTOGRAM_BUCKETS - 1 {
+        let bound = obs::Histogram::bucket_bound(i).unwrap();
+        h.observe(bound); // largest value bucket i admits
+        h.observe(bound + 1); // smallest value of bucket i + 1
+    }
+    let counts = h.bucket_counts();
+    assert_eq!(counts[0], 1, "zero bucket");
+    // Bucket 1 admits only the value 1, observed once as bound(1).
+    assert_eq!(counts[1], 1);
+    for (i, &c) in counts.iter().enumerate().take(63).skip(2) {
+        assert_eq!(c, 2, "bucket {i} gets its own bound plus the previous +1");
+    }
+    // Overflow: bound(62)+1 = 2^62 lands in the +Inf slot.
+    assert_eq!(counts[63], 1);
+}
+
+#[test]
+fn ring_buffer_overflow_keeps_newest_spans() {
+    let _x = obs::exclusive();
+    obs::set_enabled(true);
+    obs::clear_spans();
+    obs::set_span_capacity(8);
+    for i in 0..40u32 {
+        let mut s = obs::span_start("obs_it.ring").attr("seq", i);
+        s.set_bytes(u64::from(i));
+        s.ok();
+    }
+    let spans = obs::recent_spans();
+    assert_eq!(spans.len(), 8);
+    let seqs: Vec<u64> = spans.iter().map(|s| s.bytes).collect();
+    assert_eq!(seqs, (32..40).collect::<Vec<u64>>(), "newest survive");
+    assert!(spans.iter().all(|s| s.outcome == "ok"));
+    obs::set_span_capacity(256);
+    obs::clear_spans();
+}
+
+#[test]
+fn span_drop_flushes_partial_data_on_error_path() {
+    let _x = obs::exclusive();
+    obs::set_enabled(true);
+    obs::clear_spans();
+    let result: Result<(), &str> = (|| {
+        let mut s = obs::span_start("obs_it.failing").attr("table", "t3");
+        s.add_bytes(4096);
+        std::thread::sleep(Duration::from_millis(2));
+        Err("worker died mid-copy")? // span dropped here, not ok()'d
+    })();
+    assert!(result.is_err());
+    let spans = obs::recent_spans();
+    assert_eq!(spans.len(), 1);
+    assert_eq!(spans[0].outcome, "error");
+    assert_eq!(spans[0].bytes, 4096, "partial byte count survives");
+    assert!(
+        spans[0].duration >= Duration::from_millis(2),
+        "partial duration survives"
+    );
+    obs::clear_spans();
+}
+
+#[test]
+fn prometheus_exposition_matches_golden_file() {
+    let _x = obs::exclusive();
+    obs::set_enabled(true);
+    // A fixed mini-registry under the `golden_` prefix; the filtered
+    // exposition keeps this stable while other tests grow the registry.
+    obs::counter("golden_restarts_total").add(3);
+    obs::labeled_counter(
+        "golden_restarts_total",
+        &[("op", "backup"), ("phase", "crc")],
+    )
+    .add(41);
+    obs::gauge("golden_queue_depth").set(-2);
+    obs::labeled_gauge("golden_queue_depth", &[("leaf", "pfx:0")]).set(7);
+    let h = obs::histogram("golden_copy_lat_ns");
+    for v in [0u64, 1, 4, 5, 1000, 1 << 62] {
+        h.observe(v);
+    }
+    let text = obs::prometheus_text_for("golden_");
+    let golden = include_str!("golden/exposition.prom");
+    assert_eq!(text, golden, "exposition drifted from the golden file");
+    assert_eq!(obs::promlint(&text), Vec::<String>::new());
+}
+
+#[test]
+fn disabled_metrics_do_not_move() {
+    let _x = obs::exclusive();
+    obs::set_enabled(false);
+    let c = obs::counter("obs_it_disabled_ops");
+    let g = obs::gauge("obs_it_disabled_depth");
+    let h = obs::histogram("obs_it_disabled_ns");
+    c.add(10);
+    g.set(5);
+    h.observe(99);
+    assert_eq!(c.get(), 0);
+    assert_eq!(g.get(), 0);
+    assert_eq!(h.count(), 0);
+    obs::set_enabled(true);
+}

@@ -38,9 +38,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use scuba_obs::{Phase, PhaseBreakdown, Stopwatch, TableSample, BACKUP_PHASES};
 use scuba_shmem::{LeafMetadata, SegmentWriter, ShmError, ShmNamespace, ShmSegment};
 
 use crate::copy::{CopyOptions, FootprintTracker};
+use crate::phases::{RunAcc, UnitStats};
 use crate::state::{LeafBackupState, StateError};
 use crate::traits::{ChunkSink, ShmPersistable};
 
@@ -69,6 +71,10 @@ pub struct BackupReport {
     pub segment_names: Vec<String>,
     /// Copy worker threads actually used.
     pub threads: usize,
+    /// Figure-5-style per-phase timing (prepare/extract/encode/crc/
+    /// shm-write/commit) plus per-table samples. All-zero when
+    /// instrumentation is disabled.
+    pub phases: PhaseBreakdown,
 }
 
 /// Backup failure.
@@ -119,6 +125,11 @@ struct FramingSink<'a> {
     heap_remaining: usize,
     chunks: usize,
     payload_bytes: u64,
+    /// Nanoseconds spent checksumming / writing inside the store's
+    /// `backup_extracted` callback, so the caller can attribute the
+    /// remainder of the callback's wall time to the encode phase.
+    crc_ns: u64,
+    write_ns: u64,
 }
 
 impl ChunkSink for FramingSink<'_> {
@@ -138,13 +149,16 @@ impl ChunkSink for FramingSink<'_> {
             }
             None => {}
         }
-        self.writer.write_u64(chunk.len() as u64)?;
         // Per-chunk CRC: the protocol verifies payload integrity itself
         // rather than trusting every store to (the column store's RBC
         // checksums are a second, inner layer for its own chunks).
-        self.writer
-            .write(&scuba_shmem::crc32(chunk).to_le_bytes())?;
+        let (crc, crc_ns) = scuba_shmem::crc32_timed(chunk);
+        self.crc_ns += crc_ns;
+        let sw = Stopwatch::start();
+        self.writer.write_u64(chunk.len() as u64)?;
+        self.writer.write(&crc.to_le_bytes())?;
         self.writer.write(chunk)?;
+        self.write_ns += sw.elapsed_ns();
         self.chunks += 1;
         self.payload_bytes += chunk.len() as u64;
         // Footprint: the chunk's heap is freed by the store right after
@@ -186,6 +200,8 @@ pub fn backup_to_shm_with<S: ShmPersistable>(
         .map_err(BackupError::State)?;
 
     let start = Instant::now();
+    scuba_obs::counter!("backups_started").inc();
+    let acc = RunAcc::new();
     let initial_footprint = store.heap_bytes();
     let tracker = FootprintTracker::new(initial_footprint);
     let unit_names = store.unit_names();
@@ -193,28 +209,53 @@ pub fn backup_to_shm_with<S: ShmPersistable>(
 
     // Stale state from a previous crashed attempt must not block us: the
     // metadata region is recreated from scratch (valid bit false).
+    let sw = Stopwatch::start();
     let _ = ShmSegment::unlink(&ns.metadata_name());
-    let mut meta = LeafMetadata::create(ns, layout_version)?;
-
-    let result = copy_units(store, ns, &mut meta, &unit_names, &tracker, threads).and_then(|ok| {
-        // The instant before commit: every segment written and synced,
-        // the valid bit still false. Dying here must cost only speed.
-        if scuba_faults::check("restart::backup::commit").is_some() {
-            return Err(BackupError::Shm(ShmError::injected(
-                "restart::backup::commit",
-                "failpoint",
-            )));
+    let meta = LeafMetadata::create(ns, layout_version);
+    acc.add(Phase::Prepare, sw.elapsed_ns());
+    let mut meta = match meta {
+        Ok(m) => m,
+        Err(e) => {
+            finish_failed(&acc, &start, threads, unit_names.len());
+            return Err(e.into());
         }
-        Ok(ok)
-    });
+    };
+
+    let result = copy_units(store, ns, &mut meta, &unit_names, &tracker, &acc, threads)
+        .and_then(|ok| {
+            // The instant before commit: every segment written and synced,
+            // the valid bit still false. Dying here must cost only speed.
+            if scuba_faults::check("restart::backup::commit").is_some() {
+                return Err(BackupError::Shm(ShmError::injected(
+                    "restart::backup::commit",
+                    "failpoint",
+                )));
+            }
+            Ok(ok)
+        })
+        .and_then(|ok| {
+            // Commit point: everything is in shared memory and synced.
+            let sw = Stopwatch::start();
+            meta.set_valid(true)?;
+            acc.add(Phase::Commit, sw.elapsed_ns());
+            Ok(ok)
+        });
     match result {
         Ok((chunks, bytes_copied, segment_names)) => {
-            // Commit point: everything is in shared memory and synced.
-            meta.set_valid(true)?;
             leaf_state = leaf_state
                 .transition(LeafBackupState::Exit)
                 .map_err(BackupError::State)?;
             debug_assert_eq!(leaf_state, LeafBackupState::Exit);
+            let mut phases = acc.snapshot("backup", &BACKUP_PHASES);
+            phases.total = start.elapsed();
+            phases.bytes = bytes_copied;
+            phases.chunks = chunks as u64;
+            phases.units = unit_names.len();
+            phases.threads = threads;
+            if scuba_obs::enabled() {
+                scuba_obs::counter!("backups_completed").inc();
+                scuba_obs::publish_breakdown(phases.clone());
+            }
             Ok(BackupReport {
                 units: unit_names.len(),
                 chunks,
@@ -224,15 +265,35 @@ pub fn backup_to_shm_with<S: ShmPersistable>(
                 initial_footprint,
                 segment_names,
                 threads,
+                phases,
             })
         }
         Err(e) => {
             // Leave nothing behind: an aborted backup must look exactly
             // like "no shared memory state" to the next process.
             ns.unlink_all(unit_names.len() + 1);
+            finish_failed(&acc, &start, threads, unit_names.len());
             Err(e)
         }
     }
+}
+
+/// Publish the partial breakdown of a failed backup — per-table timings
+/// up to the failure point survive in the "last backup" slot so failed
+/// restarts stay diagnosable.
+fn finish_failed(acc: &RunAcc, start: &Instant, threads: usize, units: usize) {
+    if !scuba_obs::enabled() {
+        return;
+    }
+    scuba_obs::counter!("backups_failed").inc();
+    let mut phases = acc.snapshot("backup", &BACKUP_PHASES);
+    phases.total = start.elapsed();
+    phases.threads = threads;
+    phases.units = units;
+    phases.complete = false;
+    phases.bytes = phases.tables.iter().map(|t| t.bytes).sum();
+    phases.chunks = phases.tables.iter().map(|t| t.chunks).sum();
+    scuba_obs::publish_breakdown(phases);
 }
 
 /// Coordinator-side per-unit prologue: failpoint, estimate, segment
@@ -243,6 +304,7 @@ fn prepare_segment<S: ShmPersistable>(
     meta: &mut LeafMetadata,
     index: usize,
     unit: &str,
+    acc: &RunAcc,
 ) -> Result<(SegmentWriter, String), BackupError<S::Error>> {
     // Between units: some tables fully copied, others still heap-only.
     if scuba_faults::check("restart::backup::unit").is_some() {
@@ -253,29 +315,72 @@ fn prepare_segment<S: ShmPersistable>(
     }
     // Figure 6: estimate size of table; create table segment; add the
     // segment to the leaf metadata.
+    let sw = Stopwatch::start();
     let estimate = store.estimate_unit_size(unit);
     let seg_name = ns.table_segment_name(index);
     let _ = ShmSegment::unlink(&seg_name); // clear stale
-    let segment = ShmSegment::create(&seg_name, estimate)?;
+    let segment = ShmSegment::create(&seg_name, estimate);
+    acc.add(Phase::Prepare, sw.elapsed_ns());
+    let segment = segment?;
+    let sw = Stopwatch::start();
     meta.add_segment(&seg_name)?;
+    acc.add(Phase::Prepare, sw.elapsed_ns());
     Ok((SegmentWriter::new(segment), seg_name))
 }
 
 /// Serialize one extracted unit into its segment: name frame, chunk
 /// frames, end sentinel, trim + sync. Runs on a worker thread on the
 /// parallel path, inline on the sequential path.
+///
+/// Wraps [`write_unit_inner`] so a `backup.table` span and a
+/// [`TableSample`] are flushed on *every* exit, including mid-copy
+/// errors — partial chunk/byte counts and the duration up to the failure
+/// point survive into the run's breakdown.
 fn write_unit<S: ShmPersistable>(
+    unit: &str,
+    data: S::Unit,
+    heap_bytes: usize,
+    writer: SegmentWriter,
+    tracker: &FootprintTracker,
+    acc: &RunAcc,
+) -> Result<(usize, u64), BackupError<S::Error>> {
+    let mut span = scuba_obs::span!("backup.table", table = unit);
+    let mut stats = UnitStats::default();
+    let result = write_unit_inner::<S>(unit, data, heap_bytes, writer, tracker, acc, &mut stats);
+    if span.active() {
+        span.add_bytes(stats.bytes);
+        acc.add_table(TableSample {
+            table: unit.to_owned(),
+            duration: span.elapsed(),
+            bytes: stats.bytes,
+            chunks: stats.chunks,
+            ok: result.is_ok(),
+        });
+        if result.is_ok() {
+            span.ok();
+        }
+    }
+    result
+}
+
+fn write_unit_inner<S: ShmPersistable>(
     unit: &str,
     data: S::Unit,
     heap_bytes: usize,
     mut writer: SegmentWriter,
     tracker: &FootprintTracker,
+    acc: &RunAcc,
+    stats: &mut UnitStats,
 ) -> Result<(usize, u64), BackupError<S::Error>> {
     // Unit name frame so restore knows which table this segment holds;
     // CRC'd like every other frame.
+    let (name_crc, name_crc_ns) = scuba_shmem::crc32_timed(unit.as_bytes());
+    acc.add(Phase::Crc, name_crc_ns);
+    let sw = Stopwatch::start();
     writer.write_u64(unit.len() as u64)?;
-    writer.write(&scuba_shmem::crc32(unit.as_bytes()).to_le_bytes())?;
+    writer.write(&name_crc.to_le_bytes())?;
     writer.write(unit.as_bytes())?;
+    acc.add(Phase::ShmWrite, sw.elapsed_ns());
     tracker.add_shm(8 + 4 + unit.len());
 
     let mut sink = FramingSink {
@@ -284,17 +389,33 @@ fn write_unit<S: ShmPersistable>(
         heap_remaining: heap_bytes,
         chunks: 0,
         payload_bytes: 0,
+        crc_ns: 0,
+        write_ns: 0,
     };
+    let encode_sw = Stopwatch::start();
     let result = S::backup_extracted(data, &mut sink).map_err(BackupError::Store);
+    let encode_wall = encode_sw.elapsed_ns();
     let (chunks, payload_bytes, leftover) = (sink.chunks, sink.payload_bytes, sink.heap_remaining);
+    // Encode = the callback's wall time minus what the sink itself spent
+    // checksumming and writing (those are their own phases).
+    acc.add(Phase::Crc, sink.crc_ns);
+    acc.add(Phase::ShmWrite, sink.write_ns);
+    acc.add(
+        Phase::Encode,
+        encode_wall.saturating_sub(sink.crc_ns + sink.write_ns),
+    );
+    stats.chunks = chunks as u64;
+    stats.bytes = payload_bytes;
     // The unit's data is dropped by now on both paths; release whatever
     // in-flight heap the chunk loop did not already account for.
     tracker.sub_in_flight(leftover);
     result?;
 
+    let sw = Stopwatch::start();
     writer.write_u64(END_SENTINEL)?;
     tracker.add_shm(8);
     writer.finish()?; // trims to written, syncs
+    acc.add(Phase::ShmWrite, sw.elapsed_ns());
     tracker.sample();
     Ok((chunks, payload_bytes))
 }
@@ -305,12 +426,13 @@ fn copy_units<S: ShmPersistable>(
     meta: &mut LeafMetadata,
     unit_names: &[String],
     tracker: &FootprintTracker,
+    acc: &RunAcc,
     threads: usize,
 ) -> Result<(usize, u64, Vec<String>), BackupError<S::Error>> {
     if threads <= 1 || unit_names.len() <= 1 {
-        copy_units_sequential(store, ns, meta, unit_names, tracker)
+        copy_units_sequential(store, ns, meta, unit_names, tracker, acc)
     } else {
-        copy_units_parallel(store, ns, meta, unit_names, tracker, threads)
+        copy_units_parallel(store, ns, meta, unit_names, tracker, acc, threads)
     }
 }
 
@@ -320,18 +442,22 @@ fn copy_units_sequential<S: ShmPersistable>(
     meta: &mut LeafMetadata,
     unit_names: &[String],
     tracker: &FootprintTracker,
+    acc: &RunAcc,
 ) -> Result<(usize, u64, Vec<String>), BackupError<S::Error>> {
     let mut chunks = 0usize;
     let mut bytes_copied = 0u64;
     let mut segment_names = Vec::with_capacity(unit_names.len());
 
     for (index, unit) in unit_names.iter().enumerate() {
-        let (writer, seg_name) = prepare_segment(store, ns, meta, index, unit)?;
-        let data = store.extract_unit(unit).map_err(BackupError::Store)?;
+        let (writer, seg_name) = prepare_segment(store, ns, meta, index, unit, acc)?;
+        let sw = Stopwatch::start();
+        let data = store.extract_unit(unit);
+        acc.add(Phase::Extract, sw.elapsed_ns());
+        let data = data.map_err(BackupError::Store)?;
         let heap = S::unit_heap_bytes(&data);
         tracker.add_in_flight(heap);
         tracker.set_store_heap(store.heap_bytes());
-        let (c, b) = write_unit::<S>(unit, data, heap, writer, tracker)?;
+        let (c, b) = write_unit::<S>(unit, data, heap, writer, tracker, acc)?;
         chunks += c;
         bytes_copied += b;
         segment_names.push(seg_name);
@@ -360,6 +486,7 @@ fn copy_units_parallel<S: ShmPersistable>(
     meta: &mut LeafMetadata,
     unit_names: &[String],
     tracker: &FootprintTracker,
+    acc: &RunAcc,
     threads: usize,
 ) -> Result<(usize, u64, Vec<String>), BackupError<S::Error>> {
     let abort = AtomicBool::new(false);
@@ -397,7 +524,7 @@ fn copy_units_parallel<S: ShmPersistable>(
                     heap_bytes,
                     writer,
                 } = job;
-                let result = write_unit::<S>(&unit, data, heap_bytes, writer, tracker);
+                let result = write_unit::<S>(&unit, data, heap_bytes, writer, tracker, acc);
                 if result.is_err() {
                     abort.store(true, Ordering::Release);
                 }
@@ -410,10 +537,13 @@ fn copy_units_parallel<S: ShmPersistable>(
             if abort.load(Ordering::Acquire) {
                 break;
             }
-            match prepare_segment::<S>(store, ns, meta, index, unit) {
+            match prepare_segment::<S>(store, ns, meta, index, unit, acc) {
                 Ok((writer, seg_name)) => {
                     segment_names.push(seg_name);
-                    match store.extract_unit(unit) {
+                    let sw = Stopwatch::start();
+                    let extracted = store.extract_unit(unit);
+                    acc.add(Phase::Extract, sw.elapsed_ns());
+                    match extracted {
                         Ok(data) => {
                             let heap = S::unit_heap_bytes(&data);
                             tracker.add_in_flight(heap);

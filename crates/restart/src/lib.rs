@@ -37,6 +37,7 @@
 
 pub mod backup;
 pub mod copy;
+mod phases;
 pub mod restore;
 pub mod state;
 pub mod traits;

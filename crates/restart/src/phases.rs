@@ -1,0 +1,99 @@
+//! Per-run phase and per-table accounting shared by the backup and
+//! restore paths.
+//!
+//! One [`RunAcc`] lives on the coordinator's stack for the duration of a
+//! backup or restore, next to the [`crate::copy::FootprintTracker`], and
+//! is threaded by reference through both the sequential loop and the
+//! worker pool (its counters are atomics, its table list a mutex). When
+//! the run ends — **successfully or not** — the accumulated nanoseconds
+//! freeze into a [`PhaseBreakdown`] that is attached to the report and
+//! published as the process-wide "last backup/restore", which is what
+//! makes failed restarts diagnosable and drives the Figure-5-style
+//! `RestartReport`.
+
+use std::sync::Mutex;
+
+use scuba_obs::{Phase, PhaseAcc, PhaseBreakdown, TableSample};
+
+/// Partial per-unit statistics a copy routine fills in as it goes, so the
+/// wrapper can flush a [`TableSample`] even when the routine errors out
+/// mid-copy.
+#[derive(Debug, Default)]
+pub(crate) struct UnitStats {
+    /// Unit (table) name, once known (restore learns it from the name
+    /// frame; backup knows it up front).
+    pub table: Option<String>,
+    /// Chunks moved so far.
+    pub chunks: u64,
+    /// Payload bytes moved so far.
+    pub bytes: u64,
+}
+
+/// Accumulator for one backup or restore run.
+#[derive(Debug, Default)]
+pub(crate) struct RunAcc {
+    phases: PhaseAcc,
+    tables: Mutex<Vec<TableSample>>,
+}
+
+impl RunAcc {
+    pub(crate) fn new() -> RunAcc {
+        RunAcc::default()
+    }
+
+    /// Add nanoseconds to a phase (lock-free; callable from workers).
+    #[inline]
+    pub(crate) fn add(&self, phase: Phase, ns: u64) {
+        self.phases.add(phase, ns);
+    }
+
+    /// Record one table's (possibly partial) copy timing.
+    pub(crate) fn add_table(&self, sample: TableSample) {
+        self.tables
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(sample);
+    }
+
+    /// Freeze the accumulated phases into a breakdown. Tables are sorted
+    /// by name so the worker pool's completion order does not leak into
+    /// reports. Run-level fields (`total`, `bytes`, …) are left for the
+    /// caller to fill before publishing.
+    pub(crate) fn snapshot(&self, op: &'static str, phase_order: &[Phase]) -> PhaseBreakdown {
+        let mut breakdown = PhaseBreakdown::from_acc(op, &self.phases, phase_order);
+        let mut tables = self
+            .tables
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone();
+        tables.sort_by(|a, b| a.table.cmp(&b.table));
+        breakdown.tables = tables;
+        breakdown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn snapshot_sorts_tables_and_keeps_partials() {
+        let acc = RunAcc::new();
+        acc.add(Phase::Extract, 10);
+        for (name, ok) in [("zeta", true), ("alpha", false)] {
+            acc.add_table(TableSample {
+                table: name.to_owned(),
+                duration: Duration::from_nanos(5),
+                bytes: 1,
+                chunks: 1,
+                ok,
+            });
+        }
+        let b = acc.snapshot("backup", &scuba_obs::BACKUP_PHASES);
+        assert_eq!(b.tables[0].table, "alpha");
+        assert!(!b.tables[0].ok);
+        assert_eq!(b.tables[1].table, "zeta");
+        assert_eq!(b.phase(Phase::Extract), Duration::from_nanos(10));
+    }
+}

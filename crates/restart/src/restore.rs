@@ -34,9 +34,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use scuba_obs::{Phase, PhaseBreakdown, Stopwatch, TableSample, RESTORE_PHASES};
 use scuba_shmem::{LeafMetadata, SegmentReader, ShmError, ShmNamespace, ShmSegment};
 
 use crate::copy::{CopyOptions, FootprintTracker};
+use crate::phases::{RunAcc, UnitStats};
 use crate::state::LeafRestoreState;
 use crate::traits::{ChunkSource, ShmPersistable};
 
@@ -63,6 +65,10 @@ pub struct RestoreReport {
     pub peak_footprint: usize,
     /// Copy worker threads actually used.
     pub threads: usize,
+    /// Figure-5-style per-phase timing (open/crc/heap-copy/decode/
+    /// install/commit) plus per-table samples. All-zero when
+    /// instrumentation is disabled.
+    pub phases: PhaseBreakdown,
 }
 
 /// Memory recovery is not possible; the caller must recover from disk.
@@ -113,6 +119,11 @@ struct FramingSource<'a> {
     done: bool,
     chunks: usize,
     payload_bytes: u64,
+    /// Nanoseconds spent verifying / copying inside the store's
+    /// `decode_unit` callback, so the caller can attribute the remainder
+    /// of the callback's wall time to the decode phase.
+    crc_ns: u64,
+    copy_ns: u64,
 }
 
 impl ChunkSource for FramingSource<'_> {
@@ -130,7 +141,9 @@ impl ChunkSource for FramingSource<'_> {
         }
         let stored_crc = self.reader.read_u32()?;
         let payload = self.reader.read_borrowed(len as usize)?;
-        if scuba_shmem::crc32(payload) != stored_crc {
+        let (computed_crc, crc_ns) = scuba_shmem::crc32_timed(payload);
+        self.crc_ns += crc_ns;
+        if computed_crc != stored_crc {
             return Err(ShmError::Corrupt {
                 name: "chunk framing".to_owned(),
                 reason: "chunk checksum mismatch (torn or corrupted copy)".to_owned(),
@@ -138,7 +151,9 @@ impl ChunkSource for FramingSource<'_> {
         }
         // Figure 7: "allocate memory in heap; copy data from table segment
         // to heap" — this to_vec is the one memcpy.
+        let sw = Stopwatch::start();
         let chunk = payload.to_vec();
+        self.copy_ns += sw.elapsed_ns();
         self.chunks += 1;
         self.payload_bytes += chunk.len() as u64;
         self.tracker.add_in_flight(chunk.len());
@@ -178,9 +193,14 @@ pub fn restore_from_shm_with<S: ShmPersistable>(
         .expect("Init -> MemoryRecovery is always legal");
 
     let start = Instant::now();
+    scuba_obs::counter!("restores_started").inc();
+    let acc = RunAcc::new();
 
     // Figure 7 line 1: check the valid bit.
-    let mut meta = match LeafMetadata::open(ns) {
+    let sw = Stopwatch::start();
+    let opened = LeafMetadata::open(ns);
+    acc.add(Phase::Open, sw.elapsed_ns());
+    let mut meta = match opened {
         Ok(m) => m,
         Err(e) => {
             // No metadata at all usually just means "no prior shutdown";
@@ -191,7 +211,10 @@ pub fn restore_from_shm_with<S: ShmPersistable>(
             return Err(fallback(format!("metadata unavailable: {e}"), true));
         }
     };
-    let contents = match meta.read() {
+    let sw = Stopwatch::start();
+    let read = meta.read();
+    acc.add(Phase::Open, sw.elapsed_ns());
+    let contents = match read {
         Ok(c) => c,
         Err(e) => {
             cleanup(ns, &[]);
@@ -227,7 +250,10 @@ pub fn restore_from_shm_with<S: ShmPersistable>(
 
     // Figure 7 line 2: set the valid bit to false *before* consuming, so
     // an interruption re-runs as disk recovery.
-    if let Err(e) = meta.set_valid(false) {
+    let sw = Stopwatch::start();
+    let cleared = meta.set_valid(false);
+    acc.add(Phase::Commit, sw.elapsed_ns());
+    if let Err(e) = cleared {
         cleanup(ns, &contents.segment_names);
         return Err(fallback(format!("could not clear valid bit: {e}"), true));
     }
@@ -247,15 +273,27 @@ pub fn restore_from_shm_with<S: ShmPersistable>(
         .resolved_threads()
         .clamp(1, contents.segment_names.len().max(1));
 
-    match copy_units_back(store, &contents.segment_names, &tracker, threads) {
+    match copy_units_back(store, &contents.segment_names, &tracker, &acc, threads) {
         Ok((units, chunks, bytes_copied)) => {
             // Figure 7 last line: delete the metadata segment. (Each table
             // segment was deleted as it was drained.)
+            let sw = Stopwatch::start();
             let _ = ShmSegment::unlink(&ns.metadata_name());
+            acc.add(Phase::Commit, sw.elapsed_ns());
             leaf_state = leaf_state
                 .transition(LeafRestoreState::Alive)
                 .expect("MemoryRecovery -> Alive is always legal");
             debug_assert_eq!(leaf_state, LeafRestoreState::Alive);
+            let mut phases = acc.snapshot("restore", &RESTORE_PHASES);
+            phases.total = start.elapsed();
+            phases.bytes = bytes_copied;
+            phases.chunks = chunks as u64;
+            phases.units = units;
+            phases.threads = threads;
+            if scuba_obs::enabled() {
+                scuba_obs::counter!("restores_completed").inc();
+                scuba_obs::publish_breakdown(phases.clone());
+            }
             Ok(RestoreReport {
                 units,
                 chunks,
@@ -263,6 +301,7 @@ pub fn restore_from_shm_with<S: ShmPersistable>(
                 duration: start.elapsed(),
                 peak_footprint: tracker.peak(),
                 threads,
+                phases,
             })
         }
         Err(reason) => {
@@ -272,6 +311,18 @@ pub fn restore_from_shm_with<S: ShmPersistable>(
                 .expect("MemoryRecovery -> DiskRecovery is always legal");
             debug_assert_eq!(state, LeafRestoreState::DiskRecovery);
             cleanup(ns, &contents.segment_names);
+            if scuba_obs::enabled() {
+                // Publish the partial breakdown — per-table timings up to
+                // the failure point keep failed restores diagnosable.
+                let mut phases = acc.snapshot("restore", &RESTORE_PHASES);
+                phases.total = start.elapsed();
+                phases.threads = threads;
+                phases.units = contents.segment_names.len();
+                phases.complete = false;
+                phases.bytes = phases.tables.iter().map(|t| t.bytes).sum();
+                phases.chunks = phases.tables.iter().map(|t| t.chunks).sum();
+                scuba_obs::publish_breakdown(phases);
+            }
             Err(fallback(reason, true))
         }
     }
@@ -281,13 +332,49 @@ pub fn restore_from_shm_with<S: ShmPersistable>(
 /// frames, drain-validate, unlink. Runs on a worker thread on the
 /// parallel path, inline on the sequential path. Store access is not
 /// needed — the decoded unit is installed by the coordinator.
+///
+/// Wraps [`read_unit_inner`] so a `restore.table` span and a
+/// [`TableSample`] are flushed on *every* exit, including mid-copy
+/// errors — partial chunk/byte counts and the duration up to the failure
+/// point survive into the run's breakdown. The table name is learned
+/// from the name frame; until then the sample is keyed by segment name.
 fn read_unit<S: ShmPersistable>(
     segment: ShmSegment,
     tracker: &FootprintTracker,
+    acc: &RunAcc,
+) -> Result<(String, S::Unit, usize, u64), String> {
+    let seg_name = segment.name().to_owned();
+    let mut span = scuba_obs::span!("restore.table", segment = seg_name);
+    let mut stats = UnitStats::default();
+    let result = read_unit_inner::<S>(segment, tracker, acc, &mut stats);
+    if span.active() {
+        span.add_bytes(stats.bytes);
+        let table = stats.table.take().unwrap_or(seg_name);
+        span = span.attr("table", &table);
+        acc.add_table(TableSample {
+            table,
+            duration: span.elapsed(),
+            bytes: stats.bytes,
+            chunks: stats.chunks,
+            ok: result.is_ok(),
+        });
+        if result.is_ok() {
+            span.ok();
+        }
+    }
+    result
+}
+
+fn read_unit_inner<S: ShmPersistable>(
+    segment: ShmSegment,
+    tracker: &FootprintTracker,
+    acc: &RunAcc,
+    stats: &mut UnitStats,
 ) -> Result<(String, S::Unit, usize, u64), String> {
     let seg_len = segment.len();
     let seg_name = segment.name().to_owned();
     let mut reader = SegmentReader::new(segment);
+    let sw = Stopwatch::start();
     let name_len = reader
         .read_u64()
         .map_err(|e| format!("unit name frame: {e}"))?;
@@ -297,12 +384,16 @@ fn read_unit<S: ShmPersistable>(
     let name_bytes = reader
         .read_borrowed(name_len as usize)
         .map_err(|e| format!("unit name frame: {e}"))?;
-    if scuba_shmem::crc32(name_bytes) != name_crc {
+    acc.add(Phase::Open, sw.elapsed_ns());
+    let (computed_crc, crc_ns) = scuba_shmem::crc32_timed(name_bytes);
+    acc.add(Phase::Crc, crc_ns);
+    if computed_crc != name_crc {
         return Err("unit name frame checksum mismatch".to_owned());
     }
     let unit = std::str::from_utf8(name_bytes)
         .map_err(|_| "unit name is not UTF-8".to_owned())?
         .to_owned();
+    stats.table = Some(unit.clone());
 
     let mut source = FramingSource {
         reader: &mut reader,
@@ -310,20 +401,46 @@ fn read_unit<S: ShmPersistable>(
         done: false,
         chunks: 0,
         payload_bytes: 0,
+        crc_ns: 0,
+        copy_ns: 0,
     };
-    let data =
-        S::decode_unit(&unit, &mut source).map_err(|e| format!("restoring unit {unit:?}: {e}"))?;
-    if !source.done {
+    let decode_sw = Stopwatch::start();
+    let mut result =
+        S::decode_unit(&unit, &mut source).map_err(|e| format!("restoring unit {unit:?}: {e}"));
+    if result.is_ok() && !source.done {
         // The store stopped early; drain to validate framing so a
         // short read doesn't silently drop data.
-        while source.next_chunk().map_err(|e| e.to_string())?.is_some() {}
+        loop {
+            match source.next_chunk() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(e) => {
+                    result = Err(e.to_string());
+                    break;
+                }
+            }
+        }
     }
+    let decode_wall = decode_sw.elapsed_ns();
     let chunks = source.chunks;
     let payload_bytes = source.payload_bytes;
+    // Decode = the callback's wall time minus what the source itself
+    // spent verifying and copying (those are their own phases).
+    acc.add(Phase::Crc, source.crc_ns);
+    acc.add(Phase::HeapCopy, source.copy_ns);
+    acc.add(
+        Phase::Decode,
+        decode_wall.saturating_sub(source.crc_ns + source.copy_ns),
+    );
+    stats.chunks = chunks as u64;
+    stats.bytes = payload_bytes;
+    let data = result?;
 
     // "delete the table shared memory segment".
     drop(reader);
+    let sw = Stopwatch::start();
     ShmSegment::unlink(&seg_name).map_err(|e| e.to_string())?;
+    acc.add(Phase::Commit, sw.elapsed_ns());
     tracker.sub_shm(seg_len);
     tracker.sample();
     Ok((unit, data, chunks, payload_bytes))
@@ -337,10 +454,12 @@ fn install_unit<S: ShmPersistable>(
     data: S::Unit,
     payload_bytes: u64,
     tracker: &FootprintTracker,
+    acc: &RunAcc,
 ) -> Result<(), String> {
-    store
-        .install_unit(unit, data)
-        .map_err(|e| format!("restoring unit {unit:?}: {e}"))?;
+    let sw = Stopwatch::start();
+    let installed = store.install_unit(unit, data);
+    acc.add(Phase::Install, sw.elapsed_ns());
+    installed.map_err(|e| format!("restoring unit {unit:?}: {e}"))?;
     tracker.sub_in_flight(payload_bytes as usize);
     tracker.set_store_heap(store.heap_bytes());
     tracker.sample();
@@ -351,25 +470,35 @@ fn copy_units_back<S: ShmPersistable>(
     store: &mut S,
     segment_names: &[String],
     tracker: &FootprintTracker,
+    acc: &RunAcc,
     threads: usize,
 ) -> Result<(usize, usize, u64), String> {
     // Open every segment up front: a missing one fails the whole restore
     // before any unit is decoded, and the sum of their sizes seeds the
     // footprint's shared-memory term.
+    let sw = Stopwatch::start();
     let mut segments = Vec::with_capacity(segment_names.len());
     let mut total_shm = 0usize;
     for name in segment_names {
-        let seg = ShmSegment::open(name).map_err(|e| format!("segment {name:?} missing: {e}"))?;
+        let opened = ShmSegment::open(name);
+        let seg = match opened {
+            Ok(s) => s,
+            Err(e) => {
+                acc.add(Phase::Open, sw.elapsed_ns());
+                return Err(format!("segment {name:?} missing: {e}"));
+            }
+        };
         total_shm += seg.len();
         segments.push(seg);
     }
+    acc.add(Phase::Open, sw.elapsed_ns());
     tracker.add_shm(total_shm);
     tracker.sample();
 
     let (chunks, bytes_copied) = if threads <= 1 || segments.len() <= 1 {
-        copy_back_sequential::<S>(store, segments, tracker)?
+        copy_back_sequential::<S>(store, segments, tracker, acc)?
     } else {
-        copy_back_parallel::<S>(store, segments, tracker, threads)?
+        copy_back_parallel::<S>(store, segments, tracker, acc, threads)?
     };
     Ok((segment_names.len(), chunks, bytes_copied))
 }
@@ -378,12 +507,13 @@ fn copy_back_sequential<S: ShmPersistable>(
     store: &mut S,
     segments: Vec<ShmSegment>,
     tracker: &FootprintTracker,
+    acc: &RunAcc,
 ) -> Result<(usize, u64), String> {
     let mut chunks = 0usize;
     let mut bytes_copied = 0u64;
     for segment in segments {
-        let (unit, data, c, b) = read_unit::<S>(segment, tracker)?;
-        install_unit(store, &unit, data, b, tracker)?;
+        let (unit, data, c, b) = read_unit::<S>(segment, tracker, acc)?;
+        install_unit(store, &unit, data, b, tracker, acc)?;
         chunks += c;
         bytes_copied += b;
     }
@@ -407,6 +537,7 @@ fn copy_back_parallel<S: ShmPersistable>(
     store: &mut S,
     segments: Vec<ShmSegment>,
     tracker: &FootprintTracker,
+    acc: &RunAcc,
     threads: usize,
 ) -> Result<(usize, u64), String> {
     let abort = AtomicBool::new(false);
@@ -434,7 +565,7 @@ fn copy_back_parallel<S: ShmPersistable>(
                     drop(job.segment);
                     continue;
                 }
-                let result = read_unit::<S>(job.segment, tracker);
+                let result = read_unit::<S>(job.segment, tracker, acc);
                 if result.is_err() {
                     abort.store(true, Ordering::Release);
                 }
@@ -452,7 +583,7 @@ fn copy_back_parallel<S: ShmPersistable>(
                       chunks: &mut usize,
                       bytes_copied: &mut u64| {
             match done.result {
-                Ok((unit, data, c, b)) => match install_unit(store, &unit, data, b, tracker) {
+                Ok((unit, data, c, b)) => match install_unit(store, &unit, data, b, tracker, acc) {
                     Ok(()) => {
                         *chunks += c;
                         *bytes_copied += b;
@@ -498,6 +629,10 @@ fn copy_back_parallel<S: ShmPersistable>(
 }
 
 fn fallback(reason: String, cleaned_up: bool) -> RestoreError {
+    // Every abandoned restore routes through here, so this is the one
+    // place the failure counter moves (restores_started == completed +
+    // failed is a chaos-soak invariant).
+    scuba_obs::counter!("restores_failed").inc();
     RestoreError::Fallback(Fallback { reason, cleaned_up })
 }
 

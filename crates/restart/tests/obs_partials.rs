@@ -1,0 +1,221 @@
+//! Satellite regression tests for ISSUE 3: a worker that errors mid-copy
+//! must still flush its partial per-table timing — the failed table shows
+//! up in the published breakdown with the chunks/bytes/duration it
+//! managed before the failpoint fired, and its `backup.table` /
+//! `restore.table` span lands in the ring with outcome `"error"`.
+//!
+//! These tests live in their own binary so the process-global metric
+//! registry, span ring, and last-breakdown slots see only this file's
+//! traffic; the fault registry's test lock serializes the tests among
+//! themselves.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Duration;
+
+use scuba_restart::{
+    backup_to_shm_with, restore_from_shm_with, ChunkSink, ChunkSource, CopyOptions, ShmPersistable,
+};
+use scuba_shmem::{ShmError, ShmNamespace};
+
+const CHUNK_LEN: usize = 64 * 1024;
+const CHUNKS_PER_UNIT: usize = 3;
+
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+struct ObsStore {
+    units: BTreeMap<String, Vec<Vec<u8>>>,
+}
+
+impl ObsStore {
+    fn two_tables() -> ObsStore {
+        let units = (0..2)
+            .map(|u| {
+                let chunks = (0..CHUNKS_PER_UNIT)
+                    .map(|c| vec![(u * 31 + c) as u8; CHUNK_LEN])
+                    .collect();
+                (format!("t{u:02}"), chunks)
+            })
+            .collect();
+        ObsStore { units }
+    }
+}
+
+#[derive(Debug)]
+struct ObsError(String);
+impl fmt::Display for ObsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+impl std::error::Error for ObsError {}
+impl From<ShmError> for ObsError {
+    fn from(e: ShmError) -> Self {
+        ObsError(e.to_string())
+    }
+}
+
+impl ShmPersistable for ObsStore {
+    type Error = ObsError;
+    type Unit = Vec<Vec<u8>>;
+    fn unit_names(&self) -> Vec<String> {
+        self.units.keys().cloned().collect()
+    }
+    fn estimate_unit_size(&self, unit: &str) -> usize {
+        self.units
+            .get(unit)
+            .map(|cs| cs.iter().map(|c| c.len() + 16).sum())
+            .unwrap_or(0)
+    }
+    fn extract_unit(&mut self, unit: &str) -> Result<Self::Unit, ObsError> {
+        self.units
+            .remove(unit)
+            .ok_or_else(|| ObsError(format!("unknown unit {unit}")))
+    }
+    fn unit_heap_bytes(unit: &Self::Unit) -> usize {
+        unit.iter().map(Vec::len).sum()
+    }
+    fn backup_extracted(data: Self::Unit, sink: &mut dyn ChunkSink) -> Result<(), ObsError> {
+        for c in data {
+            sink.put_chunk(&c)?;
+        }
+        Ok(())
+    }
+    fn decode_unit(_unit: &str, source: &mut dyn ChunkSource) -> Result<Self::Unit, ObsError> {
+        let mut chunks = Vec::new();
+        while let Some(c) = source.next_chunk()? {
+            chunks.push(c);
+        }
+        Ok(chunks)
+    }
+    fn install_unit(&mut self, unit: &str, data: Self::Unit) -> Result<(), ObsError> {
+        self.units.insert(unit.to_owned(), data);
+        Ok(())
+    }
+    fn heap_bytes(&self) -> usize {
+        self.units
+            .values()
+            .flat_map(|cs| cs.iter())
+            .map(Vec::len)
+            .sum()
+    }
+}
+
+static COUNTER: AtomicU32 = AtomicU32::new(0);
+
+fn test_ns() -> ShmNamespace {
+    ShmNamespace::new(
+        &format!("obp{}", std::process::id()),
+        COUNTER.fetch_add(1, Ordering::Relaxed),
+    )
+    .unwrap()
+}
+
+struct Cleanup(ShmNamespace);
+impl Drop for Cleanup {
+    fn drop(&mut self) {
+        self.0.unlink_all(16);
+    }
+}
+
+#[test]
+fn failed_backup_flushes_partial_table_timings() {
+    let _x = scuba_faults::exclusive();
+    scuba_faults::clear_all();
+    scuba_obs::set_enabled(true);
+    scuba_obs::clear_spans();
+
+    let ns = test_ns();
+    let _c = Cleanup(ns.clone());
+    let mut store = ObsStore::two_tables();
+    // t00's three chunks pass (hits 1-3); t01 lands one chunk (hit 4)
+    // and dies on its second (hit 5) — mid-copy, not between units.
+    let _g = scuba_faults::guard("restart::backup::chunk", "error@5").unwrap();
+    let err = backup_to_shm_with(&mut store, &ns, 1, CopyOptions::with_threads(1));
+    assert!(err.is_err(), "failpoint must abort the backup");
+
+    let b = scuba_obs::last_backup_breakdown().expect("failed backup must publish a breakdown");
+    assert_eq!(b.op, "backup");
+    assert!(!b.complete, "failed run must be marked incomplete");
+    assert_eq!(b.tables.len(), 2, "both tables must have samples: {b:?}");
+
+    let full = &b.tables[0];
+    assert_eq!(full.table, "t00");
+    assert!(full.ok);
+    assert_eq!(full.chunks, CHUNKS_PER_UNIT as u64);
+    assert_eq!(full.bytes, (CHUNKS_PER_UNIT * CHUNK_LEN) as u64);
+
+    // The regression: the failed table's *partial* progress survives.
+    let partial = &b.tables[1];
+    assert_eq!(partial.table, "t01");
+    assert!(!partial.ok);
+    assert_eq!(partial.chunks, 1, "one chunk landed before the failpoint");
+    assert_eq!(partial.bytes, CHUNK_LEN as u64);
+    assert!(partial.duration > Duration::ZERO);
+
+    // Run-level totals are summed from the partial tables, and the timed
+    // phases the partial copy went through are non-zero.
+    assert_eq!(b.bytes, full.bytes + partial.bytes);
+    assert_eq!(b.chunks, full.chunks + partial.chunks);
+    assert!(b.phase(scuba_obs::Phase::ShmWrite) > Duration::ZERO);
+    assert!(b.phase(scuba_obs::Phase::Crc) > Duration::ZERO);
+
+    // The failed table's span is in the ring with its partial bytes.
+    let spans = scuba_obs::recent_spans();
+    let span = spans
+        .iter()
+        .rfind(|s| s.name == "backup.table" && s.attrs.contains(&("table", "t01".to_string())))
+        .expect("failed table must flush its span");
+    assert_eq!(span.outcome, "error");
+    assert_eq!(span.bytes, CHUNK_LEN as u64);
+    assert!(span.duration > Duration::ZERO);
+}
+
+#[test]
+fn failed_restore_flushes_partial_table_timings() {
+    let _x = scuba_faults::exclusive();
+    scuba_faults::clear_all();
+    scuba_obs::set_enabled(true);
+    scuba_obs::clear_spans();
+
+    let ns = test_ns();
+    let _c = Cleanup(ns.clone());
+    let mut store = ObsStore::two_tables();
+    backup_to_shm_with(&mut store, &ns, 1, CopyOptions::with_threads(1)).unwrap();
+
+    // The source's failpoint is consulted once per frame read, including
+    // each unit's end sentinel: t00 spends hits 1-4 (3 chunks + sentinel),
+    // t01 lands one chunk (hit 5) and dies on its second (hit 6).
+    let _g = scuba_faults::guard("restart::restore::chunk", "error@6").unwrap();
+    let mut restored = ObsStore::default();
+    let err = restore_from_shm_with(&mut restored, &ns, 1, CopyOptions::with_threads(1));
+    assert!(err.is_err(), "failpoint must abort the restore");
+
+    let b = scuba_obs::last_restore_breakdown().expect("failed restore must publish a breakdown");
+    assert_eq!(b.op, "restore");
+    assert!(!b.complete);
+    assert_eq!(b.tables.len(), 2, "both tables must have samples: {b:?}");
+
+    let full = &b.tables[0];
+    assert_eq!(full.table, "t00");
+    assert!(full.ok);
+    assert_eq!(full.chunks, CHUNKS_PER_UNIT as u64);
+
+    let partial = &b.tables[1];
+    assert_eq!(partial.table, "t01", "name frame was read before the fault");
+    assert!(!partial.ok);
+    assert_eq!(partial.chunks, 1, "one chunk landed before the failpoint");
+    assert_eq!(partial.bytes, CHUNK_LEN as u64);
+    assert!(partial.duration > Duration::ZERO);
+
+    assert!(b.phase(scuba_obs::Phase::HeapCopy) > Duration::ZERO);
+    assert!(b.phase(scuba_obs::Phase::Open) > Duration::ZERO);
+
+    let spans = scuba_obs::recent_spans();
+    let span = spans
+        .iter()
+        .rfind(|s| s.name == "restore.table" && s.attrs.contains(&("table", "t01".to_string())))
+        .expect("failed table must flush its span");
+    assert_eq!(span.outcome, "error");
+    assert_eq!(span.bytes, CHUNK_LEN as u64);
+}

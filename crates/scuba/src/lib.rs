@@ -51,12 +51,14 @@
 //! | [`query`] | `scuba-query` | filters, aggregation, partial-result merging |
 //! | [`ingest`] | `scuba-ingest` | Scribe, tailers, two-random-choice placement, workloads |
 //! | [`cluster`] | `scuba-cluster` | machines, rollover orchestration, dashboard, paper-scale simulator |
+//! | [`obs`] | `scuba-obs` | metrics registry, restart tracing, phase breakdowns, exposition sinks |
 
 pub use scuba_cluster as cluster;
 pub use scuba_columnstore as columnstore;
 pub use scuba_diskstore as diskstore;
 pub use scuba_ingest as ingest;
 pub use scuba_leaf as leaf;
+pub use scuba_obs as obs;
 pub use scuba_query as query;
 pub use scuba_restart as restart;
 pub use scuba_shmem as shmem;

@@ -78,6 +78,24 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     crc ^ 0xFFFF_FFFF
 }
 
+/// [`crc32`] with the elapsed time measured and recorded into the
+/// `shmem_crc_nanos_total` / `shmem_crc_bytes_total` counters, so the
+/// CRC share of the copy budget (vs. the memcpy itself) is visible in the
+/// exposition. Returns `(crc, elapsed_ns)`; callers on the restart path
+/// feed the nanoseconds into their per-phase accumulator rather than
+/// timing the call a second time. When instrumentation is disabled the
+/// clock is never read and the reported time is 0.
+pub fn crc32_timed(bytes: &[u8]) -> (u32, u64) {
+    let sw = scuba_obs::Stopwatch::start();
+    let crc = crc32(bytes);
+    let ns = sw.elapsed_ns();
+    if sw.active() {
+        scuba_obs::counter!("shmem_crc_nanos").add(ns);
+        scuba_obs::counter!("shmem_crc_bytes").add(bytes.len() as u64);
+    }
+    (crc, ns)
+}
+
 /// Reference byte-at-a-time CRC-32 (Sarwate). Kept for differential tests
 /// and benchmarks against [`crc32`]; not used on the copy path.
 pub fn crc32_scalar(bytes: &[u8]) -> u32 {

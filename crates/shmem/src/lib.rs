@@ -36,7 +36,7 @@ pub mod namespace;
 pub mod segment;
 
 pub use arena::{SegmentReader, SegmentWriter};
-pub use checksum::{crc32, crc32_scalar};
+pub use checksum::{crc32, crc32_scalar, crc32_timed};
 pub use error::{ShmError, ShmResult};
 pub use metadata::{LeafMetadata, MetadataContents};
 pub use namespace::ShmNamespace;

@@ -165,6 +165,7 @@ impl LeafMetadata {
     /// point; the region is synced before and the bit write is synced
     /// after, ordering the data before the commit.
     pub fn set_valid(&mut self, valid: bool) -> ShmResult<()> {
+        let sw = scuba_obs::Stopwatch::start();
         self.segment.sync()?;
         // The window the valid bit exists to protect: segments are written
         // and synced, the bit is not yet flipped.
@@ -176,7 +177,11 @@ impl LeafMetadata {
         }
         let word = (valid as u32).to_le_bytes();
         self.segment.as_mut_slice()[VALID_OFFSET..VALID_OFFSET + 4].copy_from_slice(&word);
-        self.segment.sync()
+        self.segment.sync()?;
+        // Valid-bit commit = barrier sync + word write + publish sync; its
+        // latency distribution bounds the §4.2 commit point.
+        scuba_obs::histogram!("shmem_valid_commit_ns").observe(sw.elapsed_ns());
+        Ok(())
     }
 
     /// Convenience: the current valid bit (false if unreadable).

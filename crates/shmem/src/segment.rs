@@ -122,6 +122,13 @@ impl ShmSegment {
                 Ok(fd)
             }
         })?;
+        // The name exists in /dev/shm from this point on: bump the linked
+        // gauge *before* finish_open so its failed-ftruncate cleanup path
+        // (which unlinks the name) decrements a matching increment. The
+        // gauge is the orphan detector — it must return to zero once every
+        // created name has been unlinked.
+        scuba_obs::counter!("shmem_segments_created").inc();
+        scuba_obs::gauge!("shmem_segments_linked").inc();
         let seg = Self::finish_open(name, fd, size, true)?;
         Ok(seg)
     }
@@ -273,13 +280,19 @@ impl ShmSegment {
         }
         let ptr = self.ptr.as_ptr() as *mut libc::c_void;
         let len = self.len;
+        let sw = scuba_obs::Stopwatch::start();
         retry_transient("shmem::segment::msync", "msync", &self.name, || {
             if unsafe { libc::msync(ptr, len, libc::MS_SYNC) } != 0 {
                 Err(std::io::Error::last_os_error())
             } else {
                 Ok(())
             }
-        })
+        })?;
+        if sw.active() {
+            scuba_obs::counter!("shmem_segment_syncs").inc();
+            scuba_obs::counter!("shmem_sync_nanos").add(sw.elapsed_ns());
+        }
+        Ok(())
     }
 
     /// Make the mapping read-only (`mprotect(PROT_READ)`). §3 lists
@@ -361,6 +374,8 @@ impl ShmSegment {
         let cname = validate_name(name)?;
         let rc = unsafe { libc::shm_unlink(cname.as_ptr()) };
         if rc == 0 {
+            scuba_obs::counter!("shmem_segments_unlinked").inc();
+            scuba_obs::gauge!("shmem_segments_linked").dec();
             Ok(true)
         } else if std::io::Error::last_os_error().raw_os_error() == Some(libc::ENOENT) {
             Ok(false)

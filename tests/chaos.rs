@@ -22,6 +22,7 @@ fn env_u64(name: &str, default: u64) -> u64 {
 
 #[test]
 fn chaos_soak_over_restart_protocol() {
+    scuba::obs::set_enabled(true);
     let waves = env_u64("SCUBA_CHAOS_WAVES", 200) as usize;
     let seed = env_u64("SCUBA_CHAOS_SEED", 0xC0FF_EE00);
     let prefix = format!("chaossoak{}", std::process::id());
@@ -55,5 +56,32 @@ fn chaos_soak_over_restart_protocol() {
             report.memory_recoveries
         );
     }
+
+    // --- Metrics invariants over the whole soak. ---
+    // Every restart attempt is accounted for: the wounded first attempts
+    // count as failed, their supervisor retries as completed.
+    let started = scuba::obs::counter_value("restarts_started").unwrap_or(0);
+    let completed = scuba::obs::counter_value("restarts_completed").unwrap_or(0);
+    let failed = scuba::obs::counter_value("restarts_failed").unwrap_or(0);
+    assert!(started >= waves as u64, "soak ran {started} restarts");
+    assert_eq!(
+        started,
+        completed + failed,
+        "restart attempts must balance: {started} != {completed} + {failed}"
+    );
+    // No gauge ever goes negative (phases, accepting flags, link counts).
+    for (name, value) in scuba::obs::gauge_values() {
+        assert!(value >= 0, "gauge {name} is negative: {value}");
+    }
+    // Nothing left mapped in /dev/shm: the orphan gauge returns to zero.
+    assert_eq!(
+        scuba::obs::gauge_value("shmem_segments_linked").unwrap_or(0),
+        0,
+        "shared-memory segments left linked after the soak"
+    );
+
+    // The live dashboard saw a down + recovered sample for each wave.
+    assert_eq!(report.dashboard.rows().len(), 2 * waves);
+
     let _ = std::fs::remove_dir_all(&dir);
 }
