@@ -70,6 +70,7 @@ fn main() {
         let (server, outcome) = LeafServer::start(rig.config.clone(), 0, None).expect("start");
         let path = match &outcome {
             RecoveryOutcome::Memory(_) => "SHARED MEMORY",
+            RecoveryOutcome::MemoryAttached(_) => "SHM ATTACH",
             RecoveryOutcome::Disk { .. } => "DISK",
         };
         let shm_left = ShmSegment::exists(&rig.namespace().metadata_name())

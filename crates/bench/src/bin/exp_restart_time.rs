@@ -12,10 +12,176 @@
 use std::time::Instant;
 
 use scuba::cluster::{leaf_restart_secs, simulate_single_machine, RecoveryPath, SimConfig};
-use scuba::leaf::{LeafServer, RecoveryOutcome};
+use scuba::columnstore::Row;
+use scuba::leaf::{LeafServer, RecoveryOutcome, RestoreMode};
+use scuba::query::Query;
 use scuba_bench::{build_leaf, fmt_bytes, fmt_dur, header, row, table_header, LeafRig};
 
+/// High-entropy rows: every string is distinct, so dictionary encoding
+/// cannot shrink them and the resident bytes track the row count. The
+/// E15 contrast needs that — attach cost is O(metadata) while full
+/// restore is O(bytes), and dict-compressed workloads hide the gap.
+fn dense_rows(n: usize, seed: u64) -> Vec<Row> {
+    (0..n as i64)
+        .map(|i| {
+            Row::at(i)
+                .with(
+                    "trace",
+                    format!("{seed:016x}-{i:016x}-{:016x}", i ^ 0x5DEE_CE66),
+                )
+                .with("latency_us", (i * 7919) % 100_000)
+        })
+        .collect()
+}
+
+/// Build a leaf with `tables` tables of `rows_per_table` dense rows
+/// each, sealed and disk-synced — the table-count axis of the E15 sweep.
+fn build_leaf_tables(rig: &LeafRig, tables: usize, rows_per_table: usize) -> LeafServer {
+    let mut server = LeafServer::new(rig.config.clone()).expect("boot leaf");
+    for t in 0..tables {
+        let rows = dense_rows(rows_per_table, 1000 + t as u64);
+        let name = format!("requests_{t}");
+        for chunk in rows.chunks(50_000) {
+            server
+                .add_rows(&name, chunk, chunk[0].time())
+                .expect("add rows");
+        }
+    }
+    server
+        .store_mut_for_bench()
+        .seal_all(0)
+        .expect("seal tables");
+    server.sync_disk().expect("sync disk");
+    server
+}
+
+/// One E15 measurement: returns (attach a.k.a. time-to-first-query,
+/// first mapped query, hydrate-complete, full restore, disk recovery),
+/// all in seconds.
+///
+/// Attach and full restore are repeatable (each shutdown re-seeds the
+/// shared memory), so both report the minimum over `trials` runs — the
+/// costs here are sub-millisecond and single shots mostly measure
+/// scheduler jitter.
+fn ttfq_once(tables: usize, rows_per_table: usize, trials: usize) -> (f64, f64, f64, f64, f64) {
+    let mut rig = LeafRig::new("e15");
+    let mut server = build_leaf_tables(&rig, tables, rows_per_table);
+    let total_rows = server.total_rows();
+
+    // Phase one + two: attach (queries answered from here), then hydrate.
+    rig.config.restore_mode = RestoreMode::TwoPhase;
+    let (mut attach_secs, mut first_query_secs, mut hydrate_secs) = (f64::MAX, f64::MAX, f64::MAX);
+    for _ in 0..trials {
+        server.shutdown_to_shm(0).expect("shutdown");
+        drop(server);
+        let t = Instant::now();
+        let (restarted, outcome) = LeafServer::start(rig.config.clone(), 0, None).expect("start");
+        let attach = t.elapsed().as_secs_f64();
+        server = restarted;
+        assert!(
+            matches!(outcome, RecoveryOutcome::MemoryAttached(_)),
+            "expected attach, got {outcome:?}"
+        );
+        let t = Instant::now();
+        let r = server
+            .query(&Query::new("requests_0", 0, i64::MAX))
+            .expect("mapped query");
+        first_query_secs = first_query_secs.min(t.elapsed().as_secs_f64());
+        assert_eq!(r.rows_matched as usize, rows_per_table);
+        let t = Instant::now();
+        server.finish_hydration().expect("hydrate");
+        attach_secs = attach_secs.min(attach);
+        hydrate_secs = hydrate_secs.min(attach + t.elapsed().as_secs_f64());
+        assert_eq!(server.total_rows(), total_rows);
+    }
+
+    // Classic full restore of the same data.
+    rig.config.restore_mode = RestoreMode::Full;
+    let mut full_secs = f64::MAX;
+    for _ in 0..trials {
+        server.shutdown_to_shm(0).expect("shutdown");
+        drop(server);
+        let t = Instant::now();
+        let (restarted, outcome) = LeafServer::start(rig.config.clone(), 0, None).expect("start");
+        full_secs = full_secs.min(t.elapsed().as_secs_f64());
+        server = restarted;
+        assert!(matches!(outcome, RecoveryOutcome::Memory(_)));
+    }
+
+    // Disk recovery of the same data (one shot: it is orders slower).
+    server.crash();
+    drop(server);
+    let t = Instant::now();
+    let (server, outcome) = LeafServer::start(rig.config.clone(), 0, None).expect("start");
+    let disk_secs = t.elapsed().as_secs_f64();
+    assert!(!outcome.is_memory());
+    assert_eq!(server.total_rows(), total_rows);
+
+    (
+        attach_secs,
+        first_query_secs,
+        hydrate_secs,
+        full_secs,
+        disk_secs,
+    )
+}
+
+/// E15 — time-to-first-query: attach vs hydrate-complete vs full restore
+/// vs disk, across table counts. When `assert_speedup` is set at least
+/// one configuration must show attach ≥5x faster than the full restore.
+fn ttfq_sweep(assert_speedup: bool) {
+    println!("\n-- E15: time to first query, two-phase attach (table-count sweep) --\n");
+    // Untimed warmup: the first restart in a process pays one-time costs
+    // (page faults, allocator growth, lazy statics) that would otherwise
+    // pollute the smallest configuration's attach number.
+    let _ = ttfq_once(1, 10_000, 1);
+    println!(
+        "  {:>7} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>9}",
+        "tables", "rows", "attach/ttfq", "1st query", "hydrated", "full rst", "disk", "full/ttfq"
+    );
+    let mut best_ratio = 0.0f64;
+    for (tables, rows_per_table) in [(1usize, 200_000usize), (4, 100_000), (16, 50_000)] {
+        let (attach, q, hydrate, full, disk) = ttfq_once(tables, rows_per_table, 3);
+        let ratio = full / attach;
+        best_ratio = best_ratio.max(ratio);
+        println!(
+            "  {:>7} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>8.1}x",
+            tables,
+            tables * rows_per_table,
+            fmt_dur(attach),
+            fmt_dur(q),
+            fmt_dur(hydrate),
+            fmt_dur(full),
+            fmt_dur(disk),
+            ratio,
+        );
+    }
+    if assert_speedup {
+        assert!(
+            best_ratio >= 5.0,
+            "time to first query must be >=5x lower than the full restore, got {best_ratio:.1}x"
+        );
+        println!("\n  time to first query >=5x lower than full restore: ok ({best_ratio:.1}x)");
+    }
+}
+
 fn main() {
+    // CI smoke: exercise only the attach/hydrate path, quickly.
+    if std::env::args().any(|a| a == "--attach-only") {
+        header("E15", "two-phase attach smoke (--attach-only)");
+        let (attach, q, hydrate, full, disk) = ttfq_once(4, 10_000, 1);
+        println!(
+            "\n  attach {} | first query {} | hydrated {} | full restore {} | disk {}",
+            fmt_dur(attach),
+            fmt_dur(q),
+            fmt_dur(hydrate),
+            fmt_dur(full),
+            fmt_dur(disk)
+        );
+        println!("  attach path healthy: ok");
+        return;
+    }
+
     header(
         "E1",
         "per-server restart time: shared memory vs disk recovery",
@@ -131,6 +297,8 @@ fn main() {
         }
         println!("\n  phase sums within 5% of measured totals: ok");
     }
+
+    ttfq_sweep(true);
 
     println!("\n-- paper scale (simulator, 8 leaves x 15 GB per machine) --\n");
     let cfg = SimConfig::paper_defaults();

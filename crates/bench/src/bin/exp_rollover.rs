@@ -100,6 +100,7 @@ fn main() {
             old_version: s.old,
             rolling: s.rolling,
             new_version: s.new,
+            hydrating: 0,
             availability: s.availability,
         });
     }

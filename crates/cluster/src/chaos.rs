@@ -22,7 +22,7 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use scuba_columnstore::Row;
-use scuba_leaf::{LeafConfig, LeafPhase, LeafServer};
+use scuba_leaf::{LeafConfig, LeafPhase, LeafServer, RestoreMode};
 use scuba_query::Query;
 use scuba_shmem::{ShmNamespace, ShmSegment};
 
@@ -132,6 +132,15 @@ const INJECTIONS: &[Injection] = &[
         companion: None,
     },
     Injection {
+        // Kill-during-hydration: fires after a two-phase attach has
+        // consumed the valid bit, so the supervisor's retry must land on
+        // disk recovery with zero segment orphans. Unreachable (a clean
+        // wave) when the wave rolled with the full-restore mode.
+        site: "leaf::phase::hydrating",
+        plan: "error@1",
+        companion: None,
+    },
+    Injection {
         site: "leaf::phase::disk_recovery",
         plan: "error@1",
         companion: Some(("restart::backup::unit", "error@1")),
@@ -153,6 +162,10 @@ pub struct ChaosConfig {
     pub disk_root: PathBuf,
     /// Copy-pipeline worker threads for the leaf under test (0 = auto).
     pub copy_threads: usize,
+    /// When true, odd waves restart with [`RestoreMode::TwoPhase`]
+    /// (attach + background hydration) and even waves with the classic
+    /// full restore, so one soak stands faults on both paths.
+    pub two_phase: bool,
 }
 
 /// What one wave did.
@@ -265,6 +278,11 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
         report
             .dashboard
             .push(feed.sample_metrics(started.elapsed()));
+        leaf_cfg.restore_mode = if cfg.two_phase && wave % 2 == 1 {
+            RestoreMode::TwoPhase
+        } else {
+            RestoreMode::Full
+        };
         let (new_server, outcome) = match LeafServer::start(leaf_cfg.clone(), 0, None) {
             Ok(pair) => pair,
             Err(_) => {
@@ -276,6 +294,28 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
             }
         };
         server = new_server;
+
+        // Two-phase waves come back serving over mapped segments. Check
+        // query fidelity *mid-hydration* (the zero-copy read path), then
+        // drive hydration to completion like a serving event loop would.
+        if server.is_hydrating() {
+            let mapped = server
+                .query(&Query::new("data", 0, i64::MAX))
+                .map_err(|e| err(wave, "mid-hydration query", e))?;
+            if mapped.rows_matched as usize != durable_data {
+                return Err(err(
+                    wave,
+                    "mid-hydration query mismatch",
+                    format!("matched {} != durable {durable_data}", mapped.rows_matched),
+                ));
+            }
+            server
+                .finish_hydration()
+                .map_err(|e| err(wave, "finish hydration", e))?;
+            if let Some(reason) = server.hydration_fallback_reason() {
+                return Err(err(wave, "unexpected hydration fallback", reason));
+            }
+        }
 
         // --- Bookkeeping, then disarm. ---
         let mut fired = false;
@@ -372,6 +412,7 @@ mod tests {
             shm_prefix: prefix,
             disk_root: dir,
             copy_threads: 0,
+            two_phase: true,
         }
     }
 

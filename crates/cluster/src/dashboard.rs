@@ -26,6 +26,11 @@ pub struct DashboardRow {
     pub rolling: usize,
     /// Leaves already on the new version.
     pub new_version: usize,
+    /// Of the `new_version` leaves, how many are answering queries over
+    /// attached shared memory while background hydration still runs (the
+    /// two-phase restore's serving-but-not-done window). Informational
+    /// overlay — these leaves count as new/answering in the partition.
+    pub hydrating: usize,
     /// Query availability at this instant (fraction of leaves answering).
     pub availability: f64,
 }
@@ -142,6 +147,11 @@ fn accepting(key: &str) -> Option<bool> {
     scuba_obs::gauge_value(&name).map(|v| v > 0)
 }
 
+fn is_hydrating(key: &str) -> bool {
+    let name = scuba_obs::labeled_name("leaf_phase", &[("leaf", key)]);
+    scuba_obs::gauge_value(&name) == Some(i64::from(scuba_leaf::LeafPhase::Hydrating.index()))
+}
+
 impl DashboardFeed {
     /// A feed over every leaf in `cluster`, with recovery baselines taken
     /// now. Create it immediately before starting a rollover.
@@ -194,6 +204,7 @@ impl DashboardFeed {
         let mut old_version = 0;
         let mut rolling = 0;
         let mut new_version = 0;
+        let mut hydrating = 0;
         let mut answering = 0;
         for (i, key) in self.keys.iter().enumerate() {
             let accepts =
@@ -211,6 +222,9 @@ impl DashboardFeed {
                 rolling += 1;
             } else if recovered {
                 new_version += 1;
+                if scuba_obs::enabled() && is_hydrating(key) {
+                    hydrating += 1;
+                }
             } else {
                 old_version += 1;
             }
@@ -220,6 +234,7 @@ impl DashboardFeed {
             old_version,
             rolling,
             new_version,
+            hydrating,
             availability: if total == 0 {
                 1.0
             } else {
@@ -239,6 +254,7 @@ mod tests {
             old_version: old,
             rolling,
             new_version: new,
+            hydrating: 0,
             availability: avail,
         }
     }

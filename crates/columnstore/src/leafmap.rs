@@ -84,9 +84,16 @@ impl LeafMap {
         self.tables.values().map(Table::encoded_bytes).sum()
     }
 
-    /// Approximate heap footprint across all tables.
+    /// Approximate heap footprint across all tables (excludes bytes still
+    /// resident in shared mappings; see [`Self::mapped_bytes`]).
     pub fn heap_bytes(&self) -> usize {
         self.tables.values().map(Table::heap_bytes).sum()
+    }
+
+    /// Bytes served out of shared mappings across all tables — nonzero
+    /// only between attach and the end of hydration.
+    pub fn mapped_bytes(&self) -> usize {
+        self.tables.values().map(Table::mapped_bytes).sum()
     }
 
     /// Apply retention limits to every table; returns total blocks dropped.

@@ -35,7 +35,7 @@ pub use builder::RowBlockBuilder;
 pub use column::ColumnData;
 pub use error::{Error, Result};
 pub use leafmap::LeafMap;
-pub use rbc::RowBlockColumn;
+pub use rbc::{ColumnBytes, RowBlockColumn};
 pub use row::Row;
 pub use rowblock::{RowBlock, RowBlockHeader};
 pub use schema::Schema;

@@ -26,6 +26,8 @@
 //! footer_offset  footer (8 bytes): crc32 over [0, footer_offset) | end magic
 //! ```
 
+use std::sync::Arc;
+
 use crate::checksum::crc32;
 use crate::column::{ColumnData, ColumnValues};
 use crate::encoding::{bitpack, delta, dictionary, lz, shuffle, varint, CompressionCode};
@@ -43,10 +45,91 @@ pub const HEADER_SIZE: usize = 64;
 /// Fixed footer size in bytes.
 pub const FOOTER_SIZE: usize = 8;
 
+/// Backing storage for one RBC buffer.
+///
+/// `Heap` is the classic owned buffer. `Mapped` borrows a byte range of an
+/// `Arc`-shared read-only mapping (in practice a `scuba_shmem::SegmentView`
+/// over a shared-memory segment), which is what lets an attached leaf serve
+/// queries straight out of shared memory with zero per-value heap copies
+/// (§6 "keep the data in shared memory at all times"). The columnstore
+/// stays dependency-free: any `AsRef<[u8]> + Send + Sync` can back a
+/// mapped column.
+///
+/// Layout rules: both variants hold the exact same offset-addressed RBC
+/// image — header, dict, data, footer — so every reader goes through
+/// [`RowBlockColumn::as_bytes`] and cannot tell the variants apart.
+pub enum ColumnBytes {
+    /// Owned heap bytes (`Box<[u8]>`), as produced by [`RowBlockColumn::encode`].
+    Heap(Box<[u8]>),
+    /// A `len`-byte window at `offset` into a shared read-only mapping.
+    Mapped {
+        /// The shared mapping keeping the bytes alive.
+        backing: Arc<dyn AsRef<[u8]> + Send + Sync>,
+        /// Start of this column's buffer within the mapping.
+        offset: usize,
+        /// Buffer length in bytes.
+        len: usize,
+    },
+}
+
+impl ColumnBytes {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            ColumnBytes::Heap(buf) => buf,
+            ColumnBytes::Mapped {
+                backing,
+                offset,
+                len,
+            } => &(**backing).as_ref()[*offset..*offset + *len],
+        }
+    }
+}
+
+impl Clone for ColumnBytes {
+    fn clone(&self) -> Self {
+        match self {
+            ColumnBytes::Heap(buf) => ColumnBytes::Heap(buf.clone()),
+            // Cloning a mapped column clones the Arc, not the bytes: query
+            // snapshots of attached tables stay zero-copy and keep the
+            // segment alive until the last clone drops.
+            ColumnBytes::Mapped {
+                backing,
+                offset,
+                len,
+            } => ColumnBytes::Mapped {
+                backing: Arc::clone(backing),
+                offset: *offset,
+                len: *len,
+            },
+        }
+    }
+}
+
+impl std::fmt::Debug for ColumnBytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ColumnBytes::Heap(buf) => f.debug_tuple("Heap").field(&buf.len()).finish(),
+            ColumnBytes::Mapped { offset, len, .. } => f
+                .debug_struct("Mapped")
+                .field("offset", offset)
+                .field("len", len)
+                .finish(),
+        }
+    }
+}
+
+impl PartialEq for ColumnBytes {
+    /// Byte equality, backing-agnostic: a mapped column equals its hydrated
+    /// heap copy.
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
 /// An encoded column: one contiguous, checksummed, offset-addressed buffer.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RowBlockColumn {
-    buf: Box<[u8]>,
+    buf: ColumnBytes,
 }
 
 /// Parsed view of the fixed header.
@@ -185,7 +268,7 @@ impl RowBlockColumn {
         buf.extend_from_slice(&RBC_END_MAGIC.to_le_bytes());
 
         Ok(RowBlockColumn {
-            buf: buf.into_boxed_slice(),
+            buf: ColumnBytes::Heap(buf.into_boxed_slice()),
         })
     }
 
@@ -194,20 +277,94 @@ impl RowBlockColumn {
     /// the validation the restore path relies on to detect torn copies
     /// (§4.3: a failed restore falls back to disk recovery).
     pub fn from_bytes(buf: Box<[u8]>) -> Result<RowBlockColumn> {
-        let rbc = RowBlockColumn { buf };
+        let rbc = RowBlockColumn {
+            buf: ColumnBytes::Heap(buf),
+        };
         rbc.parse_header()?; // validates structure
         rbc.verify_checksum()?;
         Ok(rbc)
     }
 
+    /// Adopt a buffer whose integrity was already established by an
+    /// enclosing checksum: the shm restore path CRC-verifies each chunk
+    /// frame over exactly these bytes before handing them here, so the
+    /// footer CRC would checksum the same bytes twice. Validates the full
+    /// structure (magic, version, offsets, end magic) but skips the
+    /// redundant CRC pass. The disk path keeps using [`Self::from_bytes`].
+    pub fn from_bytes_trusted(buf: Box<[u8]>) -> Result<RowBlockColumn> {
+        let rbc = RowBlockColumn {
+            buf: ColumnBytes::Heap(buf),
+        };
+        rbc.parse_header()?;
+        rbc.verify_end_magic()?;
+        Ok(rbc)
+    }
+
+    /// Adopt a byte range of a shared read-only mapping without copying.
+    /// Validates structure and the end magic (an O(1) torn-write guard);
+    /// the footer CRC is deliberately deferred to hydration
+    /// ([`Self::to_heap_verified`]) so attach cost stays proportional to
+    /// metadata, not data volume. The segment's valid bit guarantees the
+    /// bytes were `msync`'d before the backup committed.
+    pub fn from_mapped(
+        backing: Arc<dyn AsRef<[u8]> + Send + Sync>,
+        offset: usize,
+        len: usize,
+    ) -> Result<RowBlockColumn> {
+        let total = (*backing).as_ref().len();
+        let end = offset.saturating_add(len);
+        if end > total {
+            return Err(Error::Truncated {
+                needed: end,
+                available: total,
+            });
+        }
+        let rbc = RowBlockColumn {
+            buf: ColumnBytes::Mapped {
+                backing,
+                offset,
+                len,
+            },
+        };
+        rbc.parse_header()?;
+        rbc.verify_end_magic()?;
+        Ok(rbc)
+    }
+
+    /// Whether this column is served out of a shared mapping rather than
+    /// owned heap bytes.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.buf, ColumnBytes::Mapped { .. })
+    }
+
+    /// Copy a mapped column into owned heap bytes (identity for heap
+    /// columns). Infallible: the buffer was validated at construction.
+    pub fn to_heap(&self) -> RowBlockColumn {
+        match &self.buf {
+            ColumnBytes::Heap(_) => self.clone(),
+            ColumnBytes::Mapped { .. } => RowBlockColumn {
+                buf: ColumnBytes::Heap(self.bytes().to_vec().into_boxed_slice()),
+            },
+        }
+    }
+
+    /// Hydrate: verify the deferred footer CRC, then copy to heap. This is
+    /// the integrity check attach skipped; a mismatch here means the
+    /// segment held torn data and the caller must fall back to disk
+    /// recovery, exactly as a failed restore would (§4.3).
+    pub fn to_heap_verified(&self) -> Result<RowBlockColumn> {
+        self.verify_checksum()?;
+        Ok(self.to_heap())
+    }
+
     /// The raw buffer — what gets `memcpy`'d to and from shared memory.
     pub fn as_bytes(&self) -> &[u8] {
-        &self.buf
+        self.bytes()
     }
 
     /// Total buffer size in bytes.
     pub fn len_bytes(&self) -> usize {
-        self.buf.len()
+        self.bytes().len()
     }
 
     /// Number of rows covered (nulls included).
@@ -232,17 +389,27 @@ impl RowBlockColumn {
 
     /// Recompute the checksum and compare with the footer.
     pub fn verify_checksum(&self) -> Result<()> {
+        let buf = self.bytes();
         let h = self.parse_header()?;
         let footer = h.footer_offset as usize;
-        let stored = u32::from_le_bytes(self.buf[footer..footer + 4].try_into().unwrap());
-        let computed = crc32(&self.buf[..footer]);
+        let stored = u32::from_le_bytes(buf[footer..footer + 4].try_into().unwrap());
+        let computed = crc32(&buf[..footer]);
         if stored != computed {
             return Err(Error::ChecksumMismatch {
                 expected: stored,
                 found: computed,
             });
         }
-        let end = u32::from_le_bytes(self.buf[footer + 4..footer + 8].try_into().unwrap());
+        self.verify_end_magic()
+    }
+
+    /// Check only the end-of-buffer magic (the last 4 bytes): an O(1)
+    /// structural guard against truncation, without the O(n) CRC pass.
+    fn verify_end_magic(&self) -> Result<()> {
+        let buf = self.bytes();
+        let h = self.parse_header()?;
+        let footer = h.footer_offset as usize;
+        let end = u32::from_le_bytes(buf[footer + 4..footer + 8].try_into().unwrap());
         if end != RBC_END_MAGIC {
             return Err(Error::BadMagic {
                 expected: RBC_END_MAGIC,
@@ -252,11 +419,16 @@ impl RowBlockColumn {
         Ok(())
     }
 
+    fn bytes(&self) -> &[u8] {
+        self.buf.as_slice()
+    }
+
     /// Decode the buffer back into heap column data.
     pub fn decode(&self) -> Result<ColumnData> {
+        let buf = self.bytes();
         let h = self.parse_header()?;
         let n_items = h.n_items as usize;
-        let data = &self.buf[h.data_offset as usize..h.footer_offset as usize];
+        let data = &buf[h.data_offset as usize..h.footer_offset as usize];
         let mut pos = 0usize;
 
         // Presence bitmap.
@@ -315,7 +487,7 @@ impl RowBlockColumn {
                 ColumnValues::Double(shuffle::unshuffle_f64(&shuffled, present_count)?)
             }
             ColumnType::Str => {
-                let dict_region = &self.buf[h.dict_offset as usize..h.data_offset as usize];
+                let dict_region = &buf[h.dict_offset as usize..h.data_offset as usize];
                 let entries = if h.n_dict_items == 0 && dict_region.is_empty() {
                     Vec::new()
                 } else {
@@ -347,7 +519,7 @@ impl RowBlockColumn {
                 ColumnValues::Str(decoded)
             }
             ColumnType::StrSet => {
-                let dict_region = &self.buf[h.dict_offset as usize..h.data_offset as usize];
+                let dict_region = &buf[h.dict_offset as usize..h.data_offset as usize];
                 let entries = if h.n_dict_items == 0 && dict_region.is_empty() {
                     Vec::new()
                 } else {
@@ -406,7 +578,7 @@ impl RowBlockColumn {
     }
 
     fn parse_header(&self) -> Result<Header> {
-        let buf = &self.buf;
+        let buf = self.bytes();
         if buf.len() < HEADER_SIZE + FOOTER_SIZE {
             return Err(Error::Truncated {
                 needed: HEADER_SIZE + FOOTER_SIZE,
@@ -707,5 +879,85 @@ mod tests {
         shadow.copy_from_slice(rbc.as_bytes()); // the "memcpy"
         let copied = RowBlockColumn::from_bytes(shadow.into_boxed_slice()).unwrap();
         assert_eq!(copied.decode().unwrap(), data);
+    }
+
+    #[test]
+    fn mapped_column_decodes_identically() {
+        // Zero-copy adoption: the same buffer embedded at an offset inside
+        // a larger shared mapping must decode byte-identically to the
+        // owned original.
+        let data = ColumnData::from_values(ColumnValues::Str(
+            (0..200).map(|i| format!("value{}", i % 17)).collect(),
+        ));
+        let rbc = RowBlockColumn::encode(&data).unwrap();
+        let mut arena = vec![0xAAu8; 128]; // unrelated leading bytes
+        arena.extend_from_slice(rbc.as_bytes());
+        arena.extend_from_slice(&[0xBB; 64]); // unrelated trailing bytes
+        let backing: Arc<dyn AsRef<[u8]> + Send + Sync> = Arc::new(arena);
+        let mapped = RowBlockColumn::from_mapped(backing, 128, rbc.len_bytes()).unwrap();
+        assert!(mapped.is_mapped());
+        assert!(!rbc.is_mapped());
+        assert_eq!(mapped.as_bytes(), rbc.as_bytes());
+        assert_eq!(mapped.decode().unwrap(), data);
+        assert_eq!(mapped, rbc); // backing-agnostic equality
+                                 // Clones share the backing instead of copying bytes.
+        let clone = mapped.clone();
+        assert!(clone.is_mapped());
+        // Hydration produces an owned, still-identical column.
+        let heap = mapped.to_heap_verified().unwrap();
+        assert!(!heap.is_mapped());
+        assert_eq!(heap, mapped);
+        assert_eq!(heap.decode().unwrap(), data);
+    }
+
+    #[test]
+    fn from_mapped_rejects_out_of_range_windows() {
+        let rbc = RowBlockColumn::encode(&int_column(&[1, 2, 3])).unwrap();
+        let backing: Arc<dyn AsRef<[u8]> + Send + Sync> = Arc::new(rbc.as_bytes().to_vec());
+        assert!(RowBlockColumn::from_mapped(backing.clone(), 8, rbc.len_bytes()).is_err());
+        assert!(RowBlockColumn::from_mapped(backing, usize::MAX, 2).is_err());
+    }
+
+    #[test]
+    fn trusted_adoption_skips_footer_crc_but_keeps_structure() {
+        // Satellite: the shm restore path verifies the chunk-frame CRC over
+        // the same bytes, so from_bytes_trusted must accept a buffer whose
+        // footer CRC is stale — while from_bytes (the disk path) rejects it.
+        let rbc = RowBlockColumn::encode(&int_column(&(0..500).collect::<Vec<_>>())).unwrap();
+        let mut bytes = rbc.as_bytes().to_vec();
+        let footer = bytes.len() - FOOTER_SIZE;
+        bytes[footer] ^= 0xFF; // corrupt the stored CRC, not the data
+        assert!(matches!(
+            RowBlockColumn::from_bytes(bytes.clone().into_boxed_slice()).unwrap_err(),
+            Error::ChecksumMismatch { .. }
+        ));
+        let trusted = RowBlockColumn::from_bytes_trusted(bytes.into_boxed_slice()).unwrap();
+        assert_eq!(trusted.decode().unwrap().len(), 500);
+
+        // Structural damage is still caught: bad end magic, truncation.
+        let mut bytes = rbc.as_bytes().to_vec();
+        let len = bytes.len();
+        bytes[len - 1] ^= 0xFF;
+        assert!(matches!(
+            RowBlockColumn::from_bytes_trusted(bytes.into_boxed_slice()).unwrap_err(),
+            Error::BadMagic { .. }
+        ));
+        let bytes = rbc.as_bytes();
+        assert!(RowBlockColumn::from_bytes_trusted(
+            bytes[..bytes.len() - 1].to_vec().into_boxed_slice()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn deferred_crc_caught_at_hydration() {
+        // Attach accepts structurally-valid torn payloads (CRC deferred);
+        // to_heap_verified is where the corruption must surface.
+        let rbc = RowBlockColumn::encode(&int_column(&(0..500).collect::<Vec<_>>())).unwrap();
+        let mut bytes = rbc.as_bytes().to_vec();
+        bytes[HEADER_SIZE] ^= 0xFF; // first data-region byte: structurally silent
+        let backing: Arc<dyn AsRef<[u8]> + Send + Sync> = Arc::new(bytes);
+        let mapped = RowBlockColumn::from_mapped(backing, 0, rbc.len_bytes()).unwrap();
+        assert!(mapped.to_heap_verified().is_err());
     }
 }

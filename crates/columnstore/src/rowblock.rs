@@ -158,6 +158,32 @@ impl RowBlock {
         self.columns.iter().map(|c| c.len_bytes()).sum()
     }
 
+    /// Bytes of this block served out of shared mappings instead of heap.
+    pub fn mapped_bytes(&self) -> usize {
+        self.columns
+            .iter()
+            .filter(|c| c.is_mapped())
+            .map(|c| c.len_bytes())
+            .sum()
+    }
+
+    /// True if any column is backed by a shared mapping (an attached,
+    /// not-yet-hydrated block).
+    pub fn is_mapped(&self) -> bool {
+        self.columns.iter().any(|c| c.is_mapped())
+    }
+
+    /// Copy every mapped column to heap (identity for heap blocks). The
+    /// hydration worker calls this after verifying each column's deferred
+    /// CRC; see [`RowBlockColumn::to_heap_verified`].
+    pub fn to_heap(&self) -> RowBlock {
+        RowBlock {
+            header: self.header,
+            schema: self.schema.clone(),
+            columns: self.columns.iter().map(|c| c.to_heap()).collect(),
+        }
+    }
+
     fn image_size(schema: &Schema, columns: &[RowBlockColumn]) -> usize {
         // header fields (fixed) + schema + per-column u64 length + buffers + crc
         4 + 4

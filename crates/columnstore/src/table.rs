@@ -141,9 +141,44 @@ impl Table {
     }
 
     /// Approximate total heap footprint: encoded blocks plus the raw
-    /// builder estimate.
+    /// builder estimate, excluding column bytes still resident in shared
+    /// mappings (those are accounted by [`Self::mapped_bytes`] so the two
+    /// gauges never double-count during hydration).
     pub fn heap_bytes(&self) -> usize {
-        self.encoded_bytes() + self.builder.raw_bytes()
+        self.encoded_bytes().saturating_sub(self.mapped_bytes()) + self.builder.raw_bytes()
+    }
+
+    /// Column bytes served out of shared mappings — nonzero only while the
+    /// table is attached-but-not-fully-hydrated.
+    pub fn mapped_bytes(&self) -> usize {
+        self.blocks.iter().map(|b| b.mapped_bytes()).sum()
+    }
+
+    /// Blocks that still have shm-backed columns, as shared handles for
+    /// the hydration worker pool.
+    pub fn mapped_blocks(&self) -> Vec<Arc<RowBlock>> {
+        self.blocks
+            .iter()
+            .filter(|b| b.is_mapped())
+            .cloned()
+            .collect()
+    }
+
+    /// Swap `old` for `new` by pointer identity. This is how hydration
+    /// lands: the worker copied `old` (a mapped block) to heap while the
+    /// table kept serving queries and possibly sealed fresh blocks; the
+    /// `Arc::ptr_eq` match guarantees the swap can never clobber anything
+    /// but the exact block the worker started from. Returns false if the
+    /// block is gone (expired or replaced), in which case the caller just
+    /// drops its handle.
+    pub fn apply_block_patch(&mut self, old: &Arc<RowBlock>, new: Arc<RowBlock>) -> bool {
+        for slot in &mut self.blocks {
+            if Arc::ptr_eq(slot, old) {
+                *slot = new;
+                return true;
+            }
+        }
+        false
     }
 
     /// Apply retention limits (§2: "delete data as it expires due to either

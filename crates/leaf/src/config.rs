@@ -4,6 +4,19 @@ use std::path::PathBuf;
 
 use scuba_columnstore::table::RetentionLimits;
 
+/// Which restore path [`crate::LeafServer::start`] takes when a valid
+/// shared-memory image is present.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestoreMode {
+    /// Classic Figure-7 restore: copy every chunk shm→heap before serving.
+    Full,
+    /// Two-phase zero-copy restore: *attach* segments read-only and serve
+    /// queries over the mapped bytes immediately, then *hydrate* tables to
+    /// heap in background workers, unlinking each segment when its last
+    /// mapped reference drops.
+    TwoPhase,
+}
+
 /// Static configuration for one leaf server process.
 #[derive(Debug, Clone)]
 pub struct LeafConfig {
@@ -26,6 +39,10 @@ pub struct LeafConfig {
     /// Worker threads for the backup/restore copy pipeline. 0 means auto
     /// (min(cores, 4)); the `SCUBA_COPY_THREADS` env var overrides both.
     pub copy_threads: usize,
+    /// How to bring a valid shared-memory image back: copy-everything
+    /// ([`RestoreMode::Full`]) or attach-then-hydrate
+    /// ([`RestoreMode::TwoPhase`]).
+    pub restore_mode: RestoreMode,
 }
 
 impl LeafConfig {
@@ -39,6 +56,7 @@ impl LeafConfig {
             retention: RetentionLimits::NONE,
             shm_recovery_enabled: true,
             copy_threads: 0,
+            restore_mode: RestoreMode::Full,
         }
     }
 }
@@ -54,5 +72,6 @@ mod tests {
         assert!(c.shm_recovery_enabled);
         assert_eq!(c.retention, RetentionLimits::NONE);
         assert!(c.memory_capacity > 0);
+        assert_eq!(c.restore_mode, RestoreMode::Full);
     }
 }

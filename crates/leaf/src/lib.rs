@@ -25,7 +25,7 @@ pub mod error;
 pub mod persist;
 pub mod server;
 
-pub use config::LeafConfig;
+pub use config::{LeafConfig, RestoreMode};
 pub use error::{LeafError, LeafResult};
 pub use persist::LeafStore;
 pub use server::{LeafPhase, LeafServer, RecoveryOutcome, ShutdownSummary};

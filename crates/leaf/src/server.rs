@@ -1,18 +1,21 @@
 //! The leaf server lifecycle: serve → clean shutdown to shared memory →
 //! fast restart (or disk recovery).
 
+use std::sync::{mpsc, Arc};
+use std::thread;
 use std::time::Duration;
 
-use scuba_columnstore::Row;
+use scuba_columnstore::{Row, RowBlock};
 use scuba_diskstore::{DiskBackup, RecoveryStats, Throttle};
 use scuba_query::{execute, LeafQueryResult, Query};
 use scuba_restart::{
-    backup_to_shm_with, restore_from_shm_with, BackupReport, CopyOptions, LeafBackupState,
-    LeafRestoreState, RestoreError, RestoreReport, TableBackupState, SHM_LAYOUT_VERSION,
+    attach_from_shm, backup_to_shm_with, resolve_copy_threads, restore_from_shm_with, AttachReport,
+    BackupReport, CopyOptions, LeafBackupState, LeafRestoreState, RestoreError, RestoreReport,
+    TableBackupState, SHM_LAYOUT_VERSION,
 };
 use scuba_shmem::ShmNamespace;
 
-use crate::config::LeafConfig;
+use crate::config::{LeafConfig, RestoreMode};
 use crate::error::{LeafError, LeafResult};
 use crate::persist::LeafStore;
 
@@ -40,6 +43,10 @@ pub enum LeafPhase {
     MemoryRecovery,
     /// Rebuilding from disk (adds and queries allowed; results partial).
     DiskRecovery,
+    /// Attached to shared memory and serving; background workers are
+    /// copying mapped tables to heap. Adds and queries allowed — ingest
+    /// lands in fresh heap row blocks, queries read borrowed shm bytes.
+    Hydrating,
     /// Process gone.
     Down,
 }
@@ -53,22 +60,31 @@ impl LeafPhase {
             LeafPhase::CopyingToShm => "COPY_TO_SHM",
             LeafPhase::MemoryRecovery => "MEMORY_RECOVERY",
             LeafPhase::DiskRecovery => "DISK_RECOVERY",
+            LeafPhase::Hydrating => "HYDRATING",
             LeafPhase::Down => "DOWN",
         }
     }
 
     /// May rows be added? (§4.3: disk recovery accepts adds, memory
-    /// recovery does not.)
+    /// recovery does not. Hydration does: the attach already installed
+    /// every table, and new rows go to fresh heap builders.)
     pub fn accepts_adds(self) -> bool {
-        matches!(self, LeafPhase::Alive | LeafPhase::DiskRecovery)
+        matches!(
+            self,
+            LeafPhase::Alive | LeafPhase::DiskRecovery | LeafPhase::Hydrating
+        )
     }
 
     /// May queries run? (Same admission rule as adds.)
     pub fn accepts_queries(self) -> bool {
-        matches!(self, LeafPhase::Alive | LeafPhase::DiskRecovery)
+        matches!(
+            self,
+            LeafPhase::Alive | LeafPhase::DiskRecovery | LeafPhase::Hydrating
+        )
     }
 
-    /// Stable ordinal for the `leaf_phase` gauge (0 = ALIVE … 5 = DOWN).
+    /// Stable ordinal for the `leaf_phase` gauge (0 = ALIVE … 5 = DOWN,
+    /// 6 = HYDRATING).
     pub fn index(self) -> u8 {
         match self {
             LeafPhase::Alive => 0,
@@ -77,6 +93,7 @@ impl LeafPhase {
             LeafPhase::MemoryRecovery => 3,
             LeafPhase::DiskRecovery => 4,
             LeafPhase::Down => 5,
+            LeafPhase::Hydrating => 6,
         }
     }
 }
@@ -84,8 +101,14 @@ impl LeafPhase {
 /// How a leaf came back up.
 #[derive(Debug)]
 pub enum RecoveryOutcome {
-    /// Shared-memory restore succeeded.
+    /// Shared-memory restore succeeded (everything copied to heap).
     Memory(RestoreReport),
+    /// Shared-memory *attach* succeeded ([`RestoreMode::TwoPhase`]): the
+    /// leaf is serving over mapped segments and hydrating in background.
+    /// The report's duration is the time to first query, not to full
+    /// recovery — drive [`LeafServer::poll_hydration`] /
+    /// [`LeafServer::finish_hydration`] to complete it.
+    MemoryAttached(AttachReport),
     /// Fell back to (or was configured for) disk recovery; carries the
     /// reason and the disk recovery stats.
     Disk {
@@ -99,14 +122,90 @@ pub enum RecoveryOutcome {
 impl RecoveryOutcome {
     /// True if this was a fast (memory) recovery.
     pub fn is_memory(&self) -> bool {
-        matches!(self, RecoveryOutcome::Memory(_))
+        matches!(
+            self,
+            RecoveryOutcome::Memory(_) | RecoveryOutcome::MemoryAttached(_)
+        )
     }
 
-    /// Wall-clock recovery duration.
+    /// Wall-clock duration until the leaf accepted its first request.
     pub fn duration(&self) -> Duration {
         match self {
             RecoveryOutcome::Memory(r) => r.duration,
+            RecoveryOutcome::MemoryAttached(r) => r.duration,
             RecoveryOutcome::Disk { stats, .. } => stats.read_duration + stats.translate_duration,
+        }
+    }
+}
+
+/// One hydrated row block coming back from a worker.
+struct HydratedBlock {
+    /// Table the block belongs to.
+    table: String,
+    /// The shm-backed block the worker started from (identity key for
+    /// [`scuba_columnstore::Table::apply_block_patch`]).
+    old: Arc<RowBlock>,
+    /// Heap copy, or the deferred-CRC failure that makes the whole leaf
+    /// fall back to disk.
+    new: Result<RowBlock, String>,
+}
+
+/// Verify every mapped column's deferred RBC checksum, then copy the
+/// block to heap. Runs on a worker thread; no store access.
+fn hydrate_block(block: &RowBlock) -> Result<RowBlock, String> {
+    for column in block.columns().iter().filter(|c| c.is_mapped()) {
+        column.verify_checksum().map_err(|e| e.to_string())?;
+    }
+    Ok(block.to_heap())
+}
+
+/// Background worker pool converting mapped blocks to heap after an
+/// attach. Results stream back over a channel; the server applies them
+/// under its own `&mut` (the workers never touch the store).
+#[derive(Debug)]
+struct Hydrator {
+    rx: mpsc::Receiver<HydratedBlock>,
+    workers: Vec<thread::JoinHandle<()>>,
+    /// Blocks handed to workers whose results have not been applied yet.
+    pending: usize,
+}
+
+impl Hydrator {
+    /// Snapshot every mapped block and fan the copy work out over the
+    /// resolved copy-thread count.
+    fn spawn(store: &LeafStore, copy_threads: usize) -> Hydrator {
+        let mut jobs: Vec<(String, Arc<RowBlock>)> = Vec::new();
+        for table in store.map().iter() {
+            for block in table.mapped_blocks() {
+                jobs.push((table.name().to_owned(), block));
+            }
+        }
+        let pending = jobs.len();
+        let threads = resolve_copy_threads(copy_threads).min(pending.max(1));
+        let (tx, rx) = mpsc::channel();
+        let mut buckets: Vec<Vec<(String, Arc<RowBlock>)>> =
+            (0..threads).map(|_| Vec::new()).collect();
+        for (i, job) in jobs.into_iter().enumerate() {
+            buckets[i % threads].push(job);
+        }
+        let workers = buckets
+            .into_iter()
+            .map(|bucket| {
+                let tx = tx.clone();
+                thread::spawn(move || {
+                    for (table, old) in bucket {
+                        let new = hydrate_block(&old);
+                        if tx.send(HydratedBlock { table, old, new }).is_err() {
+                            return; // server gone (crash/fallback); stop
+                        }
+                    }
+                })
+            })
+            .collect();
+        Hydrator {
+            rx,
+            workers,
+            pending,
         }
     }
 }
@@ -135,6 +234,13 @@ pub struct LeafServer {
     /// `{shm_prefix}:{leaf_id}` — the `leaf` label on this server's
     /// metric series, unique per leaf within the process.
     obs_key: String,
+    /// Background hydration pool, present only while `Hydrating`.
+    hydrator: Option<Hydrator>,
+    /// The `now` the leaf started with; stamps blocks if hydration has to
+    /// fall back to disk recovery.
+    hydrate_now: i64,
+    /// Why hydration fell back to disk, if it did.
+    hydration_fallback: Option<String>,
 }
 
 impl LeafServer {
@@ -150,6 +256,9 @@ impl LeafServer {
             ns,
             phase: LeafPhase::Alive,
             obs_key,
+            hydrator: None,
+            hydrate_now: 0,
+            hydration_fallback: None,
         };
         server.set_phase(LeafPhase::Alive);
         Ok(server)
@@ -165,6 +274,19 @@ impl LeafServer {
             scuba_obs::labeled_gauge("leaf_phase", &labels).set(i64::from(phase.index()));
             scuba_obs::labeled_gauge("leaf_accepting_queries", &labels)
                 .set(i64::from(phase.accepts_queries()));
+        }
+        self.publish_memory_gauges();
+    }
+
+    /// Publish the heap/shm split (satellite of §4.4 accounting: bytes
+    /// are either heap-resident or shm-resident, never both).
+    fn publish_memory_gauges(&self) {
+        if scuba_obs::enabled() {
+            let labels = [("leaf", self.obs_key.as_str())];
+            scuba_obs::labeled_gauge("leaf_heap_bytes", &labels).set(self.memory_used() as i64);
+            scuba_obs::labeled_gauge("leaf_shm_bytes", &labels).set(self.shm_resident() as i64);
+            scuba_obs::labeled_gauge("leaf_hydration_pending_blocks", &labels)
+                .set(self.hydrator.as_ref().map_or(0, |h| h.pending) as i64);
         }
     }
 
@@ -183,15 +305,18 @@ impl LeafServer {
         disk_throttle: Option<&Throttle>,
     ) -> LeafResult<(LeafServer, RecoveryOutcome)> {
         scuba_obs::counter!("restarts_started").inc();
+        let started = std::time::Instant::now();
         match LeafServer::start_inner(config, now, disk_throttle) {
             Ok((server, outcome)) => {
                 if scuba_obs::enabled() {
                     scuba_obs::counter!("restarts_completed").inc();
-                    scuba_obs::labeled_counter(
-                        "leaf_recoveries_total",
-                        &[("leaf", server.obs_key.as_str())],
-                    )
-                    .inc();
+                    let labels = [("leaf", server.obs_key.as_str())];
+                    scuba_obs::labeled_counter("leaf_recoveries_total", &labels).inc();
+                    // Time to first query: the leaf accepts requests the
+                    // moment start() returns — under TwoPhase that is
+                    // attach cost, not full-restore cost.
+                    scuba_obs::labeled_gauge("leaf_time_to_first_query_ns", &labels)
+                        .set(started.elapsed().as_nanos().min(i64::MAX as u128) as i64);
                 }
                 Ok((server, outcome))
             }
@@ -214,17 +339,38 @@ impl LeafServer {
             state = state.transition(LeafRestoreState::MemoryRecovery)?;
             server.set_phase(LeafPhase::MemoryRecovery);
             phase_failpoint("leaf::phase::memory_recovery")?;
-            match restore_from_shm_with(
-                &mut server.store,
-                &server.ns,
-                SHM_LAYOUT_VERSION,
-                CopyOptions::with_threads(server.config.copy_threads),
-            ) {
-                Ok(report) => {
+            let attempt = match server.config.restore_mode {
+                RestoreMode::Full => restore_from_shm_with(
+                    &mut server.store,
+                    &server.ns,
+                    SHM_LAYOUT_VERSION,
+                    CopyOptions::with_threads(server.config.copy_threads),
+                )
+                .map(RecoveryOutcome::Memory),
+                RestoreMode::TwoPhase => {
+                    attach_from_shm(&mut server.store, &server.ns, SHM_LAYOUT_VERSION)
+                        .map(RecoveryOutcome::MemoryAttached)
+                }
+            };
+            match attempt {
+                Ok(outcome) => {
                     state = state.transition(LeafRestoreState::Alive)?;
                     debug_assert_eq!(state, LeafRestoreState::Alive);
+                    if matches!(outcome, RecoveryOutcome::MemoryAttached(_)) {
+                        server.hydrate_now = now;
+                        if server.store.map().mapped_bytes() > 0 {
+                            // Phase two starts now, in background; the
+                            // leaf serves over the mapped segments.
+                            server.set_phase(LeafPhase::Hydrating);
+                            phase_failpoint("leaf::phase::hydrating")?;
+                            server.hydrator =
+                                Some(Hydrator::spawn(&server.store, server.config.copy_threads));
+                            server.publish_memory_gauges();
+                            return Ok((server, outcome));
+                        }
+                    }
                     server.set_phase(LeafPhase::Alive);
-                    return Ok((server, RecoveryOutcome::Memory(report)));
+                    return Ok((server, outcome));
                 }
                 Err(RestoreError::Fallback(fb)) => {
                     // Figure 5(b) "exception" edge: clear any partial
@@ -261,6 +407,126 @@ impl LeafServer {
         Ok(RecoveryOutcome::Disk { reason, stats })
     }
 
+    /// True while background hydration is still converting mapped blocks
+    /// to heap.
+    pub fn is_hydrating(&self) -> bool {
+        self.hydrator.is_some()
+    }
+
+    /// Blocks handed to hydration workers whose results have not been
+    /// applied yet.
+    pub fn hydration_pending(&self) -> usize {
+        self.hydrator.as_ref().map_or(0, |h| h.pending)
+    }
+
+    /// Why hydration fell back to disk recovery, if it did.
+    pub fn hydration_fallback_reason(&self) -> Option<&str> {
+        self.hydration_fallback.as_deref()
+    }
+
+    /// Apply any hydrated blocks the workers have finished, without
+    /// blocking. Returns the number of blocks still pending; 0 means
+    /// hydration is complete (or fell back to disk) and the leaf is
+    /// `Alive`. Callers drive this from their event loop — queries take
+    /// `&self`, so block swaps happen only here.
+    pub fn poll_hydration(&mut self) -> LeafResult<usize> {
+        loop {
+            let received = match self.hydrator.as_ref() {
+                None => return Ok(0),
+                Some(h) => h.rx.try_recv(),
+            };
+            match received {
+                Ok(msg) => self.apply_hydrated(msg)?,
+                Err(mpsc::TryRecvError::Empty) => break,
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    // A worker died (panic) with results outstanding.
+                    self.fall_back_from_hydration(
+                        "hydration workers exited with blocks outstanding".to_owned(),
+                    )?;
+                    return Ok(0);
+                }
+            }
+            if self.hydrator.is_none() {
+                return Ok(0);
+            }
+        }
+        Ok(self.hydration_pending())
+    }
+
+    /// Block until hydration is complete (or has fallen back to disk).
+    /// The leaf is `Alive` with zero shm-resident bytes afterwards.
+    pub fn finish_hydration(&mut self) -> LeafResult<()> {
+        loop {
+            let received = match self.hydrator.as_ref() {
+                None => return Ok(()),
+                Some(h) => h.rx.recv(),
+            };
+            match received {
+                Ok(msg) => self.apply_hydrated(msg)?,
+                Err(_) => {
+                    return self.fall_back_from_hydration(
+                        "hydration workers exited with blocks outstanding".to_owned(),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Swap one hydrated block into its table (or trigger the disk
+    /// fallback on a deferred-CRC failure).
+    fn apply_hydrated(&mut self, msg: HydratedBlock) -> LeafResult<()> {
+        match msg.new {
+            Err(reason) => {
+                self.fall_back_from_hydration(format!("hydrating table {:?}: {reason}", msg.table))
+            }
+            Ok(block) => {
+                if let Some(t) = self.store.map_mut().get_mut(&msg.table) {
+                    // False means the block left the table meanwhile
+                    // (cannot happen today: expire is blocked during
+                    // hydration) — the heap copy is simply discarded.
+                    t.apply_block_patch(&msg.old, Arc::new(block));
+                }
+                scuba_obs::counter!("hydrated_blocks_total").inc();
+                let h = self.hydrator.as_mut().expect("hydrator present");
+                h.pending -= 1;
+                if h.pending == 0 {
+                    let h = self.hydrator.take().expect("hydrator present");
+                    drop(h.rx);
+                    for worker in h.workers {
+                        let _ = worker.join();
+                    }
+                    self.set_phase(LeafPhase::Alive);
+                } else {
+                    self.publish_memory_gauges();
+                }
+                Ok(())
+            }
+        }
+        // `msg.old` drops here — when the last mapped reference to a
+        // segment goes, the SegmentView unlinks it.
+    }
+
+    /// §4.3 conservatism applied to phase two: any hydration failure
+    /// (torn payload caught by the deferred CRC, a dead worker) condemns
+    /// the whole attach — throw away the mapped store and rebuild from
+    /// disk. Rows ingested during hydration share crash semantics: only
+    /// the synced prefix survives.
+    fn fall_back_from_hydration(&mut self, reason: String) -> LeafResult<()> {
+        if let Some(h) = self.hydrator.take() {
+            drop(h.rx); // workers' sends now fail; they exit
+            for worker in h.workers {
+                let _ = worker.join();
+            }
+        }
+        scuba_obs::counter!("hydration_fallbacks").inc();
+        self.hydration_fallback = Some(reason.clone());
+        // Dropping the store releases the last mapped references; the
+        // SegmentViews unlink their segments.
+        self.store = LeafStore::new();
+        self.disk_recover(self.hydrate_now, None, reason)?;
+        Ok(())
+    }
+
     /// Current phase.
     pub fn phase(&self) -> LeafPhase {
         self.phase
@@ -293,19 +559,30 @@ impl LeafServer {
         &self.config
     }
 
-    /// In-memory bytes used.
+    /// Heap bytes used. Shm-backed column bytes are *not* counted here —
+    /// they live in the mapped segments and are reported separately by
+    /// [`LeafServer::shm_resident`], so a hydrating leaf never
+    /// double-counts a byte that exists in both places mid-swap.
     pub fn memory_used(&self) -> usize {
         use scuba_restart::ShmPersistable;
         self.store.heap_bytes()
     }
 
+    /// Bytes resident in attached shared-memory segments (column buffers
+    /// still awaiting hydration). Zero except during `Hydrating`.
+    pub fn shm_resident(&self) -> usize {
+        self.store.map().mapped_bytes()
+    }
+
     /// Free memory, as reported to tailers for two-random-choice placement
     /// (§2: the tailer "asks them both for their current state and how
-    /// much free memory they have").
+    /// much free memory they have"). Both heap- and shm-resident bytes
+    /// count against capacity: the mapped pages are this leaf's to keep.
     pub fn free_memory(&self) -> usize {
         self.config
             .memory_capacity
             .saturating_sub(self.memory_used())
+            .saturating_sub(self.shm_resident())
     }
 
     /// Total rows held.
@@ -448,6 +725,15 @@ impl LeafServer {
     /// The next start will find no valid bit and recover from disk — the
     /// §4 crash path.
     pub fn crash(&mut self) {
+        // A crash mid-hydration abandons the workers: drop the receiver
+        // so their sends fail and they exit; their mapped references (and
+        // the store's) drop, unlinking the segments.
+        if let Some(h) = self.hydrator.take() {
+            drop(h.rx);
+            for worker in h.workers {
+                let _ = worker.join();
+            }
+        }
         self.store = LeafStore::new();
         self.set_phase(LeafPhase::Down);
     }
@@ -672,6 +958,255 @@ mod tests {
             "throttle had no effect: {:?}",
             started.elapsed()
         );
+    }
+
+    /// Serializes the two-phase tests: they assert on the process-wide
+    /// [`scuba_shmem::view_unlink_count`], and every hydration completing
+    /// in another test would move it.
+    static HYDRATE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    /// Order-insensitive, backing-insensitive digest of a query result.
+    fn result_fingerprint(r: &LeafQueryResult) -> (u64, Vec<(String, Vec<Value>)>) {
+        let mut groups: Vec<(String, Vec<Value>)> = r
+            .groups
+            .iter()
+            .map(|(k, aggs)| (format!("{k:?}"), aggs.iter().map(|a| a.finish()).collect()))
+            .collect();
+        groups.sort_by(|a, b| a.0.cmp(&b.0));
+        (r.rows_matched, groups)
+    }
+
+    #[test]
+    fn two_phase_attach_serves_identical_results_before_hydration() {
+        let _l = HYDRATE_LOCK.lock().unwrap();
+        let (mut cfg, dir) = test_config("twophase");
+        cfg.restore_mode = RestoreMode::TwoPhase;
+        let mut s = LeafServer::new(cfg.clone()).unwrap();
+        let _c = Cleanup(s.namespace().clone(), dir);
+        fill(&mut s, 1000);
+        let q = Query::new("logs", 0, 2000)
+            .group_by("sev")
+            .aggregates(vec![AggSpec::Count]);
+        let expected = result_fingerprint(&s.query(&q).unwrap());
+        s.shutdown_to_shm(10).unwrap();
+        drop(s);
+
+        let (mut s2, outcome) = LeafServer::start(cfg, 20, None).unwrap();
+        assert!(outcome.is_memory());
+        let rep = match outcome {
+            RecoveryOutcome::MemoryAttached(rep) => rep,
+            other => panic!("expected attach, got {other:?}"),
+        };
+        // Acceptance: attach performs zero per-value heap copies. The
+        // footprint delta is block/schema metadata only — every column
+        // buffer stays mapped.
+        assert!(
+            rep.heap_bytes_copied < 1024,
+            "attach copied column bytes: {}",
+            rep.heap_bytes_copied
+        );
+        assert!(rep.shm_bytes > 0);
+        assert!(s2
+            .store()
+            .map()
+            .iter()
+            .flat_map(|t| t.blocks().iter())
+            .all(|b| b.columns().iter().all(|c| c.is_mapped())));
+        assert_eq!(s2.phase(), LeafPhase::Hydrating);
+        assert!(s2.is_hydrating());
+        assert!(s2.shm_resident() > 0);
+
+        // Acceptance: a query over the shm-backed table is byte-identical
+        // to the same query after hydration.
+        let over_shm = result_fingerprint(&s2.query(&q).unwrap());
+        assert_eq!(over_shm, expected);
+
+        s2.finish_hydration().unwrap();
+        assert_eq!(s2.phase(), LeafPhase::Alive);
+        assert!(!s2.is_hydrating());
+        assert_eq!(s2.shm_resident(), 0);
+        assert!(s2.hydration_fallback_reason().is_none());
+        let over_heap = result_fingerprint(&s2.query(&q).unwrap());
+        assert_eq!(over_heap, expected);
+        assert_eq!(s2.total_rows(), 1000);
+    }
+
+    #[test]
+    fn segment_unlinked_exactly_once_and_never_while_read() {
+        use scuba_shmem::{view_unlink_count, ShmSegment};
+        let _l = HYDRATE_LOCK.lock().unwrap();
+        let (mut cfg, dir) = test_config("seglife");
+        cfg.restore_mode = RestoreMode::TwoPhase;
+        let mut s = LeafServer::new(cfg.clone()).unwrap();
+        let _c = Cleanup(s.namespace().clone(), dir);
+        fill(&mut s, 200);
+        s.shutdown_to_shm(0).unwrap();
+        drop(s);
+
+        let (mut s2, _) = LeafServer::start(cfg, 0, None).unwrap();
+        let seg_name = s2.namespace().table_segment_name(0);
+        assert!(ShmSegment::exists(&seg_name));
+
+        // A query snapshot: a cloned handle to a mapped block, held across
+        // the table's hydration (and hypothetical drop).
+        let held: Arc<RowBlock> =
+            Arc::clone(&s2.store().map().get("logs").unwrap().mapped_blocks()[0]);
+        let before = view_unlink_count();
+
+        s2.finish_hydration().unwrap();
+        assert_eq!(s2.phase(), LeafPhase::Alive);
+        assert_eq!(s2.shm_resident(), 0);
+        // The reader still borrows the mapping: not unlinked yet.
+        assert!(
+            ShmSegment::exists(&seg_name),
+            "segment unlinked while a reader held it"
+        );
+        assert_eq!(view_unlink_count(), before);
+        // The mapped bytes are still readable through the held block.
+        assert_eq!(held.decode_rows().unwrap().len(), 200);
+
+        drop(held); // last mapped reference
+        assert!(!ShmSegment::exists(&seg_name));
+        assert_eq!(view_unlink_count(), before + 1, "unlinked more than once");
+    }
+
+    #[test]
+    fn hydration_crc_mismatch_falls_back_to_disk() {
+        let _l = HYDRATE_LOCK.lock().unwrap();
+        let (mut cfg, dir) = test_config("hydcrc");
+        cfg.restore_mode = RestoreMode::TwoPhase;
+        let mut s = LeafServer::new(cfg.clone()).unwrap();
+        let _c = Cleanup(s.namespace().clone(), dir);
+        fill(&mut s, 1000);
+        s.shutdown_to_shm(0).unwrap(); // syncs disk before the copy
+        drop(s);
+
+        // Corrupt a payload byte deep in the table segment. Attach's
+        // structural checks cannot see it; the deferred CRC at hydration
+        // must.
+        let ns = scuba_shmem::ShmNamespace::new(&cfg.shm_prefix, cfg.leaf_id).unwrap();
+        let mut seg = scuba_shmem::ShmSegment::open(&ns.table_segment_name(0)).unwrap();
+        let len = seg.len();
+        seg.as_mut_slice()[len - 100] ^= 0xFF;
+        drop(seg);
+
+        let (mut s2, outcome) = LeafServer::start(cfg, 0, None).unwrap();
+        assert!(
+            matches!(outcome, RecoveryOutcome::MemoryAttached(_)),
+            "attach should not notice payload corruption: {outcome:?}"
+        );
+        s2.finish_hydration().unwrap();
+        assert_eq!(s2.phase(), LeafPhase::Alive);
+        let reason = s2.hydration_fallback_reason().expect("fallback recorded");
+        assert!(reason.contains("checksum"), "{reason}");
+        // Disk had everything: full recovery despite the torn segment.
+        assert_eq!(s2.total_rows(), 1000);
+        assert_eq!(s2.shm_resident(), 0);
+    }
+
+    #[test]
+    fn ingest_lands_in_heap_during_hydration() {
+        let _l = HYDRATE_LOCK.lock().unwrap();
+        let (mut cfg, dir) = test_config("hydingest");
+        cfg.restore_mode = RestoreMode::TwoPhase;
+        let mut s = LeafServer::new(cfg.clone()).unwrap();
+        let _c = Cleanup(s.namespace().clone(), dir);
+        fill(&mut s, 500);
+        s.shutdown_to_shm(0).unwrap();
+        drop(s);
+
+        let (mut s2, _) = LeafServer::start(cfg, 0, None).unwrap();
+        assert_eq!(s2.phase(), LeafPhase::Hydrating);
+        // Ingest is admitted mid-hydration and goes to fresh heap blocks.
+        let heap_before = s2.memory_used();
+        let extra: Vec<Row> = (500..600).map(|i| Row::at(i).with("sev", "late")).collect();
+        s2.add_rows("logs", &extra, 30).unwrap();
+        assert!(s2.memory_used() > heap_before);
+        // Deletes stay blocked until hydration completes (same Figure 5(c)
+        // conservatism as shutdown).
+        assert!(s2.expire(1000).is_err());
+        // Queries see old (mapped) and new (heap) rows together.
+        let r = s2.query(&Query::new("logs", 0, 1000)).unwrap();
+        assert_eq!(r.rows_matched, 600);
+
+        s2.finish_hydration().unwrap();
+        assert_eq!(s2.total_rows(), 600);
+        assert!(s2.expire(0).is_ok());
+    }
+
+    #[test]
+    fn memory_gauges_split_heap_and_shm() {
+        let _l = HYDRATE_LOCK.lock().unwrap();
+        let (mut cfg, dir) = test_config("hydmem");
+        cfg.restore_mode = RestoreMode::TwoPhase;
+        cfg.memory_capacity = 8 << 20;
+        let mut s = LeafServer::new(cfg.clone()).unwrap();
+        let _c = Cleanup(s.namespace().clone(), dir);
+        fill(&mut s, 1000);
+        s.shutdown_to_shm(0).unwrap();
+        drop(s);
+
+        let (mut s2, _) = LeafServer::start(cfg, 0, None).unwrap();
+        // Mid-hydration: every column byte is shm-resident; heap holds
+        // only block/schema metadata. No byte counted twice.
+        let shm_mid = s2.shm_resident();
+        let heap_mid = s2.memory_used();
+        assert!(shm_mid > 0);
+        assert!(
+            heap_mid < 1024,
+            "column bytes on heap after attach: {heap_mid}"
+        );
+        assert_eq!(s2.free_memory(), (8 << 20) - shm_mid - heap_mid);
+
+        s2.finish_hydration().unwrap();
+        // After: the same column bytes are heap-resident, shm is empty —
+        // the total footprint is unchanged.
+        assert_eq!(s2.shm_resident(), 0);
+        assert_eq!(s2.memory_used(), shm_mid + heap_mid);
+        assert_eq!(s2.free_memory(), (8 << 20) - shm_mid - heap_mid);
+    }
+
+    #[test]
+    fn poll_hydration_drains_incrementally() {
+        let _l = HYDRATE_LOCK.lock().unwrap();
+        let (mut cfg, dir) = test_config("hydpoll");
+        cfg.restore_mode = RestoreMode::TwoPhase;
+        let mut s = LeafServer::new(cfg.clone()).unwrap();
+        let _c = Cleanup(s.namespace().clone(), dir);
+        // Several sealed blocks so hydration has multiple results.
+        for epoch in 0..4i64 {
+            let rows: Vec<Row> = (0..100).map(|i| Row::at(epoch * 100 + i)).collect();
+            s.add_rows("logs", &rows, 0).unwrap();
+            s.store.map_mut().get_mut("logs").unwrap().seal(0).unwrap();
+        }
+        s.shutdown_to_shm(0).unwrap();
+        drop(s);
+
+        let (mut s2, _) = LeafServer::start(cfg, 0, None).unwrap();
+        assert_eq!(s2.hydration_pending(), 4);
+        // Poll until done; each poll applies whatever the workers
+        // finished without blocking.
+        while s2.poll_hydration().unwrap() > 0 {
+            std::thread::yield_now();
+        }
+        assert_eq!(s2.phase(), LeafPhase::Alive);
+        assert_eq!(s2.total_rows(), 400);
+        assert_eq!(s2.shm_resident(), 0);
+    }
+
+    #[test]
+    fn empty_leaf_attach_goes_straight_to_alive() {
+        let _l = HYDRATE_LOCK.lock().unwrap();
+        let (mut cfg, dir) = test_config("hydempty");
+        cfg.restore_mode = RestoreMode::TwoPhase;
+        let mut s = LeafServer::new(cfg.clone()).unwrap();
+        let _c = Cleanup(s.namespace().clone(), dir);
+        s.shutdown_to_shm(0).unwrap();
+        drop(s);
+        let (s2, outcome) = LeafServer::start(cfg, 0, None).unwrap();
+        assert!(matches!(outcome, RecoveryOutcome::MemoryAttached(_)));
+        assert_eq!(s2.phase(), LeafPhase::Alive);
+        assert!(!s2.is_hydrating());
     }
 
     #[test]

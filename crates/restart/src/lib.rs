@@ -44,11 +44,14 @@ pub mod traits;
 
 pub use backup::{backup_to_shm, backup_to_shm_with, BackupError, BackupReport};
 pub use copy::{default_copy_threads, resolve_copy_threads, CopyOptions, COPY_THREADS_ENV};
-pub use restore::{restore_from_shm, restore_from_shm_with, Fallback, RestoreError, RestoreReport};
+pub use restore::{
+    attach_from_shm, restore_from_shm, restore_from_shm_with, AttachReport, Fallback, RestoreError,
+    RestoreReport,
+};
 pub use state::{
     LeafBackupState, LeafRestoreState, StateError, TableBackupState, TableRestoreState,
 };
-pub use traits::{ChunkSink, ChunkSource, ShmPersistable};
+pub use traits::{ChunkSink, ChunkSource, MappedChunk, MappedChunkSource, ShmPersistable};
 
 /// Current version of the shared-memory layout this library writes. The
 /// metadata region records it; a reader with a different version must fall

@@ -35,12 +35,14 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use scuba_obs::{Phase, PhaseBreakdown, Stopwatch, TableSample, RESTORE_PHASES};
-use scuba_shmem::{LeafMetadata, SegmentReader, ShmError, ShmNamespace, ShmSegment};
+use scuba_shmem::{
+    LeafMetadata, MetadataContents, SegmentReader, SegmentView, ShmError, ShmNamespace, ShmSegment,
+};
 
 use crate::copy::{CopyOptions, FootprintTracker};
 use crate::phases::{RunAcc, UnitStats};
 use crate::state::LeafRestoreState;
-use crate::traits::{ChunkSource, ShmPersistable};
+use crate::traits::{ChunkSource, MappedChunk, MappedChunkSource, ShmPersistable};
 
 /// End-of-unit sentinel in the chunk framing (must match backup).
 const END_SENTINEL: u64 = u64::MAX;
@@ -69,6 +71,30 @@ pub struct RestoreReport {
     /// install/commit) plus per-table samples. All-zero when
     /// instrumentation is disabled.
     pub phases: PhaseBreakdown,
+}
+
+/// What a successful zero-copy attach did. Unlike [`RestoreReport`], no
+/// payload was copied: the tables installed in the store serve queries
+/// straight out of the still-mapped segments, and `heap_bytes_copied`
+/// measures only the framing/metadata the store had to own (names,
+/// manifests, preludes). Hydration happens afterwards, outside the
+/// protocol, block by block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttachReport {
+    /// Units (tables) attached.
+    pub units: usize,
+    /// Chunk frames walked (none of their payloads copied).
+    pub chunks: usize,
+    /// Payload bytes left resident in shared memory.
+    pub shm_bytes: u64,
+    /// Heap bytes the store grew by while installing the attached units —
+    /// the metadata cost of attach. The zero-per-value-copy acceptance
+    /// check asserts this stays tiny relative to `shm_bytes`.
+    pub heap_bytes_copied: u64,
+    /// Wall-clock duration of the attach (time to first query).
+    pub duration: Duration,
+    /// Peak of (store heap bytes + mapped shared-memory bytes) observed.
+    pub peak_footprint: usize,
 }
 
 /// Memory recovery is not possible; the caller must recover from disk.
@@ -196,6 +222,78 @@ pub fn restore_from_shm_with<S: ShmPersistable>(
     scuba_obs::counter!("restores_started").inc();
     let acc = RunAcc::new();
 
+    let contents = claim_metadata(ns, expected_layout_version, &acc)?;
+
+    let tracker = FootprintTracker::new(store.heap_bytes());
+    let threads = options
+        .resolved_threads()
+        .clamp(1, contents.segment_names.len().max(1));
+
+    match copy_units_back(store, &contents.segment_names, &tracker, &acc, threads) {
+        Ok((units, chunks, bytes_copied)) => {
+            // Figure 7 last line: delete the metadata segment. (Each table
+            // segment was deleted as it was drained.)
+            let sw = Stopwatch::start();
+            let _ = ShmSegment::unlink(&ns.metadata_name());
+            acc.add(Phase::Commit, sw.elapsed_ns());
+            leaf_state = leaf_state
+                .transition(LeafRestoreState::Alive)
+                .expect("MemoryRecovery -> Alive is always legal");
+            debug_assert_eq!(leaf_state, LeafRestoreState::Alive);
+            let mut phases = acc.snapshot("restore", &RESTORE_PHASES);
+            phases.total = start.elapsed();
+            phases.bytes = bytes_copied;
+            phases.chunks = chunks as u64;
+            phases.units = units;
+            phases.threads = threads;
+            if scuba_obs::enabled() {
+                scuba_obs::counter!("restores_completed").inc();
+                scuba_obs::publish_breakdown(phases.clone());
+            }
+            Ok(RestoreReport {
+                units,
+                chunks,
+                bytes_copied,
+                duration: start.elapsed(),
+                peak_footprint: tracker.peak(),
+                threads,
+                phases,
+            })
+        }
+        Err(reason) => {
+            // The Figure 5(b) "exception" edge.
+            let state = leaf_state
+                .transition(LeafRestoreState::DiskRecovery)
+                .expect("MemoryRecovery -> DiskRecovery is always legal");
+            debug_assert_eq!(state, LeafRestoreState::DiskRecovery);
+            cleanup(ns, &contents.segment_names);
+            if scuba_obs::enabled() {
+                // Publish the partial breakdown — per-table timings up to
+                // the failure point keep failed restores diagnosable.
+                let mut phases = acc.snapshot("restore", &RESTORE_PHASES);
+                phases.total = start.elapsed();
+                phases.threads = threads;
+                phases.units = contents.segment_names.len();
+                phases.complete = false;
+                phases.bytes = phases.tables.iter().map(|t| t.bytes).sum();
+                phases.chunks = phases.tables.iter().map(|t| t.chunks).sum();
+                scuba_obs::publish_breakdown(phases);
+            }
+            Err(fallback(reason, true))
+        }
+    }
+}
+
+/// The shared Figure-7 prologue for both restore paths (full copy and
+/// zero-copy attach): open and read the metadata segment, check the valid
+/// bit and layout version, then clear the valid bit so an interruption
+/// re-runs as disk recovery. On any failure the shared memory is cleaned
+/// up and the matching [`Fallback`] is returned.
+fn claim_metadata(
+    ns: &ShmNamespace,
+    expected_layout_version: u32,
+    acc: &RunAcc,
+) -> Result<MetadataContents, RestoreError> {
     // Figure 7 line 1: check the valid bit.
     let sw = Stopwatch::start();
     let opened = LeafMetadata::open(ns);
@@ -267,64 +365,230 @@ pub fn restore_from_shm_with<S: ShmPersistable>(
             true,
         ));
     }
+    Ok(contents)
+}
+
+/// Attach `store` to the shared memory named by `ns` without copying
+/// payload bytes: phase one of the two-phase (attach-then-hydrate)
+/// restore. Each table segment is opened as an `Arc`-shared read-only
+/// [`SegmentView`]; metadata frames (unit names — and, for stores that
+/// override [`ShmPersistable::attach_unit`], manifests and preludes) are
+/// CRC-verified and copied to heap, while per-value chunks are installed
+/// as windows into the mapping. Payload CRC verification is deferred to
+/// hydration, where the per-column checksum covers the same bytes — this
+/// is what keeps attach cost proportional to metadata, not data volume.
+///
+/// The valid-bit protocol is identical to [`restore_from_shm`]: the bit
+/// is cleared before the first segment is touched and the metadata
+/// segment is unlinked at the end, so a crash mid-attach or mid-hydration
+/// sends the next start to disk recovery. Table segments are *not*
+/// unlinked here — each one is unlinked when the last reference to its
+/// view drops (normally: when hydration finishes and the last mapped
+/// block is swapped out).
+pub fn attach_from_shm<S: ShmPersistable>(
+    store: &mut S,
+    ns: &ShmNamespace,
+    expected_layout_version: u32,
+) -> Result<AttachReport, RestoreError> {
+    let mut leaf_state = LeafRestoreState::Init;
+    leaf_state = leaf_state
+        .transition(LeafRestoreState::MemoryRecovery)
+        .expect("Init -> MemoryRecovery is always legal");
+
+    let start = Instant::now();
+    scuba_obs::counter!("restores_started").inc();
+    let acc = RunAcc::new();
+
+    let contents = claim_metadata(ns, expected_layout_version, &acc)?;
 
     let tracker = FootprintTracker::new(store.heap_bytes());
-    let threads = options
-        .resolved_threads()
-        .clamp(1, contents.segment_names.len().max(1));
+    let heap_before = store.heap_bytes();
 
-    match copy_units_back(store, &contents.segment_names, &tracker, &acc, threads) {
-        Ok((units, chunks, bytes_copied)) => {
-            // Figure 7 last line: delete the metadata segment. (Each table
-            // segment was deleted as it was drained.)
-            let sw = Stopwatch::start();
+    match attach_units::<S>(store, &contents.segment_names, &tracker) {
+        Ok((chunks, shm_bytes)) => {
+            // Figure 7 last line: delete the metadata segment. The table
+            // segments stay linked — their views own the unlink now.
             let _ = ShmSegment::unlink(&ns.metadata_name());
-            acc.add(Phase::Commit, sw.elapsed_ns());
             leaf_state = leaf_state
                 .transition(LeafRestoreState::Alive)
                 .expect("MemoryRecovery -> Alive is always legal");
             debug_assert_eq!(leaf_state, LeafRestoreState::Alive);
-            let mut phases = acc.snapshot("restore", &RESTORE_PHASES);
-            phases.total = start.elapsed();
-            phases.bytes = bytes_copied;
-            phases.chunks = chunks as u64;
-            phases.units = units;
-            phases.threads = threads;
-            if scuba_obs::enabled() {
-                scuba_obs::counter!("restores_completed").inc();
-                scuba_obs::publish_breakdown(phases.clone());
-            }
-            Ok(RestoreReport {
-                units,
+            scuba_obs::counter!("restores_completed").inc();
+            Ok(AttachReport {
+                units: contents.segment_names.len(),
                 chunks,
-                bytes_copied,
+                shm_bytes,
+                heap_bytes_copied: store.heap_bytes().saturating_sub(heap_before) as u64,
                 duration: start.elapsed(),
                 peak_footprint: tracker.peak(),
-                threads,
-                phases,
             })
         }
         Err(reason) => {
-            // The Figure 5(b) "exception" edge.
             let state = leaf_state
                 .transition(LeafRestoreState::DiskRecovery)
                 .expect("MemoryRecovery -> DiskRecovery is always legal");
             debug_assert_eq!(state, LeafRestoreState::DiskRecovery);
+            // Any views created so far are dropped by the failed attach
+            // (the store's partial units go with the caller's store reset);
+            // the sweep unlinks whatever names remain. A view dropping
+            // after the sweep sees ENOENT, which is harmless.
             cleanup(ns, &contents.segment_names);
-            if scuba_obs::enabled() {
-                // Publish the partial breakdown — per-table timings up to
-                // the failure point keep failed restores diagnosable.
-                let mut phases = acc.snapshot("restore", &RESTORE_PHASES);
-                phases.total = start.elapsed();
-                phases.threads = threads;
-                phases.units = contents.segment_names.len();
-                phases.complete = false;
-                phases.bytes = phases.tables.iter().map(|t| t.bytes).sum();
-                phases.chunks = phases.tables.iter().map(|t| t.chunks).sum();
-                scuba_obs::publish_breakdown(phases);
-            }
             Err(fallback(reason, true))
         }
+    }
+}
+
+/// Attach every segment in order: open a view, walk the frames, hand the
+/// store mapped chunks, install the unit. Sequential by design — there is
+/// no payload copy to parallelize; the worker pool earns its keep during
+/// hydration instead.
+fn attach_units<S: ShmPersistable>(
+    store: &mut S,
+    segment_names: &[String],
+    tracker: &FootprintTracker,
+) -> Result<(usize, u64), String> {
+    let mut chunks = 0usize;
+    let mut shm_bytes = 0u64;
+    for name in segment_names {
+        let view =
+            SegmentView::attach(name).map_err(|e| format!("segment {name:?} missing: {e}"))?;
+        tracker.add_shm(view.len());
+        tracker.sample();
+        let (unit, data, c, b) = attach_one_unit::<S>(view)?;
+        store
+            .install_unit(&unit, data)
+            .map_err(|e| format!("attaching unit {unit:?}: {e}"))?;
+        tracker.set_store_heap(store.heap_bytes());
+        tracker.sample();
+        chunks += c;
+        shm_bytes += b;
+    }
+    Ok((chunks, shm_bytes))
+}
+
+/// Walk one attached segment: CRC-verify the name frame (metadata —
+/// copied to heap anyway), then yield each chunk as a window into the
+/// mapping for the store's `attach_unit`.
+fn attach_one_unit<S: ShmPersistable>(
+    view: Arc<SegmentView>,
+) -> Result<(String, S::Unit, usize, u64), String> {
+    let mut cursor = ViewCursor {
+        view: Arc::clone(&view),
+        pos: 0,
+    };
+    let name_len = cursor
+        .read_u64()
+        .map_err(|e| format!("unit name frame: {e}"))?;
+    let name_crc = cursor
+        .read_u32()
+        .map_err(|e| format!("unit name frame: {e}"))?;
+    let name_bytes = cursor
+        .read_slice(name_len as usize)
+        .map_err(|e| format!("unit name frame: {e}"))?;
+    if scuba_shmem::crc32(name_bytes) != name_crc {
+        return Err("unit name frame checksum mismatch".to_owned());
+    }
+    let unit = std::str::from_utf8(name_bytes)
+        .map_err(|_| "unit name is not UTF-8".to_owned())?
+        .to_owned();
+
+    let mut source = ViewSource {
+        cursor,
+        done: false,
+        chunks: 0,
+        payload_bytes: 0,
+    };
+    let mut result =
+        S::attach_unit(&unit, &mut source).map_err(|e| format!("attaching unit {unit:?}: {e}"));
+    if result.is_ok() && !source.done {
+        // The store stopped early; walk the remaining frames so a short
+        // read doesn't silently drop data (same drain-validate rule as the
+        // copying path — here each step is O(1), no payload is touched).
+        loop {
+            match source.next_mapped_chunk() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(e) => {
+                    result = Err(e.to_string());
+                    break;
+                }
+            }
+        }
+    }
+    let data = result?;
+    Ok((unit, data, source.chunks, source.payload_bytes))
+}
+
+/// Bounds-checked cursor over an attached mapping.
+struct ViewCursor {
+    view: Arc<SegmentView>,
+    pos: usize,
+}
+
+impl ViewCursor {
+    fn read_slice(&mut self, len: usize) -> Result<&[u8], ShmError> {
+        let bytes = self.view.bytes();
+        let end = self.pos.saturating_add(len);
+        if end > bytes.len() {
+            return Err(ShmError::Corrupt {
+                name: self.view.name().to_owned(),
+                reason: format!(
+                    "frame extends past segment end (need {end}, have {})",
+                    bytes.len()
+                ),
+            });
+        }
+        let slice = &bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn read_u64(&mut self) -> Result<u64, ShmError> {
+        Ok(u64::from_le_bytes(self.read_slice(8)?.try_into().unwrap()))
+    }
+
+    fn read_u32(&mut self) -> Result<u32, ShmError> {
+        Ok(u32::from_le_bytes(self.read_slice(4)?.try_into().unwrap()))
+    }
+}
+
+/// [`MappedChunkSource`] over one segment view: reads the same framing as
+/// [`FramingSource`] but yields windows instead of heap copies and leaves
+/// the payload CRC to the consumer (verified either by
+/// [`MappedChunk::to_heap`] for metadata chunks or by the per-column
+/// checksum at hydration for payload chunks).
+struct ViewSource {
+    cursor: ViewCursor,
+    done: bool,
+    chunks: usize,
+    payload_bytes: u64,
+}
+
+impl MappedChunkSource for ViewSource {
+    fn next_mapped_chunk(&mut self) -> Result<Option<MappedChunk>, ShmError> {
+        if self.done {
+            return Ok(None);
+        }
+        if scuba_faults::check("restart::restore::chunk").is_some() {
+            return Err(ShmError::injected("restart::restore::chunk", "failpoint"));
+        }
+        let len = self.cursor.read_u64()?;
+        if len == END_SENTINEL {
+            self.done = true;
+            return Ok(None);
+        }
+        let stored_crc = self.cursor.read_u32()?;
+        let offset = self.cursor.pos;
+        // Bounds-check the payload window without reading it.
+        self.cursor.read_slice(len as usize)?;
+        self.chunks += 1;
+        self.payload_bytes += len;
+        Ok(Some(MappedChunk {
+            backing: Arc::clone(&self.cursor.view) as Arc<dyn AsRef<[u8]> + Send + Sync>,
+            offset,
+            len: len as usize,
+            stored_crc,
+        }))
     }
 }
 
@@ -921,5 +1185,125 @@ mod tests {
     fn backup_error_type_displays() {
         let e: BackupError<ToyError> = BackupError::Store(ToyError("x".into()));
         assert!(e.to_string().contains("store error"));
+    }
+
+    #[test]
+    fn attach_round_trip_preserves_store() {
+        // ToyStore uses the default attach_unit (copy + verify), so the
+        // attach path must behave exactly like a restore for it — and with
+        // no mapped references kept, every view drops inside the attach,
+        // unlinking the table segments immediately.
+        let ns = test_ns();
+        let _c = Cleanup(ns.clone());
+        let mut store = sample_store();
+        let original = store.clone();
+        let bak = backup_to_shm(&mut store, &ns, 1).unwrap();
+
+        let mut restored = ToyStore::default();
+        let rep = attach_from_shm(&mut restored, &ns, 1).unwrap();
+        assert_eq!(restored, original);
+        assert_eq!(rep.units, 3);
+        assert_eq!(rep.chunks, bak.chunks);
+        assert_eq!(rep.shm_bytes, bak.bytes_copied);
+        assert!(!ShmSegment::exists(&ns.metadata_name()));
+        for i in 0..3 {
+            assert!(!ShmSegment::exists(&ns.table_segment_name(i)));
+        }
+
+        // The valid bit is single-shot for attach too.
+        let mut again = ToyStore::default();
+        let err = attach_from_shm(&mut again, &ns, 1).unwrap_err();
+        let RestoreError::Fallback(fb) = err;
+        assert!(fb.reason.contains("metadata unavailable"), "{}", fb.reason);
+    }
+
+    #[test]
+    fn attach_missing_segment_falls_back() {
+        let ns = test_ns();
+        let _c = Cleanup(ns.clone());
+        let mut store = sample_store();
+        backup_to_shm(&mut store, &ns, 1).unwrap();
+        ShmSegment::unlink(&ns.table_segment_name(1)).unwrap();
+        let mut restored = ToyStore::default();
+        let err = attach_from_shm(&mut restored, &ns, 1).unwrap_err();
+        let RestoreError::Fallback(fb) = err;
+        assert!(fb.reason.contains("missing"), "{}", fb.reason);
+        assert!(fb.cleaned_up);
+        assert!(!ShmSegment::exists(&ns.metadata_name()));
+        assert!(!ShmSegment::exists(&ns.table_segment_name(0)));
+    }
+
+    #[test]
+    fn attach_torn_segment_falls_back_and_sweeps() {
+        let ns = test_ns();
+        let _c = Cleanup(ns.clone());
+        let mut store = sample_store();
+        backup_to_shm(&mut store, &ns, 1).unwrap();
+        let mut seg = ShmSegment::open(&ns.table_segment_name(0)).unwrap();
+        let half = seg.len() / 2;
+        seg.resize(half).unwrap();
+        drop(seg);
+
+        let mut restored = ToyStore::default();
+        let err = attach_from_shm(&mut restored, &ns, 1).unwrap_err();
+        let RestoreError::Fallback(fb) = err;
+        assert!(fb.cleaned_up);
+        for i in 0..3 {
+            assert!(!ShmSegment::exists(&ns.table_segment_name(i)));
+        }
+    }
+
+    #[test]
+    fn attach_detects_corrupt_chunk_on_copy() {
+        // The default attach_unit verifies each frame CRC when it copies,
+        // so a flipped payload byte must fall back — pinning that the
+        // copy-everything compatibility path loses no integrity coverage.
+        let ns = test_ns();
+        let _c = Cleanup(ns.clone());
+        let mut store = sample_store();
+        backup_to_shm(&mut store, &ns, 1).unwrap();
+        // Segment order is BTreeMap key order: 0 = empty_table, 1 = events.
+        let mut seg = ShmSegment::open(&ns.table_segment_name(1)).unwrap();
+        let len = seg.len();
+        // Flip a byte inside the first chunk's payload: the name frame for
+        // "events" is 8 + 4 + 6 bytes, then 8 (len) + 4 (crc) of framing.
+        let target = 8 + 4 + 6 + 8 + 4 + 2;
+        assert!(target < len);
+        seg.as_mut_slice()[target] ^= 0xFF;
+        drop(seg);
+
+        let mut restored = ToyStore::default();
+        let err = attach_from_shm(&mut restored, &ns, 1).unwrap_err();
+        let RestoreError::Fallback(fb) = err;
+        assert!(fb.reason.contains("checksum"), "{}", fb.reason);
+        assert!(!ShmSegment::exists(&ns.metadata_name()));
+    }
+
+    #[test]
+    fn attach_counters_balance() {
+        // attach reuses the restores_* counters, so the chaos-soak
+        // invariant (started == completed + failed) must keep holding.
+        let _guard = scuba_obs::exclusive();
+        let was = scuba_obs::enabled();
+        scuba_obs::set_enabled(true);
+        let ns = test_ns();
+        let _c = Cleanup(ns.clone());
+        let mut store = sample_store();
+        backup_to_shm(&mut store, &ns, 1).unwrap();
+        let started = scuba_obs::counter!("restores_started").get();
+        let completed = scuba_obs::counter!("restores_completed").get();
+        let failed = scuba_obs::counter!("restores_failed").get();
+
+        let mut restored = ToyStore::default();
+        attach_from_shm(&mut restored, &ns, 1).unwrap();
+        let mut again = ToyStore::default();
+        assert!(attach_from_shm(&mut again, &ns, 1).is_err());
+
+        let d_started = scuba_obs::counter!("restores_started").get() - started;
+        let d_completed = scuba_obs::counter!("restores_completed").get() - completed;
+        let d_failed = scuba_obs::counter!("restores_failed").get() - failed;
+        scuba_obs::set_enabled(was);
+        assert_eq!(d_started, 2);
+        assert_eq!(d_completed + d_failed, d_started);
     }
 }

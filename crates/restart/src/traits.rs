@@ -17,7 +17,9 @@
 //! needs no store access at all, so worker threads can run those steps for
 //! different units concurrently.
 
-use scuba_shmem::ShmError;
+use std::sync::Arc;
+
+use scuba_shmem::{crc32, ShmError};
 
 /// Receives chunks during backup. Implemented by the protocol over a
 /// [`scuba_shmem::SegmentWriter`]; a store calls `put_chunk` once per row
@@ -35,6 +37,56 @@ pub trait ChunkSource {
     /// fresh heap allocation (the shm→heap memcpy); the protocol releases
     /// the consumed shared-memory pages behind it.
     fn next_chunk(&mut self) -> Result<Option<Vec<u8>>, ShmError>;
+}
+
+/// One chunk located inside an attached read-only mapping: a window into
+/// the `Arc`-shared backing instead of a heap copy. The store decides per
+/// chunk whether to borrow ([`MappedChunk::bytes`], zero-copy) or copy
+/// ([`MappedChunk::to_heap`], which verifies the frame CRC first — right
+/// for small metadata chunks that must live past the mapping).
+pub struct MappedChunk {
+    /// The shared mapping (a `scuba_shmem::SegmentView` in production).
+    pub backing: Arc<dyn AsRef<[u8]> + Send + Sync>,
+    /// Chunk payload start within the mapping.
+    pub offset: usize,
+    /// Payload length in bytes.
+    pub len: usize,
+    /// The CRC-32 recorded in the chunk's frame. Not verified by the
+    /// attach walk — payload integrity is deferred to hydration so attach
+    /// cost stays proportional to metadata (the RBC footer CRC covers the
+    /// same bytes).
+    pub stored_crc: u32,
+}
+
+impl MappedChunk {
+    /// The chunk's payload, borrowed from the mapping.
+    pub fn bytes(&self) -> &[u8] {
+        &(*self.backing).as_ref()[self.offset..self.offset + self.len]
+    }
+
+    /// Recompute the frame CRC over the mapped payload and compare.
+    pub fn verify(&self) -> Result<(), ShmError> {
+        let computed = crc32(self.bytes());
+        if computed != self.stored_crc {
+            return Err(ShmError::Corrupt {
+                name: "chunk framing".to_owned(),
+                reason: "chunk checksum mismatch (torn or corrupted copy)".to_owned(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Verify the frame CRC, then copy the payload to heap.
+    pub fn to_heap(&self) -> Result<Vec<u8>, ShmError> {
+        self.verify()?;
+        Ok(self.bytes().to_vec())
+    }
+}
+
+/// Yields mapped chunks during attach, in the order they were written.
+pub trait MappedChunkSource {
+    /// The next chunk window, or `None` at end of unit.
+    fn next_mapped_chunk(&mut self) -> Result<Option<MappedChunk>, ShmError>;
 }
 
 /// A store whose in-memory state can be persisted across process
@@ -81,6 +133,29 @@ pub trait ShmPersistable {
     /// `&self`; the decoded unit is handed to
     /// [`ShmPersistable::install_unit`] under the coordinator.
     fn decode_unit(unit: &str, source: &mut dyn ChunkSource) -> Result<Self::Unit, Self::Error>;
+
+    /// Rebuild one unit from an attached mapping without draining it to
+    /// heap. The default implementation adapts the mapped source into a
+    /// copying [`ChunkSource`] (verifying each frame CRC, exactly like the
+    /// restore path) and delegates to [`ShmPersistable::decode_unit`] — so
+    /// every store works under attach unchanged. Stores that can serve
+    /// queries over borrowed bytes override this to keep per-value chunks
+    /// mapped.
+    fn attach_unit(
+        unit: &str,
+        source: &mut dyn MappedChunkSource,
+    ) -> Result<Self::Unit, Self::Error> {
+        struct CopyingSource<'a>(&'a mut dyn MappedChunkSource);
+        impl ChunkSource for CopyingSource<'_> {
+            fn next_chunk(&mut self) -> Result<Option<Vec<u8>>, ShmError> {
+                match self.0.next_mapped_chunk()? {
+                    None => Ok(None),
+                    Some(chunk) => Ok(Some(chunk.to_heap()?)),
+                }
+            }
+        }
+        Self::decode_unit(unit, &mut CopyingSource(source))
+    }
 
     /// Put a decoded unit into the store (the only store mutation on the
     /// restore path, run under the coordinator's `&mut self`).

@@ -34,6 +34,7 @@ pub mod error;
 pub mod metadata;
 pub mod namespace;
 pub mod segment;
+pub mod view;
 
 pub use arena::{SegmentReader, SegmentWriter};
 pub use checksum::{crc32, crc32_scalar, crc32_timed};
@@ -41,3 +42,4 @@ pub use error::{ShmError, ShmResult};
 pub use metadata::{LeafMetadata, MetadataContents};
 pub use namespace::ShmNamespace;
 pub use segment::ShmSegment;
+pub use view::{view_unlink_count, SegmentView};

@@ -1,0 +1,157 @@
+//! Shared read-only views over segments, with unlink-on-last-drop.
+//!
+//! The zero-copy attach path (§6 future work: "keep the data in shared
+//! memory at all times") installs table columns that point straight into a
+//! mapped segment instead of copying them to heap. The mapping must then
+//! outlive every such pointer — table blocks, query snapshots, hydration
+//! workers — and the segment name must be removed exactly when the last
+//! one goes away. [`SegmentView`] encodes that protocol: it is always held
+//! behind an `Arc`, and its `Drop` unlinks the segment name.
+//!
+//! Unlink is idempotent at the OS level (`shm_unlink` on a missing name is
+//! `ENOENT`, which [`ShmSegment::unlink`] reports as `Ok(false)` without
+//! touching the linked-segments gauge), so a view dropping after a cleanup
+//! sweep already removed the name is harmless — the mapping itself stays
+//! valid until `munmap`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::error::ShmResult;
+use crate::segment::ShmSegment;
+
+/// Number of segments actually unlinked by dropping views (process-wide).
+/// Test hook for the "unlinked exactly once, never while a reader holds
+/// it" protocol.
+static VIEW_UNLINKS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of segments unlinked by [`SegmentView`] drops.
+pub fn view_unlink_count() -> u64 {
+    VIEW_UNLINKS.load(Ordering::Relaxed)
+}
+
+/// A read-only mapping of one shared-memory segment, shared behind an
+/// `Arc` by everything that borrows its bytes. When the last clone drops,
+/// the segment name is unlinked so the kernel can reclaim the pages.
+#[derive(Debug)]
+pub struct SegmentView {
+    segment: ShmSegment,
+}
+
+impl SegmentView {
+    /// Open `name` and make the mapping read-only. The attach path calls
+    /// this once per table segment; cost is `shm_open` + `mmap` +
+    /// `mprotect` — proportional to metadata, not data volume.
+    pub fn attach(name: &str) -> ShmResult<Arc<SegmentView>> {
+        let mut segment = ShmSegment::open(name)?;
+        segment.protect_readonly()?;
+        scuba_obs::gauge!("shmem_views_live").inc();
+        Ok(Arc::new(SegmentView { segment }))
+    }
+
+    /// The segment's shm name.
+    pub fn name(&self) -> &str {
+        self.segment.name()
+    }
+
+    /// Mapping length in bytes.
+    pub fn len(&self) -> usize {
+        self.segment.len()
+    }
+
+    /// True if the mapping is empty.
+    pub fn is_empty(&self) -> bool {
+        self.segment.len() == 0
+    }
+
+    /// The mapped bytes.
+    pub fn bytes(&self) -> &[u8] {
+        self.segment.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for SegmentView {
+    fn as_ref(&self) -> &[u8] {
+        self.segment.as_slice()
+    }
+}
+
+impl Drop for SegmentView {
+    fn drop(&mut self) {
+        scuba_obs::gauge!("shmem_views_live").dec();
+        // Unlink-on-last-drop. Ok(false) means someone else (a cleanup
+        // sweep, an earlier fallback) already removed the name; only a real
+        // unlink counts. Errors are swallowed: the segment stays linked and
+        // the next restart's orphan sweep will collect it.
+        if let Ok(true) = ShmSegment::unlink(self.segment.name()) {
+            VIEW_UNLINKS.fetch_add(1, Ordering::Relaxed);
+            scuba_obs::counter!("shmem_view_unlinks").inc();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::SegmentWriter;
+
+    fn make_segment(name: &str, payload: &[u8]) -> ShmSegment {
+        let _ = ShmSegment::unlink(name);
+        let mut w = SegmentWriter::new(ShmSegment::create(name, 0).unwrap());
+        w.write(payload).unwrap();
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn last_drop_unlinks_exactly_once() {
+        let name = format!("/scuba-view-once-{}", std::process::id());
+        let seg = make_segment(&name, b"hello view");
+        drop(seg); // drop the writable mapping; name stays linked
+        assert!(ShmSegment::exists(&name));
+
+        let before = view_unlink_count();
+        let view = SegmentView::attach(&name).unwrap();
+        assert_eq!(view.bytes(), b"hello view");
+
+        // A second reader (query snapshot) keeps the segment alive.
+        let reader = Arc::clone(&view);
+        drop(view);
+        assert!(ShmSegment::exists(&name), "unlinked while a reader held it");
+        assert_eq!(view_unlink_count(), before);
+
+        assert_eq!(reader.as_ref().as_ref(), b"hello view");
+        drop(reader);
+        assert!(!ShmSegment::exists(&name));
+        assert_eq!(view_unlink_count(), before + 1);
+    }
+
+    #[test]
+    fn drop_after_external_unlink_is_harmless() {
+        let name = format!("/scuba-view-ext-{}", std::process::id());
+        let seg = make_segment(&name, &[7u8; 4096]);
+        drop(seg);
+
+        let before = view_unlink_count();
+        let view = SegmentView::attach(&name).unwrap();
+        // A cleanup sweep races ahead of the view.
+        assert!(ShmSegment::unlink(&name).unwrap());
+        // The mapping is still valid after the name is gone.
+        assert_eq!(view.bytes()[100], 7);
+        drop(view); // must not double-count or error
+        assert_eq!(view_unlink_count(), before);
+    }
+
+    #[test]
+    fn view_is_readonly_and_shared() {
+        let name = format!("/scuba-view-ro-{}", std::process::id());
+        let seg = make_segment(&name, b"abc");
+        drop(seg);
+        let view = SegmentView::attach(&name).unwrap();
+        assert_eq!(view.len(), 3);
+        assert!(!view.is_empty());
+        assert_eq!(view.name(), name);
+        // Usable as the dependency-free backing the columnstore expects.
+        let backing: Arc<dyn AsRef<[u8]> + Send + Sync> = view;
+        assert_eq!((*backing).as_ref(), b"abc");
+    }
+}

@@ -102,6 +102,7 @@ fn paper_scale_simulation() {
             old_version: s.old,
             rolling: s.rolling,
             new_version: s.new,
+            hydrating: 0,
             availability: s.availability,
         });
     }

@@ -46,6 +46,12 @@ fn describe(outcome: &RecoveryOutcome, elapsed: std::time::Duration, rows: usize
             elapsed,
             r.duration
         ),
+        RecoveryOutcome::MemoryAttached(r) => println!(
+            "  -> MEMORY attach: {} rows over {:.1} MB of mapped shm in {:?} (hydration pending)\n",
+            rows,
+            r.shm_bytes as f64 / 1e6,
+            r.duration
+        ),
         RecoveryOutcome::Disk { reason, stats } => println!(
             "  -> DISK recovery: {} rows, {:.1} MB read in {:?}, translated in {:?} ({:?} total)\n     reason: {}\n",
             rows,

@@ -36,6 +36,10 @@ fn chaos_soak_over_restart_protocol() {
         shm_prefix: prefix,
         disk_root: dir.clone(),
         copy_threads: env_u64("SCUBA_CHAOS_THREADS", 4) as usize,
+        // Odd waves take the two-phase attach-then-hydrate path, so the
+        // soak stands kill-during-hydration (and every shared site) on
+        // both restore modes.
+        two_phase: env_u64("SCUBA_CHAOS_TWO_PHASE", 1) != 0,
     };
     let report = run_chaos(&cfg).unwrap_or_else(|violation| panic!("{violation}"));
 
