@@ -17,6 +17,33 @@ use scuba::leaf::{LeafServer, RecoveryOutcome, RestoreMode};
 use scuba::query::Query;
 use scuba_bench::{build_leaf, fmt_bytes, fmt_dur, header, row, table_header, LeafRig};
 
+/// Machine-readable results, written to `BENCH_restart.json` (override the
+/// path with `SCUBA_BENCH_JSON`) so CI can archive restart timings per
+/// commit and catch regressions as a trend rather than a flaky threshold.
+#[derive(Default)]
+struct BenchJson {
+    entries: Vec<String>,
+}
+
+impl BenchJson {
+    fn push(&mut self, experiment: &str, fields: &[(&str, f64)]) {
+        let mut obj = format!("{{\"experiment\":\"{experiment}\"");
+        for (k, v) in fields {
+            obj.push_str(&format!(",\"{k}\":{v}"));
+        }
+        obj.push('}');
+        self.entries.push(obj);
+    }
+
+    fn write(&self) {
+        let path =
+            std::env::var("SCUBA_BENCH_JSON").unwrap_or_else(|_| "BENCH_restart.json".into());
+        let body = format!("[\n  {}\n]\n", self.entries.join(",\n  "));
+        std::fs::write(&path, body).expect("write BENCH_restart.json");
+        println!("\nwrote {} benchmark entries to {path}", self.entries.len());
+    }
+}
+
 /// High-entropy rows: every string is distinct, so dictionary encoding
 /// cannot shrink them and the resident bytes track the row count. The
 /// E15 contrast needs that — attach cost is O(metadata) while full
@@ -129,7 +156,7 @@ fn ttfq_once(tables: usize, rows_per_table: usize, trials: usize) -> (f64, f64, 
 /// E15 — time-to-first-query: attach vs hydrate-complete vs full restore
 /// vs disk, across table counts. When `assert_speedup` is set at least
 /// one configuration must show attach ≥5x faster than the full restore.
-fn ttfq_sweep(assert_speedup: bool) {
+fn ttfq_sweep(assert_speedup: bool, json: &mut BenchJson) {
     println!("\n-- E15: time to first query, two-phase attach (table-count sweep) --\n");
     // Untimed warmup: the first restart in a process pays one-time costs
     // (page faults, allocator growth, lazy statics) that would otherwise
@@ -144,6 +171,18 @@ fn ttfq_sweep(assert_speedup: bool) {
         let (attach, q, hydrate, full, disk) = ttfq_once(tables, rows_per_table, 3);
         let ratio = full / attach;
         best_ratio = best_ratio.max(ratio);
+        json.push(
+            "e15_ttfq",
+            &[
+                ("tables", tables as f64),
+                ("rows", (tables * rows_per_table) as f64),
+                ("attach_secs", attach),
+                ("first_query_secs", q),
+                ("hydrated_secs", hydrate),
+                ("full_restore_secs", full),
+                ("disk_recovery_secs", disk),
+            ],
+        );
         println!(
             "  {:>7} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>8.1}x",
             tables,
@@ -166,6 +205,8 @@ fn ttfq_sweep(assert_speedup: bool) {
 }
 
 fn main() {
+    let mut json = BenchJson::default();
+
     // CI smoke: exercise only the attach/hydrate path, quickly.
     if std::env::args().any(|a| a == "--attach-only") {
         header("E15", "two-phase attach smoke (--attach-only)");
@@ -179,6 +220,17 @@ fn main() {
             fmt_dur(disk)
         );
         println!("  attach path healthy: ok");
+        json.push(
+            "e15_attach_smoke",
+            &[
+                ("attach_secs", attach),
+                ("first_query_secs", q),
+                ("hydrated_secs", hydrate),
+                ("full_restore_secs", full),
+                ("disk_recovery_secs", disk),
+            ],
+        );
+        json.write();
         return;
     }
 
@@ -223,6 +275,15 @@ fn main() {
             fmt_dur(disk_secs),
             disk_secs / shm_secs
         );
+        json.push(
+            "e1_restart",
+            &[
+                ("rows", rows as f64),
+                ("resident_bytes", resident as f64),
+                ("shm_restart_secs", shm_secs),
+                ("disk_restart_secs", disk_secs),
+            ],
+        );
     }
 
     println!("\n-- parallel copy pipeline, thread sweep (1M rows) --\n");
@@ -261,6 +322,16 @@ fn main() {
             fmt_dur(rst_secs),
             format!("{:.0}", restore.bytes_copied as f64 / rst_secs / 1e6),
         );
+        json.push(
+            "e1_copy_threads",
+            &[
+                ("threads", threads as f64),
+                ("threads_used", summary.backup.threads as f64),
+                ("backup_secs", bak_secs),
+                ("restore_secs", rst_secs),
+                ("bytes_copied", summary.backup.bytes_copied as f64),
+            ],
+        );
     }
     println!("\n  (\"used\" is the pool size after clamping to the table count;");
     println!("  scaling requires a multi-core host — nproc gates the speedup.)");
@@ -298,7 +369,7 @@ fn main() {
         println!("\n  phase sums within 5% of measured totals: ok");
     }
 
-    ttfq_sweep(true);
+    ttfq_sweep(true, &mut json);
 
     println!("\n-- paper scale (simulator, 8 leaves x 15 GB per machine) --\n");
     let cfg = SimConfig::paper_defaults();
@@ -340,4 +411,6 @@ fn main() {
             .expect("write metrics.json");
         println!("\nwrote metrics exposition to {}", dir.display());
     }
+
+    json.write();
 }

@@ -22,7 +22,7 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use scuba_columnstore::Row;
-use scuba_leaf::{LeafConfig, LeafPhase, LeafServer, RestoreMode};
+use scuba_leaf::{LeafConfig, LeafPhase, LeafServer, RestoreMode, WriterCompat};
 use scuba_query::Query;
 use scuba_shmem::{ShmNamespace, ShmSegment};
 
@@ -166,7 +166,20 @@ pub struct ChaosConfig {
     /// (attach + background hydration) and even waves with the classic
     /// full restore, so one soak stands faults on both paths.
     pub two_phase: bool,
+    /// When true, the seeded script also varies the *writer*: each wave's
+    /// outgoing leaf shuts down as the current binary, the pre-refactor v1
+    /// binary, or an early-TLV v2 binary — so faults and both restore
+    /// modes are stood on cross-version images, not just same-version
+    /// ones.
+    pub mixed_writers: bool,
 }
+
+/// Writer label drawn for a wave (stable across runs for a given seed).
+const WRITERS: &[(WriterCompat, &str)] = &[
+    (WriterCompat::Current, "current"),
+    (WriterCompat::LegacyV1, "legacy-v1"),
+    (WriterCompat::AgedV2, "aged-v2"),
+];
 
 /// What one wave did.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -179,6 +192,9 @@ pub struct WaveRecord {
     pub fired: bool,
     /// Whether the leaf came back via memory (shared-memory restore).
     pub memory: bool,
+    /// Which writer format the outgoing leaf shut down with
+    /// (`"current"` unless [`ChaosConfig::mixed_writers`] drew an old one).
+    pub writer: &'static str,
 }
 
 /// Soak summary; the wave trace is fully deterministic for a given
@@ -261,6 +277,15 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
         server.sync_disk().map_err(|e| err(wave, "sync", e))?;
         durable_data += cfg.rows_per_wave;
         durable_aux += aux_n;
+
+        // --- Draw this wave's writer (before arming, so the fault script
+        // stays aligned across seeds whether or not a fault fires). ---
+        let (writer, writer_name) = if cfg.mixed_writers {
+            WRITERS[rng.gen_range(0..WRITERS.len())]
+        } else {
+            WRITERS[0]
+        };
+        server.set_writer_compat(writer);
 
         // --- Arm one scripted fault. ---
         let inj = &INJECTIONS[rng.gen_range(0..INJECTIONS.len())];
@@ -384,6 +409,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
             site: inj.site,
             fired,
             memory: outcome.is_memory(),
+            writer: writer_name,
         });
         if outcome.is_memory() {
             report.memory_recoveries += 1;
@@ -413,6 +439,7 @@ mod tests {
             disk_root: dir,
             copy_threads: 0,
             two_phase: true,
+            mixed_writers: false,
         }
     }
 
@@ -457,5 +484,37 @@ mod tests {
         assert_eq!(seq.records, par.records);
         assert_eq!(seq.final_rows, par.final_rows);
         let _ = std::fs::remove_dir_all(&cfg_par.disk_root);
+    }
+
+    #[test]
+    fn mixed_writer_soak_restores_old_images() {
+        // Upgrade-wave soak: the outgoing leaf randomly shuts down as the
+        // pre-refactor v1 binary or an early-TLV v2 binary, and the
+        // replacement (always the current binary) must still memory-restore
+        // whenever no fault wounded the wave — across both restore modes.
+        let mut cfg = soak_config("mw", 18, 99);
+        cfg.mixed_writers = true;
+        let report = run_chaos(&cfg).unwrap();
+        assert_eq!(report.waves, 18);
+        // The seeded script must actually have drawn old writers, and an
+        // old-writer wave must have come back through shared memory.
+        assert!(report.records.iter().any(|r| r.writer == "legacy-v1"));
+        assert!(report.records.iter().any(|r| r.writer == "aged-v2"));
+        assert!(
+            report
+                .records
+                .iter()
+                .any(|r| r.writer != "current" && r.memory),
+            "no old-writer image memory-restored: {:?}",
+            report.records
+        );
+        let _ = std::fs::remove_dir_all(&cfg.disk_root);
+
+        // Determinism holds with the writer dimension in play.
+        let mut cfg_b = soak_config("mwb", 18, 99);
+        cfg_b.mixed_writers = true;
+        let b = run_chaos(&cfg_b).unwrap();
+        assert_eq!(report.records, b.records);
+        let _ = std::fs::remove_dir_all(&cfg_b.disk_root);
     }
 }

@@ -11,7 +11,7 @@
 
 use std::time::{Duration, Instant};
 
-use scuba_leaf::RecoveryOutcome;
+use scuba_leaf::{RecoveryOutcome, WriterCompat};
 
 use crate::cluster::Cluster;
 use crate::dashboard::{Dashboard, DashboardFeed};
@@ -29,6 +29,12 @@ pub struct RolloverConfig {
     pub kill_timeout: Duration,
     /// Timestamp stamped on recovered blocks.
     pub now: i64,
+    /// Writer-format schedule for the *outgoing* binaries: wave `k` shuts
+    /// its leaves down as `old_writers[k % len]`. A rollover is exactly
+    /// the moment writer versions mix — the old build writes the image,
+    /// the new build reads it — so drills list the formats in production
+    /// here and leave the replacements on the current reader.
+    pub old_writers: Vec<WriterCompat>,
 }
 
 impl Default for RolloverConfig {
@@ -38,6 +44,7 @@ impl Default for RolloverConfig {
             use_shm: true,
             kill_timeout: Duration::from_secs(180),
             now: 0,
+            old_writers: vec![WriterCompat::Current],
         }
     }
 }
@@ -53,6 +60,8 @@ pub struct RolloverEvent {
     pub leaf: usize,
     /// Whether the old process was killed (timeout / failed shutdown).
     pub killed: bool,
+    /// Image format the outgoing binary wrote for this leaf.
+    pub writer: WriterCompat,
     /// How the replacement recovered.
     pub outcome: RecoveryOutcome,
     /// Wall-clock shutdown + restart duration for this leaf.
@@ -107,12 +116,18 @@ pub fn rollover(cluster: &mut Cluster, config: &RolloverConfig) -> RolloverRepor
     let mut wave = 0usize;
 
     for chunk in order.chunks(per_wave) {
+        let writer = config.old_writers[wave % config.old_writers.len().max(1)];
         // Phase 1: shut the wave down (all leaves in a wave are on
         // different machines by construction when per_wave ≤ machines).
         let mut wave_started: Vec<(usize, usize, bool, Instant)> = Vec::new();
         for &(m, l) in chunk {
             let leaf_start = Instant::now();
             let slot = &mut cluster.machines_mut()[m].slots_mut()[l];
+            if let Some(server) = slot.server_mut() {
+                // The outgoing process *is* the old build: it writes its
+                // own (possibly older) image format.
+                server.set_writer_compat(writer);
+            }
             let killed = if config.use_shm {
                 match slot.shutdown(config.now) {
                     Ok(_summary) => {
@@ -153,6 +168,7 @@ pub fn rollover(cluster: &mut Cluster, config: &RolloverConfig) -> RolloverRepor
                 machine: m,
                 leaf: l,
                 killed,
+                writer,
                 outcome,
                 duration: leaf_start.elapsed(),
             });
@@ -238,6 +254,35 @@ mod tests {
             dedup.dedup();
             assert_eq!(machines.len(), dedup.len(), "wave {w}: {machines:?}");
         }
+        cleanup(&c, &dir);
+    }
+
+    #[test]
+    fn mixed_writer_rollover_preserves_all_data() {
+        // Upgrade drill: consecutive waves shut down as different builds
+        // (current, pre-refactor v1, early-TLV v2). Every replacement runs
+        // the current reader and must memory-restore every image.
+        let (mut c, dir) = test_cluster(3, 2);
+        fill(&mut c, 40);
+        let before = c.total_rows();
+
+        let cfg = RolloverConfig {
+            old_writers: vec![
+                WriterCompat::Current,
+                WriterCompat::LegacyV1,
+                WriterCompat::AgedV2,
+            ],
+            ..Default::default()
+        };
+        let report = rollover(&mut c, &cfg);
+        assert_eq!(report.events.len(), 6);
+        assert_eq!(report.memory_recoveries(), 6);
+        // The schedule cycled: both old formats actually rolled.
+        for w in [WriterCompat::LegacyV1, WriterCompat::AgedV2] {
+            assert!(report.events.iter().any(|e| e.writer == w), "{w:?}");
+        }
+        assert_eq!(c.total_rows(), before);
+        assert!(c.query(&Query::new("t", 0, 100)).is_complete());
         cleanup(&c, &dir);
     }
 

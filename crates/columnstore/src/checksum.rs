@@ -2,74 +2,13 @@
 //!
 //! Figure 3 of the paper shows a checksum in the row block column footer;
 //! it lets the restore path (and disk recovery) detect torn or corrupted
-//! copies and fall back to disk recovery (§4.3). Implemented from scratch
-//! with a precomputed 256-entry table.
+//! copies and fall back to disk recovery (§4.3).
+//!
+//! The implementation lives in the shared `scuba-checksum` crate (the same
+//! slicing-by-8 kernel the shared-memory layer uses for chunk framing);
+//! this module re-exports the one-shot and streaming forms.
 
-/// Reversed IEEE polynomial.
-const POLY: u32 = 0xEDB8_8320;
-
-/// Lazily-built lookup table. `const fn` so the table lives in rodata.
-const fn build_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut crc = i as u32;
-        let mut bit = 0;
-        while bit < 8 {
-            crc = if crc & 1 != 0 {
-                (crc >> 1) ^ POLY
-            } else {
-                crc >> 1
-            };
-            bit += 1;
-        }
-        table[i] = crc;
-        i += 1;
-    }
-    table
-}
-
-static TABLE: [u32; 256] = build_table();
-
-/// Streaming CRC-32 hasher.
-#[derive(Debug, Clone)]
-pub struct Crc32 {
-    state: u32,
-}
-
-impl Crc32 {
-    /// Create a fresh hasher.
-    pub fn new() -> Self {
-        Crc32 { state: 0xFFFF_FFFF }
-    }
-
-    /// Feed bytes into the hasher.
-    pub fn update(&mut self, bytes: &[u8]) {
-        let mut crc = self.state;
-        for &b in bytes {
-            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
-        }
-        self.state = crc;
-    }
-
-    /// Finish and return the checksum.
-    pub fn finish(&self) -> u32 {
-        self.state ^ 0xFFFF_FFFF
-    }
-}
-
-impl Default for Crc32 {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-/// One-shot CRC-32 of a byte slice.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut h = Crc32::new();
-    h.update(bytes);
-    h.finish()
-}
+pub use scuba_checksum::{crc32, Crc32};
 
 #[cfg(test)]
 mod tests {
@@ -93,16 +32,5 @@ mod tests {
         h.update(&data[..5]);
         h.update(&data[5..]);
         assert_eq!(h.finish(), crc32(data));
-    }
-
-    #[test]
-    fn sensitive_to_single_bit_flip() {
-        let mut data = vec![0u8; 1024];
-        for (i, b) in data.iter_mut().enumerate() {
-            *b = (i * 31) as u8;
-        }
-        let base = crc32(&data);
-        data[512] ^= 0x01;
-        assert_ne!(crc32(&data), base);
     }
 }

@@ -12,6 +12,7 @@ use crate::builder::RowBlockBuilder;
 use crate::error::Result;
 use crate::row::Row;
 use crate::rowblock::RowBlock;
+use crate::schema::Schema;
 
 /// Table-level metadata (Figure 2: "Table Name, Number of Row Blocks").
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -133,6 +134,22 @@ impl Table {
             out.push(Arc::new(self.builder.snapshot()?));
         }
         Ok(out)
+    }
+
+    /// The table-level schema snapshot: the union of every sealed block's
+    /// schema, in first-seen column order. Different blocks of the same
+    /// table may carry different schemas (§2.1); the snapshot is what gets
+    /// persisted alongside the blocks so a restoring binary can see the
+    /// writer's full column set without walking every block. On a type
+    /// conflict between blocks the first-seen type wins.
+    pub fn schema_snapshot(&self) -> Schema {
+        let mut snap = Schema::new();
+        for block in &self.blocks {
+            for (name, ty) in block.schema().iter() {
+                let _ = snap.add_column(name, ty);
+            }
+        }
+        snap
     }
 
     /// Encoded bytes across sealed blocks (what shutdown will copy).

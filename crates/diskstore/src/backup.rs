@@ -221,10 +221,25 @@ impl DiskBackup {
         now: i64,
         throttle: Option<&Throttle>,
     ) -> DiskResult<(LeafMap, RecoveryStats)> {
+        let tables = self.tables()?;
+        self.recover_tables(&tables, now, throttle)
+    }
+
+    /// Disk-recover only the named tables (per-table fallback: the rest of
+    /// the leaf came back through shared memory and is not re-read). Names
+    /// with no on-disk log are skipped silently — a skipped shm unit that
+    /// was never synced has nothing to recover.
+    pub fn recover_tables(
+        &self,
+        tables: &[String],
+        now: i64,
+        throttle: Option<&Throttle>,
+    ) -> DiskResult<(LeafMap, RecoveryStats)> {
+        let on_disk = self.tables()?;
         let mut map = LeafMap::new();
         let mut stats = RecoveryStats::default();
-        for table in self.tables()? {
-            let path = self.table_path(&table)?;
+        for table in tables.iter().filter(|t| on_disk.contains(t)) {
+            let path = self.table_path(table)?;
 
             // Phase 1: read the raw bytes ("Reading about 120 GB ... takes
             // 20-25 minutes").
@@ -242,7 +257,7 @@ impl DiskBackup {
             // Phase 2: translate to the in-memory format ("takes 2.5-3
             // hours") — parse records, push rows through the builder.
             let translate_start = Instant::now();
-            let mut t = Table::new(&table, now);
+            let mut t = Table::new(table, now);
             let mut pos = 0usize;
             loop {
                 match read_record(&bytes, &mut pos) {

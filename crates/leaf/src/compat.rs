@@ -1,0 +1,376 @@
+//! Simulated **old-writer** shared-memory images.
+//!
+//! The self-describing layout's whole point is that a *new* binary can
+//! read an image a *pre-upgrade* binary left behind. To prove that
+//! continuously — in unit tests, golden fixtures, chaos waves, and
+//! rollover drills — this module reimplements the two older writers:
+//!
+//! * [`install_legacy_v1_image`] — the pre-refactor format end to end:
+//!   legacy v1 metadata region (one global layout version, no per-table
+//!   descriptors), bare `len | crc | payload` chunk framing, positional
+//!   chunk order, manifest without a schema snapshot.
+//! * [`install_aged_v2_image`] — an early TLV writer: v2 frames and v2
+//!   metadata, but v1-versioned manifests (the reader's shim upgrades
+//!   them) and, optionally, stranger chunks the current binary has never
+//!   heard of — skippable ones it must ignore, required ones that force
+//!   the per-table disk fallback.
+//!
+//! Both writers produce images whose *table contents* come from real
+//! [`Table`]s, so restored results can be compared cell for cell against
+//! what the old writer held. The byte streams are deterministic given the
+//! tables, which is what makes the checked-in golden fixtures possible.
+
+use std::sync::Arc;
+
+use scuba_columnstore::{RowBlock, Table};
+use scuba_restart::framing::{encode_header_v2, end_header_v2, END_SENTINEL_V1, TAG_UNIT_NAME};
+use scuba_restart::migrate::CURRENT_IMAGE_MIN_READER;
+use scuba_restart::{ChunkDesc, SHM_LAYOUT_VERSION};
+use scuba_shmem::{crc32, LeafMetadata, ShmError, ShmNamespace, ShmSegment};
+
+use crate::persist::{write_prelude, TAG_COLUMN, TAG_MANIFEST, TAG_PRELUDE};
+
+/// A chunk tag no store in this workspace has ever defined — the
+/// "written by a future/forked binary" stranger used by aged images.
+pub const TAG_STRANGER: u16 = 0x7A7A;
+
+/// Append one legacy (pre-TLV) frame: `len u64 | crc u32 | payload`.
+fn frame_v1(out: &mut Vec<u8>, payload: &[u8]) {
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Append one v2 TLV frame.
+fn frame_v2(out: &mut Vec<u8>, desc: ChunkDesc, payload: &[u8]) {
+    out.extend_from_slice(&encode_header_v2(
+        desc,
+        payload.len() as u64,
+        crc32(payload),
+    ));
+    out.extend_from_slice(payload);
+}
+
+/// Serialize each sealed block to (prelude, column buffers) — the chunk
+/// material both old writers share with the current one.
+fn block_chunks(table: &Table) -> Vec<(Vec<u8>, Vec<Arc<RowBlock>>)> {
+    // Return shape is (prelude, [block]) so column bytes are borrowed
+    // from the live Arc at write time; the helper exists to keep the two
+    // stream writers in lockstep about what a "block" contributes.
+    table
+        .blocks()
+        .iter()
+        .map(|b| {
+            let mut prelude = Vec::new();
+            write_prelude(b, &mut prelude);
+            (prelude, vec![Arc::clone(b)])
+        })
+        .collect()
+}
+
+/// The exact unit byte stream the pre-refactor writer produced: name
+/// frame, bare-count manifest, per block a prelude then one frame per
+/// column, closed by the `u64::MAX` sentinel.
+pub fn v1_unit_stream(table: &Table) -> Vec<u8> {
+    let mut out = Vec::new();
+    let name = table.name();
+    out.extend_from_slice(&(name.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(name.as_bytes()).to_le_bytes());
+    out.extend_from_slice(name.as_bytes());
+
+    frame_v1(&mut out, &(table.blocks().len() as u64).to_le_bytes());
+    for (prelude, blocks) in block_chunks(table) {
+        frame_v1(&mut out, &prelude);
+        for block in &blocks {
+            for column in block.columns() {
+                frame_v1(&mut out, column.as_bytes());
+            }
+        }
+    }
+    out.extend_from_slice(&END_SENTINEL_V1.to_le_bytes());
+    out
+}
+
+/// What strangers an aged image carries.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AgedImageOptions {
+    /// Emit an unknown chunk flagged skippable in every unit — the
+    /// current reader must ignore it and restore the table anyway.
+    pub skippable_stranger: bool,
+    /// Emit an unknown *required* chunk in every unit — a true
+    /// incompatibility; the current reader must skip exactly these tables
+    /// and disk-recover them, restoring the rest from memory.
+    pub required_stranger: bool,
+}
+
+/// The unit byte stream of an early-TLV writer: v2 frames, but the
+/// manifest at payload version 1 (bare block count, no schema snapshot)
+/// and optional stranger chunks.
+pub fn aged_v2_unit_stream(table: &Table, opts: &AgedImageOptions) -> Vec<u8> {
+    let mut out = Vec::new();
+    let name = table.name();
+    frame_v2(&mut out, ChunkDesc::new(TAG_UNIT_NAME, 1), name.as_bytes());
+
+    if opts.skippable_stranger {
+        frame_v2(
+            &mut out,
+            ChunkDesc::new(TAG_STRANGER, 1).skippable(),
+            b"from a future writer; safe to ignore",
+        );
+    }
+    frame_v2(
+        &mut out,
+        ChunkDesc::new(TAG_MANIFEST, 1),
+        &(table.blocks().len() as u64).to_le_bytes(),
+    );
+    if opts.required_stranger {
+        frame_v2(
+            &mut out,
+            ChunkDesc::new(TAG_STRANGER, 1),
+            b"load-bearing data only the future writer understands",
+        );
+    }
+    for (prelude, blocks) in block_chunks(table) {
+        frame_v2(&mut out, ChunkDesc::new(TAG_PRELUDE, 1), &prelude);
+        for block in &blocks {
+            for column in block.columns() {
+                frame_v2(&mut out, ChunkDesc::new(TAG_COLUMN, 1), column.as_bytes());
+            }
+        }
+    }
+    out.extend_from_slice(&end_header_v2());
+    out
+}
+
+/// Write `bytes` into a freshly created segment named `seg_name`.
+fn install_segment(seg_name: &str, bytes: &[u8]) -> Result<(), ShmError> {
+    let _ = ShmSegment::unlink(seg_name);
+    let mut seg = ShmSegment::create(seg_name, bytes.len().max(1))?;
+    seg.as_mut_slice()[..bytes.len()].copy_from_slice(bytes);
+    Ok(())
+}
+
+/// Install a complete, committed legacy-v1 image of `tables` under `ns`,
+/// exactly as the pre-refactor binary's clean shutdown left it: v1
+/// metadata region, one bare-framed segment per table, valid bit set.
+/// Returns the total segment bytes written.
+pub fn install_legacy_v1_image(ns: &ShmNamespace, tables: &[Table]) -> Result<usize, ShmError> {
+    let streams: Vec<Vec<u8>> = tables.iter().map(v1_unit_stream).collect();
+    install_legacy_v1_image_raw(ns, &streams)
+}
+
+/// Install pre-serialized v1 unit streams verbatim — the entry point for
+/// checked-in golden fixtures, whose bytes must reach shared memory
+/// untouched by any current-code serializer.
+pub fn install_legacy_v1_image_raw(
+    ns: &ShmNamespace,
+    streams: &[Vec<u8>],
+) -> Result<usize, ShmError> {
+    let _ = ShmSegment::unlink(&ns.metadata_name());
+    let mut meta = LeafMetadata::create_legacy_v1(ns)?;
+    let mut total = 0usize;
+    for (i, bytes) in streams.iter().enumerate() {
+        let seg_name = ns.table_segment_name(i);
+        total += bytes.len();
+        install_segment(&seg_name, bytes)?;
+        meta.add_segment_invalidating(&seg_name, 1, 0)?;
+    }
+    meta.set_valid(true)?;
+    Ok(total)
+}
+
+/// Install a complete, committed aged-v2 image of `tables` under `ns`:
+/// v2 metadata (current writer version, standard min-reader), early-TLV
+/// segments per [`aged_v2_unit_stream`], valid bit set. Returns the total
+/// segment bytes written.
+pub fn install_aged_v2_image(
+    ns: &ShmNamespace,
+    tables: &[Table],
+    opts: &AgedImageOptions,
+) -> Result<usize, ShmError> {
+    install_aged_v2_image_mixed(ns, tables, |_| *opts)
+}
+
+/// Like [`install_aged_v2_image`] but with per-table options, so an image
+/// can mix restorable units with truly incompatible ones — the shape that
+/// proves fallback is per-table, not per-leaf.
+pub fn install_aged_v2_image_mixed(
+    ns: &ShmNamespace,
+    tables: &[Table],
+    opts_for: impl Fn(&str) -> AgedImageOptions,
+) -> Result<usize, ShmError> {
+    let _ = ShmSegment::unlink(&ns.metadata_name());
+    let mut meta = LeafMetadata::create(ns, SHM_LAYOUT_VERSION, CURRENT_IMAGE_MIN_READER)?;
+    let mut total = 0usize;
+    for (i, table) in tables.iter().enumerate() {
+        let seg_name = ns.table_segment_name(i);
+        let bytes = aged_v2_unit_stream(table, &opts_for(table.name()));
+        total += bytes.len();
+        install_segment(&seg_name, &bytes)?;
+        meta.add_segment_invalidating(&seg_name, 1, 0)?;
+    }
+    meta.set_valid(true)?;
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::persist::LeafStore;
+    use scuba_columnstore::Row;
+    use scuba_restart::{attach_from_shm, restore_from_shm};
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    static COUNTER: AtomicU32 = AtomicU32::new(0);
+
+    fn ns() -> ShmNamespace {
+        ShmNamespace::new(
+            &format!("compat{}", std::process::id()),
+            COUNTER.fetch_add(1, Ordering::Relaxed),
+        )
+        .unwrap()
+    }
+
+    struct Cleanup(ShmNamespace);
+    impl Drop for Cleanup {
+        fn drop(&mut self) {
+            self.0.unlink_all(16);
+        }
+    }
+
+    /// Two sealed tables; the "old schema" deliberately lacks the `extra`
+    /// column the current writer would add.
+    fn old_tables() -> Vec<Table> {
+        ["events", "metrics"]
+            .iter()
+            .map(|name| {
+                let mut t = Table::new(*name, 0);
+                for i in 0..200i64 {
+                    t.append(&Row::at(i).with("old_col", i * 3), 0).unwrap();
+                }
+                t.seal(0).unwrap();
+                t
+            })
+            .collect()
+    }
+
+    fn fingerprints(store: &LeafStore) -> Vec<(String, usize)> {
+        store
+            .map()
+            .iter()
+            .map(|t| (t.name().to_owned(), t.row_count()))
+            .collect()
+    }
+
+    #[test]
+    fn legacy_v1_image_restores_under_current_binary() {
+        let ns = ns();
+        let _c = Cleanup(ns.clone());
+        install_legacy_v1_image(&ns, &old_tables()).unwrap();
+
+        let mut restored = LeafStore::new();
+        let rep = restore_from_shm(&mut restored, &ns, SHM_LAYOUT_VERSION).unwrap();
+        assert_eq!(rep.units, 2);
+        assert!(rep.skipped.is_empty());
+        assert_eq!(
+            fingerprints(&restored),
+            vec![("events".to_owned(), 200), ("metrics".to_owned(), 200)]
+        );
+    }
+
+    #[test]
+    fn legacy_v1_image_attaches_under_current_binary() {
+        let ns = ns();
+        let _c = Cleanup(ns.clone());
+        install_legacy_v1_image(&ns, &old_tables()).unwrap();
+
+        let mut restored = LeafStore::new();
+        let rep = attach_from_shm(&mut restored, &ns, SHM_LAYOUT_VERSION).unwrap();
+        assert_eq!(rep.units, 2);
+        assert!(rep.skipped.is_empty());
+        assert_eq!(
+            fingerprints(&restored),
+            vec![("events".to_owned(), 200), ("metrics".to_owned(), 200)]
+        );
+        // Mapped until hydration.
+        assert!(restored.map().mapped_bytes() > 0);
+    }
+
+    #[test]
+    fn aged_v2_image_with_skippable_stranger_restores() {
+        let ns = ns();
+        let _c = Cleanup(ns.clone());
+        let opts = AgedImageOptions {
+            skippable_stranger: true,
+            required_stranger: false,
+        };
+        install_aged_v2_image(&ns, &old_tables(), &opts).unwrap();
+
+        let mut restored = LeafStore::new();
+        let rep = restore_from_shm(&mut restored, &ns, SHM_LAYOUT_VERSION).unwrap();
+        assert_eq!(rep.units, 2);
+        assert!(rep.skipped.is_empty());
+        assert_eq!(
+            fingerprints(&restored),
+            vec![("events".to_owned(), 200), ("metrics".to_owned(), 200)]
+        );
+    }
+
+    #[test]
+    fn aged_v2_image_with_required_stranger_skips_per_table() {
+        let ns = ns();
+        let _c = Cleanup(ns.clone());
+        let opts = AgedImageOptions {
+            skippable_stranger: false,
+            required_stranger: true,
+        };
+        install_aged_v2_image(&ns, &old_tables(), &opts).unwrap();
+
+        let mut restored = LeafStore::new();
+        let rep = restore_from_shm(&mut restored, &ns, SHM_LAYOUT_VERSION).unwrap();
+        // Every unit carries the stranger, so every unit is skipped — but
+        // the restore itself succeeds (per-table, not per-leaf).
+        assert_eq!(rep.units, 0);
+        assert_eq!(rep.skipped, vec!["events".to_owned(), "metrics".to_owned()]);
+        assert!(restored.map().is_empty());
+    }
+
+    #[test]
+    fn aged_v2_attach_with_skippable_stranger_restores() {
+        let ns = ns();
+        let _c = Cleanup(ns.clone());
+        let opts = AgedImageOptions {
+            skippable_stranger: true,
+            required_stranger: false,
+        };
+        install_aged_v2_image(&ns, &old_tables(), &opts).unwrap();
+
+        let mut restored = LeafStore::new();
+        let rep = attach_from_shm(&mut restored, &ns, SHM_LAYOUT_VERSION).unwrap();
+        assert_eq!(rep.units, 2);
+        assert!(rep.skipped.is_empty());
+    }
+
+    #[test]
+    fn restored_legacy_rows_decode_identically() {
+        // Cell-level equality: the old image's data, restored by the new
+        // binary, decodes to exactly the rows the old writer held.
+        let ns = ns();
+        let _c = Cleanup(ns.clone());
+        let tables = old_tables();
+        let expected: Vec<_> = tables
+            .iter()
+            .flat_map(|t| t.blocks().iter().map(|b| b.decode_rows().unwrap()))
+            .collect();
+        install_legacy_v1_image(&ns, &tables).unwrap();
+
+        let mut restored = LeafStore::new();
+        restore_from_shm(&mut restored, &ns, SHM_LAYOUT_VERSION).unwrap();
+        let got: Vec<_> = restored
+            .map()
+            .iter()
+            .flat_map(|t| t.blocks().iter().map(|b| b.decode_rows().unwrap()))
+            .collect();
+        assert_eq!(got, expected);
+    }
+}

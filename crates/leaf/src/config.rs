@@ -17,6 +17,23 @@ pub enum RestoreMode {
     TwoPhase,
 }
 
+/// Which shared-memory image format [`crate::LeafServer::shutdown_to_shm`]
+/// writes. Anything but `Current` simulates an *older* writer binary, so
+/// upgrade waves (chaos, rollover) can prove that an old image restores
+/// under the current reader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriterCompat {
+    /// The current self-describing TLV layout.
+    Current,
+    /// The pre-refactor bare-framed layout (metadata layout version 1,
+    /// positional chunks, manifest without a schema snapshot).
+    LegacyV1,
+    /// An early TLV writer: v2 framing but v1-versioned manifests (no
+    /// schema snapshot — the reader's shim upgrades them) plus an unknown
+    /// skippable chunk the reader must ignore.
+    AgedV2,
+}
+
 /// Static configuration for one leaf server process.
 #[derive(Debug, Clone)]
 pub struct LeafConfig {
@@ -43,6 +60,10 @@ pub struct LeafConfig {
     /// ([`RestoreMode::Full`]) or attach-then-hydrate
     /// ([`RestoreMode::TwoPhase`]).
     pub restore_mode: RestoreMode,
+    /// Which image format shutdown writes — [`WriterCompat::Current`] in
+    /// production; the older formats simulate a pre-upgrade binary for
+    /// mixed-version restart waves.
+    pub writer_compat: WriterCompat,
 }
 
 impl LeafConfig {
@@ -57,6 +78,7 @@ impl LeafConfig {
             shm_recovery_enabled: true,
             copy_threads: 0,
             restore_mode: RestoreMode::Full,
+            writer_compat: WriterCompat::Current,
         }
     }
 }

@@ -8,15 +8,44 @@
 //! Figure 3. Heap memory is freed as chunks are emitted ("delete row
 //! block column from heap ... delete row block from heap ... delete table
 //! from heap", Figure 6), so the combined footprint stays flat (§4.4).
+//!
+//! The stream is written in the self-describing v2 TLV framing: every
+//! chunk carries a tag ([`TAG_MANIFEST`], [`TAG_PRELUDE`],
+//! [`TAG_COLUMN`]) and a per-tag format version, and the manifest carries
+//! the table-level schema snapshot. Decode is tag-driven: older chunk
+//! versions are upgraded through the [`ShimRegistry`], unknown-but-
+//! skippable chunks are ignored, and an unknown *required* chunk is a
+//! per-table incompatibility ([`PersistError::Incompatible`]) — the
+//! protocol skips just that table. Images from the pre-TLV (v1) writer
+//! surface with legacy descriptors and take the positional decode path.
 
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use scuba_columnstore::{
     LeafMap, Result as StoreResult, Row, RowBlock, RowBlockColumn, Schema, Table,
 };
-use scuba_restart::{ChunkSink, ChunkSource, MappedChunkSource, ShmPersistable};
+use scuba_restart::framing::TAG_STORE_BASE;
+use scuba_restart::migrate::{MigrateError, ShimRegistry};
+use scuba_restart::{
+    ChunkDesc, ChunkSink, ChunkSource, MappedChunk, MappedChunkSource, ShmPersistable,
+};
 use scuba_shmem::ShmError;
+
+/// Chunk tag: the table manifest (block count + schema snapshot).
+pub const TAG_MANIFEST: u16 = TAG_STORE_BASE;
+/// Chunk tag: one row block's prelude (header + block schema).
+pub const TAG_PRELUDE: u16 = TAG_STORE_BASE + 1;
+/// Chunk tag: one row block column's single-memcpy buffer.
+pub const TAG_COLUMN: u16 = TAG_STORE_BASE + 2;
+
+/// Current manifest payload version: v1 was the bare block count, v2
+/// appends the table-level schema snapshot.
+pub const MANIFEST_VERSION: u16 = 2;
+/// Current prelude payload version.
+pub const PRELUDE_VERSION: u16 = 1;
+/// Current column payload version.
+pub const COLUMN_VERSION: u16 = 1;
 
 /// Error produced while (de)serializing leaf state for the protocol.
 #[derive(Debug)]
@@ -27,6 +56,11 @@ pub enum PersistError {
     Shm(ShmError),
     /// Framing violation (wrong chunk count, bad prelude...).
     Framing(String),
+    /// A format this binary cannot understand: an unknown required chunk
+    /// tag, or a chunk version with no shim path to the current one. The
+    /// protocol treats this as *per-table* — the one unit is skipped and
+    /// disk-recovered, the rest of the leaf restores from memory.
+    Incompatible(String),
 }
 
 impl fmt::Display for PersistError {
@@ -35,6 +69,7 @@ impl fmt::Display for PersistError {
             PersistError::Store(e) => write!(f, "store error: {e}"),
             PersistError::Shm(e) => write!(f, "shared memory error: {e}"),
             PersistError::Framing(m) => write!(f, "framing error: {m}"),
+            PersistError::Incompatible(m) => write!(f, "incompatible format: {m}"),
         }
     }
 }
@@ -102,7 +137,7 @@ impl LeafStore {
 }
 
 /// Serialize a row block prelude (everything but the column buffers).
-fn write_prelude(block: &RowBlock, out: &mut Vec<u8>) {
+pub(crate) fn write_prelude(block: &RowBlock, out: &mut Vec<u8>) {
     let h = block.header();
     out.extend_from_slice(&h.row_count.to_le_bytes());
     out.extend_from_slice(&h.min_time.to_le_bytes());
@@ -129,6 +164,100 @@ fn read_prelude(buf: &[u8]) -> Result<(u32, i64, i64, i64, u32, Schema), Persist
         ));
     }
     Ok((row_count, min_time, max_time, created_at, n_columns, schema))
+}
+
+/// Upgrade a v1 manifest (bare block count) to v2 by appending an empty
+/// schema snapshot — "unknown, derive from the blocks", which is exactly
+/// what a v1 writer's image can promise.
+fn manifest_v1_to_v2(payload: &[u8]) -> Result<Vec<u8>, String> {
+    if payload.len() != 8 {
+        return Err(format!("bad v1 manifest size {}", payload.len()));
+    }
+    let mut out = payload.to_vec();
+    Schema::new().serialize(&mut out);
+    Ok(out)
+}
+
+/// The leaf's shim registry: every chunk tag it understands, its current
+/// payload version per tag, and the upgrade edges from older versions.
+fn shim_registry() -> &'static ShimRegistry {
+    static REG: OnceLock<ShimRegistry> = OnceLock::new();
+    REG.get_or_init(|| {
+        let mut reg = ShimRegistry::new();
+        reg.declare(TAG_MANIFEST, MANIFEST_VERSION)
+            .shim(TAG_MANIFEST, 1, manifest_v1_to_v2)
+            .declare(TAG_PRELUDE, PRELUDE_VERSION)
+            .declare(TAG_COLUMN, COLUMN_VERSION);
+        reg
+    })
+}
+
+/// Map a migration failure onto the persist error taxonomy: a shim
+/// rejecting its input means the payload is malformed (corruption-class,
+/// whole-leaf fallback); everything else — unknown tag, missing shim,
+/// from-the-future version — is a true per-table incompatibility.
+fn migrate_err(e: MigrateError) -> PersistError {
+    match e {
+        MigrateError::ShimFailed { .. } => PersistError::Framing(e.to_string()),
+        _ => PersistError::Incompatible(e.to_string()),
+    }
+}
+
+/// Pull the next chunk the leaf understands: unknown-but-skippable chunks
+/// are ignored (the writer promised we may), unknown required tags are a
+/// per-table incompatibility, and known tags have their payloads upgraded
+/// to the current version through the shim registry.
+fn next_known(source: &mut dyn ChunkSource) -> Result<Option<(ChunkDesc, Vec<u8>)>, PersistError> {
+    let reg = shim_registry();
+    loop {
+        let Some((desc, payload)) = source.next_chunk()? else {
+            return Ok(None);
+        };
+        if reg.current_version(desc.tag).is_none() {
+            if desc.is_skippable() {
+                continue;
+            }
+            return Err(PersistError::Incompatible(format!(
+                "unknown required chunk tag {} in unit stream",
+                desc.tag
+            )));
+        }
+        let payload = reg
+            .upgrade(desc.tag, desc.version, payload)
+            .map_err(migrate_err)?;
+        return Ok(Some((desc, payload)));
+    }
+}
+
+/// A [`ChunkSource`] with one chunk pushed back (the grammar-dispatch
+/// peek in `decode_unit`).
+struct Peeked<'a> {
+    head: Option<(ChunkDesc, Vec<u8>)>,
+    rest: &'a mut dyn ChunkSource,
+}
+
+impl ChunkSource for Peeked<'_> {
+    fn next_chunk(&mut self) -> Result<Option<(ChunkDesc, Vec<u8>)>, ShmError> {
+        match self.head.take() {
+            Some(c) => Ok(Some(c)),
+            None => self.rest.next_chunk(),
+        }
+    }
+}
+
+/// A [`MappedChunkSource`] with one chunk pushed back.
+struct PeekedMapped<'a> {
+    head: Option<MappedChunk>,
+    rest: &'a mut dyn MappedChunkSource,
+}
+
+impl MappedChunkSource for PeekedMapped<'_> {
+    fn next_mapped_chunk(&mut self) -> Result<Option<MappedChunk>, ShmError> {
+        match self.head.take() {
+            Some(c) => Ok(Some(c)),
+            None => self.rest.next_mapped_chunk(),
+        }
+    }
 }
 
 impl ShmPersistable for LeafStore {
@@ -161,23 +290,28 @@ impl ShmPersistable for LeafStore {
     }
 
     fn backup_extracted(table: Table, sink: &mut dyn ChunkSink) -> Result<(), Self::Error> {
+        let snapshot = table.schema_snapshot();
         let (blocks, _builder) = decompose(table);
 
-        let mut manifest = Vec::with_capacity(8);
+        let mut manifest = Vec::with_capacity(8 + snapshot.serialized_size());
         manifest.extend_from_slice(&(blocks.len() as u64).to_le_bytes());
-        sink.put_chunk(&manifest)?;
+        snapshot.serialize(&mut manifest);
+        sink.put_chunk(ChunkDesc::new(TAG_MANIFEST, MANIFEST_VERSION), &manifest)?;
 
         for block in blocks {
             let mut prelude = Vec::new();
             write_prelude(&block, &mut prelude);
-            sink.put_chunk(&prelude)?;
+            sink.put_chunk(ChunkDesc::new(TAG_PRELUDE, PRELUDE_VERSION), &prelude)?;
             // One chunk per row block column: the single-memcpy copy.
             // Unwrap the Arc if we are the last owner so the buffer is
             // freed as we go; clone-on-shared keeps correctness if a
             // query snapshot still holds the block.
             let block = Arc::try_unwrap(block).unwrap_or_else(|arc| (*arc).clone());
             for column in block.columns() {
-                sink.put_chunk(column.as_bytes())?;
+                sink.put_chunk(
+                    ChunkDesc::new(TAG_COLUMN, COLUMN_VERSION),
+                    column.as_bytes(),
+                )?;
             }
             // `block` (and each column buffer) freed here: "delete row
             // block column from heap; delete row block from heap".
@@ -186,51 +320,23 @@ impl ShmPersistable for LeafStore {
     }
 
     fn decode_unit(unit: &str, source: &mut dyn ChunkSource) -> Result<Table, Self::Error> {
-        let manifest = source
-            .next_chunk()?
-            .ok_or_else(|| PersistError::Framing("missing table manifest".to_owned()))?;
-        if manifest.len() != 8 {
-            return Err(PersistError::Framing("bad manifest size".to_owned()));
+        // The first chunk's descriptor picks the grammar: legacy images
+        // surface with tag 0 and decode positionally; TLV images decode
+        // tag-driven.
+        let Some(first) = source.next_chunk()? else {
+            return Err(PersistError::Framing("missing table manifest".to_owned()));
+        };
+        if first.0.is_legacy() {
+            decode_unit_legacy(unit, first.1, source)
+        } else {
+            decode_unit_v2(
+                unit,
+                &mut Peeked {
+                    head: Some(first),
+                    rest: source,
+                },
+            )
         }
-        let n_blocks = u64::from_le_bytes(manifest.as_slice().try_into().unwrap());
-
-        let mut blocks = Vec::with_capacity(n_blocks.min(1 << 20) as usize);
-        for _ in 0..n_blocks {
-            let prelude = source
-                .next_chunk()?
-                .ok_or_else(|| PersistError::Framing("missing block prelude".to_owned()))?;
-            let (row_count, min_time, max_time, created_at, n_columns, schema) =
-                read_prelude(&prelude)?;
-            let mut columns = Vec::with_capacity(n_columns as usize);
-            for _ in 0..n_columns {
-                let chunk = source
-                    .next_chunk()?
-                    .ok_or_else(|| PersistError::Framing("missing column chunk".to_owned()))?;
-                // Structural validation only (magic, offsets, end marker).
-                // The enclosing chunk frame's CRC-32 already covered these
-                // exact bytes — the RBC footer CRC over the same range is
-                // redundant here, and skipping it nearly halves restore
-                // CPU. The disk-recovery path (`RowBlock::deserialize`)
-                // keeps the full footer check.
-                columns.push(RowBlockColumn::from_bytes_trusted(
-                    chunk.into_boxed_slice(),
-                )?);
-            }
-            let header = scuba_columnstore::RowBlockHeader {
-                size_bytes: 0, // recomputed by from_parts
-                row_count,
-                min_time,
-                max_time,
-                created_at,
-            };
-            blocks.push(Arc::new(RowBlock::from_parts(header, schema, columns)?));
-        }
-        if source.next_chunk()?.is_some() {
-            return Err(PersistError::Framing(
-                "trailing chunks after last block".to_owned(),
-            ));
-        }
-        Ok(Table::from_blocks(unit, blocks, 0))
     }
 
     fn attach_unit(unit: &str, source: &mut dyn MappedChunkSource) -> Result<Table, Self::Error> {
@@ -240,49 +346,20 @@ impl ShmPersistable for LeafStore {
         // Column chunks stay *mapped*: structural validation only, with
         // the full payload CRC deferred to hydration
         // (`RowBlockColumn::to_heap_verified`).
-        let manifest = source
-            .next_mapped_chunk()?
-            .ok_or_else(|| PersistError::Framing("missing table manifest".to_owned()))?
-            .to_heap()?;
-        if manifest.len() != 8 {
-            return Err(PersistError::Framing("bad manifest size".to_owned()));
+        let Some(first) = source.next_mapped_chunk()? else {
+            return Err(PersistError::Framing("missing table manifest".to_owned()));
+        };
+        if first.desc.is_legacy() {
+            attach_unit_legacy(unit, first, source)
+        } else {
+            attach_unit_v2(
+                unit,
+                &mut PeekedMapped {
+                    head: Some(first),
+                    rest: source,
+                },
+            )
         }
-        let n_blocks = u64::from_le_bytes(manifest.as_slice().try_into().unwrap());
-
-        let mut blocks = Vec::with_capacity(n_blocks.min(1 << 20) as usize);
-        for _ in 0..n_blocks {
-            let prelude = source
-                .next_mapped_chunk()?
-                .ok_or_else(|| PersistError::Framing("missing block prelude".to_owned()))?
-                .to_heap()?;
-            let (row_count, min_time, max_time, created_at, n_columns, schema) =
-                read_prelude(&prelude)?;
-            let mut columns = Vec::with_capacity(n_columns as usize);
-            for _ in 0..n_columns {
-                let chunk = source
-                    .next_mapped_chunk()?
-                    .ok_or_else(|| PersistError::Framing("missing column chunk".to_owned()))?;
-                columns.push(RowBlockColumn::from_mapped(
-                    Arc::clone(&chunk.backing),
-                    chunk.offset,
-                    chunk.len,
-                )?);
-            }
-            let header = scuba_columnstore::RowBlockHeader {
-                size_bytes: 0, // recomputed by from_parts
-                row_count,
-                min_time,
-                max_time,
-                created_at,
-            };
-            blocks.push(Arc::new(RowBlock::from_parts(header, schema, columns)?));
-        }
-        if source.next_mapped_chunk()?.is_some() {
-            return Err(PersistError::Framing(
-                "trailing chunks after last block".to_owned(),
-            ));
-        }
-        Ok(Table::from_blocks(unit, blocks, 0))
     }
 
     fn install_unit(&mut self, _unit: &str, table: Table) -> Result<(), Self::Error> {
@@ -290,9 +367,293 @@ impl ShmPersistable for LeafStore {
         Ok(())
     }
 
+    fn unit_format_version(&self, _unit: &str) -> u32 {
+        MANIFEST_VERSION as u32
+    }
+
+    fn error_is_incompatible(e: &Self::Error) -> bool {
+        matches!(e, PersistError::Incompatible(_))
+    }
+
     fn heap_bytes(&self) -> usize {
         self.map.heap_bytes()
     }
+}
+
+/// Parse a (current-version) manifest payload: block count + schema
+/// snapshot.
+fn read_manifest(manifest: &[u8]) -> Result<(u64, Schema), PersistError> {
+    if manifest.len() < 8 {
+        return Err(PersistError::Framing("bad manifest size".to_owned()));
+    }
+    let n_blocks = u64::from_le_bytes(manifest[0..8].try_into().unwrap());
+    let (snapshot, end) = Schema::deserialize(manifest, 8)?;
+    if end != manifest.len() {
+        return Err(PersistError::Framing(
+            "trailing bytes in manifest".to_owned(),
+        ));
+    }
+    Ok((n_blocks, snapshot))
+}
+
+fn block_header(
+    row_count: u32,
+    min_time: i64,
+    max_time: i64,
+    created_at: i64,
+) -> scuba_columnstore::RowBlockHeader {
+    scuba_columnstore::RowBlockHeader {
+        size_bytes: 0, // recomputed by from_parts
+        row_count,
+        min_time,
+        max_time,
+        created_at,
+    }
+}
+
+/// Tag-driven decode of the v2 TLV stream. Every chunk has already been
+/// shim-upgraded to its tag's current version by [`next_known`]; chunk
+/// order within the known tags is still manifest → (prelude → columns)*.
+fn decode_unit_v2(unit: &str, source: &mut dyn ChunkSource) -> Result<Table, PersistError> {
+    let (mdesc, manifest) = next_known(source)?
+        .ok_or_else(|| PersistError::Framing("missing table manifest".to_owned()))?;
+    if mdesc.tag != TAG_MANIFEST {
+        return Err(PersistError::Framing(format!(
+            "expected manifest chunk, found tag {}",
+            mdesc.tag
+        )));
+    }
+    // The schema snapshot is advisory on decode — blocks carry their own
+    // schemas — but it must parse, as it is the readers' view of the
+    // writer's column set.
+    let (n_blocks, _snapshot) = read_manifest(&manifest)?;
+
+    let mut blocks = Vec::with_capacity(n_blocks.min(1 << 20) as usize);
+    for _ in 0..n_blocks {
+        let (pdesc, prelude) = next_known(source)?
+            .ok_or_else(|| PersistError::Framing("missing block prelude".to_owned()))?;
+        if pdesc.tag != TAG_PRELUDE {
+            return Err(PersistError::Framing(format!(
+                "expected prelude chunk, found tag {}",
+                pdesc.tag
+            )));
+        }
+        let (row_count, min_time, max_time, created_at, n_columns, schema) =
+            read_prelude(&prelude)?;
+        let mut columns = Vec::with_capacity(n_columns as usize);
+        for _ in 0..n_columns {
+            let (cdesc, chunk) = next_known(source)?
+                .ok_or_else(|| PersistError::Framing("missing column chunk".to_owned()))?;
+            if cdesc.tag != TAG_COLUMN {
+                return Err(PersistError::Framing(format!(
+                    "expected column chunk, found tag {}",
+                    cdesc.tag
+                )));
+            }
+            // Structural validation only (magic, offsets, end marker).
+            // The enclosing chunk frame's CRC-32 already covered these
+            // exact bytes — the RBC footer CRC over the same range is
+            // redundant here, and skipping it nearly halves restore
+            // CPU. The disk-recovery path (`RowBlock::deserialize`)
+            // keeps the full footer check.
+            columns.push(RowBlockColumn::from_bytes_trusted(
+                chunk.into_boxed_slice(),
+            )?);
+        }
+        blocks.push(Arc::new(RowBlock::from_parts(
+            block_header(row_count, min_time, max_time, created_at),
+            schema,
+            columns,
+        )?));
+    }
+    if next_known(source)?.is_some() {
+        return Err(PersistError::Framing(
+            "trailing chunks after last block".to_owned(),
+        ));
+    }
+    Ok(Table::from_blocks(unit, blocks, 0))
+}
+
+/// Positional decode of a legacy (pre-TLV) image: the manifest is the
+/// bare block count and chunks carry no descriptors.
+fn decode_unit_legacy(
+    unit: &str,
+    manifest: Vec<u8>,
+    source: &mut dyn ChunkSource,
+) -> Result<Table, PersistError> {
+    if manifest.len() != 8 {
+        return Err(PersistError::Framing("bad manifest size".to_owned()));
+    }
+    let n_blocks = u64::from_le_bytes(manifest.as_slice().try_into().unwrap());
+
+    let mut blocks = Vec::with_capacity(n_blocks.min(1 << 20) as usize);
+    for _ in 0..n_blocks {
+        let (_, prelude) = source
+            .next_chunk()?
+            .ok_or_else(|| PersistError::Framing("missing block prelude".to_owned()))?;
+        let (row_count, min_time, max_time, created_at, n_columns, schema) =
+            read_prelude(&prelude)?;
+        let mut columns = Vec::with_capacity(n_columns as usize);
+        for _ in 0..n_columns {
+            let (_, chunk) = source
+                .next_chunk()?
+                .ok_or_else(|| PersistError::Framing("missing column chunk".to_owned()))?;
+            columns.push(RowBlockColumn::from_bytes_trusted(
+                chunk.into_boxed_slice(),
+            )?);
+        }
+        blocks.push(Arc::new(RowBlock::from_parts(
+            block_header(row_count, min_time, max_time, created_at),
+            schema,
+            columns,
+        )?));
+    }
+    if source.next_chunk()?.is_some() {
+        return Err(PersistError::Framing(
+            "trailing chunks after last block".to_owned(),
+        ));
+    }
+    Ok(Table::from_blocks(unit, blocks, 0))
+}
+
+/// Pull the next mapped chunk the leaf understands, mirroring
+/// [`next_known`]'s skip/incompatible rules without touching payloads.
+fn next_known_mapped(
+    source: &mut dyn MappedChunkSource,
+) -> Result<Option<MappedChunk>, PersistError> {
+    let reg = shim_registry();
+    loop {
+        let Some(chunk) = source.next_mapped_chunk()? else {
+            return Ok(None);
+        };
+        if reg.current_version(chunk.desc.tag).is_none() {
+            if chunk.desc.is_skippable() {
+                continue;
+            }
+            return Err(PersistError::Incompatible(format!(
+                "unknown required chunk tag {} in unit stream",
+                chunk.desc.tag
+            )));
+        }
+        return Ok(Some(chunk));
+    }
+}
+
+/// Tag-driven attach of the v2 TLV stream. Metadata chunks (manifest,
+/// preludes) are copied to heap and shim-upgraded; column chunks stay
+/// mapped when they are already at the current version and are upgraded
+/// through a verified heap copy otherwise.
+fn attach_unit_v2(unit: &str, source: &mut dyn MappedChunkSource) -> Result<Table, PersistError> {
+    let reg = shim_registry();
+    let upgraded = |chunk: &MappedChunk| -> Result<Vec<u8>, PersistError> {
+        reg.upgrade(chunk.desc.tag, chunk.desc.version, chunk.to_heap()?)
+            .map_err(migrate_err)
+    };
+
+    let mchunk = next_known_mapped(source)?
+        .ok_or_else(|| PersistError::Framing("missing table manifest".to_owned()))?;
+    if mchunk.desc.tag != TAG_MANIFEST {
+        return Err(PersistError::Framing(format!(
+            "expected manifest chunk, found tag {}",
+            mchunk.desc.tag
+        )));
+    }
+    let (n_blocks, _snapshot) = read_manifest(&upgraded(&mchunk)?)?;
+
+    let mut blocks = Vec::with_capacity(n_blocks.min(1 << 20) as usize);
+    for _ in 0..n_blocks {
+        let pchunk = next_known_mapped(source)?
+            .ok_or_else(|| PersistError::Framing("missing block prelude".to_owned()))?;
+        if pchunk.desc.tag != TAG_PRELUDE {
+            return Err(PersistError::Framing(format!(
+                "expected prelude chunk, found tag {}",
+                pchunk.desc.tag
+            )));
+        }
+        let (row_count, min_time, max_time, created_at, n_columns, schema) =
+            read_prelude(&upgraded(&pchunk)?)?;
+        let mut columns = Vec::with_capacity(n_columns as usize);
+        for _ in 0..n_columns {
+            let chunk = next_known_mapped(source)?
+                .ok_or_else(|| PersistError::Framing("missing column chunk".to_owned()))?;
+            if chunk.desc.tag != TAG_COLUMN {
+                return Err(PersistError::Framing(format!(
+                    "expected column chunk, found tag {}",
+                    chunk.desc.tag
+                )));
+            }
+            if chunk.desc.version == COLUMN_VERSION {
+                columns.push(RowBlockColumn::from_mapped(
+                    Arc::clone(&chunk.backing),
+                    chunk.offset,
+                    chunk.len,
+                )?);
+            } else {
+                // An older column version cannot be served in place — the
+                // shim rewrites the payload, so this one column pays the
+                // verified copy.
+                columns.push(RowBlockColumn::from_bytes_trusted(
+                    upgraded(&chunk)?.into_boxed_slice(),
+                )?);
+            }
+        }
+        blocks.push(Arc::new(RowBlock::from_parts(
+            block_header(row_count, min_time, max_time, created_at),
+            schema,
+            columns,
+        )?));
+    }
+    if next_known_mapped(source)?.is_some() {
+        return Err(PersistError::Framing(
+            "trailing chunks after last block".to_owned(),
+        ));
+    }
+    Ok(Table::from_blocks(unit, blocks, 0))
+}
+
+/// Positional attach of a legacy (pre-TLV) image.
+fn attach_unit_legacy(
+    unit: &str,
+    first: MappedChunk,
+    source: &mut dyn MappedChunkSource,
+) -> Result<Table, PersistError> {
+    let manifest = first.to_heap()?;
+    if manifest.len() != 8 {
+        return Err(PersistError::Framing("bad manifest size".to_owned()));
+    }
+    let n_blocks = u64::from_le_bytes(manifest.as_slice().try_into().unwrap());
+
+    let mut blocks = Vec::with_capacity(n_blocks.min(1 << 20) as usize);
+    for _ in 0..n_blocks {
+        let prelude = source
+            .next_mapped_chunk()?
+            .ok_or_else(|| PersistError::Framing("missing block prelude".to_owned()))?
+            .to_heap()?;
+        let (row_count, min_time, max_time, created_at, n_columns, schema) =
+            read_prelude(&prelude)?;
+        let mut columns = Vec::with_capacity(n_columns as usize);
+        for _ in 0..n_columns {
+            let chunk = source
+                .next_mapped_chunk()?
+                .ok_or_else(|| PersistError::Framing("missing column chunk".to_owned()))?;
+            columns.push(RowBlockColumn::from_mapped(
+                Arc::clone(&chunk.backing),
+                chunk.offset,
+                chunk.len,
+            )?);
+        }
+        blocks.push(Arc::new(RowBlock::from_parts(
+            block_header(row_count, min_time, max_time, created_at),
+            schema,
+            columns,
+        )?));
+    }
+    if source.next_mapped_chunk()?.is_some() {
+        return Err(PersistError::Framing(
+            "trailing chunks after last block".to_owned(),
+        ));
+    }
+    Ok(Table::from_blocks(unit, blocks, 0))
 }
 
 /// Split a table into its sealed blocks (the builder's unsealed rows must
@@ -305,9 +666,12 @@ fn decompose(table: Table) -> (Vec<Arc<RowBlock>>, ()) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use scuba_restart::framing::{decode_header_v2, FRAME_HEADER_V2, TAG_END};
     use scuba_restart::{backup_to_shm, restore_from_shm};
     use scuba_shmem::ShmNamespace;
     use std::sync::atomic::{AtomicU32, Ordering};
+
+    const V: u32 = scuba_restart::SHM_LAYOUT_VERSION;
 
     static COUNTER: AtomicU32 = AtomicU32::new(0);
 
@@ -361,12 +725,12 @@ mod tests {
             .flat_map(|t| t.blocks().iter().map(|b| b.decode_rows().unwrap()))
             .collect();
 
-        backup_to_shm(&mut store, &ns, 1).unwrap();
+        backup_to_shm(&mut store, &ns, V).unwrap();
         assert_eq!(store.heap_bytes(), 0);
         assert!(store.map().is_empty());
 
         let mut restored = LeafStore::new();
-        restore_from_shm(&mut restored, &ns, 1).unwrap();
+        restore_from_shm(&mut restored, &ns, V).unwrap();
         assert_eq!(table_fingerprint(restored.map()), fingerprint);
         let restored_rows: Vec<_> = restored
             .map()
@@ -389,9 +753,9 @@ mod tests {
             store.append_rows("t", &rows, 0).unwrap();
             store.map_mut().get_mut("t").unwrap().seal(0).unwrap();
         }
-        backup_to_shm(&mut store, &ns, 1).unwrap();
+        backup_to_shm(&mut store, &ns, V).unwrap();
         let mut restored = LeafStore::new();
-        restore_from_shm(&mut restored, &ns, 1).unwrap();
+        restore_from_shm(&mut restored, &ns, V).unwrap();
         let t = restored.map().get("t").unwrap();
         assert_eq!(t.blocks().len(), 5);
         assert_eq!(t.row_count(), 250);
@@ -404,9 +768,9 @@ mod tests {
         let ns = ns();
         let _c = Cleanup(ns.clone());
         let mut store = LeafStore::new();
-        backup_to_shm(&mut store, &ns, 1).unwrap();
+        backup_to_shm(&mut store, &ns, V).unwrap();
         let mut restored = LeafStore::new();
-        let rep = restore_from_shm(&mut restored, &ns, 1).unwrap();
+        let rep = restore_from_shm(&mut restored, &ns, V).unwrap();
         assert_eq!(rep.units, 0);
         assert!(restored.map().is_empty());
     }
@@ -417,9 +781,9 @@ mod tests {
         let _c = Cleanup(ns.clone());
         let mut store = LeafStore::new();
         store.map_mut().get_or_create("hollow", 0);
-        backup_to_shm(&mut store, &ns, 1).unwrap();
+        backup_to_shm(&mut store, &ns, V).unwrap();
         let mut restored = LeafStore::new();
-        restore_from_shm(&mut restored, &ns, 1).unwrap();
+        restore_from_shm(&mut restored, &ns, V).unwrap();
         assert!(restored.map().get("hollow").is_some());
         assert_eq!(restored.map().get("hollow").unwrap().row_count(), 0);
     }
@@ -429,7 +793,7 @@ mod tests {
         let ns = ns();
         let _c = Cleanup(ns.clone());
         let mut store = populated_store();
-        backup_to_shm(&mut store, &ns, 1).unwrap();
+        backup_to_shm(&mut store, &ns, V).unwrap();
 
         // Flip a byte deep inside the first table segment (past the
         // framing, inside an RBC buffer) so the RBC checksum catches it.
@@ -439,7 +803,7 @@ mod tests {
         drop(seg);
 
         let mut restored = LeafStore::new();
-        let err = restore_from_shm(&mut restored, &ns, 1).unwrap_err();
+        let err = restore_from_shm(&mut restored, &ns, V).unwrap_err();
         let scuba_restart::RestoreError::Fallback(fb) = err;
         assert!(fb.cleaned_up);
     }
@@ -458,22 +822,21 @@ mod tests {
         let rows: Vec<Row> = (0..300).map(|i| Row::at(i).with("v", i)).collect();
         store.append_rows("t", &rows, 0).unwrap();
         store.seal_all(0).unwrap();
-        backup_to_shm(&mut store, &ns, 1).unwrap();
+        backup_to_shm(&mut store, &ns, V).unwrap();
 
         let mut seg = scuba_shmem::ShmSegment::open(&ns.table_segment_name(0)).unwrap();
         let buf = seg.as_mut_slice();
-        // Walk the segment: name frame, then [len u64][crc u32][payload]
-        // chunks up to the end sentinel.
-        let name_len = u64::from_le_bytes(buf[0..8].try_into().unwrap()) as usize;
-        let mut pos = 8 + 4 + name_len;
+        // Walk the segment's v2 TLV frames (name frame included) up to
+        // the end frame, remembering the last payload — a column chunk.
+        let mut pos = 0usize;
         let mut last = None;
         loop {
-            let len = u64::from_le_bytes(buf[pos..pos + 8].try_into().unwrap());
-            if len == u64::MAX {
+            let (desc, len, _crc) = decode_header_v2(&buf[pos..pos + FRAME_HEADER_V2]);
+            if desc.tag == TAG_END {
                 break;
             }
-            let payload = pos + 12;
-            last = Some((pos + 8, payload, len as usize));
+            let payload = pos + FRAME_HEADER_V2;
+            last = Some((pos + 16, payload, len as usize));
             pos = payload + len as usize;
         }
         let (crc_off, payload_off, payload_len) = last.unwrap();
@@ -485,7 +848,7 @@ mod tests {
         drop(seg);
 
         let mut restored = LeafStore::new();
-        restore_from_shm(&mut restored, &ns, 1).unwrap();
+        restore_from_shm(&mut restored, &ns, V).unwrap();
         assert_eq!(restored.map().get("t").unwrap().row_count(), 300);
 
         // The disk-fallback constructor keeps the full footer check.
@@ -504,9 +867,9 @@ mod tests {
             .append_rows("t", &[Row::at(1).with("v", 1i64)], 0)
             .unwrap();
         // no seal_all
-        backup_to_shm(&mut store, &ns, 1).unwrap();
+        backup_to_shm(&mut store, &ns, V).unwrap();
         let mut restored = LeafStore::new();
-        restore_from_shm(&mut restored, &ns, 1).unwrap();
+        restore_from_shm(&mut restored, &ns, V).unwrap();
         assert_eq!(restored.map().get("t").unwrap().row_count(), 0);
     }
 

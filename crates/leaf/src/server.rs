@@ -3,10 +3,11 @@
 
 use std::sync::{mpsc, Arc};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use scuba_columnstore::{Row, RowBlock};
 use scuba_diskstore::{DiskBackup, RecoveryStats, Throttle};
+use scuba_obs::PhaseBreakdown;
 use scuba_query::{execute, LeafQueryResult, Query};
 use scuba_restart::{
     attach_from_shm, backup_to_shm_with, resolve_copy_threads, restore_from_shm_with, AttachReport,
@@ -15,7 +16,8 @@ use scuba_restart::{
 };
 use scuba_shmem::ShmNamespace;
 
-use crate::config::{LeafConfig, RestoreMode};
+use crate::compat;
+use crate::config::{LeafConfig, RestoreMode, WriterCompat};
 use crate::error::{LeafError, LeafResult};
 use crate::persist::LeafStore;
 
@@ -241,6 +243,9 @@ pub struct LeafServer {
     hydrate_now: i64,
     /// Why hydration fell back to disk, if it did.
     hydration_fallback: Option<String>,
+    /// Units the last memory recovery skipped as format-incompatible and
+    /// recovered from disk instead (per-table fallback).
+    skipped_units: Vec<String>,
 }
 
 impl LeafServer {
@@ -259,6 +264,7 @@ impl LeafServer {
             hydrator: None,
             hydrate_now: 0,
             hydration_fallback: None,
+            skipped_units: Vec::new(),
         };
         server.set_phase(LeafPhase::Alive);
         Ok(server)
@@ -356,6 +362,25 @@ impl LeafServer {
                 Ok(outcome) => {
                     state = state.transition(LeafRestoreState::Alive)?;
                     debug_assert_eq!(state, LeafRestoreState::Alive);
+                    // Per-table fallback: units the protocol skipped as
+                    // format-incompatible come back from disk — only
+                    // those; every other table already restored from
+                    // memory. (The paper's §4.3 conservatism is per-leaf;
+                    // the self-describing layout narrows it per-table.)
+                    let skipped = match &outcome {
+                        RecoveryOutcome::Memory(r) => r.skipped.clone(),
+                        RecoveryOutcome::MemoryAttached(r) => r.skipped.clone(),
+                        RecoveryOutcome::Disk { .. } => Vec::new(),
+                    };
+                    if !skipped.is_empty() {
+                        let (mut map, _stats) =
+                            server.disk.recover_tables(&skipped, now, disk_throttle)?;
+                        for (_, table) in map.take_tables() {
+                            server.store.map_mut().insert(table);
+                        }
+                        scuba_obs::counter!("leaf_tables_disk_recovered").add(skipped.len() as u64);
+                        server.skipped_units = skipped;
+                    }
                     if matches!(outcome, RecoveryOutcome::MemoryAttached(_)) {
                         server.hydrate_now = now;
                         if server.store.map().mapped_bytes() > 0 {
@@ -422,6 +447,20 @@ impl LeafServer {
     /// Why hydration fell back to disk recovery, if it did.
     pub fn hydration_fallback_reason(&self) -> Option<&str> {
         self.hydration_fallback.as_deref()
+    }
+
+    /// Units the last memory recovery skipped as format-incompatible and
+    /// disk-recovered individually (empty when everything came back
+    /// through shared memory).
+    pub fn skipped_units(&self) -> &[String] {
+        &self.skipped_units
+    }
+
+    /// Override which image format the next [`Self::shutdown_to_shm`]
+    /// writes — how upgrade drills turn a running leaf into a simulated
+    /// pre-upgrade binary right before its wave.
+    pub fn set_writer_compat(&mut self, compat: WriterCompat) {
+        self.config.writer_compat = compat;
     }
 
     /// Apply any hydrated blocks the workers have finished, without
@@ -694,13 +733,16 @@ impl LeafServer {
         for (_, st) in &mut table_states {
             *st = st.transition(TableBackupState::CopyToShm)?;
         }
-        let backup = backup_to_shm_with(
-            &mut self.store,
-            &self.ns,
-            SHM_LAYOUT_VERSION,
-            CopyOptions::with_threads(self.config.copy_threads),
-        )
-        .map_err(|e| LeafError::Backup(e.to_string()))?;
+        let backup = match self.config.writer_compat {
+            WriterCompat::Current => backup_to_shm_with(
+                &mut self.store,
+                &self.ns,
+                SHM_LAYOUT_VERSION,
+                CopyOptions::with_threads(self.config.copy_threads),
+            )
+            .map_err(|e| LeafError::Backup(e.to_string()))?,
+            compat => self.backup_as_old_writer(compat)?,
+        };
         for (_, st) in &mut table_states {
             *st = st.transition(TableBackupState::Done)?;
         }
@@ -718,6 +760,67 @@ impl LeafServer {
             sealed_rows,
             disk_synced_bytes,
             backup,
+        })
+    }
+
+    /// Shutdown copy step for a simulated pre-upgrade writer binary:
+    /// drain the store's tables and install an old-format image via
+    /// [`crate::compat`], so the *next* start — under the current binary —
+    /// has to prove a cross-version memory restore.
+    fn backup_as_old_writer(&mut self, compat: WriterCompat) -> LeafResult<BackupReport> {
+        let start = Instant::now();
+        let initial_footprint = self.store.map().heap_bytes();
+        let tables: Vec<_> = self.store.map_mut().take_tables().into_values().collect();
+        let bytes_copied = match compat {
+            WriterCompat::LegacyV1 => compat::install_legacy_v1_image(&self.ns, &tables),
+            WriterCompat::AgedV2 => compat::install_aged_v2_image(
+                &self.ns,
+                &tables,
+                &compat::AgedImageOptions {
+                    skippable_stranger: true,
+                    required_stranger: false,
+                },
+            ),
+            WriterCompat::Current => unreachable!("Current is handled by the normal backup path"),
+        }
+        .map_err(|e| LeafError::Backup(e.to_string()))?;
+        scuba_obs::counter!("leaf_old_writer_backups").inc();
+
+        // One manifest per table, one prelude per block, one chunk per
+        // column — same accounting as the real writer.
+        let chunks: usize = tables
+            .iter()
+            .map(|t| {
+                1 + t
+                    .blocks()
+                    .iter()
+                    .map(|b| 1 + b.columns().len())
+                    .sum::<usize>()
+            })
+            .sum();
+        let duration = start.elapsed();
+        Ok(BackupReport {
+            units: tables.len(),
+            chunks,
+            bytes_copied: bytes_copied as u64,
+            duration,
+            peak_footprint: initial_footprint + bytes_copied,
+            initial_footprint,
+            segment_names: (0..tables.len())
+                .map(|i| self.ns.table_segment_name(i))
+                .collect(),
+            threads: 1,
+            phases: PhaseBreakdown {
+                op: "backup",
+                phases: Vec::new(),
+                total: duration,
+                bytes: bytes_copied as u64,
+                chunks: chunks as u64,
+                units: tables.len(),
+                threads: 1,
+                complete: true,
+                tables: Vec::new(),
+            },
         })
     }
 
@@ -1081,13 +1184,34 @@ mod tests {
         s.shutdown_to_shm(0).unwrap(); // syncs disk before the copy
         drop(s);
 
-        // Corrupt a payload byte deep in the table segment. Attach's
-        // structural checks cannot see it; the deferred CRC at hydration
-        // must.
+        // Corrupt a payload byte deep in the table segment — the middle
+        // of the largest column chunk, found by walking the TLV frames.
+        // Attach's structural checks cannot see it; the deferred CRC at
+        // hydration must.
         let ns = scuba_shmem::ShmNamespace::new(&cfg.shm_prefix, cfg.leaf_id).unwrap();
         let mut seg = scuba_shmem::ShmSegment::open(&ns.table_segment_name(0)).unwrap();
-        let len = seg.len();
-        seg.as_mut_slice()[len - 100] ^= 0xFF;
+        let buf = seg.as_mut_slice();
+        use scuba_restart::framing::{decode_header_v2, FRAME_HEADER_V2, TAG_END};
+        let mut pos = 0usize;
+        let mut fattest = (0usize, 0usize);
+        loop {
+            let (desc, len, _crc) = decode_header_v2(&buf[pos..pos + FRAME_HEADER_V2]);
+            if desc.tag == TAG_END {
+                break;
+            }
+            let payload = pos + FRAME_HEADER_V2;
+            if desc.tag == crate::persist::TAG_COLUMN && len as usize > fattest.1 {
+                fattest = (payload, len as usize);
+            }
+            pos = payload + len as usize;
+        }
+        assert!(fattest.1 > 0, "no column chunk found");
+        // Flip mid-way through the RBC *data region* (offsets read from
+        // the RBC header) so only the deferred payload CRC can tell.
+        let rbc = &mut buf[fattest.0..fattest.0 + fattest.1];
+        let data_off = u64::from_le_bytes(rbc[48..56].try_into().unwrap()) as usize;
+        let footer_off = u64::from_le_bytes(rbc[56..64].try_into().unwrap()) as usize;
+        rbc[(data_off + footer_off) / 2] ^= 0xFF;
         drop(seg);
 
         let (mut s2, outcome) = LeafServer::start(cfg, 0, None).unwrap();

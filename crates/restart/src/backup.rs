@@ -42,12 +42,11 @@ use scuba_obs::{Phase, PhaseBreakdown, Stopwatch, TableSample, BACKUP_PHASES};
 use scuba_shmem::{LeafMetadata, SegmentWriter, ShmError, ShmNamespace, ShmSegment};
 
 use crate::copy::{CopyOptions, FootprintTracker};
+use crate::framing::{encode_header_v2, end_header_v2, FRAME_HEADER_V2, TAG_UNIT_NAME};
+use crate::migrate::CURRENT_IMAGE_MIN_READER;
 use crate::phases::{RunAcc, UnitStats};
 use crate::state::{LeafBackupState, StateError};
-use crate::traits::{ChunkSink, ShmPersistable};
-
-/// End-of-unit sentinel in the chunk framing.
-const END_SENTINEL: u64 = u64::MAX;
+use crate::traits::{ChunkDesc, ChunkSink, ShmPersistable};
 
 /// What the backup did, for logs and the experiments.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -133,14 +132,13 @@ struct FramingSink<'a> {
 }
 
 impl ChunkSink for FramingSink<'_> {
-    fn put_chunk(&mut self, chunk: &[u8]) -> Result<(), ShmError> {
+    fn put_chunk(&mut self, desc: ChunkDesc, chunk: &[u8]) -> Result<(), ShmError> {
         match scuba_faults::check("restart::backup::chunk") {
             Some(scuba_faults::Fault::ShortWrite(n)) => {
                 // Write a torn frame — full header, truncated payload — the
                 // shape a crash mid-memcpy leaves behind.
-                self.writer.write_u64(chunk.len() as u64)?;
-                self.writer
-                    .write(&scuba_shmem::crc32(chunk).to_le_bytes())?;
+                let header = encode_header_v2(desc, chunk.len() as u64, scuba_shmem::crc32(chunk));
+                self.writer.write(&header)?;
                 self.writer.write(&chunk[..n.min(chunk.len())])?;
                 return Err(ShmError::injected("restart::backup::chunk", "failpoint"));
             }
@@ -155,8 +153,8 @@ impl ChunkSink for FramingSink<'_> {
         let (crc, crc_ns) = scuba_shmem::crc32_timed(chunk);
         self.crc_ns += crc_ns;
         let sw = Stopwatch::start();
-        self.writer.write_u64(chunk.len() as u64)?;
-        self.writer.write(&crc.to_le_bytes())?;
+        self.writer
+            .write(&encode_header_v2(desc, chunk.len() as u64, crc))?;
         self.writer.write(chunk)?;
         self.write_ns += sw.elapsed_ns();
         self.chunks += 1;
@@ -166,7 +164,7 @@ impl ChunkSink for FramingSink<'_> {
         let consumed = self.heap_remaining.min(chunk.len());
         self.heap_remaining -= consumed;
         self.tracker.sub_in_flight(consumed);
-        self.tracker.add_shm(8 + 4 + chunk.len());
+        self.tracker.add_shm(FRAME_HEADER_V2 + chunk.len());
         self.tracker.sample();
         Ok(())
     }
@@ -211,7 +209,7 @@ pub fn backup_to_shm_with<S: ShmPersistable>(
     // metadata region is recreated from scratch (valid bit false).
     let sw = Stopwatch::start();
     let _ = ShmSegment::unlink(&ns.metadata_name());
-    let meta = LeafMetadata::create(ns, layout_version);
+    let meta = LeafMetadata::create(ns, layout_version, CURRENT_IMAGE_MIN_READER);
     acc.add(Phase::Prepare, sw.elapsed_ns());
     let mut meta = match meta {
         Ok(m) => m,
@@ -323,7 +321,7 @@ fn prepare_segment<S: ShmPersistable>(
     acc.add(Phase::Prepare, sw.elapsed_ns());
     let segment = segment?;
     let sw = Stopwatch::start();
-    meta.add_segment(&seg_name)?;
+    meta.add_segment_invalidating(&seg_name, store.unit_format_version(unit), 0)?;
     acc.add(Phase::Prepare, sw.elapsed_ns());
     Ok((SegmentWriter::new(segment), seg_name))
 }
@@ -373,15 +371,15 @@ fn write_unit_inner<S: ShmPersistable>(
     stats: &mut UnitStats,
 ) -> Result<(usize, u64), BackupError<S::Error>> {
     // Unit name frame so restore knows which table this segment holds;
-    // CRC'd like every other frame.
+    // CRC'd and TLV-framed like every other chunk.
     let (name_crc, name_crc_ns) = scuba_shmem::crc32_timed(unit.as_bytes());
     acc.add(Phase::Crc, name_crc_ns);
     let sw = Stopwatch::start();
-    writer.write_u64(unit.len() as u64)?;
-    writer.write(&name_crc.to_le_bytes())?;
+    let name_desc = ChunkDesc::new(TAG_UNIT_NAME, 1);
+    writer.write(&encode_header_v2(name_desc, unit.len() as u64, name_crc))?;
     writer.write(unit.as_bytes())?;
     acc.add(Phase::ShmWrite, sw.elapsed_ns());
-    tracker.add_shm(8 + 4 + unit.len());
+    tracker.add_shm(FRAME_HEADER_V2 + unit.len());
 
     let mut sink = FramingSink {
         writer: &mut writer,
@@ -412,8 +410,8 @@ fn write_unit_inner<S: ShmPersistable>(
     result?;
 
     let sw = Stopwatch::start();
-    writer.write_u64(END_SENTINEL)?;
-    tracker.add_shm(8);
+    writer.write(&end_header_v2())?;
+    tracker.add_shm(FRAME_HEADER_V2);
     writer.finish()?; // trims to written, syncs
     acc.add(Phase::ShmWrite, sw.elapsed_ns());
     tracker.sample();
@@ -605,8 +603,12 @@ fn copy_units_parallel<S: ShmPersistable>(
 #[cfg(test)]
 pub(crate) mod testutil {
     use super::*;
+    use crate::framing::TAG_STORE_BASE;
     use crate::traits::ChunkSource;
     use std::collections::BTreeMap;
+
+    /// The toy store's single chunk tag: an opaque byte buffer.
+    pub const TAG_TOY: u16 = TAG_STORE_BASE + 16;
 
     /// A toy persistable store: named units each holding a list of byte
     /// chunks. Used to test the protocol without the column store.
@@ -616,6 +618,10 @@ pub(crate) mod testutil {
         /// If set, extraction (backup) / installation (restore) of this
         /// unit fails (failure injection).
         pub poison: Option<String>,
+        /// If set, installation of this unit fails with an error the
+        /// store classifies as a per-table incompatibility (exercises the
+        /// skip-one-table path rather than whole-leaf fallback).
+        pub incompatible: Option<String>,
     }
 
     #[derive(Debug)]
@@ -646,6 +652,7 @@ pub(crate) mod testutil {
                     })
                     .collect(),
                 poison: None,
+                incompatible: None,
             }
         }
 
@@ -705,7 +712,7 @@ pub(crate) mod testutil {
 
         fn backup_extracted(data: Self::Unit, sink: &mut dyn ChunkSink) -> Result<(), Self::Error> {
             for c in data {
-                sink.put_chunk(&c)?;
+                sink.put_chunk(ChunkDesc::new(TAG_TOY, 1), &c)?;
                 // chunk freed here as it goes out of scope
             }
             Ok(())
@@ -716,8 +723,15 @@ pub(crate) mod testutil {
             source: &mut dyn ChunkSource,
         ) -> Result<Self::Unit, Self::Error> {
             let mut chunks = Vec::new();
-            while let Some(c) = source.next_chunk()? {
-                chunks.push(c);
+            while let Some((desc, c)) = source.next_chunk()? {
+                if desc.is_legacy() || desc.tag == TAG_TOY {
+                    chunks.push(c);
+                } else if desc.is_skippable() {
+                    // Unknown-but-skippable chunk from a different writer:
+                    // ignore it, as the flag promises we may.
+                } else {
+                    return Err(ToyError(format!("incompatible chunk tag {}", desc.tag)));
+                }
             }
             Ok(chunks)
         }
@@ -726,8 +740,15 @@ pub(crate) mod testutil {
             if self.poison.as_deref() == Some(unit) {
                 return Err(ToyError(format!("poisoned unit {unit}")));
             }
+            if self.incompatible.as_deref() == Some(unit) {
+                return Err(ToyError(format!("incompatible unit {unit}")));
+            }
             self.units.insert(unit.to_owned(), data);
             Ok(())
+        }
+
+        fn error_is_incompatible(e: &Self::Error) -> bool {
+            e.0.starts_with("incompatible")
         }
 
         fn heap_bytes(&self) -> usize {
@@ -769,7 +790,7 @@ mod tests {
         let _c = Cleanup(ns.clone());
         let mut store =
             ToyStore::with_units(&[("alpha", &[b"one", b"two"]), ("beta", &[b"three"])]);
-        let report = backup_to_shm(&mut store, &ns, 1).unwrap();
+        let report = backup_to_shm(&mut store, &ns, crate::SHM_LAYOUT_VERSION).unwrap();
         assert_eq!(report.units, 2);
         assert_eq!(report.chunks, 3);
         assert_eq!(report.bytes_copied, 11);
@@ -778,10 +799,13 @@ mod tests {
         let meta = LeafMetadata::open(&ns).unwrap();
         let c = meta.read().unwrap();
         assert!(c.valid);
-        assert_eq!(c.layout_version, 1);
-        assert_eq!(c.segment_names.len(), 2);
-        for name in &c.segment_names {
-            assert!(ShmSegment::exists(name));
+        assert_eq!(c.writer_version, crate::SHM_LAYOUT_VERSION);
+        assert_eq!(c.min_reader_version, CURRENT_IMAGE_MIN_READER);
+        assert_eq!(c.segments.len(), 2);
+        for entry in &c.segments {
+            assert!(ShmSegment::exists(&entry.name));
+            // ToyStore uses the default unit format version.
+            assert_eq!(entry.format_version, 1);
         }
     }
 
@@ -790,7 +814,7 @@ mod tests {
         let ns = test_ns();
         let _c = Cleanup(ns.clone());
         let mut store = ToyStore::default();
-        let report = backup_to_shm(&mut store, &ns, 1).unwrap();
+        let report = backup_to_shm(&mut store, &ns, crate::SHM_LAYOUT_VERSION).unwrap();
         assert_eq!(report.units, 0);
         assert!(LeafMetadata::open(&ns).unwrap().is_valid());
     }
@@ -801,7 +825,7 @@ mod tests {
         let _c = Cleanup(ns.clone());
         let mut store = ToyStore::with_units(&[("a", &[b"x"]), ("b", &[b"y"])]);
         store.poison = Some("b".to_owned());
-        let err = backup_to_shm(&mut store, &ns, 1).unwrap_err();
+        let err = backup_to_shm(&mut store, &ns, crate::SHM_LAYOUT_VERSION).unwrap_err();
         assert!(matches!(err, BackupError::Store(_)));
         // Valid bit must not be set; in fact nothing should remain.
         assert!(!ShmSegment::exists(&ns.metadata_name()));
@@ -816,7 +840,13 @@ mod tests {
         let _c = Cleanup(ns.clone());
         let mut store = ToyStore::seeded(11, 8, 4, 512);
         store.poison = Some("unit_005".to_owned());
-        let err = backup_to_shm_with(&mut store, &ns, 1, CopyOptions::with_threads(8)).unwrap_err();
+        let err = backup_to_shm_with(
+            &mut store,
+            &ns,
+            crate::SHM_LAYOUT_VERSION,
+            CopyOptions::with_threads(8),
+        )
+        .unwrap_err();
         assert!(matches!(err, BackupError::Store(_)));
         assert!(!ShmSegment::exists(&ns.metadata_name()));
         for i in 0..10 {
@@ -829,14 +859,14 @@ mod tests {
         let ns = test_ns();
         let _c = Cleanup(ns.clone());
         // Simulate a crashed prior attempt: stale metadata + segment.
-        let _ = LeafMetadata::create(&ns, 9).unwrap();
+        let _ = LeafMetadata::create(&ns, 9, 9).unwrap();
         let _ = ShmSegment::create(&ns.table_segment_name(0), 64).unwrap();
 
         let mut store = ToyStore::with_units(&[("t", &[b"data"])]);
         backup_to_shm(&mut store, &ns, 2).unwrap();
         let c = LeafMetadata::open(&ns).unwrap().read().unwrap();
         assert!(c.valid);
-        assert_eq!(c.layout_version, 2);
+        assert_eq!(c.writer_version, 2);
     }
 
     #[test]
@@ -847,7 +877,7 @@ mod tests {
         let chunks: Vec<&[u8]> = vec![&big, &big, &big];
         let mut store = ToyStore::with_units(&[("big", &chunks)]);
         let initial = store.heap_bytes();
-        let report = backup_to_shm(&mut store, &ns, 1).unwrap();
+        let report = backup_to_shm(&mut store, &ns, crate::SHM_LAYOUT_VERSION).unwrap();
         assert_eq!(report.initial_footprint, initial);
         // Footprint may exceed initial by framing overhead but must stay
         // well under 2x (no full second copy).
@@ -878,7 +908,13 @@ mod tests {
             ("b5", &chunks),
         ]);
         let initial = store.heap_bytes();
-        let report = backup_to_shm_with(&mut store, &ns, 1, CopyOptions::with_threads(4)).unwrap();
+        let report = backup_to_shm_with(
+            &mut store,
+            &ns,
+            crate::SHM_LAYOUT_VERSION,
+            CopyOptions::with_threads(4),
+        )
+        .unwrap();
         // The env override (CI matrix) may repin the pool; either way the
         // report must carry the resolved size, clamped to the unit count.
         assert_eq!(

@@ -1,0 +1,107 @@
+//! The chunk frame formats shared by backup, restore, and attach.
+//!
+//! **v2 (current, self-describing TLV):** every frame carries a
+//! [`ChunkDesc`](crate::traits::ChunkDesc) — a tag identifying what the
+//! payload is, a per-chunk format version, and flags — so a reader can
+//! recognize, shim, or (when the writer marked the chunk skippable) ignore
+//! chunks it does not understand, instead of abandoning the whole image:
+//!
+//! ```text
+//! tag u16 | version u16 | flags u32 | len u64 | crc u32 | payload
+//! ```
+//!
+//! The stream ends with a frame whose tag is [`TAG_END`] (len 0, crc 0).
+//! The first frame of every unit is the unit name, tagged
+//! [`TAG_UNIT_NAME`]. Store-defined tags start at [`TAG_STORE_BASE`];
+//! tags below it are reserved for the protocol.
+//!
+//! **v1 (legacy):** the pre-refactor bare framing — `len u64 | crc u32 |
+//! payload` per chunk, name frame first, terminated by a length word of
+//! `u64::MAX`. Still fully readable: restore selects the parser from the
+//! image's metadata writer version, and yields legacy chunks with
+//! [`ChunkDesc::legacy`] descriptors so stores can fall back to
+//! positional decoding.
+
+use crate::traits::ChunkDesc;
+
+/// v2 frame header size in bytes: tag + version + flags + len + crc.
+pub const FRAME_HEADER_V2: usize = 2 + 2 + 4 + 8 + 4;
+
+/// v1 frame header size in bytes: len + crc.
+pub const FRAME_HEADER_V1: usize = 8 + 4;
+
+/// Tag of the end-of-unit frame (v2).
+pub const TAG_END: u16 = 0xFFFF;
+
+/// Tag of the unit-name frame, always first in a segment (v2).
+pub const TAG_UNIT_NAME: u16 = 1;
+
+/// First tag value available to stores; lower tags are protocol-reserved.
+pub const TAG_STORE_BASE: u16 = 16;
+
+/// End-of-unit sentinel in the legacy v1 framing.
+pub const END_SENTINEL_V1: u64 = u64::MAX;
+
+/// Encode a v2 frame header.
+pub fn encode_header_v2(desc: ChunkDesc, len: u64, crc: u32) -> [u8; FRAME_HEADER_V2] {
+    let mut h = [0u8; FRAME_HEADER_V2];
+    h[0..2].copy_from_slice(&desc.tag.to_le_bytes());
+    h[2..4].copy_from_slice(&desc.version.to_le_bytes());
+    h[4..8].copy_from_slice(&desc.flags.to_le_bytes());
+    h[8..16].copy_from_slice(&len.to_le_bytes());
+    h[16..20].copy_from_slice(&crc.to_le_bytes());
+    h
+}
+
+/// The end-of-unit frame header (v2).
+pub fn end_header_v2() -> [u8; FRAME_HEADER_V2] {
+    encode_header_v2(
+        ChunkDesc {
+            tag: TAG_END,
+            version: 0,
+            flags: 0,
+        },
+        0,
+        0,
+    )
+}
+
+/// Decode a v2 frame header into `(desc, len, crc)`.
+pub fn decode_header_v2(h: &[u8]) -> (ChunkDesc, u64, u32) {
+    debug_assert!(h.len() >= FRAME_HEADER_V2);
+    let desc = ChunkDesc {
+        tag: u16::from_le_bytes(h[0..2].try_into().unwrap()),
+        version: u16::from_le_bytes(h[2..4].try_into().unwrap()),
+        flags: u32::from_le_bytes(h[4..8].try_into().unwrap()),
+    };
+    let len = u64::from_le_bytes(h[8..16].try_into().unwrap());
+    let crc = u32::from_le_bytes(h[16..20].try_into().unwrap());
+    (desc, len, crc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::FLAG_SKIPPABLE;
+
+    #[test]
+    fn header_round_trips() {
+        let desc = ChunkDesc {
+            tag: 17,
+            version: 3,
+            flags: FLAG_SKIPPABLE,
+        };
+        let h = encode_header_v2(desc, 1234, 0xDEAD_BEEF);
+        let (d2, len, crc) = decode_header_v2(&h);
+        assert_eq!(d2, desc);
+        assert_eq!(len, 1234);
+        assert_eq!(crc, 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn end_header_is_recognizable() {
+        let (desc, len, _) = decode_header_v2(&end_header_v2());
+        assert_eq!(desc.tag, TAG_END);
+        assert_eq!(len, 0);
+    }
+}

@@ -37,6 +37,8 @@
 
 pub mod backup;
 pub mod copy;
+pub mod framing;
+pub mod migrate;
 mod phases;
 pub mod restore;
 pub mod state;
@@ -51,11 +53,17 @@ pub use restore::{
 pub use state::{
     LeafBackupState, LeafRestoreState, StateError, TableBackupState, TableRestoreState,
 };
-pub use traits::{ChunkSink, ChunkSource, MappedChunk, MappedChunkSource, ShmPersistable};
+pub use traits::{
+    ChunkDesc, ChunkSink, ChunkSource, MappedChunk, MappedChunkSource, ShmPersistable,
+    FLAG_SKIPPABLE,
+};
 
-/// Current version of the shared-memory layout this library writes. The
-/// metadata region records it; a reader with a different version must fall
-/// back to disk (§4.2: "The layout version number indicates whether the
-/// shared memory layout has changed; note that the heap memory layout can
-/// change independently of the shared memory layout").
-pub const SHM_LAYOUT_VERSION: u32 = 1;
+/// Version of the shared-memory layout this library writes — and the
+/// reader version this binary implements. The paper treats any version
+/// change as fatal to the memory path (§4.2); here the metadata region
+/// records a (writer, min-reader) pair instead, and
+/// [`migrate::check_image_compat`] accepts every image whose
+/// `min_reader_version` this binary satisfies. Version 1 is the legacy
+/// bare-framed layout, still readable; version 2 is the self-describing
+/// TLV layout.
+pub const SHM_LAYOUT_VERSION: u32 = 2;

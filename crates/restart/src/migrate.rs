@@ -1,0 +1,260 @@
+//! Cross-version image migration: the machinery that lets a new binary
+//! restore a shared-memory image written by an older one.
+//!
+//! The paper (§4.2) keeps one global layout version and **disables the
+//! fast restart entirely whenever it changes**, forcing fleet-wide disk
+//! recovery on every format-changing rollout. This module converts that
+//! caveat into a supported path:
+//!
+//! * [`check_image_compat`] replaces the old exact-equality version gate.
+//!   An image is acceptable when its `min_reader_version` is at or below
+//!   this binary's reader version and its `writer_version` is at or above
+//!   [`MIN_SUPPORTED_WRITER_VERSION`] — so both older images under newer
+//!   binaries *and* forward-compatible newer images under older binaries
+//!   take the memory path. Only a genuinely unreadable image falls back.
+//! * [`ShimRegistry`] holds per-tag version shims: pure
+//!   `&[u8] -> Vec<u8>` adapters that upgrade a chunk payload one format
+//!   version at a time. A store registers a shim per (tag, from-version)
+//!   edge; [`ShimRegistry::upgrade`] chains them until the payload reaches
+//!   the tag's current version, so a vN reader needs only N-1 shims per
+//!   tag regardless of how old the image is.
+//!
+//! Per-table judgments (unknown non-skippable chunk, unshimmable version)
+//! are made by the store during decode and surfaced via
+//! [`crate::ShmPersistable::error_is_incompatible`]; the protocol then
+//! skips just that table and reports it for per-table disk recovery.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use scuba_shmem::MetadataContents;
+
+/// Oldest writer whose images this binary can still read. Version 1 is
+/// the pre-TLV bare framing, kept readable through the legacy parsers.
+pub const MIN_SUPPORTED_WRITER_VERSION: u32 = 1;
+
+/// The `min_reader_version` stamped into images this binary writes: the
+/// TLV framing and v2 metadata region require a version-2 reader.
+pub const CURRENT_IMAGE_MIN_READER: u32 = 2;
+
+/// Check whether this binary (reader version `reader_version`, normally
+/// [`crate::SHM_LAYOUT_VERSION`]) can consume the image described by
+/// `contents`. `Err` carries the fallback reason.
+pub fn check_image_compat(contents: &MetadataContents, reader_version: u32) -> Result<(), String> {
+    if contents.min_reader_version > reader_version {
+        return Err(format!(
+            "image requires reader version {} but this binary reads version {}",
+            contents.min_reader_version, reader_version
+        ));
+    }
+    if contents.writer_version < MIN_SUPPORTED_WRITER_VERSION {
+        return Err(format!(
+            "image writer version {} is older than the oldest supported ({})",
+            contents.writer_version, MIN_SUPPORTED_WRITER_VERSION
+        ));
+    }
+    Ok(())
+}
+
+/// Why a chunk could not be upgraded to the current format version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MigrateError {
+    /// The registry has no entry for this tag at all.
+    UnknownTag(u16),
+    /// The chain of shims has a gap: no adapter from this version.
+    NoShim { tag: u16, from_version: u16 },
+    /// A shim rejected the payload (malformed input).
+    ShimFailed {
+        tag: u16,
+        from_version: u16,
+        reason: String,
+    },
+    /// The chunk claims a version newer than this binary's current one.
+    FromTheFuture {
+        tag: u16,
+        version: u16,
+        current: u16,
+    },
+}
+
+impl fmt::Display for MigrateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MigrateError::UnknownTag(tag) => write!(f, "unknown chunk tag {tag}"),
+            MigrateError::NoShim { tag, from_version } => {
+                write!(f, "no shim for chunk tag {tag} from version {from_version}")
+            }
+            MigrateError::ShimFailed {
+                tag,
+                from_version,
+                reason,
+            } => write!(
+                f,
+                "shim for chunk tag {tag} from version {from_version} failed: {reason}"
+            ),
+            MigrateError::FromTheFuture {
+                tag,
+                version,
+                current,
+            } => write!(
+                f,
+                "chunk tag {tag} has version {version}, newer than current {current}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MigrateError {}
+
+/// A pure payload adapter: bytes in the `from` version → bytes in the
+/// `from + 1` version. Must not depend on anything but the payload.
+pub type Shim = fn(&[u8]) -> Result<Vec<u8>, String>;
+
+/// Registry of version shims, keyed by `(tag, from_version)`. A store
+/// builds one describing every chunk tag it understands (its *current*
+/// version per tag) plus the upgrade edges from older versions; decode
+/// then funnels every chunk through [`ShimRegistry::upgrade`] and only
+/// ever parses current-version payloads.
+#[derive(Default)]
+pub struct ShimRegistry {
+    current: BTreeMap<u16, u16>,
+    shims: BTreeMap<(u16, u16), Shim>,
+}
+
+impl ShimRegistry {
+    /// An empty registry (no tags known).
+    pub fn new() -> ShimRegistry {
+        ShimRegistry::default()
+    }
+
+    /// Declare `tag`'s current format version. Chunks already at it pass
+    /// through [`upgrade`](Self::upgrade) untouched.
+    pub fn declare(&mut self, tag: u16, current_version: u16) -> &mut Self {
+        self.current.insert(tag, current_version);
+        self
+    }
+
+    /// Register the upgrade edge `(tag, from_version) -> from_version + 1`.
+    pub fn shim(&mut self, tag: u16, from_version: u16, shim: Shim) -> &mut Self {
+        self.shims.insert((tag, from_version), shim);
+        self
+    }
+
+    /// The declared current version for `tag`, if the tag is known.
+    pub fn current_version(&self, tag: u16) -> Option<u16> {
+        self.current.get(&tag).copied()
+    }
+
+    /// Upgrade `payload` from `version` to the tag's current version by
+    /// chaining shims one version step at a time. Current-version payloads
+    /// return unchanged.
+    pub fn upgrade(
+        &self,
+        tag: u16,
+        version: u16,
+        payload: Vec<u8>,
+    ) -> Result<Vec<u8>, MigrateError> {
+        let current = self
+            .current_version(tag)
+            .ok_or(MigrateError::UnknownTag(tag))?;
+        if version > current {
+            return Err(MigrateError::FromTheFuture {
+                tag,
+                version,
+                current,
+            });
+        }
+        let mut v = version;
+        let mut bytes = payload;
+        while v < current {
+            let shim = self.shims.get(&(tag, v)).ok_or(MigrateError::NoShim {
+                tag,
+                from_version: v,
+            })?;
+            bytes = shim(&bytes).map_err(|reason| MigrateError::ShimFailed {
+                tag,
+                from_version: v,
+                reason,
+            })?;
+            v += 1;
+        }
+        Ok(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scuba_shmem::SegmentEntry;
+
+    fn contents(writer: u32, min_reader: u32) -> MetadataContents {
+        MetadataContents {
+            writer_version: writer,
+            min_reader_version: min_reader,
+            valid: true,
+            segments: vec![SegmentEntry::legacy("/t0".into())],
+        }
+    }
+
+    #[test]
+    fn legacy_v1_image_is_compatible() {
+        assert!(check_image_compat(&contents(1, 1), 2).is_ok());
+    }
+
+    #[test]
+    fn same_version_image_is_compatible() {
+        assert!(check_image_compat(&contents(2, 2), 2).is_ok());
+    }
+
+    #[test]
+    fn forward_compatible_future_image_is_accepted() {
+        // A v3 writer that kept min_reader at 2: this binary may read it.
+        assert!(check_image_compat(&contents(3, 2), 2).is_ok());
+    }
+
+    #[test]
+    fn too_new_image_falls_back() {
+        let err = check_image_compat(&contents(3, 3), 2).unwrap_err();
+        assert!(err.contains("requires reader version 3"), "{err}");
+    }
+
+    #[test]
+    fn shims_chain_across_versions() {
+        let mut reg = ShimRegistry::new();
+        reg.declare(16, 3)
+            .shim(16, 1, |b| {
+                let mut v = b.to_vec();
+                v.push(b'a');
+                Ok(v)
+            })
+            .shim(16, 2, |b| {
+                let mut v = b.to_vec();
+                v.push(b'b');
+                Ok(v)
+            });
+        assert_eq!(reg.upgrade(16, 1, b"x".to_vec()).unwrap(), b"xab");
+        assert_eq!(reg.upgrade(16, 2, b"x".to_vec()).unwrap(), b"xb");
+        assert_eq!(reg.upgrade(16, 3, b"x".to_vec()).unwrap(), b"x");
+    }
+
+    #[test]
+    fn missing_shim_and_future_version_error() {
+        let mut reg = ShimRegistry::new();
+        reg.declare(16, 3).shim(16, 2, |b| Ok(b.to_vec()));
+        assert_eq!(
+            reg.upgrade(16, 1, vec![]).unwrap_err(),
+            MigrateError::NoShim {
+                tag: 16,
+                from_version: 1
+            }
+        );
+        assert!(matches!(
+            reg.upgrade(16, 4, vec![]).unwrap_err(),
+            MigrateError::FromTheFuture { .. }
+        ));
+        assert_eq!(
+            reg.upgrade(99, 1, vec![]).unwrap_err(),
+            MigrateError::UnknownTag(99)
+        );
+    }
+}

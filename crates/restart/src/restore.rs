@@ -40,12 +40,11 @@ use scuba_shmem::{
 };
 
 use crate::copy::{CopyOptions, FootprintTracker};
+use crate::framing::{decode_header_v2, END_SENTINEL_V1, FRAME_HEADER_V2, TAG_END, TAG_UNIT_NAME};
+use crate::migrate;
 use crate::phases::{RunAcc, UnitStats};
 use crate::state::LeafRestoreState;
-use crate::traits::{ChunkSource, MappedChunk, MappedChunkSource, ShmPersistable};
-
-/// End-of-unit sentinel in the chunk framing (must match backup).
-const END_SENTINEL: u64 = u64::MAX;
+use crate::traits::{ChunkDesc, ChunkSource, MappedChunk, MappedChunkSource, ShmPersistable};
 
 /// Index cap for the orphan sweep when the metadata registry is gone: no
 /// deployment here runs anywhere near this many tables per leaf.
@@ -67,6 +66,12 @@ pub struct RestoreReport {
     pub peak_footprint: usize,
     /// Copy worker threads actually used.
     pub threads: usize,
+    /// Units whose format this binary could not understand (a true
+    /// per-table incompatibility, classified by
+    /// [`ShmPersistable::error_is_incompatible`]). Their segments were
+    /// unlinked; the caller must disk-recover exactly these tables — the
+    /// rest restored from memory.
+    pub skipped: Vec<String>,
     /// Figure-5-style per-phase timing (open/crc/heap-copy/decode/
     /// install/commit) plus per-table samples. All-zero when
     /// instrumentation is disabled.
@@ -95,6 +100,9 @@ pub struct AttachReport {
     pub duration: Duration,
     /// Peak of (store heap bytes + mapped shared-memory bytes) observed.
     pub peak_footprint: usize,
+    /// Units skipped as per-table incompatible (see
+    /// [`RestoreReport::skipped`]); the caller disk-recovers these.
+    pub skipped: Vec<String>,
 }
 
 /// Memory recovery is not possible; the caller must recover from disk.
@@ -138,10 +146,15 @@ impl std::error::Error for RestoreError {}
 /// Source wrapper that reads framed chunks from a unit's segment,
 /// punching consumed pages out as it goes. Verifies each chunk's CRC on
 /// the borrowed shared-memory bytes *before* paying the shm→heap memcpy,
-/// so a torn chunk never allocates.
+/// so a torn chunk never allocates. Parses the self-describing v2 TLV
+/// framing or, for images from a pre-refactor writer, the legacy bare
+/// framing (yielding [`ChunkDesc::legacy`] descriptors).
 struct FramingSource<'a> {
     reader: &'a mut SegmentReader,
     tracker: &'a FootprintTracker,
+    /// Image uses the legacy v1 framing (selected by metadata writer
+    /// version).
+    legacy: bool,
     done: bool,
     chunks: usize,
     payload_bytes: u64,
@@ -152,20 +165,41 @@ struct FramingSource<'a> {
     copy_ns: u64,
 }
 
+impl FramingSource<'_> {
+    /// Read the next frame header. `None` means end of unit.
+    fn next_header(&mut self) -> Result<Option<(ChunkDesc, u64, u32)>, ShmError> {
+        if self.legacy {
+            let len = self.reader.read_u64()?;
+            if len == END_SENTINEL_V1 {
+                return Ok(None);
+            }
+            let stored_crc = self.reader.read_u32()?;
+            Ok(Some((ChunkDesc::legacy(), len, stored_crc)))
+        } else {
+            let (desc, len, stored_crc) = {
+                let h = self.reader.read_borrowed(FRAME_HEADER_V2)?;
+                decode_header_v2(h)
+            };
+            if desc.tag == TAG_END {
+                return Ok(None);
+            }
+            Ok(Some((desc, len, stored_crc)))
+        }
+    }
+}
+
 impl ChunkSource for FramingSource<'_> {
-    fn next_chunk(&mut self) -> Result<Option<Vec<u8>>, ShmError> {
+    fn next_chunk(&mut self) -> Result<Option<(ChunkDesc, Vec<u8>)>, ShmError> {
         if self.done {
             return Ok(None);
         }
         if scuba_faults::check("restart::restore::chunk").is_some() {
             return Err(ShmError::injected("restart::restore::chunk", "failpoint"));
         }
-        let len = self.reader.read_u64()?;
-        if len == END_SENTINEL {
+        let Some((desc, len, stored_crc)) = self.next_header()? else {
             self.done = true;
             return Ok(None);
-        }
-        let stored_crc = self.reader.read_u32()?;
+        };
         let payload = self.reader.read_borrowed(len as usize)?;
         let (computed_crc, crc_ns) = scuba_shmem::crc32_timed(payload);
         self.crc_ns += crc_ns;
@@ -187,7 +221,7 @@ impl ChunkSource for FramingSource<'_> {
         // "truncate the table shared memory segment if needed": release
         // the pages behind what we just consumed.
         self.reader.release_consumed()?;
-        Ok(Some(chunk))
+        Ok(Some((desc, chunk)))
     }
 }
 
@@ -196,9 +230,9 @@ impl ChunkSource for FramingSource<'_> {
 pub fn restore_from_shm<S: ShmPersistable>(
     store: &mut S,
     ns: &ShmNamespace,
-    expected_layout_version: u32,
+    reader_version: u32,
 ) -> Result<RestoreReport, RestoreError> {
-    restore_from_shm_with(store, ns, expected_layout_version, CopyOptions::default())
+    restore_from_shm_with(store, ns, reader_version, CopyOptions::default())
 }
 
 /// Restore `store` from the shared memory named by `ns`. Returns
@@ -210,7 +244,7 @@ pub fn restore_from_shm<S: ShmPersistable>(
 pub fn restore_from_shm_with<S: ShmPersistable>(
     store: &mut S,
     ns: &ShmNamespace,
-    expected_layout_version: u32,
+    reader_version: u32,
     options: CopyOptions,
 ) -> Result<RestoreReport, RestoreError> {
     let mut leaf_state = LeafRestoreState::Init;
@@ -222,15 +256,17 @@ pub fn restore_from_shm_with<S: ShmPersistable>(
     scuba_obs::counter!("restores_started").inc();
     let acc = RunAcc::new();
 
-    let contents = claim_metadata(ns, expected_layout_version, &acc)?;
+    let contents = claim_metadata(ns, reader_version, &acc)?;
+    let segment_names = contents.segment_names();
+    let legacy = contents.is_legacy_v1();
 
     let tracker = FootprintTracker::new(store.heap_bytes());
     let threads = options
         .resolved_threads()
-        .clamp(1, contents.segment_names.len().max(1));
+        .clamp(1, segment_names.len().max(1));
 
-    match copy_units_back(store, &contents.segment_names, &tracker, &acc, threads) {
-        Ok((units, chunks, bytes_copied)) => {
+    match copy_units_back(store, &segment_names, &tracker, &acc, threads, legacy) {
+        Ok((units, chunks, bytes_copied, mut skipped)) => {
             // Figure 7 last line: delete the metadata segment. (Each table
             // segment was deleted as it was drained.)
             let sw = Stopwatch::start();
@@ -240,6 +276,7 @@ pub fn restore_from_shm_with<S: ShmPersistable>(
                 .transition(LeafRestoreState::Alive)
                 .expect("MemoryRecovery -> Alive is always legal");
             debug_assert_eq!(leaf_state, LeafRestoreState::Alive);
+            skipped.sort();
             let mut phases = acc.snapshot("restore", &RESTORE_PHASES);
             phases.total = start.elapsed();
             phases.bytes = bytes_copied;
@@ -257,6 +294,7 @@ pub fn restore_from_shm_with<S: ShmPersistable>(
                 duration: start.elapsed(),
                 peak_footprint: tracker.peak(),
                 threads,
+                skipped,
                 phases,
             })
         }
@@ -266,14 +304,14 @@ pub fn restore_from_shm_with<S: ShmPersistable>(
                 .transition(LeafRestoreState::DiskRecovery)
                 .expect("MemoryRecovery -> DiskRecovery is always legal");
             debug_assert_eq!(state, LeafRestoreState::DiskRecovery);
-            cleanup(ns, &contents.segment_names);
+            cleanup(ns, &segment_names);
             if scuba_obs::enabled() {
                 // Publish the partial breakdown — per-table timings up to
                 // the failure point keep failed restores diagnosable.
                 let mut phases = acc.snapshot("restore", &RESTORE_PHASES);
                 phases.total = start.elapsed();
                 phases.threads = threads;
-                phases.units = contents.segment_names.len();
+                phases.units = segment_names.len();
                 phases.complete = false;
                 phases.bytes = phases.tables.iter().map(|t| t.bytes).sum();
                 phases.chunks = phases.tables.iter().map(|t| t.chunks).sum();
@@ -286,12 +324,14 @@ pub fn restore_from_shm_with<S: ShmPersistable>(
 
 /// The shared Figure-7 prologue for both restore paths (full copy and
 /// zero-copy attach): open and read the metadata segment, check the valid
-/// bit and layout version, then clear the valid bit so an interruption
-/// re-runs as disk recovery. On any failure the shared memory is cleaned
-/// up and the matching [`Fallback`] is returned.
+/// bit and version compatibility ([`migrate::check_image_compat`] — a
+/// range check, not the paper's exact-version equality), then clear the
+/// valid bit so an interruption re-runs as disk recovery. On any failure
+/// the shared memory is cleaned up and the matching [`Fallback`] is
+/// returned.
 fn claim_metadata(
     ns: &ShmNamespace,
-    expected_layout_version: u32,
+    reader_version: u32,
     acc: &RunAcc,
 ) -> Result<MetadataContents, RestoreError> {
     // Figure 7 line 1: check the valid bit.
@@ -319,19 +359,14 @@ fn claim_metadata(
             return Err(fallback(format!("metadata unreadable: {e}"), true));
         }
     };
+    let segment_names = contents.segment_names();
     if !contents.valid {
-        cleanup(ns, &contents.segment_names);
+        cleanup(ns, &segment_names);
         return Err(fallback("valid bit is false".to_owned(), true));
     }
-    if contents.layout_version != expected_layout_version {
-        cleanup(ns, &contents.segment_names);
-        return Err(fallback(
-            format!(
-                "shared memory layout version {} does not match expected {}",
-                contents.layout_version, expected_layout_version
-            ),
-            true,
-        ));
+    if let Err(reason) = migrate::check_image_compat(&contents, reader_version) {
+        cleanup(ns, &segment_names);
+        return Err(fallback(reason, true));
     }
 
     // Failure here leaves the valid bit true. A *death* (abort/SIGKILL
@@ -339,7 +374,7 @@ fn claim_metadata(
     // an in-process error means this process will fall back to disk, and
     // §4.3 requires the fallback to free the shared memory first.
     if scuba_faults::check("restart::restore::before_invalidate").is_some() {
-        cleanup(ns, &contents.segment_names);
+        cleanup(ns, &segment_names);
         return Err(fallback(
             "injected fault before valid-bit clear".to_owned(),
             true,
@@ -352,14 +387,14 @@ fn claim_metadata(
     let cleared = meta.set_valid(false);
     acc.add(Phase::Commit, sw.elapsed_ns());
     if let Err(e) = cleared {
-        cleanup(ns, &contents.segment_names);
+        cleanup(ns, &segment_names);
         return Err(fallback(format!("could not clear valid bit: {e}"), true));
     }
 
     // A death here — valid bit cleared, nothing consumed — must send the
     // next attempt to disk even though every segment is intact.
     if scuba_faults::check("restart::restore::after_invalidate").is_some() {
-        cleanup(ns, &contents.segment_names);
+        cleanup(ns, &segment_names);
         return Err(fallback(
             "injected fault after valid-bit clear".to_owned(),
             true,
@@ -388,7 +423,7 @@ fn claim_metadata(
 pub fn attach_from_shm<S: ShmPersistable>(
     store: &mut S,
     ns: &ShmNamespace,
-    expected_layout_version: u32,
+    reader_version: u32,
 ) -> Result<AttachReport, RestoreError> {
     let mut leaf_state = LeafRestoreState::Init;
     leaf_state = leaf_state
@@ -399,13 +434,15 @@ pub fn attach_from_shm<S: ShmPersistable>(
     scuba_obs::counter!("restores_started").inc();
     let acc = RunAcc::new();
 
-    let contents = claim_metadata(ns, expected_layout_version, &acc)?;
+    let contents = claim_metadata(ns, reader_version, &acc)?;
+    let segment_names = contents.segment_names();
+    let legacy = contents.is_legacy_v1();
 
     let tracker = FootprintTracker::new(store.heap_bytes());
     let heap_before = store.heap_bytes();
 
-    match attach_units::<S>(store, &contents.segment_names, &tracker) {
-        Ok((chunks, shm_bytes)) => {
+    match attach_units::<S>(store, &segment_names, &tracker, legacy) {
+        Ok((units, chunks, shm_bytes, mut skipped)) => {
             // Figure 7 last line: delete the metadata segment. The table
             // segments stay linked — their views own the unlink now.
             let _ = ShmSegment::unlink(&ns.metadata_name());
@@ -414,13 +451,15 @@ pub fn attach_from_shm<S: ShmPersistable>(
                 .expect("MemoryRecovery -> Alive is always legal");
             debug_assert_eq!(leaf_state, LeafRestoreState::Alive);
             scuba_obs::counter!("restores_completed").inc();
+            skipped.sort();
             Ok(AttachReport {
-                units: contents.segment_names.len(),
+                units,
                 chunks,
                 shm_bytes,
                 heap_bytes_copied: store.heap_bytes().saturating_sub(heap_before) as u64,
                 duration: start.elapsed(),
                 peak_footprint: tracker.peak(),
+                skipped,
             })
         }
         Err(reason) => {
@@ -432,38 +471,80 @@ pub fn attach_from_shm<S: ShmPersistable>(
             // (the store's partial units go with the caller's store reset);
             // the sweep unlinks whatever names remain. A view dropping
             // after the sweep sees ENOENT, which is harmless.
-            cleanup(ns, &contents.segment_names);
+            cleanup(ns, &segment_names);
             Err(fallback(reason, true))
         }
     }
 }
 
+/// One attached segment's outcome: a unit ready to install, or a
+/// per-table incompatibility (classified by the store) to skip.
+enum AttachOutcome<U> {
+    Attached {
+        unit: String,
+        data: U,
+        chunks: usize,
+        bytes: u64,
+    },
+    Skipped {
+        unit: String,
+    },
+}
+
 /// Attach every segment in order: open a view, walk the frames, hand the
 /// store mapped chunks, install the unit. Sequential by design — there is
 /// no payload copy to parallelize; the worker pool earns its keep during
-/// hydration instead.
+/// hydration instead. Units the store classifies as incompatible
+/// ([`ShmPersistable::error_is_incompatible`]) are skipped and their
+/// segments unlinked; everything else still attaches.
 fn attach_units<S: ShmPersistable>(
     store: &mut S,
     segment_names: &[String],
     tracker: &FootprintTracker,
-) -> Result<(usize, u64), String> {
+    legacy: bool,
+) -> Result<(usize, usize, u64, Vec<String>), String> {
+    let mut units = 0usize;
     let mut chunks = 0usize;
     let mut shm_bytes = 0u64;
+    let mut skipped = Vec::new();
     for name in segment_names {
         let view =
             SegmentView::attach(name).map_err(|e| format!("segment {name:?} missing: {e}"))?;
-        tracker.add_shm(view.len());
+        let view_len = view.len();
+        tracker.add_shm(view_len);
         tracker.sample();
-        let (unit, data, c, b) = attach_one_unit::<S>(view)?;
-        store
-            .install_unit(&unit, data)
-            .map_err(|e| format!("attaching unit {unit:?}: {e}"))?;
-        tracker.set_store_heap(store.heap_bytes());
-        tracker.sample();
-        chunks += c;
-        shm_bytes += b;
+        match attach_one_unit::<S>(view, legacy)? {
+            AttachOutcome::Attached {
+                unit,
+                data,
+                chunks: c,
+                bytes: b,
+            } => match store.install_unit(&unit, data) {
+                Ok(()) => {
+                    units += 1;
+                    chunks += c;
+                    shm_bytes += b;
+                    tracker.set_store_heap(store.heap_bytes());
+                    tracker.sample();
+                }
+                Err(e) if S::error_is_incompatible(&e) => {
+                    record_skip(&mut skipped, unit);
+                    let _ = ShmSegment::unlink(name);
+                    tracker.sub_shm(view_len);
+                    tracker.set_store_heap(store.heap_bytes());
+                    tracker.sample();
+                }
+                Err(e) => return Err(format!("attaching unit {unit:?}: {e}")),
+            },
+            AttachOutcome::Skipped { unit } => {
+                record_skip(&mut skipped, unit);
+                let _ = ShmSegment::unlink(name);
+                tracker.sub_shm(view_len);
+                tracker.sample();
+            }
+        }
     }
-    Ok((chunks, shm_bytes))
+    Ok((units, chunks, shm_bytes, skipped))
 }
 
 /// Walk one attached segment: CRC-verify the name frame (metadata —
@@ -471,17 +552,35 @@ fn attach_units<S: ShmPersistable>(
 /// mapping for the store's `attach_unit`.
 fn attach_one_unit<S: ShmPersistable>(
     view: Arc<SegmentView>,
-) -> Result<(String, S::Unit, usize, u64), String> {
+    legacy: bool,
+) -> Result<AttachOutcome<S::Unit>, String> {
     let mut cursor = ViewCursor {
         view: Arc::clone(&view),
         pos: 0,
     };
-    let name_len = cursor
-        .read_u64()
-        .map_err(|e| format!("unit name frame: {e}"))?;
-    let name_crc = cursor
-        .read_u32()
-        .map_err(|e| format!("unit name frame: {e}"))?;
+    let (name_len, name_crc) = if legacy {
+        let len = cursor
+            .read_u64()
+            .map_err(|e| format!("unit name frame: {e}"))?;
+        let crc = cursor
+            .read_u32()
+            .map_err(|e| format!("unit name frame: {e}"))?;
+        (len, crc)
+    } else {
+        let (desc, len, crc) = {
+            let h = cursor
+                .read_slice(FRAME_HEADER_V2)
+                .map_err(|e| format!("unit name frame: {e}"))?;
+            decode_header_v2(h)
+        };
+        if desc.tag != TAG_UNIT_NAME {
+            return Err(format!(
+                "expected unit name frame, found chunk tag {}",
+                desc.tag
+            ));
+        }
+        (len, crc)
+    };
     let name_bytes = cursor
         .read_slice(name_len as usize)
         .map_err(|e| format!("unit name frame: {e}"))?;
@@ -494,13 +593,20 @@ fn attach_one_unit<S: ShmPersistable>(
 
     let mut source = ViewSource {
         cursor,
+        legacy,
         done: false,
         chunks: 0,
         payload_bytes: 0,
     };
-    let mut result =
-        S::attach_unit(&unit, &mut source).map_err(|e| format!("attaching unit {unit:?}: {e}"));
-    if result.is_ok() && !source.done {
+    let mut result = match S::attach_unit(&unit, &mut source) {
+        Ok(data) => Ok(Some(data)),
+        // A format this store will never understand for this image: skip
+        // just this table. Everything else (corruption, environment) stays
+        // a whole-leaf fallback.
+        Err(e) if S::error_is_incompatible(&e) => Ok(None),
+        Err(e) => Err(format!("attaching unit {unit:?}: {e}")),
+    };
+    if matches!(result, Ok(Some(_))) && !source.done {
         // The store stopped early; walk the remaining frames so a short
         // read doesn't silently drop data (same drain-validate rule as the
         // copying path — here each step is O(1), no payload is touched).
@@ -515,8 +621,15 @@ fn attach_one_unit<S: ShmPersistable>(
             }
         }
     }
-    let data = result?;
-    Ok((unit, data, source.chunks, source.payload_bytes))
+    match result? {
+        Some(data) => Ok(AttachOutcome::Attached {
+            unit,
+            data,
+            chunks: source.chunks,
+            bytes: source.payload_bytes,
+        }),
+        None => Ok(AttachOutcome::Skipped { unit }),
+    }
 }
 
 /// Bounds-checked cursor over an attached mapping.
@@ -559,6 +672,8 @@ impl ViewCursor {
 /// checksum at hydration for payload chunks).
 struct ViewSource {
     cursor: ViewCursor,
+    /// Image uses the legacy v1 framing.
+    legacy: bool,
     done: bool,
     chunks: usize,
     payload_bytes: u64,
@@ -572,24 +687,59 @@ impl MappedChunkSource for ViewSource {
         if scuba_faults::check("restart::restore::chunk").is_some() {
             return Err(ShmError::injected("restart::restore::chunk", "failpoint"));
         }
-        let len = self.cursor.read_u64()?;
-        if len == END_SENTINEL {
-            self.done = true;
-            return Ok(None);
-        }
-        let stored_crc = self.cursor.read_u32()?;
+        let (desc, len, stored_crc) = if self.legacy {
+            let len = self.cursor.read_u64()?;
+            if len == END_SENTINEL_V1 {
+                self.done = true;
+                return Ok(None);
+            }
+            let crc = self.cursor.read_u32()?;
+            (ChunkDesc::legacy(), len, crc)
+        } else {
+            let (desc, len, crc) = {
+                let h = self.cursor.read_slice(FRAME_HEADER_V2)?;
+                decode_header_v2(h)
+            };
+            if desc.tag == TAG_END {
+                self.done = true;
+                return Ok(None);
+            }
+            (desc, len, crc)
+        };
         let offset = self.cursor.pos;
         // Bounds-check the payload window without reading it.
         self.cursor.read_slice(len as usize)?;
         self.chunks += 1;
         self.payload_bytes += len;
         Ok(Some(MappedChunk {
+            desc,
             backing: Arc::clone(&self.cursor.view) as Arc<dyn AsRef<[u8]> + Send + Sync>,
             offset,
             len: len as usize,
             stored_crc,
         }))
     }
+}
+
+/// One drained segment's outcome: a decoded unit ready to install, or a
+/// per-table incompatibility (classified by the store) to skip.
+enum UnitRead<U> {
+    Decoded {
+        unit: String,
+        data: U,
+        chunks: usize,
+        bytes: u64,
+    },
+    Skipped {
+        unit: String,
+    },
+}
+
+/// Record a per-table skip: the unit's format was one this binary cannot
+/// understand, so the caller disk-recovers just that table.
+fn record_skip(skipped: &mut Vec<String>, unit: String) {
+    scuba_obs::counter!("restore_units_skipped").inc();
+    skipped.push(unit);
 }
 
 /// Drain one opened segment into a decoded unit: name frame, chunk
@@ -606,11 +756,12 @@ fn read_unit<S: ShmPersistable>(
     segment: ShmSegment,
     tracker: &FootprintTracker,
     acc: &RunAcc,
-) -> Result<(String, S::Unit, usize, u64), String> {
+    legacy: bool,
+) -> Result<UnitRead<S::Unit>, String> {
     let seg_name = segment.name().to_owned();
     let mut span = scuba_obs::span!("restore.table", segment = seg_name);
     let mut stats = UnitStats::default();
-    let result = read_unit_inner::<S>(segment, tracker, acc, &mut stats);
+    let result = read_unit_inner::<S>(segment, tracker, acc, &mut stats, legacy);
     if span.active() {
         span.add_bytes(stats.bytes);
         let table = stats.table.take().unwrap_or(seg_name);
@@ -634,17 +785,35 @@ fn read_unit_inner<S: ShmPersistable>(
     tracker: &FootprintTracker,
     acc: &RunAcc,
     stats: &mut UnitStats,
-) -> Result<(String, S::Unit, usize, u64), String> {
+    legacy: bool,
+) -> Result<UnitRead<S::Unit>, String> {
     let seg_len = segment.len();
     let seg_name = segment.name().to_owned();
     let mut reader = SegmentReader::new(segment);
     let sw = Stopwatch::start();
-    let name_len = reader
-        .read_u64()
-        .map_err(|e| format!("unit name frame: {e}"))?;
-    let name_crc = reader
-        .read_u32()
-        .map_err(|e| format!("unit name frame: {e}"))?;
+    let (name_len, name_crc) = if legacy {
+        let len = reader
+            .read_u64()
+            .map_err(|e| format!("unit name frame: {e}"))?;
+        let crc = reader
+            .read_u32()
+            .map_err(|e| format!("unit name frame: {e}"))?;
+        (len, crc)
+    } else {
+        let (desc, len, crc) = {
+            let h = reader
+                .read_borrowed(FRAME_HEADER_V2)
+                .map_err(|e| format!("unit name frame: {e}"))?;
+            decode_header_v2(h)
+        };
+        if desc.tag != TAG_UNIT_NAME {
+            return Err(format!(
+                "expected unit name frame, found chunk tag {}",
+                desc.tag
+            ));
+        }
+        (len, crc)
+    };
     let name_bytes = reader
         .read_borrowed(name_len as usize)
         .map_err(|e| format!("unit name frame: {e}"))?;
@@ -662,6 +831,7 @@ fn read_unit_inner<S: ShmPersistable>(
     let mut source = FramingSource {
         reader: &mut reader,
         tracker,
+        legacy,
         done: false,
         chunks: 0,
         payload_bytes: 0,
@@ -669,9 +839,16 @@ fn read_unit_inner<S: ShmPersistable>(
         copy_ns: 0,
     };
     let decode_sw = Stopwatch::start();
-    let mut result =
-        S::decode_unit(&unit, &mut source).map_err(|e| format!("restoring unit {unit:?}: {e}"));
-    if result.is_ok() && !source.done {
+    let mut result = match S::decode_unit(&unit, &mut source) {
+        Ok(data) => Ok(Some(data)),
+        // A format this store will never understand for this image: skip
+        // just this table (its disk recovery is the caller's job). All
+        // other errors — corruption, environment — abandon the whole leaf
+        // (§4.3 conservatism).
+        Err(e) if S::error_is_incompatible(&e) => Ok(None),
+        Err(e) => Err(format!("restoring unit {unit:?}: {e}")),
+    };
+    if matches!(result, Ok(Some(_))) && !source.done {
         // The store stopped early; drain to validate framing so a
         // short read doesn't silently drop data.
         loop {
@@ -706,12 +883,29 @@ fn read_unit_inner<S: ShmPersistable>(
     ShmSegment::unlink(&seg_name).map_err(|e| e.to_string())?;
     acc.add(Phase::Commit, sw.elapsed_ns());
     tracker.sub_shm(seg_len);
-    tracker.sample();
-    Ok((unit, data, chunks, payload_bytes))
+    match data {
+        Some(data) => {
+            tracker.sample();
+            Ok(UnitRead::Decoded {
+                unit,
+                data,
+                chunks,
+                bytes: payload_bytes,
+            })
+        }
+        None => {
+            // The partial decode's heap copies die with it.
+            tracker.sub_in_flight(payload_bytes as usize);
+            tracker.sample();
+            Ok(UnitRead::Skipped { unit })
+        }
+    }
 }
 
 /// Coordinator-side epilogue for one decoded unit: put it in the store
-/// and move its bytes from in-flight to store heap.
+/// and move its bytes from in-flight to store heap. `Ok(false)` means the
+/// store judged the unit incompatible at install time — the caller
+/// records the skip.
 fn install_unit<S: ShmPersistable>(
     store: &mut S,
     unit: &str,
@@ -719,15 +913,18 @@ fn install_unit<S: ShmPersistable>(
     payload_bytes: u64,
     tracker: &FootprintTracker,
     acc: &RunAcc,
-) -> Result<(), String> {
+) -> Result<bool, String> {
     let sw = Stopwatch::start();
     let installed = store.install_unit(unit, data);
     acc.add(Phase::Install, sw.elapsed_ns());
-    installed.map_err(|e| format!("restoring unit {unit:?}: {e}"))?;
     tracker.sub_in_flight(payload_bytes as usize);
     tracker.set_store_heap(store.heap_bytes());
     tracker.sample();
-    Ok(())
+    match installed {
+        Ok(()) => Ok(true),
+        Err(e) if S::error_is_incompatible(&e) => Ok(false),
+        Err(e) => Err(format!("restoring unit {unit:?}: {e}")),
+    }
 }
 
 fn copy_units_back<S: ShmPersistable>(
@@ -736,7 +933,8 @@ fn copy_units_back<S: ShmPersistable>(
     tracker: &FootprintTracker,
     acc: &RunAcc,
     threads: usize,
-) -> Result<(usize, usize, u64), String> {
+    legacy: bool,
+) -> Result<(usize, usize, u64, Vec<String>), String> {
     // Open every segment up front: a missing one fails the whole restore
     // before any unit is decoded, and the sum of their sizes seeds the
     // footprint's shared-memory term.
@@ -759,12 +957,12 @@ fn copy_units_back<S: ShmPersistable>(
     tracker.add_shm(total_shm);
     tracker.sample();
 
-    let (chunks, bytes_copied) = if threads <= 1 || segments.len() <= 1 {
-        copy_back_sequential::<S>(store, segments, tracker, acc)?
+    let (units, chunks, bytes_copied, skipped) = if threads <= 1 || segments.len() <= 1 {
+        copy_back_sequential::<S>(store, segments, tracker, acc, legacy)?
     } else {
-        copy_back_parallel::<S>(store, segments, tracker, acc, threads)?
+        copy_back_parallel::<S>(store, segments, tracker, acc, threads, legacy)?
     };
-    Ok((segment_names.len(), chunks, bytes_copied))
+    Ok((units, chunks, bytes_copied, skipped))
 }
 
 fn copy_back_sequential<S: ShmPersistable>(
@@ -772,16 +970,32 @@ fn copy_back_sequential<S: ShmPersistable>(
     segments: Vec<ShmSegment>,
     tracker: &FootprintTracker,
     acc: &RunAcc,
-) -> Result<(usize, u64), String> {
+    legacy: bool,
+) -> Result<(usize, usize, u64, Vec<String>), String> {
+    let mut units = 0usize;
     let mut chunks = 0usize;
     let mut bytes_copied = 0u64;
+    let mut skipped = Vec::new();
     for segment in segments {
-        let (unit, data, c, b) = read_unit::<S>(segment, tracker, acc)?;
-        install_unit(store, &unit, data, b, tracker, acc)?;
-        chunks += c;
-        bytes_copied += b;
+        match read_unit::<S>(segment, tracker, acc, legacy)? {
+            UnitRead::Decoded {
+                unit,
+                data,
+                chunks: c,
+                bytes: b,
+            } => {
+                if install_unit(store, &unit, data, b, tracker, acc)? {
+                    units += 1;
+                    chunks += c;
+                    bytes_copied += b;
+                } else {
+                    record_skip(&mut skipped, unit);
+                }
+            }
+            UnitRead::Skipped { unit } => record_skip(&mut skipped, unit),
+        }
     }
-    Ok((chunks, bytes_copied))
+    Ok((units, chunks, bytes_copied, skipped))
 }
 
 /// One segment handed from the coordinator to a worker.
@@ -790,11 +1004,11 @@ struct SegmentJob {
     segment: ShmSegment,
 }
 
-/// A worker's verdict on one segment: the decoded unit ready to install,
-/// or the first failure.
+/// A worker's verdict on one segment: the decoded unit ready to install
+/// (or a per-table skip), or the first failure.
 struct SegmentDone<U> {
     index: usize,
-    result: Result<(String, U, usize, u64), String>,
+    result: Result<UnitRead<U>, String>,
 }
 
 fn copy_back_parallel<S: ShmPersistable>(
@@ -803,11 +1017,14 @@ fn copy_back_parallel<S: ShmPersistable>(
     tracker: &FootprintTracker,
     acc: &RunAcc,
     threads: usize,
-) -> Result<(usize, u64), String> {
+    legacy: bool,
+) -> Result<(usize, usize, u64, Vec<String>), String> {
     let abort = AtomicBool::new(false);
     let (res_tx, res_rx) = mpsc::channel::<SegmentDone<S::Unit>>();
+    let mut units = 0usize;
     let mut chunks = 0usize;
     let mut bytes_copied = 0u64;
+    let mut skipped = Vec::new();
     let mut first_err: Option<(usize, String)> = None;
 
     std::thread::scope(|scope| {
@@ -829,7 +1046,7 @@ fn copy_back_parallel<S: ShmPersistable>(
                     drop(job.segment);
                     continue;
                 }
-                let result = read_unit::<S>(job.segment, tracker, acc);
+                let result = read_unit::<S>(job.segment, tracker, acc, legacy);
                 if result.is_err() {
                     abort.store(true, Ordering::Release);
                 }
@@ -844,14 +1061,23 @@ fn copy_back_parallel<S: ShmPersistable>(
         let handle = |done: SegmentDone<S::Unit>,
                       store: &mut S,
                       first_err: &mut Option<(usize, String)>,
+                      units: &mut usize,
                       chunks: &mut usize,
-                      bytes_copied: &mut u64| {
+                      bytes_copied: &mut u64,
+                      skipped: &mut Vec<String>| {
             match done.result {
-                Ok((unit, data, c, b)) => match install_unit(store, &unit, data, b, tracker, acc) {
-                    Ok(()) => {
+                Ok(UnitRead::Decoded {
+                    unit,
+                    data,
+                    chunks: c,
+                    bytes: b,
+                }) => match install_unit(store, &unit, data, b, tracker, acc) {
+                    Ok(true) => {
+                        *units += 1;
                         *chunks += c;
                         *bytes_copied += b;
                     }
+                    Ok(false) => record_skip(skipped, unit),
                     Err(e) => {
                         abort.store(true, Ordering::Release);
                         if first_err.as_ref().is_none_or(|(i, _)| done.index < *i) {
@@ -859,6 +1085,7 @@ fn copy_back_parallel<S: ShmPersistable>(
                         }
                     }
                 },
+                Ok(UnitRead::Skipped { unit }) => record_skip(skipped, unit),
                 Err(e) => {
                     if first_err.as_ref().is_none_or(|(i, _)| done.index < *i) {
                         *first_err = Some((done.index, e));
@@ -877,18 +1104,34 @@ fn copy_back_parallel<S: ShmPersistable>(
             // Install whatever has already finished while dispatch
             // continues, so decoded units do not pile up.
             for done in res_rx.try_iter() {
-                handle(done, store, &mut first_err, &mut chunks, &mut bytes_copied);
+                handle(
+                    done,
+                    store,
+                    &mut first_err,
+                    &mut units,
+                    &mut chunks,
+                    &mut bytes_copied,
+                    &mut skipped,
+                );
             }
         }
         drop(job_tx); // close the queue; workers drain and exit
         for done in res_rx.iter() {
-            handle(done, store, &mut first_err, &mut chunks, &mut bytes_copied);
+            handle(
+                done,
+                store,
+                &mut first_err,
+                &mut units,
+                &mut chunks,
+                &mut bytes_copied,
+                &mut skipped,
+            );
         }
     });
 
     match first_err {
         Some((_, e)) => Err(e),
-        None => Ok((chunks, bytes_copied)),
+        None => Ok((units, chunks, bytes_copied, skipped)),
     }
 }
 
@@ -915,9 +1158,12 @@ fn cleanup(ns: &ShmNamespace, segment_names: &[String]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::backup::testutil::{ToyError, ToyStore};
+    use crate::backup::testutil::{ToyError, ToyStore, TAG_TOY};
     use crate::backup::{backup_to_shm, backup_to_shm_with, BackupError};
+    use crate::framing::{encode_header_v2, end_header_v2, TAG_STORE_BASE};
     use std::sync::atomic::{AtomicU32, Ordering};
+
+    const V: u32 = crate::SHM_LAYOUT_VERSION;
 
     static COUNTER: AtomicU32 = AtomicU32::new(100);
 
@@ -950,11 +1196,11 @@ mod tests {
         let _c = Cleanup(ns.clone());
         let mut store = sample_store();
         let original = store.clone();
-        let bak = backup_to_shm(&mut store, &ns, 1).unwrap();
+        let bak = backup_to_shm(&mut store, &ns, V).unwrap();
         assert!(store.units.is_empty());
 
         let mut restored = ToyStore::default();
-        let rep = restore_from_shm(&mut restored, &ns, 1).unwrap();
+        let rep = restore_from_shm(&mut restored, &ns, V).unwrap();
         assert_eq!(restored, original);
         assert_eq!(rep.units, 3);
         assert_eq!(rep.chunks, bak.chunks);
@@ -977,10 +1223,10 @@ mod tests {
         let original = ToyStore::seeded(42, 9, 6, 2048);
         let mut seq_store = original.clone();
         let seq_bak =
-            backup_to_shm_with(&mut seq_store, &seq_ns, 1, CopyOptions::with_threads(1)).unwrap();
+            backup_to_shm_with(&mut seq_store, &seq_ns, V, CopyOptions::with_threads(1)).unwrap();
         let mut seq_restored = ToyStore::default();
         let seq_res =
-            restore_from_shm_with(&mut seq_restored, &seq_ns, 1, CopyOptions::with_threads(1))
+            restore_from_shm_with(&mut seq_restored, &seq_ns, V, CopyOptions::with_threads(1))
                 .unwrap();
         assert_eq!(seq_restored, original);
 
@@ -989,14 +1235,14 @@ mod tests {
             let _c = Cleanup(ns.clone());
             let mut store = original.clone();
             let bak =
-                backup_to_shm_with(&mut store, &ns, 1, CopyOptions::with_threads(threads)).unwrap();
+                backup_to_shm_with(&mut store, &ns, V, CopyOptions::with_threads(threads)).unwrap();
             assert!(store.units.is_empty());
             assert_eq!(bak.chunks, seq_bak.chunks, "threads={threads}");
             assert_eq!(bak.bytes_copied, seq_bak.bytes_copied, "threads={threads}");
 
             let mut restored = ToyStore::default();
             let res =
-                restore_from_shm_with(&mut restored, &ns, 1, CopyOptions::with_threads(threads))
+                restore_from_shm_with(&mut restored, &ns, V, CopyOptions::with_threads(threads))
                     .unwrap();
             assert_eq!(restored, original, "threads={threads}");
             assert_eq!(res.chunks, seq_res.chunks, "threads={threads}");
@@ -1015,12 +1261,12 @@ mod tests {
         let ns = test_ns();
         let _c = Cleanup(ns.clone());
         let mut store = sample_store();
-        backup_to_shm(&mut store, &ns, 1).unwrap();
+        backup_to_shm(&mut store, &ns, V).unwrap();
         let mut restored = ToyStore::default();
-        restore_from_shm(&mut restored, &ns, 1).unwrap();
+        restore_from_shm(&mut restored, &ns, V).unwrap();
 
         let mut again = ToyStore::default();
-        let err = restore_from_shm(&mut again, &ns, 1).unwrap_err();
+        let err = restore_from_shm(&mut again, &ns, V).unwrap_err();
         let RestoreError::Fallback(fb) = err;
         assert!(fb.reason.contains("metadata unavailable"), "{}", fb.reason);
     }
@@ -1030,7 +1276,7 @@ mod tests {
         let ns = test_ns();
         let _c = Cleanup(ns.clone());
         let mut store = ToyStore::default();
-        let err = restore_from_shm(&mut store, &ns, 1).unwrap_err();
+        let err = restore_from_shm(&mut store, &ns, V).unwrap_err();
         let RestoreError::Fallback(fb) = err;
         assert!(fb.cleaned_up);
     }
@@ -1041,13 +1287,13 @@ mod tests {
         let _c = Cleanup(ns.clone());
         // Manufacture committed-but-unset state: backup, then clear bit.
         let mut store = sample_store();
-        backup_to_shm(&mut store, &ns, 1).unwrap();
+        backup_to_shm(&mut store, &ns, V).unwrap();
         let mut meta = LeafMetadata::open(&ns).unwrap();
         meta.set_valid(false).unwrap();
         drop(meta);
 
         let mut restored = ToyStore::default();
-        let err = restore_from_shm(&mut restored, &ns, 1).unwrap_err();
+        let err = restore_from_shm(&mut restored, &ns, V).unwrap_err();
         let RestoreError::Fallback(fb) = err;
         assert!(fb.reason.contains("valid bit"), "{}", fb.reason);
         assert!(restored.units.is_empty());
@@ -1057,15 +1303,23 @@ mod tests {
     }
 
     #[test]
-    fn layout_version_skew_falls_back() {
+    fn too_new_image_falls_back() {
+        // Version skew only falls back when the image genuinely demands a
+        // newer reader than this binary — not on any mismatch (the paper's
+        // §4.2 policy, deliberately relaxed here).
         let ns = test_ns();
         let _c = Cleanup(ns.clone());
-        let mut store = sample_store();
-        backup_to_shm(&mut store, &ns, 1).unwrap();
+        let mut meta = LeafMetadata::create(&ns, 99, 99).unwrap();
+        meta.set_valid(true).unwrap();
+        drop(meta);
         let mut restored = ToyStore::default();
-        let err = restore_from_shm(&mut restored, &ns, 2).unwrap_err();
+        let err = restore_from_shm(&mut restored, &ns, V).unwrap_err();
         let RestoreError::Fallback(fb) = err;
-        assert!(fb.reason.contains("layout version"), "{}", fb.reason);
+        assert!(
+            fb.reason.contains("requires reader version"),
+            "{}",
+            fb.reason
+        );
         assert!(!ShmSegment::exists(&ns.metadata_name()));
     }
 
@@ -1074,7 +1328,7 @@ mod tests {
         let ns = test_ns();
         let _c = Cleanup(ns.clone());
         let mut store = sample_store();
-        backup_to_shm(&mut store, &ns, 1).unwrap();
+        backup_to_shm(&mut store, &ns, V).unwrap();
         // Tear a table segment: truncate it mid-frame.
         let mut seg = ShmSegment::open(&ns.table_segment_name(0)).unwrap();
         let half = seg.len() / 2;
@@ -1082,7 +1336,7 @@ mod tests {
         drop(seg);
 
         let mut restored = ToyStore::default();
-        let err = restore_from_shm(&mut restored, &ns, 1).unwrap_err();
+        let err = restore_from_shm(&mut restored, &ns, V).unwrap_err();
         let RestoreError::Fallback(fb) = err;
         assert!(fb.cleaned_up);
         assert!(!ShmSegment::exists(&ns.table_segment_name(1)));
@@ -1093,10 +1347,10 @@ mod tests {
         let ns = test_ns();
         let _c = Cleanup(ns.clone());
         let mut store = sample_store();
-        backup_to_shm(&mut store, &ns, 1).unwrap();
+        backup_to_shm(&mut store, &ns, V).unwrap();
         ShmSegment::unlink(&ns.table_segment_name(1)).unwrap();
         let mut restored = ToyStore::default();
-        let err = restore_from_shm(&mut restored, &ns, 1).unwrap_err();
+        let err = restore_from_shm(&mut restored, &ns, V).unwrap_err();
         let RestoreError::Fallback(fb) = err;
         assert!(fb.reason.contains("missing"), "{}", fb.reason);
     }
@@ -1106,12 +1360,12 @@ mod tests {
         let ns = test_ns();
         let _c = Cleanup(ns.clone());
         let mut store = sample_store();
-        backup_to_shm(&mut store, &ns, 1).unwrap();
+        backup_to_shm(&mut store, &ns, V).unwrap();
         let mut restored = ToyStore {
             poison: Some("metrics".to_owned()),
             ..Default::default()
         };
-        let err = restore_from_shm(&mut restored, &ns, 1).unwrap_err();
+        let err = restore_from_shm(&mut restored, &ns, V).unwrap_err();
         let RestoreError::Fallback(fb) = err;
         assert!(fb.reason.contains("poisoned"), "{}", fb.reason);
         // Interrupted restore must leave the valid bit unusable.
@@ -1127,13 +1381,13 @@ mod tests {
         let ns = test_ns();
         let _c = Cleanup(ns.clone());
         let mut store = ToyStore::seeded(77, 8, 4, 512);
-        backup_to_shm_with(&mut store, &ns, 1, CopyOptions::with_threads(4)).unwrap();
+        backup_to_shm_with(&mut store, &ns, V, CopyOptions::with_threads(4)).unwrap();
         let mut restored = ToyStore {
             poison: Some("unit_004".to_owned()),
             ..Default::default()
         };
         let err =
-            restore_from_shm_with(&mut restored, &ns, 1, CopyOptions::with_threads(4)).unwrap_err();
+            restore_from_shm_with(&mut restored, &ns, V, CopyOptions::with_threads(4)).unwrap_err();
         let RestoreError::Fallback(fb) = err;
         assert!(fb.reason.contains("poisoned"), "{}", fb.reason);
         assert!(fb.cleaned_up);
@@ -1170,14 +1424,14 @@ mod tests {
         let ns = test_ns();
         let _c = Cleanup(ns.clone());
         let mut store = sample_store();
-        backup_to_shm(&mut store, &ns, 1).unwrap();
+        backup_to_shm(&mut store, &ns, V).unwrap();
         let mut broken = ToyStore {
             poison: Some("events".to_owned()),
             ..Default::default()
         };
-        assert!(restore_from_shm(&mut broken, &ns, 1).is_err());
+        assert!(restore_from_shm(&mut broken, &ns, V).is_err());
         let mut retry = ToyStore::default();
-        assert!(restore_from_shm(&mut retry, &ns, 1).is_err());
+        assert!(restore_from_shm(&mut retry, &ns, V).is_err());
         assert!(retry.units.is_empty());
     }
 
@@ -1197,10 +1451,10 @@ mod tests {
         let _c = Cleanup(ns.clone());
         let mut store = sample_store();
         let original = store.clone();
-        let bak = backup_to_shm(&mut store, &ns, 1).unwrap();
+        let bak = backup_to_shm(&mut store, &ns, V).unwrap();
 
         let mut restored = ToyStore::default();
-        let rep = attach_from_shm(&mut restored, &ns, 1).unwrap();
+        let rep = attach_from_shm(&mut restored, &ns, V).unwrap();
         assert_eq!(restored, original);
         assert_eq!(rep.units, 3);
         assert_eq!(rep.chunks, bak.chunks);
@@ -1212,7 +1466,7 @@ mod tests {
 
         // The valid bit is single-shot for attach too.
         let mut again = ToyStore::default();
-        let err = attach_from_shm(&mut again, &ns, 1).unwrap_err();
+        let err = attach_from_shm(&mut again, &ns, V).unwrap_err();
         let RestoreError::Fallback(fb) = err;
         assert!(fb.reason.contains("metadata unavailable"), "{}", fb.reason);
     }
@@ -1222,10 +1476,10 @@ mod tests {
         let ns = test_ns();
         let _c = Cleanup(ns.clone());
         let mut store = sample_store();
-        backup_to_shm(&mut store, &ns, 1).unwrap();
+        backup_to_shm(&mut store, &ns, V).unwrap();
         ShmSegment::unlink(&ns.table_segment_name(1)).unwrap();
         let mut restored = ToyStore::default();
-        let err = attach_from_shm(&mut restored, &ns, 1).unwrap_err();
+        let err = attach_from_shm(&mut restored, &ns, V).unwrap_err();
         let RestoreError::Fallback(fb) = err;
         assert!(fb.reason.contains("missing"), "{}", fb.reason);
         assert!(fb.cleaned_up);
@@ -1238,14 +1492,14 @@ mod tests {
         let ns = test_ns();
         let _c = Cleanup(ns.clone());
         let mut store = sample_store();
-        backup_to_shm(&mut store, &ns, 1).unwrap();
+        backup_to_shm(&mut store, &ns, V).unwrap();
         let mut seg = ShmSegment::open(&ns.table_segment_name(0)).unwrap();
         let half = seg.len() / 2;
         seg.resize(half).unwrap();
         drop(seg);
 
         let mut restored = ToyStore::default();
-        let err = attach_from_shm(&mut restored, &ns, 1).unwrap_err();
+        let err = attach_from_shm(&mut restored, &ns, V).unwrap_err();
         let RestoreError::Fallback(fb) = err;
         assert!(fb.cleaned_up);
         for i in 0..3 {
@@ -1261,19 +1515,19 @@ mod tests {
         let ns = test_ns();
         let _c = Cleanup(ns.clone());
         let mut store = sample_store();
-        backup_to_shm(&mut store, &ns, 1).unwrap();
+        backup_to_shm(&mut store, &ns, V).unwrap();
         // Segment order is BTreeMap key order: 0 = empty_table, 1 = events.
         let mut seg = ShmSegment::open(&ns.table_segment_name(1)).unwrap();
         let len = seg.len();
         // Flip a byte inside the first chunk's payload: the name frame for
-        // "events" is 8 + 4 + 6 bytes, then 8 (len) + 4 (crc) of framing.
-        let target = 8 + 4 + 6 + 8 + 4 + 2;
+        // "events" is a v2 header + 6 bytes, then the chunk's own header.
+        let target = FRAME_HEADER_V2 + 6 + FRAME_HEADER_V2 + 2;
         assert!(target < len);
         seg.as_mut_slice()[target] ^= 0xFF;
         drop(seg);
 
         let mut restored = ToyStore::default();
-        let err = attach_from_shm(&mut restored, &ns, 1).unwrap_err();
+        let err = attach_from_shm(&mut restored, &ns, V).unwrap_err();
         let RestoreError::Fallback(fb) = err;
         assert!(fb.reason.contains("checksum"), "{}", fb.reason);
         assert!(!ShmSegment::exists(&ns.metadata_name()));
@@ -1289,15 +1543,15 @@ mod tests {
         let ns = test_ns();
         let _c = Cleanup(ns.clone());
         let mut store = sample_store();
-        backup_to_shm(&mut store, &ns, 1).unwrap();
+        backup_to_shm(&mut store, &ns, V).unwrap();
         let started = scuba_obs::counter!("restores_started").get();
         let completed = scuba_obs::counter!("restores_completed").get();
         let failed = scuba_obs::counter!("restores_failed").get();
 
         let mut restored = ToyStore::default();
-        attach_from_shm(&mut restored, &ns, 1).unwrap();
+        attach_from_shm(&mut restored, &ns, V).unwrap();
         let mut again = ToyStore::default();
-        assert!(attach_from_shm(&mut again, &ns, 1).is_err());
+        assert!(attach_from_shm(&mut again, &ns, V).is_err());
 
         let d_started = scuba_obs::counter!("restores_started").get() - started;
         let d_completed = scuba_obs::counter!("restores_completed").get() - completed;
@@ -1305,5 +1559,184 @@ mod tests {
         scuba_obs::set_enabled(was);
         assert_eq!(d_started, 2);
         assert_eq!(d_completed + d_failed, d_started);
+    }
+
+    /// Write `bytes` verbatim into a fresh segment named `name`.
+    fn write_raw_segment(name: &str, bytes: &[u8]) {
+        let mut seg = ShmSegment::create(name, bytes.len()).unwrap();
+        seg.as_mut_slice()[..bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Append one v2 TLV frame to `buf`.
+    fn frame_v2(buf: &mut Vec<u8>, desc: ChunkDesc, payload: &[u8]) {
+        buf.extend_from_slice(&encode_header_v2(
+            desc,
+            payload.len() as u64,
+            scuba_shmem::crc32(payload),
+        ));
+        buf.extend_from_slice(payload);
+    }
+
+    /// Hand-write the image a pre-refactor (v1) writer would have left:
+    /// legacy metadata layout, bare len/crc framing, u64::MAX terminator.
+    fn write_legacy_v1_image(ns: &ShmNamespace, unit: &str, chunks: &[&[u8]]) -> String {
+        let seg_name = ns.table_segment_name(0);
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(unit.len() as u64).to_le_bytes());
+        buf.extend_from_slice(&scuba_shmem::crc32(unit.as_bytes()).to_le_bytes());
+        buf.extend_from_slice(unit.as_bytes());
+        for c in chunks {
+            buf.extend_from_slice(&(c.len() as u64).to_le_bytes());
+            buf.extend_from_slice(&scuba_shmem::crc32(c).to_le_bytes());
+            buf.extend_from_slice(c);
+        }
+        buf.extend_from_slice(&END_SENTINEL_V1.to_le_bytes());
+        write_raw_segment(&seg_name, &buf);
+
+        let mut meta = LeafMetadata::create_legacy_v1(ns).unwrap();
+        meta.add_segment_invalidating(&seg_name, 1, 0).unwrap();
+        meta.set_valid(true).unwrap();
+        seg_name
+    }
+
+    #[test]
+    fn legacy_v1_image_restores_under_current_binary() {
+        // The tentpole backward-compat property: an image written by the
+        // old (version-1) binary restores via shared memory under this
+        // one, instead of the paper's disable-on-format-change fallback.
+        let ns = test_ns();
+        let _c = Cleanup(ns.clone());
+        let seg = write_legacy_v1_image(&ns, "events", &[b"chunk-a", b"chunk-b"]);
+
+        let expected = ToyStore::with_units(&[("events", &[b"chunk-a" as &[u8], b"chunk-b"])]);
+        let mut restored = ToyStore::default();
+        let rep = restore_from_shm(&mut restored, &ns, V).unwrap();
+        assert_eq!(restored, expected);
+        assert_eq!(rep.units, 1);
+        assert!(rep.skipped.is_empty());
+        assert!(!ShmSegment::exists(&seg));
+        assert!(!ShmSegment::exists(&ns.metadata_name()));
+    }
+
+    #[test]
+    fn legacy_v1_image_attaches_under_current_binary() {
+        let ns = test_ns();
+        let _c = Cleanup(ns.clone());
+        write_legacy_v1_image(&ns, "events", &[b"chunk-a", b"chunk-b"]);
+
+        let expected = ToyStore::with_units(&[("events", &[b"chunk-a" as &[u8], b"chunk-b"])]);
+        let mut restored = ToyStore::default();
+        let rep = attach_from_shm(&mut restored, &ns, V).unwrap();
+        assert_eq!(restored, expected);
+        assert_eq!(rep.units, 1);
+        assert!(rep.skipped.is_empty());
+        assert!(!ShmSegment::exists(&ns.metadata_name()));
+    }
+
+    /// Hand-write a v2 image with two units: "events" (well-formed) and
+    /// "weird" (containing one chunk with an unknown tag, flagged per
+    /// `skippable`).
+    fn write_v2_image_with_stranger(ns: &ShmNamespace, skippable: bool) {
+        let stranger = if skippable {
+            ChunkDesc::new(TAG_STORE_BASE + 40, 1).skippable()
+        } else {
+            ChunkDesc::new(TAG_STORE_BASE + 40, 1)
+        };
+        let seg0 = ns.table_segment_name(0);
+        let mut buf = Vec::new();
+        frame_v2(&mut buf, ChunkDesc::new(TAG_UNIT_NAME, 1), b"events");
+        frame_v2(&mut buf, ChunkDesc::new(TAG_TOY, 1), b"chunk-a");
+        frame_v2(&mut buf, ChunkDesc::new(TAG_TOY, 1), b"chunk-b");
+        buf.extend_from_slice(&end_header_v2());
+        write_raw_segment(&seg0, &buf);
+
+        let seg1 = ns.table_segment_name(1);
+        let mut buf = Vec::new();
+        frame_v2(&mut buf, ChunkDesc::new(TAG_UNIT_NAME, 1), b"weird");
+        frame_v2(&mut buf, ChunkDesc::new(TAG_TOY, 1), b"w1");
+        frame_v2(&mut buf, stranger, b"mystery-payload");
+        buf.extend_from_slice(&end_header_v2());
+        write_raw_segment(&seg1, &buf);
+
+        let mut meta = LeafMetadata::create(ns, V, migrate::CURRENT_IMAGE_MIN_READER).unwrap();
+        meta.add_segment_invalidating(&seg0, 1, 0).unwrap();
+        meta.add_segment_invalidating(&seg1, 1, 0).unwrap();
+        meta.set_valid(true).unwrap();
+    }
+
+    #[test]
+    fn unknown_skippable_chunk_is_ignored() {
+        // A chunk from a newer writer that marked it FLAG_SKIPPABLE must
+        // not cost the table (let alone the leaf) its memory restore.
+        let ns = test_ns();
+        let _c = Cleanup(ns.clone());
+        write_v2_image_with_stranger(&ns, true);
+        let mut restored = ToyStore::default();
+        let rep = restore_from_shm(&mut restored, &ns, V).unwrap();
+        assert_eq!(rep.units, 2);
+        assert!(rep.skipped.is_empty());
+        assert_eq!(restored.units["weird"], vec![b"w1".to_vec()]);
+    }
+
+    #[test]
+    fn unknown_required_chunk_skips_only_that_table() {
+        // A non-skippable unknown chunk is a true incompatibility — but a
+        // *per-table* one: "weird" goes to disk recovery, "events" still
+        // restores from memory.
+        let ns = test_ns();
+        let _c = Cleanup(ns.clone());
+        write_v2_image_with_stranger(&ns, false);
+        let mut restored = ToyStore::default();
+        let rep = restore_from_shm(&mut restored, &ns, V).unwrap();
+        assert_eq!(rep.units, 1);
+        assert_eq!(rep.skipped, vec!["weird".to_owned()]);
+        assert!(restored.units.contains_key("events"));
+        assert!(!restored.units.contains_key("weird"));
+        assert!(!ShmSegment::exists(&ns.table_segment_name(1)));
+        assert!(!ShmSegment::exists(&ns.metadata_name()));
+    }
+
+    #[test]
+    fn unknown_required_chunk_skips_only_that_table_on_attach() {
+        let ns = test_ns();
+        let _c = Cleanup(ns.clone());
+        write_v2_image_with_stranger(&ns, false);
+        let mut restored = ToyStore::default();
+        let rep = attach_from_shm(&mut restored, &ns, V).unwrap();
+        assert_eq!(rep.units, 1);
+        assert_eq!(rep.skipped, vec!["weird".to_owned()]);
+        assert!(restored.units.contains_key("events"));
+        assert!(!restored.units.contains_key("weird"));
+        assert!(!ShmSegment::exists(&ns.metadata_name()));
+    }
+
+    #[test]
+    fn install_incompatibility_skips_per_table_in_parallel() {
+        // The install-time classification and the parallel path: one unit
+        // the store rejects as incompatible is skipped; the other five
+        // restore, and nothing is left behind.
+        let ns = test_ns();
+        let _c = Cleanup(ns.clone());
+        let original = ToyStore::seeded(7, 6, 4, 256);
+        let mut store = original.clone();
+        backup_to_shm_with(&mut store, &ns, V, CopyOptions::with_threads(4)).unwrap();
+        let mut restored = ToyStore {
+            incompatible: Some("unit_003".to_owned()),
+            ..Default::default()
+        };
+        let rep =
+            restore_from_shm_with(&mut restored, &ns, V, CopyOptions::with_threads(4)).unwrap();
+        assert_eq!(rep.skipped, vec!["unit_003".to_owned()]);
+        assert_eq!(rep.units, 5);
+        assert!(!restored.units.contains_key("unit_003"));
+        for (name, chunks) in &original.units {
+            if name != "unit_003" {
+                assert_eq!(&restored.units[name], chunks);
+            }
+        }
+        for i in 0..8 {
+            assert!(!ShmSegment::exists(&ns.table_segment_name(i)));
+        }
+        assert!(!ShmSegment::exists(&ns.metadata_name()));
     }
 }

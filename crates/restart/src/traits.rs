@@ -21,22 +21,82 @@ use std::sync::Arc;
 
 use scuba_shmem::{crc32, ShmError};
 
+/// A chunk marked with this flag may be ignored by readers that do not
+/// recognize its tag — the writer guarantees the unit decodes correctly
+/// without it. Unknown chunks *without* this flag are a true
+/// incompatibility.
+pub const FLAG_SKIPPABLE: u32 = 1;
+
+/// Self-description of one chunk in the v2 TLV framing: what the payload
+/// is (`tag`), which revision of that payload format the writer used
+/// (`version`), and reader guidance (`flags`). Legacy v1 images have no
+/// per-chunk descriptors; their chunks surface with [`ChunkDesc::legacy`]
+/// so stores can switch to positional decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkDesc {
+    /// What the payload is. Tags below
+    /// [`crate::framing::TAG_STORE_BASE`] are protocol-reserved.
+    pub tag: u16,
+    /// Format version of this chunk's payload, independent per tag.
+    pub version: u16,
+    /// Reader guidance bits ([`FLAG_SKIPPABLE`], rest reserved).
+    pub flags: u32,
+}
+
+impl ChunkDesc {
+    /// A chunk descriptor with no flags set.
+    pub fn new(tag: u16, version: u16) -> ChunkDesc {
+        ChunkDesc {
+            tag,
+            version,
+            flags: 0,
+        }
+    }
+
+    /// Mark the chunk as ignorable by readers that don't know the tag.
+    pub fn skippable(mut self) -> ChunkDesc {
+        self.flags |= FLAG_SKIPPABLE;
+        self
+    }
+
+    /// Whether readers may skip this chunk if they don't know the tag.
+    pub fn is_skippable(&self) -> bool {
+        self.flags & FLAG_SKIPPABLE != 0
+    }
+
+    /// The descriptor synthesized for chunks read from a legacy v1 image
+    /// (tag 0 — below the store range — version 1, no flags).
+    pub fn legacy() -> ChunkDesc {
+        ChunkDesc {
+            tag: 0,
+            version: 1,
+            flags: 0,
+        }
+    }
+
+    /// Whether this chunk came from a legacy v1 image.
+    pub fn is_legacy(&self) -> bool {
+        self.tag == 0
+    }
+}
+
 /// Receives chunks during backup. Implemented by the protocol over a
 /// [`scuba_shmem::SegmentWriter`]; a store calls `put_chunk` once per row
 /// block column (or other natural copy unit) and frees the corresponding
 /// heap immediately after — that ordering is what keeps the footprint
 /// flat.
 pub trait ChunkSink {
-    /// Append one chunk to the unit's segment.
-    fn put_chunk(&mut self, chunk: &[u8]) -> Result<(), ShmError>;
+    /// Append one chunk, framed with its descriptor, to the unit's
+    /// segment.
+    fn put_chunk(&mut self, desc: ChunkDesc, chunk: &[u8]) -> Result<(), ShmError>;
 }
 
 /// Yields chunks during restore, in the order they were written.
 pub trait ChunkSource {
-    /// The next chunk, or `None` at end of unit. Each returned buffer is a
-    /// fresh heap allocation (the shm→heap memcpy); the protocol releases
-    /// the consumed shared-memory pages behind it.
-    fn next_chunk(&mut self) -> Result<Option<Vec<u8>>, ShmError>;
+    /// The next chunk and its descriptor, or `None` at end of unit. Each
+    /// returned buffer is a fresh heap allocation (the shm→heap memcpy);
+    /// the protocol releases the consumed shared-memory pages behind it.
+    fn next_chunk(&mut self) -> Result<Option<(ChunkDesc, Vec<u8>)>, ShmError>;
 }
 
 /// One chunk located inside an attached read-only mapping: a window into
@@ -45,6 +105,9 @@ pub trait ChunkSource {
 /// ([`MappedChunk::to_heap`], which verifies the frame CRC first — right
 /// for small metadata chunks that must live past the mapping).
 pub struct MappedChunk {
+    /// The chunk's descriptor (synthesized [`ChunkDesc::legacy`] for v1
+    /// images).
+    pub desc: ChunkDesc,
     /// The shared mapping (a `scuba_shmem::SegmentView` in production).
     pub backing: Arc<dyn AsRef<[u8]> + Send + Sync>,
     /// Chunk payload start within the mapping.
@@ -147,10 +210,10 @@ pub trait ShmPersistable {
     ) -> Result<Self::Unit, Self::Error> {
         struct CopyingSource<'a>(&'a mut dyn MappedChunkSource);
         impl ChunkSource for CopyingSource<'_> {
-            fn next_chunk(&mut self) -> Result<Option<Vec<u8>>, ShmError> {
+            fn next_chunk(&mut self) -> Result<Option<(ChunkDesc, Vec<u8>)>, ShmError> {
                 match self.0.next_mapped_chunk()? {
                     None => Ok(None),
-                    Some(chunk) => Ok(Some(chunk.to_heap()?)),
+                    Some(chunk) => Ok(Some((chunk.desc, chunk.to_heap()?))),
                 }
             }
         }
@@ -160,6 +223,24 @@ pub trait ShmPersistable {
     /// Put a decoded unit into the store (the only store mutation on the
     /// restore path, run under the coordinator's `&mut self`).
     fn install_unit(&mut self, unit: &str, data: Self::Unit) -> Result<(), Self::Error>;
+
+    /// Format version of the unit's chunk stream, recorded per table in
+    /// the metadata descriptor registry so readers can judge
+    /// compatibility table by table. Bump when the unit's serialization
+    /// changes shape.
+    fn unit_format_version(&self, _unit: &str) -> u32 {
+        1
+    }
+
+    /// Classify a decode/install error: `true` means the unit's format is
+    /// one this store cannot (and will never, for this image) understand —
+    /// the protocol skips just that unit and reports it for per-table disk
+    /// recovery instead of abandoning the whole leaf. Corruption and
+    /// environment errors must return `false` (whole-leaf fallback keeps
+    /// the §4.3 conservatism).
+    fn error_is_incompatible(_e: &Self::Error) -> bool {
+        false
+    }
 
     /// Current heap footprint in bytes, excluding extracted units. Sampled
     /// by the protocol to record the peak combined footprint, so it should

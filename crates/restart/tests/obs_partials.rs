@@ -14,8 +14,10 @@ use std::fmt;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::time::Duration;
 
+use scuba_restart::framing::TAG_STORE_BASE;
 use scuba_restart::{
-    backup_to_shm_with, restore_from_shm_with, ChunkSink, ChunkSource, CopyOptions, ShmPersistable,
+    backup_to_shm_with, restore_from_shm_with, ChunkDesc, ChunkSink, ChunkSource, CopyOptions,
+    ShmPersistable, SHM_LAYOUT_VERSION,
 };
 use scuba_shmem::{ShmError, ShmNamespace};
 
@@ -77,13 +79,13 @@ impl ShmPersistable for ObsStore {
     }
     fn backup_extracted(data: Self::Unit, sink: &mut dyn ChunkSink) -> Result<(), ObsError> {
         for c in data {
-            sink.put_chunk(&c)?;
+            sink.put_chunk(ChunkDesc::new(TAG_STORE_BASE, 1), &c)?;
         }
         Ok(())
     }
     fn decode_unit(_unit: &str, source: &mut dyn ChunkSource) -> Result<Self::Unit, ObsError> {
         let mut chunks = Vec::new();
-        while let Some(c) = source.next_chunk()? {
+        while let Some((_desc, c)) = source.next_chunk()? {
             chunks.push(c);
         }
         Ok(chunks)
@@ -100,6 +102,8 @@ impl ShmPersistable for ObsStore {
             .sum()
     }
 }
+
+const V: u32 = SHM_LAYOUT_VERSION;
 
 static COUNTER: AtomicU32 = AtomicU32::new(0);
 
@@ -131,7 +135,7 @@ fn failed_backup_flushes_partial_table_timings() {
     // t00's three chunks pass (hits 1-3); t01 lands one chunk (hit 4)
     // and dies on its second (hit 5) — mid-copy, not between units.
     let _g = scuba_faults::guard("restart::backup::chunk", "error@5").unwrap();
-    let err = backup_to_shm_with(&mut store, &ns, 1, CopyOptions::with_threads(1));
+    let err = backup_to_shm_with(&mut store, &ns, V, CopyOptions::with_threads(1));
     assert!(err.is_err(), "failpoint must abort the backup");
 
     let b = scuba_obs::last_backup_breakdown().expect("failed backup must publish a breakdown");
@@ -181,14 +185,14 @@ fn failed_restore_flushes_partial_table_timings() {
     let ns = test_ns();
     let _c = Cleanup(ns.clone());
     let mut store = ObsStore::two_tables();
-    backup_to_shm_with(&mut store, &ns, 1, CopyOptions::with_threads(1)).unwrap();
+    backup_to_shm_with(&mut store, &ns, V, CopyOptions::with_threads(1)).unwrap();
 
     // The source's failpoint is consulted once per frame read, including
     // each unit's end sentinel: t00 spends hits 1-4 (3 chunks + sentinel),
     // t01 lands one chunk (hit 5) and dies on its second (hit 6).
     let _g = scuba_faults::guard("restart::restore::chunk", "error@6").unwrap();
     let mut restored = ObsStore::default();
-    let err = restore_from_shm_with(&mut restored, &ns, 1, CopyOptions::with_threads(1));
+    let err = restore_from_shm_with(&mut restored, &ns, V, CopyOptions::with_threads(1));
     assert!(err.is_err(), "failpoint must abort the restore");
 
     let b = scuba_obs::last_restore_breakdown().expect("failed restore must publish a breakdown");

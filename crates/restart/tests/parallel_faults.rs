@@ -10,9 +10,10 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU32, Ordering};
 
+use scuba_restart::framing::TAG_STORE_BASE;
 use scuba_restart::{
-    backup_to_shm_with, restore_from_shm_with, BackupError, ChunkSink, ChunkSource, CopyOptions,
-    RestoreError, ShmPersistable,
+    backup_to_shm_with, restore_from_shm_with, BackupError, ChunkDesc, ChunkSink, ChunkSource,
+    CopyOptions, RestoreError, ShmPersistable, SHM_LAYOUT_VERSION,
 };
 use scuba_shmem::{ShmError, ShmNamespace, ShmSegment};
 
@@ -71,13 +72,13 @@ impl ShmPersistable for ParStore {
     }
     fn backup_extracted(data: Self::Unit, sink: &mut dyn ChunkSink) -> Result<(), ParError> {
         for c in data {
-            sink.put_chunk(&c)?;
+            sink.put_chunk(ChunkDesc::new(TAG_STORE_BASE, 1), &c)?;
         }
         Ok(())
     }
     fn decode_unit(_unit: &str, source: &mut dyn ChunkSource) -> Result<Self::Unit, ParError> {
         let mut chunks = Vec::new();
-        while let Some(c) = source.next_chunk()? {
+        while let Some((_desc, c)) = source.next_chunk()? {
             chunks.push(c);
         }
         Ok(chunks)
@@ -90,6 +91,8 @@ impl ShmPersistable for ParStore {
         self.units.values().flatten().map(Vec::len).sum()
     }
 }
+
+const V: u32 = SHM_LAYOUT_VERSION;
 
 static COUNTER: AtomicU32 = AtomicU32::new(0);
 
@@ -127,7 +130,7 @@ fn worker_chunk_error_aborts_backup_and_cleans_up() {
     scuba_faults::configure("restart::backup::chunk", "error@5").unwrap();
 
     let mut store = ParStore::with_units(8, 3, 512);
-    let err = backup_to_shm_with(&mut store, &ns, 1, CopyOptions::with_threads(4)).unwrap_err();
+    let err = backup_to_shm_with(&mut store, &ns, V, CopyOptions::with_threads(4)).unwrap_err();
     assert!(scuba_faults::triggered("restart::backup::chunk") > 0);
     scuba_faults::clear_all();
     // The sink error propagates through the store's serialization loop,
@@ -147,7 +150,7 @@ fn worker_short_write_aborts_backup_and_cleans_up() {
     scuba_faults::configure("restart::backup::chunk", "short=4@6").unwrap();
 
     let mut store = ParStore::with_units(6, 4, 256);
-    let err = backup_to_shm_with(&mut store, &ns, 1, CopyOptions::with_threads(4)).unwrap_err();
+    let err = backup_to_shm_with(&mut store, &ns, V, CopyOptions::with_threads(4)).unwrap_err();
     scuba_faults::clear_all();
     assert!(err.to_string().contains("restart::backup::chunk"), "{err}");
     assert_no_shm(&ns);
@@ -162,12 +165,12 @@ fn worker_restore_chunk_error_falls_back_and_cleans_up() {
 
     let mut store = ParStore::with_units(8, 3, 512);
     let original = store.clone();
-    backup_to_shm_with(&mut store, &ns, 1, CopyOptions::with_threads(4)).unwrap();
+    backup_to_shm_with(&mut store, &ns, V, CopyOptions::with_threads(4)).unwrap();
 
     scuba_faults::configure("restart::restore::chunk", "error@7").unwrap();
     let mut restored = ParStore::default();
     let err =
-        restore_from_shm_with(&mut restored, &ns, 1, CopyOptions::with_threads(4)).unwrap_err();
+        restore_from_shm_with(&mut restored, &ns, V, CopyOptions::with_threads(4)).unwrap_err();
     scuba_faults::clear_all();
     let RestoreError::Fallback(fb) = err;
     assert!(fb.cleaned_up);
@@ -176,7 +179,7 @@ fn worker_restore_chunk_error_falls_back_and_cleans_up() {
     // And the original data was only ever durable on disk — a clean
     // retry must not see half-restored shared memory.
     let mut retry = ParStore::default();
-    assert!(restore_from_shm_with(&mut retry, &ns, 1, CopyOptions::default()).is_err());
+    assert!(restore_from_shm_with(&mut retry, &ns, V, CopyOptions::default()).is_err());
     assert_ne!(retry, original);
 }
 
@@ -192,7 +195,7 @@ fn commit_failpoint_still_single_shot_under_parallelism() {
     scuba_faults::configure("restart::backup::commit", "error@1").unwrap();
 
     let mut store = ParStore::with_units(6, 2, 128);
-    let err = backup_to_shm_with(&mut store, &ns, 1, CopyOptions::with_threads(4)).unwrap_err();
+    let err = backup_to_shm_with(&mut store, &ns, V, CopyOptions::with_threads(4)).unwrap_err();
     assert_eq!(scuba_faults::triggered("restart::backup::commit"), 1);
     scuba_faults::clear_all();
     assert!(matches!(err, BackupError::Shm(_)), "{err}");

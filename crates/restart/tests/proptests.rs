@@ -9,9 +9,10 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use proptest::collection::{btree_map, vec};
 use proptest::prelude::*;
 
+use scuba_restart::framing::TAG_STORE_BASE;
 use scuba_restart::{
-    backup_to_shm, backup_to_shm_with, restore_from_shm, restore_from_shm_with, ChunkSink,
-    ChunkSource, CopyOptions, RestoreError, ShmPersistable,
+    backup_to_shm, backup_to_shm_with, restore_from_shm, restore_from_shm_with, ChunkDesc,
+    ChunkSink, ChunkSource, CopyOptions, RestoreError, ShmPersistable, SHM_LAYOUT_VERSION,
 };
 use scuba_shmem::{ShmError, ShmNamespace, ShmSegment};
 
@@ -55,13 +56,13 @@ impl ShmPersistable for PropStore {
     }
     fn backup_extracted(data: Self::Unit, sink: &mut dyn ChunkSink) -> Result<(), PropError> {
         for chunk in data {
-            sink.put_chunk(&chunk)?;
+            sink.put_chunk(ChunkDesc::new(TAG_STORE_BASE, 1), &chunk)?;
         }
         Ok(())
     }
     fn decode_unit(_unit: &str, source: &mut dyn ChunkSource) -> Result<Self::Unit, PropError> {
         let mut chunks = Vec::new();
-        while let Some(c) = source.next_chunk()? {
+        while let Some((_desc, c)) = source.next_chunk()? {
             chunks.push(c);
         }
         Ok(chunks)
@@ -74,6 +75,8 @@ impl ShmPersistable for PropStore {
         self.units.values().flatten().map(Vec::len).sum()
     }
 }
+
+const V: u32 = SHM_LAYOUT_VERSION;
 
 static COUNTER: AtomicU32 = AtomicU32::new(0);
 
@@ -113,11 +116,11 @@ proptest! {
         let original = store.clone();
         let mut store = store;
         let opts = CopyOptions::with_threads(threads);
-        let bak = backup_to_shm_with(&mut store, &ns, 1, opts).unwrap();
+        let bak = backup_to_shm_with(&mut store, &ns, V, opts).unwrap();
         prop_assert!(store.units.is_empty());
 
         let mut restored = PropStore::default();
-        let res = restore_from_shm_with(&mut restored, &ns, 1, opts).unwrap();
+        let res = restore_from_shm_with(&mut restored, &ns, V, opts).unwrap();
         prop_assert_eq!(&restored, &original);
         prop_assert_eq!(res.chunks, bak.chunks);
         prop_assert_eq!(res.bytes_copied, bak.bytes_copied);
@@ -137,7 +140,7 @@ proptest! {
         let _c = Cleanup(ns.clone());
         let original = store.clone();
         let mut store = store;
-        backup_to_shm(&mut store, &ns, 1).unwrap();
+        backup_to_shm(&mut store, &ns, V).unwrap();
 
         // Corrupt one byte of one segment (metadata or a table segment).
         let mut names = vec![ns.metadata_name()];
@@ -156,7 +159,7 @@ proptest! {
         }
 
         let mut restored = PropStore::default();
-        match restore_from_shm(&mut restored, &ns, 1) {
+        match restore_from_shm(&mut restored, &ns, V) {
             Ok(_) => {
                 // The flip hit a non-load-bearing byte... there are none
                 // that affect content; restored data must equal original.
@@ -170,16 +173,32 @@ proptest! {
     }
 
     #[test]
-    fn wrong_version_always_falls_back(store in arb_store(), version in 2u32..1000) {
+    fn old_reader_falls_back_new_reader_succeeds(
+        store in arb_store(),
+        newer in 0u32..1000,
+        older in 0u32..2,
+    ) {
+        // The paper's §4.2 policy (any version change ⇒ disk) is relaxed
+        // to a (writer, min-reader) pair: any reader at or above the
+        // image's min_reader_version succeeds, any reader below it falls
+        // back.
         let ns = fresh_ns();
         let _c = Cleanup(ns.clone());
+        let original = store.clone();
         let mut store = store;
-        backup_to_shm(&mut store, &ns, 1).unwrap();
+        backup_to_shm(&mut store, &ns, V).unwrap();
         let mut restored = PropStore::default();
-        let err = restore_from_shm(&mut restored, &ns, version).unwrap_err();
+        let err = restore_from_shm(&mut restored, &ns, older).unwrap_err();
         let RestoreError::Fallback(fb) = err;
-        prop_assert!(fb.reason.contains("layout version"));
+        prop_assert!(fb.reason.contains("requires reader version"));
         prop_assert!(restored.units.is_empty());
+
+        // A fresh image read by a same-or-newer binary restores fine.
+        let mut store = original.clone();
+        backup_to_shm(&mut store, &ns, V).unwrap();
+        let mut restored = PropStore::default();
+        restore_from_shm(&mut restored, &ns, V + newer).unwrap();
+        prop_assert_eq!(&restored, &original);
     }
 
     #[test]
@@ -187,11 +206,11 @@ proptest! {
         let ns = fresh_ns();
         let _c = Cleanup(ns.clone());
         let mut store = store;
-        backup_to_shm(&mut store, &ns, 1).unwrap();
+        backup_to_shm(&mut store, &ns, V).unwrap();
         let mut first = PropStore::default();
-        restore_from_shm(&mut first, &ns, 1).unwrap();
+        restore_from_shm(&mut first, &ns, V).unwrap();
         let mut second = PropStore::default();
-        prop_assert!(restore_from_shm(&mut second, &ns, 1).is_err());
+        prop_assert!(restore_from_shm(&mut second, &ns, V).is_err());
         prop_assert!(second.units.is_empty());
     }
 }

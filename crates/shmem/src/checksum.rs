@@ -1,82 +1,12 @@
 //! CRC-32 (IEEE) used by the metadata region and the restart protocol's
 //! chunk framing.
 //!
-//! Every byte the protocol moves between heap and shared memory is
-//! checksummed, so the CRC sits directly on the restart critical path:
-//! §4.3's "15 GB in 3-4 seconds" budget leaves no room for a
-//! byte-at-a-time loop. [`crc32`] is a slicing-by-8 implementation
-//! (8 table lookups per 8 input bytes, one load chain) that runs several
-//! times faster than the classic Sarwate loop; [`crc32_scalar`] keeps the
-//! one-table reference implementation for differential testing and as the
-//! remainder loop.
-//!
-//! All tables are built at compile time from the reflected IEEE
-//! polynomial, so the two implementations cannot drift apart.
+//! The implementation lives in the shared `scuba-checksum` crate (one
+//! slicing-by-8 kernel for both this crate and the column store, so the
+//! two layers cannot drift apart); this module re-exports it and adds the
+//! instrumented wrapper used on the copy path.
 
-const POLY: u32 = 0xEDB8_8320;
-
-const fn build_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut crc = i as u32;
-        let mut bit = 0;
-        while bit < 8 {
-            crc = if crc & 1 != 0 {
-                (crc >> 1) ^ POLY
-            } else {
-                crc >> 1
-            };
-            bit += 1;
-        }
-        table[i] = crc;
-        i += 1;
-    }
-    table
-}
-
-/// Slicing-by-8 tables: `TABLES[0]` is the classic byte table; entry
-/// `TABLES[k][b]` is the CRC contribution of byte `b` seen `k` positions
-/// before the end of an 8-byte group.
-const fn build_tables() -> [[u32; 256]; 8] {
-    let mut tables = [[0u32; 256]; 8];
-    tables[0] = build_table();
-    let mut k = 1;
-    while k < 8 {
-        let mut i = 0;
-        while i < 256 {
-            let prev = tables[k - 1][i];
-            tables[k][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
-            i += 1;
-        }
-        k += 1;
-    }
-    tables
-}
-
-static TABLES: [[u32; 256]; 8] = build_tables();
-
-/// One-shot CRC-32 of a byte slice (slicing-by-8).
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
-    let mut chunks = bytes.chunks_exact(8);
-    for group in &mut chunks {
-        let lo = u32::from_le_bytes(group[0..4].try_into().unwrap()) ^ crc;
-        let hi = u32::from_le_bytes(group[4..8].try_into().unwrap());
-        crc = TABLES[7][(lo & 0xFF) as usize]
-            ^ TABLES[6][((lo >> 8) & 0xFF) as usize]
-            ^ TABLES[5][((lo >> 16) & 0xFF) as usize]
-            ^ TABLES[4][(lo >> 24) as usize]
-            ^ TABLES[3][(hi & 0xFF) as usize]
-            ^ TABLES[2][((hi >> 8) & 0xFF) as usize]
-            ^ TABLES[1][((hi >> 16) & 0xFF) as usize]
-            ^ TABLES[0][(hi >> 24) as usize];
-    }
-    for &b in chunks.remainder() {
-        crc = (crc >> 8) ^ TABLES[0][((crc ^ b as u32) & 0xFF) as usize];
-    }
-    crc ^ 0xFFFF_FFFF
-}
+pub use scuba_checksum::{crc32, crc32_scalar, Crc32};
 
 /// [`crc32`] with the elapsed time measured and recorded into the
 /// `shmem_crc_nanos_total` / `shmem_crc_bytes_total` counters, so the
@@ -96,60 +26,20 @@ pub fn crc32_timed(bytes: &[u8]) -> (u32, u64) {
     (crc, ns)
 }
 
-/// Reference byte-at-a-time CRC-32 (Sarwate). Kept for differential tests
-/// and benchmarks against [`crc32`]; not used on the copy path.
-pub fn crc32_scalar(bytes: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        crc = (crc >> 8) ^ TABLES[0][((crc ^ b as u32) & 0xFF) as usize];
-    }
-    crc ^ 0xFFFF_FFFF
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn known_vector() {
+    fn reexport_matches_known_vector() {
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b""), 0);
         assert_eq!(crc32_scalar(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32_scalar(b""), 0);
     }
 
     #[test]
-    fn detects_flips() {
-        let mut data = vec![7u8; 100];
-        let base = crc32(&data);
-        data[50] ^= 1;
-        assert_ne!(crc32(&data), base);
-    }
-
-    #[test]
-    fn differential_sliced_vs_scalar() {
-        // Random buffers at every alignment/length class around the 8-byte
-        // group size, from a seeded splitmix64 stream.
-        let mut state = 0x5EED_CAFE_F00D_u64;
-        let mut next = move || {
-            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-            let mut z = state;
-            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-            z ^ (z >> 31)
-        };
-        for len in (0..64).chain([100, 1000, 4096, 4097, 65_536 + 3]) {
-            let buf: Vec<u8> = (0..len).map(|_| next() as u8).collect();
-            assert_eq!(
-                crc32(&buf),
-                crc32_scalar(&buf),
-                "mismatch at len {}",
-                buf.len()
-            );
-            // Unaligned starts too: slicing must not assume alignment.
-            if buf.len() > 3 {
-                assert_eq!(crc32(&buf[3..]), crc32_scalar(&buf[3..]));
-            }
-        }
+    fn timed_wrapper_matches_untimed() {
+        let data = vec![42u8; 4096];
+        let (crc, _ns) = crc32_timed(&data);
+        assert_eq!(crc, crc32(&data));
     }
 }

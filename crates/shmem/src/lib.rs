@@ -37,9 +37,9 @@ pub mod segment;
 pub mod view;
 
 pub use arena::{SegmentReader, SegmentWriter};
-pub use checksum::{crc32, crc32_scalar, crc32_timed};
+pub use checksum::{crc32, crc32_scalar, crc32_timed, Crc32};
 pub use error::{ShmError, ShmResult};
-pub use metadata::{LeafMetadata, MetadataContents};
+pub use metadata::{LeafMetadata, MetadataContents, SegmentEntry, LEGACY_V1_VERSION};
 pub use namespace::ShmNamespace;
 pub use segment::ShmSegment;
 pub use view::{view_unlink_count, SegmentView};

@@ -80,7 +80,7 @@ impl ShmNamespace {
         let listed = crate::metadata::LeafMetadata::open(self)
             .ok()
             .and_then(|meta| meta.read().ok())
-            .map(|contents| contents.segment_names)
+            .map(|contents| contents.segment_names())
             .unwrap_or_default();
         for name in &listed {
             if ShmSegment::unlink(name).unwrap_or(false) {
@@ -150,9 +150,9 @@ mod tests {
         let ns = ShmNamespace::new(&format!("swpreg{}", std::process::id()), 8).unwrap();
         // Register a segment far past the cap: only the registry knows it.
         let far = ns.table_segment_name(9);
-        let mut meta = LeafMetadata::create(&ns, 1).unwrap();
+        let mut meta = LeafMetadata::create(&ns, 2, 2).unwrap();
         let _t = ShmSegment::create(&far, 16).unwrap();
-        meta.add_segment(&far).unwrap();
+        meta.add_segment_invalidating(&far, 2, 0).unwrap();
         drop(meta);
         assert_eq!(ns.unlink_all(2), 2); // metadata + t9, despite cap 2
         assert!(!ShmSegment::exists(&far));

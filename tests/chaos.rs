@@ -40,6 +40,10 @@ fn chaos_soak_over_restart_protocol() {
         // soak stands kill-during-hydration (and every shared site) on
         // both restore modes.
         two_phase: env_u64("SCUBA_CHAOS_TWO_PHASE", 1) != 0,
+        // The seeded script also varies the outgoing writer (current /
+        // pre-refactor v1 / early-TLV v2), so faults land on
+        // cross-version images too.
+        mixed_writers: env_u64("SCUBA_CHAOS_MIXED_WRITERS", 1) != 0,
     };
     let report = run_chaos(&cfg).unwrap_or_else(|violation| panic!("{violation}"));
 
@@ -59,6 +63,17 @@ fn chaos_soak_over_restart_protocol() {
             report.disk_recoveries,
             report.memory_recoveries
         );
+        // Cross-version waves: old-writer images must have memory-restored
+        // under the current binary somewhere in the soak.
+        if cfg.mixed_writers {
+            assert!(
+                report
+                    .records
+                    .iter()
+                    .any(|r| r.writer != "current" && r.memory),
+                "no old-writer image memory-restored over {waves} waves"
+            );
+        }
     }
 
     // --- Metrics invariants over the whole soak. ---

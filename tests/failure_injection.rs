@@ -140,11 +140,14 @@ fn column_payload_bitflip_caught_by_checksum() {
 
 #[test]
 fn layout_version_skew() {
+    // An image stamped with a min-reader version above this binary's:
+    // written by a far-future writer whose layout we cannot parse. The
+    // u32 at offset 8 of the v2 metadata region is min_reader_version.
     let r = rig("lv", 2000);
     let mut seg = ShmSegment::open(&r.ns.metadata_name()).unwrap();
-    seg.as_mut_slice()[4] = 99;
+    seg.as_mut_slice()[8] = 99;
     drop(seg);
-    assert_disk_fallback(&r, Some("layout version"));
+    assert_disk_fallback(&r, Some("requires reader version"));
 }
 
 #[test]
