@@ -204,8 +204,165 @@ fn ttfq_sweep(assert_speedup: bool, json: &mut BenchJson) {
     }
 }
 
+/// One E16 measurement: crash the leaf (no clean shutdown) and time the
+/// three recovery paths over the same data:
+///
+/// * warm-image **attach** + WAL tail replay (two-phase, time to serving),
+/// * warm-image **full restore** + WAL tail replay,
+/// * disk recovery (what the paper's §4.3 conservatism always pays).
+///
+/// Every fast trial rebuilds its warm state — checkpoint, then a fresh
+/// post-checkpoint WAL tail, then `crash()` — so the attach and full
+/// numbers are minima over `trials`. Returns
+/// (attach, full, disk, replayed-records, total-rows).
+fn crash_once(rows: usize, trials: usize) -> (f64, f64, f64, usize, usize) {
+    let mut rig = LeafRig::new("e16");
+    rig.config.checkpoint_enabled = true;
+    let server = build_leaf(&rig, rows);
+    let mut total = server.total_rows();
+    let tail_n = (rows / 20).max(100);
+    let mut replayed = 0usize;
+
+    let mut measure = |rig: &mut LeafRig,
+                       server: &mut Option<LeafServer>,
+                       total: &mut usize,
+                       trial: usize|
+     -> f64 {
+        let mut s = server.take().expect("leaf present");
+        s.checkpoint_and_wait().expect("checkpoint");
+        let tail = dense_rows(tail_n, 7000 + trial as u64);
+        s.add_rows("wal_tail", &tail, 0).expect("add wal tail");
+        s.sync_disk().expect("sync");
+        *total += tail_n;
+        s.crash();
+        drop(s);
+        let t = Instant::now();
+        let (restarted, outcome) = LeafServer::start(rig.config.clone(), 0, None).expect("start");
+        let secs = t.elapsed().as_secs_f64();
+        assert!(
+            outcome.is_memory() && restarted.recovered_from_checkpoint(),
+            "expected warm-image crash recovery, got {outcome:?}"
+        );
+        replayed = restarted.wal_replayed_records();
+        assert!(replayed > 0, "the WAL tail must have been replayed");
+        *server = Some(restarted);
+        let s = server.as_mut().expect("leaf present");
+        if s.is_hydrating() {
+            s.finish_hydration().expect("hydrate");
+        }
+        assert_eq!(s.total_rows(), *total);
+        secs
+    };
+
+    // Attach + replay: serving over mapped segments, hydrating behind.
+    rig.config.restore_mode = RestoreMode::TwoPhase;
+    let mut server = Some(server);
+    let mut attach_secs = f64::MAX;
+    for trial in 0..trials {
+        attach_secs = attach_secs.min(measure(&mut rig, &mut server, &mut total, trial));
+    }
+
+    // Full restore + replay of the same crash state.
+    rig.config.restore_mode = RestoreMode::Full;
+    let mut full_secs = f64::MAX;
+    for trial in 0..trials {
+        full_secs = full_secs.min(measure(&mut rig, &mut server, &mut total, 100 + trial));
+    }
+
+    // Disk baseline: crash again with no warm image left (the recovery
+    // just consumed it and nothing re-checkpointed), i.e. the only path
+    // the paper allows after any crash.
+    let mut s = server.take().expect("leaf present");
+    s.crash();
+    drop(s);
+    let t = Instant::now();
+    let (s, outcome) = LeafServer::start(rig.config.clone(), 0, None).expect("start");
+    let disk_secs = t.elapsed().as_secs_f64();
+    assert!(
+        !outcome.is_memory(),
+        "expected disk recovery, got {outcome:?}"
+    );
+    assert_eq!(s.total_rows(), total);
+
+    (attach_secs, full_secs, disk_secs, replayed, total)
+}
+
+/// E16 — crash restarts: continuous checkpoint + WAL tail replay vs the
+/// disk path, across sizes. When `assert_speedup` is set the default
+/// scale must show the warm attach ≥10x faster than disk recovery.
+fn crash_sweep(assert_speedup: bool, json: &mut BenchJson) {
+    println!("\n-- E16: crash recovery, warm image + WAL replay vs disk (size sweep) --\n");
+    let _ = crash_once(10_000, 1); // untimed warmup
+    println!(
+        "  {:>10} {:>12} {:>12} {:>12} {:>10} {:>11}",
+        "rows", "attach+wal", "full+wal", "disk", "replayed", "disk/attach"
+    );
+    let mut default_ratio = 0.0f64;
+    for rows in [100_000usize, 300_000, 1_000_000] {
+        let (attach, full, disk, replayed, total) = crash_once(rows, 3);
+        let ratio = disk / attach;
+        if rows == 1_000_000 {
+            default_ratio = ratio;
+        }
+        json.push(
+            "e16_crash",
+            &[
+                ("rows", total as f64),
+                ("attach_replay_secs", attach),
+                ("full_replay_secs", full),
+                ("disk_recovery_secs", disk),
+                ("wal_records_replayed", replayed as f64),
+            ],
+        );
+        println!(
+            "  {:>10} {:>12} {:>12} {:>12} {:>10} {:>10.1}x",
+            total,
+            fmt_dur(attach),
+            fmt_dur(full),
+            fmt_dur(disk),
+            replayed,
+            ratio,
+        );
+    }
+    if assert_speedup {
+        assert!(
+            default_ratio >= 10.0,
+            "crash recovery via warm image + WAL replay must be >=10x faster \
+             than disk at default scale, got {default_ratio:.1}x"
+        );
+        println!(
+            "\n  crash fast path >=10x faster than disk at default scale: ok ({default_ratio:.1}x)"
+        );
+    }
+}
+
 fn main() {
     let mut json = BenchJson::default();
+
+    // CI smoke: exercise only the crash-recovery paths, quickly.
+    if std::env::args().any(|a| a == "--crash") {
+        header("E16", "crash-path fast restart smoke (--crash)");
+        let (attach, full, disk, replayed, total) = crash_once(30_000, 1);
+        println!(
+            "\n  rows {total} | attach+wal {} | full+wal {} | disk {} | replayed {replayed} records",
+            fmt_dur(attach),
+            fmt_dur(full),
+            fmt_dur(disk),
+        );
+        println!("  crash fast path healthy: ok");
+        json.push(
+            "e16_crash_smoke",
+            &[
+                ("rows", total as f64),
+                ("attach_replay_secs", attach),
+                ("full_replay_secs", full),
+                ("disk_recovery_secs", disk),
+                ("wal_records_replayed", replayed as f64),
+            ],
+        );
+        json.write();
+        return;
+    }
 
     // CI smoke: exercise only the attach/hydrate path, quickly.
     if std::env::args().any(|a| a == "--attach-only") {
@@ -370,6 +527,7 @@ fn main() {
     }
 
     ttfq_sweep(true, &mut json);
+    crash_sweep(true, &mut json);
 
     println!("\n-- paper scale (simulator, 8 leaves x 15 GB per machine) --\n");
     let cfg = SimConfig::paper_defaults();

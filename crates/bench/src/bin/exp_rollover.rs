@@ -102,6 +102,10 @@ fn main() {
             new_version: s.new,
             hydrating: 0,
             availability: s.availability,
+            checkpoint_lag_blocks: 0,
+            wal_bytes: 0,
+            wal_replay_ns: 0,
+            crash_fast_recoveries: 0,
         });
     }
     println!("{}", dash.render(8));

@@ -147,6 +147,60 @@ const INJECTIONS: &[Injection] = &[
     },
 ];
 
+/// One scripted crash-wave wound. `pre_crash` sites arm *before* the
+/// wave's checkpoint + ingest (they wound the continuous checkpoint or
+/// the WAL while serving); the rest arm right before the kill and wound
+/// the recovery itself. Every one of them must produce a disk fallback
+/// with exact durable fidelity — never a wedge, never a phantom row.
+struct CrashInjection {
+    site: &'static str,
+    plan: &'static str,
+    pre_crash: bool,
+}
+
+/// The crash-wave wound script (drawn for ~1 in 3 crash waves; the rest
+/// crash clean and must take the fast path).
+const CRASH_INJECTIONS: &[CrashInjection] = &[
+    CrashInjection {
+        // Checkpoint cycle dies inside the invalid window: image stays
+        // invalid, crash goes to disk.
+        site: "leaf::checkpoint::write",
+        plan: "error@1",
+        pre_crash: true,
+    },
+    CrashInjection {
+        // WAL append fails mid-ingest: the path poisons itself (image
+        // torn down) rather than pair an image with a holed log.
+        site: "restart::wal::append",
+        plan: "error@1",
+        pre_crash: true,
+    },
+    CrashInjection {
+        // WAL fsync fails at the sync barrier: same poisoning contract.
+        site: "restart::wal::fsync",
+        plan: "error@1",
+        pre_crash: true,
+    },
+    CrashInjection {
+        // Replay finds the log unreadable: condemn the memory recovery.
+        site: "restart::wal::replay",
+        plan: "error@1",
+        pre_crash: false,
+    },
+    CrashInjection {
+        // Torn restore copy out of the warm image.
+        site: "restart::restore::chunk",
+        plan: "error@1",
+        pre_crash: false,
+    },
+    CrashInjection {
+        // Checkpoint segment vanished before the restore could open it.
+        site: "shmem::segment::open",
+        plan: "error@1",
+        pre_crash: false,
+    },
+];
+
 /// Soak parameters.
 #[derive(Debug, Clone)]
 pub struct ChaosConfig {
@@ -172,6 +226,13 @@ pub struct ChaosConfig {
     /// modes are stood on cross-version images, not just same-version
     /// ones.
     pub mixed_writers: bool,
+    /// When true, the leaf runs with the continuous-checkpoint + WAL
+    /// crash path enabled and *even* waves die by mid-ingest kill
+    /// (checkpoint → more ingest → unsynced tail → `crash()`) instead of
+    /// a planned rollover. A clean kill must come back through the warm
+    /// image + WAL replay with every WAL'd row; a wounded one must fall
+    /// back to disk with exactly the durable rows.
+    pub crash_waves: bool,
 }
 
 /// Writer label drawn for a wave (stable across runs for a given seed).
@@ -195,6 +256,9 @@ pub struct WaveRecord {
     /// Which writer format the outgoing leaf shut down with
     /// (`"current"` unless [`ChaosConfig::mixed_writers`] drew an old one).
     pub writer: &'static str,
+    /// Whether this wave died by mid-ingest kill (crash wave) rather
+    /// than a planned rollover.
+    pub crash: bool,
 }
 
 /// Soak summary; the wave trace is fully deterministic for a given
@@ -207,6 +271,13 @@ pub struct ChaosReport {
     pub memory_recoveries: usize,
     /// Waves that came back via disk recovery.
     pub disk_recoveries: usize,
+    /// Crash waves run (0 unless [`ChaosConfig::crash_waves`]).
+    pub crash_waves: usize,
+    /// Crash waves that recovered through the warm checkpoint image +
+    /// WAL replay (the fast crash path).
+    pub crash_fast_recoveries: usize,
+    /// Crash waves that fell back to disk (wounded ones).
+    pub crash_disk_fallbacks: usize,
     /// Trigger counts per site, over the whole soak.
     pub fired_by_site: BTreeMap<String, u64>,
     /// Rows held by the leaf after the final wave.
@@ -238,6 +309,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
 
     let mut leaf_cfg = LeafConfig::new(0, cfg.shm_prefix.clone(), cfg.disk_root.clone());
     leaf_cfg.copy_threads = cfg.copy_threads;
+    leaf_cfg.checkpoint_enabled = cfg.crash_waves;
     let ns = ShmNamespace::new(&cfg.shm_prefix, 0).map_err(|e| e.to_string())?;
     let mut server = LeafServer::new(leaf_cfg.clone()).map_err(|e| e.to_string())?;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -249,6 +321,9 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
         waves: 0,
         memory_recoveries: 0,
         disk_recoveries: 0,
+        crash_waves: 0,
+        crash_fast_recoveries: 0,
+        crash_disk_fallbacks: 0,
         fired_by_site: BTreeMap::new(),
         final_rows: 0,
         records: Vec::with_capacity(cfg.waves),
@@ -258,6 +333,18 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
     // while a fault is armed, so recovery must reproduce these exactly.
     let mut durable_data = 0usize;
     let mut durable_aux = 0usize;
+    // The crash-wave tail table: ingested *after* the last sync, killed
+    // before the next one, so its rows are never disk-durable — they live
+    // only in the WAL (and, once checkpointed, the image). `tail_rows` is
+    // what the previous wave's recovery held; `tail_next` keys new rows.
+    let mut tail_rows = 0usize;
+    let mut tail_next = 0usize;
+    // Recoveries the leaf itself attributed to a warm checkpoint image.
+    // Usually equal to the fast crash recoveries, but a wound can hit the
+    // pre-recovery probe (e.g. `shmem::segment::open` fires on the probe's
+    // metadata open), leaving a fast recovery unattributed — so the metric
+    // invariant compares against the leaf's own flag, not the outcome.
+    let mut warm_recoveries = 0usize;
 
     for wave in 0..cfg.waves {
         // --- Ingest, then make everything durable before wounding. ---
@@ -287,23 +374,97 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
         };
         server.set_writer_compat(writer);
 
-        // --- Arm one scripted fault. ---
-        let inj = &INJECTIONS[rng.gen_range(0..INJECTIONS.len())];
-        scuba_faults::configure(inj.site, inj.plan)?;
-        if let Some((site, plan)) = inj.companion {
-            scuba_faults::configure(site, plan)?;
-        }
-
-        // --- One rollover under fire. A failed shutdown is what the
-        // rollover script's timeout-kill produces: a crashed old process.
-        if server.shutdown_to_shm(0).is_err() {
+        // --- Take the wave down: mid-ingest kill (even crash waves) or a
+        // planned rollover with one scripted fault armed. ---
+        let crash_wave = cfg.crash_waves && wave % 2 == 0;
+        let mut armed_sites: Vec<&'static str> = Vec::new();
+        let site_label: &'static str;
+        let mut wounded = false;
+        let mut c_n = 0usize;
+        if crash_wave {
+            wounded = rng.gen_range(0..3u32) == 0;
+            let winj = if wounded {
+                Some(&CRASH_INJECTIONS[rng.gen_range(0..CRASH_INJECTIONS.len())])
+            } else {
+                None
+            };
+            site_label = winj.map_or("crash::clean", |i| i.site);
+            if let Some(i) = winj {
+                armed_sites.push(i.site);
+                if i.pre_crash {
+                    scuba_faults::configure(i.site, i.plan)?;
+                }
+            }
+            // Continuous checkpoint covering everything ingested so far.
+            // Only a scripted wound is allowed to make it fail.
+            if let Err(e) = server.checkpoint_and_wait() {
+                if winj.is_none() {
+                    return Err(err(wave, "unwounded checkpoint failed", e));
+                }
+            }
+            // Post-checkpoint synced batch: the fast path gets it back by
+            // WAL replay, the fallback from disk.
+            let b_n = cfg.rows_per_wave / 2 + 1;
+            let b: Vec<Row> = (durable_data..durable_data + b_n)
+                .map(|i| Row::at(i as i64).with("v", i as i64))
+                .collect();
+            server
+                .add_rows("data", &b, 0)
+                .map_err(|e| err(wave, "add post-checkpoint data", e))?;
+            server
+                .sync_disk()
+                .map_err(|e| err(wave, "post-checkpoint sync", e))?;
+            durable_data += b_n;
+            // Unsynced tail: rows only the WAL holds at kill time. They are
+            // never disk-durable — the crash discards the buffered writes —
+            // so a fast recovery must replay every one of them and a disk
+            // fallback must surface none.
+            c_n = cfg.rows_per_wave / 4 + 1;
+            let c: Vec<Row> = (tail_next..tail_next + c_n)
+                .map(|i| Row::at(i as i64).with("t", i as i64))
+                .collect();
+            server
+                .add_rows("tail", &c, 0)
+                .map_err(|e| err(wave, "add tail", e))?;
+            tail_next += c_n;
+            // Recovery-side wounds arm at the last instant; then the kill.
+            if let Some(i) = winj {
+                if !i.pre_crash {
+                    scuba_faults::configure(i.site, i.plan)?;
+                }
+            }
             server.crash();
+        } else {
+            // --- Arm one scripted fault. ---
+            let inj = &INJECTIONS[rng.gen_range(0..INJECTIONS.len())];
+            site_label = inj.site;
+            armed_sites.push(inj.site);
+            scuba_faults::configure(inj.site, inj.plan)?;
+            if let Some((site, plan)) = inj.companion {
+                armed_sites.push(site);
+                scuba_faults::configure(site, plan)?;
+            }
+
+            // --- One rollover under fire. A failed shutdown is what the
+            // rollover script's timeout-kill produces: a crashed old
+            // process.
+            if server.shutdown_to_shm(0).is_err() {
+                server.crash();
+            }
         }
         // The leaf is down: the metric-fed dashboard must show the dip.
         report
             .dashboard
             .push(feed.sample_metrics(started.elapsed()));
-        leaf_cfg.restore_mode = if cfg.two_phase && wave % 2 == 1 {
+        // With crash waves in play the even slots all crash, so alternate
+        // the restore mode on wave *pairs* to keep both attach flavours
+        // exercised on both the planned and the crash path.
+        let two_phase_wave = if cfg.crash_waves {
+            (wave / 2) % 2 == 1
+        } else {
+            wave % 2 == 1
+        };
+        leaf_cfg.restore_mode = if cfg.two_phase && two_phase_wave {
             RestoreMode::TwoPhase
         } else {
             RestoreMode::Full
@@ -344,7 +505,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
 
         // --- Bookkeeping, then disarm. ---
         let mut fired = false;
-        for site in std::iter::once(inj.site).chain(inj.companion.map(|(s, _)| s)) {
+        for site in armed_sites {
             let t = scuba_faults::triggered(site);
             if t > 0 {
                 fired = true;
@@ -358,8 +519,47 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
             return Err(err(wave, "leaf not alive", server.phase().name()));
         }
 
+        // --- Crash-wave invariants: a clean kill MUST come back through
+        // the warm image + WAL replay; the unsynced tail is recovered
+        // exactly (fast path) or exactly absent (disk fallback — its rows
+        // were never synced, and the kill discards buffered writes). ---
+        if crash_wave && !wounded && !outcome.is_memory() {
+            return Err(err(
+                wave,
+                "clean crash fell back to disk",
+                format!("{outcome:?}"),
+            ));
+        }
+        let tail_now = if cfg.crash_waves {
+            server
+                .query(&Query::new("tail", 0, i64::MAX))
+                .map_err(|e| err(wave, "tail query", e))?
+                .rows_matched as usize
+        } else {
+            0
+        };
+        let tail_want = if !outcome.is_memory() {
+            0
+        } else if crash_wave {
+            tail_rows + c_n
+        } else {
+            tail_rows
+        };
+        if tail_now != tail_want {
+            return Err(err(
+                wave,
+                "tail fidelity violation",
+                format!(
+                    "recovered {tail_now} tail rows, want {tail_want} (crash={crash_wave}, \
+                     memory={}, wounded={wounded})",
+                    outcome.is_memory()
+                ),
+            ));
+        }
+        tail_rows = tail_now;
+
         // --- Invariant 2: durably synced data survived, exactly. ---
-        let expected = durable_data + durable_aux;
+        let expected = durable_data + durable_aux + tail_rows;
         if server.total_rows() != expected {
             return Err(err(
                 wave,
@@ -389,13 +589,24 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
             ));
         }
 
-        // --- Invariant 3: nothing orphaned in /dev/shm. ---
+        // --- Invariant 3: nothing orphaned in /dev/shm. The new leaf's
+        // checkpointer has not written an image yet at this point, so any
+        // checkpoint segment on either parity is a leak from the wave. ---
         if ShmSegment::exists(&ns.metadata_name()) {
             return Err(err(wave, "orphan segment", ns.metadata_name()));
         }
         for i in 0..8 {
             if ShmSegment::exists(&ns.table_segment_name(i)) {
                 return Err(err(wave, "orphan segment", ns.table_segment_name(i)));
+            }
+            for parity in 0..2 {
+                if ShmSegment::exists(&ns.checkpoint_segment_name(parity, i)) {
+                    return Err(err(
+                        wave,
+                        "orphan checkpoint segment",
+                        ns.checkpoint_segment_name(parity, i),
+                    ));
+                }
             }
         }
 
@@ -406,19 +617,53 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
 
         report.records.push(WaveRecord {
             wave,
-            site: inj.site,
+            site: site_label,
             fired,
             memory: outcome.is_memory(),
             writer: writer_name,
+            crash: crash_wave,
         });
         if outcome.is_memory() {
             report.memory_recoveries += 1;
         } else {
             report.disk_recoveries += 1;
         }
+        if crash_wave {
+            report.crash_waves += 1;
+            if outcome.is_memory() {
+                report.crash_fast_recoveries += 1;
+            } else {
+                report.crash_disk_fallbacks += 1;
+            }
+        }
+        if server.recovered_from_checkpoint() {
+            warm_recoveries += 1;
+        }
         report.waves += 1;
     }
     report.final_rows = server.total_rows();
+    // Metric invariants: the leaf's own fast-crash-recovery counter must
+    // agree with the warm recoveries the soak observed wave by wave, and
+    // every warm recovery must have been a fast one.
+    if cfg.crash_waves {
+        if warm_recoveries > report.crash_fast_recoveries {
+            return Err(format!(
+                "warm recoveries {warm_recoveries} exceed fast crash recoveries {}",
+                report.crash_fast_recoveries
+            ));
+        }
+        if scuba_obs::enabled() {
+            let labels = [("leaf", server.obs_key())];
+            let fast =
+                scuba_obs::labeled_counter("leaf_crash_fast_recoveries_total", &labels).get();
+            if fast as usize != warm_recoveries {
+                return Err(format!(
+                    "metric invariant violated: leaf_crash_fast_recoveries_total {fast} != \
+                     observed warm recoveries {warm_recoveries}"
+                ));
+            }
+        }
+    }
     ns.unlink_all(8);
     Ok(report)
 }
@@ -440,6 +685,7 @@ mod tests {
             copy_threads: 0,
             two_phase: true,
             mixed_writers: false,
+            crash_waves: false,
         }
     }
 
@@ -484,6 +730,63 @@ mod tests {
         assert_eq!(seq.records, par.records);
         assert_eq!(seq.final_rows, par.final_rows);
         let _ = std::fs::remove_dir_all(&cfg_par.disk_root);
+    }
+
+    #[test]
+    fn crash_wave_soak_recovers_fast_and_is_deterministic() {
+        // Crash-wave soak: even waves die by mid-ingest kill. Clean kills
+        // must come back through the warm checkpoint image + WAL replay
+        // (asserted inside run_chaos, along with exact tail fidelity and
+        // per-wave orphan sweeps); wounded ones fall back to disk. The
+        // seeded script must exercise both outcomes, and the whole trace
+        // must be deterministic.
+        let mut cfg = soak_config("cw", 24, 41);
+        cfg.crash_waves = true;
+        let a = run_chaos(&cfg).unwrap();
+        assert_eq!(a.waves, 24);
+        assert_eq!(a.crash_waves, 12);
+        assert_eq!(
+            a.crash_fast_recoveries + a.crash_disk_fallbacks,
+            a.crash_waves
+        );
+        assert!(
+            a.crash_fast_recoveries > 0,
+            "no crash wave took the fast path: {:?}",
+            a.records
+        );
+        assert!(
+            a.records.iter().any(|r| r.crash && !r.memory),
+            "no wounded crash wave fell back to disk: {:?}",
+            a.records
+        );
+        // Planned rollovers still interleave and still memory-restore.
+        assert!(a.records.iter().any(|r| !r.crash && r.memory));
+        // The metric-fed dashboard rows carry the crash-path overlay:
+        // cumulative fast recoveries and (while the WAL has a tail) the
+        // pending byte count.
+        if scuba_obs::enabled() {
+            assert!(
+                a.dashboard
+                    .rows()
+                    .iter()
+                    .any(|r| r.crash_fast_recoveries > 0),
+                "dashboard never surfaced a fast crash recovery"
+            );
+            assert!(
+                a.dashboard.rows().iter().any(|r| r.wal_bytes > 0),
+                "dashboard never surfaced WAL bytes"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&cfg.disk_root);
+
+        // Same seed, fresh state: identical crash script and outcomes.
+        let mut cfg_b = soak_config("cwb", 24, 41);
+        cfg_b.crash_waves = true;
+        let b = run_chaos(&cfg_b).unwrap();
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.crash_fast_recoveries, b.crash_fast_recoveries);
+        assert_eq!(a.final_rows, b.final_rows);
+        let _ = std::fs::remove_dir_all(&cfg_b.disk_root);
     }
 
     #[test]

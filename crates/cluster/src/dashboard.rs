@@ -33,6 +33,18 @@ pub struct DashboardRow {
     pub hydrating: usize,
     /// Query availability at this instant (fraction of leaves answering).
     pub availability: f64,
+    /// Crash-path overlay, summed across leaves: sealed row blocks not
+    /// yet covered by a warm checkpoint image (`leaf_checkpoint_lag_blocks`).
+    /// Zero when the continuous-checkpoint path is off.
+    pub checkpoint_lag_blocks: i64,
+    /// WAL record bytes pending replay across leaves (`leaf_wal_bytes`).
+    pub wal_bytes: i64,
+    /// Slowest WAL tail replay seen on any leaf, in nanoseconds
+    /// (`leaf_wal_replay_ns`).
+    pub wal_replay_ns: i64,
+    /// Cumulative fast crash recoveries across the fleet
+    /// (`leaf_crash_fast_recoveries_total`).
+    pub crash_fast_recoveries: u64,
 }
 
 /// A time series of rollover progress.
@@ -152,6 +164,16 @@ fn is_hydrating(key: &str) -> bool {
     scuba_obs::gauge_value(&name) == Some(i64::from(scuba_leaf::LeafPhase::Hydrating.index()))
 }
 
+fn leaf_gauge(name: &str, key: &str) -> i64 {
+    let name = scuba_obs::labeled_name(name, &[("leaf", key)]);
+    scuba_obs::gauge_value(&name).unwrap_or(0)
+}
+
+fn leaf_counter(name: &str, key: &str) -> u64 {
+    let name = scuba_obs::labeled_name(name, &[("leaf", key)]);
+    scuba_obs::counter_value(&name).unwrap_or(0)
+}
+
 impl DashboardFeed {
     /// A feed over every leaf in `cluster`, with recovery baselines taken
     /// now. Create it immediately before starting a rollover.
@@ -206,7 +228,15 @@ impl DashboardFeed {
         let mut new_version = 0;
         let mut hydrating = 0;
         let mut answering = 0;
+        let mut checkpoint_lag_blocks = 0i64;
+        let mut wal_bytes = 0i64;
+        let mut wal_replay_ns = 0i64;
+        let mut crash_fast_recoveries = 0u64;
         for (i, key) in self.keys.iter().enumerate() {
+            checkpoint_lag_blocks += leaf_gauge("leaf_checkpoint_lag_blocks", key);
+            wal_bytes += leaf_gauge("leaf_wal_bytes", key);
+            wal_replay_ns = wal_replay_ns.max(leaf_gauge("leaf_wal_replay_ns", key));
+            crash_fast_recoveries += leaf_counter("leaf_crash_fast_recoveries_total", key);
             let accepts =
                 accepting(key).unwrap_or_else(|| fallback_accepts.get(i).copied().unwrap_or(true));
             if accepts {
@@ -240,6 +270,10 @@ impl DashboardFeed {
             } else {
                 answering as f64 / total as f64
             },
+            checkpoint_lag_blocks,
+            wal_bytes,
+            wal_replay_ns,
+            crash_fast_recoveries,
         }
     }
 }
@@ -256,6 +290,10 @@ mod tests {
             new_version: new,
             hydrating: 0,
             availability: avail,
+            checkpoint_lag_blocks: 0,
+            wal_bytes: 0,
+            wal_replay_ns: 0,
+            crash_fast_recoveries: 0,
         }
     }
 

@@ -112,6 +112,17 @@ impl Table {
         self.builder.row_count()
     }
 
+    /// Encode the in-progress builder into a row block without sealing it
+    /// (`None` when no rows are buffered). The live checkpointer persists
+    /// open-block state through this: the builder keeps accumulating, and
+    /// the snapshot is a self-contained block image of the rows so far.
+    pub fn unsealed_snapshot(&self) -> Result<Option<RowBlock>> {
+        if self.builder.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(self.builder.snapshot()?))
+    }
+
     /// Total rows, sealed + buffered.
     pub fn row_count(&self) -> usize {
         self.blocks.iter().map(|b| b.row_count()).sum::<usize>() + self.builder.row_count()

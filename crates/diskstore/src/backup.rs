@@ -162,6 +162,19 @@ impl DiskBackup {
         Ok(())
     }
 
+    /// Drop every buffered, not-yet-written byte without flushing — what
+    /// a SIGKILL does to the userspace buffer. The in-process crash
+    /// simulation calls this so its durability contract matches a real
+    /// process death instead of quietly flushing on drop.
+    pub fn discard_buffered(&mut self) {
+        for (_, writer) in std::mem::take(&mut self.writers) {
+            // `into_parts` hands the buffer back unwritten; dropping it
+            // (and the file) loses exactly the unsynced tail.
+            let _ = writer.into_parts();
+        }
+        self.dirty_bytes = 0;
+    }
+
     /// Flush and fsync every table log — the shutdown step "finishes any
     /// pending synchronization with the data on disk" (§4.1). Returns the
     /// number of dirty bytes made durable.

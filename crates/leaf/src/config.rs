@@ -64,6 +64,15 @@ pub struct LeafConfig {
     /// production; the older formats simulate a pre-upgrade binary for
     /// mixed-version restart waves.
     pub writer_compat: WriterCompat,
+    /// Whether the continuous checkpointer + WAL crash-restart path is on.
+    /// Off by default: the paper's planned-shutdown-only protocol is the
+    /// baseline, and the crash path is the opt-in extension.
+    pub checkpoint_enabled: bool,
+    /// Auto-checkpoint after this many rows have landed since the last
+    /// checkpoint. 0 means explicit-only ([`crate::LeafServer::
+    /// checkpoint_and_wait`]); tests and chaos use explicit mode for
+    /// determinism.
+    pub checkpoint_interval_rows: usize,
 }
 
 impl LeafConfig {
@@ -79,6 +88,8 @@ impl LeafConfig {
             copy_threads: 0,
             restore_mode: RestoreMode::Full,
             writer_compat: WriterCompat::Current,
+            checkpoint_enabled: false,
+            checkpoint_interval_rows: 0,
         }
     }
 }

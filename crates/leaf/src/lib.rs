@@ -20,12 +20,14 @@
 //!   any problem (no valid bit, version skew, torn data) falls back to
 //!   disk recovery, exactly as in Figures 5(b)/5(d)/7.
 
+pub mod checkpoint;
 pub mod compat;
 pub mod config;
 pub mod error;
 pub mod persist;
 pub mod server;
 
+pub use checkpoint::{CheckpointOutcome, CheckpointStats, Checkpointer, SEG_FLAG_CHECKPOINT};
 pub use config::{LeafConfig, RestoreMode, WriterCompat};
 pub use error::{LeafError, LeafResult};
 pub use persist::LeafStore;

@@ -5,21 +5,27 @@ use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use scuba_columnstore::{Row, RowBlock};
-use scuba_diskstore::{DiskBackup, RecoveryStats, Throttle};
+use scuba_columnstore::{Row, RowBlock, Table};
+use scuba_diskstore::{rowformat, DiskBackup, RecoveryStats, Throttle};
 use scuba_obs::PhaseBreakdown;
 use scuba_query::{execute, LeafQueryResult, Query};
 use scuba_restart::{
-    attach_from_shm, backup_to_shm_with, resolve_copy_threads, restore_from_shm_with, AttachReport,
-    BackupReport, CopyOptions, LeafBackupState, LeafRestoreState, RestoreError, RestoreReport,
-    TableBackupState, SHM_LAYOUT_VERSION,
+    attach_from_shm, backup_to_shm_with, read_wal, resolve_copy_threads, restore_from_shm_with,
+    AttachReport, BackupReport, CopyOptions, LeafBackupState, LeafRestoreState, RestoreError,
+    RestoreReport, TableBackupState, WalWriter, SHM_LAYOUT_VERSION,
 };
-use scuba_shmem::ShmNamespace;
+use scuba_shmem::{LeafMetadata, ShmNamespace};
 
+use crate::checkpoint::{snapshot_tables, CheckpointJob, CheckpointOutcome, CheckpointStats};
+use crate::checkpoint::{Checkpointer, SEG_FLAG_CHECKPOINT};
 use crate::compat;
 use crate::config::{LeafConfig, RestoreMode, WriterCompat};
 use crate::error::{LeafError, LeafResult};
 use crate::persist::LeafStore;
+
+/// WAL file name inside `disk_root`. The disk backup only reads
+/// `*.rows` files during recovery, so the log can live alongside them.
+pub const WAL_FILE: &str = "leaf.wal";
 
 /// Check the failpoint guarding entry into a lifecycle phase. `error`
 /// plans surface as [`LeafError::Injected`] (the caller treats the leaf as
@@ -30,6 +36,119 @@ fn phase_failpoint(site: &'static str) -> LeafResult<()> {
         return Err(LeafError::Injected { site });
     }
     Ok(())
+}
+
+/// One decoded WAL record: a single ingest batch with its dedup anchor.
+struct WalBatch {
+    /// Destination table.
+    table: String,
+    /// The table's row count immediately *before* the batch was applied —
+    /// the idempotence anchor: replay skips the record when the restored
+    /// table already covers it, appends when it lines up exactly, and
+    /// declares the image inconsistent otherwise.
+    start_rows: u64,
+    /// The batch itself.
+    rows: Vec<Row>,
+}
+
+/// Encode one ingest batch as a WAL record payload:
+/// `name_len u16 | name | start_rows u64 | n_rows u32 | rowformat records`.
+fn encode_wal_batch(table: &str, start_rows: u64, rows: &[Row]) -> Vec<u8> {
+    let name = table.as_bytes();
+    let mut buf = Vec::with_capacity(14 + name.len() + rows.len() * 16);
+    buf.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    buf.extend_from_slice(name);
+    buf.extend_from_slice(&start_rows.to_le_bytes());
+    buf.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+    for row in rows {
+        rowformat::write_record(row, &mut buf);
+    }
+    buf
+}
+
+/// Decode a WAL record payload. The outer frame's CRC already matched, so
+/// any structural problem here is a logic error worth failing loudly on —
+/// the caller answers with a disk fallback, never a partial apply.
+fn decode_wal_batch(payload: &[u8]) -> Result<WalBatch, String> {
+    let need = |n: usize, pos: usize| -> Result<(), String> {
+        if payload.len() < pos + n {
+            return Err(format!(
+                "wal record truncated at {pos}+{n} of {}",
+                payload.len()
+            ));
+        }
+        Ok(())
+    };
+    need(2, 0)?;
+    let name_len = u16::from_le_bytes(payload[0..2].try_into().unwrap()) as usize;
+    need(name_len, 2)?;
+    let table = String::from_utf8(payload[2..2 + name_len].to_vec())
+        .map_err(|e| format!("wal record table name: {e}"))?;
+    let mut pos = 2 + name_len;
+    need(12, pos)?;
+    let start_rows = u64::from_le_bytes(payload[pos..pos + 8].try_into().unwrap());
+    let n_rows = u32::from_le_bytes(payload[pos + 8..pos + 12].try_into().unwrap()) as usize;
+    pos += 12;
+    let mut rows = Vec::with_capacity(n_rows.min(1 << 20));
+    for _ in 0..n_rows {
+        match rowformat::read_record(payload, &mut pos) {
+            rowformat::ReadOutcome::Record(row) => rows.push(row),
+            rowformat::ReadOutcome::End => {
+                return Err(format!("wal record short: {} of {n_rows} rows", rows.len()))
+            }
+            rowformat::ReadOutcome::Torn(why) => return Err(format!("wal record torn: {why}")),
+        }
+    }
+    Ok(WalBatch {
+        table,
+        start_rows,
+        rows,
+    })
+}
+
+/// What a non-destructive peek at the metadata region found, taken
+/// *before* recovery claims (and thereby invalidates) the image.
+#[derive(Debug, Default, Clone, Copy)]
+struct CheckpointProbe {
+    /// Parity of the checkpoint segments the registry points at, if the
+    /// image was written by the checkpointer rather than a planned
+    /// shutdown. The replacement's checkpointer takes the *other* parity,
+    /// so segment views it inherited can never unlink its new image.
+    image_parity: Option<u32>,
+    /// True when a *valid* checkpoint image is present — i.e. the
+    /// upcoming memory recovery, if it succeeds, is a crash-fast
+    /// recovery (warm image + WAL tail), not a planned-restart one.
+    warm_checkpoint: bool,
+}
+
+/// Peek at the metadata region without claiming it.
+fn probe_checkpoint_image(ns: &ShmNamespace) -> CheckpointProbe {
+    let mut probe = CheckpointProbe::default();
+    let Ok(meta) = LeafMetadata::open(ns) else {
+        return probe;
+    };
+    let Ok(contents) = meta.read() else {
+        return probe;
+    };
+    // Checkpoint segment names are `…_k{parity}_{index}`; matching on the
+    // index-0 stem covers every index.
+    let stem = |parity: u32| {
+        let n = ns.checkpoint_segment_name(parity, 0);
+        n[..n.len() - 1].to_owned()
+    };
+    let (stem0, stem1) = (stem(0), stem(1));
+    for entry in &contents.segments {
+        if entry.flags & SEG_FLAG_CHECKPOINT == 0 {
+            continue;
+        }
+        if entry.name.starts_with(&stem0) {
+            probe.image_parity = Some(0);
+        } else if entry.name.starts_with(&stem1) {
+            probe.image_parity = Some(1);
+        }
+    }
+    probe.warm_checkpoint = contents.valid && probe.image_parity.is_some();
+    probe
 }
 
 /// Coarse lifecycle phase of a leaf, deciding request admission (§4.3).
@@ -246,11 +365,50 @@ pub struct LeafServer {
     /// Units the last memory recovery skipped as format-incompatible and
     /// recovered from disk instead (per-table fallback).
     skipped_units: Vec<String>,
+    /// Per-leaf write-ahead log covering post-checkpoint ingest. Present
+    /// iff `config.checkpoint_enabled` and the log is healthy; a write
+    /// error *poisons* it (set to `None`, checkpointer torn down) so a
+    /// crash degrades to the disk path rather than replaying a log with
+    /// holes. Ingest never fails because of the WAL.
+    wal: Option<WalWriter>,
+    /// Background checkpoint worker, present iff `checkpoint_enabled`
+    /// and the crash path is healthy.
+    checkpointer: Option<Checkpointer>,
+    /// Monotonic ingest-batch counter; checkpoint jobs are stamped with
+    /// it so completion can tell whether the image covers the whole WAL.
+    ingest_epoch: u64,
+    /// Sealed blocks covered by the last committed checkpoint (feeds the
+    /// `leaf_checkpoint_lag_blocks` gauge).
+    committed_sealed: usize,
+    /// Rows ingested since the last checkpoint request (auto-trigger).
+    rows_since_checkpoint: usize,
+    /// Whether a checkpoint request is in flight on the worker.
+    checkpoint_inflight: bool,
+    /// WAL records applied by the last recovery's replay.
+    wal_replayed_records: usize,
+    /// True when the last recovery came back through a *checkpoint*
+    /// image (crash-fast path) rather than a planned-shutdown backup.
+    recovered_from_checkpoint: bool,
+    /// Why the WAL was poisoned, if it was.
+    wal_poison_reason: Option<String>,
 }
 
 impl LeafServer {
     /// Create an empty leaf (first boot; no recovery attempted).
     pub fn new(config: LeafConfig) -> LeafResult<LeafServer> {
+        let mut server = LeafServer::new_core(config)?;
+        if server.config.checkpoint_enabled {
+            let probe = probe_checkpoint_image(&server.ns);
+            let parity = probe.image_parity.map_or(0, |p| 1 - p);
+            server.open_crash_path(parity, true);
+        }
+        Ok(server)
+    }
+
+    /// Build the server shell without starting the crash path — the
+    /// recovery path must read the WAL and probe the old image *before*
+    /// the writer truncates torn tails or the checkpointer picks a parity.
+    fn new_core(config: LeafConfig) -> LeafResult<LeafServer> {
         let disk = DiskBackup::open(&config.disk_root)?;
         let ns = ShmNamespace::new(&config.shm_prefix, config.leaf_id)?;
         let obs_key = format!("{}:{}", config.shm_prefix, config.leaf_id);
@@ -265,9 +423,60 @@ impl LeafServer {
             hydrate_now: 0,
             hydration_fallback: None,
             skipped_units: Vec::new(),
+            wal: None,
+            checkpointer: None,
+            ingest_epoch: 0,
+            committed_sealed: 0,
+            rows_since_checkpoint: 0,
+            checkpoint_inflight: false,
+            wal_replayed_records: 0,
+            recovered_from_checkpoint: false,
+            wal_poison_reason: None,
         };
         server.set_phase(LeafPhase::Alive);
         Ok(server)
+    }
+
+    /// Start the crash path: spawn the checkpoint worker on `parity` and
+    /// open the WAL writer (truncating it first when the log predates the
+    /// state we now hold, e.g. after a disk recovery). Any WAL problem
+    /// poisons the path instead of failing the server.
+    fn open_crash_path(&mut self, parity: u32, truncate_wal: bool) {
+        debug_assert!(self.config.checkpoint_enabled);
+        self.checkpointer = Some(Checkpointer::spawn(self.ns.clone(), parity));
+        match WalWriter::open(self.config.disk_root.join(WAL_FILE)) {
+            Ok(mut wal) => {
+                if truncate_wal {
+                    if let Err(e) = wal.truncate() {
+                        self.wal = Some(wal);
+                        self.poison_wal(format!("truncate: {e}"));
+                        return;
+                    }
+                }
+                self.wal = Some(wal);
+                self.publish_checkpoint_gauges();
+            }
+            Err(e) => self.poison_wal(format!("open: {e}")),
+        }
+    }
+
+    /// A WAL write failed: the log can no longer promise to cover every
+    /// post-checkpoint batch, so a warm image + this log would silently
+    /// drop rows. Drop the log *and* the checkpoint image — the next
+    /// crash recovers from disk with exact durable fidelity.
+    fn poison_wal(&mut self, reason: String) {
+        self.wal = None;
+        if let Some(ck) = self.checkpointer.take() {
+            ck.teardown();
+        }
+        self.checkpoint_inflight = false;
+        scuba_obs::counter!("leaf_wal_poisoned_total").inc();
+        if scuba_obs::enabled() {
+            let labels = [("leaf", self.obs_key.as_str())];
+            scuba_obs::labeled_gauge("leaf_wal_bytes", &labels).set(0);
+            scuba_obs::labeled_counter("leaf_wal_poisoned", &labels).inc();
+        }
+        self.wal_poison_reason = Some(reason);
     }
 
     /// Record a phase edge: the admission-controlling field plus the
@@ -338,8 +547,17 @@ impl LeafServer {
         now: i64,
         disk_throttle: Option<&Throttle>,
     ) -> LeafResult<(LeafServer, RecoveryOutcome)> {
-        let mut server = LeafServer::new(config)?;
+        let mut server = LeafServer::new_core(config)?;
         let mut state = LeafRestoreState::Init;
+        // Peek before recovery claims the image: was it written by the
+        // checkpointer (crash path), and on which parity? The new
+        // checkpointer takes the other parity either way.
+        let probe = if server.config.checkpoint_enabled {
+            probe_checkpoint_image(&server.ns)
+        } else {
+            CheckpointProbe::default()
+        };
+        let ck_parity = probe.image_parity.map_or(0, |p| 1 - p);
 
         if server.config.shm_recovery_enabled {
             state = state.transition(LeafRestoreState::MemoryRecovery)?;
@@ -360,8 +578,6 @@ impl LeafServer {
             };
             match attempt {
                 Ok(outcome) => {
-                    state = state.transition(LeafRestoreState::Alive)?;
-                    debug_assert_eq!(state, LeafRestoreState::Alive);
                     // Per-table fallback: units the protocol skipped as
                     // format-incompatible come back from disk — only
                     // those; every other table already restored from
@@ -381,6 +597,40 @@ impl LeafServer {
                         scuba_obs::counter!("leaf_tables_disk_recovered").add(skipped.len() as u64);
                         server.skipped_units = skipped;
                     }
+                    // Crash path: the image is a consistent *prefix* of
+                    // what the dead process held — replay the WAL tail on
+                    // top of it, in parallel across tables. Any gap or
+                    // unreadable log condemns the whole memory recovery
+                    // (§4.3 conservatism) and the leaf rebuilds from disk.
+                    if server.config.checkpoint_enabled {
+                        if let Err(reason) = server.replay_wal_tail(now) {
+                            state = state.transition(LeafRestoreState::DiskRecovery)?;
+                            server.store = LeafStore::new();
+                            let outcome = server.disk_recover(now, disk_throttle, reason)?;
+                            state = state.transition(LeafRestoreState::Alive)?;
+                            debug_assert_eq!(state, LeafRestoreState::Alive);
+                            server.open_crash_path(ck_parity, true);
+                            return Ok((server, outcome));
+                        }
+                        if probe.warm_checkpoint {
+                            server.recovered_from_checkpoint = true;
+                            if scuba_obs::enabled() {
+                                let labels = [("leaf", server.obs_key.as_str())];
+                                scuba_obs::labeled_counter(
+                                    "leaf_crash_fast_recoveries_total",
+                                    &labels,
+                                )
+                                .inc();
+                            }
+                        }
+                        // The replayed rows are in memory and still in the
+                        // log; the next full-coverage checkpoint truncates
+                        // it. Replay is idempotent, so keeping the old
+                        // records is safe.
+                        server.open_crash_path(ck_parity, false);
+                    }
+                    state = state.transition(LeafRestoreState::Alive)?;
+                    debug_assert_eq!(state, LeafRestoreState::Alive);
                     if matches!(outcome, RecoveryOutcome::MemoryAttached(_)) {
                         server.hydrate_now = now;
                         if server.store.map().mapped_bytes() > 0 {
@@ -405,6 +655,9 @@ impl LeafServer {
                     let outcome = server.disk_recover(now, disk_throttle, fb.reason)?;
                     state = state.transition(LeafRestoreState::Alive)?;
                     debug_assert_eq!(state, LeafRestoreState::Alive);
+                    if server.config.checkpoint_enabled {
+                        server.open_crash_path(ck_parity, true);
+                    }
                     return Ok((server, outcome));
                 }
             }
@@ -415,6 +668,9 @@ impl LeafServer {
             server.disk_recover(now, disk_throttle, "memory recovery disabled".to_owned())?;
         state = state.transition(LeafRestoreState::Alive)?;
         debug_assert_eq!(state, LeafRestoreState::Alive);
+        if server.config.checkpoint_enabled {
+            server.open_crash_path(ck_parity, true);
+        }
         Ok((server, outcome))
     }
 
@@ -430,6 +686,316 @@ impl LeafServer {
         self.store = LeafStore::from_map(map);
         self.set_phase(LeafPhase::Alive);
         Ok(RecoveryOutcome::Disk { reason, stats })
+    }
+
+    /// Apply one table's WAL records onto its restored state. The
+    /// `start_rows` anchor makes this idempotent: records the image
+    /// already covers are skipped, records that line up exactly append,
+    /// and anything else means image and log disagree — fail the replay.
+    fn apply_wal_batches(
+        table: &mut Table,
+        batches: &[WalBatch],
+        now: i64,
+    ) -> Result<usize, String> {
+        let mut applied = 0;
+        for batch in batches {
+            let rc = table.row_count() as u64;
+            let n = batch.rows.len() as u64;
+            if rc >= batch.start_rows + n {
+                continue; // image already covers this batch
+            }
+            if rc != batch.start_rows {
+                return Err(format!(
+                    "wal gap on table {:?}: restored {rc} rows, record starts at {}",
+                    table.name(),
+                    batch.start_rows
+                ));
+            }
+            for row in &batch.rows {
+                table.append(row, now).map_err(|e| e.to_string())?;
+            }
+            applied += 1;
+        }
+        Ok(applied)
+    }
+
+    /// Replay the WAL tail onto the freshly memory-recovered store,
+    /// fanning tables out across the copy-thread pool (the same
+    /// parallelism knob as the restore copy itself). A torn tail is fine
+    /// — replay stops at the last intact record, which is exactly the
+    /// durable prefix. An unreadable log or an image/log mismatch is an
+    /// `Err`, answered by the caller with a full disk fallback.
+    fn replay_wal_tail(&mut self, now: i64) -> Result<(), String> {
+        let path = self.config.disk_root.join(WAL_FILE);
+        let started = Instant::now();
+        let contents = read_wal(&path).map_err(|e| format!("wal unreadable: {e}"))?;
+        if contents.torn {
+            scuba_obs::counter!("leaf_wal_torn_tails_total").inc();
+        }
+        self.wal_replayed_records = 0;
+        if contents.records.is_empty() {
+            return Ok(());
+        }
+        let mut groups: std::collections::BTreeMap<String, Vec<WalBatch>> =
+            std::collections::BTreeMap::new();
+        for record in &contents.records {
+            let batch = decode_wal_batch(record)?;
+            groups.entry(batch.table.clone()).or_default().push(batch);
+        }
+        // Tables present in the image replay in parallel; tables the WAL
+        // created *after* the last checkpoint don't exist yet and are
+        // built serially afterwards.
+        let mut tables = self.store.map_mut().take_tables();
+        let mut jobs: Vec<(Table, Vec<WalBatch>)> = Vec::new();
+        let mut fresh: Vec<(String, Vec<WalBatch>)> = Vec::new();
+        for (name, batches) in groups {
+            match tables.remove(&name) {
+                Some(table) => jobs.push((table, batches)),
+                None => fresh.push((name, batches)),
+            }
+        }
+        let threads = resolve_copy_threads(self.config.copy_threads).min(jobs.len().max(1));
+        let mut buckets: Vec<Vec<(Table, Vec<WalBatch>)>> =
+            (0..threads).map(|_| Vec::new()).collect();
+        for (i, job) in jobs.into_iter().enumerate() {
+            buckets[i % threads].push(job);
+        }
+        let results: Vec<Result<(Vec<Table>, usize), String>> = thread::scope(|scope| {
+            let handles: Vec<_> = buckets
+                .into_iter()
+                .map(|bucket| {
+                    scope.spawn(move || {
+                        let mut done = Vec::with_capacity(bucket.len());
+                        let mut applied = 0;
+                        for (mut table, batches) in bucket {
+                            applied += Self::apply_wal_batches(&mut table, &batches, now)?;
+                            done.push(table);
+                        }
+                        Ok((done, applied))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|_| Err("replay worker panicked".into()))
+                })
+                .collect()
+        });
+        let mut applied = 0;
+        for result in results {
+            let (done, n) = result?;
+            applied += n;
+            for table in done {
+                tables.insert(table.name().to_owned(), table);
+            }
+        }
+        for (_, table) in tables {
+            self.store.map_mut().insert(table);
+        }
+        for (name, batches) in fresh {
+            for batch in &batches {
+                let rc = self.store.map().get(&name).map_or(0, |t| t.row_count()) as u64;
+                let n = batch.rows.len() as u64;
+                if rc >= batch.start_rows + n {
+                    continue;
+                }
+                if rc != batch.start_rows {
+                    return Err(format!(
+                        "wal gap on new table {name:?}: {rc} rows, record starts at {}",
+                        batch.start_rows
+                    ));
+                }
+                self.store
+                    .append_rows(&name, &batch.rows, now)
+                    .map_err(|e| e.to_string())?;
+                applied += 1;
+            }
+        }
+        self.wal_replayed_records = applied;
+        scuba_obs::counter!("leaf_wal_replayed_records_total").add(applied as u64);
+        if scuba_obs::enabled() {
+            let labels = [("leaf", self.obs_key.as_str())];
+            scuba_obs::labeled_gauge("leaf_wal_replay_ns", &labels)
+                .set(started.elapsed().as_nanos().min(i64::MAX as u128) as i64);
+        }
+        Ok(())
+    }
+
+    /// Publish the crash-path gauges: how far the image trails the store
+    /// (sealed blocks not yet checkpointed) and how much WAL tail a crash
+    /// would have to replay.
+    fn publish_checkpoint_gauges(&self) {
+        if !scuba_obs::enabled() || !self.config.checkpoint_enabled {
+            return;
+        }
+        let labels = [("leaf", self.obs_key.as_str())];
+        let sealed_now: usize = self.store.map().iter().map(|t| t.blocks().len()).sum();
+        scuba_obs::labeled_gauge("leaf_checkpoint_lag_blocks", &labels)
+            .set(sealed_now.saturating_sub(self.committed_sealed) as i64);
+        scuba_obs::labeled_gauge("leaf_wal_bytes", &labels).set(self.wal_bytes() as i64);
+    }
+
+    /// Snapshot the store and hand the worker a checkpoint job. False if
+    /// the crash path is down (disabled or poisoned) or the worker died.
+    fn request_checkpoint(&mut self) -> bool {
+        if self.wal.is_none() {
+            return false; // poisoned: a log with holes must not pair with an image
+        }
+        let Some(ck) = self.checkpointer.as_ref() else {
+            return false;
+        };
+        let Ok(tables) = snapshot_tables(&self.store) else {
+            return false;
+        };
+        let ok = ck.request(CheckpointJob {
+            tables,
+            epoch: self.ingest_epoch,
+        });
+        if ok {
+            self.checkpoint_inflight = true;
+            self.rows_since_checkpoint = 0;
+        }
+        ok
+    }
+
+    /// Fold one completed cycle into the server: remember coverage for
+    /// the lag gauge and drop the WAL when the image covers every batch.
+    fn apply_checkpoint_outcome(
+        &mut self,
+        outcome: CheckpointOutcome,
+    ) -> Result<CheckpointStats, String> {
+        self.checkpoint_inflight = false;
+        match outcome.result {
+            Ok(stats) => {
+                self.committed_sealed = stats.sealed_blocks;
+                if outcome.epoch == self.ingest_epoch {
+                    // Nothing landed since the snapshot: the image covers
+                    // the whole log. (Otherwise keep it — replay skips
+                    // covered records via the start_rows anchor.)
+                    if let Some(wal) = self.wal.as_mut() {
+                        if let Err(e) = wal.truncate() {
+                            self.poison_wal(format!("truncate: {e}"));
+                        }
+                    }
+                }
+                self.publish_checkpoint_gauges();
+                Ok(stats)
+            }
+            Err(reason) => {
+                // The worker already invalidated the image and will
+                // rebuild from scratch next cycle; until then a crash
+                // falls back to disk.
+                self.publish_checkpoint_gauges();
+                Err(reason)
+            }
+        }
+    }
+
+    /// Apply any checkpoint completions without blocking.
+    fn drain_checkpoint_outcomes(&mut self) {
+        while let Some(outcome) = self.checkpointer.as_ref().and_then(|ck| ck.try_done()) {
+            let _ = self.apply_checkpoint_outcome(outcome);
+        }
+    }
+
+    /// Auto-trigger: request a checkpoint when enough rows landed since
+    /// the last one and the worker is idle.
+    fn maybe_auto_checkpoint(&mut self) {
+        let interval = self.config.checkpoint_interval_rows;
+        if interval == 0 || self.rows_since_checkpoint < interval {
+            return;
+        }
+        self.drain_checkpoint_outcomes();
+        if self.checkpoint_inflight {
+            return; // still copying the previous snapshot; try after
+        }
+        self.request_checkpoint();
+    }
+
+    /// Take a checkpoint now and wait for it to commit. The synchronous
+    /// variant the chaos harness and tests drive; production leaves it to
+    /// `checkpoint_interval_rows`.
+    pub fn checkpoint_and_wait(&mut self) -> LeafResult<CheckpointStats> {
+        if !self.phase.accepts_adds() {
+            return Err(LeafError::Unavailable {
+                operation: "checkpoint",
+                phase: self.phase.name(),
+            });
+        }
+        // Settle any in-flight auto cycle first so ours is next.
+        if self.checkpoint_inflight {
+            if let Some(outcome) = self.checkpointer.as_ref().and_then(|ck| ck.wait_done()) {
+                let _ = self.apply_checkpoint_outcome(outcome);
+            } else {
+                self.checkpoint_inflight = false;
+            }
+        }
+        if !self.request_checkpoint() {
+            return Err(LeafError::Unavailable {
+                operation: "checkpoint (crash path disabled or poisoned)",
+                phase: self.phase.name(),
+            });
+        }
+        let outcome = self
+            .checkpointer
+            .as_ref()
+            .and_then(|ck| ck.wait_done())
+            .ok_or(LeafError::Unavailable {
+                operation: "checkpoint (worker died)",
+                phase: self.phase.name(),
+            })?;
+        self.apply_checkpoint_outcome(outcome)
+            .map_err(LeafError::Backup)
+    }
+
+    /// The store is about to change (or just changed) in a way the
+    /// incremental writer cannot track — disk fallback mid-life, expiry.
+    /// Tear the image down (same parity respawn) and drop the stale WAL;
+    /// the next cycle rebuilds from scratch, and until then a crash goes
+    /// to disk.
+    fn reset_crash_path(&mut self) {
+        if !self.config.checkpoint_enabled {
+            return;
+        }
+        if let Some(ck) = self.checkpointer.take() {
+            let parity = ck.parity();
+            ck.teardown();
+            self.checkpointer = Some(Checkpointer::spawn(self.ns.clone(), parity));
+        }
+        self.checkpoint_inflight = false;
+        self.committed_sealed = 0;
+        if let Some(wal) = self.wal.as_mut() {
+            if let Err(e) = wal.truncate() {
+                self.poison_wal(format!("truncate: {e}"));
+            }
+        }
+        self.publish_checkpoint_gauges();
+    }
+
+    /// WAL records applied by the last recovery's replay.
+    pub fn wal_replayed_records(&self) -> usize {
+        self.wal_replayed_records
+    }
+
+    /// True when the last recovery came back through a checkpoint image
+    /// (the crash-fast path) rather than a planned-shutdown backup.
+    pub fn recovered_from_checkpoint(&self) -> bool {
+        self.recovered_from_checkpoint
+    }
+
+    /// Record bytes currently in the WAL, excluding the file header
+    /// (0 when the crash path is off or poisoned).
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal.as_ref().map_or(0, |w| {
+            w.len_bytes().saturating_sub(scuba_restart::wal::WAL_HEADER)
+        })
+    }
+
+    /// Why the WAL was poisoned, if it was.
+    pub fn wal_poison_reason(&self) -> Option<&str> {
+        self.wal_poison_reason.as_deref()
     }
 
     /// True while background hydration is still converting mapped blocks
@@ -563,6 +1129,10 @@ impl LeafServer {
         // SegmentViews unlink their segments.
         self.store = LeafStore::new();
         self.disk_recover(self.hydrate_now, None, reason)?;
+        // The store was rebuilt under the incremental writer's feet and
+        // the WAL's row anchors no longer line up: start the crash path
+        // over from this state.
+        self.reset_crash_path();
         Ok(())
     }
 
@@ -651,8 +1221,27 @@ impl LeafServer {
                 phase: self.phase.name(),
             });
         }
+        let start_rows = if self.config.checkpoint_enabled && self.wal.is_some() {
+            self.store.map().get(table).map_or(0, |t| t.row_count()) as u64
+        } else {
+            0
+        };
         self.store.append_rows(table, rows, now)?;
         self.disk.append(table, rows)?;
+        if self.config.checkpoint_enabled && !rows.is_empty() {
+            self.ingest_epoch += 1;
+            self.rows_since_checkpoint += rows.len();
+            if self.wal.is_some() {
+                let payload = encode_wal_batch(table, start_rows, rows);
+                // WAL problems never fail ingest: they poison the crash
+                // path, degrading the next crash to the disk path.
+                if let Err(e) = self.wal.as_mut().unwrap().append(&payload) {
+                    self.poison_wal(format!("append: {e}"));
+                }
+            }
+            self.maybe_auto_checkpoint();
+            self.publish_checkpoint_gauges();
+        }
         Ok(())
     }
 
@@ -679,12 +1268,27 @@ impl LeafServer {
                 phase: self.phase.name(),
             });
         }
-        Ok(self.store.map_mut().expire_all(self.config.retention, now))
+        let dropped = self.store.map_mut().expire_all(self.config.retention, now);
+        if dropped > 0 {
+            // Expiry removed blocks the incremental writer thought were
+            // the image's immutable prefix, and shrank row counts under
+            // the WAL's start anchors. Rebuild the crash path.
+            self.reset_crash_path();
+        }
+        Ok(dropped)
     }
 
-    /// Flush buffered disk appends and fsync.
+    /// Flush buffered disk appends and fsync (the WAL too: its records
+    /// become durable against machine failure on the same cadence as the
+    /// backup they shadow).
     pub fn sync_disk(&mut self) -> LeafResult<u64> {
-        Ok(self.disk.sync()?)
+        let bytes = self.disk.sync()?;
+        if let Some(wal) = self.wal.as_mut() {
+            if let Err(e) = wal.sync() {
+                self.poison_wal(format!("fsync: {e}"));
+            }
+        }
+        Ok(bytes)
     }
 
     /// Clean shutdown via shared memory — Figures 5(a), 5(c), and 6.
@@ -724,7 +1328,17 @@ impl LeafServer {
             .map(|t| t.unsealed_rows())
             .sum::<usize>();
         self.store.seal_all(now)?;
-        let disk_synced_bytes = self.disk.sync()?;
+        let disk_synced_bytes = self.sync_disk()?;
+
+        // The planned shutdown supersedes the crash path: stop the
+        // checkpointer and unlink its image *before* the backup rebuilds
+        // the metadata region, so the two writers never interleave. Up to
+        // this point any prepare failure still leaves the warm checkpoint
+        // image for the replacement to crash-recover from.
+        if let Some(ck) = self.checkpointer.take() {
+            ck.teardown();
+        }
+        self.checkpoint_inflight = false;
 
         // COPY TO SHM (Figures 5(a) and 6).
         leaf_state = leaf_state.transition(LeafBackupState::CopyToShm)?;
@@ -746,6 +1360,15 @@ impl LeafServer {
         for (_, st) in &mut table_states {
             *st = st.transition(TableBackupState::Done)?;
         }
+
+        // The backup's valid bit is committed: the image covers every
+        // row, so the WAL is obsolete. Drop it before exit.
+        if let Some(wal) = self.wal.as_mut() {
+            if let Err(e) = wal.truncate() {
+                self.poison_wal(format!("truncate: {e}"));
+            }
+        }
+        self.wal = None;
 
         // EXIT. A fault here stands on the narrowest ledge: the valid bit
         // is already committed, so a death is a *successful* shutdown and
@@ -825,9 +1448,24 @@ impl LeafServer {
     }
 
     /// Crash the leaf: drop everything without copying to shared memory.
-    /// The next start will find no valid bit and recover from disk — the
-    /// §4 crash path.
+    /// With the crash path off, the next start finds no valid bit and
+    /// recovers from disk — the paper's §4 crash behaviour. With it on,
+    /// the continuous checkpoint image and the WAL survive the death, and
+    /// the next start replays the tail on top of the warm image.
     pub fn crash(&mut self) {
+        // Ordering matters: the checkpointer must be *abandoned* — never
+        // torn down — before anything else drops, so the dying process
+        // can't unlink the very image its replacement is about to attach.
+        // (Checkpoint segments are plain `ShmSegment`s, which never
+        // unlink on drop; the hazard is a teardown-style exit.)
+        if let Some(ck) = self.checkpointer.take() {
+            ck.abandon();
+        }
+        self.wal = None; // close the fd; never truncate on a crash
+                         // A SIGKILL loses the disk backup's userspace buffer too: drop it
+                         // unflushed so the crash's durability is exactly the synced
+                         // prefix, not whatever the allocator felt like flushing.
+        self.disk.discard_buffered();
         // A crash mid-hydration abandons the workers: drop the receiver
         // so their sends fail and they exit; their mapped references (and
         // the store's) drop, unlinking the segments.
@@ -1331,6 +1969,260 @@ mod tests {
         assert!(matches!(outcome, RecoveryOutcome::MemoryAttached(_)));
         assert_eq!(s2.phase(), LeafPhase::Alive);
         assert!(!s2.is_hydrating());
+    }
+
+    fn crash_config(tag: &str) -> (LeafConfig, PathBuf) {
+        let (mut cfg, dir) = test_config(tag);
+        cfg.checkpoint_enabled = true;
+        (cfg, dir)
+    }
+
+    /// Tentpole acceptance + the drop-ordering regression (a dying
+    /// process must never unlink the live checkpoint image): checkpoint,
+    /// ingest a WAL tail, crash — the replacement attaches the warm image
+    /// and replays just the tail.
+    #[test]
+    fn crash_recovers_fast_from_checkpoint_plus_wal_tail() {
+        let (cfg, dir) = crash_config("ckfast");
+        let mut s = LeafServer::new(cfg.clone()).unwrap();
+        let _c = Cleanup(s.namespace().clone(), dir);
+        fill(&mut s, 400);
+        s.sync_disk().unwrap();
+        s.checkpoint_and_wait().unwrap();
+        assert_eq!(s.wal_bytes(), 0, "full-coverage checkpoint keeps the WAL");
+        // Post-checkpoint tail: two batches, the second never disk-synced.
+        let b1: Vec<Row> = (400..460).map(|i| Row::at(i).with("sev", "tail")).collect();
+        s.add_rows("logs", &b1, 0).unwrap();
+        s.sync_disk().unwrap();
+        let b2: Vec<Row> = (460..500).map(|i| Row::at(i).with("sev", "tail")).collect();
+        s.add_rows("logs", &b2, 0).unwrap();
+        assert!(s.wal_bytes() > 0);
+        s.crash();
+        drop(s);
+
+        // Drop-ordering regression: the image must still be linked and
+        // valid after the old process died.
+        let ns = ShmNamespace::new(&cfg.shm_prefix, cfg.leaf_id).unwrap();
+        let meta = LeafMetadata::open(&ns).expect("checkpoint metadata survives the crash");
+        let contents = meta.read().unwrap();
+        assert!(contents.valid, "crash invalidated the checkpoint image");
+        assert!(contents
+            .segments
+            .iter()
+            .all(|e| e.flags & SEG_FLAG_CHECKPOINT != 0));
+        drop(meta);
+
+        let (s2, outcome) = LeafServer::start(cfg, 0, None).unwrap();
+        assert!(outcome.is_memory(), "crash took the disk path: {outcome:?}");
+        assert!(s2.recovered_from_checkpoint());
+        assert_eq!(s2.wal_replayed_records(), 2);
+        assert_eq!(s2.total_rows(), 500, "lost part of the WAL tail");
+        if scuba_obs::enabled() {
+            let name = scuba_obs::labeled_name(
+                "leaf_crash_fast_recoveries_total",
+                &[("leaf", s2.obs_key())],
+            );
+            assert_eq!(scuba_obs::counter_value(&name), Some(1));
+        }
+    }
+
+    /// A torn WAL tail (partial last record) replays the durable prefix
+    /// and stops cleanly at the last intact record — no fallback.
+    #[test]
+    fn torn_wal_tail_replays_durable_prefix() {
+        let (cfg, dir) = crash_config("cktorn");
+        let mut s = LeafServer::new(cfg.clone()).unwrap();
+        let _c = Cleanup(s.namespace().clone(), dir);
+        fill(&mut s, 200);
+        s.checkpoint_and_wait().unwrap();
+        let b1: Vec<Row> = (200..240).map(Row::at).collect();
+        s.add_rows("logs", &b1, 0).unwrap();
+        let b2: Vec<Row> = (240..265).map(Row::at).collect();
+        s.add_rows("logs", &b2, 0).unwrap();
+        s.crash();
+        drop(s);
+
+        // Tear mid-way into the last record, as a death inside write()
+        // would.
+        let wal_path = cfg.disk_root.join(WAL_FILE);
+        let len = std::fs::metadata(&wal_path).unwrap().len();
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&wal_path)
+            .unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
+
+        let (s2, outcome) = LeafServer::start(cfg, 0, None).unwrap();
+        assert!(outcome.is_memory(), "{outcome:?}");
+        assert_eq!(s2.wal_replayed_records(), 1, "replay ran past the tear");
+        assert_eq!(s2.total_rows(), 240);
+    }
+
+    /// A WAL append fault poisons the crash path: ingest keeps working,
+    /// the image is torn down, and the next crash recovers from disk with
+    /// exact durable fidelity.
+    #[test]
+    fn wal_append_fault_degrades_crash_to_disk() {
+        let _x = scuba_faults::exclusive();
+        scuba_faults::clear_all();
+        let (cfg, dir) = crash_config("ckpoison");
+        let mut s = LeafServer::new(cfg.clone()).unwrap();
+        let _c = Cleanup(s.namespace().clone(), dir);
+        fill(&mut s, 100);
+        s.sync_disk().unwrap();
+        s.checkpoint_and_wait().unwrap();
+
+        scuba_faults::configure("restart::wal::append", "error@1").unwrap();
+        let rows: Vec<Row> = (100..150).map(Row::at).collect();
+        s.add_rows("logs", &rows, 0).unwrap(); // ingest survives the fault
+        scuba_faults::clear_all();
+        assert!(s.wal_poison_reason().unwrap().contains("append"));
+        assert_eq!(s.total_rows(), 150);
+        assert!(
+            s.checkpoint_and_wait().is_err(),
+            "poisoned path kept checkpointing"
+        );
+        s.crash();
+        drop(s);
+
+        let (s2, outcome) = LeafServer::start(cfg, 0, None).unwrap();
+        assert!(
+            !outcome.is_memory(),
+            "poisoned image was trusted: {outcome:?}"
+        );
+        // Disk fidelity is exactly the synced prefix: the crash discarded
+        // the buffered tail the way a SIGKILL would.
+        assert_eq!(s2.total_rows(), 100);
+    }
+
+    /// An injected replay fault condemns the memory recovery; the leaf
+    /// falls back to disk (and the stale WAL is truncated for the new
+    /// life).
+    #[test]
+    fn wal_replay_fault_falls_back_to_disk() {
+        let _x = scuba_faults::exclusive();
+        scuba_faults::clear_all();
+        let (cfg, dir) = crash_config("ckreplayfp");
+        let mut s = LeafServer::new(cfg.clone()).unwrap();
+        let _c = Cleanup(s.namespace().clone(), dir);
+        fill(&mut s, 300);
+        s.sync_disk().unwrap();
+        s.checkpoint_and_wait().unwrap();
+        let rows: Vec<Row> = (300..330).map(Row::at).collect();
+        s.add_rows("logs", &rows, 0).unwrap();
+        s.crash();
+        drop(s);
+
+        scuba_faults::configure("restart::wal::replay", "error@1").unwrap();
+        let (s2, outcome) = LeafServer::start(cfg.clone(), 0, None).unwrap();
+        scuba_faults::clear_all();
+        match &outcome {
+            RecoveryOutcome::Disk { reason, .. } => {
+                assert!(reason.contains("wal unreadable"), "{reason}");
+            }
+            other => panic!("expected disk fallback, got {other:?}"),
+        }
+        assert_eq!(s2.total_rows(), 300, "disk fidelity is the synced prefix");
+        assert_eq!(s2.wal_bytes(), 0, "stale WAL survived the disk fallback");
+        drop(s2);
+        // No orphaned checkpoint segments either way.
+        let ns = ShmNamespace::new(&cfg.shm_prefix, cfg.leaf_id).unwrap();
+        ns.unlink_all(16);
+    }
+
+    /// Steady-state serving with auto-checkpointing: the image trails by
+    /// at most the interval, the crash recovers everything up to the last
+    /// WAL record, and repeated crashes flip the image parity.
+    #[test]
+    fn auto_checkpoint_and_repeated_crashes() {
+        let (mut cfg, dir) = crash_config("ckauto");
+        cfg.checkpoint_interval_rows = 100;
+        let mut s = LeafServer::new(cfg.clone()).unwrap();
+        let _c = Cleanup(s.namespace().clone(), dir);
+        for wave in 0..3i64 {
+            for batch in 0..5i64 {
+                let t0 = wave * 500 + batch * 100;
+                let rows: Vec<Row> = (t0..t0 + 100).map(Row::at).collect();
+                s.add_rows("logs", &rows, 0).unwrap();
+            }
+            // Settle the async auto cycle deterministically for the test.
+            s.checkpoint_and_wait().unwrap();
+            s.crash();
+            drop(s);
+            let (next, outcome) = LeafServer::start(cfg.clone(), 0, None).unwrap();
+            assert!(outcome.is_memory(), "wave {wave}: {outcome:?}");
+            assert_eq!(next.total_rows(), (wave as usize + 1) * 500);
+            s = next;
+        }
+        drop(s);
+        let ns = ShmNamespace::new(&cfg.shm_prefix, cfg.leaf_id).unwrap();
+        ns.unlink_all(16);
+    }
+
+    /// Clean shutdown still wins over the crash path: the checkpointer is
+    /// torn down, the planned backup image restores, and no checkpoint
+    /// segment or WAL byte is left behind.
+    #[test]
+    fn clean_shutdown_supersedes_checkpoint_image() {
+        let (cfg, dir) = crash_config("ckclean");
+        let mut s = LeafServer::new(cfg.clone()).unwrap();
+        let _c = Cleanup(s.namespace().clone(), dir);
+        fill(&mut s, 250);
+        s.checkpoint_and_wait().unwrap();
+        let rows: Vec<Row> = (250..300).map(Row::at).collect();
+        s.add_rows("logs", &rows, 0).unwrap();
+        s.shutdown_to_shm(0).unwrap();
+        drop(s);
+        assert_eq!(
+            std::fs::metadata(cfg.disk_root.join(WAL_FILE))
+                .unwrap()
+                .len(),
+            8,
+            "WAL not truncated by the clean shutdown"
+        );
+        let ns = ShmNamespace::new(&cfg.shm_prefix, cfg.leaf_id).unwrap();
+        for parity in 0..2u32 {
+            for index in 0..8 {
+                assert!(
+                    !scuba_shmem::ShmSegment::exists(&ns.checkpoint_segment_name(parity, index)),
+                    "orphan checkpoint segment k{parity}_{index}"
+                );
+            }
+        }
+        let (s2, outcome) = LeafServer::start(cfg, 0, None).unwrap();
+        assert!(outcome.is_memory());
+        assert!(!s2.recovered_from_checkpoint());
+        assert_eq!(s2.total_rows(), 300);
+    }
+
+    /// Expiry invalidates the crash path (the image's immutable prefix
+    /// changed): a crash right after expire goes to disk, and the next
+    /// checkpoint rebuilds a fresh image.
+    #[test]
+    fn expire_resets_crash_path() {
+        let (mut cfg, dir) = crash_config("ckexpire");
+        cfg.retention = RetentionLimits {
+            max_age_secs: Some(50),
+            max_bytes: None,
+        };
+        let mut s = LeafServer::new(cfg.clone()).unwrap();
+        let _c = Cleanup(s.namespace().clone(), dir);
+        fill(&mut s, 100); // times 0..99
+        s.sync_disk().unwrap();
+        s.store.map_mut().get_mut("logs").unwrap().seal(0).unwrap();
+        s.checkpoint_and_wait().unwrap();
+        assert_eq!(s.expire(200).unwrap(), 1); // drops the sealed block
+        s.crash();
+        drop(s);
+        let (s2, outcome) = LeafServer::start(cfg.clone(), 200, None).unwrap();
+        assert!(
+            !outcome.is_memory(),
+            "stale image served expired rows: {outcome:?}"
+        );
+        drop(s2);
+        let ns = ShmNamespace::new(&cfg.shm_prefix, cfg.leaf_id).unwrap();
+        ns.unlink_all(16);
     }
 
     #[test]

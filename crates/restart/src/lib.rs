@@ -43,6 +43,7 @@ mod phases;
 pub mod restore;
 pub mod state;
 pub mod traits;
+pub mod wal;
 
 pub use backup::{backup_to_shm, backup_to_shm_with, BackupError, BackupReport};
 pub use copy::{default_copy_threads, resolve_copy_threads, CopyOptions, COPY_THREADS_ENV};
@@ -57,6 +58,7 @@ pub use traits::{
     ChunkDesc, ChunkSink, ChunkSource, MappedChunk, MappedChunkSource, ShmPersistable,
     FLAG_SKIPPABLE,
 };
+pub use wal::{read_wal, WalContents, WalError, WalWriter};
 
 /// Version of the shared-memory layout this library writes — and the
 /// reader version this binary implements. The paper treats any version

@@ -1,0 +1,425 @@
+//! Per-leaf write-ahead log for the crash-restart fast path.
+//!
+//! The paper's protocol only trusts shared memory across a *planned*
+//! shutdown (§4.3); this log is half of the extension that makes the shm
+//! image useful after a crash. The continuous checkpointer keeps the image
+//! warm; the WAL records every ingest batch since, as CRC-framed records,
+//! so crash recovery is `attach_from_shm` + a short tail replay instead of
+//! hours of disk translation (the recovery shape argued for in
+//! arXiv:1604.03226's parallel log replay and the consistent-snapshot
+//! taxonomy of arXiv:1810.04915).
+//!
+//! The log is deliberately dumb: an 8-byte header (`magic`, `version`)
+//! followed by length+CRC framed opaque payloads. The *meaning* of a
+//! payload (which table, which rows, what the table's row count was when
+//! the batch landed) belongs to the leaf layer — this module only
+//! guarantees that a reader gets back exactly the prefix of records that
+//! were fully written, stopping cleanly at the first torn or corrupt
+//! record (§4.1's truncate-at-first-bad-record durability contract,
+//! applied to the WAL instead of the disk backup).
+//!
+//! Failpoints: `restart::wal::append`, `restart::wal::fsync`,
+//! `restart::wal::replay`.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use scuba_shmem::crc32;
+
+/// "SWAL" little-endian.
+pub const WAL_MAGIC: u32 = 0x4C41_5753;
+/// Current WAL file format version.
+pub const WAL_VERSION: u32 = 1;
+/// File header size: magic + version.
+pub const WAL_HEADER: u64 = 8;
+/// Per-record frame overhead: payload length + payload CRC-32.
+pub const WAL_RECORD_HEADER: usize = 8;
+/// Upper bound on a single record payload; a larger length word is treated
+/// as a torn/corrupt tail rather than trusted for allocation.
+const MAX_RECORD_LEN: usize = 1 << 30;
+
+/// WAL operation failure.
+#[derive(Debug)]
+pub enum WalError {
+    /// Underlying file I/O failed.
+    Io(std::io::Error),
+    /// A fault-injection site fired (tests only).
+    Injected {
+        /// The site that fired.
+        site: &'static str,
+    },
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal i/o error: {e}"),
+            WalError::Injected { site } => write!(f, "injected fault at {site:?}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+/// What a read of the log found.
+#[derive(Debug, Default)]
+pub struct WalContents {
+    /// Fully-written record payloads, append order.
+    pub records: Vec<Vec<u8>>,
+    /// Whether the log ended in a torn or corrupt record (replay stops at
+    /// the last valid one either way; this is reporting, not an error).
+    pub torn: bool,
+    /// Byte offset just past the last valid record — where a writer must
+    /// truncate to before appending again.
+    pub valid_len: u64,
+    /// Total file length on disk (>= `valid_len` when torn).
+    pub file_len: u64,
+}
+
+/// Read the log at `path`. A missing file is an empty log; a torn tail
+/// (crash mid-append) stops the scan cleanly at the last valid record.
+/// The `restart::wal::replay` failpoint guards the scan — an `error` plan
+/// surfaces as [`WalError::Injected`], which callers answer with a disk
+/// fallback.
+pub fn read_wal(path: &Path) -> Result<WalContents, WalError> {
+    if scuba_faults::check("restart::wal::replay").is_some() {
+        return Err(WalError::Injected {
+            site: "restart::wal::replay",
+        });
+    }
+    let mut out = WalContents::default();
+    let mut file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(e.into()),
+    };
+    let mut buf = Vec::new();
+    file.read_to_end(&mut buf)?;
+    out.file_len = buf.len() as u64;
+    if buf.len() < WAL_HEADER as usize {
+        out.torn = !buf.is_empty();
+        return Ok(out);
+    }
+    let magic = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+    let version = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+    if magic != WAL_MAGIC || version != WAL_VERSION {
+        // Not a log this binary wrote: nothing trustworthy to replay.
+        out.torn = true;
+        return Ok(out);
+    }
+    let mut pos = WAL_HEADER as usize;
+    out.valid_len = WAL_HEADER;
+    while pos < buf.len() {
+        if pos + WAL_RECORD_HEADER > buf.len() {
+            out.torn = true;
+            break;
+        }
+        let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().unwrap());
+        let start = pos + WAL_RECORD_HEADER;
+        if len > MAX_RECORD_LEN || start + len > buf.len() {
+            out.torn = true;
+            break;
+        }
+        let payload = &buf[start..start + len];
+        if crc32(payload) != crc {
+            out.torn = true;
+            break;
+        }
+        out.records.push(payload.to_vec());
+        pos = start + len;
+        out.valid_len = pos as u64;
+    }
+    Ok(out)
+}
+
+/// Append handle to a leaf's WAL. Opening scans the existing log and
+/// truncates any torn tail, so appends always extend a valid prefix.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    path: PathBuf,
+    /// Current file length (header + valid records + our appends).
+    len: u64,
+}
+
+impl WalWriter {
+    /// Open (or create) the log at `path`, truncating a torn tail left by
+    /// a crashed predecessor.
+    pub fn open(path: impl Into<PathBuf>) -> Result<WalWriter, WalError> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let contents = match read_wal(&path) {
+            Ok(c) => c,
+            // An armed replay fault must not wedge the writer: treat the
+            // log as unreadable and start fresh.
+            Err(WalError::Injected { .. }) => WalContents::default(),
+            Err(e) => return Err(e),
+        };
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let len = if contents.valid_len >= WAL_HEADER {
+            // Valid header: keep the good prefix, drop the torn tail.
+            file.set_len(contents.valid_len)?;
+            contents.valid_len
+        } else {
+            // Empty, torn-header, or foreign file: rewrite from scratch.
+            file.set_len(0)?;
+            file.write_all(&WAL_MAGIC.to_le_bytes())?;
+            file.write_all(&WAL_VERSION.to_le_bytes())?;
+            WAL_HEADER
+        };
+        file.seek(SeekFrom::Start(len))?;
+        Ok(WalWriter { file, path, len })
+    }
+
+    /// Append one record. Buffered in the OS page cache; durable against
+    /// machine failure only after [`Self::sync`] — the same contract as
+    /// the disk backup's buffered appends (§4.1). Durable against *process*
+    /// death immediately, which is what the crash-restart path needs.
+    pub fn append(&mut self, payload: &[u8]) -> Result<(), WalError> {
+        if scuba_faults::check("restart::wal::append").is_some() {
+            return Err(WalError::Injected {
+                site: "restart::wal::append",
+            });
+        }
+        let mut frame = Vec::with_capacity(WAL_RECORD_HEADER + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file.write_all(&frame)?;
+        self.len += frame.len() as u64;
+        Ok(())
+    }
+
+    /// fsync the log (the leaf calls this alongside the disk backup's
+    /// sync, so WAL and backup share one durability boundary).
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        if scuba_faults::check("restart::wal::fsync").is_some() {
+            return Err(WalError::Injected {
+                site: "restart::wal::fsync",
+            });
+        }
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Drop every record: the checkpoint (or a completed disk recovery /
+    /// planned shutdown) has made them redundant.
+    pub fn truncate(&mut self) -> Result<(), WalError> {
+        self.file.set_len(WAL_HEADER)?;
+        self.file.seek(SeekFrom::Start(WAL_HEADER))?;
+        self.len = WAL_HEADER;
+        Ok(())
+    }
+
+    /// Current log size in bytes (header included).
+    pub fn len_bytes(&self) -> u64 {
+        self.len
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("scuba_wal_{tag}_{}.wal", std::process::id()))
+    }
+
+    #[test]
+    fn round_trips_records_in_order() {
+        let path = tmp("rt");
+        let _ = std::fs::remove_file(&path);
+        let mut w = WalWriter::open(&path).unwrap();
+        w.append(b"alpha").unwrap();
+        w.append(b"").unwrap();
+        w.append(&[7u8; 4096]).unwrap();
+        w.sync().unwrap();
+        drop(w);
+
+        let c = read_wal(&path).unwrap();
+        assert!(!c.torn);
+        assert_eq!(c.records.len(), 3);
+        assert_eq!(c.records[0], b"alpha");
+        assert_eq!(c.records[1], b"");
+        assert_eq!(c.records[2], vec![7u8; 4096]);
+        assert_eq!(c.valid_len, c.file_len);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_empty_log() {
+        let c = read_wal(Path::new("/nonexistent/scuba.wal")).unwrap();
+        assert!(c.records.is_empty());
+        assert!(!c.torn);
+    }
+
+    #[test]
+    fn torn_tail_stops_at_last_valid_record() {
+        let path = tmp("torn");
+        let _ = std::fs::remove_file(&path);
+        let mut w = WalWriter::open(&path).unwrap();
+        w.append(b"good one").unwrap();
+        w.append(b"good two").unwrap();
+        drop(w);
+        // A crash mid-append: half a record header, then garbage.
+        let mut raw = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        raw.write_all(&[0x99, 0x04, 0x00]).unwrap();
+        drop(raw);
+
+        let c = read_wal(&path).unwrap();
+        assert!(c.torn);
+        assert_eq!(c.records.len(), 2);
+        assert!(c.valid_len < c.file_len);
+
+        // Reopening truncates the torn tail so appends extend a valid log.
+        let mut w = WalWriter::open(&path).unwrap();
+        w.append(b"good three").unwrap();
+        drop(w);
+        let c = read_wal(&path).unwrap();
+        assert!(!c.torn);
+        assert_eq!(c.records.len(), 3);
+        assert_eq!(c.records[2], b"good three");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_crc_stops_replay_cleanly() {
+        let path = tmp("crc");
+        let _ = std::fs::remove_file(&path);
+        let mut w = WalWriter::open(&path).unwrap();
+        w.append(b"kept").unwrap();
+        w.append(b"about to be scribbled on").unwrap();
+        w.append(b"unreachable after the tear").unwrap();
+        drop(w);
+        // Flip a payload byte in the middle record.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let off = WAL_HEADER as usize + WAL_RECORD_HEADER + 4 /* "kept" */ + WAL_RECORD_HEADER + 3;
+        bytes[off] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let c = read_wal(&path).unwrap();
+        assert!(c.torn);
+        // Replay stops at the last valid record; nothing after the tear is
+        // trusted, even though the third record's bytes are intact.
+        assert_eq!(c.records, vec![b"kept".to_vec()]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn oversized_length_word_is_torn_not_allocated() {
+        let path = tmp("huge");
+        let _ = std::fs::remove_file(&path);
+        let mut w = WalWriter::open(&path).unwrap();
+        w.append(b"ok").unwrap();
+        drop(w);
+        let mut raw = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        raw.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        raw.write_all(&0u32.to_le_bytes()).unwrap();
+        drop(raw);
+        let c = read_wal(&path).unwrap();
+        assert!(c.torn);
+        assert_eq!(c.records.len(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncate_drops_all_records() {
+        let path = tmp("trunc");
+        let _ = std::fs::remove_file(&path);
+        let mut w = WalWriter::open(&path).unwrap();
+        w.append(b"a").unwrap();
+        w.append(b"b").unwrap();
+        assert!(w.len_bytes() > WAL_HEADER);
+        w.truncate().unwrap();
+        assert_eq!(w.len_bytes(), WAL_HEADER);
+        w.append(b"after").unwrap();
+        drop(w);
+        let c = read_wal(&path).unwrap();
+        assert!(!c.torn);
+        assert_eq!(c.records, vec![b"after".to_vec()]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn foreign_file_is_rewritten_not_replayed() {
+        let path = tmp("foreign");
+        std::fs::write(&path, b"this is not a wal at all, just bytes").unwrap();
+        let c = read_wal(&path).unwrap();
+        assert!(c.torn);
+        assert!(c.records.is_empty());
+        let mut w = WalWriter::open(&path).unwrap();
+        w.append(b"fresh").unwrap();
+        drop(w);
+        let c = read_wal(&path).unwrap();
+        assert!(!c.torn);
+        assert_eq!(c.records, vec![b"fresh".to_vec()]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn failpoints_guard_append_fsync_replay() {
+        let _x = scuba_faults::exclusive();
+        scuba_faults::clear_all();
+        let path = tmp("fp");
+        let _ = std::fs::remove_file(&path);
+        let mut w = WalWriter::open(&path).unwrap();
+        w.append(b"before").unwrap();
+
+        scuba_faults::configure("restart::wal::append", "error@1").unwrap();
+        assert!(matches!(
+            w.append(b"wounded"),
+            Err(WalError::Injected {
+                site: "restart::wal::append"
+            })
+        ));
+        w.append(b"after").unwrap(); // one-shot: next append succeeds
+
+        scuba_faults::configure("restart::wal::fsync", "error@1").unwrap();
+        assert!(matches!(
+            w.sync(),
+            Err(WalError::Injected {
+                site: "restart::wal::fsync"
+            })
+        ));
+        w.sync().unwrap();
+        drop(w);
+
+        scuba_faults::configure("restart::wal::replay", "error@1").unwrap();
+        assert!(matches!(
+            read_wal(&path),
+            Err(WalError::Injected {
+                site: "restart::wal::replay"
+            })
+        ));
+        let c = read_wal(&path).unwrap();
+        assert_eq!(c.records.len(), 2); // the wounded append left no trace
+        scuba_faults::clear_all();
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -60,6 +60,23 @@ impl ShmNamespace {
         format!("/{}_leaf{}_t{}", self.prefix, self.leaf_id, index)
     }
 
+    /// Name of a *checkpoint* segment: the continuously-maintained warm
+    /// image a live leaf writes during normal serving (the crash-restart
+    /// extension of the planned-shutdown image). `parity` (0 or 1)
+    /// alternates across process generations so a recovering process —
+    /// whose attach still holds the predecessor's checkpoint segments via
+    /// unlink-on-last-drop views — can build its own warm image under
+    /// names the dying views will never unlink.
+    pub fn checkpoint_segment_name(&self, parity: u32, index: usize) -> String {
+        format!(
+            "/{}_leaf{}_k{}_{}",
+            self.prefix,
+            self.leaf_id,
+            parity % 2,
+            index
+        )
+    }
+
     /// Unlink the metadata segment and every table segment this leaf may
     /// have left behind. Used on fallback-to-disk ("frees any shared
     /// memory in use", §4.3) and by tests. Returns how many names were
@@ -102,6 +119,24 @@ impl ShmNamespace {
         for i in index..max_tables {
             if ShmSegment::unlink(&self.table_segment_name(i)).unwrap_or(false) {
                 removed += 1;
+            }
+        }
+        // Checkpoint segments, both parities: same contiguous walk plus
+        // capped fallback as the table names. (Layer 1 already caught any
+        // that were listed in the registry.)
+        for parity in 0..2u32 {
+            let mut index = 0;
+            while ShmSegment::exists(&self.checkpoint_segment_name(parity, index)) {
+                if ShmSegment::unlink(&self.checkpoint_segment_name(parity, index)).unwrap_or(false)
+                {
+                    removed += 1;
+                }
+                index += 1;
+            }
+            for i in index..max_tables {
+                if ShmSegment::unlink(&self.checkpoint_segment_name(parity, i)).unwrap_or(false) {
+                    removed += 1;
+                }
             }
         }
         removed
@@ -157,6 +192,31 @@ mod tests {
         assert_eq!(ns.unlink_all(2), 2); // metadata + t9, despite cap 2
         assert!(!ShmSegment::exists(&far));
         assert!(!ShmSegment::exists(&ns.metadata_name()));
+    }
+
+    #[test]
+    fn checkpoint_names_are_parity_distinct_and_swept() {
+        let prefix = format!("swpck{}", std::process::id());
+        let ns = ShmNamespace::new(&prefix, 11).unwrap();
+        assert_eq!(
+            ns.checkpoint_segment_name(0, 3),
+            format!("/{prefix}_leaf11_k0_3")
+        );
+        assert_ne!(
+            ns.checkpoint_segment_name(0, 0),
+            ns.checkpoint_segment_name(1, 0)
+        );
+        // Parity wraps: 2 is parity 0 again.
+        assert_eq!(
+            ns.checkpoint_segment_name(2, 0),
+            ns.checkpoint_segment_name(0, 0)
+        );
+        // Orphaned checkpoint segments on both parities are swept.
+        let _a = ShmSegment::create(&ns.checkpoint_segment_name(0, 0), 16).unwrap();
+        let _b = ShmSegment::create(&ns.checkpoint_segment_name(1, 2), 16).unwrap();
+        assert_eq!(ns.unlink_all(4), 2);
+        assert!(!ShmSegment::exists(&ns.checkpoint_segment_name(0, 0)));
+        assert!(!ShmSegment::exists(&ns.checkpoint_segment_name(1, 2)));
     }
 
     #[test]

@@ -10,6 +10,11 @@
 //! * `SCUBA_CHAOS_SEED`    — wave script seed (default fixed).
 //! * `SCUBA_CHAOS_THREADS` — copy-pipeline workers (default 4: the soak
 //!   runs with the parallel pool enabled).
+//!
+//! The second soak turns on crash waves: even waves die by mid-ingest
+//! kill and must come back through the warm checkpoint image + WAL tail
+//! replay (clean kills) or fall back to disk with exact durable fidelity
+//! (wounded ones).
 
 use scuba_cluster::chaos::{run_chaos, ChaosConfig};
 
@@ -20,8 +25,13 @@ fn env_u64(name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+/// Both soaks assert over process-global metrics (restart counters, the
+/// linked-segment gauge), so they must not interleave.
+static SOAK_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 #[test]
 fn chaos_soak_over_restart_protocol() {
+    let _g = SOAK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     scuba::obs::set_enabled(true);
     let waves = env_u64("SCUBA_CHAOS_WAVES", 200) as usize;
     let seed = env_u64("SCUBA_CHAOS_SEED", 0xC0FF_EE00);
@@ -44,6 +54,7 @@ fn chaos_soak_over_restart_protocol() {
         // pre-refactor v1 / early-TLV v2), so faults land on
         // cross-version images too.
         mixed_writers: env_u64("SCUBA_CHAOS_MIXED_WRITERS", 1) != 0,
+        crash_waves: false,
     };
     let report = run_chaos(&cfg).unwrap_or_else(|violation| panic!("{violation}"));
 
@@ -101,6 +112,91 @@ fn chaos_soak_over_restart_protocol() {
 
     // The live dashboard saw a down + recovered sample for each wave.
     assert_eq!(report.dashboard.rows().len(), 2 * waves);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn chaos_soak_with_crash_waves() {
+    let _g = SOAK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    scuba::obs::set_enabled(true);
+    let waves = env_u64("SCUBA_CHAOS_CRASH_WAVES", 80) as usize;
+    let seed = env_u64("SCUBA_CHAOS_SEED", 0xDEAD_BEEF);
+    let prefix = format!("chaoscrash{}", std::process::id());
+    let dir = std::env::temp_dir().join(format!("scuba_{prefix}"));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let cfg = ChaosConfig {
+        seed,
+        waves,
+        rows_per_wave: 120,
+        shm_prefix: prefix,
+        disk_root: dir.clone(),
+        copy_threads: env_u64("SCUBA_CHAOS_THREADS", 4) as usize,
+        two_phase: env_u64("SCUBA_CHAOS_TWO_PHASE", 1) != 0,
+        mixed_writers: false,
+        crash_waves: true,
+    };
+    // run_chaos asserts per wave: clean kills recover via warm image + WAL
+    // replay, the unsynced tail is replayed exactly (fast) or exactly
+    // absent (disk), no shm orphans, and the leaf's fast-crash-recovery
+    // counter matches the observed trace.
+    let report = run_chaos(&cfg).unwrap_or_else(|violation| panic!("{violation}"));
+
+    assert_eq!(report.waves, waves, "every wave must complete");
+    assert_eq!(report.crash_waves, waves.div_ceil(2));
+    assert_eq!(
+        report.crash_fast_recoveries + report.crash_disk_fallbacks,
+        report.crash_waves,
+        "every crash wave is either fast or a disk fallback"
+    );
+    assert!(
+        report.crash_fast_recoveries > report.crash_disk_fallbacks,
+        "most crash waves are clean (2 in 3) and must take the fast path: \
+         fast={}, disk={}",
+        report.crash_fast_recoveries,
+        report.crash_disk_fallbacks
+    );
+    if waves >= 40 {
+        // The 1-in-3 wound draw must actually have produced fallbacks,
+        // and the per-wave trace records them for the report.
+        assert!(
+            report.crash_disk_fallbacks > 0,
+            "no wounded crash wave fell back to disk over {waves} waves"
+        );
+        assert_eq!(
+            report
+                .records
+                .iter()
+                .filter(|r| r.crash && !r.memory)
+                .count(),
+            report.crash_disk_fallbacks
+        );
+    }
+
+    // No gauge ever goes negative, and nothing stays mapped in /dev/shm.
+    for (name, value) in scuba::obs::gauge_values() {
+        assert!(value >= 0, "gauge {name} is negative: {value}");
+    }
+    assert_eq!(
+        scuba::obs::gauge_value("shmem_segments_linked").unwrap_or(0),
+        0,
+        "shared-memory segments left linked after the crash soak"
+    );
+    assert_eq!(report.dashboard.rows().len(), 2 * waves);
+    // The metric-fed dashboard surfaces the crash-path overlay.
+    assert!(
+        report
+            .dashboard
+            .rows()
+            .iter()
+            .any(|r| r.crash_fast_recoveries > 0),
+        "dashboard never surfaced a fast crash recovery"
+    );
+    assert!(
+        report.dashboard.rows().iter().any(|r| r.wal_bytes > 0),
+        "dashboard never surfaced WAL bytes pending replay"
+    );
 
     let _ = std::fs::remove_dir_all(&dir);
 }
