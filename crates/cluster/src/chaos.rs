@@ -334,9 +334,11 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
     let mut durable_data = 0usize;
     let mut durable_aux = 0usize;
     // The crash-wave tail table: ingested *after* the last sync, killed
-    // before the next one, so its rows are never disk-durable — they live
-    // only in the WAL (and, once checkpointed, the image). `tail_rows` is
-    // what the previous wave's recovery held; `tail_next` keys new rows.
+    // before the next one, so at kill time its newest rows live only in
+    // the WAL (and, once checkpointed, the image). A fast recovery
+    // replays them AND reconciles them into the disk backup, so from the
+    // next wave on they are disk-durable too. `tail_rows` is what the
+    // previous wave's recovery held; `tail_next` keys new rows.
     let mut tail_rows = 0usize;
     let mut tail_next = 0usize;
     // Recoveries the leaf itself attributed to a warm checkpoint image.
@@ -415,10 +417,11 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
                 .sync_disk()
                 .map_err(|e| err(wave, "post-checkpoint sync", e))?;
             durable_data += b_n;
-            // Unsynced tail: rows only the WAL holds at kill time. They are
-            // never disk-durable — the crash discards the buffered writes —
-            // so a fast recovery must replay every one of them and a disk
-            // fallback must surface none.
+            // Unsynced tail: rows only the WAL holds at kill time — the
+            // crash discards the buffered disk writes. A fast recovery
+            // must replay every one of them (and reconcile them into the
+            // backup); a disk fallback surfaces only the tail rows
+            // reconciled by *earlier* fast recoveries.
             c_n = cfg.rows_per_wave / 4 + 1;
             let c: Vec<Row> = (tail_next..tail_next + c_n)
                 .map(|i| Row::at(i as i64).with("t", i as i64))
@@ -521,8 +524,11 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
 
         // --- Crash-wave invariants: a clean kill MUST come back through
         // the warm image + WAL replay; the unsynced tail is recovered
-        // exactly (fast path) or exactly absent (disk fallback — its rows
-        // were never synced, and the kill discards buffered writes). ---
+        // exactly (fast path, which also reconciles it into the backup).
+        // A disk fallback surfaces exactly the tail reconciled by earlier
+        // fast recoveries — this wave's unsynced tail rows are gone (the
+        // kill discards buffered writes), but no previously-recovered row
+        // may vanish. ---
         if crash_wave && !wounded && !outcome.is_memory() {
             return Err(err(
                 wave,
@@ -538,9 +544,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
         } else {
             0
         };
-        let tail_want = if !outcome.is_memory() {
-            0
-        } else if crash_wave {
+        let tail_want = if crash_wave && outcome.is_memory() {
             tail_rows + c_n
         } else {
             tail_rows

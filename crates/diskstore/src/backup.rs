@@ -14,14 +14,14 @@
 
 use std::collections::BTreeMap;
 use std::fs::{self, File, OpenOptions};
-use std::io::{BufWriter, Read, Write};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 use scuba_columnstore::{LeafMap, Row, Table};
 
 use crate::error::{DiskError, DiskResult};
-use crate::rowformat::{read_record, write_record, ReadOutcome};
+use crate::rowformat::{read_record, skip_record, write_record, ReadOutcome, SkipOutcome};
 use crate::throttle::Throttle;
 
 /// File extension for row-format table logs.
@@ -43,6 +43,21 @@ pub struct RecoveryStats {
     pub translate_duration: Duration,
     /// Rows lost to torn tails (crash-truncated appends), per table.
     pub torn_tails: usize,
+}
+
+/// Result of a [`DiskBackup::coverage`] scan: how much of a table's log
+/// is a valid record prefix.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TableCoverage {
+    /// Valid records in the prefix (including any trusted hint rows).
+    pub rows: u64,
+    /// Byte offset just past the last valid record.
+    pub valid_len: u64,
+    /// Total file length (`> valid_len` means a torn tail).
+    pub file_len: u64,
+    /// Bytes actually read and walked by this scan (observability: with a
+    /// fresh sync hint this is ~0 even for a large log).
+    pub scanned_bytes: u64,
 }
 
 /// A leaf server's on-disk backup: one append-only row log per table
@@ -302,6 +317,111 @@ impl DiskBackup {
         Ok((map, stats))
     }
 
+    /// On-disk length of a table's log (0 when absent). Buffered appends
+    /// not yet flushed are invisible — after a [`Self::sync`] this is the
+    /// durable length.
+    pub fn file_len(&self, table: &str) -> DiskResult<u64> {
+        let path = self.table_path(table)?;
+        match fs::metadata(&path) {
+            Ok(m) => Ok(m.len()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(0),
+            Err(e) => Err(DiskError::io(&path, e)),
+        }
+    }
+
+    /// Count the valid-record prefix of a table's log.
+    ///
+    /// `synced_hint`, when present, is a `(rows, bytes)` coverage anchor
+    /// the caller trusts (e.g. recorded in the WAL after a successful
+    /// sync): the first `rows` records are known to occupy exactly the
+    /// first `bytes` bytes, so the scan starts there and only walks the
+    /// suffix. A hint whose byte offset exceeds the file is ignored and
+    /// the whole file is scanned.
+    ///
+    /// Reads only what is on disk — buffered, unflushed appends are
+    /// invisible. Meant for recovery-time reconciliation, where the
+    /// writers are empty.
+    pub fn coverage(&self, table: &str, synced_hint: Option<(u64, u64)>) -> DiskResult<TableCoverage> {
+        let path = self.table_path(table)?;
+        let mut file = match File::open(&path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(TableCoverage::default())
+            }
+            Err(e) => return Err(DiskError::io(&path, e)),
+        };
+        let file_len = file
+            .metadata()
+            .map_err(|e| DiskError::io(&path, e))?
+            .len();
+        let (mut rows, start) = match synced_hint {
+            Some((r, b)) if b <= file_len => (r, b),
+            _ => (0, 0),
+        };
+        file.seek(SeekFrom::Start(start))
+            .map_err(|e| DiskError::io(&path, e))?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)
+            .map_err(|e| DiskError::io(&path, e))?;
+        let mut pos = 0usize;
+        let mut valid_len = start;
+        loop {
+            match skip_record(&bytes, &mut pos) {
+                SkipOutcome::Skipped => {
+                    rows += 1;
+                    valid_len = start + pos as u64;
+                }
+                SkipOutcome::End | SkipOutcome::Torn => break,
+            }
+        }
+        Ok(TableCoverage {
+            rows,
+            valid_len,
+            file_len,
+            scanned_bytes: bytes.len() as u64,
+        })
+    }
+
+    /// Truncate a table's log to `len` bytes — dropping a torn tail so
+    /// later appends extend a valid record prefix instead of hiding behind
+    /// garbage. Any buffered writer for the table is discarded first.
+    pub fn truncate_table(&mut self, table: &str, len: u64) -> DiskResult<()> {
+        if let Some(w) = self.writers.remove(table) {
+            let _ = w.into_parts();
+        }
+        let path = self.table_path(table)?;
+        let file = match OpenOptions::new().write(true).open(&path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound && len == 0 => return Ok(()),
+            Err(e) => return Err(DiskError::io(&path, e)),
+        };
+        file.set_len(len).map_err(|e| DiskError::io(&path, e))?;
+        file.sync_data().map_err(|e| DiskError::io(&path, e))?;
+        Ok(())
+    }
+
+    /// Atomically replace a table's log with exactly `rows` (expiry: the
+    /// oldest blocks were dropped from memory, so the on-disk log must
+    /// shrink to the surviving rows to preserve the memory↔disk prefix
+    /// correspondence). Durable on return (tmp file + fsync + rename).
+    pub fn rewrite_table(&mut self, table: &str, rows: &[Row]) -> DiskResult<()> {
+        if let Some(w) = self.writers.remove(table) {
+            let _ = w.into_parts();
+        }
+        let path = self.table_path(table)?;
+        let tmp = path.with_extension("rows.tmp");
+        let mut buf = Vec::new();
+        for row in rows {
+            write_record(row, &mut buf);
+        }
+        let mut file = File::create(&tmp).map_err(|e| DiskError::io(&tmp, e))?;
+        file.write_all(&buf).map_err(|e| DiskError::io(&tmp, e))?;
+        file.sync_data().map_err(|e| DiskError::io(&tmp, e))?;
+        drop(file);
+        fs::rename(&tmp, &path).map_err(|e| DiskError::io(&path, e))?;
+        Ok(())
+    }
+
     /// Delete a table's log (expiry of an entire table).
     pub fn remove_table(&mut self, table: &str) -> DiskResult<bool> {
         self.writers.remove(table);
@@ -450,6 +570,98 @@ mod tests {
         let (map, stats) = b.recover(0, None).unwrap();
         assert!(map.is_empty());
         assert_eq!(stats.rows, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn coverage_counts_valid_prefix_and_flags_torn_tail() {
+        let dir = tmpdir("cov");
+        let mut b = DiskBackup::open(&dir).unwrap();
+        // Missing file: zero coverage, no error.
+        assert_eq!(b.coverage("t", None).unwrap(), TableCoverage::default());
+        b.append("t", &rows(50)).unwrap();
+        b.sync().unwrap();
+        let clean = b.coverage("t", None).unwrap();
+        assert_eq!(clean.rows, 50);
+        assert_eq!(clean.valid_len, clean.file_len);
+        assert_eq!(clean.scanned_bytes, clean.file_len);
+
+        // A trusted hint at the synced boundary skips the whole scan.
+        let hinted = b
+            .coverage("t", Some((50, clean.valid_len)))
+            .unwrap();
+        assert_eq!(hinted.rows, 50);
+        assert_eq!(hinted.valid_len, clean.valid_len);
+        assert_eq!(hinted.scanned_bytes, 0);
+        // A hint past EOF is ignored: full scan, same answer.
+        let bogus = b
+            .coverage("t", Some((99, clean.file_len + 1000)))
+            .unwrap();
+        assert_eq!(bogus.rows, 50);
+        assert_eq!(bogus.scanned_bytes, clean.file_len);
+
+        // Tear the tail: coverage reports the valid prefix and the gap.
+        let path = dir.join("t.rows");
+        let len = fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 7).unwrap();
+        drop(f);
+        let torn = b.coverage("t", None).unwrap();
+        assert_eq!(torn.rows, 49);
+        assert!(torn.valid_len < torn.file_len);
+        // Hint at a mid-file record boundary: suffix scan agrees.
+        let mid = b.coverage("t", Some((49, torn.valid_len))).unwrap();
+        assert_eq!(mid.rows, 49);
+        assert_eq!(mid.valid_len, torn.valid_len);
+        assert!(mid.scanned_bytes < torn.file_len);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncate_table_repairs_torn_tail_for_later_appends() {
+        let dir = tmpdir("trunc");
+        let mut b = DiskBackup::open(&dir).unwrap();
+        b.append("t", &rows(20)).unwrap();
+        b.sync().unwrap();
+        // Garbage after the valid records: appends would hide behind it.
+        let path = dir.join("t.rows");
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[0xAB; 13]).unwrap();
+        drop(f);
+        let cov = b.coverage("t", None).unwrap();
+        assert_eq!(cov.rows, 20);
+        assert!(cov.valid_len < cov.file_len);
+        b.truncate_table("t", cov.valid_len).unwrap();
+        b.append("t", &rows(5)).unwrap();
+        b.sync().unwrap();
+        let (map, stats) = b.recover(0, None).unwrap();
+        assert_eq!(stats.torn_tails, 0);
+        assert_eq!(map.get("t").unwrap().row_count(), 25);
+        // Truncating a missing table to zero is a no-op, not an error.
+        b.truncate_table("absent", 0).unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rewrite_table_replaces_log_atomically() {
+        let dir = tmpdir("rw");
+        let mut b = DiskBackup::open(&dir).unwrap();
+        b.append("t", &rows(100)).unwrap();
+        b.sync().unwrap();
+        // Expiry dropped the first 60 rows: the log must shrink to match.
+        let keep = rows(100).split_off(60);
+        b.rewrite_table("t", &keep).unwrap();
+        let cov = b.coverage("t", None).unwrap();
+        assert_eq!(cov.rows, 40);
+        let (map, _) = b.recover(0, None).unwrap();
+        assert_eq!(map.get("t").unwrap().row_count(), 40);
+        // Appends after a rewrite extend the new log.
+        b.append("t", &rows(3)).unwrap();
+        b.sync().unwrap();
+        assert_eq!(b.coverage("t", None).unwrap().rows, 43);
+        // Rewriting to empty leaves a valid empty log.
+        b.rewrite_table("t", &[]).unwrap();
+        assert_eq!(b.coverage("t", None).unwrap().rows, 0);
         fs::remove_dir_all(&dir).unwrap();
     }
 

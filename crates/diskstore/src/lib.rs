@@ -33,7 +33,7 @@ pub mod fastformat;
 pub mod rowformat;
 pub mod throttle;
 
-pub use backup::{DiskBackup, RecoveryStats};
+pub use backup::{DiskBackup, RecoveryStats, TableCoverage};
 pub use error::{DiskError, DiskResult};
 pub use fastformat::FastBackup;
 pub use throttle::Throttle;

@@ -115,6 +115,95 @@ pub fn read_record(buf: &[u8], pos: &mut usize) -> ReadOutcome {
     }
 }
 
+/// Outcome of skipping one record without materializing it.
+#[derive(Debug, PartialEq)]
+pub enum SkipOutcome {
+    /// A full, valid record was skipped; cursor advanced past it.
+    Skipped,
+    /// Clean end of input.
+    End,
+    /// Truncated or corrupt data at the tail.
+    Torn,
+}
+
+/// Validate one record at `*pos` and advance past it, without allocating a
+/// [`Row`]. Accepts and rejects *exactly* the same byte streams as
+/// [`read_record`] — recovery-time coverage scans use this to count the
+/// valid record prefix of a backup file cheaply (no per-row `String`
+/// allocations), and the count must agree with what a later
+/// [`read_record`] pass would recover.
+pub fn skip_record(buf: &[u8], pos: &mut usize) -> SkipOutcome {
+    let p = *pos;
+    if p == buf.len() {
+        return SkipOutcome::End;
+    }
+    if p + 8 > buf.len() {
+        return SkipOutcome::Torn;
+    }
+    let len = u32::from_le_bytes(buf[p..p + 4].try_into().unwrap()) as usize;
+    let stored_crc = u32::from_le_bytes(buf[p + 4..p + 8].try_into().unwrap());
+    if len > MAX_RECORD {
+        return SkipOutcome::Torn;
+    }
+    if p + 8 + len > buf.len() {
+        return SkipOutcome::Torn;
+    }
+    let payload = &buf[p + 8..p + 8 + len];
+    if crc32(payload) != stored_crc {
+        return SkipOutcome::Torn;
+    }
+    if validate_payload(payload).is_err() {
+        return SkipOutcome::Torn;
+    }
+    *pos = p + 8 + len;
+    SkipOutcome::Skipped
+}
+
+/// Structural walk of a record payload with no allocation. Must apply the
+/// identical checks, in the identical order, as [`parse_payload`].
+fn validate_payload(payload: &[u8]) -> Result<(), ()> {
+    let take = |p: &mut usize, n: usize| -> Result<&[u8], ()> {
+        if *p + n > payload.len() {
+            return Err(());
+        }
+        let s = &payload[*p..*p + n];
+        *p += n;
+        Ok(s)
+    };
+    let mut p = 0usize;
+    take(&mut p, 8)?; // time
+    let ncols = u16::from_le_bytes(take(&mut p, 2)?.try_into().unwrap()) as usize;
+    for _ in 0..ncols {
+        let name_len = u16::from_le_bytes(take(&mut p, 2)?.try_into().unwrap()) as usize;
+        std::str::from_utf8(take(&mut p, name_len)?).map_err(|_| ())?;
+        let code = take(&mut p, 1)?[0];
+        let ty = ColumnType::from_code(code).ok_or(())?;
+        match ty {
+            ColumnType::Int64 | ColumnType::Double => {
+                take(&mut p, 8)?;
+            }
+            ColumnType::Str => {
+                let len = u32::from_le_bytes(take(&mut p, 4)?.try_into().unwrap()) as usize;
+                std::str::from_utf8(take(&mut p, len)?).map_err(|_| ())?;
+            }
+            ColumnType::StrSet => {
+                let count = u32::from_le_bytes(take(&mut p, 4)?.try_into().unwrap()) as usize;
+                if count > payload.len() {
+                    return Err(());
+                }
+                for _ in 0..count {
+                    let len = u32::from_le_bytes(take(&mut p, 4)?.try_into().unwrap()) as usize;
+                    std::str::from_utf8(take(&mut p, len)?).map_err(|_| ())?;
+                }
+            }
+        }
+    }
+    if p != payload.len() {
+        return Err(());
+    }
+    Ok(())
+}
+
 fn parse_payload(payload: &[u8]) -> Result<Row, String> {
     let take = |p: &mut usize, n: usize| -> Result<&[u8], String> {
         if *p + n > payload.len() {
@@ -255,6 +344,77 @@ mod tests {
         buf.extend_from_slice(&[0u8; 12]);
         let mut pos = 0;
         assert!(matches!(read_record(&buf, &mut pos), ReadOutcome::Torn(_)));
+    }
+
+    /// skip_record must agree with read_record on every input this suite
+    /// can construct: valid streams, every truncation cut, every bit flip.
+    #[test]
+    fn skip_agrees_with_read_everywhere() {
+        let mut buf = Vec::new();
+        let rows: Vec<Row> = (0..20)
+            .map(|i| {
+                Row::at(i)
+                    .with("n", i * 3)
+                    .with("s", format!("v{i}"))
+                    .with("tags", Value::set(vec![format!("a{i}"), "b".to_owned()]))
+            })
+            .collect();
+        for r in &rows {
+            write_record(r, &mut buf);
+        }
+        // Valid stream: same record boundaries, same count.
+        let (mut rp, mut sp) = (0usize, 0usize);
+        let mut skipped = 0;
+        loop {
+            let r = read_record(&buf, &mut rp);
+            let s = skip_record(&buf, &mut sp);
+            match (&r, &s) {
+                (ReadOutcome::Record(_), SkipOutcome::Skipped) => skipped += 1,
+                (ReadOutcome::End, SkipOutcome::End) => break,
+                other => panic!("diverged after {skipped} records: {other:?}"),
+            }
+            assert_eq!(rp, sp, "cursor divergence after record {skipped}");
+        }
+        assert_eq!(skipped, rows.len());
+        // Every truncation cut and every bit flip must tear identically.
+        for cut in 0..buf.len() {
+            let (mut rp, mut sp) = (0usize, 0usize);
+            loop {
+                let r = read_record(&buf[..cut], &mut rp);
+                let s = skip_record(&buf[..cut], &mut sp);
+                let same = matches!(
+                    (&r, &s),
+                    (ReadOutcome::Record(_), SkipOutcome::Skipped)
+                        | (ReadOutcome::End, SkipOutcome::End)
+                        | (ReadOutcome::Torn(_), SkipOutcome::Torn)
+                );
+                assert!(same, "cut={cut}: read={r:?} skip={s:?}");
+                assert_eq!(rp, sp, "cut={cut}: cursor divergence");
+                if !matches!(r, ReadOutcome::Record(_)) {
+                    break;
+                }
+            }
+        }
+        for i in (0..buf.len()).step_by(7) {
+            let mut copy = buf.clone();
+            copy[i] ^= 0x10;
+            let (mut rp, mut sp) = (0usize, 0usize);
+            loop {
+                let r = read_record(&copy, &mut rp);
+                let s = skip_record(&copy, &mut sp);
+                let same = matches!(
+                    (&r, &s),
+                    (ReadOutcome::Record(_), SkipOutcome::Skipped)
+                        | (ReadOutcome::End, SkipOutcome::End)
+                        | (ReadOutcome::Torn(_), SkipOutcome::Torn)
+                );
+                assert!(same, "flip@{i}: read={r:?} skip={s:?}");
+                assert_eq!(rp, sp, "flip@{i}: cursor divergence");
+                if !matches!(r, ReadOutcome::Record(_)) {
+                    break;
+                }
+            }
+        }
     }
 
     #[test]

@@ -57,7 +57,9 @@ const GROW_QUANTUM: usize = 1 << 20;
 
 /// How far the worker sweeps its own parity for stale segments before the
 /// first cycle (leftovers of a crashed generation two restarts back).
-const STALE_SWEEP: usize = 64;
+/// `LeafServer::new` uses the same cap for its first-boot sweep of a dead
+/// predecessor's image.
+pub(crate) const STALE_SWEEP: usize = 64;
 
 /// An immutable capture of one table, taken on the serving thread and
 /// shipped to the checkpoint worker. Sealed blocks are `Arc`-shared (no

@@ -38,6 +38,11 @@ fn phase_failpoint(site: &'static str) -> LeafResult<()> {
     Ok(())
 }
 
+/// WAL payload tag: an ingest batch.
+const WAL_TAG_BATCH: u8 = 1;
+/// WAL payload tag: a sync-coverage anchor (see [`encode_sync_anchor`]).
+const WAL_TAG_SYNC: u8 = 2;
+
 /// One decoded WAL record: a single ingest batch with its dedup anchor.
 struct WalBatch {
     /// Destination table.
@@ -52,10 +57,12 @@ struct WalBatch {
 }
 
 /// Encode one ingest batch as a WAL record payload:
-/// `name_len u16 | name | start_rows u64 | n_rows u32 | rowformat records`.
+/// `tag u8 | name_len u16 | name | start_rows u64 | n_rows u32 |
+/// rowformat records`.
 fn encode_wal_batch(table: &str, start_rows: u64, rows: &[Row]) -> Vec<u8> {
     let name = table.as_bytes();
-    let mut buf = Vec::with_capacity(14 + name.len() + rows.len() * 16);
+    let mut buf = Vec::with_capacity(15 + name.len() + rows.len() * 16);
+    buf.push(WAL_TAG_BATCH);
     buf.extend_from_slice(&(name.len() as u16).to_le_bytes());
     buf.extend_from_slice(name);
     buf.extend_from_slice(&start_rows.to_le_bytes());
@@ -66,9 +73,81 @@ fn encode_wal_batch(table: &str, start_rows: u64, rows: &[Row]) -> Vec<u8> {
     buf
 }
 
-/// Decode a WAL record payload. The outer frame's CRC already matched, so
-/// any structural problem here is a logic error worth failing loudly on —
-/// the caller answers with a disk fallback, never a partial apply.
+/// Encode a sync-coverage anchor: after a successful full disk sync, each
+/// table's durable log provably holds its first `rows` in-memory rows in
+/// exactly the first `bytes` file bytes. Crash recovery uses the *last*
+/// anchor to bound the disk-coverage reconciliation scan to the file
+/// suffix written since. Payload:
+/// `tag u8 | n u32 | per table: name_len u16 | name | rows u64 | bytes u64`.
+fn encode_sync_anchor(entries: &[(String, u64, u64)]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(5 + entries.len() * 40);
+    buf.push(WAL_TAG_SYNC);
+    buf.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for (name, rows, bytes) in entries {
+        buf.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        buf.extend_from_slice(name.as_bytes());
+        buf.extend_from_slice(&rows.to_le_bytes());
+        buf.extend_from_slice(&bytes.to_le_bytes());
+    }
+    buf
+}
+
+/// A decoded WAL payload.
+enum WalRecord {
+    /// An ingest batch to replay.
+    Batch(WalBatch),
+    /// A sync-coverage anchor: per-table `(rows, bytes)` disk coverage.
+    SyncAnchor(Vec<(String, u64, u64)>),
+}
+
+/// Decode a WAL record payload by its leading tag. The outer frame's CRC
+/// already matched, so any structural problem here is a logic error worth
+/// failing loudly on — the caller answers with a disk fallback, never a
+/// partial apply.
+fn decode_wal_record(payload: &[u8]) -> Result<WalRecord, String> {
+    match payload.first() {
+        Some(&WAL_TAG_BATCH) => decode_wal_batch(&payload[1..]).map(WalRecord::Batch),
+        Some(&WAL_TAG_SYNC) => decode_sync_anchor(&payload[1..]).map(WalRecord::SyncAnchor),
+        Some(&tag) => Err(format!("unknown wal record tag {tag}")),
+        None => Err("empty wal record".to_owned()),
+    }
+}
+
+/// Decode a sync-anchor payload (tag already stripped).
+fn decode_sync_anchor(payload: &[u8]) -> Result<Vec<(String, u64, u64)>, String> {
+    let need = |n: usize, pos: usize| -> Result<(), String> {
+        if payload.len() < pos + n {
+            return Err(format!(
+                "wal anchor truncated at {pos}+{n} of {}",
+                payload.len()
+            ));
+        }
+        Ok(())
+    };
+    need(4, 0)?;
+    let n = u32::from_le_bytes(payload[0..4].try_into().unwrap()) as usize;
+    let mut pos = 4;
+    let mut entries = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        need(2, pos)?;
+        let name_len = u16::from_le_bytes(payload[pos..pos + 2].try_into().unwrap()) as usize;
+        pos += 2;
+        need(name_len + 16, pos)?;
+        let name = String::from_utf8(payload[pos..pos + name_len].to_vec())
+            .map_err(|e| format!("wal anchor table name: {e}"))?;
+        pos += name_len;
+        let rows = u64::from_le_bytes(payload[pos..pos + 8].try_into().unwrap());
+        let bytes = u64::from_le_bytes(payload[pos + 8..pos + 16].try_into().unwrap());
+        pos += 16;
+        entries.push((name, rows, bytes));
+    }
+    if pos != payload.len() {
+        return Err("trailing bytes in wal anchor".to_owned());
+    }
+    Ok(entries)
+}
+
+/// Decode an ingest-batch payload (tag already stripped).
 fn decode_wal_batch(payload: &[u8]) -> Result<WalBatch, String> {
     let need = |n: usize, pos: usize| -> Result<(), String> {
         if payload.len() < pos + n {
@@ -398,8 +477,17 @@ impl LeafServer {
     pub fn new(config: LeafConfig) -> LeafResult<LeafServer> {
         let mut server = LeafServer::new_core(config)?;
         if server.config.checkpoint_enabled {
+            // Probe the parity first: a dying predecessor may still hold
+            // unlink-on-last-drop views over its image's parity, so the
+            // new checkpointer must take the other one.
             let probe = probe_checkpoint_image(&server.ns);
             let parity = probe.image_parity.map_or(0, |p| 1 - p);
+            // First boot abandons any predecessor state. Sweep a dead
+            // predecessor's image now — leaving a *valid* stale image
+            // linked means a crash before our first checkpoint cycle
+            // would let the next start() resurrect the abandoned life's
+            // data over an empty WAL.
+            server.ns.unlink_all(crate::checkpoint::STALE_SWEEP);
             server.open_crash_path(parity, true);
         }
         Ok(server)
@@ -599,11 +687,29 @@ impl LeafServer {
                     }
                     // Crash path: the image is a consistent *prefix* of
                     // what the dead process held — replay the WAL tail on
-                    // top of it, in parallel across tables. Any gap or
-                    // unreadable log condemns the whole memory recovery
-                    // (§4.3 conservatism) and the leaf rebuilds from disk.
+                    // top of it, in parallel across tables, then make the
+                    // disk backup cover every row now in memory *before*
+                    // anything can truncate the WAL (a crash discards the
+                    // backup's buffered tail; without reconciliation those
+                    // rows would live only in memory + volatile shm, and a
+                    // later disk-path recovery would silently lose them).
+                    // Any gap, unreadable log, or disk/memory mismatch
+                    // condemns the whole memory recovery (§4.3
+                    // conservatism) and the leaf rebuilds from disk.
                     if server.config.checkpoint_enabled {
-                        if let Err(reason) = server.replay_wal_tail(now) {
+                        let crash_sync = server.replay_wal_tail(now).and_then(|hints| {
+                            // Reconcile on any crash-shaped recovery: a
+                            // warm checkpoint image, or replayed records
+                            // (which can exist even when the image probe
+                            // failed). A planned restore has neither —
+                            // shutdown already synced everything.
+                            if probe.warm_checkpoint || server.wal_replayed_records > 0 {
+                                server.reconcile_disk_coverage(&hints)
+                            } else {
+                                Ok(())
+                            }
+                        });
+                        if let Err(reason) = crash_sync {
                             state = state.transition(LeafRestoreState::DiskRecovery)?;
                             server.store = LeafStore::new();
                             let outcome = server.disk_recover(now, disk_throttle, reason)?;
@@ -682,10 +788,122 @@ impl LeafServer {
     ) -> LeafResult<RecoveryOutcome> {
         self.set_phase(LeafPhase::DiskRecovery);
         phase_failpoint("leaf::phase::disk_recovery")?;
+        // Writers may hold buffered appends from the life being abandoned
+        // (mid-life hydration fallback, a partial reconcile): drop them so
+        // they can't flush stale bytes into the logs recovery is about to
+        // rebuild the store from.
+        self.disk.discard_buffered();
         let (map, stats) = self.disk.recover(now, throttle)?;
         self.store = LeafStore::from_map(map);
+        // Repair torn tails on disk too: recovery dropped them from
+        // memory, and later appends must extend the valid prefix rather
+        // than hide behind garbage (which would also resurface rows this
+        // recovery never served).
+        if stats.torn_tails > 0 {
+            for table in self.disk.tables()? {
+                let cov = self.disk.coverage(&table, None)?;
+                if cov.valid_len < cov.file_len {
+                    self.disk.truncate_table(&table, cov.valid_len)?;
+                }
+            }
+        }
         self.set_phase(LeafPhase::Alive);
         Ok(RecoveryOutcome::Disk { reason, stats })
+    }
+
+    /// Decode a table's in-memory rows from index `from` onward, in
+    /// ingest order (sealed blocks oldest-first, then the unsealed
+    /// builder) — exactly the disk log's append order. Mapped
+    /// (shm-backed) blocks are checksum-verified before decoding: bytes
+    /// that never passed the deferred CRC must not be persisted.
+    fn materialize_rows_from(table: &Table, from: usize) -> Result<Vec<Row>, String> {
+        let mut out = Vec::new();
+        let mut base = 0usize;
+        for block in table.blocks() {
+            let n = block.row_count();
+            if base + n > from {
+                for column in block.columns().iter().filter(|c| c.is_mapped()) {
+                    column.verify_checksum().map_err(|e| e.to_string())?;
+                }
+                let rows = block.decode_rows().map_err(|e| e.to_string())?;
+                out.extend_from_slice(&rows[from.saturating_sub(base)..]);
+            }
+            base += n;
+        }
+        if let Some(snap) = table.unsealed_snapshot().map_err(|e| e.to_string())? {
+            let rows = snap.decode_rows().map_err(|e| e.to_string())?;
+            let skip = from.saturating_sub(base);
+            if skip < rows.len() {
+                out.extend_from_slice(&rows[skip..]);
+            }
+        }
+        Ok(out)
+    }
+
+    /// After a crash-shaped memory recovery, make the disk backup cover
+    /// exactly the rows now in memory: the crash discarded the backup's
+    /// buffered tail, so WAL-replayed rows may exist only in memory and
+    /// the volatile shm image. For each table, count the log's valid
+    /// record prefix (cheap when the WAL's last sync anchor bounds the
+    /// scan), truncate any torn tail, and re-append the uncovered row
+    /// suffix — all before the crash path reopens and anything can
+    /// truncate the WAL. A log holding *more* rows than memory means
+    /// image+WAL and disk disagree; condemn the memory recovery.
+    fn reconcile_disk_coverage(
+        &mut self,
+        hints: &std::collections::BTreeMap<String, (u64, u64)>,
+    ) -> Result<(), String> {
+        let started = Instant::now();
+        let names: Vec<String> = self.store.map().names().map(str::to_owned).collect();
+        let mut reappended = 0u64;
+        let mut scanned = 0u64;
+        let mut dirty = false;
+        for name in &names {
+            let cov = self
+                .disk
+                .coverage(name, hints.get(name).copied())
+                .map_err(|e| format!("disk coverage for {name:?}: {e}"))?;
+            scanned += cov.scanned_bytes;
+            let table = self.store.map().get(name).expect("listed above");
+            let memory_rows = table.row_count() as u64;
+            if cov.rows > memory_rows {
+                return Err(format!(
+                    "disk backup for {name:?} holds {} rows, image+wal hold {memory_rows}",
+                    cov.rows
+                ));
+            }
+            if cov.valid_len < cov.file_len {
+                self.disk
+                    .truncate_table(name, cov.valid_len)
+                    .map_err(|e| format!("truncating torn tail of {name:?}: {e}"))?;
+                dirty = true;
+            }
+            if cov.rows < memory_rows {
+                let rows = Self::materialize_rows_from(table, cov.rows as usize)
+                    .map_err(|e| format!("materializing {name:?} tail: {e}"))?;
+                debug_assert_eq!(rows.len() as u64, memory_rows - cov.rows);
+                self.disk
+                    .append(name, &rows)
+                    .map_err(|e| format!("re-appending {name:?} tail: {e}"))?;
+                reappended += rows.len() as u64;
+                dirty = true;
+            }
+        }
+        if dirty {
+            self.disk
+                .sync()
+                .map_err(|e| format!("syncing reconciled backup: {e}"))?;
+        }
+        scuba_obs::counter!("leaf_crash_reconciled_rows_total").add(reappended);
+        if scuba_obs::enabled() {
+            let labels = [("leaf", self.obs_key.as_str())];
+            scuba_obs::labeled_counter("leaf_crash_reconciled_rows", &labels).add(reappended);
+            scuba_obs::labeled_gauge("leaf_crash_reconcile_scanned_bytes", &labels)
+                .set(scanned.min(i64::MAX as u64) as i64);
+            scuba_obs::labeled_gauge("leaf_crash_reconcile_ns", &labels)
+                .set(started.elapsed().as_nanos().min(i64::MAX as u128) as i64);
+        }
+        Ok(())
     }
 
     /// Apply one table's WAL records onto its restored state. The
@@ -725,7 +943,14 @@ impl LeafServer {
     /// — replay stops at the last intact record, which is exactly the
     /// durable prefix. An unreadable log or an image/log mismatch is an
     /// `Err`, answered by the caller with a full disk fallback.
-    fn replay_wal_tail(&mut self, now: i64) -> Result<(), String> {
+    ///
+    /// Returns the *last* sync anchor's per-table `(rows, bytes)` disk
+    /// coverage (empty if the log holds none) — the scan hints for
+    /// [`Self::reconcile_disk_coverage`].
+    fn replay_wal_tail(
+        &mut self,
+        now: i64,
+    ) -> Result<std::collections::BTreeMap<String, (u64, u64)>, String> {
         let path = self.config.disk_root.join(WAL_FILE);
         let started = Instant::now();
         let contents = read_wal(&path).map_err(|e| format!("wal unreadable: {e}"))?;
@@ -733,14 +958,25 @@ impl LeafServer {
             scuba_obs::counter!("leaf_wal_torn_tails_total").inc();
         }
         self.wal_replayed_records = 0;
+        let mut hints = std::collections::BTreeMap::new();
         if contents.records.is_empty() {
-            return Ok(());
+            return Ok(hints);
         }
         let mut groups: std::collections::BTreeMap<String, Vec<WalBatch>> =
             std::collections::BTreeMap::new();
         for record in &contents.records {
-            let batch = decode_wal_batch(record)?;
-            groups.entry(batch.table.clone()).or_default().push(batch);
+            match decode_wal_record(record)? {
+                WalRecord::Batch(batch) => {
+                    groups.entry(batch.table.clone()).or_default().push(batch);
+                }
+                WalRecord::SyncAnchor(entries) => {
+                    // Later anchors supersede earlier ones entirely.
+                    hints = entries
+                        .into_iter()
+                        .map(|(name, rows, bytes)| (name, (rows, bytes)))
+                        .collect();
+                }
+            }
         }
         // Tables present in the image replay in parallel; tables the WAL
         // created *after* the last checkpoint don't exist yet and are
@@ -820,7 +1056,7 @@ impl LeafServer {
             scuba_obs::labeled_gauge("leaf_wal_replay_ns", &labels)
                 .set(started.elapsed().as_nanos().min(i64::MAX as u128) as i64);
         }
-        Ok(())
+        Ok(hints)
     }
 
     /// Publish the crash-path gauges: how far the image trails the store
@@ -1227,7 +1463,16 @@ impl LeafServer {
             0
         };
         self.store.append_rows(table, rows, now)?;
-        self.disk.append(table, rows)?;
+        if let Err(e) = self.disk.append(table, rows) {
+            // Memory now holds rows the disk log skipped: the memory↔disk
+            // prefix correspondence the crash path reconciles against is
+            // broken mid-file, not at a suffix. Degrade the next crash to
+            // the disk path rather than let a reconcile duplicate rows.
+            if self.config.checkpoint_enabled {
+                self.poison_wal(format!("disk append: {e}"));
+            }
+            return Err(e.into());
+        }
         if self.config.checkpoint_enabled && !rows.is_empty() {
             self.ingest_epoch += 1;
             self.rows_since_checkpoint += rows.len();
@@ -1268,7 +1513,33 @@ impl LeafServer {
                 phase: self.phase.name(),
             });
         }
-        let dropped = self.store.map_mut().expire_all(self.config.retention, now);
+        let mut dropped = 0usize;
+        let mut shrunk: Vec<String> = Vec::new();
+        for table in self.store.map_mut().iter_mut() {
+            let n = table.expire(self.config.retention, now);
+            if n > 0 {
+                dropped += n;
+                shrunk.push(table.name().to_owned());
+            }
+        }
+        for name in &shrunk {
+            // The disk log must shrink with memory: expiry drops the
+            // oldest blocks — the log's *prefix* — so without a rewrite a
+            // later disk recovery resurrects expired rows, and the crash
+            // path's memory↔disk prefix correspondence breaks.
+            let table = self.store.map().get(name).expect("expired above");
+            let result = Self::materialize_rows_from(table, 0)
+                .and_then(|rows| self.disk.rewrite_table(name, &rows).map_err(|e| e.to_string()));
+            if let Err(reason) = result {
+                // The rows already left memory; failing the request can't
+                // undo that. Degrade the crash path instead: with the log
+                // out of step, no future crash may reconcile against it.
+                scuba_obs::counter!("leaf_expiry_rewrite_failures_total").inc();
+                if self.config.checkpoint_enabled {
+                    self.poison_wal(format!("expiry rewrite of {name:?}: {reason}"));
+                }
+            }
+        }
         if dropped > 0 {
             // Expiry removed blocks the incremental writer thought were
             // the image's immutable prefix, and shrank row counts under
@@ -1280,7 +1551,9 @@ impl LeafServer {
 
     /// Flush buffered disk appends and fsync (the WAL too: its records
     /// become durable against machine failure on the same cadence as the
-    /// backup they shadow).
+    /// backup they shadow). On success, a sync-coverage anchor lands in
+    /// the WAL so a crash recovery can verify disk coverage by scanning
+    /// only the bytes written after this point.
     pub fn sync_disk(&mut self) -> LeafResult<u64> {
         let bytes = self.disk.sync()?;
         if let Some(wal) = self.wal.as_mut() {
@@ -1288,7 +1561,33 @@ impl LeafServer {
                 self.poison_wal(format!("fsync: {e}"));
             }
         }
+        self.append_sync_anchor();
         Ok(bytes)
+    }
+
+    /// Record the just-synced per-table disk coverage in the WAL. The
+    /// anchor is advisory (it bounds the reconcile scan); failing to
+    /// write it is a WAL append failure like any other and poisons the
+    /// crash path.
+    fn append_sync_anchor(&mut self) {
+        if self.wal.is_none() {
+            return;
+        }
+        let mut entries: Vec<(String, u64, u64)> = Vec::new();
+        for table in self.store.map().iter() {
+            let len = match self.disk.file_len(table.name()) {
+                Ok(len) => len,
+                // Can't state the coverage: write no anchor (the next
+                // recovery falls back to a full scan, which is always
+                // correct).
+                Err(_) => return,
+            };
+            entries.push((table.name().to_owned(), table.row_count() as u64, len));
+        }
+        let payload = encode_sync_anchor(&entries);
+        if let Err(e) = self.wal.as_mut().unwrap().append(&payload) {
+            self.poison_wal(format!("append anchor: {e}"));
+        }
     }
 
     /// Clean shutdown via shared memory — Figures 5(a), 5(c), and 6.
@@ -2223,6 +2522,152 @@ mod tests {
         drop(s2);
         let ns = ShmNamespace::new(&cfg.shm_prefix, cfg.leaf_id).unwrap();
         ns.unlink_all(16);
+    }
+
+    /// REVIEW (high): rows that came back through WAL replay must reach
+    /// the disk backup during recovery — a later disk-path recovery (the
+    /// WAL is truncated by then) must still surface them.
+    #[test]
+    fn wal_replayed_rows_reach_disk_backup() {
+        let (cfg, dir) = crash_config("ckreconcile");
+        let mut s = LeafServer::new(cfg.clone()).unwrap();
+        let _c = Cleanup(s.namespace().clone(), dir);
+        fill(&mut s, 400);
+        s.sync_disk().unwrap();
+        s.checkpoint_and_wait().unwrap();
+        // 100 tail rows, never disk-synced: after the crash they exist
+        // only in the WAL and the warm image.
+        let tail: Vec<Row> = (400..500).map(|i| Row::at(i).with("sev", "tail")).collect();
+        s.add_rows("logs", &tail, 0).unwrap();
+        s.crash();
+        drop(s);
+
+        let (mut s2, outcome) = LeafServer::start(cfg.clone(), 0, None).unwrap();
+        assert!(outcome.is_memory(), "{outcome:?}");
+        assert_eq!(s2.total_rows(), 500);
+        // The reconcile must have re-appended the replayed tail durably.
+        let backup = scuba_diskstore::DiskBackup::open(&cfg.disk_root).unwrap();
+        assert_eq!(
+            backup.coverage("logs", None).unwrap().rows,
+            500,
+            "replayed rows never reached the disk backup"
+        );
+        drop(backup);
+        // The acid test: crash again immediately. The image's valid bit
+        // was consumed by the recovery above and no checkpoint has run,
+        // so this recovery is pure disk — it must still hold every row
+        // the previous life was serving.
+        s2.crash();
+        drop(s2);
+        let (s3, o3) = LeafServer::start(cfg, 0, None).unwrap();
+        assert!(!o3.is_memory(), "{o3:?}");
+        assert_eq!(
+            s3.total_rows(),
+            500,
+            "disk-path recovery lost WAL-replayed rows"
+        );
+    }
+
+    /// REVIEW (medium): a fresh `new()` must not leave a dead
+    /// predecessor's valid checkpoint image linked — crashing before the
+    /// first checkpoint cycle would let the next start resurrect the
+    /// abandoned life's data.
+    #[test]
+    fn first_boot_sweeps_stale_checkpoint_image() {
+        let (cfg, dir) = crash_config("ckstale");
+        let mut s1 = LeafServer::new(cfg.clone()).unwrap();
+        let _c = Cleanup(s1.namespace().clone(), dir);
+        fill(&mut s1, 300);
+        s1.sync_disk().unwrap();
+        s1.checkpoint_and_wait().unwrap();
+        s1.crash(); // valid image + WAL left behind
+        drop(s1);
+
+        // Operator decision: boot a *fresh* leaf instead of recovering.
+        // Its disk root is the same, but its life starts empty.
+        let mut s2 = LeafServer::new(cfg.clone()).unwrap();
+        assert_eq!(s2.total_rows(), 0);
+        s2.crash(); // before any checkpoint cycle of the new life
+        drop(s2);
+
+        let (s3, outcome) = LeafServer::start(cfg, 0, None).unwrap();
+        assert!(
+            !outcome.is_memory(),
+            "stale predecessor image resurrected: {outcome:?}"
+        );
+        // Disk still holds the old life's synced rows — that is the
+        // honest durable state; what must NOT happen is a memory
+        // recovery from the abandoned image.
+        assert_eq!(s3.total_rows(), 300);
+    }
+
+    /// Expiry must shrink the disk log along with memory: after dropping
+    /// a block, a disk recovery surfaces only surviving + new rows, not
+    /// resurrected expired ones.
+    #[test]
+    fn expire_rewrites_disk_backup() {
+        let (mut cfg, dir) = test_config("exprw");
+        cfg.retention = RetentionLimits {
+            max_age_secs: Some(50),
+            max_bytes: None,
+        };
+        let mut s = LeafServer::new(cfg.clone()).unwrap();
+        let _c = Cleanup(s.namespace().clone(), dir);
+        fill(&mut s, 100); // times 0..99
+        s.sync_disk().unwrap();
+        s.store.map_mut().get_mut("logs").unwrap().seal(0).unwrap();
+        assert_eq!(s.expire(200).unwrap(), 1); // whole block expired
+        let fresh: Vec<Row> = (200..220).map(|i| Row::at(i).with("sev", "new")).collect();
+        s.add_rows("logs", &fresh, 200).unwrap();
+        s.sync_disk().unwrap();
+        s.crash();
+        drop(s);
+
+        let (s2, outcome) = LeafServer::start(cfg, 200, None).unwrap();
+        assert!(!outcome.is_memory());
+        assert_eq!(
+            s2.total_rows(),
+            20,
+            "disk recovery resurrected expired rows"
+        );
+    }
+
+    /// A torn tail in a `.rows` log is repaired during disk recovery, so
+    /// rows appended afterwards are not hidden behind the garbage on the
+    /// *next* recovery.
+    #[test]
+    fn torn_disk_tail_repaired_on_recovery() {
+        let (cfg, dir) = test_config("tornrepair");
+        let mut s = LeafServer::new(cfg.clone()).unwrap();
+        let _c = Cleanup(s.namespace().clone(), dir);
+        fill(&mut s, 100);
+        s.sync_disk().unwrap();
+        s.crash();
+        drop(s);
+        // Crash-torn tail: garbage bytes after the valid records.
+        let path = cfg.disk_root.join("logs.rows");
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(&[0xEE; 11]).unwrap();
+        drop(f);
+
+        let (mut s2, outcome) = LeafServer::start(cfg.clone(), 0, None).unwrap();
+        assert!(!outcome.is_memory());
+        assert_eq!(s2.total_rows(), 100);
+        let extra: Vec<Row> = (100..150).map(Row::at).collect();
+        s2.add_rows("logs", &extra, 0).unwrap();
+        s2.sync_disk().unwrap();
+        s2.crash();
+        drop(s2);
+        let (s3, _) = LeafServer::start(cfg, 0, None).unwrap();
+        assert_eq!(
+            s3.total_rows(),
+            150,
+            "appends after a torn tail were unreadable"
+        );
     }
 
     #[test]

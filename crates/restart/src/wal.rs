@@ -29,15 +29,18 @@ use scuba_shmem::crc32;
 
 /// "SWAL" little-endian.
 pub const WAL_MAGIC: u32 = 0x4C41_5753;
-/// Current WAL file format version.
-pub const WAL_VERSION: u32 = 1;
+/// Current WAL file format version. Version 2 added a leading tag byte to
+/// every leaf-level payload (batch vs. sync-coverage anchor); a v1 log is
+/// treated as foreign rather than misparsed.
+pub const WAL_VERSION: u32 = 2;
 /// File header size: magic + version.
 pub const WAL_HEADER: u64 = 8;
 /// Per-record frame overhead: payload length + payload CRC-32.
 pub const WAL_RECORD_HEADER: usize = 8;
-/// Upper bound on a single record payload; a larger length word is treated
-/// as a torn/corrupt tail rather than trusted for allocation.
-const MAX_RECORD_LEN: usize = 1 << 30;
+/// Upper bound on a single record payload. The writer rejects anything
+/// larger at append time; the reader treats a larger length word as a
+/// torn/corrupt tail rather than trusting it for allocation.
+pub const MAX_RECORD_LEN: usize = 1 << 30;
 
 /// WAL operation failure.
 #[derive(Debug)]
@@ -49,6 +52,14 @@ pub enum WalError {
         /// The site that fired.
         site: &'static str,
     },
+    /// An append payload exceeded [`MAX_RECORD_LEN`]. Writing it anyway
+    /// would produce a frame the reader is guaranteed to reject as torn
+    /// (and past `u32::MAX` the length word would silently truncate), so
+    /// the failure surfaces at write time instead of recovery time.
+    RecordTooLarge {
+        /// The offending payload length.
+        len: usize,
+    },
 }
 
 impl std::fmt::Display for WalError {
@@ -56,6 +67,9 @@ impl std::fmt::Display for WalError {
         match self {
             WalError::Io(e) => write!(f, "wal i/o error: {e}"),
             WalError::Injected { site } => write!(f, "injected fault at {site:?}"),
+            WalError::RecordTooLarge { len } => {
+                write!(f, "wal record payload of {len} bytes exceeds {MAX_RECORD_LEN}")
+            }
         }
     }
 }
@@ -194,6 +208,11 @@ impl WalWriter {
         if scuba_faults::check("restart::wal::append").is_some() {
             return Err(WalError::Injected {
                 site: "restart::wal::append",
+            });
+        }
+        if payload.len() > MAX_RECORD_LEN {
+            return Err(WalError::RecordTooLarge {
+                len: payload.len(),
             });
         }
         let mut frame = Vec::with_capacity(WAL_RECORD_HEADER + payload.len());
@@ -345,6 +364,28 @@ mod tests {
         let c = read_wal(&path).unwrap();
         assert!(c.torn);
         assert_eq!(c.records.len(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn oversized_append_rejected_at_write_time() {
+        let path = tmp("bigappend");
+        let _ = std::fs::remove_file(&path);
+        let mut w = WalWriter::open(&path).unwrap();
+        w.append(b"fits").unwrap();
+        let len_before = w.len_bytes();
+        let huge = vec![0u8; MAX_RECORD_LEN + 1];
+        assert!(matches!(
+            w.append(&huge),
+            Err(WalError::RecordTooLarge { len }) if len == MAX_RECORD_LEN + 1
+        ));
+        // The rejected append left no bytes behind: the log is still a
+        // clean prefix the reader accepts in full.
+        assert_eq!(w.len_bytes(), len_before);
+        drop(w);
+        let c = read_wal(&path).unwrap();
+        assert!(!c.torn);
+        assert_eq!(c.records, vec![b"fits".to_vec()]);
         let _ = std::fs::remove_file(&path);
     }
 

@@ -138,9 +138,10 @@ fn chaos_soak_with_crash_waves() {
         crash_waves: true,
     };
     // run_chaos asserts per wave: clean kills recover via warm image + WAL
-    // replay, the unsynced tail is replayed exactly (fast) or exactly
-    // absent (disk), no shm orphans, and the leaf's fast-crash-recovery
-    // counter matches the observed trace.
+    // replay, the unsynced tail is replayed exactly (fast path, which also
+    // reconciles it into the disk backup) or a disk fallback surfaces
+    // exactly the previously-reconciled tail, no shm orphans, and the
+    // leaf's fast-crash-recovery counter matches the observed trace.
     let report = run_chaos(&cfg).unwrap_or_else(|violation| panic!("{violation}"));
 
     assert_eq!(report.waves, waves, "every wave must complete");
