@@ -490,7 +490,8 @@ fn main() {
             ],
         );
     }
-    println!("\n  (\"used\" is the pool size after clamping to the table count;");
+    println!("\n  (\"used\" is the pool size after clamping to the table count and");
+    println!("  to one worker per 8 MiB of payload — small leaves stay sequential;");
     println!("  scaling requires a multi-core host — nproc gates the speedup.)");
 
     // -- Figure-5 phase breakdown from the instrumented protocol. --------

@@ -106,6 +106,7 @@ fn main() {
             wal_bytes: 0,
             wal_replay_ns: 0,
             crash_fast_recoveries: 0,
+            on_access_blocks: 0,
         });
     }
     println!("{}", dash.render(8));

@@ -1,0 +1,464 @@
+//! E17 — Vectorized in-place scans + access-driven lazy hydration.
+//!
+//! PR 7's scan engine claims: (1) columnar filter kernels beat the
+//! row-wise oracle ≥2x on a filter-heavy mix, (2) scanning mapped
+//! (shm-resident) blocks in place is within 1.3x of scanning heap
+//! blocks — so a hydrating leaf serves queries at nearly full speed —
+//! and (3) under `HydrationMode::OnAccess` a cold table that no query
+//! touches is never copied at all, while its results stay identical to
+//! `Eager` mode.
+//!
+//! ```sh
+//! cargo run --release -p scuba-bench --bin exp_scan
+//! cargo run --release -p scuba-bench --bin exp_scan -- --scan-only   # CI smoke
+//! ```
+
+use std::time::Instant;
+
+use scuba::columnstore::{Table, TIME_COLUMN};
+use scuba::ingest::{WorkloadKind, WorkloadSpec};
+use scuba::leaf::{HydrationMode, LeafServer, RecoveryOutcome, RestoreMode};
+use scuba::query::{execute, execute_vectorized, plan_scan, AggSpec, CmpOp, Filter, Query};
+use scuba_bench::{fmt_bytes, fmt_dur, header, LeafRig};
+
+/// Machine-readable results, merged into `BENCH_restart.json` (override
+/// the path with `SCUBA_BENCH_JSON`). Entries from earlier experiments
+/// are preserved; stale `e17_*` entries from a previous run are replaced.
+#[derive(Default)]
+struct BenchJson {
+    entries: Vec<String>,
+}
+
+impl BenchJson {
+    fn push(&mut self, experiment: &str, fields: &[(&str, f64)]) {
+        let mut obj = format!("{{\"experiment\":\"{experiment}\"");
+        for (k, v) in fields {
+            obj.push_str(&format!(",\"{k}\":{v}"));
+        }
+        obj.push('}');
+        self.entries.push(obj);
+    }
+
+    fn write(&self) {
+        let path =
+            std::env::var("SCUBA_BENCH_JSON").unwrap_or_else(|_| "BENCH_restart.json".into());
+        // Keep non-e17 entries already in the file (the restart suite
+        // writes the same archive); replace any prior e17 run.
+        let mut kept: Vec<String> = Vec::new();
+        if let Ok(existing) = std::fs::read_to_string(&path) {
+            for line in existing.lines() {
+                let t = line.trim().trim_end_matches(',');
+                if t.starts_with('{') && !t.contains("\"experiment\":\"e17") {
+                    kept.push(t.to_string());
+                }
+            }
+        }
+        kept.extend(self.entries.iter().cloned());
+        let body = format!("[\n  {}\n]\n", kept.join(",\n  "));
+        std::fs::write(&path, body).expect("write BENCH_restart.json");
+        println!(
+            "\nwrote {} e17 entries to {path} ({} total)",
+            self.entries.len(),
+            kept.len()
+        );
+    }
+}
+
+/// The filter-heavy query mix: selective predicates over every encoding
+/// family the kernels special-case — integer equality, dictionary-id
+/// string equality, double range — plus one grouped query that forces
+/// the boxed fold on selected rows only.
+fn query_mix() -> Vec<(&'static str, Query)> {
+    vec![
+        (
+            "status == 500, count+avg(latency)",
+            Query::new("requests", 0, i64::MAX)
+                .filter(Filter::new("status", CmpOp::Eq, 500i64))
+                .aggregates(vec![AggSpec::Count, AggSpec::Avg("latency_ms".into())]),
+        ),
+        (
+            "endpoint == /api/ads, count",
+            Query::new("requests", 0, i64::MAX)
+                .filter(Filter::new("endpoint", CmpOp::Eq, "/api/ads"))
+                .aggregates(vec![AggSpec::Count]),
+        ),
+        (
+            "latency_ms >= 80, count+p99",
+            Query::new("requests", 0, i64::MAX)
+                .filter(Filter::new("latency_ms", CmpOp::Ge, 80.0))
+                .aggregates(vec![AggSpec::Count, AggSpec::p99("latency_ms")]),
+        ),
+        (
+            "status == 200 && endpoint == /home by host",
+            Query::new("requests", 0, i64::MAX)
+                .filter(Filter::new("status", CmpOp::Eq, 200i64))
+                .filter(Filter::new("endpoint", CmpOp::Eq, "/home"))
+                .group_by("host")
+                .aggregates(vec![AggSpec::Count, AggSpec::Sum("latency_ms".into())]),
+        ),
+    ]
+}
+
+/// Encoded bytes a query actually reads: the touched columns (plus the
+/// time column) of every block surviving pruning.
+fn scanned_bytes(table: &Table, query: &Query) -> u64 {
+    let plan = plan_scan(table, query).expect("plan");
+    let mut touched: Vec<&str> = query.touched_columns();
+    touched.push(TIME_COLUMN);
+    let mut bytes = 0u64;
+    for block in &plan.blocks {
+        for name in &touched {
+            if let Some(col) = block.column(name) {
+                bytes += col.len_bytes() as u64;
+            }
+        }
+    }
+    bytes
+}
+
+/// Build a leaf holding `rows` request-log rows, sealed and synced.
+fn build_requests_leaf(rig: &LeafRig, rows: usize) -> LeafServer {
+    let mut server = LeafServer::new(rig.config.clone()).expect("boot leaf");
+    let spec = WorkloadSpec::new(WorkloadKind::Requests, 4242);
+    let data = spec.rows(rows);
+    for chunk in data.chunks(50_000) {
+        server
+            .add_rows("requests", chunk, chunk[0].time())
+            .expect("add rows");
+    }
+    server
+        .store_mut_for_bench()
+        .seal_all(0)
+        .expect("seal tables");
+    server.sync_disk().expect("sync disk");
+    server
+}
+
+/// Kernel shootout: vectorized vs row-wise over the same heap table.
+/// Differential equality is asserted on every query; timing is
+/// min-over-reps. Returns (rowwise_secs, vectorized_secs) mix totals.
+fn scan_kernels(
+    rows: usize,
+    reps: usize,
+    assert_speedup: bool,
+    json: &mut BenchJson,
+) -> (f64, f64) {
+    println!("\n-- kernels: vectorized vs row-wise, filter-heavy mix ({rows} rows) --\n");
+    let rig = LeafRig::new("e17k");
+    let server = build_requests_leaf(&rig, rows);
+    let table = server
+        .store()
+        .map()
+        .get("requests")
+        .expect("requests table");
+
+    println!(
+        "  {:>42} {:>11} {:>11} {:>9} {:>10}",
+        "query", "row-wise", "vectorized", "speedup", "vec GB/s"
+    );
+    let (mut mix_row, mut mix_vec) = (0.0f64, 0.0f64);
+    for (label, query) in query_mix() {
+        let bytes = scanned_bytes(table, &query) as f64;
+        let (mut best_row, mut best_vec) = (f64::MAX, f64::MAX);
+        for _ in 0..reps {
+            let t = Instant::now();
+            let row_result = execute(table, &query).expect("row-wise");
+            best_row = best_row.min(t.elapsed().as_secs_f64());
+            let t = Instant::now();
+            let vec_result = execute_vectorized(table, &query).expect("vectorized");
+            best_vec = best_vec.min(t.elapsed().as_secs_f64());
+            assert_eq!(
+                row_result, vec_result,
+                "vectorized diverged from the row-wise oracle on {label:?}"
+            );
+        }
+        mix_row += best_row;
+        mix_vec += best_vec;
+        println!(
+            "  {:>42} {:>11} {:>11} {:>8.1}x {:>10.2}",
+            label,
+            fmt_dur(best_row),
+            fmt_dur(best_vec),
+            best_row / best_vec,
+            bytes / best_vec / 1e9,
+        );
+        json.push(
+            "e17_kernels",
+            &[
+                ("rows", rows as f64),
+                ("scanned_bytes", bytes),
+                ("rowwise_secs", best_row),
+                ("vectorized_secs", best_vec),
+            ],
+        );
+    }
+    let speedup = mix_row / mix_vec;
+    println!(
+        "\n  mix totals: row-wise {} | vectorized {} | speedup {speedup:.1}x",
+        fmt_dur(mix_row),
+        fmt_dur(mix_vec)
+    );
+    if assert_speedup {
+        assert!(
+            speedup >= 2.0,
+            "vectorized scans must be >=2x the row-wise path on the \
+             filter-heavy mix, got {speedup:.1}x"
+        );
+        println!("  vectorized >=2x row-wise on the filter-heavy mix: ok");
+    }
+    (mix_row, mix_vec)
+}
+
+/// Run the full mix once through the leaf's production query path,
+/// returning total seconds (results are cross-checked by the caller).
+fn run_mix(server: &LeafServer) -> f64 {
+    let mut total = 0.0;
+    for (_, query) in query_mix() {
+        let t = Instant::now();
+        server.query(&query).expect("query");
+        total += t.elapsed().as_secs_f64();
+    }
+    total
+}
+
+/// Heap vs mapped: the same mix through `LeafServer::query`, first over
+/// the live heap table, then over the attached (still-mapped, OnAccess)
+/// table — which stays mapped because nothing polls hydration.
+fn heap_vs_mapped(rows: usize, reps: usize, assert_ratio: bool, json: &mut BenchJson) {
+    println!("\n-- in-place mapped scans vs heap scans ({rows} rows) --\n");
+    let mut rig = LeafRig::new("e17m");
+    let mut server = build_requests_leaf(&rig, rows);
+    let table = server.store().map().get("requests").expect("table");
+    let bytes: u64 = query_mix()
+        .iter()
+        .map(|(_, q)| scanned_bytes(table, q))
+        .sum();
+
+    let mut heap_secs = f64::MAX;
+    for _ in 0..reps {
+        heap_secs = heap_secs.min(run_mix(&server));
+    }
+    let heap_results: Vec<_> = query_mix()
+        .iter()
+        .map(|(_, q)| server.query(q).expect("heap query"))
+        .collect();
+
+    // Attach with parked hydration: queries scan the mapped bytes in
+    // place. The first pass pays verify-on-first-touch (CRC per block),
+    // later passes skip it — report both.
+    rig.config.restore_mode = RestoreMode::TwoPhase;
+    rig.config.hydration = HydrationMode::OnAccess;
+    server.shutdown_to_shm(0).expect("shutdown");
+    drop(server);
+    let (server, outcome) = LeafServer::start(rig.config.clone(), 0, None).expect("start");
+    assert!(
+        matches!(outcome, RecoveryOutcome::MemoryAttached(_)),
+        "expected attach, got {outcome:?}"
+    );
+    let first_touch_secs = run_mix(&server);
+    let mut mapped_secs = f64::MAX;
+    for _ in 0..reps {
+        mapped_secs = mapped_secs.min(run_mix(&server));
+    }
+    let table = server.store().map().get("requests").expect("table");
+    assert!(
+        table.mapped_bytes() > 0,
+        "the measured table must still be shm-mapped"
+    );
+    for (result, (label, query)) in heap_results.iter().zip(query_mix()) {
+        let mapped = server.query(&query).expect("mapped query");
+        assert_eq!(*result, mapped, "mapped scan diverged on {label:?}");
+    }
+
+    let ratio = mapped_secs / heap_secs;
+    println!(
+        "  mix of {} scanned: heap {} ({:.2} GB/s) | mapped {} ({:.2} GB/s) | first touch {}",
+        fmt_bytes(bytes),
+        fmt_dur(heap_secs),
+        bytes as f64 / heap_secs / 1e9,
+        fmt_dur(mapped_secs),
+        bytes as f64 / mapped_secs / 1e9,
+        fmt_dur(first_touch_secs),
+    );
+    println!("  mapped/heap ratio: {ratio:.2}x");
+    json.push(
+        "e17_heap_vs_mapped",
+        &[
+            ("rows", rows as f64),
+            ("scanned_bytes", bytes as f64),
+            ("heap_secs", heap_secs),
+            ("mapped_secs", mapped_secs),
+            ("mapped_first_touch_secs", first_touch_secs),
+        ],
+    );
+    if assert_ratio {
+        assert!(
+            ratio <= 1.3,
+            "in-place mapped scans must run within 1.3x of heap scans, got {ratio:.2}x"
+        );
+        println!("  mapped within 1.3x of heap: ok");
+    }
+}
+
+/// Access-driven hydration under a live query mix: a hot table is
+/// queried (and hydrates first), a cold table is never touched — it
+/// must end the run fully mapped with zero bytes copied, and both
+/// tables' results must match `Eager` mode exactly.
+fn lazy_hydration(rows_per_table: usize, json: &mut BenchJson) {
+    println!("\n-- OnAccess hydration under a live mix ({rows_per_table} rows/table) --\n");
+    let mut rig = LeafRig::new("e17h");
+    let mut server = LeafServer::new(rig.config.clone()).expect("boot leaf");
+    for (kind, seed) in [
+        (WorkloadKind::Requests, 7001),
+        (WorkloadKind::ErrorLogs, 7002),
+    ] {
+        let rows = WorkloadSpec::new(kind, seed).rows(rows_per_table);
+        for chunk in rows.chunks(50_000) {
+            server
+                .add_rows(kind.table_name(), chunk, chunk[0].time())
+                .expect("add rows");
+        }
+    }
+    server.store_mut_for_bench().seal_all(0).expect("seal");
+    server.sync_disk().expect("sync");
+
+    let cold_query = Query::new("error_logs", 0, i64::MAX)
+        .filter(Filter::new("severity", CmpOp::Eq, "error"))
+        .group_by("product")
+        .aggregates(vec![AggSpec::Count]);
+    let expected_cold = server.query(&cold_query).expect("cold baseline");
+    let expected_hot: Vec<_> = query_mix()
+        .iter()
+        .map(|(_, q)| server.query(q).expect("hot baseline"))
+        .collect();
+
+    rig.config.restore_mode = RestoreMode::TwoPhase;
+    rig.config.hydration = HydrationMode::OnAccess;
+    server.shutdown_to_shm(0).expect("shutdown");
+    drop(server);
+
+    let t = Instant::now();
+    let (mut server, outcome) = LeafServer::start(rig.config.clone(), 0, None).expect("start");
+    let attach_secs = t.elapsed().as_secs_f64();
+    assert!(matches!(outcome, RecoveryOutcome::MemoryAttached(_)));
+    let total_blocks = server.hydration_pending();
+    let cold = server.store().map().get("error_logs").expect("cold table");
+    let cold_blocks = cold.blocks().len();
+    let cold_mapped_before = cold.mapped_bytes();
+    assert!(cold_mapped_before > 0);
+
+    // Time to first query: the hot mix answers from mapped bytes
+    // immediately; nothing has hydrated yet.
+    let t = Instant::now();
+    let first = server.query(&query_mix()[0].1).expect("first hot query");
+    let ttfq_secs = t.elapsed().as_secs_f64();
+    assert_eq!(first, expected_hot[0]);
+
+    // Live mix: keep querying the hot table while polling. Touched
+    // blocks jump the hydration queue; cold blocks stay parked.
+    let t = Instant::now();
+    while server.hydration_pending() > cold_blocks {
+        for (_, q) in query_mix() {
+            server.query(&q).expect("hot query");
+        }
+        server.poll_hydration().expect("poll");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let hot_hydrated_secs = t.elapsed().as_secs_f64();
+
+    // The cold table was never queried: every block is still mapped,
+    // zero bytes were copied to heap on its behalf.
+    let cold = server.store().map().get("error_logs").expect("cold table");
+    let copied = cold_mapped_before - cold.mapped_bytes();
+    assert!(
+        cold.blocks().iter().all(|b| b.is_mapped()),
+        "cold blocks must still be mapped"
+    );
+    assert_eq!(copied, 0, "cold table must end the run with 0 bytes copied");
+    assert_eq!(server.hydration_pending(), cold_blocks);
+
+    // Served in place, the cold results are identical anyway...
+    let cold_result = server.query(&cold_query).expect("cold mapped query");
+    assert_eq!(cold_result, expected_cold);
+    // ...and stay identical after full hydration drains the queue.
+    server.finish_hydration().expect("finish");
+    assert_eq!(server.shm_resident(), 0);
+    assert_eq!(
+        server.query(&cold_query).expect("cold heap query"),
+        expected_cold
+    );
+
+    // Eager control: the classic phase-two restore of the same image
+    // must agree on every result.
+    rig.config.hydration = HydrationMode::Eager;
+    server.shutdown_to_shm(0).expect("shutdown");
+    drop(server);
+    let (mut server, outcome) = LeafServer::start(rig.config.clone(), 0, None).expect("start");
+    assert!(outcome.is_memory());
+    server.finish_hydration().expect("finish");
+    assert_eq!(
+        server.query(&cold_query).expect("eager cold"),
+        expected_cold
+    );
+    for (expected, (label, q)) in expected_hot.iter().zip(query_mix()) {
+        assert_eq!(
+            server.query(&q).expect("eager hot"),
+            *expected,
+            "Eager diverged on {label:?}"
+        );
+    }
+
+    println!(
+        "  attach {} | first query {} | hot hydrated {} | cold blocks {}/{} still mapped ({})",
+        fmt_dur(attach_secs),
+        fmt_dur(ttfq_secs),
+        fmt_dur(hot_hydrated_secs),
+        cold_blocks,
+        total_blocks,
+        fmt_bytes(cold_mapped_before as u64),
+    );
+    println!("  cold table copied 0 bytes; OnAccess == Eager on every result: ok");
+    json.push(
+        "e17_lazy_hydration",
+        &[
+            ("rows", (2 * rows_per_table) as f64),
+            ("attach_secs", attach_secs),
+            ("first_query_secs", ttfq_secs),
+            ("hot_hydrated_secs", hot_hydrated_secs),
+            ("cold_mapped_bytes", cold_mapped_before as f64),
+            ("cold_copied_bytes", copied as f64),
+        ],
+    );
+}
+
+fn main() {
+    let mut json = BenchJson::default();
+
+    // CI smoke: small scale, correctness asserts only (the timing ratios
+    // are asserted in the full run, where the scale makes them stable).
+    if std::env::args().any(|a| a == "--scan-only") {
+        header(
+            "E17",
+            "vectorized scan + lazy hydration smoke (--scan-only)",
+        );
+        let (row, vec) = scan_kernels(30_000, 2, false, &mut json);
+        heap_vs_mapped(30_000, 2, false, &mut json);
+        lazy_hydration(30_000, &mut json);
+        println!(
+            "\n  smoke mix: row-wise {} vs vectorized {}; scan paths healthy: ok",
+            fmt_dur(row),
+            fmt_dur(vec)
+        );
+        json.write();
+        return;
+    }
+
+    header(
+        "E17",
+        "vectorized in-place scans over mapped blocks + lazy hydration",
+    );
+    scan_kernels(600_000, 5, true, &mut json);
+    heap_vs_mapped(600_000, 5, true, &mut json);
+    lazy_hydration(300_000, &mut json);
+    json.write();
+}

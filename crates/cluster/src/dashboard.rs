@@ -45,6 +45,10 @@ pub struct DashboardRow {
     /// Cumulative fast crash recoveries across the fleet
     /// (`leaf_crash_fast_recoveries_total`).
     pub crash_fast_recoveries: u64,
+    /// Lazy-hydration overlay, summed across leaves: mapped blocks parked
+    /// until a query touches them (`leaf_hydration_on_access_blocks`).
+    /// Zero under eager hydration.
+    pub on_access_blocks: i64,
 }
 
 /// A time series of rollover progress.
@@ -232,8 +236,10 @@ impl DashboardFeed {
         let mut wal_bytes = 0i64;
         let mut wal_replay_ns = 0i64;
         let mut crash_fast_recoveries = 0u64;
+        let mut on_access_blocks = 0i64;
         for (i, key) in self.keys.iter().enumerate() {
             checkpoint_lag_blocks += leaf_gauge("leaf_checkpoint_lag_blocks", key);
+            on_access_blocks += leaf_gauge("leaf_hydration_on_access_blocks", key);
             wal_bytes += leaf_gauge("leaf_wal_bytes", key);
             wal_replay_ns = wal_replay_ns.max(leaf_gauge("leaf_wal_replay_ns", key));
             crash_fast_recoveries += leaf_counter("leaf_crash_fast_recoveries_total", key);
@@ -274,6 +280,7 @@ impl DashboardFeed {
             wal_bytes,
             wal_replay_ns,
             crash_fast_recoveries,
+            on_access_blocks,
         }
     }
 }
@@ -294,6 +301,7 @@ mod tests {
             wal_bytes: 0,
             wal_replay_ns: 0,
             crash_fast_recoveries: 0,
+            on_access_blocks: 0,
         }
     }
 

@@ -133,12 +133,13 @@ impl RowBlockBuilder {
             },
             created_at: self.created_at,
         };
+        let zones = crate::zone::ZoneMap::compute(&self.schema, &self.columns);
         let columns = self
             .columns
             .iter()
             .map(RowBlockColumn::encode)
             .collect::<Result<Vec<_>>>()?;
-        RowBlock::from_parts(header, self.schema, columns)
+        Ok(RowBlock::from_parts(header, self.schema, columns)?.with_zones(Some(zones)))
     }
 
     /// Encode the current contents into a block *without* consuming the

@@ -83,6 +83,48 @@ pub fn unpack(bytes: &[u8], width: u32, count: usize) -> Result<Vec<u64>> {
     Ok(out)
 }
 
+/// Visit `count` values of `width` bits each straight out of `bytes`,
+/// without allocating a `Vec<u64>` word buffer first. Scan kernels use
+/// this to test packed dictionary ids and deltas in place over (possibly
+/// shared-memory-mapped) buffers; `f` receives `(index, value)`.
+pub fn unpack_each(
+    bytes: &[u8],
+    width: u32,
+    count: usize,
+    mut f: impl FnMut(usize, u64),
+) -> Result<()> {
+    if !(1..=64).contains(&width) {
+        return Err(Error::Corrupt("bit width out of range"));
+    }
+    let total_bits = count as u64 * width as u64;
+    let needed_bytes = (total_bits.div_ceil(64) * 8) as usize;
+    if bytes.len() < needed_bytes {
+        return Err(Error::Truncated {
+            needed: needed_bytes,
+            available: bytes.len(),
+        });
+    }
+    let word_at = |i: usize| u64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().unwrap());
+    let mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
+    let mut bit = 0u64;
+    for i in 0..count {
+        let word = (bit / 64) as usize;
+        let off = (bit % 64) as u32;
+        let mut v = word_at(word) >> off;
+        let spill = off + width;
+        if spill > 64 {
+            v |= word_at(word + 1) << (64 - off);
+        }
+        f(i, v & mask);
+        bit += width as u64;
+    }
+    Ok(())
+}
+
 /// Packed size in bytes for `count` values at `width` bits.
 pub fn packed_size(count: usize, width: u32) -> usize {
     ((count as u64 * width as u64).div_ceil(64) * 8) as usize
@@ -97,6 +139,14 @@ mod tests {
         let packed = pack(values, width);
         assert_eq!(packed.len(), packed_size(values.len(), width));
         assert_eq!(unpack(&packed, width, values.len()).unwrap(), values);
+        // The allocation-free visitor must see the same stream.
+        let mut seen = Vec::new();
+        unpack_each(&packed, width, values.len(), |i, v| {
+            assert_eq!(i, seen.len());
+            seen.push(v);
+        })
+        .unwrap();
+        assert_eq!(seen, values);
     }
 
     #[test]

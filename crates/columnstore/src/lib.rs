@@ -27,9 +27,11 @@ pub mod leafmap;
 pub mod rbc;
 pub mod row;
 pub mod rowblock;
+pub mod scan;
 pub mod schema;
 pub mod table;
 pub mod types;
+pub mod zone;
 
 pub use builder::RowBlockBuilder;
 pub use column::ColumnData;
@@ -38,9 +40,11 @@ pub use leafmap::LeafMap;
 pub use rbc::{ColumnBytes, RowBlockColumn};
 pub use row::Row;
 pub use rowblock::{RowBlock, RowBlockHeader};
+pub use scan::ColumnView;
 pub use schema::Schema;
 pub use table::{Table, TableHeader};
 pub use types::{ColumnType, Value};
+pub use zone::{ZoneMap, ZoneStats};
 
 /// Maximum number of rows in a single row block (§2.1: "Each row block
 /// contains 65,536 rows that arrived consecutively").

@@ -134,15 +134,15 @@ pub struct RowBlockColumn {
 
 /// Parsed view of the fixed header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Header {
-    compression: CompressionCode,
-    column_type: ColumnType,
-    n_bytes: u64,
-    n_items: u64,
-    n_dict_items: u64,
-    dict_offset: u64,
-    data_offset: u64,
-    footer_offset: u64,
+pub(crate) struct Header {
+    pub(crate) compression: CompressionCode,
+    pub(crate) column_type: ColumnType,
+    pub(crate) n_bytes: u64,
+    pub(crate) n_items: u64,
+    pub(crate) n_dict_items: u64,
+    pub(crate) dict_offset: u64,
+    pub(crate) data_offset: u64,
+    pub(crate) footer_offset: u64,
 }
 
 impl RowBlockColumn {
@@ -577,7 +577,7 @@ impl RowBlockColumn {
         ColumnData::from_parts(n_items, presence, values)
     }
 
-    fn parse_header(&self) -> Result<Header> {
+    pub(crate) fn parse_header(&self) -> Result<Header> {
         let buf = self.bytes();
         if buf.len() < HEADER_SIZE + FOOTER_SIZE {
             return Err(Error::Truncated {
@@ -653,6 +653,18 @@ fn write_maybe_lz(out: &mut Vec<u8>, raw: &[u8]) -> bool {
 /// Inverse of [`write_maybe_lz`]: returns the raw bytes and the position
 /// just past the block.
 fn read_maybe_lz(buf: &[u8], pos: usize) -> Result<(Vec<u8>, usize)> {
+    let (raw, p) = read_maybe_lz_cow(buf, pos)?;
+    Ok((raw.into_owned(), p))
+}
+
+/// Borrowing variant of [`read_maybe_lz`]: when the block was stored raw,
+/// the returned bytes borrow `buf` directly — this is what lets the scan
+/// path read packed payloads straight out of a shared mapping without the
+/// copy that `decode()` pays.
+pub(crate) fn read_maybe_lz_cow(
+    buf: &[u8],
+    pos: usize,
+) -> Result<(std::borrow::Cow<'_, [u8]>, usize)> {
     let flag = *buf.get(pos).ok_or(Error::Truncated {
         needed: pos + 1,
         available: buf.len(),
@@ -672,9 +684,9 @@ fn read_maybe_lz(buf: &[u8], pos: usize) -> Result<(Vec<u8>, usize)> {
             if raw_len as usize != stored_len {
                 return Err(Error::Corrupt("raw block length mismatch"));
             }
-            stored.to_vec()
+            std::borrow::Cow::Borrowed(stored)
         }
-        1 => lz::decompress(stored, raw_len as usize)?,
+        1 => std::borrow::Cow::Owned(lz::decompress(stored, raw_len as usize)?),
         _ => return Err(Error::Corrupt("bad LZ block flag")),
     };
     Ok((raw, p + stored_len))

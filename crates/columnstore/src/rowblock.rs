@@ -19,6 +19,7 @@ use crate::error::{Error, Result};
 use crate::rbc::RowBlockColumn;
 use crate::schema::Schema;
 use crate::types::Value;
+use crate::zone::ZoneMap;
 
 /// "RBLK" little-endian.
 pub const ROWBLOCK_MAGIC: u32 = 0x4B4C_4252;
@@ -41,11 +42,23 @@ pub struct RowBlockHeader {
 }
 
 /// An immutable, encoded block of rows.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct RowBlock {
     header: RowBlockHeader,
     schema: Schema,
     columns: Vec<RowBlockColumn>,
+    /// Per-column min/max statistics computed at seal time. Derived
+    /// metadata: not part of the serialized v1 image (blocks parsed from
+    /// one run without pruning) and excluded from equality.
+    zones: Option<ZoneMap>,
+}
+
+/// Zone maps are derived, best-effort metadata — two blocks holding the
+/// same data are equal whether or not statistics were (re)computed.
+impl PartialEq for RowBlock {
+    fn eq(&self, other: &RowBlock) -> bool {
+        self.header == other.header && self.schema == other.schema && self.columns == other.columns
+    }
 }
 
 impl RowBlock {
@@ -78,7 +91,20 @@ impl RowBlock {
             header,
             schema,
             columns,
+            zones: None,
         })
+    }
+
+    /// Attach (or clear) zone statistics. The builder attaches freshly
+    /// computed stats at seal; the restore path re-attaches persisted ones.
+    pub fn with_zones(mut self, zones: Option<ZoneMap>) -> RowBlock {
+        self.zones = zones;
+        self
+    }
+
+    /// Zone statistics, if this block carries them.
+    pub fn zones(&self) -> Option<&ZoneMap> {
+        self.zones.as_ref()
     }
 
     /// The block header.
@@ -181,6 +207,7 @@ impl RowBlock {
             header: self.header,
             schema: self.schema.clone(),
             columns: self.columns.iter().map(|c| c.to_heap()).collect(),
+            zones: self.zones.clone(),
         }
     }
 

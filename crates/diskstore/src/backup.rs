@@ -341,7 +341,11 @@ impl DiskBackup {
     /// Reads only what is on disk — buffered, unflushed appends are
     /// invisible. Meant for recovery-time reconciliation, where the
     /// writers are empty.
-    pub fn coverage(&self, table: &str, synced_hint: Option<(u64, u64)>) -> DiskResult<TableCoverage> {
+    pub fn coverage(
+        &self,
+        table: &str,
+        synced_hint: Option<(u64, u64)>,
+    ) -> DiskResult<TableCoverage> {
         let path = self.table_path(table)?;
         let mut file = match File::open(&path) {
             Ok(f) => f,
@@ -350,10 +354,7 @@ impl DiskBackup {
             }
             Err(e) => return Err(DiskError::io(&path, e)),
         };
-        let file_len = file
-            .metadata()
-            .map_err(|e| DiskError::io(&path, e))?
-            .len();
+        let file_len = file.metadata().map_err(|e| DiskError::io(&path, e))?.len();
         let (mut rows, start) = match synced_hint {
             Some((r, b)) if b <= file_len => (r, b),
             _ => (0, 0),
@@ -365,14 +366,9 @@ impl DiskBackup {
             .map_err(|e| DiskError::io(&path, e))?;
         let mut pos = 0usize;
         let mut valid_len = start;
-        loop {
-            match skip_record(&bytes, &mut pos) {
-                SkipOutcome::Skipped => {
-                    rows += 1;
-                    valid_len = start + pos as u64;
-                }
-                SkipOutcome::End | SkipOutcome::Torn => break,
-            }
+        while let SkipOutcome::Skipped = skip_record(&bytes, &mut pos) {
+            rows += 1;
+            valid_len = start + pos as u64;
         }
         Ok(TableCoverage {
             rows,
@@ -587,16 +583,12 @@ mod tests {
         assert_eq!(clean.scanned_bytes, clean.file_len);
 
         // A trusted hint at the synced boundary skips the whole scan.
-        let hinted = b
-            .coverage("t", Some((50, clean.valid_len)))
-            .unwrap();
+        let hinted = b.coverage("t", Some((50, clean.valid_len))).unwrap();
         assert_eq!(hinted.rows, 50);
         assert_eq!(hinted.valid_len, clean.valid_len);
         assert_eq!(hinted.scanned_bytes, 0);
         // A hint past EOF is ignored: full scan, same answer.
-        let bogus = b
-            .coverage("t", Some((99, clean.file_len + 1000)))
-            .unwrap();
+        let bogus = b.coverage("t", Some((99, clean.file_len + 1000))).unwrap();
         assert_eq!(bogus.rows, 50);
         assert_eq!(bogus.scanned_bytes, clean.file_len);
 

@@ -43,7 +43,7 @@ use scuba_shmem::{crc32, LeafMetadata, SegmentEntry, ShmNamespace, ShmResult, Sh
 
 use crate::persist::{
     LeafStore, COLUMN_VERSION, MANIFEST_VERSION, PRELUDE_VERSION, TAG_COLUMN, TAG_MANIFEST,
-    TAG_PRELUDE,
+    TAG_PRELUDE, TAG_ZONES, ZONES_VERSION,
 };
 
 /// Registry-entry flag marking a segment as part of the continuous
@@ -537,6 +537,14 @@ impl SegCursor<'_> {
         let mut prelude = Vec::new();
         crate::persist::write_prelude(block, &mut prelude);
         self.write_frame(ChunkDesc::new(TAG_PRELUDE, PRELUDE_VERSION), &prelude)?;
+        if let Some(zones) = block.zones().filter(|z| !z.is_empty()) {
+            let mut payload = Vec::new();
+            zones.serialize(&mut payload);
+            self.write_frame(
+                ChunkDesc::new(TAG_ZONES, ZONES_VERSION).skippable(),
+                &payload,
+            )?;
+        }
         for column in block.columns() {
             self.write_frame(
                 ChunkDesc::new(TAG_COLUMN, COLUMN_VERSION),

@@ -17,6 +17,21 @@ pub enum RestoreMode {
     TwoPhase,
 }
 
+/// When the background hydrator copies mapped blocks to heap after a
+/// [`RestoreMode::TwoPhase`] attach.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HydrationMode {
+    /// Copy every mapped block as fast as the pool allows (the classic
+    /// phase two). Time to *full* recovery is minimized.
+    Eager,
+    /// Access-driven: blocks start parked and hydrate only after a query
+    /// touches them (query-touched blocks jump the queue). Cold tables
+    /// may never be copied at all — queries serve them from the mapped
+    /// bytes indefinitely, CRC-verified on first touch.
+    /// [`crate::LeafServer::finish_hydration`] releases everything.
+    OnAccess,
+}
+
 /// Which shared-memory image format [`crate::LeafServer::shutdown_to_shm`]
 /// writes. Anything but `Current` simulates an *older* writer binary, so
 /// upgrade waves (chaos, rollover) can prove that an old image restores
@@ -60,6 +75,9 @@ pub struct LeafConfig {
     /// ([`RestoreMode::Full`]) or attach-then-hydrate
     /// ([`RestoreMode::TwoPhase`]).
     pub restore_mode: RestoreMode,
+    /// Under [`RestoreMode::TwoPhase`], whether hydration is eager or
+    /// access-driven.
+    pub hydration: HydrationMode,
     /// Which image format shutdown writes — [`WriterCompat::Current`] in
     /// production; the older formats simulate a pre-upgrade binary for
     /// mixed-version restart waves.
@@ -87,6 +105,7 @@ impl LeafConfig {
             shm_recovery_enabled: true,
             copy_threads: 0,
             restore_mode: RestoreMode::Full,
+            hydration: HydrationMode::Eager,
             writer_compat: WriterCompat::Current,
             checkpoint_enabled: false,
             checkpoint_interval_rows: 0,

@@ -29,6 +29,8 @@ pub enum LeafError {
     /// Backup protocol failure (wraps the message; the typed cause is in
     /// the log).
     Backup(String),
+    /// Query-time failure (e.g. a scan touched a corrupt mapped block).
+    Query(String),
     /// A fault-injection site fired at a lifecycle phase (tests only; the
     /// production registry is never armed).
     Injected {
@@ -48,6 +50,7 @@ impl fmt::Display for LeafError {
             LeafError::Shm(e) => write!(f, "shared memory error: {e}"),
             LeafError::State(e) => write!(f, "restart state error: {e}"),
             LeafError::Backup(m) => write!(f, "backup failed: {m}"),
+            LeafError::Query(m) => write!(f, "query error: {m}"),
             LeafError::Injected { site } => write!(f, "injected fault at {site:?}"),
         }
     }

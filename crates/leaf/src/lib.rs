@@ -28,7 +28,7 @@ pub mod persist;
 pub mod server;
 
 pub use checkpoint::{CheckpointOutcome, CheckpointStats, Checkpointer, SEG_FLAG_CHECKPOINT};
-pub use config::{LeafConfig, RestoreMode, WriterCompat};
+pub use config::{HydrationMode, LeafConfig, RestoreMode, WriterCompat};
 pub use error::{LeafError, LeafResult};
 pub use persist::LeafStore;
 pub use server::{LeafPhase, LeafServer, RecoveryOutcome, ShutdownSummary};

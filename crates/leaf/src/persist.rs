@@ -38,6 +38,11 @@ pub const TAG_MANIFEST: u16 = TAG_STORE_BASE;
 pub const TAG_PRELUDE: u16 = TAG_STORE_BASE + 1;
 /// Chunk tag: one row block column's single-memcpy buffer.
 pub const TAG_COLUMN: u16 = TAG_STORE_BASE + 2;
+/// Chunk tag: one row block's zone map (per-column min/max statistics for
+/// query-time block pruning). Written *skippable*: the image stays
+/// readable by binaries that predate zone maps, which simply lose the
+/// pruning, not the data.
+pub const TAG_ZONES: u16 = TAG_STORE_BASE + 3;
 
 /// Current manifest payload version: v1 was the bare block count, v2
 /// appends the table-level schema snapshot.
@@ -46,6 +51,8 @@ pub const MANIFEST_VERSION: u16 = 2;
 pub const PRELUDE_VERSION: u16 = 1;
 /// Current column payload version.
 pub const COLUMN_VERSION: u16 = 1;
+/// Current zone-map payload version.
+pub const ZONES_VERSION: u16 = 1;
 
 /// Error produced while (de)serializing leaf state for the protocol.
 #[derive(Debug)]
@@ -187,7 +194,8 @@ fn shim_registry() -> &'static ShimRegistry {
         reg.declare(TAG_MANIFEST, MANIFEST_VERSION)
             .shim(TAG_MANIFEST, 1, manifest_v1_to_v2)
             .declare(TAG_PRELUDE, PRELUDE_VERSION)
-            .declare(TAG_COLUMN, COLUMN_VERSION);
+            .declare(TAG_COLUMN, COLUMN_VERSION)
+            .declare(TAG_ZONES, ZONES_VERSION);
         reg
     })
 }
@@ -270,10 +278,19 @@ impl ShmPersistable for LeafStore {
 
     fn estimate_unit_size(&self, unit: &str) -> usize {
         // Figure 6: "estimate size of table". Encoded bytes plus framing
-        // slack; the writer grows the segment if this is low.
+        // slack (prelude + zone chunk per block); the writer grows the
+        // segment if this is low.
         self.map
             .get(unit)
-            .map(|t| t.encoded_bytes() + t.blocks().len() * 256 + 1024)
+            .map(|t| {
+                let zone_bytes: usize = t
+                    .blocks()
+                    .iter()
+                    .filter_map(|b| b.zones())
+                    .map(|z| z.serialized_size())
+                    .sum();
+                t.encoded_bytes() + t.blocks().len() * 256 + zone_bytes + 1024
+            })
             .unwrap_or(0)
     }
 
@@ -302,6 +319,7 @@ impl ShmPersistable for LeafStore {
             let mut prelude = Vec::new();
             write_prelude(&block, &mut prelude);
             sink.put_chunk(ChunkDesc::new(TAG_PRELUDE, PRELUDE_VERSION), &prelude)?;
+            write_zone_chunk(&block, sink)?;
             // One chunk per row block column: the single-memcpy copy.
             // Unwrap the Arc if we are the last owner so the buffer is
             // freed as we go; clone-on-shared keeps correctness if a
@@ -380,6 +398,55 @@ impl ShmPersistable for LeafStore {
     }
 }
 
+/// Emit a block's zone map as a skippable chunk (sits between the
+/// prelude and the column chunks; absent when the block has no stats).
+pub(crate) fn write_zone_chunk(
+    block: &RowBlock,
+    sink: &mut dyn ChunkSink,
+) -> Result<(), PersistError> {
+    if let Some(zones) = block.zones().filter(|z| !z.is_empty()) {
+        let mut payload = Vec::new();
+        zones.serialize(&mut payload);
+        sink.put_chunk(
+            ChunkDesc::new(TAG_ZONES, ZONES_VERSION).skippable(),
+            &payload,
+        )?;
+    }
+    Ok(())
+}
+
+/// Parse a zone-map payload; a malformed one is corruption-class
+/// ([`PersistError::Framing`] → whole-unit disk fallback), never silently
+/// dropped — wrong statistics would silently wrong query answers.
+fn read_zones(payload: &[u8]) -> Result<scuba_columnstore::ZoneMap, PersistError> {
+    scuba_columnstore::ZoneMap::deserialize(payload)
+        .map_err(|e| PersistError::Framing(format!("bad zone chunk: {e}")))
+}
+
+/// Pull the next known chunk, honoring a one-chunk lookahead buffer. The
+/// buffer lives *outside* the per-block loop: a zone probe that finds the
+/// next block's prelude (or the stream end) parks it here.
+fn next_buffered(
+    pending: &mut Option<(ChunkDesc, Vec<u8>)>,
+    source: &mut dyn ChunkSource,
+) -> Result<Option<(ChunkDesc, Vec<u8>)>, PersistError> {
+    match pending.take() {
+        Some(c) => Ok(Some(c)),
+        None => next_known(source),
+    }
+}
+
+/// Mapped-path variant of [`next_buffered`].
+fn next_buffered_mapped(
+    pending: &mut Option<MappedChunk>,
+    source: &mut dyn MappedChunkSource,
+) -> Result<Option<MappedChunk>, PersistError> {
+    match pending.take() {
+        Some(c) => Ok(Some(c)),
+        None => next_known_mapped(source),
+    }
+}
+
 /// Parse a (current-version) manifest payload: block count + schema
 /// snapshot.
 fn read_manifest(manifest: &[u8]) -> Result<(u64, Schema), PersistError> {
@@ -429,8 +496,9 @@ fn decode_unit_v2(unit: &str, source: &mut dyn ChunkSource) -> Result<Table, Per
     let (n_blocks, _snapshot) = read_manifest(&manifest)?;
 
     let mut blocks = Vec::with_capacity(n_blocks.min(1 << 20) as usize);
+    let mut pending: Option<(ChunkDesc, Vec<u8>)> = None;
     for _ in 0..n_blocks {
-        let (pdesc, prelude) = next_known(source)?
+        let (pdesc, prelude) = next_buffered(&mut pending, source)?
             .ok_or_else(|| PersistError::Framing("missing block prelude".to_owned()))?;
         if pdesc.tag != TAG_PRELUDE {
             return Err(PersistError::Framing(format!(
@@ -440,9 +508,19 @@ fn decode_unit_v2(unit: &str, source: &mut dyn ChunkSource) -> Result<Table, Per
         }
         let (row_count, min_time, max_time, created_at, n_columns, schema) =
             read_prelude(&prelude)?;
+        // Optional zone chunk between prelude and columns: anything else
+        // parks in the lookahead buffer for the next expectation.
+        let mut zones = None;
+        if let Some((zdesc, zpayload)) = next_buffered(&mut pending, source)? {
+            if zdesc.tag == TAG_ZONES {
+                zones = Some(read_zones(&zpayload)?);
+            } else {
+                pending = Some((zdesc, zpayload));
+            }
+        }
         let mut columns = Vec::with_capacity(n_columns as usize);
         for _ in 0..n_columns {
-            let (cdesc, chunk) = next_known(source)?
+            let (cdesc, chunk) = next_buffered(&mut pending, source)?
                 .ok_or_else(|| PersistError::Framing("missing column chunk".to_owned()))?;
             if cdesc.tag != TAG_COLUMN {
                 return Err(PersistError::Framing(format!(
@@ -460,13 +538,16 @@ fn decode_unit_v2(unit: &str, source: &mut dyn ChunkSource) -> Result<Table, Per
                 chunk.into_boxed_slice(),
             )?);
         }
-        blocks.push(Arc::new(RowBlock::from_parts(
-            block_header(row_count, min_time, max_time, created_at),
-            schema,
-            columns,
-        )?));
+        blocks.push(Arc::new(
+            RowBlock::from_parts(
+                block_header(row_count, min_time, max_time, created_at),
+                schema,
+                columns,
+            )?
+            .with_zones(zones),
+        ));
     }
-    if next_known(source)?.is_some() {
+    if next_buffered(&mut pending, source)?.is_some() {
         return Err(PersistError::Framing(
             "trailing chunks after last block".to_owned(),
         ));
@@ -561,8 +642,9 @@ fn attach_unit_v2(unit: &str, source: &mut dyn MappedChunkSource) -> Result<Tabl
     let (n_blocks, _snapshot) = read_manifest(&upgraded(&mchunk)?)?;
 
     let mut blocks = Vec::with_capacity(n_blocks.min(1 << 20) as usize);
+    let mut pending: Option<MappedChunk> = None;
     for _ in 0..n_blocks {
-        let pchunk = next_known_mapped(source)?
+        let pchunk = next_buffered_mapped(&mut pending, source)?
             .ok_or_else(|| PersistError::Framing("missing block prelude".to_owned()))?;
         if pchunk.desc.tag != TAG_PRELUDE {
             return Err(PersistError::Framing(format!(
@@ -572,9 +654,19 @@ fn attach_unit_v2(unit: &str, source: &mut dyn MappedChunkSource) -> Result<Tabl
         }
         let (row_count, min_time, max_time, created_at, n_columns, schema) =
             read_prelude(&upgraded(&pchunk)?)?;
+        // Zone maps are metadata: heap-copied (frame-CRC-verified) like
+        // the prelude, never served from the mapping.
+        let mut zones = None;
+        if let Some(zchunk) = next_buffered_mapped(&mut pending, source)? {
+            if zchunk.desc.tag == TAG_ZONES {
+                zones = Some(read_zones(&upgraded(&zchunk)?)?);
+            } else {
+                pending = Some(zchunk);
+            }
+        }
         let mut columns = Vec::with_capacity(n_columns as usize);
         for _ in 0..n_columns {
-            let chunk = next_known_mapped(source)?
+            let chunk = next_buffered_mapped(&mut pending, source)?
                 .ok_or_else(|| PersistError::Framing("missing column chunk".to_owned()))?;
             if chunk.desc.tag != TAG_COLUMN {
                 return Err(PersistError::Framing(format!(
@@ -597,13 +689,16 @@ fn attach_unit_v2(unit: &str, source: &mut dyn MappedChunkSource) -> Result<Tabl
                 )?);
             }
         }
-        blocks.push(Arc::new(RowBlock::from_parts(
-            block_header(row_count, min_time, max_time, created_at),
-            schema,
-            columns,
-        )?));
+        blocks.push(Arc::new(
+            RowBlock::from_parts(
+                block_header(row_count, min_time, max_time, created_at),
+                schema,
+                columns,
+            )?
+            .with_zones(zones),
+        ));
     }
-    if next_known_mapped(source)?.is_some() {
+    if next_buffered_mapped(&mut pending, source)?.is_some() {
         return Err(PersistError::Framing(
             "trailing chunks after last block".to_owned(),
         ));
@@ -854,6 +949,99 @@ mod tests {
         // The disk-fallback constructor keeps the full footer check.
         let err = RowBlockColumn::from_bytes(disk_image.into_boxed_slice()).unwrap_err();
         assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn zone_maps_survive_shm_round_trip() {
+        let ns = ns();
+        let _c = Cleanup(ns.clone());
+        let mut store = populated_store();
+        let before: Vec<_> = store
+            .map()
+            .iter()
+            .flat_map(|t| t.blocks().iter().map(|b| b.zones().cloned()))
+            .collect();
+        assert!(before.iter().all(|z| z.is_some()), "seed blocks have zones");
+
+        backup_to_shm(&mut store, &ns, V).unwrap();
+        let mut restored = LeafStore::new();
+        restore_from_shm(&mut restored, &ns, V).unwrap();
+        let after: Vec<_> = restored
+            .map()
+            .iter()
+            .flat_map(|t| t.blocks().iter().map(|b| b.zones().cloned()))
+            .collect();
+        assert_eq!(after, before);
+    }
+
+    #[test]
+    fn zone_chunk_is_skippable() {
+        // An old reader that has never heard of TAG_ZONES must still read
+        // the image — the chunk carries the skippable flag.
+        let ns = ns();
+        let _c = Cleanup(ns.clone());
+        let mut store = populated_store();
+        backup_to_shm(&mut store, &ns, V).unwrap();
+
+        let seg = scuba_shmem::ShmSegment::open(&ns.table_segment_name(0)).unwrap();
+        let buf = seg.as_slice();
+        let mut pos = 0usize;
+        let mut zone_chunks = 0;
+        loop {
+            let (desc, len, _crc) = decode_header_v2(&buf[pos..pos + FRAME_HEADER_V2]);
+            if desc.tag == TAG_END {
+                break;
+            }
+            if desc.tag == TAG_ZONES {
+                zone_chunks += 1;
+                assert!(desc.is_skippable(), "zone chunk must be skippable");
+                assert_eq!(desc.version, ZONES_VERSION);
+            }
+            pos += FRAME_HEADER_V2 + len as usize;
+        }
+        assert!(zone_chunks > 0, "backup wrote no zone chunks");
+    }
+
+    #[test]
+    fn corrupt_zone_chunk_is_rejected() {
+        // Wrong statistics would silently wrong query answers, so a zone
+        // chunk that passes the frame CRC but fails to parse is
+        // corruption-class: the unit falls back to disk recovery.
+        let ns = ns();
+        let _c = Cleanup(ns.clone());
+        let mut store = LeafStore::new();
+        let rows: Vec<Row> = (0..100).map(|i| Row::at(i).with("v", i)).collect();
+        store.append_rows("t", &rows, 0).unwrap();
+        store.seal_all(0).unwrap();
+        backup_to_shm(&mut store, &ns, V).unwrap();
+
+        let mut seg = scuba_shmem::ShmSegment::open(&ns.table_segment_name(0)).unwrap();
+        let buf = seg.as_mut_slice();
+        let mut pos = 0usize;
+        let mut zone = None;
+        loop {
+            let (desc, len, _crc) = decode_header_v2(&buf[pos..pos + FRAME_HEADER_V2]);
+            if desc.tag == TAG_END {
+                break;
+            }
+            if desc.tag == TAG_ZONES {
+                zone = Some((pos + 16, pos + FRAME_HEADER_V2, len as usize));
+            }
+            pos += FRAME_HEADER_V2 + len as usize;
+        }
+        let (crc_off, payload_off, payload_len) = zone.expect("zone chunk present");
+        // Zero the entry count so the parser sees trailing garbage, then
+        // re-seal the frame CRC so only the zone *payload* is bad.
+        assert!(payload_len > 1);
+        buf[payload_off] = 0;
+        let resealed = scuba_shmem::crc32(&buf[payload_off..payload_off + payload_len]);
+        buf[crc_off..crc_off + 4].copy_from_slice(&resealed.to_le_bytes());
+        drop(seg);
+
+        let mut restored = LeafStore::new();
+        let err = restore_from_shm(&mut restored, &ns, V).unwrap_err();
+        let scuba_restart::RestoreError::Fallback(fb) = err;
+        assert!(fb.cleaned_up);
     }
 
     #[test]

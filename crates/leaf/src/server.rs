@@ -8,7 +8,7 @@ use std::time::{Duration, Instant};
 use scuba_columnstore::{Row, RowBlock, Table};
 use scuba_diskstore::{rowformat, DiskBackup, RecoveryStats, Throttle};
 use scuba_obs::PhaseBreakdown;
-use scuba_query::{execute, LeafQueryResult, Query};
+use scuba_query::{execute_vectorized, LeafQueryResult, Query};
 use scuba_restart::{
     attach_from_shm, backup_to_shm_with, read_wal, resolve_copy_threads, restore_from_shm_with,
     AttachReport, BackupReport, CopyOptions, LeafBackupState, LeafRestoreState, RestoreError,
@@ -19,7 +19,7 @@ use scuba_shmem::{LeafMetadata, ShmNamespace};
 use crate::checkpoint::{snapshot_tables, CheckpointJob, CheckpointOutcome, CheckpointStats};
 use crate::checkpoint::{Checkpointer, SEG_FLAG_CHECKPOINT};
 use crate::compat;
-use crate::config::{LeafConfig, RestoreMode, WriterCompat};
+use crate::config::{HydrationMode, LeafConfig, RestoreMode, WriterCompat};
 use crate::error::{LeafError, LeafResult};
 use crate::persist::LeafStore;
 
@@ -359,6 +359,99 @@ fn hydrate_block(block: &RowBlock) -> Result<RowBlock, String> {
     Ok(block.to_heap())
 }
 
+/// One block awaiting hydration.
+type HydrationJob = (String, Arc<RowBlock>);
+
+/// Shared hydration work queue. Jobs sit in one of two lists: `ready`
+/// (workers may take them) and `parked` (waiting for a query to touch
+/// them — [`HydrationMode::OnAccess`] starts everything here). A query
+/// touch promotes a block parked → front of ready, so the scan's working
+/// set hydrates first; [`LeafServer::finish_hydration`] releases the
+/// rest.
+#[derive(Debug)]
+struct QueueState {
+    ready: std::collections::VecDeque<HydrationJob>,
+    parked: Vec<HydrationJob>,
+    closed: bool,
+}
+
+#[derive(Debug)]
+struct HydrationQueue {
+    state: std::sync::Mutex<QueueState>,
+    cond: std::sync::Condvar,
+}
+
+impl HydrationQueue {
+    fn new(jobs: Vec<HydrationJob>, mode: HydrationMode) -> HydrationQueue {
+        let state = match mode {
+            HydrationMode::Eager => QueueState {
+                ready: jobs.into(),
+                parked: Vec::new(),
+                closed: false,
+            },
+            HydrationMode::OnAccess => QueueState {
+                ready: std::collections::VecDeque::new(),
+                parked: jobs,
+                closed: false,
+            },
+        };
+        HydrationQueue {
+            state: std::sync::Mutex::new(state),
+            cond: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Worker side: next ready job. Blocks while jobs are parked; `None`
+    /// once the queue is closed or drained (nothing ready *or* parked).
+    fn pop(&self) -> Option<HydrationJob> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if st.closed {
+                return None;
+            }
+            if let Some(job) = st.ready.pop_front() {
+                return Some(job);
+            }
+            if st.parked.is_empty() {
+                return None;
+            }
+            st = self.cond.wait(st).unwrap();
+        }
+    }
+
+    /// Query side: a scan touched `block` — if it is still parked, move
+    /// it to the front of the ready list so it hydrates next.
+    fn promote(&self, block: &Arc<RowBlock>) {
+        let mut st = self.state.lock().unwrap();
+        if let Some(i) = st.parked.iter().position(|(_, b)| Arc::ptr_eq(b, block)) {
+            let job = st.parked.swap_remove(i);
+            st.ready.push_front(job);
+            self.cond.notify_one();
+        }
+    }
+
+    /// Release every parked job to the workers (finish_hydration).
+    fn release_all(&self) {
+        let mut st = self.state.lock().unwrap();
+        let parked = std::mem::take(&mut st.parked);
+        st.ready.extend(parked);
+        self.cond.notify_all();
+    }
+
+    /// Wake every worker and make further pops return `None` (fallback /
+    /// crash teardown — without this, workers blocked on parked jobs
+    /// would never join and their mapped segment refs would leak).
+    fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.cond.notify_all();
+    }
+
+    /// Blocks still waiting for a query to touch them.
+    fn parked_len(&self) -> usize {
+        self.state.lock().unwrap().parked.len()
+    }
+}
+
 /// Background worker pool converting mapped blocks to heap after an
 /// attach. Results stream back over a channel; the server applies them
 /// under its own `&mut` (the workers never touch the store).
@@ -368,13 +461,23 @@ struct Hydrator {
     workers: Vec<thread::JoinHandle<()>>,
     /// Blocks handed to workers whose results have not been applied yet.
     pending: usize,
+    /// The shared work queue (query touches promote through it).
+    queue: Arc<HydrationQueue>,
+    /// Mapped blocks whose deferred CRC a query already verified (keyed
+    /// by block address; blocks are pinned by the table for the whole
+    /// hydration, so addresses are stable).
+    verified: std::sync::Mutex<std::collections::HashSet<usize>>,
+    /// First in-place CRC failure seen by a query, if any. Queries take
+    /// `&self`, so they can only *record* the condemnation here; the next
+    /// poll/finish turns it into the disk fallback.
+    poison: std::sync::Mutex<Option<String>>,
 }
 
 impl Hydrator {
     /// Snapshot every mapped block and fan the copy work out over the
     /// resolved copy-thread count.
-    fn spawn(store: &LeafStore, copy_threads: usize) -> Hydrator {
-        let mut jobs: Vec<(String, Arc<RowBlock>)> = Vec::new();
+    fn spawn(store: &LeafStore, copy_threads: usize, mode: HydrationMode) -> Hydrator {
+        let mut jobs: Vec<HydrationJob> = Vec::new();
         for table in store.map().iter() {
             for block in table.mapped_blocks() {
                 jobs.push((table.name().to_owned(), block));
@@ -382,18 +485,14 @@ impl Hydrator {
         }
         let pending = jobs.len();
         let threads = resolve_copy_threads(copy_threads).min(pending.max(1));
+        let queue = Arc::new(HydrationQueue::new(jobs, mode));
         let (tx, rx) = mpsc::channel();
-        let mut buckets: Vec<Vec<(String, Arc<RowBlock>)>> =
-            (0..threads).map(|_| Vec::new()).collect();
-        for (i, job) in jobs.into_iter().enumerate() {
-            buckets[i % threads].push(job);
-        }
-        let workers = buckets
-            .into_iter()
-            .map(|bucket| {
+        let workers = (0..threads)
+            .map(|_| {
                 let tx = tx.clone();
+                let queue = Arc::clone(&queue);
                 thread::spawn(move || {
-                    for (table, old) in bucket {
+                    while let Some((table, old)) = queue.pop() {
                         let new = hydrate_block(&old);
                         if tx.send(HydratedBlock { table, old, new }).is_err() {
                             return; // server gone (crash/fallback); stop
@@ -406,7 +505,46 @@ impl Hydrator {
             rx,
             workers,
             pending,
+            queue,
+            verified: std::sync::Mutex::new(std::collections::HashSet::new()),
+            poison: std::sync::Mutex::new(None),
         }
+    }
+
+    /// A query is about to scan `table`: CRC-verify every mapped block it
+    /// will touch (first touch only), then promote those blocks to the
+    /// head of the hydration queue. A verification failure poisons the
+    /// hydrator — the caller fails the query and the next poll/finish
+    /// falls back to disk.
+    fn touch(&self, table: &Table, query: &Query) -> Result<(), String> {
+        if let Some(reason) = self.poison.lock().unwrap().clone() {
+            return Err(reason);
+        }
+        let plan = scuba_query::plan_scan(table, query).map_err(|e| e.to_string())?;
+        for block in &plan.blocks {
+            if !block.columns().iter().any(|c| c.is_mapped()) {
+                continue;
+            }
+            let key = Arc::as_ptr(block) as usize;
+            if self.verified.lock().unwrap().contains(&key) {
+                continue;
+            }
+            for column in block.columns().iter().filter(|c| c.is_mapped()) {
+                if let Err(e) = column.verify_checksum() {
+                    let reason = format!("query touched corrupt mapped block: {e}");
+                    *self.poison.lock().unwrap() = Some(reason.clone());
+                    return Err(reason);
+                }
+            }
+            self.verified.lock().unwrap().insert(key);
+            self.queue.promote(block);
+        }
+        Ok(())
+    }
+
+    /// The poison reason, if a query hit a corrupt mapped block.
+    fn poison_reason(&self) -> Option<String> {
+        self.poison.lock().unwrap().clone()
     }
 }
 
@@ -590,6 +728,8 @@ impl LeafServer {
             scuba_obs::labeled_gauge("leaf_shm_bytes", &labels).set(self.shm_resident() as i64);
             scuba_obs::labeled_gauge("leaf_hydration_pending_blocks", &labels)
                 .set(self.hydrator.as_ref().map_or(0, |h| h.pending) as i64);
+            scuba_obs::labeled_gauge("leaf_hydration_on_access_blocks", &labels)
+                .set(self.hydrator.as_ref().map_or(0, |h| h.queue.parked_len()) as i64);
         }
     }
 
@@ -744,8 +884,11 @@ impl LeafServer {
                             // leaf serves over the mapped segments.
                             server.set_phase(LeafPhase::Hydrating);
                             phase_failpoint("leaf::phase::hydrating")?;
-                            server.hydrator =
-                                Some(Hydrator::spawn(&server.store, server.config.copy_threads));
+                            server.hydrator = Some(Hydrator::spawn(
+                                &server.store,
+                                server.config.copy_threads,
+                                server.config.hydration,
+                            ));
                             server.publish_memory_gauges();
                             return Ok((server, outcome));
                         }
@@ -1271,6 +1414,12 @@ impl LeafServer {
     /// `Alive`. Callers drive this from their event loop — queries take
     /// `&self`, so block swaps happen only here.
     pub fn poll_hydration(&mut self) -> LeafResult<usize> {
+        // A query may have condemned the attach (in-place CRC failure on
+        // first touch) — it could only record that; act on it here.
+        if let Some(reason) = self.hydrator.as_ref().and_then(|h| h.poison_reason()) {
+            self.fall_back_from_hydration(reason)?;
+            return Ok(0);
+        }
         loop {
             let received = match self.hydrator.as_ref() {
                 None => return Ok(0),
@@ -1295,8 +1444,16 @@ impl LeafServer {
     }
 
     /// Block until hydration is complete (or has fallen back to disk).
-    /// The leaf is `Alive` with zero shm-resident bytes afterwards.
+    /// The leaf is `Alive` with zero shm-resident bytes afterwards. Under
+    /// [`HydrationMode::OnAccess`] this first releases every parked block
+    /// to the workers — the "drain the lazy leaf" operation.
     pub fn finish_hydration(&mut self) -> LeafResult<()> {
+        if let Some(reason) = self.hydrator.as_ref().and_then(|h| h.poison_reason()) {
+            return self.fall_back_from_hydration(reason);
+        }
+        if let Some(h) = self.hydrator.as_ref() {
+            h.queue.release_all();
+        }
         loop {
             let received = match self.hydrator.as_ref() {
                 None => return Ok(()),
@@ -1354,6 +1511,7 @@ impl LeafServer {
     /// the synced prefix survives.
     fn fall_back_from_hydration(&mut self, reason: String) -> LeafResult<()> {
         if let Some(h) = self.hydrator.take() {
+            h.queue.close(); // wake workers blocked on parked jobs
             drop(h.rx); // workers' sends now fail; they exit
             for worker in h.workers {
                 let _ = worker.join();
@@ -1490,7 +1648,12 @@ impl LeafServer {
         Ok(())
     }
 
-    /// Execute a query against this leaf's fraction of the table.
+    /// Execute a query against this leaf's fraction of the table, on the
+    /// vectorized scan path (in-place over mapped blocks — no hydration
+    /// forced). On a `Hydrating` leaf the touched mapped blocks are
+    /// CRC-verified first (first touch only) and jump the hydration
+    /// queue; a verification failure fails the query and condemns the
+    /// attach at the next [`Self::poll_hydration`].
     pub fn query(&self, query: &Query) -> LeafResult<LeafQueryResult> {
         if !self.phase.accepts_queries() {
             return Err(LeafError::Unavailable {
@@ -1498,10 +1661,23 @@ impl LeafServer {
                 phase: self.phase.name(),
             });
         }
-        match self.store.map().get(&query.table) {
-            None => Ok(LeafQueryResult::empty()),
-            Some(t) => Ok(execute(t, query)?),
+        let Some(t) = self.store.map().get(&query.table) else {
+            return Ok(LeafQueryResult::empty());
+        };
+        if let Some(h) = self.hydrator.as_ref() {
+            h.touch(t, query)
+                .map_err(|reason| LeafError::Query(format!("mapped scan condemned: {reason}")))?;
         }
+        let scan = Instant::now();
+        let result = execute_vectorized(t, query)?;
+        if scuba_obs::enabled() {
+            scuba_obs::histogram!("query_scan_ns")
+                .observe(scan.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+            scuba_obs::counter!("query_rows_scanned_total").add(result.rows_scanned);
+            scuba_obs::counter!("query_blocks_zonemap_pruned_total")
+                .add(result.blocks_zonemap_pruned);
+        }
+        Ok(result)
     }
 
     /// Apply retention limits (blocked during shutdown: Figure 5(c) kills
@@ -1528,8 +1704,11 @@ impl LeafServer {
             // later disk recovery resurrects expired rows, and the crash
             // path's memory↔disk prefix correspondence breaks.
             let table = self.store.map().get(name).expect("expired above");
-            let result = Self::materialize_rows_from(table, 0)
-                .and_then(|rows| self.disk.rewrite_table(name, &rows).map_err(|e| e.to_string()));
+            let result = Self::materialize_rows_from(table, 0).and_then(|rows| {
+                self.disk
+                    .rewrite_table(name, &rows)
+                    .map_err(|e| e.to_string())
+            });
             if let Err(reason) = result {
                 // The rows already left memory; failing the request can't
                 // undo that. Degrade the crash path instead: with the log
@@ -1769,6 +1948,7 @@ impl LeafServer {
         // so their sends fail and they exit; their mapped references (and
         // the store's) drop, unlinking the segments.
         if let Some(h) = self.hydrator.take() {
+            h.queue.close();
             drop(h.rx);
             for worker in h.workers {
                 let _ = worker.join();
@@ -2268,6 +2448,129 @@ mod tests {
         assert!(matches!(outcome, RecoveryOutcome::MemoryAttached(_)));
         assert_eq!(s2.phase(), LeafPhase::Alive);
         assert!(!s2.is_hydrating());
+    }
+
+    /// Tentpole acceptance: under OnAccess, a cold (never-queried) table
+    /// keeps every byte mapped — zero copies — while results stay
+    /// identical to the eager path, and query-touched blocks jump the
+    /// hydration queue.
+    #[test]
+    fn on_access_hydrates_only_what_queries_touch() {
+        let _l = HYDRATE_LOCK.lock().unwrap();
+        let (mut cfg, dir) = test_config("lazyhyd");
+        cfg.restore_mode = RestoreMode::TwoPhase;
+        cfg.hydration = HydrationMode::OnAccess;
+        let mut s = LeafServer::new(cfg.clone()).unwrap();
+        let _c = Cleanup(s.namespace().clone(), dir);
+        fill(&mut s, 600); // "logs": the hot table
+        let cold: Vec<Row> = (0..400).map(|i| Row::at(i).with("v", i)).collect();
+        s.add_rows("archive", &cold, 0).unwrap();
+        let q_hot = Query::new("logs", 0, 1000)
+            .group_by("sev")
+            .aggregates(vec![AggSpec::Count, AggSpec::Sum("code".into())]);
+        let q_cold = Query::new("archive", 0, 1000).aggregates(vec![AggSpec::Sum("v".into())]);
+        let want_hot = result_fingerprint(&s.query(&q_hot).unwrap());
+        let want_cold = result_fingerprint(&s.query(&q_cold).unwrap());
+        s.shutdown_to_shm(0).unwrap();
+        drop(s);
+
+        let (mut s2, outcome) = LeafServer::start(cfg, 0, None).unwrap();
+        assert!(matches!(outcome, RecoveryOutcome::MemoryAttached(_)));
+        assert_eq!(s2.phase(), LeafPhase::Hydrating);
+        let total_blocks = s2.hydration_pending();
+        let cold_blocks = s2.store().map().get("archive").unwrap().blocks().len();
+        assert!(total_blocks > cold_blocks);
+
+        // Nothing hydrates until a query touches it: everything parked.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(s2.poll_hydration().unwrap(), total_blocks);
+
+        // Query the hot table: identical answer, served from mapped
+        // bytes, and exactly its blocks released to the workers.
+        assert_eq!(result_fingerprint(&s2.query(&q_hot).unwrap()), want_hot);
+        loop {
+            let pending = s2.poll_hydration().unwrap();
+            if pending <= cold_blocks {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        // The cold table was never copied: every byte still mapped.
+        assert!(s2
+            .store()
+            .map()
+            .get("archive")
+            .unwrap()
+            .blocks()
+            .iter()
+            .all(|b| b.columns().iter().all(|c| c.is_mapped())));
+        assert!(s2.shm_resident() > 0);
+        // ... and still answers identically, in place.
+        assert_eq!(result_fingerprint(&s2.query(&q_cold).unwrap()), want_cold);
+
+        // Draining releases the parked remainder.
+        s2.finish_hydration().unwrap();
+        assert_eq!(s2.phase(), LeafPhase::Alive);
+        assert_eq!(s2.shm_resident(), 0);
+        assert_eq!(result_fingerprint(&s2.query(&q_cold).unwrap()), want_cold);
+        assert_eq!(s2.total_rows(), 1000);
+    }
+
+    /// Satellite: a query that scans a corrupt mapped block fails (the
+    /// first-touch CRC catches it), and the recorded poison turns into
+    /// the full disk fallback at the next poll — data intact from disk.
+    #[test]
+    fn query_over_corrupt_mapped_block_fails_then_falls_back() {
+        let _l = HYDRATE_LOCK.lock().unwrap();
+        let (mut cfg, dir) = test_config("lazycrc");
+        cfg.restore_mode = RestoreMode::TwoPhase;
+        cfg.hydration = HydrationMode::OnAccess; // workers stay parked: no racing hydrator
+        let mut s = LeafServer::new(cfg.clone()).unwrap();
+        let _c = Cleanup(s.namespace().clone(), dir);
+        fill(&mut s, 800);
+        s.shutdown_to_shm(0).unwrap();
+        drop(s);
+
+        // Same corruption shape as hydration_crc_mismatch_falls_back_to_disk:
+        // a payload byte inside the fattest column chunk's data region.
+        let ns = scuba_shmem::ShmNamespace::new(&cfg.shm_prefix, cfg.leaf_id).unwrap();
+        let mut seg = scuba_shmem::ShmSegment::open(&ns.table_segment_name(0)).unwrap();
+        let buf = seg.as_mut_slice();
+        use scuba_restart::framing::{decode_header_v2, FRAME_HEADER_V2, TAG_END};
+        let mut pos = 0usize;
+        let mut fattest = (0usize, 0usize);
+        loop {
+            let (desc, len, _crc) = decode_header_v2(&buf[pos..pos + FRAME_HEADER_V2]);
+            if desc.tag == TAG_END {
+                break;
+            }
+            let payload = pos + FRAME_HEADER_V2;
+            if desc.tag == crate::persist::TAG_COLUMN && len as usize > fattest.1 {
+                fattest = (payload, len as usize);
+            }
+            pos = payload + len as usize;
+        }
+        assert!(fattest.1 > 0, "no column chunk found");
+        let rbc = &mut buf[fattest.0..fattest.0 + fattest.1];
+        let data_off = u64::from_le_bytes(rbc[48..56].try_into().unwrap()) as usize;
+        let footer_off = u64::from_le_bytes(rbc[56..64].try_into().unwrap()) as usize;
+        rbc[(data_off + footer_off) / 2] ^= 0xFF;
+        drop(seg);
+
+        let (mut s2, outcome) = LeafServer::start(cfg, 0, None).unwrap();
+        assert!(matches!(outcome, RecoveryOutcome::MemoryAttached(_)));
+        let q = Query::new("logs", 0, 1000);
+        let err = s2.query(&q).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+        // The poison condemns the attach at the next poll.
+        assert_eq!(s2.poll_hydration().unwrap(), 0);
+        assert_eq!(s2.phase(), LeafPhase::Alive);
+        let reason = s2.hydration_fallback_reason().expect("fallback recorded");
+        assert!(reason.contains("checksum"), "{reason}");
+        // Disk recovery restored everything; queries serve heap bytes.
+        assert_eq!(s2.total_rows(), 800);
+        assert_eq!(s2.shm_resident(), 0);
+        assert_eq!(s2.query(&q).unwrap().rows_matched, 800);
     }
 
     fn crash_config(tag: &str) -> (LeafConfig, PathBuf) {

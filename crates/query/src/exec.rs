@@ -23,6 +23,8 @@ pub struct LeafQueryResult {
     pub rows_scanned: u64,
     /// Row blocks skipped by the min/max-timestamp pruning.
     pub blocks_pruned: u64,
+    /// Row blocks skipped by zone-map statistics on filter columns.
+    pub blocks_zonemap_pruned: u64,
     /// Row blocks actually decoded.
     pub blocks_scanned: u64,
 }
@@ -35,6 +37,7 @@ impl LeafQueryResult {
             rows_matched: 0,
             rows_scanned: 0,
             blocks_pruned: 0,
+            blocks_zonemap_pruned: 0,
             blocks_scanned: 0,
         }
     }
@@ -45,17 +48,11 @@ pub fn execute(table: &Table, query: &Query) -> StoreResult<LeafQueryResult> {
     debug_assert_eq!(table.name(), query.table);
     let mut result = LeafQueryResult::empty();
 
-    let total_blocks = table.blocks().len() as u64;
-    let blocks = table.blocks_in_range(query.time_from, query.time_to)?;
-    // blocks_in_range may add a snapshot of unsealed rows; pruned counts
-    // sealed blocks only.
-    result.blocks_pruned = total_blocks.saturating_sub(
-        blocks
-            .iter()
-            .filter(|b| table.blocks().iter().any(|s| std::sync::Arc::ptr_eq(s, b)))
-            .count() as u64,
-    );
-    result.blocks_scanned = blocks.len() as u64;
+    let plan = crate::plan::plan_scan(table, query)?;
+    result.blocks_pruned = plan.blocks_pruned;
+    result.blocks_zonemap_pruned = plan.blocks_zonemap_pruned;
+    result.blocks_scanned = plan.blocks.len() as u64;
+    let blocks = plan.blocks;
 
     let touched = query.touched_columns();
 

@@ -72,7 +72,7 @@ impl Filter {
     }
 }
 
-fn cmp_ord(op: CmpOp, ord: Option<std::cmp::Ordering>) -> bool {
+pub(crate) fn cmp_ord(op: CmpOp, ord: Option<std::cmp::Ordering>) -> bool {
     use std::cmp::Ordering::*;
     let Some(ord) = ord else {
         return false; // NaN comparisons

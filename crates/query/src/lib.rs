@@ -5,8 +5,14 @@
 //! filters, almost always carrying a time predicate that drives row-block
 //! pruning (§2.1). The engine is split the way Figure 1 splits it:
 //!
-//! * [`exec`] — leaf-local execution: prune blocks by time range, decode
-//!   only the touched columns, filter, group, aggregate.
+//! * [`plan`] — shared block selection: time-range pruning plus per-block
+//!   zone-map (min/max) pruning on filter columns.
+//! * [`exec`] — row-wise leaf-local execution: decode the touched columns
+//!   of surviving blocks, filter, group, aggregate. Kept as the
+//!   differential oracle for the vectorized path.
+//! * [`vectorized`] — the production scan path: columnar filter kernels
+//!   over in-place [`scuba_columnstore::ColumnView`]s and selection
+//!   vectors; `Value` boxing only for selected rows.
 //! * [`partial`] — aggregator-side merging: "Scuba can and does return
 //!   partial query results when not all servers are available" (§1), so a
 //!   merged result carries the fraction of leaves that contributed.
@@ -17,7 +23,9 @@ pub mod expr;
 pub mod histogram;
 pub mod parse;
 pub mod partial;
+pub mod plan;
 pub mod query;
+pub mod vectorized;
 
 pub use agg::{AggSpec, AggState, DistinctValue};
 pub use exec::{execute, LeafQueryResult};
@@ -25,4 +33,6 @@ pub use expr::{CmpOp, Filter};
 pub use histogram::LogHistogram;
 pub use parse::{parse_query, ParseError};
 pub use partial::{merge_partials, MergedResult};
+pub use plan::{plan_scan, ScanPlan};
 pub use query::{GroupKey, Query};
+pub use vectorized::execute_vectorized;

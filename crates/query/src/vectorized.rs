@@ -1,0 +1,458 @@
+//! Vectorized leaf-local query execution.
+//!
+//! Same plan shape as [`crate::exec::execute`] — prune blocks, filter,
+//! fold into per-group aggregate states — but predicates run as columnar
+//! kernels over [`ColumnView`]s and u64-word selection vectors instead of
+//! boxing one [`Value`] per cell:
+//!
+//! * integers and doubles filter over dense typed arrays
+//!   ([`scan::sel_retain`]), nulls handled by the presence bitmap,
+//! * string filters evaluate once per *dictionary entry*
+//!   ([`scan::DictMask`]) and then compare packed ids — never
+//!   materializing row strings; all-match/none-match dictionaries skip the
+//!   id pass entirely,
+//! * `Value` boxing only happens for **selected** rows, when folding group
+//!   keys and aggregate inputs.
+//!
+//! Views are built straight from the encoded buffers, so mapped
+//! (shm-resident) blocks are scanned in place. The row-wise executor stays
+//! as the differential oracle: for every query both paths must produce
+//! identical results, including scan statistics — see the tests here and
+//! `tests/differential.rs`.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+use scuba_columnstore::scan::{
+    self, sel_all, sel_clear, sel_count, sel_for_each, sel_is_empty, DictMask,
+};
+use scuba_columnstore::{ColumnView, Result as StoreResult, RowBlock, Table, Value, TIME_COLUMN};
+
+use crate::exec::LeafQueryResult;
+use crate::expr::{cmp_ord, CmpOp, Filter};
+use crate::query::{GroupKey, Query};
+
+/// Rows folded per batch: selection words are walked in chunks this big so
+/// the fold's working set (group-key lookups, aggregate updates) stays
+/// cache-resident.
+const BATCH_ROWS: usize = 1024;
+const BATCH_WORDS: usize = BATCH_ROWS / 64;
+
+/// Execute `query` over one leaf-local table fraction, vectorized.
+/// Differentially equal to [`crate::exec::execute`].
+pub fn execute_vectorized(table: &Table, query: &Query) -> StoreResult<LeafQueryResult> {
+    debug_assert_eq!(table.name(), query.table);
+    let mut result = LeafQueryResult::empty();
+    let plan = crate::plan::plan_scan(table, query)?;
+    result.blocks_pruned = plan.blocks_pruned;
+    result.blocks_zonemap_pruned = plan.blocks_zonemap_pruned;
+    result.blocks_scanned = plan.blocks.len() as u64;
+    for block in &plan.blocks {
+        scan_block(block, query, &mut result)?;
+    }
+    Ok(result)
+}
+
+/// Build (or fetch) the scan view for `name`; `None` when the block lacks
+/// the column (reads as all-null).
+fn cached_view<'a>(
+    cache: &'a mut HashMap<String, Option<ColumnView>>,
+    block: &RowBlock,
+    name: &str,
+) -> StoreResult<&'a Option<ColumnView>> {
+    if !cache.contains_key(name) {
+        let view = match block.column(name) {
+            None => None,
+            Some(col) => Some(ColumnView::build(col)?),
+        };
+        cache.insert(name.to_string(), view);
+    }
+    Ok(&cache[name])
+}
+
+/// How each aggregate reads its input during the fold.
+enum AggInput<'a> {
+    /// Count: the cell is ignored.
+    Count,
+    /// Column absent from this block: all-null input.
+    Missing,
+    /// Read the cell from a view (selected rows only).
+    View(&'a ColumnView),
+}
+
+/// How the fold computes the inner (pre-bucket) group key.
+enum GroupSource<'a> {
+    /// No group-by, or the group column is absent: every row is `Null`.
+    Constant,
+    /// Dictionary column: per-entry keys precomputed once, rows looked up
+    /// by id without materializing strings.
+    Dict {
+        view: &'a ColumnView,
+        keys: Vec<GroupKey>,
+    },
+    /// Any other view: box the cell and convert.
+    General(&'a ColumnView),
+}
+
+fn scan_block(block: &RowBlock, query: &Query, result: &mut LeafQueryResult) -> StoreResult<()> {
+    let rows = block.row_count();
+    if rows == 0 {
+        return Ok(());
+    }
+    result.rows_scanned += rows as u64;
+
+    let time_col = block
+        .column(TIME_COLUMN)
+        .expect("every block has a time column");
+    let time_view = ColumnView::build(time_col)?;
+    // Dense per-row timestamps with nulls as i64::MIN — the same
+    // substitution the row-wise path makes for range tests and bucketing.
+    // (TIME *filters* still see the real cell via the view's presence.)
+    let times: Vec<i64> = match &time_view {
+        ColumnView::Int64 {
+            presence: None,
+            values,
+        } => values.clone(),
+        _ => (0..rows)
+            .map(|r| time_view.value(r).as_int().unwrap_or(i64::MIN))
+            .collect(),
+    };
+
+    let mut cache: HashMap<String, Option<ColumnView>> = HashMap::new();
+    cache.insert(TIME_COLUMN.to_string(), Some(time_view));
+
+    // Selection = time range, then each filter, with an early exit the
+    // moment nothing survives.
+    let mut sel = sel_all(rows);
+    let (from, to) = (query.time_from, query.time_to);
+    scan::sel_retain(&mut sel, None, &times, |t| t >= from && t < to);
+    for f in &query.filters {
+        if sel_is_empty(&sel) {
+            break;
+        }
+        match cached_view(&mut cache, block, &f.column)? {
+            None => sel_clear(&mut sel),
+            Some(view) => apply_filter(&mut sel, view, f),
+        }
+    }
+    result.rows_matched += sel_count(&sel);
+    if sel_is_empty(&sel) {
+        return Ok(());
+    }
+
+    // Fold setup: resolve group and aggregate views from the cache, then
+    // borrow them immutably for the whole fold.
+    if let Some(g) = &query.group_by {
+        cached_view(&mut cache, block, g)?;
+    }
+    for a in &query.aggregates {
+        if let Some(c) = a.column() {
+            cached_view(&mut cache, block, c)?;
+        }
+    }
+    let group_source = match &query.group_by {
+        None => GroupSource::Constant,
+        Some(g) => match cache[g.as_str()].as_ref() {
+            None => GroupSource::Constant,
+            Some(view @ ColumnView::Dict { entries, .. }) => GroupSource::Dict {
+                view,
+                keys: entries.iter().map(|e| GroupKey::Str(e.clone())).collect(),
+            },
+            Some(view) => GroupSource::General(view),
+        },
+    };
+    let agg_inputs: Vec<AggInput<'_>> = query
+        .aggregates
+        .iter()
+        .map(|a| match a.column() {
+            None => AggInput::Count,
+            Some(c) => match cache[c].as_ref() {
+                None => AggInput::Missing,
+                Some(view) => AggInput::View(view),
+            },
+        })
+        .collect();
+
+    let groups: &mut BTreeMap<GroupKey, _> = &mut result.groups;
+    let one = Value::Int(1);
+    for (batch, words) in sel.chunks(BATCH_WORDS).enumerate() {
+        let base = batch * BATCH_ROWS;
+        sel_for_each(words, |r| {
+            let row = base + r;
+            let inner = match &group_source {
+                GroupSource::Constant => GroupKey::Null,
+                GroupSource::Dict { view, keys } => match view.dict_id(row) {
+                    Some(id) => keys[id as usize].clone(),
+                    None => GroupKey::Null,
+                },
+                GroupSource::General(view) => GroupKey::from_value(&view.value(row)),
+            };
+            let key = match query.bucket_secs {
+                None => inner,
+                Some(w) => {
+                    let t = times[row];
+                    GroupKey::Bucketed(t - t.rem_euclid(w), Box::new(inner))
+                }
+            };
+            let states = groups
+                .entry(key)
+                .or_insert_with(|| query.aggregates.iter().map(|a| a.new_state()).collect());
+            for (state, input) in states.iter_mut().zip(&agg_inputs) {
+                match input {
+                    AggInput::Count => state.update(&one),
+                    AggInput::Missing => state.update(&Value::Null),
+                    AggInput::View(view) => state.update(&view.value(row)),
+                }
+            }
+        });
+    }
+    Ok(())
+}
+
+/// AND `sel` with one filter over a typed view, without boxing values.
+/// Must decide exactly as [`Filter::matches`] over the boxed cell.
+fn apply_filter(sel: &mut [u64], view: &ColumnView, f: &Filter) {
+    let op = f.op;
+    match view {
+        ColumnView::Int64 { presence, values } => match &f.literal {
+            Value::Int(b) => {
+                let b = *b;
+                scan::sel_retain(sel, presence.as_ref(), values, |v| {
+                    cmp_ord(op, v.partial_cmp(&b))
+                });
+            }
+            Value::Double(b) => {
+                let b = *b;
+                scan::sel_retain(sel, presence.as_ref(), values, |v| {
+                    cmp_ord(op, (v as f64).partial_cmp(&b))
+                });
+            }
+            _ => sel_clear(sel),
+        },
+        ColumnView::Double { presence, values } => match &f.literal {
+            Value::Double(b) => {
+                let b = *b;
+                scan::sel_retain(sel, presence.as_ref(), values, |v| {
+                    cmp_ord(op, v.partial_cmp(&b))
+                });
+            }
+            Value::Int(b) => {
+                let b = *b as f64;
+                scan::sel_retain(sel, presence.as_ref(), values, |v| {
+                    cmp_ord(op, v.partial_cmp(&b))
+                });
+            }
+            _ => sel_clear(sel),
+        },
+        ColumnView::Dict {
+            presence,
+            ids,
+            entries,
+        } => match &f.literal {
+            Value::Str(b) => {
+                let mask = DictMask::build(entries, |e| match op {
+                    CmpOp::Contains => e.contains(b.as_str()),
+                    _ => cmp_ord(op, e.partial_cmp(b.as_str())),
+                });
+                if mask.none_match() {
+                    sel_clear(sel);
+                } else if mask.all_match() {
+                    // Every present value matches: selection reduces to
+                    // the presence test.
+                    if let Some(p) = presence {
+                        for (s, pw) in sel.iter_mut().zip(p.words()) {
+                            *s &= pw;
+                        }
+                    }
+                } else {
+                    scan::sel_retain(sel, presence.as_ref(), ids, |id| mask.matches(id));
+                }
+            }
+            _ => sel_clear(sel),
+        },
+        // String sets have no ordered encoding to exploit: evaluate the
+        // row-wise predicate per selected row.
+        ColumnView::StrSet(data) => {
+            for (w, word) in sel.iter_mut().enumerate() {
+                let mut keep = 0u64;
+                let mut bits = *word;
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    if f.matches(&data.get(w * 64 + b)) {
+                        keep |= 1u64 << b;
+                    }
+                }
+                *word = keep;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggSpec;
+    use crate::exec::execute;
+    use scuba_columnstore::Row;
+
+    fn assert_same(table: &Table, q: &Query) {
+        let row_wise = execute(table, q).unwrap();
+        let vec_wise = execute_vectorized(table, q).unwrap();
+        assert_eq!(row_wise, vec_wise, "query {q:?}");
+    }
+
+    /// Rows with every column type, nulls, and multiple sealed blocks.
+    fn mixed_table() -> Table {
+        let mut t = Table::new("t", 0);
+        for epoch in 0..3i64 {
+            for i in 0..50 {
+                let n = epoch * 50 + i;
+                let mut row = Row::at(epoch * 1000 + i);
+                if n % 3 != 0 {
+                    row.set("status", if n % 2 == 0 { 200i64 } else { 500 });
+                }
+                if n % 4 != 0 {
+                    row.set("latency", n as f64 / 3.0);
+                }
+                if n % 5 != 4 {
+                    row.set("host", format!("host-{}", n % 7));
+                }
+                if n % 6 == 0 {
+                    row.set(
+                        "tags",
+                        Value::StrSet(vec![format!("t{}", n % 3), "common".into()]),
+                    );
+                }
+                t.append(&row, 0).unwrap();
+            }
+            t.seal(0).unwrap();
+        }
+        // Leave some rows unsealed so the snapshot block is exercised.
+        for i in 0..10i64 {
+            t.append(&Row::at(3000 + i).with("status", 200i64), 0)
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn matches_row_wise_on_filters() {
+        let t = mixed_table();
+        for q in [
+            Query::new("t", 0, 5000),
+            Query::new("t", 0, 5000).filter(Filter::new("status", CmpOp::Eq, 500i64)),
+            Query::new("t", 0, 5000).filter(Filter::new("status", CmpOp::Ne, 200i64)),
+            Query::new("t", 0, 5000).filter(Filter::new("latency", CmpOp::Lt, 10.5f64)),
+            Query::new("t", 0, 5000).filter(Filter::new("latency", CmpOp::Ge, 20i64)),
+            Query::new("t", 0, 5000).filter(Filter::new("status", CmpOp::Le, 350.0f64)),
+            Query::new("t", 0, 5000).filter(Filter::new("host", CmpOp::Eq, "host-3")),
+            Query::new("t", 0, 5000).filter(Filter::new("host", CmpOp::Contains, "ost-5")),
+            Query::new("t", 0, 5000).filter(Filter::new("host", CmpOp::Lt, "host-2")),
+            Query::new("t", 0, 5000).filter(Filter::new("tags", CmpOp::Contains, "common")),
+            Query::new("t", 0, 5000).filter(Filter::new("tags", CmpOp::Contains, "t1")),
+            Query::new("t", 0, 5000).filter(Filter::new("nope", CmpOp::Eq, 1i64)),
+            Query::new("t", 0, 5000).filter(Filter::new("host", CmpOp::Eq, 7i64)),
+            Query::new("t", 0, 5000).filter(Filter::new(TIME_COLUMN, CmpOp::Lt, 25i64)),
+            Query::new("t", 1000, 2050)
+                .filter(Filter::new("status", CmpOp::Eq, 200i64))
+                .filter(Filter::new("host", CmpOp::Ne, "host-1")),
+        ] {
+            assert_same(&t, &q);
+        }
+    }
+
+    #[test]
+    fn matches_row_wise_on_groups_and_aggregates() {
+        let t = mixed_table();
+        for q in [
+            Query::new("t", 0, 5000).group_by("host"),
+            Query::new("t", 0, 5000).group_by("status").aggregates(vec![
+                AggSpec::Count,
+                AggSpec::Avg("latency".into()),
+                AggSpec::Max("latency".into()),
+                AggSpec::Min(TIME_COLUMN.into()),
+            ]),
+            Query::new("t", 0, 5000).group_by("tags"),
+            Query::new("t", 0, 5000).group_by("latency"),
+            Query::new("t", 0, 5000).group_by("nope"),
+            Query::new("t", 0, 5000)
+                .bucket_secs(500)
+                .group_by("host")
+                .aggregates(vec![AggSpec::Count, AggSpec::Sum("status".into())]),
+            Query::new("t", 0, 5000)
+                .filter(Filter::new("status", CmpOp::Eq, 200i64))
+                .bucket_secs(1000)
+                .aggregates(vec![
+                    AggSpec::p50("latency"),
+                    AggSpec::CountDistinct("host".into()),
+                ]),
+        ] {
+            assert_same(&t, &q);
+        }
+    }
+
+    #[test]
+    fn matches_row_wise_over_mapped_blocks() {
+        let t = mixed_table();
+        let mapped_blocks = t
+            .blocks()
+            .iter()
+            .map(|b| std::sync::Arc::new(scan::remap_block(b).unwrap()))
+            .collect();
+        let tm = Table::from_blocks("t", mapped_blocks, 0);
+        for q in [
+            Query::new("t", 0, 5000)
+                .filter(Filter::new("host", CmpOp::Contains, "ost-5"))
+                .group_by("status")
+                .aggregates(vec![AggSpec::Count, AggSpec::Avg("latency".into())]),
+            Query::new("t", 0, 2050).filter(Filter::new("latency", CmpOp::Gt, 5.0f64)),
+        ] {
+            // Mapped vs heap backing must not change results either.
+            let heap_sealed = Table::from_blocks("t", t.blocks().to_vec(), 0);
+            assert_eq!(
+                execute(&heap_sealed, &q).unwrap(),
+                execute_vectorized(&tm, &q).unwrap()
+            );
+            assert_same(&tm, &q);
+        }
+    }
+
+    #[test]
+    fn pruning_stats_match_row_wise() {
+        let t = mixed_table();
+        // Time pruning and zone pruning paths both exercised.
+        for q in [
+            Query::new("t", 1000, 1050),
+            Query::new("t", 0, 5000).filter(Filter::new("status", CmpOp::Gt, 1000i64)),
+            Query::new("t", 0, 5000).filter(Filter::new("host", CmpOp::Eq, "zzz")),
+        ] {
+            let a = execute(&t, &q).unwrap();
+            let b = execute_vectorized(&t, &q).unwrap();
+            assert_eq!(a.blocks_pruned, b.blocks_pruned);
+            assert_eq!(a.blocks_zonemap_pruned, b.blocks_zonemap_pruned);
+            assert_eq!(a.blocks_scanned, b.blocks_scanned);
+            assert_eq!(a.rows_scanned, b.rows_scanned);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn float_aggregation_is_bit_identical() {
+        // Same fold order => identical float accumulation, not just close.
+        let mut t = Table::new("t", 0);
+        for i in 0..1000i64 {
+            t.append(
+                &Row::at(i).with("x", (i as f64) * 0.1 + 1e-7 * ((i * 37) % 11) as f64),
+                0,
+            )
+            .unwrap();
+        }
+        t.seal(0).unwrap();
+        let q = Query::new("t", 0, 1000)
+            .aggregates(vec![AggSpec::Sum("x".into()), AggSpec::Avg("x".into())]);
+        let a = execute(&t, &q).unwrap();
+        let b = execute_vectorized(&t, &q).unwrap();
+        assert_eq!(a, b);
+    }
+}

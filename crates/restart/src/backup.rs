@@ -203,7 +203,12 @@ pub fn backup_to_shm_with<S: ShmPersistable>(
     let initial_footprint = store.heap_bytes();
     let tracker = FootprintTracker::new(initial_footprint);
     let unit_names = store.unit_names();
-    let threads = options.resolved_threads().clamp(1, unit_names.len().max(1));
+    // Size the pool against the estimated payload: small leaves fall back
+    // to the sequential path, where pool startup would dominate the copy.
+    let total_estimated: usize = unit_names.iter().map(|u| store.estimate_unit_size(u)).sum();
+    let threads = options
+        .threads_for_bytes(total_estimated)
+        .clamp(1, unit_names.len().max(1));
 
     // Stale state from a previous crashed attempt must not block us: the
     // metadata region is recreated from scratch (valid bit false).
@@ -844,7 +849,7 @@ mod tests {
             &mut store,
             &ns,
             crate::SHM_LAYOUT_VERSION,
-            CopyOptions::with_threads(8),
+            CopyOptions::with_threads(8).without_size_clamp(),
         )
         .unwrap_err();
         assert!(matches!(err, BackupError::Store(_)));
@@ -912,7 +917,7 @@ mod tests {
             &mut store,
             &ns,
             crate::SHM_LAYOUT_VERSION,
-            CopyOptions::with_threads(4),
+            CopyOptions::with_threads(4).without_size_clamp(),
         )
         .unwrap();
         // The env override (CI matrix) may repin the pool; either way the
@@ -926,6 +931,31 @@ mod tests {
             "peak {} vs initial {}",
             report.peak_footprint,
             initial
+        );
+    }
+
+    #[test]
+    fn small_backups_fall_back_to_sequential() {
+        // Regression: a few-MB leaf must not pay worker-pool startup —
+        // 4 configured threads used to make a 7.5 MB backup ~8x slower
+        // than 1 thread. (Meaningless under an env pin, which bypasses
+        // the clamp by design.)
+        if std::env::var(crate::copy::COPY_THREADS_ENV).is_ok() {
+            return;
+        }
+        let ns = test_ns();
+        let _c = Cleanup(ns.clone());
+        let mut store = ToyStore::seeded(7, 6, 4, 2048); // ~50 KB total
+        let report = backup_to_shm_with(
+            &mut store,
+            &ns,
+            crate::SHM_LAYOUT_VERSION,
+            CopyOptions::with_threads(4),
+        )
+        .unwrap();
+        assert_eq!(
+            report.threads, 1,
+            "small input must use the sequential path"
         );
     }
 }

@@ -9,25 +9,76 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// [`CopyOptions::threads`]; `0` or garbage is ignored.
 pub const COPY_THREADS_ENV: &str = "SCUBA_COPY_THREADS";
 
+/// Default [`CopyOptions::min_bytes_per_thread`]: one worker per 8 MiB of
+/// estimated payload. Below that, pool startup plus channel handoff costs
+/// more than the copy itself (a 7.5 MB leaf backed up ~8x *slower* on 4
+/// threads than on 1 before this clamp existed).
+pub const DEFAULT_MIN_BYTES_PER_THREAD: usize = 8 << 20;
+
 /// Tuning knobs for the Figure 6/7 copy loops.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CopyOptions {
     /// Worker threads for the per-unit copy. `0` means auto
     /// ([`default_copy_threads`]); `1` forces the sequential path. The
     /// [`COPY_THREADS_ENV`] environment variable overrides this.
     pub threads: usize,
+    /// Minimum estimated payload bytes per worker: the pool shrinks until
+    /// every worker has at least this much to copy, falling back to the
+    /// sequential path for small leaves. `0` disables the clamp; a
+    /// [`COPY_THREADS_ENV`] pin also bypasses it (an explicit env override
+    /// means "use exactly this many", e.g. the CI thread matrix).
+    pub min_bytes_per_thread: usize,
+}
+
+impl Default for CopyOptions {
+    fn default() -> CopyOptions {
+        CopyOptions {
+            threads: 0,
+            min_bytes_per_thread: DEFAULT_MIN_BYTES_PER_THREAD,
+        }
+    }
 }
 
 impl CopyOptions {
     /// Options with an explicit thread count (`0` = auto).
     pub fn with_threads(threads: usize) -> CopyOptions {
-        CopyOptions { threads }
+        CopyOptions {
+            threads,
+            ..CopyOptions::default()
+        }
+    }
+
+    /// Disable the bytes-per-worker clamp (tests and benches that need a
+    /// parallel pool over deliberately tiny fixtures).
+    pub fn without_size_clamp(mut self) -> CopyOptions {
+        self.min_bytes_per_thread = 0;
+        self
     }
 
     /// The worker count after applying the env override and auto default.
     pub fn resolved_threads(&self) -> usize {
         resolve_copy_threads(self.threads)
     }
+
+    /// The worker count for a run copying an estimated `total_bytes`:
+    /// [`Self::resolved_threads`] shrunk so each worker gets at least
+    /// [`Self::min_bytes_per_thread`] of payload.
+    pub fn threads_for_bytes(&self, total_bytes: usize) -> usize {
+        let threads = self.resolved_threads();
+        if self.min_bytes_per_thread == 0 || env_copy_threads().is_some() {
+            return threads;
+        }
+        threads.min((total_bytes / self.min_bytes_per_thread).max(1))
+    }
+}
+
+/// The [`COPY_THREADS_ENV`] override, if set to a positive integer.
+pub fn env_copy_threads() -> Option<usize> {
+    std::env::var(COPY_THREADS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .map(|n| n.min(64))
 }
 
 /// Default worker count: one per core, capped at 4. The copy is memory-
@@ -43,12 +94,8 @@ pub fn default_copy_threads() -> usize {
 /// Resolve a configured thread count: env override, then the configured
 /// value, then the auto default. Clamped to 64 as a sanity bound.
 pub fn resolve_copy_threads(configured: usize) -> usize {
-    if let Ok(v) = std::env::var(COPY_THREADS_ENV) {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n > 0 {
-                return n.min(64);
-            }
-        }
+    if let Some(n) = env_copy_threads() {
+        return n;
     }
     if configured > 0 {
         return configured.min(64);
@@ -146,6 +193,23 @@ mod tests {
             let auto = resolve_copy_threads(0);
             assert!((1..=4).contains(&auto), "auto = {auto}");
             assert_eq!(resolve_copy_threads(1000), 64);
+        }
+    }
+
+    #[test]
+    fn byte_clamp_shrinks_small_pools() {
+        // The e1 regression shape: a ~7.5 MB leaf must not fan out.
+        if std::env::var(COPY_THREADS_ENV).is_err() {
+            let opts = CopyOptions::with_threads(4);
+            assert_eq!(opts.threads_for_bytes(7_500_000), 1);
+            assert_eq!(opts.threads_for_bytes(DEFAULT_MIN_BYTES_PER_THREAD * 2), 2);
+            assert_eq!(
+                opts.threads_for_bytes(DEFAULT_MIN_BYTES_PER_THREAD * 100),
+                4
+            );
+            assert_eq!(opts.threads_for_bytes(0), 1);
+            // Opting out restores the configured count.
+            assert_eq!(opts.without_size_clamp().threads_for_bytes(1), 4);
         }
     }
 

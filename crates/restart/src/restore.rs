@@ -1234,8 +1234,13 @@ mod tests {
             let ns = test_ns();
             let _c = Cleanup(ns.clone());
             let mut store = original.clone();
-            let bak =
-                backup_to_shm_with(&mut store, &ns, V, CopyOptions::with_threads(threads)).unwrap();
+            let bak = backup_to_shm_with(
+                &mut store,
+                &ns,
+                V,
+                CopyOptions::with_threads(threads).without_size_clamp(),
+            )
+            .unwrap();
             assert!(store.units.is_empty());
             assert_eq!(bak.chunks, seq_bak.chunks, "threads={threads}");
             assert_eq!(bak.bytes_copied, seq_bak.bytes_copied, "threads={threads}");

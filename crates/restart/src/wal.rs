@@ -68,7 +68,10 @@ impl std::fmt::Display for WalError {
             WalError::Io(e) => write!(f, "wal i/o error: {e}"),
             WalError::Injected { site } => write!(f, "injected fault at {site:?}"),
             WalError::RecordTooLarge { len } => {
-                write!(f, "wal record payload of {len} bytes exceeds {MAX_RECORD_LEN}")
+                write!(
+                    f,
+                    "wal record payload of {len} bytes exceeds {MAX_RECORD_LEN}"
+                )
             }
         }
     }
@@ -211,9 +214,7 @@ impl WalWriter {
             });
         }
         if payload.len() > MAX_RECORD_LEN {
-            return Err(WalError::RecordTooLarge {
-                len: payload.len(),
-            });
+            return Err(WalError::RecordTooLarge { len: payload.len() });
         }
         let mut frame = Vec::with_capacity(WAL_RECORD_HEADER + payload.len());
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());

@@ -130,7 +130,13 @@ fn worker_chunk_error_aborts_backup_and_cleans_up() {
     scuba_faults::configure("restart::backup::chunk", "error@5").unwrap();
 
     let mut store = ParStore::with_units(8, 3, 512);
-    let err = backup_to_shm_with(&mut store, &ns, V, CopyOptions::with_threads(4)).unwrap_err();
+    let err = backup_to_shm_with(
+        &mut store,
+        &ns,
+        V,
+        CopyOptions::with_threads(4).without_size_clamp(),
+    )
+    .unwrap_err();
     assert!(scuba_faults::triggered("restart::backup::chunk") > 0);
     scuba_faults::clear_all();
     // The sink error propagates through the store's serialization loop,
@@ -150,7 +156,13 @@ fn worker_short_write_aborts_backup_and_cleans_up() {
     scuba_faults::configure("restart::backup::chunk", "short=4@6").unwrap();
 
     let mut store = ParStore::with_units(6, 4, 256);
-    let err = backup_to_shm_with(&mut store, &ns, V, CopyOptions::with_threads(4)).unwrap_err();
+    let err = backup_to_shm_with(
+        &mut store,
+        &ns,
+        V,
+        CopyOptions::with_threads(4).without_size_clamp(),
+    )
+    .unwrap_err();
     scuba_faults::clear_all();
     assert!(err.to_string().contains("restart::backup::chunk"), "{err}");
     assert_no_shm(&ns);
@@ -165,12 +177,23 @@ fn worker_restore_chunk_error_falls_back_and_cleans_up() {
 
     let mut store = ParStore::with_units(8, 3, 512);
     let original = store.clone();
-    backup_to_shm_with(&mut store, &ns, V, CopyOptions::with_threads(4)).unwrap();
+    backup_to_shm_with(
+        &mut store,
+        &ns,
+        V,
+        CopyOptions::with_threads(4).without_size_clamp(),
+    )
+    .unwrap();
 
     scuba_faults::configure("restart::restore::chunk", "error@7").unwrap();
     let mut restored = ParStore::default();
-    let err =
-        restore_from_shm_with(&mut restored, &ns, V, CopyOptions::with_threads(4)).unwrap_err();
+    let err = restore_from_shm_with(
+        &mut restored,
+        &ns,
+        V,
+        CopyOptions::with_threads(4).without_size_clamp(),
+    )
+    .unwrap_err();
     scuba_faults::clear_all();
     let RestoreError::Fallback(fb) = err;
     assert!(fb.cleaned_up);
@@ -195,7 +218,13 @@ fn commit_failpoint_still_single_shot_under_parallelism() {
     scuba_faults::configure("restart::backup::commit", "error@1").unwrap();
 
     let mut store = ParStore::with_units(6, 2, 128);
-    let err = backup_to_shm_with(&mut store, &ns, V, CopyOptions::with_threads(4)).unwrap_err();
+    let err = backup_to_shm_with(
+        &mut store,
+        &ns,
+        V,
+        CopyOptions::with_threads(4).without_size_clamp(),
+    )
+    .unwrap_err();
     assert_eq!(scuba_faults::triggered("restart::backup::commit"), 1);
     scuba_faults::clear_all();
     assert!(matches!(err, BackupError::Shm(_)), "{err}");

@@ -115,7 +115,7 @@ proptest! {
         let _c = Cleanup(ns.clone());
         let original = store.clone();
         let mut store = store;
-        let opts = CopyOptions::with_threads(threads);
+        let opts = CopyOptions::with_threads(threads).without_size_clamp();
         let bak = backup_to_shm_with(&mut store, &ns, V, opts).unwrap();
         prop_assert!(store.units.is_empty());
 

@@ -108,6 +108,7 @@ fn paper_scale_simulation() {
             wal_bytes: 0,
             wal_replay_ns: 0,
             crash_fast_recoveries: 0,
+            on_access_blocks: 0,
         });
     }
     println!("{}", dashboard.render(10));
