@@ -38,9 +38,30 @@ impl BenchJson {
     fn write(&self) {
         let path =
             std::env::var("SCUBA_BENCH_JSON").unwrap_or_else(|_| "BENCH_restart.json".into());
-        let body = format!("[\n  {}\n]\n", self.entries.join(",\n  "));
+        // Keep other binaries' entries (e17 from exp_scan, e18 from
+        // exp_selfobs, ...) already in the archive; replace any prior run
+        // of the experiments this binary owns.
+        const OWNED: &[&str] = &["e1_", "e15_", "e16_"];
+        let mut kept: Vec<String> = Vec::new();
+        if let Ok(existing) = std::fs::read_to_string(&path) {
+            for line in existing.lines() {
+                let t = line.trim().trim_end_matches(',');
+                let owned = OWNED
+                    .iter()
+                    .any(|p| t.contains(&format!("\"experiment\":\"{p}")));
+                if t.starts_with('{') && !owned {
+                    kept.push(t.to_string());
+                }
+            }
+        }
+        kept.extend(self.entries.iter().cloned());
+        let body = format!("[\n  {}\n]\n", kept.join(",\n  "));
         std::fs::write(&path, body).expect("write BENCH_restart.json");
-        println!("\nwrote {} benchmark entries to {path}", self.entries.len());
+        println!(
+            "\nwrote {} benchmark entries to {path} ({} total)",
+            self.entries.len(),
+            kept.len()
+        );
     }
 }
 

@@ -6,9 +6,15 @@
 //!
 //! 1. the text exposition does not pass the `promtool check metrics`-style
 //!    lint (hand-coded scanner in `scuba-obs`, no regex crate), or
-//! 2. any instrumented restart phase reports zero accumulated duration —
+//! 2. any series in the JSON snapshot — the *full* live registry, not a
+//!    hardcoded list — has a malformed name or is missing from the text
+//!    exposition (the two dumps must describe the same registry), or
+//! 3. any instrumented restart phase reports zero accumulated duration —
 //!    a zero `restart_phase_nanos_total{op,phase}` counter after a real
-//!    backup + restore means an instrumentation point went dead.
+//!    backup + restore means an instrumentation point went dead, or
+//! 4. the SLO latency histograms (`leaf_ingest_latency_ns`,
+//!    `leaf_query_latency_ns`) are empty — the telemetry p50/p99/p999
+//!    quantile events would silently vanish.
 //!
 //! ```sh
 //! SCUBA_OBS_DIR=/tmp/obs cargo run --release -p scuba-bench --bin exp_restart_time
@@ -21,6 +27,10 @@ use std::process::exit;
 const BACKUP_PHASES: &[&str] = &["prepare", "extract", "encode", "crc", "shm_write", "commit"];
 const RESTORE_PHASES: &[&str] = &["open", "crc", "heap_copy", "decode", "install", "commit"];
 
+/// Latency histograms the telemetry pipeline derives p50/p99/p999 SLO
+/// events from; an empty one means an instrumentation point went dead.
+const SLO_HISTOGRAMS: &[&str] = &["leaf_ingest_latency_ns", "leaf_query_latency_ns"];
+
 /// Pull an unsigned integer value for `key` out of the JSON snapshot.
 /// Keys are full series names; quotes inside label values arrive escaped.
 fn json_u64(json: &str, key: &str) -> Option<u64> {
@@ -32,6 +42,95 @@ fn json_u64(json: &str, key: &str) -> Option<u64> {
         .take_while(char::is_ascii_digit)
         .collect();
     digits.parse().ok()
+}
+
+/// One series from the JSON snapshot: full key, section it appeared in,
+/// and (histograms only) the observation count.
+struct Series {
+    key: String,
+    section: &'static str,
+    hist_count: u64,
+}
+
+/// Walk every series in the snapshot. The dump is line-structured (one
+/// series per line under its section header), so no JSON parser needed.
+fn walk_snapshot(json: &str) -> Vec<Series> {
+    let mut out = Vec::new();
+    let mut section: &'static str = "";
+    for line in json.lines() {
+        let t = line.trim();
+        match t {
+            "\"counters\": {" => section = "counters",
+            "\"gauges\": {" => section = "gauges",
+            "\"histograms\": {" => section = "histograms",
+            _ => {
+                if section.is_empty() || !t.starts_with('"') {
+                    continue;
+                }
+                let Some(key) = read_json_key(t) else {
+                    continue;
+                };
+                let hist_count = if section == "histograms" {
+                    t.find("\"count\": ")
+                        .map(|i| {
+                            t[i + 9..]
+                                .chars()
+                                .take_while(char::is_ascii_digit)
+                                .collect::<String>()
+                                .parse()
+                                .unwrap_or(0)
+                        })
+                        .unwrap_or(0)
+                } else {
+                    0
+                };
+                out.push(Series {
+                    key,
+                    section,
+                    hist_count,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Un-escape the leading `"key"` of a JSON object entry line.
+fn read_json_key(line: &str) -> Option<String> {
+    let mut key = String::new();
+    let mut chars = line.strip_prefix('"')?.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(key),
+            '\\' => match chars.next()? {
+                'n' => key.push('\n'),
+                other => key.push(other),
+            },
+            other => key.push(other),
+        }
+    }
+    None
+}
+
+/// Same rule `scuba-obs`'s promlint applies to exposition names.
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// The family name a registry series appears under in `metrics.prom`
+/// (bare counters get `_total` appended by the exposition).
+fn exposition_family(series: &Series) -> String {
+    let base = series.key.split('{').next().unwrap_or(&series.key);
+    if series.section == "counters" && !base.ends_with("_total") {
+        format!("{base}_total")
+    } else {
+        base.to_string()
+    }
 }
 
 fn read(path: &PathBuf) -> String {
@@ -64,8 +163,41 @@ fn main() {
         problems.len()
     );
 
-    // 2. every instrumented phase recorded real time.
+    // 2. walk the full live registry: every series dumped to the JSON
+    // snapshot must have a well-formed name and appear in the text
+    // exposition under its family's TYPE line.
     let json = read(&dir.join("metrics.json"));
+    let series = walk_snapshot(&json);
+    if series.is_empty() {
+        problems.push("metrics.json: no series found (empty registry dump?)".into());
+    }
+    let mut hist_counts = std::collections::BTreeMap::new();
+    for s in &series {
+        let base = s.key.split('{').next().unwrap_or(&s.key);
+        if !valid_metric_name(base) {
+            problems.push(format!(
+                "metrics.json: invalid metric name `{base}` ({})",
+                s.section
+            ));
+        }
+        let family = exposition_family(s);
+        if !prom.contains(&format!("# TYPE {family} ")) {
+            problems.push(format!(
+                "metrics.json: series `{}` has no `# TYPE {family}` family in metrics.prom",
+                s.key
+            ));
+        }
+        if s.section == "histograms" {
+            *hist_counts.entry(base.to_string()).or_insert(0u64) += s.hist_count;
+        }
+    }
+    println!(
+        "obs_lint: metrics.json — {} series ({} histogram families) cross-checked",
+        series.len(),
+        hist_counts.len()
+    );
+
+    // 3. every instrumented phase recorded real time.
     for (op, phases) in [("backup", BACKUP_PHASES), ("restore", RESTORE_PHASES)] {
         for phase in phases {
             let key = format!("restart_phase_nanos_total{{op=\"{op}\",phase=\"{phase}\"}}");
@@ -76,6 +208,17 @@ fn main() {
                 )),
                 Some(ns) => println!("obs_lint: {op:>7}/{phase:<9} {ns:>12} ns"),
             }
+        }
+    }
+
+    // 4. the SLO latency histograms are live and non-empty.
+    for name in SLO_HISTOGRAMS {
+        match hist_counts.get(*name) {
+            None => problems.push(format!("metrics.json: SLO histogram `{name}` is missing")),
+            Some(0) => problems.push(format!(
+                "metrics.json: SLO histogram `{name}` has zero observations"
+            )),
+            Some(n) => println!("obs_lint: {name:<28} {n:>8} observations"),
         }
     }
 

@@ -305,7 +305,16 @@ fn err(wave: usize, what: &str, detail: impl std::fmt::Display) -> String {
 /// run (the registry is process-global).
 pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
     let _x = scuba_faults::exclusive();
+    // The soak drains the process-global span ring every wave (so its
+    // span-loss invariant is meaningful); serialize with the other ring
+    // consumers — the telemetry exporter tests do the same.
+    let _obs = scuba_obs::exclusive();
     scuba_faults::clear_all();
+    // Every restart now emits its phase timeline as spans. Widen the ring
+    // for the soak and drain it each wave: with both in place, losing a
+    // span (span_ring_dropped_total moving) is a real protocol bug.
+    scuba_obs::set_span_capacity(8192);
+    let spans_dropped_baseline = scuba_obs::counter_value("span_ring_dropped_total").unwrap_or(0);
 
     let mut leaf_cfg = LeafConfig::new(0, cfg.shm_prefix.clone(), cfg.disk_root.clone());
     leaf_cfg.copy_threads = cfg.copy_threads;
@@ -643,6 +652,9 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
         if server.recovered_from_checkpoint() {
             warm_recoveries += 1;
         }
+        // Hand the wave's spans off (a telemetry sampler would); the ring
+        // never accumulates more than a couple of waves' worth.
+        let _ = scuba_obs::drain_spans();
         report.waves += 1;
     }
     report.final_rows = server.total_rows();
@@ -668,6 +680,19 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
             }
         }
     }
+    // Metric invariant: hundreds of waves of restart spans, a widened
+    // ring, and a drain every wave — not one span may have been dropped.
+    if scuba_obs::enabled() {
+        let dropped = scuba_obs::counter_value("span_ring_dropped_total").unwrap_or(0);
+        if dropped != spans_dropped_baseline {
+            return Err(format!(
+                "span ring dropped {} spans during the soak (counter {spans_dropped_baseline} -> \
+                 {dropped})",
+                dropped - spans_dropped_baseline
+            ));
+        }
+    }
+    scuba_obs::set_span_capacity(256);
     ns.unlink_all(8);
     Ok(report)
 }

@@ -24,6 +24,7 @@ pub mod hosted;
 pub mod machine;
 pub mod rollover;
 pub mod sim;
+pub mod telemetry;
 
 pub use chaos::{run_chaos, ChaosConfig, ChaosReport, WaveRecord};
 pub use cluster::{Cluster, ClusterConfig};
@@ -35,4 +36,8 @@ pub use rollover::{rollover, RolloverConfig, RolloverEvent, RolloverReport};
 pub use sim::{
     leaf_restart_secs, simulate_rollover, simulate_rollover_paths, simulate_single_machine,
     RecoveryPath, SimConfig, SimResult, SimSnapshot,
+};
+pub use telemetry::{
+    metric_by_leaf, restore_ns_by_leaf, QueryDashboardFeed, TelemetryExporter,
+    DEFAULT_BUFFER_CAPACITY, TELEMETRY_TABLE,
 };

@@ -65,6 +65,17 @@ impl LeafSlot {
         }
     }
 
+    /// Stamp this slot's restart spans with `id`: applied to the running
+    /// server immediately and inherited by every replacement process the
+    /// slot starts. The rollover sets this per wave so one telemetry
+    /// query reconstructs the whole restart timeline.
+    pub fn set_trace_id(&mut self, id: u64) {
+        self.config.trace_id = id;
+        if let Some(s) = self.server.as_mut() {
+            s.set_trace_id(id);
+        }
+    }
+
     /// Kill the leaf without a clean shutdown (crash, or the rollover
     /// script's 3-minute timeout kill).
     pub fn kill(&mut self) {

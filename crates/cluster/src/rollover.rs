@@ -35,6 +35,11 @@ pub struct RolloverConfig {
     /// the new build reads it — so drills list the formats in production
     /// here and leave the replacements on the current reader.
     pub old_writers: Vec<WriterCompat>,
+    /// Trace id stamped on every backup/restore/WAL-replay/hydration span
+    /// this rollover causes, so a single query over the telemetry table
+    /// reconstructs the whole fleet restart as a per-leaf timeline.
+    /// 0 (the default) allocates a fresh id; the report carries it.
+    pub trace_id: u64,
 }
 
 impl Default for RolloverConfig {
@@ -45,6 +50,7 @@ impl Default for RolloverConfig {
             kill_timeout: Duration::from_secs(180),
             now: 0,
             old_writers: vec![WriterCompat::Current],
+            trace_id: 0,
         }
     }
 }
@@ -81,6 +87,9 @@ pub struct RolloverReport {
     pub min_availability: f64,
     /// Figure-8 style dashboard rows, one per wave boundary.
     pub dashboard: Dashboard,
+    /// The trace id every restart span of this rollover carries — the
+    /// key for reconstructing it from the telemetry table.
+    pub trace_id: u64,
 }
 
 impl RolloverReport {
@@ -107,6 +116,16 @@ pub fn rollover(cluster: &mut Cluster, config: &RolloverConfig) -> RolloverRepor
         }
     }
 
+    // One trace id for the whole rollover: the process-wide current trace
+    // plus a per-slot override, so spans stay attributed even when several
+    // clusters roll in one process (parallel tests).
+    let trace_id = if config.trace_id != 0 {
+        config.trace_id
+    } else {
+        scuba_obs::next_trace_id()
+    };
+    scuba_obs::set_trace_id(trace_id);
+
     let started = Instant::now();
     let mut events = Vec::with_capacity(total);
     let mut dashboard = Dashboard::new(total);
@@ -123,6 +142,7 @@ pub fn rollover(cluster: &mut Cluster, config: &RolloverConfig) -> RolloverRepor
         for &(m, l) in chunk {
             let leaf_start = Instant::now();
             let slot = &mut cluster.machines_mut()[m].slots_mut()[l];
+            slot.set_trace_id(trace_id);
             if let Some(server) = slot.server_mut() {
                 // The outgoing process *is* the old build: it writes its
                 // own (possibly older) image format.
@@ -177,6 +197,7 @@ pub fn rollover(cluster: &mut Cluster, config: &RolloverConfig) -> RolloverRepor
     }
 
     dashboard.push(feed.sample(cluster, started.elapsed()));
+    scuba_obs::clear_trace_id();
 
     RolloverReport {
         events,
@@ -184,6 +205,7 @@ pub fn rollover(cluster: &mut Cluster, config: &RolloverConfig) -> RolloverRepor
         total_duration: started.elapsed(),
         min_availability,
         dashboard,
+        trace_id,
     }
 }
 

@@ -91,6 +91,12 @@ pub struct LeafConfig {
     /// checkpoint_and_wait`]); tests and chaos use explicit mode for
     /// determinism.
     pub checkpoint_interval_rows: usize,
+    /// Restart trace id stamped on every backup/restore/WAL-replay/
+    /// hydration span this leaf emits, letting one telemetry query
+    /// reconstruct a fleet rollover as a per-leaf timeline. 0 means
+    /// "untraced" — spans fall back to the process-wide
+    /// `scuba_obs::current_trace_id()`.
+    pub trace_id: u64,
 }
 
 impl LeafConfig {
@@ -109,6 +115,7 @@ impl LeafConfig {
             writer_compat: WriterCompat::Current,
             checkpoint_enabled: false,
             checkpoint_interval_rows: 0,
+            trace_id: 0,
         }
     }
 }

@@ -461,6 +461,8 @@ struct Hydrator {
     workers: Vec<thread::JoinHandle<()>>,
     /// Blocks handed to workers whose results have not been applied yet.
     pending: usize,
+    /// When phase two began — the `restart.hydration` span's base.
+    started: Instant,
     /// The shared work queue (query touches promote through it).
     queue: Arc<HydrationQueue>,
     /// Mapped blocks whose deferred CRC a query already verified (keyed
@@ -505,6 +507,7 @@ impl Hydrator {
             rx,
             workers,
             pending,
+            started: Instant::now(),
             queue,
             verified: std::sync::Mutex::new(std::collections::HashSet::new()),
             poison: std::sync::Mutex::new(None),
@@ -733,6 +736,72 @@ impl LeafServer {
         }
     }
 
+    /// Stamp every restart span this leaf emits from now on with `id`
+    /// (rollover sets this to its wave's trace id before the kill).
+    pub fn set_trace_id(&mut self, id: u64) {
+        self.config.trace_id = id;
+    }
+
+    /// The trace id restart spans carry: the per-leaf override when set,
+    /// else the process-wide trace (racy across parallel rollovers in one
+    /// process, which is why the override exists).
+    fn span_trace_id(&self) -> u64 {
+        if self.config.trace_id != 0 {
+            self.config.trace_id
+        } else {
+            scuba_obs::current_trace_id()
+        }
+    }
+
+    /// Emit one restart-timeline span, tagged with this leaf and the
+    /// active trace id. These are explicit-duration records taken from
+    /// the restart reports, so the telemetry table stores exactly the
+    /// numbers the Figure-5 breakdown prints.
+    fn emit_restart_span(&self, name: &'static str, op: &str, phase: &str, duration: Duration) {
+        scuba_obs::emit_span(scuba_obs::SpanRecord {
+            name,
+            attrs: vec![
+                ("leaf", self.obs_key.clone()),
+                ("op", op.to_owned()),
+                ("phase", phase.to_owned()),
+            ],
+            duration,
+            bytes: 0,
+            outcome: "ok",
+            trace_id: self.span_trace_id(),
+        });
+    }
+
+    /// Emit the restore side of the `restart.phase` timeline: one span
+    /// per Figure-5 phase after a full restore, a single `attach` span
+    /// after a two-phase attach, or `read`/`translate` spans for the
+    /// disk path. Their per-leaf sum reproduces the `RestartReport`
+    /// restore total (±5% — the trace-reconstruction acceptance check).
+    fn emit_restore_spans(&self, outcome: &RecoveryOutcome) {
+        if !scuba_obs::enabled() {
+            return;
+        }
+        match outcome {
+            RecoveryOutcome::Memory(r) => {
+                for &(phase, d) in &r.phases.phases {
+                    self.emit_restart_span("restart.phase", "restore", phase.name(), d);
+                }
+            }
+            RecoveryOutcome::MemoryAttached(r) => {
+                self.emit_restart_span("restart.phase", "restore", "attach", r.duration);
+            }
+            RecoveryOutcome::Disk { stats, .. } => {
+                self.emit_restart_span("restart.phase", "disk", "read", stats.read_duration);
+                self.emit_restart_span(
+                    "restart.phase",
+                    "disk",
+                    "translate",
+                    stats.translate_duration,
+                );
+            }
+        }
+    }
+
     /// Start a leaf process, recovering state — Figure 5(b)/Figure 7.
     /// Tries shared memory first (if enabled), falling back to disk on any
     /// problem. `now` stamps recovered blocks; `disk_throttle` optionally
@@ -760,6 +829,7 @@ impl LeafServer {
                     // attach cost, not full-restore cost.
                     scuba_obs::labeled_gauge("leaf_time_to_first_query_ns", &labels)
                         .set(started.elapsed().as_nanos().min(i64::MAX as u128) as i64);
+                    server.emit_restore_spans(&outcome);
                 }
                 Ok((server, outcome))
             }
@@ -1040,7 +1110,7 @@ impl LeafServer {
         scuba_obs::counter!("leaf_crash_reconciled_rows_total").add(reappended);
         if scuba_obs::enabled() {
             let labels = [("leaf", self.obs_key.as_str())];
-            scuba_obs::labeled_counter("leaf_crash_reconciled_rows", &labels).add(reappended);
+            scuba_obs::labeled_counter("leaf_crash_reconciled_rows_total", &labels).add(reappended);
             scuba_obs::labeled_gauge("leaf_crash_reconcile_scanned_bytes", &labels)
                 .set(scanned.min(i64::MAX as u64) as i64);
             scuba_obs::labeled_gauge("leaf_crash_reconcile_ns", &labels)
@@ -1198,6 +1268,12 @@ impl LeafServer {
             let labels = [("leaf", self.obs_key.as_str())];
             scuba_obs::labeled_gauge("leaf_wal_replay_ns", &labels)
                 .set(started.elapsed().as_nanos().min(i64::MAX as u128) as i64);
+            self.emit_restart_span(
+                "restart.wal_replay",
+                "restore",
+                "wal_replay",
+                started.elapsed(),
+            );
         }
         Ok(hints)
     }
@@ -1489,6 +1565,14 @@ impl LeafServer {
                 h.pending -= 1;
                 if h.pending == 0 {
                     let h = self.hydrator.take().expect("hydrator present");
+                    if scuba_obs::enabled() {
+                        self.emit_restart_span(
+                            "restart.hydration",
+                            "restore",
+                            "hydration",
+                            h.started.elapsed(),
+                        );
+                    }
                     drop(h.rx);
                     for worker in h.workers {
                         let _ = worker.join();
@@ -1609,6 +1693,7 @@ impl LeafServer {
     /// Add a batch of rows: into memory and appended to the disk backup
     /// (buffered; durable at the next sync).
     pub fn add_rows(&mut self, table: &str, rows: &[Row], now: i64) -> LeafResult<()> {
+        let latency = scuba_obs::Stopwatch::start();
         if !self.phase.accepts_adds() {
             return Err(LeafError::Unavailable {
                 operation: "add rows",
@@ -1645,6 +1730,9 @@ impl LeafServer {
             self.maybe_auto_checkpoint();
             self.publish_checkpoint_gauges();
         }
+        if latency.active() {
+            scuba_obs::histogram!("leaf_ingest_latency_ns").observe(latency.elapsed_ns());
+        }
         Ok(())
     }
 
@@ -1655,6 +1743,7 @@ impl LeafServer {
     /// queue; a verification failure fails the query and condemns the
     /// attach at the next [`Self::poll_hydration`].
     pub fn query(&self, query: &Query) -> LeafResult<LeafQueryResult> {
+        let latency = scuba_obs::Stopwatch::start();
         if !self.phase.accepts_queries() {
             return Err(LeafError::Unavailable {
                 operation: "query",
@@ -1676,6 +1765,7 @@ impl LeafServer {
             scuba_obs::counter!("query_rows_scanned_total").add(result.rows_scanned);
             scuba_obs::counter!("query_blocks_zonemap_pruned_total")
                 .add(result.blocks_zonemap_pruned);
+            scuba_obs::histogram!("leaf_query_latency_ns").observe(latency.elapsed_ns());
         }
         Ok(result)
     }
@@ -1835,6 +1925,11 @@ impl LeafServer {
             .map_err(|e| LeafError::Backup(e.to_string()))?,
             compat => self.backup_as_old_writer(compat)?,
         };
+        if scuba_obs::enabled() {
+            for &(phase, d) in &backup.phases.phases {
+                self.emit_restart_span("restart.phase", "backup", phase.name(), d);
+            }
+        }
         for (_, st) in &mut table_states {
             *st = st.transition(TableBackupState::Done)?;
         }

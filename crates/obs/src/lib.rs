@@ -28,17 +28,23 @@ mod metrics;
 mod report;
 mod sink;
 mod span;
+mod telemetry;
 
 pub use metrics::{
-    counter, counter_value, gauge, gauge_value, gauge_values, histogram, labeled_counter,
-    labeled_gauge, labeled_name, Counter, Gauge, Histogram, HISTOGRAM_BUCKETS,
+    counter, counter_value, gauge, gauge_value, gauge_values, histogram, histogram_quantile,
+    labeled_counter, labeled_gauge, labeled_name, registry_snapshot, Counter, Gauge, Histogram,
+    MetricSnapshot, HISTOGRAM_BUCKETS,
 };
 pub use report::{
     last_backup_breakdown, last_restore_breakdown, publish_breakdown, Phase, PhaseAcc,
     PhaseBreakdown, RestartReport, TableSample, BACKUP_PHASES, RESTORE_PHASES,
 };
 pub use sink::{json_snapshot, prometheus_text, prometheus_text_for, promlint};
-pub use span::{clear_spans, recent_spans, set_span_capacity, span_start, Span, SpanRecord};
+pub use span::{
+    clear_spans, clear_trace_id, current_trace_id, drain_spans, emit_span, next_trace_id,
+    recent_spans, set_span_capacity, set_trace_id, span_start, Span, SpanRecord,
+};
+pub use telemetry::{TelemetryEvent, TelemetrySampler, TELEMETRY_QUANTILES};
 
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Mutex, MutexGuard};

@@ -162,6 +162,44 @@ impl Histogram {
     pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
         std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
     }
+
+    /// Estimate the `q`-quantile (`0.0..=1.0`) of the observed values, or
+    /// `None` if nothing was observed.
+    ///
+    /// The estimate walks the cumulative bucket counts to the bucket that
+    /// contains the nearest-rank `⌈q·count⌉` observation, then
+    /// interpolates linearly inside it. Because the exact nearest-rank
+    /// percentile of the observed samples lives in that same bucket, the
+    /// estimate is always within one log₂ bucket of the true value — the
+    /// error bound the SLO dashboards rely on.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cumulative = 0u64;
+        for (i, &n) in counts.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let before = cumulative;
+            cumulative += n;
+            if cumulative >= target {
+                if i == 0 {
+                    return Some(0);
+                }
+                let lo = 1u64 << (i - 1);
+                let hi = Self::bucket_bound(i).unwrap_or(u64::MAX);
+                let frac = (target - before) as f64 / n as f64;
+                let est = lo as f64 + frac * (hi - lo) as f64;
+                return Some(est.min(hi as f64).max(lo as f64) as u64);
+            }
+        }
+        unreachable!("cumulative bucket counts must reach the total")
+    }
 }
 
 /// A registered metric of any kind.
@@ -302,6 +340,57 @@ pub fn gauge_values() -> Vec<(String, i64)> {
         .collect()
 }
 
+/// Point-in-time value of one registered series, as read by
+/// [`registry_snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricSnapshot {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Histogram totals plus raw (non-cumulative) bucket counts.
+    Histogram {
+        /// Total observations.
+        count: u64,
+        /// Sum of observed values.
+        sum: u64,
+        /// Raw per-bucket counts (see [`Histogram::bucket_counts`]).
+        buckets: Box<[u64; HISTOGRAM_BUCKETS]>,
+    },
+}
+
+/// Snapshot every registered series — full key (labels included) plus its
+/// current value. This is the registry walk the telemetry sampler and the
+/// full-registry lint are built on: unlike a fixture list, it sees series
+/// registered at any point in the process lifetime (e.g. per-table gauges
+/// that appear long after startup).
+pub fn registry_snapshot() -> Vec<(String, MetricSnapshot)> {
+    lock_read()
+        .iter()
+        .map(|(name, m)| {
+            let value = match m {
+                Metric::Counter(c) => MetricSnapshot::Counter(c.get()),
+                Metric::Gauge(g) => MetricSnapshot::Gauge(g.get()),
+                Metric::Histogram(h) => MetricSnapshot::Histogram {
+                    count: h.count(),
+                    sum: h.sum(),
+                    buckets: Box::new(h.bucket_counts()),
+                },
+            };
+            (name.clone(), value)
+        })
+        .collect()
+}
+
+/// Quantile estimate of a registered histogram series by full name
+/// (`None` if unregistered, not a histogram, or empty).
+pub fn histogram_quantile(name: &str, q: f64) -> Option<u64> {
+    match lock_read().get(name) {
+        Some(Metric::Histogram(h)) => h.quantile(q),
+        _ => None,
+    }
+}
+
 /// `&'static Counter` for a hot site: the registry lookup runs once, then
 /// the cached handle is a plain static reference.
 #[macro_export]
@@ -353,6 +442,83 @@ mod tests {
     }
 
     #[test]
+    fn quantile_empty_is_none() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantile_single_value_lands_in_its_bucket() {
+        let h = Histogram::new();
+        h.sum.fetch_add(100, Ordering::Relaxed);
+        h.count.fetch_add(1, Ordering::Relaxed);
+        h.buckets[Histogram::bucket_index(100)].fetch_add(1, Ordering::Relaxed);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let est = h.quantile(q).unwrap();
+            assert_eq!(
+                Histogram::bucket_index(est),
+                Histogram::bucket_index(100),
+                "q={q} est={est}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_tracks_exact_percentile_bucket() {
+        let _x = crate::exclusive();
+        crate::set_enabled(true);
+        let h = crate::histogram("obs_test_quantile_ns");
+        let mut samples: Vec<u64> = Vec::new();
+        // Skewed distribution: many fast, few slow.
+        for i in 0..900u64 {
+            samples.push(50 + i % 30);
+        }
+        for i in 0..99u64 {
+            samples.push(5_000 + i * 17);
+        }
+        samples.push(1_000_000);
+        for &s in &samples {
+            h.observe(s);
+        }
+        samples.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let est = h.quantile(q).unwrap();
+            let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            let exact = samples[rank - 1];
+            let diff =
+                (Histogram::bucket_index(est) as i64 - Histogram::bucket_index(exact) as i64).abs();
+            assert!(
+                diff <= 1,
+                "q={q}: est {est} vs exact {exact} ({diff} buckets)"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_zero_only() {
+        let h = Histogram::new();
+        h.buckets[0].fetch_add(5, Ordering::Relaxed);
+        h.count.fetch_add(5, Ordering::Relaxed);
+        assert_eq!(h.quantile(0.999), Some(0));
+    }
+
+    #[test]
+    fn registry_snapshot_sees_late_registrations() {
+        let _x = crate::exclusive();
+        crate::set_enabled(true);
+        counter("obs_test_snap_early_total").inc();
+        // A "per-table" gauge registered long after startup must appear.
+        labeled_gauge("obs_test_snap_late", &[("table", "t,x\"y")]).set(7);
+        let snap = registry_snapshot();
+        let late = labeled_name("obs_test_snap_late", &[("table", "t,x\"y")]);
+        assert!(snap
+            .iter()
+            .any(|(k, v)| k == &late && *v == MetricSnapshot::Gauge(7)));
+        assert!(snap.iter().any(|(k, v)| k == "obs_test_snap_early_total"
+            && matches!(v, MetricSnapshot::Counter(n) if *n >= 1)));
+    }
+
+    #[test]
     fn labeled_name_escapes() {
         assert_eq!(
             labeled_name("m", &[("k", "a\"b\\c")]),
@@ -370,5 +536,60 @@ mod tests {
         let _x = crate::exclusive();
         counter("obs_test_conflict_metric");
         gauge("obs_test_conflict_metric");
+    }
+
+    mod quantile_prop {
+        use super::*;
+        use proptest::collection::vec;
+        use proptest::prelude::*;
+
+        /// Adversarial sample streams: each element is a (shape, raw)
+        /// pair mapped into one of several regimes — zeros, tight
+        /// clusters, bucket-boundary values, exponential spreads, and
+        /// huge outliers — so single runs mix pathological shapes.
+        fn arb_samples() -> impl Strategy<Value = Vec<u64>> {
+            vec((0u8..6, 0u64..1_000_000), 1..400).prop_map(|pairs| {
+                pairs
+                    .into_iter()
+                    .map(|(shape, raw)| match shape {
+                        0 => 0,
+                        1 => raw % 7,                  // tiny cluster
+                        2 => 1u64 << (raw % 40),       // exact bucket lower bounds
+                        3 => (1u64 << (raw % 40)) - 1, // exact bucket upper bounds
+                        4 => 1_000_000 + raw,          // wide mid-range spread
+                        _ => u64::MAX - raw,           // +Inf-bucket outliers
+                    })
+                    .collect()
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+            #[test]
+            fn quantile_within_one_bucket_of_exact(samples in arb_samples()) {
+                let _x = crate::exclusive();
+                crate::set_enabled(true);
+                let h = Histogram::new();
+                for &s in &samples {
+                    h.observe(s);
+                }
+                let mut sorted = samples.clone();
+                sorted.sort_unstable();
+                for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+                    let est = h.quantile(q).unwrap();
+                    let rank = ((q * sorted.len() as f64).ceil() as usize)
+                        .clamp(1, sorted.len());
+                    let exact = sorted[rank - 1];
+                    let diff = (Histogram::bucket_index(est) as i64
+                        - Histogram::bucket_index(exact) as i64)
+                        .abs();
+                    prop_assert!(
+                        diff <= 1,
+                        "q={} est={} exact={} off by {} buckets (n={})",
+                        q, est, exact, diff, sorted.len()
+                    );
+                }
+            }
+        }
     }
 }

@@ -5,8 +5,16 @@
 //! records its partial span (outcome `"error"`, duration up to the failure
 //! point), which is what makes failed restarts diagnosable (ISSUE 3
 //! satellite 1).
+//!
+//! Every record carries the **trace id** that was current when the span
+//! opened (see [`set_trace_id`]): the rollover orchestrator stamps one id
+//! on a whole fleet restart, so a single query over the self-telemetry
+//! table reconstructs the rollover as a per-leaf timeline. Ring overflow
+//! is no longer silent — each record evicted before being drained bumps
+//! `span_ring_dropped_total`, which the chaos soak asserts stays zero.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -32,6 +40,38 @@ fn lock_ring() -> std::sync::MutexGuard<'static, Ring> {
     ring().lock().unwrap_or_else(|p| p.into_inner())
 }
 
+/// The process-wide current trace id (0 = no trace). Global rather than
+/// thread-local because the copy pool's worker threads record spans on
+/// behalf of whatever restart is in flight; the rollover orchestrator is
+/// single-threaded, so one restart trace is active at a time.
+static CURRENT_TRACE: AtomicU64 = AtomicU64::new(0);
+
+/// Monotonic source for [`next_trace_id`].
+static NEXT_TRACE: AtomicU64 = AtomicU64::new(1);
+
+/// Allocate a fresh nonzero trace id, unique within this process and
+/// distinct across processes (the pid seeds the high bits).
+pub fn next_trace_id() -> u64 {
+    (u64::from(std::process::id()) << 32)
+        | (NEXT_TRACE.fetch_add(1, Ordering::Relaxed) & 0xffff_ffff)
+}
+
+/// Set the process-wide current trace id; spans opened while it is set
+/// record it. Pass the id from [`next_trace_id`].
+pub fn set_trace_id(id: u64) {
+    CURRENT_TRACE.store(id, Ordering::Relaxed);
+}
+
+/// Clear the current trace id (back to untraced).
+pub fn clear_trace_id() {
+    CURRENT_TRACE.store(0, Ordering::Relaxed);
+}
+
+/// The trace id spans opened now would record (0 = none).
+pub fn current_trace_id() -> u64 {
+    CURRENT_TRACE.load(Ordering::Relaxed)
+}
+
 /// A finished span as stored in the ring buffer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpanRecord {
@@ -45,6 +85,18 @@ pub struct SpanRecord {
     pub bytes: u64,
     /// `"ok"` if [`Span::ok`] ran, otherwise `"error"`.
     pub outcome: &'static str,
+    /// Trace id current when the span opened (0 = untraced).
+    pub trace_id: u64,
+}
+
+impl SpanRecord {
+    /// The value of attribute `key`, if attached.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// An in-flight span. Records itself into the ring buffer when dropped;
@@ -57,22 +109,21 @@ pub struct Span {
     attrs: Vec<(&'static str, String)>,
     bytes: u64,
     outcome: &'static str,
+    trace_id: u64,
 }
 
 /// Open a span. When instrumentation is disabled the span is inert: no
 /// clock read, attributes are not formatted, and nothing is recorded.
 #[inline]
 pub fn span_start(name: &'static str) -> Span {
+    let on = enabled();
     Span {
         name,
-        start: if enabled() {
-            Some(Instant::now())
-        } else {
-            None
-        },
+        start: if on { Some(Instant::now()) } else { None },
         attrs: Vec::new(),
         bytes: 0,
         outcome: "error",
+        trace_id: if on { current_trace_id() } else { 0 },
     }
 }
 
@@ -120,33 +171,73 @@ impl Span {
 impl Drop for Span {
     fn drop(&mut self) {
         let Some(start) = self.start else { return };
-        let record = SpanRecord {
+        push_record(SpanRecord {
             name: self.name,
             attrs: std::mem::take(&mut self.attrs),
             duration: start.elapsed(),
             bytes: self.bytes,
             outcome: self.outcome,
-        };
-        let mut ring = lock_ring();
-        while ring.records.len() >= ring.capacity {
-            ring.records.pop_front(); // overflow drops the oldest span
-        }
-        ring.records.push_back(record);
+            trace_id: self.trace_id,
+        });
     }
 }
 
-/// Resize the ring buffer (drops oldest records if shrinking).
+fn push_record(record: SpanRecord) {
+    let mut dropped = 0u64;
+    {
+        let mut ring = lock_ring();
+        while ring.records.len() >= ring.capacity {
+            ring.records.pop_front(); // overflow drops the oldest span
+            dropped += 1;
+        }
+        ring.records.push_back(record);
+    }
+    if dropped > 0 {
+        // Outside the ring lock: counter registration takes the registry
+        // lock, and lock-order independence keeps both uncontended.
+        crate::counter!("span_ring_dropped_total").add(dropped);
+    }
+}
+
+/// Record a span directly with an explicit duration — for retrospective
+/// timings (e.g. the restart protocol's per-phase breakdown, measured by
+/// `PhaseAcc` and emitted as spans after the run). No-op when
+/// instrumentation is disabled. The record's `trace_id` is taken as given;
+/// pass [`current_trace_id`] to join the ambient trace.
+pub fn emit_span(record: SpanRecord) {
+    if enabled() {
+        push_record(record);
+    }
+}
+
+/// Resize the ring buffer (drops oldest records if shrinking — counted as
+/// overflow drops).
 pub fn set_span_capacity(capacity: usize) {
-    let mut ring = lock_ring();
-    ring.capacity = capacity.max(1);
-    while ring.records.len() > ring.capacity {
-        ring.records.pop_front();
+    let mut dropped = 0u64;
+    {
+        let mut ring = lock_ring();
+        ring.capacity = capacity.max(1);
+        while ring.records.len() > ring.capacity {
+            ring.records.pop_front();
+            dropped += 1;
+        }
+    }
+    if dropped > 0 {
+        crate::counter!("span_ring_dropped_total").add(dropped);
     }
 }
 
 /// Snapshot of the ring buffer, oldest first.
 pub fn recent_spans() -> Vec<SpanRecord> {
     lock_ring().records.iter().cloned().collect()
+}
+
+/// Drain the ring buffer: return every record (oldest first) and empty the
+/// ring. The telemetry sampler's consuming read — records handed out here
+/// were *not* dropped, so a pipeline that drains faster than spans arrive
+/// keeps `span_ring_dropped_total` at zero.
+pub fn drain_spans() -> Vec<SpanRecord> {
+    lock_ring().records.drain(..).collect()
 }
 
 /// Empty the ring buffer (tests).
@@ -201,6 +292,7 @@ mod tests {
         assert_eq!(spans[0].outcome, "ok");
         assert_eq!(spans[0].attrs[0], ("table", "t0".to_string()));
         assert_eq!(spans[0].attrs[1], ("bytes_hint", "7".to_string()));
+        assert_eq!(spans[0].attr("table"), Some("t0"));
         assert_eq!(spans[1].outcome, "error");
         assert_eq!(spans[1].bytes, 42);
         clear_spans();
@@ -219,11 +311,12 @@ mod tests {
     }
 
     #[test]
-    fn ring_overflow_keeps_newest() {
+    fn ring_overflow_keeps_newest_and_counts_drops() {
         let _x = exclusive();
         set_enabled(true);
         clear_spans();
         set_span_capacity(4);
+        let before = crate::counter_value("span_ring_dropped_total").unwrap_or(0);
         for i in 0..10u32 {
             span!("obs.test.ring", i).ok();
         }
@@ -231,7 +324,61 @@ mod tests {
         assert_eq!(spans.len(), 4);
         let kept: Vec<String> = spans.iter().map(|s| s.attrs[0].1.clone()).collect();
         assert_eq!(kept, ["6", "7", "8", "9"]);
+        let after = crate::counter_value("span_ring_dropped_total").unwrap();
+        assert_eq!(after - before, 6, "10 spans into a 4-slot ring drop 6");
         set_span_capacity(super::DEFAULT_CAPACITY);
         clear_spans();
+    }
+
+    #[test]
+    fn spans_carry_the_current_trace_id() {
+        let _x = exclusive();
+        set_enabled(true);
+        clear_spans();
+        let id = next_trace_id();
+        assert_ne!(id, 0);
+        assert_ne!(id, next_trace_id());
+        set_trace_id(id);
+        span!("obs.test.traced").ok();
+        clear_trace_id();
+        span!("obs.test.untraced").ok();
+        let spans = drain_spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].trace_id, id);
+        assert_eq!(spans[1].trace_id, 0);
+        // drain emptied the ring.
+        assert!(recent_spans().is_empty());
+    }
+
+    #[test]
+    fn emit_span_records_explicit_durations() {
+        let _x = exclusive();
+        set_enabled(true);
+        clear_spans();
+        emit_span(SpanRecord {
+            name: "restart.phase",
+            attrs: vec![("leaf", "p:0".into()), ("phase", "crc".into())],
+            duration: Duration::from_nanos(1234),
+            bytes: 0,
+            outcome: "ok",
+            trace_id: 9,
+        });
+        let spans = drain_spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].duration, Duration::from_nanos(1234));
+        assert_eq!(spans[0].trace_id, 9);
+        assert_eq!(spans[0].attr("phase"), Some("crc"));
+        // Disabled: emit is a no-op.
+        set_enabled(false);
+        emit_span(SpanRecord {
+            name: "restart.phase",
+            attrs: vec![],
+            duration: Duration::ZERO,
+            bytes: 0,
+            outcome: "ok",
+            trace_id: 0,
+        });
+        assert!(recent_spans().is_empty());
+        set_enabled(true);
     }
 }

@@ -1,0 +1,393 @@
+//! Scuba-on-scuba: turn this process's own observability state into typed
+//! events that can be ingested as ordinary rows.
+//!
+//! [`TelemetrySampler::sample`] snapshots the full metrics registry
+//! (every series, including ones registered long after startup) and
+//! drains the span ring, producing flat [`TelemetryEvent`]s. The cluster
+//! layer batches these through the normal ingest path into the reserved
+//! `__scuba_telemetry` table, so the system's dashboards become vectorized
+//! queries over data stored the same way user data is — and survive leaf
+//! restarts the same way user data does.
+//!
+//! Event shape (one row per event):
+//!
+//! | column     | meaning                                                  |
+//! |------------|----------------------------------------------------------|
+//! | `ts`       | logical sample timestamp (caller-supplied)               |
+//! | `kind`     | `counter` / `gauge` / `quantile` / `span`                |
+//! | `metric`   | series base name, or span name                           |
+//! | `leaf`     | `leaf` label / span attr (`""` = process-wide)           |
+//! | `op`       | `op` label / span attr (`backup`, `restore`, …)          |
+//! | `phase`    | `phase` label / span attr, or quantile name (`p99`)      |
+//! | `value`    | metric value, quantile estimate (ns), span duration (ns) |
+//! | `trace_id` | restart trace id (spans only; 0 = untraced)              |
+//! | `outcome`  | span outcome (`ok`/`error`), `""` for metrics            |
+
+use crate::metrics::{registry_snapshot, Histogram, MetricSnapshot};
+use crate::span::{drain_spans, SpanRecord};
+
+/// One flat self-telemetry event (see the module table).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryEvent {
+    /// Logical sample timestamp, caller-supplied — becomes the row time.
+    pub ts: i64,
+    /// `counter` / `gauge` / `quantile` / `span`.
+    pub kind: &'static str,
+    /// Metric base name (labels stripped), or the span name.
+    pub metric: String,
+    /// `leaf` label / attr value (`""` when process-wide).
+    pub leaf: String,
+    /// `op` label / attr value (`""` when absent).
+    pub op: String,
+    /// `phase` label / attr value, or the quantile name (`p50`…).
+    pub phase: String,
+    /// Metric value, quantile estimate in ns, or span duration in ns.
+    pub value: i64,
+    /// Trace id (spans; 0 = untraced).
+    pub trace_id: u64,
+    /// Span outcome (`""` for metric events).
+    pub outcome: String,
+}
+
+/// Quantiles published for every histogram, as `(name, q)`.
+pub const TELEMETRY_QUANTILES: [(&str, f64); 3] = [("p50", 0.5), ("p99", 0.99), ("p999", 0.999)];
+
+/// Parse a full series key `name{k1="v1",…}` into the base name and its
+/// label pairs (unescaped). Labels other than the well-known ones are
+/// folded back into the returned metric name so distinct series never
+/// collapse into one event stream.
+fn parse_series(key: &str) -> (String, Vec<(String, String)>) {
+    let Some(brace) = key.find('{') else {
+        return (key.to_string(), Vec::new());
+    };
+    let base = &key[..brace];
+    let body = key[brace..].trim_start_matches('{').trim_end_matches('}');
+    let mut labels = Vec::new();
+    let mut chars = body.chars().peekable();
+    loop {
+        // Key up to '='.
+        let mut k = String::new();
+        while let Some(&c) = chars.peek() {
+            if c == '=' {
+                break;
+            }
+            k.push(c);
+            chars.next();
+        }
+        if chars.next().is_none() {
+            break; // no '=': done (or malformed tail — ignore)
+        }
+        // Quoted, escaped value.
+        let mut v = String::new();
+        if chars.peek() == Some(&'"') {
+            chars.next();
+            while let Some(c) = chars.next() {
+                match c {
+                    '\\' => {
+                        match chars.next() {
+                            Some('n') => v.push('\n'),
+                            Some(other) => v.push(other),
+                            None => break,
+                        };
+                    }
+                    '"' => break,
+                    other => v.push(other),
+                }
+            }
+        }
+        labels.push((k, v));
+        match chars.next() {
+            Some(',') => continue,
+            _ => break,
+        }
+    }
+    (base.to_string(), labels)
+}
+
+/// Split parsed labels into (leaf, op, phase, leftover-suffix). Unknown
+/// labels become a stable `|k=v` suffix on the metric name.
+fn route_labels(labels: Vec<(String, String)>) -> (String, String, String, String) {
+    let mut leaf = String::new();
+    let mut op = String::new();
+    let mut phase = String::new();
+    let mut suffix = String::new();
+    for (k, v) in labels {
+        match k.as_str() {
+            "leaf" => leaf = v,
+            "op" => op = v,
+            "phase" => phase = v,
+            _ => {
+                suffix.push('|');
+                suffix.push_str(&k);
+                suffix.push('=');
+                suffix.push_str(&v);
+            }
+        }
+    }
+    (leaf, op, phase, suffix)
+}
+
+/// Samples the process's own observability state into [`TelemetryEvent`]s.
+///
+/// Stateless apart from its quantile list: every [`sample`] call reads the
+/// registry in full (values are cumulative, so consumers diff or `Max`
+/// per timestamp) and *drains* the span ring (spans are handed over
+/// exactly once — whoever samples owns the spans).
+///
+/// [`sample`]: TelemetrySampler::sample
+#[derive(Debug, Clone)]
+pub struct TelemetrySampler {
+    quantiles: Vec<(&'static str, f64)>,
+}
+
+impl Default for TelemetrySampler {
+    fn default() -> Self {
+        TelemetrySampler::new()
+    }
+}
+
+impl TelemetrySampler {
+    /// Sampler publishing the standard p50/p99/p999 quantiles.
+    pub fn new() -> TelemetrySampler {
+        TelemetrySampler {
+            quantiles: TELEMETRY_QUANTILES.to_vec(),
+        }
+    }
+
+    /// Snapshot the registry and drain the span ring, stamping every
+    /// event with the logical timestamp `ts`.
+    pub fn sample(&self, ts: i64) -> Vec<TelemetryEvent> {
+        let mut events = self.sample_registry(ts);
+        events.extend(self.drain_ring(ts));
+        events
+    }
+
+    /// Registry half of [`sample`](TelemetrySampler::sample): one event
+    /// per counter/gauge series, `_count`/`_sum` plus quantile events per
+    /// histogram.
+    pub fn sample_registry(&self, ts: i64) -> Vec<TelemetryEvent> {
+        let mut events = Vec::new();
+        for (key, snap) in registry_snapshot() {
+            let (base, labels) = parse_series(&key);
+            let (leaf, op, phase, suffix) = route_labels(labels);
+            let metric = |name: String| TelemetryEvent {
+                ts,
+                kind: "counter",
+                metric: name,
+                leaf: leaf.clone(),
+                op: op.clone(),
+                phase: phase.clone(),
+                value: 0,
+                trace_id: 0,
+                outcome: String::new(),
+            };
+            match snap {
+                MetricSnapshot::Counter(v) => {
+                    let mut e = metric(format!("{base}{suffix}"));
+                    e.value = v.min(i64::MAX as u64) as i64;
+                    events.push(e);
+                }
+                MetricSnapshot::Gauge(v) => {
+                    let mut e = metric(format!("{base}{suffix}"));
+                    e.kind = "gauge";
+                    e.value = v;
+                    events.push(e);
+                }
+                MetricSnapshot::Histogram {
+                    count,
+                    sum,
+                    buckets,
+                } => {
+                    let mut c = metric(format!("{base}_count{suffix}"));
+                    c.value = count.min(i64::MAX as u64) as i64;
+                    events.push(c);
+                    let mut s = metric(format!("{base}_sum{suffix}"));
+                    s.value = sum.min(i64::MAX as u64) as i64;
+                    events.push(s);
+                    if count > 0 {
+                        for &(name, q) in &self.quantiles {
+                            if let Some(est) = quantile_of(&buckets[..], count, q) {
+                                let mut e = metric(format!("{base}{suffix}"));
+                                e.kind = "quantile";
+                                e.phase = name.to_string();
+                                e.value = est.min(i64::MAX as u64) as i64;
+                                events.push(e);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        events
+    }
+
+    /// Span half of [`sample`](TelemetrySampler::sample): drains the ring
+    /// (consuming — each span is emitted exactly once).
+    pub fn drain_ring(&self, ts: i64) -> Vec<TelemetryEvent> {
+        drain_spans()
+            .into_iter()
+            .map(|s| span_event(ts, &s))
+            .collect()
+    }
+}
+
+/// Quantile over raw bucket counts (same walk as [`Histogram::quantile`],
+/// reusable on a snapshot instead of the live atomics).
+fn quantile_of(buckets: &[u64], total: u64, q: f64) -> Option<u64> {
+    if total == 0 {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut cumulative = 0u64;
+    for (i, &n) in buckets.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        let before = cumulative;
+        cumulative += n;
+        if cumulative >= target {
+            if i == 0 {
+                return Some(0);
+            }
+            let lo = 1u64 << (i - 1);
+            let hi = Histogram::bucket_bound(i).unwrap_or(u64::MAX);
+            let frac = (target - before) as f64 / n as f64;
+            return Some(
+                (lo as f64 + frac * (hi - lo) as f64)
+                    .min(hi as f64)
+                    .max(lo as f64) as u64,
+            );
+        }
+    }
+    None
+}
+
+/// Convert one drained span record into an event.
+fn span_event(ts: i64, s: &SpanRecord) -> TelemetryEvent {
+    TelemetryEvent {
+        ts,
+        kind: "span",
+        metric: s.name.to_string(),
+        leaf: s.attr("leaf").unwrap_or("").to_string(),
+        op: s.attr("op").unwrap_or("").to_string(),
+        phase: s.attr("phase").unwrap_or("").to_string(),
+        value: s.duration.as_nanos().min(i64::MAX as u128) as i64,
+        trace_id: s.trace_id,
+        outcome: s.outcome.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{exclusive, set_enabled};
+    use std::time::Duration;
+
+    #[test]
+    fn parse_series_handles_labels_and_escapes() {
+        assert_eq!(parse_series("plain"), ("plain".into(), vec![]));
+        let (base, labels) = parse_series("m{leaf=\"p:0\",op=\"a,b\\\"c\"}");
+        assert_eq!(base, "m");
+        assert_eq!(
+            labels,
+            vec![
+                ("leaf".into(), "p:0".into()),
+                ("op".into(), "a,b\"c".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn registry_events_route_labels() {
+        let _x = exclusive();
+        set_enabled(true);
+        crate::labeled_gauge("obs_tel_demo_depth", &[("leaf", "px:3")]).set(11);
+        crate::labeled_counter(
+            "obs_tel_demo_ns_total",
+            &[("op", "backup"), ("phase", "crc")],
+        )
+        .add(5);
+        crate::labeled_counter("obs_tel_demo_hits_total", &[("site", "s1")]).add(2);
+        let events = TelemetrySampler::new().sample_registry(7);
+        let g = events
+            .iter()
+            .find(|e| e.metric == "obs_tel_demo_depth")
+            .unwrap();
+        assert_eq!(
+            (g.kind, g.leaf.as_str(), g.value, g.ts),
+            ("gauge", "px:3", 11, 7)
+        );
+        let c = events
+            .iter()
+            .find(|e| e.metric == "obs_tel_demo_ns_total")
+            .unwrap();
+        assert_eq!((c.op.as_str(), c.phase.as_str()), ("backup", "crc"));
+        assert!(c.value >= 5);
+        // Unknown labels stay distinguishable via the folded suffix.
+        assert!(events
+            .iter()
+            .any(|e| e.metric == "obs_tel_demo_hits_total|site=s1"));
+    }
+
+    #[test]
+    fn histograms_emit_count_sum_and_quantiles() {
+        let _x = exclusive();
+        set_enabled(true);
+        let h = crate::histogram("obs_tel_demo_lat_ns");
+        for v in [10u64, 20, 30, 40, 1000] {
+            h.observe(v);
+        }
+        let events = TelemetrySampler::new().sample_registry(1);
+        let count = events
+            .iter()
+            .find(|e| e.metric == "obs_tel_demo_lat_ns_count")
+            .unwrap();
+        assert!(count.value >= 5);
+        assert!(events.iter().any(|e| e.metric == "obs_tel_demo_lat_ns_sum"));
+        for q in ["p50", "p99", "p999"] {
+            let e = events
+                .iter()
+                .find(|e| e.metric == "obs_tel_demo_lat_ns" && e.phase == q)
+                .unwrap_or_else(|| panic!("missing {q}"));
+            assert_eq!(e.kind, "quantile");
+            assert!(e.value > 0);
+        }
+    }
+
+    #[test]
+    fn spans_drain_exactly_once() {
+        let _x = exclusive();
+        set_enabled(true);
+        crate::clear_spans();
+        crate::emit_span(crate::SpanRecord {
+            name: "restart.phase",
+            attrs: vec![
+                ("leaf", "px:1".into()),
+                ("op", "restore".into()),
+                ("phase", "crc".into()),
+            ],
+            duration: Duration::from_nanos(77),
+            bytes: 0,
+            outcome: "ok",
+            trace_id: 42,
+        });
+        let sampler = TelemetrySampler::new();
+        let events = sampler.drain_ring(3);
+        assert_eq!(events.len(), 1);
+        let e = &events[0];
+        assert_eq!(
+            (
+                e.kind,
+                e.metric.as_str(),
+                e.leaf.as_str(),
+                e.op.as_str(),
+                e.phase.as_str()
+            ),
+            ("span", "restart.phase", "px:1", "restore", "crc")
+        );
+        assert_eq!((e.value, e.trace_id, e.outcome.as_str()), (77, 42, "ok"));
+        // Consumed: a second drain sees nothing.
+        assert!(sampler.drain_ring(4).is_empty());
+    }
+}
